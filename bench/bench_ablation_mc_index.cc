@@ -1,0 +1,142 @@
+// Ablation: why the index is built on BCA and not Monte Carlo.
+//
+// Section 6.1: "Our offline index is based on approximations derived by
+// partial execution of BCA and not on other approaches, such as PM or MC
+// simulation, because the latter do not guarantee that their
+// approximations are lower bounds of the exact proximities and therefore
+// do not fit into our framework."
+//
+// This bench makes that concrete. An MC "index" stores each node's k-th
+// largest ESTIMATED proximity (Complete Path estimator); a query computes
+// the exact row with PMPN and keeps every node whose exact p_u(q) reaches
+// its stored threshold — structurally identical to our lower-bound prune,
+// but with thresholds that can err in either direction:
+//
+//   * threshold too HIGH (estimate above truth)  -> misses results (recall
+//     loss) — impossible with BCA, whose bounds never exceed the truth;
+//   * threshold too LOW -> spurious members (precision loss) — BCA has
+//     these too, but resolves them with its upper-bound/refinement loop,
+//     which NEEDS the lower-bound property to terminate correctly.
+//
+// Expected shape: the MC index trades walks for accuracy but never reaches
+// exactness, while the BCA framework is exact at comparable build cost.
+
+#include <algorithm>
+#include <set>
+
+#include "bench_common.h"
+#include "bca/hub_selection.h"
+#include "common/thread_pool.h"
+#include "common/top_k.h"
+#include "core/online_query.h"
+#include "index/index_builder.h"
+#include "rwr/monte_carlo.h"
+#include "rwr/pmpn.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace rtk;
+using namespace rtk::bench;
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: MC-estimate index vs BCA lower-bound index",
+              "the Section 6.1 design claim, measured");
+
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  auto suite = MakeGraphSuite(1);
+  const NamedGraph& named = suite.front();
+  const Graph& graph = named.graph;
+  const uint32_t n = graph.num_nodes();
+  TransitionOperator op(graph);
+  const uint32_t k = 10;
+
+  std::printf("\n%s (stand-in for %s): n=%u m=%llu, k=%u\n",
+              named.name.c_str(), named.stand_for.c_str(), n,
+              static_cast<unsigned long long>(graph.num_edges()), k);
+
+  // Ground truth + our exact framework for reference.
+  auto hubs = SelectHubs(graph, {.degree_budget_b = n / 50 + 1});
+  if (!hubs.ok()) return 1;
+  Stopwatch bca_watch;
+  auto index = BuildLowerBoundIndex(op, *hubs, {.capacity_k = k}, &pool);
+  if (!index.ok()) return 1;
+  const double bca_build = bca_watch.ElapsedSeconds();
+
+  Rng qrng(500);
+  const std::vector<uint32_t> queries =
+      SampleQueries(graph, NumQueries(40), QueryDistribution::kUniform, &qrng);
+
+  ReverseTopkSearcher searcher(op, &(*index));
+  QueryOptions qopts;
+  qopts.k = k;
+  std::vector<std::vector<uint32_t>> exact_results;
+  double oq_seconds = 0.0;
+  for (uint32_t q : queries) {
+    QueryStats stats;
+    auto r = searcher.Query(q, qopts, &stats);
+    if (!r.ok()) return 1;
+    oq_seconds += stats.total_seconds;
+    exact_results.push_back(std::move(*r));
+  }
+  std::printf("BCA framework: build %.2fs, %.4f s/query, exact by "
+              "construction\n\n", bca_build, oq_seconds / queries.size());
+
+  std::printf("%-10s %-10s %-11s %-11s %-10s %-10s\n", "walks", "build-s",
+              "precision", "recall", "false+", "missed");
+  for (uint64_t walks : {200ull, 1000ull, 5000ull, 20000ull}) {
+    // MC index: k-th largest Complete Path estimate per node.
+    Stopwatch build_watch;
+    std::vector<double> threshold(n, 0.0);
+    Rng rng(600);
+    MonteCarloOptions mc;
+    mc.num_walks = walks;
+    for (uint32_t u = 0; u < n; ++u) {
+      auto est = MonteCarloCompletePath(op, u, mc, &rng);
+      if (!est.ok()) return 1;
+      const std::vector<double> top = TopKValuesDescending(*est, k);
+      threshold[u] = top.size() >= k ? top[k - 1] : 0.0;
+    }
+    const double build_seconds = build_watch.ElapsedSeconds();
+
+    // Queries: exact PMPN row vs the MC thresholds.
+    uint64_t false_positives = 0, missed = 0, returned = 0, truth_size = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto row = ComputeProximityToNode(op, queries[i]);
+      if (!row.ok()) return 1;
+      std::set<uint32_t> mc_result;
+      for (uint32_t u = 0; u < n; ++u) {
+        if ((*row)[u] > 0.0 && threshold[u] > 0.0 &&
+            (*row)[u] >= threshold[u]) {
+          mc_result.insert(u);
+        }
+      }
+      returned += mc_result.size();
+      truth_size += exact_results[i].size();
+      std::set<uint32_t> truth(exact_results[i].begin(),
+                               exact_results[i].end());
+      for (uint32_t u : mc_result) false_positives += !truth.count(u);
+      for (uint32_t u : truth) missed += !mc_result.count(u);
+    }
+    const double precision =
+        returned == 0 ? 0.0
+                      : 1.0 - static_cast<double>(false_positives) / returned;
+    const double recall =
+        truth_size == 0 ? 1.0
+                        : 1.0 - static_cast<double>(missed) / truth_size;
+    std::printf("%-10llu %-10.2f %-11.4f %-11.4f %-10llu %-10llu\n",
+                static_cast<unsigned long long>(walks), build_seconds,
+                precision, recall,
+                static_cast<unsigned long long>(false_positives),
+                static_cast<unsigned long long>(missed));
+  }
+  std::printf(
+      "\nshape check: recall < 1 at every walk budget (thresholds overshoot\n"
+      "the truth for some nodes — the failure mode BCA's lower-bound\n"
+      "guarantee excludes), and precision < 1 with no refinement loop to\n"
+      "resolve undershoots. The BCA framework is exact at similar build "
+      "cost.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation B: BCA push strategies (paper Section 4.1.2).
+//
+// The paper's batched push (all nodes with residue >= eta per iteration)
+// against Berkhin's single-max push [7] and the threshold-queue push [2]:
+// iterations and wall time to drive |r|_1 below delta, from a sample of
+// start nodes.
+
+#include "bench_common.h"
+#include "bca/bca.h"
+#include "bca/hub_selection.h"
+#include "bca/hub_proximity_store.h"
+#include "rwr/transition.h"
+
+namespace {
+
+using namespace rtk;
+using namespace rtk::bench;
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation B: BCA push strategy (batch vs single-max vs queue)",
+              "paper claim (4.1.2): batching cuts both iteration count and "
+              "selection\noverhead");
+  auto suite = MakeGraphSuite(2);
+  for (const auto& named : suite) {
+    const Graph& graph = named.graph;
+    TransitionOperator op(graph);
+    // Hub-free runs isolate the propagation strategy itself (hubs absorb
+    // ink and mask the strategies' differences); a hub-assisted pass shows
+    // the combined effect the index builder actually sees.
+    auto hubs =
+        SelectHubs(graph, {.degree_budget_b = graph.num_nodes() / 50 + 1});
+    if (!hubs.ok()) return 1;
+
+    Rng rng(82);
+    std::vector<uint32_t> starts;
+    for (int i = 0; i < 30; ++i) {
+      starts.push_back(static_cast<uint32_t>(rng.Uniform(graph.num_nodes())));
+    }
+
+    for (bool with_hubs : {false, true}) {
+      std::printf("\n%s: n=%u, %s, 30 start nodes, delta=0.1\n",
+                  named.name.c_str(), graph.num_nodes(),
+                  with_hubs ? "with hubs" : "hub-free");
+      std::printf("%-12s %-14s %-16s %-14s\n", "strategy", "avg iters",
+                  "avg selections", "total time(ms)");
+      const std::vector<uint32_t> empty;
+      for (auto strategy : {PushStrategy::kBatch, PushStrategy::kSingleMax,
+                            PushStrategy::kThresholdQueue}) {
+        BcaOptions opts;  // defaults: eta 1e-4, delta 0.1
+        BcaRunner runner(op, with_hubs ? *hubs : empty, opts);
+        double iters = 0.0, selections = 0.0;
+        Stopwatch watch;
+        for (uint32_t u : starts) {
+          runner.Start(u);
+          while (runner.ResidueL1() > opts.delta) {
+            const size_t progress = runner.Step(strategy);
+            if (progress == 0) break;
+            selections += static_cast<double>(progress);
+            iters += 1.0;
+          }
+        }
+        std::printf("%-12s %-14.1f %-16.1f %-14.2f\n",
+                    strategy == PushStrategy::kBatch        ? "batch"
+                    : strategy == PushStrategy::kSingleMax ? "single-max"
+                                                           : "queue",
+                    iters / starts.size(), selections / starts.size(),
+                    watch.ElapsedSeconds() * 1e3);
+      }
+    }
+  }
+  std::printf("\nexpected: hub-free, batch needs FAR fewer iterations (each\n"
+              "iteration scans the residue once), translating to lower total\n"
+              "time; hubs shrink everyone's run but batch keeps the lead.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Ablation: exact proximity-column solver choice.
+//
+// The index construction and brute-force baselines all need exact columns
+// p_u. The paper uses the power method (and cites Jacobi and K-dash as the
+// alternatives, Sections 6.1-6.2); this bench compares all of them on the
+// same columns:
+//
+//   power method    O(iters * m); iterate differences are zero-sum, so it
+//                   converges at (1-alpha) * |lambda_2| — fast on mixing
+//                   graphs
+//   Jacobi          same sweeps from a non-stochastic start: plain
+//                   (1-alpha) rate
+//   Gauss-Seidel    consumes fresh values within a sweep: ~half the
+//                   iterations of Jacobi
+//   LU (K-dash)     one-off factorization, then two triangular solves per
+//                   column
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "rwr/linear_solvers.h"
+#include "rwr/power_method.h"
+#include "rwr/reverse_adjacency.h"
+#include "topk/kdash.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace rtk;
+using namespace rtk::bench;
+
+double MaxAbsError(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: exact column solvers (PM / Jacobi / GS / LU)",
+              "same columns, same 1e-10 L1 tolerance; errors vs power method");
+
+  auto suite = MakeGraphSuite(2);
+  for (const NamedGraph& named : suite) {
+    const Graph& graph = named.graph;
+    TransitionOperator op(graph);
+    ReverseTransitionView view(op);
+
+    Rng rng(400);
+    const std::vector<uint32_t> columns = SampleQueries(
+        graph, NumQueries(25), QueryDistribution::kUniform, &rng);
+
+    std::printf("\n%s (stand-in for %s): n=%u m=%llu\n", named.name.c_str(),
+                named.stand_for.c_str(), graph.num_nodes(),
+                static_cast<unsigned long long>(graph.num_edges()));
+    std::printf("%-14s %-12s %-10s %-12s\n", "solver", "s/col",
+                "iters/col", "max |err|");
+
+    // Power method (the reference).
+    std::vector<std::vector<double>> reference;
+    double pm_seconds = 0.0;
+    uint64_t pm_iters = 0;
+    for (uint32_t u : columns) {
+      Stopwatch watch;
+      IterativeSolveStats stats;
+      auto col = ComputeProximityColumn(op, u, {}, &stats);
+      if (!col.ok()) return 1;
+      pm_seconds += watch.ElapsedSeconds();
+      pm_iters += stats.iterations;
+      reference.push_back(std::move(*col));
+    }
+    std::printf("%-14s %-12.5f %-10.1f %-12s\n", "power",
+                pm_seconds / columns.size(),
+                static_cast<double>(pm_iters) / columns.size(), "-");
+
+    // Jacobi and Gauss-Seidel.
+    for (int which = 0; which < 2; ++which) {
+      double seconds = 0.0, worst = 0.0;
+      uint64_t iters = 0;
+      for (size_t i = 0; i < columns.size(); ++i) {
+        Stopwatch watch;
+        IterativeSolveStats stats;
+        auto col = which == 0
+                       ? JacobiSolveColumn(view, columns[i], {}, &stats)
+                       : GaussSeidelSolveColumn(view, columns[i], {}, &stats);
+        if (!col.ok()) return 1;
+        seconds += watch.ElapsedSeconds();
+        iters += stats.iterations;
+        worst = std::max(worst, MaxAbsError(*col, reference[i]));
+      }
+      std::printf("%-14s %-12.5f %-10.1f %-12.1e\n",
+                  which == 0 ? "jacobi" : "gauss-seidel",
+                  seconds / columns.size(),
+                  static_cast<double>(iters) / columns.size(), worst);
+    }
+
+    // LU route.
+    Stopwatch build_watch;
+    auto lu = KdashIndex::Build(op);
+    const double build_seconds = build_watch.ElapsedSeconds();
+    if (lu.ok()) {
+      double seconds = 0.0, worst = 0.0;
+      for (size_t i = 0; i < columns.size(); ++i) {
+        Stopwatch watch;
+        auto col = lu->SolveColumn(columns[i]);
+        if (!col.ok()) return 1;
+        seconds += watch.ElapsedSeconds();
+        worst = std::max(worst, MaxAbsError(*col, reference[i]));
+      }
+      std::printf("%-14s %-12.5f %-10s %-12.1e (factorize %.3fs, %s)\n",
+                  "lu (kdash)", seconds / columns.size(), "-", worst,
+                  build_seconds, HumanBytes(lu->MemoryBytes()).c_str());
+    } else {
+      std::printf("%-14s %s\n", "lu (kdash)", lu.status().ToString().c_str());
+    }
+  }
+  std::printf(
+      "\nshape check: GS needs roughly half Jacobi's sweeps; PM beats both\n"
+      "on mixing graphs (zero-sum start); LU wins per column once its\n"
+      "factorization is amortized, at a fill-in memory cost.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared plumbing for the experiment benches.
+//
+// The paper evaluates on four graphs (Web-stanford-cs, Epinions,
+// Web-stanford, Web-google). Those exact datasets are not shipped offline,
+// so every bench runs on synthetic stand-ins with matched *shape* — R-MAT
+// for the web crawls, directed preferential attachment for the social
+// network — at laptop scale. Set RTK_BENCH_SCALE to grow them (e.g.
+// RTK_BENCH_SCALE=8 approaches the paper's smallest graph), RTK_BENCH_GRAPH
+// to a SNAP edge-list path to run on a real dataset instead, and
+// RTK_BENCH_QUERIES to change the workload size.
+
+#ifndef RTK_BENCH_BENCH_COMMON_H_
+#define RTK_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+
+namespace rtk::bench {
+
+struct NamedGraph {
+  std::string name;      // our stand-in's name
+  std::string stand_for; // the paper dataset it substitutes
+  Graph graph;
+};
+
+// Scales a base count by RTK_BENCH_SCALE.
+inline uint64_t Scaled(uint64_t base) {
+  const double s = BenchScale();
+  return static_cast<uint64_t>(base * s);
+}
+
+// The default three-graph suite (small/medium/large). `max_graphs` lets
+// cheap benches keep all three and expensive ones take fewer.
+inline std::vector<NamedGraph> MakeGraphSuite(size_t max_graphs = 3) {
+  std::vector<NamedGraph> suite;
+  const std::string custom = EnvString("RTK_BENCH_GRAPH", "");
+  if (!custom.empty()) {
+    auto loaded = LoadEdgeList(custom);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "RTK_BENCH_GRAPH load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      std::exit(1);
+    }
+    suite.push_back({custom, "user dataset", std::move(loaded).value()});
+    return suite;
+  }
+  {
+    Rng rng(101);
+    auto g = Rmat(11, Scaled(8192), &rng);  // 2048 nodes, sparse web
+    if (g.ok()) suite.push_back({"rmat-web-s", "Web-stanford-cs",
+                                 std::move(*g)});
+  }
+  if (suite.size() < max_graphs) {
+    Rng rng(102);
+    auto g = BarabasiAlbert(static_cast<uint32_t>(Scaled(3000)), 7, &rng);
+    if (g.ok()) suite.push_back({"ba-social", "Epinions", std::move(*g)});
+  }
+  if (suite.size() < max_graphs) {
+    Rng rng(103);
+    auto g = Rmat(13, Scaled(40000), &rng);  // 8192 nodes, larger web
+    if (g.ok()) suite.push_back({"rmat-web-l", "Web-stanford", std::move(*g)});
+  }
+  return suite;
+}
+
+// Query workload size (paper: 500).
+inline size_t NumQueries(size_t fallback = 100) {
+  return static_cast<size_t>(EnvInt64("RTK_BENCH_QUERIES", fallback));
+}
+
+inline void PrintHeader(const std::string& title, const std::string& notes) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace rtk::bench
+
+#endif  // RTK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,85 @@
+// Figure 5: average reverse top-k query time vs k, with and without the
+// index-update policy, per graph.
+//
+// Paper shape: query time grows mildly with k; "update" is at or below
+// "no-update", with the gap largest on small/dense graphs; both are orders
+// of magnitude below the entire-P brute force (Table 2's last column).
+
+#include "bench_common.h"
+#include "bca/hub_selection.h"
+#include "common/thread_pool.h"
+#include "core/online_query.h"
+#include "index/index_builder.h"
+#include "rwr/transition.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace rtk;
+using namespace rtk::bench;
+
+void RunGraph(const NamedGraph& named, ThreadPool* pool) {
+  const Graph& graph = named.graph;
+  TransitionOperator op(graph);
+  auto hubs = SelectHubs(graph, {.degree_budget_b = graph.num_nodes() / 50 + 1});
+  if (!hubs.ok()) return;
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 100;
+  auto base_index = BuildLowerBoundIndex(op, *hubs, build_opts, pool);
+  if (!base_index.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 base_index.status().ToString().c_str());
+    return;
+  }
+
+  Rng rng(77);
+  const std::vector<uint32_t> queries = SampleQueries(
+      graph, NumQueries(), QueryDistribution::kUniform, &rng);
+
+  std::printf("\n%s (stand-in for %s): n=%u, %zu queries\n",
+              named.name.c_str(), named.stand_for.c_str(), graph.num_nodes(),
+              queries.size());
+  std::printf("%-6s %-14s %-14s %-12s %-12s\n", "k", "update(ms)",
+              "noupd(ms)", "pmpn(ms)", "scan(ms)");
+  for (uint32_t k : {5u, 10u, 20u, 50u, 100u}) {
+    double avg_ms[2] = {0.0, 0.0};
+    double pmpn_ms = 0.0, scan_ms = 0.0;
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool update = (mode == 0);
+      LowerBoundIndex index = *base_index;  // fresh copy per mode
+      ReverseTopkSearcher searcher(op, &index);
+      QueryOptions query_opts;
+      query_opts.k = k;
+      query_opts.update_index = update;
+      Stopwatch watch;
+      for (uint32_t q : queries) {
+        QueryStats stats;
+        auto r = searcher.Query(q, query_opts, &stats);
+        if (!r.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       r.status().ToString().c_str());
+          return;
+        }
+        if (update) {
+          pmpn_ms += stats.pmpn_seconds * 1e3;
+          scan_ms += stats.scan_seconds * 1e3;
+        }
+      }
+      avg_ms[mode] = watch.ElapsedSeconds() * 1e3 / queries.size();
+    }
+    std::printf("%-6u %-14.2f %-14.2f %-12.2f %-12.2f\n", k, avg_ms[0],
+                avg_ms[1], pmpn_ms / queries.size(),
+                scan_ms / queries.size());
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 5: average reverse top-k query time vs k",
+              "series: with index update (paper 'update') vs without "
+              "('no-update')");
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  for (const auto& named : MakeGraphSuite()) RunGraph(named, &pool);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 7: cost of individual queries across a query sequence, with and
+// without index updates.
+//
+// Paper shape: with updates enabled, later queries in the sequence get
+// cheaper (they reuse refinements persisted by earlier ones) and the gap
+// to the no-update series widens with the query id.
+
+#include "bench_common.h"
+#include "bca/hub_selection.h"
+#include "common/thread_pool.h"
+#include "core/online_query.h"
+#include "index/index_builder.h"
+#include "rwr/transition.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace rtk;
+using namespace rtk::bench;
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7: per-query cost over a query sequence",
+              "paper shape: 'update' series drops below 'no-update' as the "
+              "sequence\nprogresses; cumulative gap widens");
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  auto suite = MakeGraphSuite(2);
+  const NamedGraph& named = suite.back();  // the larger web stand-in
+  const Graph& graph = named.graph;
+  TransitionOperator op(graph);
+
+  auto hubs = SelectHubs(graph, {.degree_budget_b = graph.num_nodes() / 50 + 1});
+  if (!hubs.ok()) return 1;
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 100;
+  // A slightly loose index makes refinement visible, as in the paper.
+  build_opts.bca.delta = 0.2;
+  auto base_index = BuildLowerBoundIndex(op, *hubs, build_opts, &pool);
+  if (!base_index.ok()) return 1;
+
+  const uint32_t k = 50;
+  Rng rng(79);
+  const std::vector<uint32_t> queries = SampleQueries(
+      graph, NumQueries(200), QueryDistribution::kUniform, &rng);
+
+  std::printf("\n%s (stand-in for %s): n=%u, k=%u, %zu-query sequence\n",
+              named.name.c_str(), named.stand_for.c_str(), graph.num_nodes(),
+              k, queries.size());
+
+  std::vector<double> time_update, time_noupdate;
+  std::vector<uint64_t> refine_update, refine_noupdate;
+  for (int mode = 0; mode < 2; ++mode) {
+    const bool update = (mode == 0);
+    LowerBoundIndex index = *base_index;
+    ReverseTopkSearcher searcher(op, &index);
+    QueryOptions opts;
+    opts.k = k;
+    opts.update_index = update;
+    for (uint32_t q : queries) {
+      QueryStats stats;
+      auto r = searcher.Query(q, opts, &stats);
+      if (!r.ok()) return 1;
+      (update ? time_update : time_noupdate).push_back(stats.total_seconds);
+      (update ? refine_update : refine_noupdate)
+          .push_back(stats.refine_iterations);
+    }
+  }
+
+  std::printf("%-10s %-14s %-14s %-12s %-12s\n", "query-id", "update(ms)",
+              "noupd(ms)", "ref-upd", "ref-noupd");
+  const size_t bucket = std::max<size_t>(queries.size() / 20, 1);
+  for (size_t start = 0; start < queries.size(); start += bucket) {
+    const size_t end = std::min(queries.size(), start + bucket);
+    double tu = 0, tn = 0, ru = 0, rn = 0;
+    for (size_t i = start; i < end; ++i) {
+      tu += time_update[i];
+      tn += time_noupdate[i];
+      ru += static_cast<double>(refine_update[i]);
+      rn += static_cast<double>(refine_noupdate[i]);
+    }
+    const double c = static_cast<double>(end - start);
+    std::printf("%3zu-%-6zu %-14.2f %-14.2f %-12.1f %-12.1f\n", start,
+                end - 1, tu / c * 1e3, tn / c * 1e3, ru / c, rn / c);
+  }
+  double total_u = 0, total_n = 0;
+  for (double t : time_update) total_u += t;
+  for (double t : time_noupdate) total_n += t;
+  std::printf("\ntotal: update %.2f s vs no-update %.2f s (%.1f%% saved)\n",
+              total_u, total_n, 100.0 * (1.0 - total_u / total_n));
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 8: cumulative cost of a full query workload — IBF vs FBF vs our
+// index — on a small graph where IBF is feasible (the paper uses
+// Web-stanford-cs and queries every node, k = 10).
+//
+// Paper shape: IBF pays a huge precomputation then near-zero per query;
+// FBF pays the same precomputation plus visible per-query cost; our method
+// starts almost immediately and stays below FBF for the whole workload and
+// below IBF for a large prefix (~60% in the paper).
+
+#include "bench_common.h"
+#include "bca/hub_selection.h"
+#include "common/thread_pool.h"
+#include "core/brute_force.h"
+#include "core/online_query.h"
+#include "index/index_builder.h"
+#include "rwr/transition.h"
+
+namespace {
+
+using namespace rtk;
+using namespace rtk::bench;
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 8: cumulative workload cost, IBF vs FBF vs ours (k=10)",
+              "workload = a reverse top-10 query from EVERY node");
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  Rng rng(104);
+  auto graph_result = Rmat(11, Scaled(8192), &rng);  // IBF-feasible size
+  if (!graph_result.ok()) return 1;
+  const Graph graph = std::move(*graph_result);
+  TransitionOperator op(graph);
+  const uint32_t n = graph.num_nodes();
+  const uint32_t k = 10;
+  std::printf("graph: %s (stand-in for Web-stanford-cs)\n",
+              graph.ToString().c_str());
+
+  BaselineOptions baseline_opts;
+  baseline_opts.capacity_k = 100;
+
+  // IBF: full P in memory.
+  Stopwatch ibf_watch;
+  auto ibf = IbfOracle::Build(op, baseline_opts, &pool);
+  if (!ibf.ok()) return 1;
+  const double ibf_build = ibf_watch.ElapsedSeconds();
+
+  // FBF: exact top-K thresholds only.
+  Stopwatch fbf_watch;
+  auto fbf = FbfOracle::Build(op, baseline_opts, &pool);
+  if (!fbf.ok()) return 1;
+  const double fbf_build = fbf_watch.ElapsedSeconds();
+
+  // Ours. The paper picks delta "such that our BCA adaptation terminates
+  // only after a few iterations, deriving a rough approximation that is
+  // already sufficient to prune the majority of nodes" — at this bench's
+  // all-nodes workload a tighter delta is the right trade (every node is
+  // eventually queried, so up-front tightness amortizes perfectly).
+  auto hubs = SelectHubs(graph, {.degree_budget_b = n / 50 + 1});
+  if (!hubs.ok()) return 1;
+  Stopwatch ours_watch;
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 100;
+  build_opts.bca.delta = 0.03;
+  auto index = BuildLowerBoundIndex(op, *hubs, build_opts, &pool);
+  if (!index.ok()) return 1;
+  const double ours_build = ours_watch.ElapsedSeconds();
+  ReverseTopkSearcher searcher(op, &(*index));
+
+  std::printf("precompute: IBF %.2fs (%s), FBF %.2fs, ours %.2fs\n",
+              ibf_build, HumanBytes(ibf->MemoryBytes()).c_str(), fbf_build,
+              ours_build);
+
+  // Run the all-nodes workload, tracking cumulative seconds.
+  std::printf("%-10s %-14s %-14s %-14s\n", "#queries", "IBF(s)", "FBF(s)",
+              "ours(s)");
+  double ibf_cum = ibf_build, fbf_cum = fbf_build, ours_cum = ours_build;
+  const uint32_t checkpoints = 10;
+  const uint32_t step = std::max(n / checkpoints, 1u);
+  QueryOptions query_opts;
+  query_opts.k = k;
+  uint32_t below_fbf = 0, below_ibf = 0;
+  for (uint32_t q = 0; q < n; ++q) {
+    {
+      Stopwatch w;
+      auto r = ibf->Query(q, k);
+      if (!r.ok()) return 1;
+      ibf_cum += w.ElapsedSeconds();
+    }
+    {
+      double seconds = 0.0;
+      auto r = fbf->Query(q, k, &seconds);
+      if (!r.ok()) return 1;
+      fbf_cum += seconds;
+    }
+    {
+      QueryStats stats;
+      auto r = searcher.Query(q, query_opts, &stats);
+      if (!r.ok()) return 1;
+      ours_cum += stats.total_seconds;
+    }
+    below_fbf += ours_cum < fbf_cum;
+    below_ibf += ours_cum < ibf_cum;
+    if ((q + 1) % step == 0 || q + 1 == n) {
+      std::printf("%-10u %-14.2f %-14.2f %-14.2f\n", q + 1, ibf_cum, fbf_cum,
+                  ours_cum);
+    }
+  }
+  std::printf(
+      "\nmeasured: ours below FBF for %.0f%% of the workload, below IBF for "
+      "%.0f%%;\nIBF is memory-infeasible on large graphs (%u nodes already "
+      "need %s dense).\n",
+      100.0 * below_fbf / n, 100.0 * below_ibf / n, n,
+      HumanBytes(static_cast<uint64_t>(n) * n * 8).c_str());
+  std::printf(
+      "scale caveat: the paper's premise is that computing the entire P\n"
+      "dominates (365s-60000ks on its graphs vs 31s-1000ks index builds);\n"
+      "at laptop scale the full-P precompute is only seconds, so the\n"
+      "baselines' handicap shrinks. Grow RTK_BENCH_SCALE to widen it: the\n"
+      "full-P cost scales ~quadratically while ours stays near-linear.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 9: effect of the hub-vector rounding threshold omega on result
+// quality — average Jaccard similarity between query results with rounded
+// hub vectors and with exact (unrounded) hub vectors, for a k sweep.
+//
+// Paper shape: omega <= 1e-5 gives identical results (similarity 1.0);
+// omega = 1e-4 stays around 99%.
+
+#include <set>
+
+#include "bench_common.h"
+#include "bca/hub_selection.h"
+#include "common/thread_pool.h"
+#include "core/online_query.h"
+#include "index/index_builder.h"
+#include "rwr/transition.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace rtk;
+using namespace rtk::bench;
+
+double Jaccard(const std::vector<uint32_t>& a,
+               const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::set<uint32_t> sa(a.begin(), a.end());
+  size_t inter = 0;
+  for (uint32_t x : b) inter += sa.count(x);
+  const size_t uni = sa.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 9: result similarity vs hub rounding threshold omega",
+              "reference: an index with UNROUNDED hub vectors (omega = 0)");
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  auto suite = MakeGraphSuite(1);
+  const NamedGraph& named = suite.front();
+  const Graph& graph = named.graph;
+  TransitionOperator op(graph);
+  auto hubs = SelectHubs(graph, {.degree_budget_b = graph.num_nodes() / 50 + 1});
+  if (!hubs.ok()) return 1;
+
+  std::printf("\n%s (stand-in for %s): n=%u\n", named.name.c_str(),
+              named.stand_for.c_str(), graph.num_nodes());
+
+  // Reference index: no rounding.
+  IndexBuildOptions exact_opts;
+  exact_opts.capacity_k = 100;
+  exact_opts.hub_store.rounding_omega = 0.0;
+  auto exact_index = BuildLowerBoundIndex(op, *hubs, exact_opts, &pool);
+  if (!exact_index.ok()) return 1;
+
+  Rng rng(80);
+  const std::vector<uint32_t> queries = SampleQueries(
+      graph, NumQueries(60), QueryDistribution::kUniform, &rng);
+
+  std::printf("%-10s %-12s", "omega", "hub-space");
+  for (uint32_t k : {5u, 10u, 20u, 50u, 100u}) std::printf(" k=%-8u", k);
+  std::printf("\n");
+
+  for (double omega : {1e-3, 1e-4, 1e-5, 1e-6}) {
+    IndexBuildOptions opts;
+    opts.capacity_k = 100;
+    opts.hub_store.rounding_omega = omega;
+    auto rounded_index = BuildLowerBoundIndex(op, *hubs, opts, &pool);
+    if (!rounded_index.ok()) return 1;
+    std::printf("%-10.0e %-12s", omega,
+                HumanBytes(rounded_index->hub_store().MemoryBytes()).c_str());
+    for (uint32_t k : {5u, 10u, 20u, 50u, 100u}) {
+      // Fresh copies per k so update-mode refinement cannot leak across k.
+      LowerBoundIndex ref = *exact_index;
+      LowerBoundIndex rnd = *rounded_index;
+      ReverseTopkSearcher ref_searcher(op, &ref);
+      ReverseTopkSearcher rnd_searcher(op, &rnd);
+      QueryOptions qopts;
+      qopts.k = k;
+      double sim = 0.0;
+      for (uint32_t q : queries) {
+        auto a = ref_searcher.Query(q, qopts);
+        auto b = rnd_searcher.Query(q, qopts);
+        if (!a.ok() || !b.ok()) return 1;
+        sim += Jaccard(*a, *b);
+      }
+      std::printf(" %-10.4f", sim / queries.size());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape check: similarity 1.0 for omega <= 1e-5, ~0.99 "
+              "at 1e-4;\nhub space shrinks as omega grows.\n");
+  return 0;
+}

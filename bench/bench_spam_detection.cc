@@ -1,0 +1,115 @@
+// Section 5.4 (spam detection): label composition of reverse top-5 sets on
+// a labeled web-host corpus.
+//
+// Paper numbers (Webspam-UK2006): spam queries -> 96.1% of the reverse set
+// is spam; normal queries -> 97.4% normal. We reproduce the measurement on
+// the synthetic corpus (substitution recorded in EXPERIMENTS.md) and also
+// report the detector quality this implies at varying flag thresholds.
+
+#include <algorithm>
+
+#include "apps/spamrank.h"
+#include "bench_common.h"
+#include "core/engine.h"
+#include "workload/query_workload.h"
+#include "workload/webspam.h"
+
+int main() {
+  using namespace rtk;
+  using namespace rtk::bench;
+  PrintHeader("Section 5.4: spam detection via reverse top-5 label ratios",
+              "paper: 96.1% spam-in-reverse for spam queries, 97.4% "
+              "normal for normal");
+  Rng rng(20140901);
+  WebspamOptions corpus_opts;
+  corpus_opts.num_normal = static_cast<uint32_t>(Scaled(5000));
+  corpus_opts.num_spam = static_cast<uint32_t>(Scaled(1100));
+  auto corpus = GenerateWebspam(corpus_opts, &rng);
+  if (!corpus.ok()) return 1;
+  const std::vector<HostLabel> labels = corpus->labels;
+  std::printf("corpus: %s, %u spam hosts (%.1f%%)\n",
+              corpus->graph.ToString().c_str(), corpus->num_spam(),
+              100.0 * corpus->num_spam() / corpus->graph.num_nodes());
+
+  EngineOptions opts;
+  opts.capacity_k = 10;
+  opts.hub_selection.degree_budget_b = 60;
+  auto engine = ReverseTopkEngine::Build(std::move(corpus->graph), opts);
+  if (!engine.ok()) return 1;
+
+  // Reverse top-5 from every labeled host (the paper queries all of them).
+  const uint32_t k = 5;
+  const uint32_t n = (*engine)->graph().num_nodes();
+  double spam_ratio_sum = 0.0, normal_ratio_sum = 0.0;
+  uint32_t spam_queries = 0, normal_queries = 0;
+  std::vector<double> spam_fraction_per_query(n, 0.0);
+  Stopwatch watch;
+  for (uint32_t q = 0; q < n; ++q) {
+    auto r = (*engine)->Query(q, k);
+    if (!r.ok()) return 1;
+    if (r->empty()) continue;
+    int spam_members = 0;
+    for (uint32_t u : *r) spam_members += (labels[u] == HostLabel::kSpam);
+    const double spam_fraction =
+        static_cast<double>(spam_members) / r->size();
+    spam_fraction_per_query[q] = spam_fraction;
+    if (labels[q] == HostLabel::kSpam) {
+      spam_ratio_sum += spam_fraction;
+      ++spam_queries;
+    } else {
+      normal_ratio_sum += 1.0 - spam_fraction;
+      ++normal_queries;
+    }
+  }
+  std::printf("all-hosts sweep: %.1f s\n", watch.ElapsedSeconds());
+  std::printf("\n%-28s %-12s %-12s\n", "metric", "ours", "paper");
+  std::printf("%-28s %-12.1f %-12s\n", "spam query: %spam in set",
+              100.0 * spam_ratio_sum / spam_queries, "96.1");
+  std::printf("%-28s %-12.1f %-12s\n", "normal query: %normal in set",
+              100.0 * normal_ratio_sum / normal_queries, "97.4");
+
+  // Detector view: flag q when its reverse set is >= threshold spam.
+  std::printf("\ndetector: flag host if spam fraction of reverse set >= t\n");
+  std::printf("%-8s %-12s %-12s\n", "t", "recall", "false-pos");
+  for (double t : {0.5, 0.7, 0.9}) {
+    uint32_t tp = 0, fp = 0, pos = 0, neg = 0;
+    for (uint32_t q = 0; q < n; ++q) {
+      const bool is_spam = labels[q] == HostLabel::kSpam;
+      (is_spam ? pos : neg) += 1;
+      if (spam_fraction_per_query[q] >= t) {
+        (is_spam ? tp : fp) += 1;
+      }
+    }
+    std::printf("%-8.1f %-12.3f %-12.4f\n", t,
+                static_cast<double>(tp) / pos, static_cast<double>(fp) / neg);
+  }
+
+  // SpamRank view (apps/spamrank): the spam MASS — the fraction of a
+  // host's aggregated PageRank contribution supplied by labeled-spam
+  // supporters — on a host sample. The paper's Section 4.2.1 proposes
+  // PMPN as exactly this SpamRank module.
+  std::printf("\nspam-mass view (exact contributions, 200-host sample):\n");
+  const TransitionOperator& op = (*engine)->transition();
+  double mass_spam = 0.0, mass_normal = 0.0;
+  uint32_t mass_spam_n = 0, mass_normal_n = 0;
+  const uint32_t stride = std::max(1u, n / 200);
+  for (uint32_t q = 0; q < n; q += stride) {
+    auto profile = ComputeContributionProfile(op, q, labels);
+    if (!profile.ok()) return 1;
+    if (labels[q] == HostLabel::kSpam) {
+      mass_spam += profile->spam_mass;
+      ++mass_spam_n;
+    } else {
+      mass_normal += profile->spam_mass;
+      ++mass_normal_n;
+    }
+  }
+  std::printf("%-28s %.3f\n", "mean spam mass (spam hosts)",
+              mass_spam / std::max(1u, mass_spam_n));
+  std::printf("%-28s %.3f\n", "mean spam mass (normal)",
+              mass_normal / std::max(1u, mass_normal_n));
+  std::printf("\nshape check: both detectors separate the classes; the\n"
+              "reverse-set ratio needs only the top-k structure while spam\n"
+              "mass uses the full contribution vector.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 3: the most "popular" authors of a weighted coauthorship network,
+// ranked by the size of their reverse top-5 lists, compared against their
+// direct coauthor counts.
+//
+// Paper shape (on DBLP): the top authors' reverse top-5 lists (2020, 2007,
+// 1932, ...) dwarf their coauthor counts (231, 253, 221, ...): reverse
+// reach, not degree, is what separates the three standout authors. Our
+// synthetic network designates cross-community "connector" authors who
+// should dominate the same ranking.
+
+#include <algorithm>
+#include <set>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "workload/coauthorship.h"
+
+int main() {
+  using namespace rtk;
+  using namespace rtk::bench;
+  PrintHeader("Table 3: longest reverse top-5 lists in a coauthorship network",
+              "synthetic DBLP stand-in; connectors should top the table");
+  Rng rng(7);
+  CoauthorshipOptions net_opts;
+  net_opts.num_authors = static_cast<uint32_t>(Scaled(2500));
+  net_opts.num_communities = 25;
+  net_opts.num_papers = static_cast<uint32_t>(Scaled(15000));
+  auto net = GenerateCoauthorship(net_opts, &rng);
+  if (!net.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 net.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("network: %s, %u communities, %u connectors\n",
+              net->graph.ToString().c_str(), net_opts.num_communities,
+              net_opts.num_connectors);
+  const std::vector<uint32_t> coauthors = net->coauthor_counts;
+  const std::set<uint32_t> connectors(net->connectors.begin(),
+                                      net->connectors.end());
+
+  EngineOptions opts;
+  opts.capacity_k = 10;
+  opts.hub_selection.degree_budget_b = net_opts.num_authors / 60 + 1;
+  auto engine = ReverseTopkEngine::Build(std::move(net->graph), opts);
+  if (!engine.ok()) return 1;
+
+  Stopwatch watch;
+  const uint32_t n = (*engine)->graph().num_nodes();
+  std::vector<std::pair<size_t, uint32_t>> popularity;
+  popularity.reserve(n);
+  for (uint32_t q = 0; q < n; ++q) {
+    auto r = (*engine)->Query(q, 5);
+    if (!r.ok()) return 1;
+    popularity.emplace_back(r->size(), q);
+  }
+  std::sort(popularity.rbegin(), popularity.rend());
+  std::printf("all-nodes reverse top-5 sweep: %.1f s\n",
+              watch.ElapsedSeconds());
+
+  std::printf("\n%-6s %-10s %-16s %-12s %-10s %-8s\n", "rank", "author",
+              "reverse-top-5", "#coauthors", "ratio", "connector");
+  int connectors_in_top10 = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto& [size, author] = popularity[i];
+    const bool is_connector = connectors.count(author) > 0;
+    connectors_in_top10 += is_connector;
+    std::printf("%-6d %-10u %-16zu %-12u %-10.1f %-8s\n", i + 1, author, size,
+                coauthors[author],
+                coauthors[author] ? static_cast<double>(size) / coauthors[author]
+                                  : 0.0,
+                is_connector ? "yes" : "-");
+  }
+  // Median author for contrast.
+  const auto& median = popularity[popularity.size() / 2];
+  std::printf("median %-10u %-16zu %-12u\n", median.second, median.first,
+              coauthors[median.second]);
+  std::printf(
+      "\npaper shape check: top authors' reverse lists >> coauthor counts\n"
+      "(DBLP ratios ~9x for Yu/Han/Faloutsos); %d/10 top slots taken by\n"
+      "designated connectors.\n",
+      connectors_in_top10);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Author popularity via reverse top-k size (paper Section 5.4, Table 3).
+//
+// In a weighted coauthorship network, the size of an author's reverse
+// top-k list — how many authors rank them among their top-k strongest
+// direct or indirect collaborators — measures approachable popularity.
+// The paper's Table 3 shows the top DBLP authors' reverse top-5 lists far
+// exceed their direct coauthor counts. DBLP is simulated here by a
+// community-structured publication process with designated cross-community
+// "connector" authors (see workload/coauthorship.h).
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/coauthorship.h"
+
+int main() {
+  using namespace rtk;
+  Rng rng(7);
+  CoauthorshipOptions net_opts;
+  net_opts.num_authors = 2000;
+  net_opts.num_communities = 25;
+  net_opts.num_papers = 12000;
+  auto net = GenerateCoauthorship(net_opts, &rng);
+  if (!net.ok()) {
+    std::fprintf(stderr, "network generation failed: %s\n",
+                 net.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("coauthorship network: %s\n", net->graph.ToString().c_str());
+  const std::vector<uint32_t> coauthors = net->coauthor_counts;
+  const std::set<uint32_t> connectors(net->connectors.begin(),
+                                      net->connectors.end());
+
+  EngineOptions opts;
+  opts.capacity_k = 10;
+  opts.hub_selection.degree_budget_b = 40;
+  auto engine = ReverseTopkEngine::Build(std::move(net->graph), opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Reverse top-5 search from every author (the paper does the same over
+  // all of DBLP), then rank by answer-set size.
+  const uint32_t k = 5;
+  const uint32_t n = (*engine)->graph().num_nodes();
+  std::vector<std::pair<size_t, uint32_t>> popularity;  // (size, author)
+  popularity.reserve(n);
+  for (uint32_t q = 0; q < n; ++q) {
+    auto result = (*engine)->Query(q, k);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query %u failed: %s\n", q,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    popularity.emplace_back(result->size(), q);
+  }
+  std::sort(popularity.rbegin(), popularity.rend());
+
+  std::printf("\nTable-3-style ranking (top 10 by reverse top-%u size):\n", k);
+  std::printf("  %-8s %-16s %-12s %-10s\n", "author", "reverse-top-5",
+              "#coauthors", "connector?");
+  for (int i = 0; i < 10; ++i) {
+    const auto& [size, author] = popularity[i];
+    std::printf("  %-8u %-16zu %-12u %-10s\n", author, size,
+                coauthors[author], connectors.count(author) ? "yes" : "-");
+  }
+
+  // The paper's observation: the most popular authors' reverse lists are
+  // much longer than their coauthor lists.
+  int connectors_in_top10 = 0;
+  for (int i = 0; i < 10; ++i) {
+    connectors_in_top10 += connectors.count(popularity[i].second);
+  }
+  std::printf(
+      "\n%d of the top-10 are designated connectors; the paper's "
+      "equivalent\nobservation is that reverse-list size (not degree) "
+      "surfaces the\n\"approachable\" stars: Yu/Han/Faloutsos had reverse "
+      "lists ~9x their\ncoauthor counts.\n",
+      connectors_in_top10);
+  return 0;
+}

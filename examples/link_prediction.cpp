@@ -1,0 +1,120 @@
+// Collaboration recommendation from reverse top-k lists.
+//
+//   ./examples/link_prediction
+//
+// The paper's introduction motivates reverse top-k on coauthorship
+// networks: "consider an author ... who wishes to find the set of people
+// that regard himself as one of their most important direct or indirect
+// collaborators. The reverse top-k result can be used for identifying the
+// likelihood of successful collaborations in the future."
+//
+// This example turns that into a recommender: for a target author, the
+// reverse top-k set members who are NOT yet coauthors are exactly the
+// people for whom the target is already a top influence — the natural
+// "reach out to these people" list. We rank them by their exact proximity
+// to the target (one PMPN solve) and contrast the list with a plain
+// common-neighbor heuristic.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "rtk/rtk.h"
+#include "workload/coauthorship.h"
+
+int main() {
+  // A synthetic community-structured coauthorship network (see
+  // workload/coauthorship.h for the generator's mechanics; it mirrors the
+  // paper's weighted DBLP transition a_ij = w_ij / w_j).
+  rtk::Rng rng(77);
+  rtk::CoauthorshipOptions copts;
+  copts.num_authors = 2000;
+  copts.num_communities = 25;
+  copts.num_papers = 12000;
+  copts.num_connectors = 6;
+  auto net = rtk::GenerateCoauthorship(copts, &rng);
+  if (!net.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 net.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("coauthorship network: %s\n", net->graph.ToString().c_str());
+
+  // Pick a connector star: a cross-community author whose influence
+  // radius far exceeds their direct coauthor list.
+  const uint32_t author = net->connectors.front();
+  const std::set<uint32_t> coauthors = [&] {
+    std::set<uint32_t> s;
+    for (uint32_t v : net->graph.OutNeighbors(author)) s.insert(v);
+    return s;
+  }();
+  std::printf("target author %u: %u papers, %zu direct coauthors\n", author,
+              net->paper_counts[author], coauthors.size());
+
+  rtk::TransitionOperator op(net->graph);
+
+  rtk::EngineOptions options;
+  options.capacity_k = 50;
+  options.hub_selection.degree_budget_b = 25;
+  rtk::Graph graph_copy = net->graph;
+  auto engine = rtk::ReverseTopkEngine::Build(std::move(graph_copy), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Reverse top-k: everyone who already ranks the target among their k
+  // strongest direct-or-indirect collaborators.
+  const uint32_t k = 10;
+  auto reverse = (*engine)->Query(author, k);
+  if (!reverse.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 reverse.status().ToString().c_str());
+    return 1;
+  }
+
+  // Rank non-coauthor members by their exact proximity to the target.
+  auto proximities = rtk::ComputeProximityToNode(op, author);
+  if (!proximities.ok()) return 1;
+  std::vector<std::pair<double, uint32_t>> recommendations;
+  for (uint32_t u : *reverse) {
+    if (u != author && !coauthors.count(u)) {
+      recommendations.emplace_back((*proximities)[u], u);
+    }
+  }
+  std::sort(recommendations.rbegin(), recommendations.rend());
+
+  std::printf(
+      "\nreverse top-%u set: %zu authors, of which %zu are not yet "
+      "coauthors\n",
+      k, reverse->size(), recommendations.size());
+  std::printf("top collaboration candidates (by proximity to the target):\n");
+  std::printf("  %-8s %-12s %-10s %-14s\n", "author", "proximity", "papers",
+              "same-community");
+  const uint32_t community = author % copts.num_communities;
+  for (size_t i = 0; i < recommendations.size() && i < 10; ++i) {
+    const auto [p, u] = recommendations[i];
+    std::printf("  %-8u %-12.5f %-10u %-14s\n", u, p, net->paper_counts[u],
+                (u % copts.num_communities) == community ? "yes" : "no");
+  }
+
+  // Contrast with the classic common-neighbors heuristic, which can only
+  // see distance-2 candidates; the reverse top-k list reaches across
+  // communities through the connector's professor links.
+  size_t distance2 = 0;
+  for (const auto& [p, u] : recommendations) {
+    const auto nbrs = net->graph.OutNeighbors(u);
+    const bool common = std::any_of(nbrs.begin(), nbrs.end(), [&](uint32_t w) {
+      return coauthors.count(w) != 0;
+    });
+    distance2 += common;
+  }
+  std::printf(
+      "\n%zu of %zu candidates share a coauthor with the target "
+      "(common-neighbors would find only those);\n"
+      "the rest are influence-based discoveries unreachable at distance 2.\n",
+      distance2, recommendations.size());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Narrated reproduction of the paper's running example (Figures 1-2 and
+// Section 4.2.3) on the recovered 6-node toy graph.
+//
+// The paper prints the proximity matrix but not the edges; the edges were
+// recovered by inverting the printed matrix (see graph/toy_graphs.h). This
+// walkthrough prints every artifact next to the value the paper reports.
+
+#include <cstdio>
+#include <vector>
+
+#include "bca/bca.h"
+#include "bca/hub_selection.h"
+#include "core/engine.h"
+#include "core/upper_bound.h"
+#include "graph/toy_graphs.h"
+#include "rwr/dense_solver.h"
+#include "rwr/pmpn.h"
+#include "rwr/transition.h"
+
+namespace {
+
+void PrintVector(const char* name, const std::vector<double>& v) {
+  std::printf("%-8s", name);
+  for (double x : v) std::printf(" %5.2f", x);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace rtk;
+  std::printf("=== Figure 1: the toy graph and its proximity matrix ===\n");
+  Graph graph = PaperToyGraph();
+  std::printf("recovered edges (1-based):\n");
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    std::printf("  %u ->", u + 1);
+    for (uint32_t v : graph.OutNeighbors(u)) std::printf(" %u", v + 1);
+    std::printf("\n");
+  }
+
+  auto dense = ComputeDenseProximityMatrix(graph);
+  if (!dense.ok()) return 1;
+  std::printf("\ncomputed P (columns p1..p6; paper prints the same to 2dp):\n");
+  for (uint32_t i = 0; i < 6; ++i) {
+    std::printf("  ");
+    for (uint32_t j = 0; j < 6; ++j) std::printf(" %5.2f", dense->At(i, j));
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Figure 2: hub selection and the top-3 lower-bound index ===\n");
+  HubSelectionOptions hub_opts;
+  hub_opts.degree_budget_b = 1;
+  auto hubs = SelectHubs(graph, hub_opts);
+  std::printf("hubs (B=1): nodes");
+  for (uint32_t h : *hubs) std::printf(" %u", h + 1);
+  std::printf("  (paper: nodes 1, 2)\n");
+
+  TransitionOperator op(graph);
+  HubStoreOptions store_opts;
+  auto store = HubProximityStore::Build(op, *hubs, store_opts);
+  if (!store.ok()) return 1;
+
+  BcaOptions bca_opts;
+  bca_opts.eta = 1e-4;
+  bca_opts.delta = 0.8;  // the paper's walkthrough threshold
+  BcaRunner runner(op, *hubs, bca_opts);
+  std::printf("\npartial BCA vectors after termination (delta = 0.8):\n");
+  for (uint32_t u = 2; u < 6; ++u) {
+    runner.Start(u);
+    runner.RunToTermination(PushStrategy::kBatch);
+    std::vector<double> approx;
+    runner.MaterializeApprox(*store, &approx);
+    char name[16];
+    std::snprintf(name, sizeof(name), "p^t%u", u + 1);
+    PrintVector(name, approx);
+    std::printf("         |r_%u| = %.2f  (paper: %s)\n", u + 1,
+                runner.ResidueL1(),
+                (u == 2 || u == 4) ? "0" : "0.36");
+  }
+
+  std::printf("\n=== Section 4.2.3: reverse top-2 query for q = node 1 ===\n");
+  EngineOptions engine_opts;
+  engine_opts.capacity_k = 3;
+  engine_opts.hub_selection.degree_budget_b = 1;
+  engine_opts.bca.delta = 0.8;
+  auto engine = ReverseTopkEngine::Build(PaperToyGraph(), engine_opts);
+  if (!engine.ok()) return 1;
+
+  auto to_q = ComputeProximityToNode((*engine)->transition(), 0);
+  PrintVector("p_{1,*}", *to_q);
+  std::printf("  (paper: 0.32 0.24 0.24 0.19 0.20 0.18)\n");
+
+  QueryStats stats;
+  auto result = (*engine)->Query(/*q=*/0, /*k=*/2, &stats);
+  if (!result.ok()) return 1;
+  std::printf("\nreverse top-2 of node 1:");
+  for (uint32_t u : *result) std::printf(" %u", u + 1);
+  std::printf("   (paper: 1, 2, 5)\n");
+  std::printf("candidates=%llu hits=%llu refined=%llu refine_iters=%llu\n",
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.refined_nodes),
+              static_cast<unsigned long long>(stats.refine_iterations));
+  std::printf(
+      "paper's narrative: nodes 1,2 confirmed as hubs; node 3 pruned by its\n"
+      "lower bound; node 4 gets ub=0.36, refined once, then pruned (lb 0.23);\n"
+      "node 5 confirmed exact; node 6 pruned after one refinement.\n");
+  return 0;
+}

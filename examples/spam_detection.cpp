@@ -1,0 +1,84 @@
+// Spam detection with reverse top-k search (paper Section 5.4).
+//
+// On a labeled web-host graph, run reverse top-5 queries from spam and
+// normal hosts and measure the label composition of the answer sets. The
+// paper reports (on Webspam-UK2006): spam queries see on average 96.1%
+// spam in their reverse set; normal queries see 97.4% normal. This example
+// reproduces the mechanism on a synthetic corpus with the same structure
+// (see workload/webspam.h for the substitution rationale).
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "workload/query_workload.h"
+#include "workload/webspam.h"
+
+int main() {
+  using namespace rtk;
+  Rng rng(20140901);
+  WebspamOptions corpus_opts;  // defaults: 4000 normal, 900 spam hosts
+  auto corpus = GenerateWebspam(corpus_opts, &rng);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<HostLabel> labels = corpus->labels;
+  const uint32_t num_spam = corpus->num_spam();
+  std::printf("corpus: %s (%u spam, %u normal)\n",
+              corpus->graph.ToString().c_str(), num_spam,
+              corpus->graph.num_nodes() - num_spam);
+
+  EngineOptions opts;
+  opts.capacity_k = 10;
+  opts.hub_selection.degree_budget_b = 50;
+  auto engine = ReverseTopkEngine::Build(std::move(corpus->graph), opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Sample queries of each class and aggregate reverse top-5 label ratios.
+  const uint32_t k = 5;
+  const int queries_per_class = 60;
+  double spam_query_spam_ratio = 0.0, normal_query_normal_ratio = 0.0;
+  int spam_queries = 0, normal_queries = 0;
+  const uint32_t n = (*engine)->graph().num_nodes();
+  Rng qrng(99);
+  while (spam_queries < queries_per_class ||
+         normal_queries < queries_per_class) {
+    const uint32_t q = static_cast<uint32_t>(qrng.Uniform(n));
+    const bool is_spam = labels[q] == HostLabel::kSpam;
+    if (is_spam && spam_queries >= queries_per_class) continue;
+    if (!is_spam && normal_queries >= queries_per_class) continue;
+    auto result = (*engine)->Query(q, k);
+    if (!result.ok() || result->empty()) continue;
+    int same = 0;
+    for (uint32_t u : *result) same += (labels[u] == labels[q]);
+    const double ratio = static_cast<double>(same) / result->size();
+    if (is_spam) {
+      spam_query_spam_ratio += ratio;
+      ++spam_queries;
+    } else {
+      normal_query_normal_ratio += ratio;
+      ++normal_queries;
+    }
+  }
+  spam_query_spam_ratio /= spam_queries;
+  normal_query_normal_ratio /= normal_queries;
+
+  std::printf("\nreverse top-%u label homophily (%d queries per class):\n", k,
+              queries_per_class);
+  std::printf("  spam   queries: %5.1f%% of reverse set is spam   "
+              "(paper: 96.1%%)\n",
+              100.0 * spam_query_spam_ratio);
+  std::printf("  normal queries: %5.1f%% of reverse set is normal "
+              "(paper: 97.4%%)\n",
+              100.0 * normal_query_normal_ratio);
+  std::printf(
+      "\nverdict rule: flag a suspicious host whose reverse top-k set is\n"
+      "dominated by known spam. High homophily on both classes makes the\n"
+      "reverse top-k set a strong spam signal, as the paper concludes.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "apps/popularity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/batch_query.h"
+
+namespace rtk {
+
+Result<std::vector<PopularityEntry>> ComputePopularityRanking(
+    const TransitionOperator& op, LowerBoundIndex* index,
+    const PopularityOptions& options, ThreadPool* pool) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("popularity: index must not be null");
+  }
+  if (options.k == 0 || options.k > index->capacity_k()) {
+    return Status::InvalidArgument("popularity: k outside [1, K]");
+  }
+  const Graph& graph = op.graph();
+
+  std::vector<uint32_t> queries = options.candidates;
+  if (queries.empty()) {
+    queries.resize(graph.num_nodes());
+    std::iota(queries.begin(), queries.end(), 0u);
+  } else {
+    for (uint32_t q : queries) {
+      if (q >= graph.num_nodes()) {
+        return Status::InvalidArgument("popularity: candidate out of range");
+      }
+    }
+  }
+
+  WorkloadOptions workload;
+  workload.query.k = options.k;
+  workload.query.update_index = false;
+  workload.query.pmpn = options.solver;
+  workload.num_threads = options.num_threads;
+  RTK_ASSIGN_OR_RETURN(WorkloadReport report,
+                       RunQueryWorkload(op, index, queries, workload, pool));
+
+  std::vector<PopularityEntry> ranking(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ranking[i].node = queries[i];
+    ranking[i].reverse_size =
+        static_cast<uint32_t>(report.per_query[i].results);
+    ranking[i].in_degree = graph.InDegree(queries[i]);
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const PopularityEntry& a, const PopularityEntry& b) {
+              if (a.reverse_size != b.reverse_size) {
+                return a.reverse_size > b.reverse_size;
+              }
+              return a.node < b.node;
+            });
+  return ranking;
+}
+
+}  // namespace rtk

@@ -1,0 +1,58 @@
+// Reverse-top-k popularity ranking (the paper's Table 3 application as a
+// reusable API).
+//
+// Section 5.4: "The size of a reverse top-k query can also be an
+// indicator of the popularity of the query node in the graph" — and a
+// stronger one than degree, because members of the reverse set may be
+// influenced indirectly. This module computes reverse top-k set sizes for
+// a node set (or every node), in parallel over a read-only index, and
+// returns the ranking; the coauthorship experiment then contrasts these
+// sizes with direct degree counts.
+
+#ifndef RTK_APPS_POPULARITY_H_
+#define RTK_APPS_POPULARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/online_query.h"
+#include "index/lower_bound_index.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief One node's popularity record.
+struct PopularityEntry {
+  uint32_t node = 0;
+  /// |reverse top-k set| of the node.
+  uint32_t reverse_size = 0;
+  /// The node's in-degree, the naive popularity proxy Table 3 contrasts.
+  uint32_t in_degree = 0;
+};
+
+/// \brief Options for ComputePopularityRanking().
+struct PopularityOptions {
+  uint32_t k = 5;  // Table 3 uses reverse top-5
+  /// Worker threads (queries run read-only against the shared index).
+  int num_threads = 1;
+  /// Only rank these nodes; empty = all nodes.
+  std::vector<uint32_t> candidates;
+  /// PMPN solver settings (alpha must match the index).
+  RwrOptions solver;
+};
+
+/// \brief Computes reverse top-k sizes for the candidate set and returns
+/// entries sorted by descending reverse_size (ties by ascending id) — the
+/// Table 3 ranking.
+///
+/// Queries run in no-update mode, so the index is not mutated and the
+/// computation parallelizes freely.
+Result<std::vector<PopularityEntry>> ComputePopularityRanking(
+    const TransitionOperator& op, LowerBoundIndex* index,
+    const PopularityOptions& options = {}, ThreadPool* pool = nullptr);
+
+}  // namespace rtk
+
+#endif  // RTK_APPS_POPULARITY_H_

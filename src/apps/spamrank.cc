@@ -1,0 +1,74 @@
+#include "apps/spamrank.h"
+
+#include <algorithm>
+
+#include "common/top_k.h"
+#include "rwr/pmpn.h"
+
+namespace rtk {
+
+Result<ContributionProfile> ComputeContributionProfile(
+    const TransitionOperator& op, uint32_t target,
+    const std::vector<HostLabel>& labels, const SpamRankOptions& options) {
+  if (target >= op.num_nodes()) {
+    return Status::InvalidArgument("spamrank: target out of range");
+  }
+  if (labels.size() != op.num_nodes()) {
+    return Status::InvalidArgument("spamrank: labels/graph size mismatch");
+  }
+
+  RTK_ASSIGN_OR_RETURN(std::vector<double> contributions,
+                       ComputeProximityToNode(op, target, options.solver));
+
+  ContributionProfile profile;
+  profile.target = target;
+  TopKSelector selector(options.top_supporters);
+  for (uint32_t u = 0; u < contributions.size(); ++u) {
+    if (u == target) continue;
+    profile.total_contribution += contributions[u];
+    if (labels[u] == HostLabel::kSpam) {
+      profile.spam_contribution += contributions[u];
+    }
+    if (contributions[u] > 0.0) selector.Offer(u, contributions[u]);
+  }
+  profile.spam_mass = profile.total_contribution > 0.0
+                          ? profile.spam_contribution /
+                                profile.total_contribution
+                          : 0.0;
+  profile.top_supporters = selector.TakeSortedDescending();
+  return profile;
+}
+
+Result<ReverseSpamRatio> ReverseTopkSpamRatio(
+    ReverseTopkEngine& engine, uint32_t q, uint32_t k,
+    const std::vector<HostLabel>& labels) {
+  if (labels.size() != engine.graph().num_nodes()) {
+    return Status::InvalidArgument("spamrank: labels/graph size mismatch");
+  }
+  RTK_ASSIGN_OR_RETURN(std::vector<uint32_t> result, engine.Query(q, k));
+  ReverseSpamRatio out;
+  out.set_size = static_cast<uint32_t>(result.size());
+  if (result.empty()) return out;
+  uint32_t spam = 0;
+  for (uint32_t u : result) spam += (labels[u] == HostLabel::kSpam) ? 1 : 0;
+  out.ratio = static_cast<double>(spam) / static_cast<double>(result.size());
+  return out;
+}
+
+ClassificationReport ClassifyByThreshold(const std::vector<double>& scores,
+                                         const std::vector<HostLabel>& labels,
+                                         double threshold) {
+  ClassificationReport report;
+  const size_t n = std::min(scores.size(), labels.size());
+  for (size_t i = 0; i < n; ++i) {
+    const bool flagged = scores[i] >= threshold;
+    const bool spam = labels[i] == HostLabel::kSpam;
+    if (flagged && spam) ++report.true_positives;
+    if (flagged && !spam) ++report.false_positives;
+    if (!flagged && !spam) ++report.true_negatives;
+    if (!flagged && spam) ++report.false_negatives;
+  }
+  return report;
+}
+
+}  // namespace rtk

@@ -1,0 +1,104 @@
+// SpamRank-style spam scoring built on the paper's machinery.
+//
+// The introduction motivates reverse top-k with spam detection: "the
+// proximity from web page u to v can be interpreted as the PageRank
+// contribution that u makes to v", and Section 4.2.1 notes that PMPN
+// "could be used as a module in SpamRank [6] to find PageRank
+// contributions that all nodes make to a given web page q precisely and
+// efficiently". This module is that application, both ways:
+//
+//  * ContributionProfile — the exact contribution vector to q via PMPN,
+//    summarized as the *spam mass*: the fraction of q's aggregated
+//    contribution supplied by labeled-spam supporters (Gyongyi et al.'s
+//    spam-mass idea on exact contributions).
+//  * ReverseTopkSpamRatio — the paper's own Section 5.4 detector: the
+//    fraction of q's reverse top-k set that is labeled spam.
+//
+// Both scores feed ClassifyByThreshold for a simple labeled evaluation.
+
+#ifndef RTK_APPS_SPAMRANK_H_
+#define RTK_APPS_SPAMRANK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "rwr/transition.h"
+#include "workload/webspam.h"
+
+namespace rtk {
+
+/// \brief Exact contribution profile of one target node.
+struct ContributionProfile {
+  uint32_t target = 0;
+  /// Sum over u of p_u(q): q's aggregated contribution (n * PageRank(q),
+  /// by Eq. 3).
+  double total_contribution = 0.0;
+  /// Portion of total_contribution from nodes labeled spam (target
+  /// excluded from both sums; its self-contribution says nothing about
+  /// its supporters).
+  double spam_contribution = 0.0;
+  /// spam_contribution / total_contribution (0 when the total is 0).
+  double spam_mass = 0.0;
+  /// The `top_supporters` largest contributors, descending.
+  std::vector<std::pair<uint32_t, double>> top_supporters;
+};
+
+/// \brief Options for ComputeContributionProfile().
+struct SpamRankOptions {
+  /// PMPN solver settings.
+  RwrOptions solver;
+  /// How many top supporters to report.
+  uint32_t top_supporters = 10;
+};
+
+/// \brief Computes the exact contribution profile of `target` (one PMPN
+/// solve; O(m) per iteration).
+///
+/// Errors: InvalidArgument for a bad target or labels size mismatch.
+Result<ContributionProfile> ComputeContributionProfile(
+    const TransitionOperator& op, uint32_t target,
+    const std::vector<HostLabel>& labels, const SpamRankOptions& options = {});
+
+/// \brief The Section 5.4 statistic: the fraction of q's reverse top-k set
+/// labeled spam. Returns 0 for an empty result set (`set_size` reports it).
+struct ReverseSpamRatio {
+  double ratio = 0.0;
+  uint32_t set_size = 0;
+};
+Result<ReverseSpamRatio> ReverseTopkSpamRatio(
+    ReverseTopkEngine& engine, uint32_t q, uint32_t k,
+    const std::vector<HostLabel>& labels);
+
+/// \brief Confusion counts of a threshold classifier over scored hosts.
+struct ClassificationReport {
+  uint32_t true_positives = 0;   // spam flagged spam
+  uint32_t false_positives = 0;  // normal flagged spam
+  uint32_t true_negatives = 0;
+  uint32_t false_negatives = 0;
+
+  double Precision() const {
+    const uint32_t flagged = true_positives + false_positives;
+    return flagged == 0 ? 0.0 : static_cast<double>(true_positives) / flagged;
+  }
+  double Recall() const {
+    const uint32_t spam = true_positives + false_negatives;
+    return spam == 0 ? 0.0 : static_cast<double>(true_positives) / spam;
+  }
+  double F1() const {
+    const double p = Precision(), r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// \brief Flags host i as spam when scores[i] >= threshold and tallies the
+/// confusion counts against the labels. Scores and labels must align.
+ClassificationReport ClassifyByThreshold(const std::vector<double>& scores,
+                                         const std::vector<HostLabel>& labels,
+                                         double threshold);
+
+}  // namespace rtk
+
+#endif  // RTK_APPS_SPAMRANK_H_

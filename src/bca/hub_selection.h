@@ -1,0 +1,57 @@
+// Hub selection strategies (paper Section 4.1.1).
+//
+// Hubs are nodes whose exact proximity vectors are precomputed so that BCA
+// can absorb ink arriving at them instead of propagating it. The paper
+// argues high-degree nodes make good hubs and selects the union of the
+// top-B in-degree and top-B out-degree nodes; Berkhin's original greedy
+// scheme and a uniform-random baseline are implemented for the ablation
+// bench.
+
+#ifndef RTK_BCA_HUB_SELECTION_H_
+#define RTK_BCA_HUB_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace rtk {
+
+/// \brief How to pick the hub set H.
+enum class HubSelectionStrategy {
+  /// Paper Section 4.1.1: H = top-B by in-degree UNION top-B by out-degree.
+  /// |H| <= 2B (overlap shrinks it). Cheap and graph-size independent.
+  kDegree,
+  /// Berkhin [7]: repeatedly run (hub-aware) BCA from a random start and
+  /// promote the non-start node with the most retained ink. Expensive; the
+  /// baseline the paper improves upon.
+  kGreedyBca,
+  /// Uniform random nodes; ablation floor.
+  kRandom,
+};
+
+/// \brief Options for SelectHubs().
+struct HubSelectionOptions {
+  HubSelectionStrategy strategy = HubSelectionStrategy::kDegree;
+  /// kDegree: B nodes per degree direction.
+  uint32_t degree_budget_b = 100;
+  /// kGreedyBca / kRandom: target |H|.
+  uint32_t num_hubs = 200;
+  /// kGreedyBca / kRandom: RNG seed.
+  uint64_t seed = 42;
+  /// kGreedyBca: restart probability and propagation threshold of the probe
+  /// BCA runs.
+  double alpha = 0.15;
+  double eta = 1e-4;
+  /// kGreedyBca: iteration cap per probe run.
+  int max_probe_iterations = 30;
+};
+
+/// \brief Selects hubs; the returned ids are sorted ascending and unique.
+Result<std::vector<uint32_t>> SelectHubs(const Graph& graph,
+                                         const HubSelectionOptions& options);
+
+}  // namespace rtk
+
+#endif  // RTK_BCA_HUB_SELECTION_H_

@@ -1,0 +1,32 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace rtk {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+double BenchScale() { return EnvDouble("RTK_BENCH_SCALE", 1.0); }
+
+}  // namespace rtk

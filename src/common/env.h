@@ -1,0 +1,30 @@
+// Environment-variable helpers used by benches to scale workloads.
+
+#ifndef RTK_COMMON_ENV_H_
+#define RTK_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rtk {
+
+/// \brief Reads an integer environment variable, returning `fallback` when
+/// unset or unparsable.
+int64_t EnvInt64(const char* name, int64_t fallback);
+
+/// \brief Reads a double environment variable, returning `fallback` when
+/// unset or unparsable.
+double EnvDouble(const char* name, double fallback);
+
+/// \brief Reads a string environment variable, returning `fallback` when
+/// unset.
+std::string EnvString(const char* name, const std::string& fallback);
+
+/// \brief Bench scale factor from RTK_BENCH_SCALE (default 1.0). Benches
+/// multiply their default graph sizes by this, so `RTK_BENCH_SCALE=10`
+/// approaches paper-scale runs on bigger machines.
+double BenchScale();
+
+}  // namespace rtk
+
+#endif  // RTK_COMMON_ENV_H_

@@ -1,0 +1,42 @@
+// Minimal leveled logging for the library and tools.
+//
+// The library itself logs nothing by default (quiet level); benches and
+// examples raise the level. Not a general-purpose logger: single-process,
+// stderr only, printf-style.
+
+#ifndef RTK_COMMON_LOGGING_H_
+#define RTK_COMMON_LOGGING_H_
+
+#include <cstdio>
+
+namespace rtk {
+
+enum class LogLevel : int { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+/// \brief Process-wide log level; defaults to kQuiet.
+LogLevel& GlobalLogLevel();
+
+inline LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kQuiet;
+  return level;
+}
+
+}  // namespace rtk
+
+#define RTK_LOG_INFO(...)                                        \
+  do {                                                           \
+    if (::rtk::GlobalLogLevel() >= ::rtk::LogLevel::kInfo) {     \
+      std::fprintf(stderr, "[rtk] " __VA_ARGS__);                \
+      std::fprintf(stderr, "\n");                                \
+    }                                                            \
+  } while (0)
+
+#define RTK_LOG_DEBUG(...)                                       \
+  do {                                                           \
+    if (::rtk::GlobalLogLevel() >= ::rtk::LogLevel::kDebug) {    \
+      std::fprintf(stderr, "[rtk:debug] " __VA_ARGS__);          \
+      std::fprintf(stderr, "\n");                                \
+    }                                                            \
+  } while (0)
+
+#endif  // RTK_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+// Result<T>: value-or-Status, the library's StatusOr equivalent.
+
+#ifndef RTK_COMMON_RESULT_H_
+#define RTK_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rtk {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Construction from T yields an OK result; construction from a non-OK
+/// Status yields an error result. Constructing from an OK Status is a
+/// programming error (asserted in debug builds, coerced to Internal in
+/// release builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding a copy/move of the value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// \brief True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// \name Value access. Only valid when ok().
+  /// @{
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  /// @}
+
+  /// \brief Returns the value or a fallback when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace rtk
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// status on error. `lhs` may include a declaration, e.g.
+/// RTK_ASSIGN_OR_RETURN(auto g, LoadGraph(path));
+#define RTK_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  RTK_ASSIGN_OR_RETURN_IMPL_(                     \
+      RTK_RESULT_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define RTK_RESULT_CONCAT_INNER_(x, y) x##y
+#define RTK_RESULT_CONCAT_(x, y) RTK_RESULT_CONCAT_INNER_(x, y)
+
+#define RTK_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#endif  // RTK_COMMON_RESULT_H_

@@ -1,0 +1,170 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (graph generators, Monte-Carlo estimators,
+// workload samplers) flows through Rng so that results are reproducible for
+// a fixed seed across platforms. The core generator is xoshiro256++ seeded
+// via SplitMix64, both public-domain algorithms by Blackman & Vigna.
+
+#ifndef RTK_COMMON_RNG_H_
+#define RTK_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rtk {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256++) with convenience
+/// distributions. Not cryptographically secure; not thread-safe.
+class Rng {
+ public:
+  /// Constructs a generator whose full 256-bit state is derived from `seed`
+  /// with SplitMix64, so nearby seeds give uncorrelated streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    uint64_t x = seed;
+    for (auto& s : state_) s = SplitMix64(&x);
+  }
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// \brief Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// \brief Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// \brief Geometric-like: number of failures before first success,
+  /// success probability p in (0, 1].
+  uint64_t Geometric(double p) {
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    double u = NextDouble();
+    // Avoid log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  }
+
+  /// \brief Zipf-distributed integer in [0, n) with exponent s >= 0, via
+  /// inverse-CDF on a precomputed table-free approximation (rejection
+  /// sampling, Devroye). Suitable for workload generation, not for
+  /// statistical work.
+  uint64_t Zipf(uint64_t n, double s) {
+    assert(n > 0);
+    if (n == 1) return 0;
+    // Rejection method for Zipf (Devroye, Non-Uniform Random Variate
+    // Generation, ch. X.6).
+    const double b = std::pow(2.0, s - 1.0);
+    for (;;) {
+      const double u = NextDouble();
+      const double v = NextDouble();
+      const double x = std::floor(std::pow(u, -1.0 / std::max(s, 1e-9)));
+      if (x < 1.0 || x > static_cast<double>(n)) continue;
+      const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+      if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+        return static_cast<uint64_t>(x) - 1;
+      }
+    }
+  }
+
+  /// \brief Samples `count` distinct integers from [0, n) (count <= n),
+  /// returned in unspecified order. O(count) expected when count << n,
+  /// falls back to partial Fisher-Yates otherwise.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t count);
+
+  /// \brief Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+inline std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n,
+                                                           uint64_t count) {
+  assert(count <= n);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (count * 3 < n) {
+    // Hash-set-free rejection via sort-and-retry would be O(count log count);
+    // for simplicity use Floyd's algorithm with a sorted vector membership.
+    std::vector<uint64_t> chosen;
+    chosen.reserve(count);
+    for (uint64_t j = n - count; j < n; ++j) {
+      uint64_t t = Uniform(j + 1);
+      bool seen = false;
+      for (uint64_t c : chosen) {
+        if (c == t) {
+          seen = true;
+          break;
+        }
+      }
+      chosen.push_back(seen ? j : t);
+    }
+    return chosen;
+  }
+  // Dense case: partial Fisher-Yates over [0, n).
+  std::vector<uint64_t> all(n);
+  for (uint64_t i = 0; i < n; ++i) all[i] = i;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::swap(all[i], all[i + Uniform(n - i)]);
+  }
+  all.resize(count);
+  return all;
+}
+
+}  // namespace rtk
+
+#endif  // RTK_COMMON_RNG_H_

@@ -1,0 +1,45 @@
+// Wall-clock timing utilities for benches and query statistics.
+
+#ifndef RTK_COMMON_STOPWATCH_H_
+#define RTK_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace rtk {
+
+/// \brief Monotonic wall-clock stopwatch, running from construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed microseconds since construction or last Reset().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Formats a byte count as "12.3 KiB" / "4.5 MiB" etc.
+std::string HumanBytes(uint64_t bytes);
+
+/// \brief Formats a duration in seconds as "123 us" / "45.6 ms" / "7.89 s".
+std::string HumanSeconds(double seconds);
+
+}  // namespace rtk
+
+#endif  // RTK_COMMON_STOPWATCH_H_

@@ -1,0 +1,66 @@
+// Fixed-size thread pool with a ParallelFor helper.
+//
+// The paper parallelizes index construction across 100 cluster cores by
+// noting that per-node BCA runs are independent. We provide the same
+// parallelism on a single machine. The pool is deliberately simple: a
+// blocking task queue plus a join-all ParallelFor used by the index builder
+// and the brute-force baselines.
+
+#ifndef RTK_COMMON_THREAD_POOL_H_
+#define RTK_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rtk {
+
+/// \brief A fixed-size worker pool. Tasks are void() closures; exceptions
+/// must not escape tasks (the library does not use exceptions).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1; values < 1 coerced).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished.
+  void Wait();
+
+  /// \brief Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// \brief Default pool size: the hardware concurrency, at least 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t inflight_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+};
+
+/// \brief Runs body(i) for i in [begin, end) on `pool`, splitting the range
+/// into contiguous chunks (one per worker by default). Blocks until all
+/// iterations complete. If pool is null or has 1 thread, runs inline.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body);
+
+}  // namespace rtk
+
+#endif  // RTK_COMMON_THREAD_POOL_H_

@@ -1,0 +1,92 @@
+// Bounded top-k selection helpers.
+
+#ifndef RTK_COMMON_TOP_K_H_
+#define RTK_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace rtk {
+
+/// \brief Keeps the k largest (value, id) pairs seen so far using a min-heap.
+/// Ties are broken toward smaller node ids for deterministic output.
+class TopKSelector {
+ public:
+  explicit TopKSelector(size_t k) : k_(k) {}
+
+  /// \brief Offers a candidate; kept only if it ranks within the top k.
+  void Offer(uint32_t id, double value) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.emplace(value, id);
+      return;
+    }
+    // Replace the current minimum if strictly better (larger value, or equal
+    // value with smaller id so output is deterministic).
+    const auto& min = heap_.top();
+    if (value > min.first || (value == min.first && id < min.second)) {
+      heap_.pop();
+      heap_.emplace(value, id);
+    }
+  }
+
+  /// \brief Number of entries currently held (<= k).
+  size_t size() const { return heap_.size(); }
+
+  /// \brief Smallest value currently in the top-k (the k-th largest so far).
+  /// Only meaningful when size() > 0.
+  double Threshold() const { return heap_.empty() ? 0.0 : heap_.top().first; }
+
+  /// \brief Extracts results sorted by descending value (ascending id on
+  /// ties). Leaves the selector empty.
+  std::vector<std::pair<uint32_t, double>> TakeSortedDescending() {
+    std::vector<std::pair<uint32_t, double>> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.emplace_back(heap_.top().second, heap_.top().first);
+      heap_.pop();
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    return out;
+  }
+
+ private:
+  struct MinOrder {
+    // Min-heap on value; on equal values the *larger* id is "smaller" in the
+    // heap so it is evicted first.
+    bool operator()(const std::pair<double, uint32_t>& a,
+                    const std::pair<double, uint32_t>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+  size_t k_;
+  std::priority_queue<std::pair<double, uint32_t>,
+                      std::vector<std::pair<double, uint32_t>>, MinOrder>
+      heap_;
+};
+
+/// \brief Returns the k largest values of `values` in descending order
+/// (k may exceed the size; then all values are returned sorted).
+std::vector<double> TopKValuesDescending(const std::vector<double>& values,
+                                         size_t k);
+
+inline std::vector<double> TopKValuesDescending(
+    const std::vector<double>& values, size_t k) {
+  std::vector<double> v = values;
+  k = std::min(k, v.size());
+  std::partial_sort(v.begin(), v.begin() + k, v.end(),
+                    [](double a, double b) { return a > b; });
+  v.resize(k);
+  return v;
+}
+
+}  // namespace rtk
+
+#endif  // RTK_COMMON_TOP_K_H_

@@ -1,0 +1,77 @@
+#include "core/batch_query.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/stopwatch.h"
+
+namespace rtk {
+
+Result<WorkloadReport> RunQueryWorkload(const TransitionOperator& op,
+                                        LowerBoundIndex* index,
+                                        const std::vector<uint32_t>& queries,
+                                        const WorkloadOptions& options,
+                                        ThreadPool* pool) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("workload: index must not be null");
+  }
+  WorkloadReport report;
+  report.per_query.resize(queries.size());
+  if (options.keep_results) report.results.resize(queries.size());
+  Stopwatch wall;
+
+  const bool parallel = !options.query.update_index &&
+                        options.num_threads > 1 && pool != nullptr &&
+                        queries.size() > 1;
+  if (!parallel) {
+    ReverseTopkSearcher searcher(op, index);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryStats stats;
+      RTK_ASSIGN_OR_RETURN(std::vector<uint32_t> result,
+                           searcher.Query(queries[i], options.query, &stats));
+      report.per_query[i] = stats;
+      if (options.keep_results) report.results[i] = std::move(result);
+    }
+  } else {
+    // Read-only mode: per-worker searchers over the shared index. Queries
+    // never mutate it (update_index is false), so no synchronization
+    // beyond the failure latch is needed.
+    std::atomic<size_t> next{0};
+    std::mutex error_mutex;
+    Status first_error = Status::OK();
+    const int workers =
+        std::min<int>(options.num_threads, pool->num_threads());
+    for (int w = 0; w < workers; ++w) {
+      pool->Submit([&]() {
+        ReverseTopkSearcher searcher(op, index);
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= queries.size()) break;
+          QueryStats stats;
+          auto result = searcher.Query(queries[i], options.query, &stats);
+          if (!result.ok()) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (first_error.ok()) first_error = result.status();
+            break;
+          }
+          report.per_query[i] = stats;
+          if (options.keep_results) report.results[i] = std::move(*result);
+        }
+      });
+    }
+    pool->Wait();
+    if (!first_error.ok()) return first_error;
+  }
+
+  report.wall_seconds = wall.ElapsedSeconds();
+  for (const QueryStats& stats : report.per_query) {
+    report.total_candidates += stats.candidates;
+    report.total_hits += stats.hits;
+    report.total_results += stats.results;
+    report.total_refine_iterations += stats.refine_iterations;
+  }
+  return report;
+}
+
+}  // namespace rtk

@@ -1,0 +1,78 @@
+// Batch execution of reverse top-k workloads.
+//
+// The evaluation section runs 500-query workloads (Figures 5-8); this
+// module is the harness-side runner. Two modes:
+//
+//  * sequential, update-enabled — the paper's "update" series: each query
+//    may refine the index, later queries benefit (Section 4.2.3). Index
+//    mutation forces serial execution.
+//  * parallel, read-only — the "no-update" series across worker threads,
+//    each with its own searcher over the shared immutable index. Queries
+//    are embarrassingly parallel exactly like index construction.
+//
+// Either mode aggregates the per-query counters the figures plot.
+
+#ifndef RTK_CORE_BATCH_QUERY_H_
+#define RTK_CORE_BATCH_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/online_query.h"
+#include "index/lower_bound_index.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Options for RunQueryWorkload().
+struct WorkloadOptions {
+  /// Per-query options. update_index=true forces sequential execution.
+  QueryOptions query;
+  /// Worker threads for the read-only mode (<= 1, or update_index set:
+  /// run sequentially on the caller's thread).
+  int num_threads = 1;
+  /// Keep each query's result node list (off: stats only, saves memory on
+  /// large workloads).
+  bool keep_results = false;
+};
+
+/// \brief Aggregated outcome of a workload run.
+struct WorkloadReport {
+  /// Per-query statistics, aligned with the input query order.
+  std::vector<QueryStats> per_query;
+  /// Result lists (empty unless keep_results).
+  std::vector<std::vector<uint32_t>> results;
+  /// Sums over the workload.
+  uint64_t total_candidates = 0;
+  uint64_t total_hits = 0;
+  uint64_t total_results = 0;
+  uint64_t total_refine_iterations = 0;
+  /// Wall-clock of the whole run (not the sum of per-query times when
+  /// parallel).
+  double wall_seconds = 0.0;
+
+  double MeanQuerySeconds() const {
+    if (per_query.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& q : per_query) s += q.total_seconds;
+    return s / static_cast<double>(per_query.size());
+  }
+};
+
+/// \brief Runs `queries` against the index with the configured
+/// parallelism. The pool is only used when the mode allows parallel
+/// execution (no-update); pass nullptr to always run serially.
+///
+/// Errors: the first failing query's status (the run stops early on error
+/// in sequential mode; parallel mode finishes in-flight work first).
+Result<WorkloadReport> RunQueryWorkload(const TransitionOperator& op,
+                                        LowerBoundIndex* index,
+                                        const std::vector<uint32_t>& queries,
+                                        const WorkloadOptions& options = {},
+                                        ThreadPool* pool = nullptr);
+
+}  // namespace rtk
+
+#endif  // RTK_CORE_BATCH_QUERY_H_

@@ -1,0 +1,105 @@
+// Brute-force baselines (paper Section 3 and Figure 8).
+//
+//  * BruteForceReverseTopk: per-query naive evaluation — compute every
+//    column p_u exactly and test q's rank. Ground truth in tests.
+//  * IbfOracle ("infeasible brute force"): precompute the entire exact P,
+//    keep per-column sorted top-K values; queries are O(n) row scans. The
+//    O(n^2) memory is exactly why the paper calls it infeasible at scale.
+//  * FbfOracle ("feasible brute force"): precompute only the exact top-K
+//    values per column (discarding vectors); a query runs PMPN and compares
+//    against the stored exact thresholds.
+
+#ifndef RTK_CORE_BRUTE_FORCE_H_
+#define RTK_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "rwr/dense_solver.h"
+#include "rwr/pmpn.h"
+#include "rwr/power_method.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Naive per-query evaluation: n power-method solves. Returns the
+/// sorted result list. `pool` parallelizes over columns when provided.
+Result<std::vector<uint32_t>> BruteForceReverseTopk(
+    const TransitionOperator& op, uint32_t q, uint32_t k,
+    const RwrOptions& options = {}, ThreadPool* pool = nullptr);
+
+/// \brief Options shared by the precomputing baselines.
+struct BaselineOptions {
+  uint32_t capacity_k = 200;
+  RwrOptions rwr;
+  /// IBF materializes n*n doubles; refuse beyond this many nodes.
+  uint32_t ibf_max_nodes = 20000;
+  /// Tie tolerance for FBF, whose query-side PMPN values meet thresholds
+  /// computed by a different solver (same role as
+  /// QueryOptions::tie_epsilon; see that field's comment). IBF and the
+  /// naive BF compare values from one solve and need none.
+  double tie_epsilon = 1e-9;
+};
+
+/// \brief IBF: full exact P in memory + per-column exact top-K values.
+class IbfOracle {
+ public:
+  static Result<IbfOracle> Build(const TransitionOperator& op,
+                                 const BaselineOptions& options = {},
+                                 ThreadPool* pool = nullptr);
+
+  /// \brief O(n + answer) row scan; k <= capacity_k.
+  Result<std::vector<uint32_t>> Query(uint32_t q, uint32_t k) const;
+
+  /// \brief Exact proximity from u to v (full matrix is held).
+  double Proximity(uint32_t u, uint32_t v) const {
+    return matrix_[static_cast<size_t>(v) * n_ + u];
+  }
+
+  double build_seconds() const { return build_seconds_; }
+  uint64_t MemoryBytes() const {
+    return matrix_.size() * sizeof(double) + topk_.size() * sizeof(double);
+  }
+
+ private:
+  IbfOracle() = default;
+  uint32_t n_ = 0;
+  uint32_t capacity_k_ = 0;
+  // matrix_[u * n + i] = p_u(i): column-major in paper terms (column u
+  // contiguous) so per-column top-K extraction is cache friendly.
+  std::vector<double> matrix_;
+  std::vector<double> topk_;  // n * K exact thresholds, descending per node
+  double build_seconds_ = 0.0;
+};
+
+/// \brief FBF: per-column exact top-K values only; queries pay one PMPN.
+class FbfOracle {
+ public:
+  static Result<FbfOracle> Build(const TransitionOperator& op,
+                                 const BaselineOptions& options = {},
+                                 ThreadPool* pool = nullptr);
+
+  /// \brief PMPN + compare; k <= capacity_k.
+  Result<std::vector<uint32_t>> Query(uint32_t q, uint32_t k,
+                                      double* query_seconds = nullptr) const;
+
+  double build_seconds() const { return build_seconds_; }
+  uint64_t MemoryBytes() const { return topk_.size() * sizeof(double); }
+
+ private:
+  FbfOracle() = default;
+  const TransitionOperator* op_ = nullptr;
+  uint32_t n_ = 0;
+  uint32_t capacity_k_ = 0;
+  RwrOptions rwr_;
+  double tie_epsilon_ = 1e-9;
+  std::vector<double> topk_;  // n * K exact thresholds, descending per node
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,70 @@
+#include "core/engine.h"
+
+#include "index/index_io.h"
+
+namespace rtk {
+
+ReverseTopkEngine::ReverseTopkEngine(Graph graph, const EngineOptions& options)
+    : graph_(std::move(graph)), options_(options) {
+  op_ = std::make_unique<TransitionOperator>(graph_);
+  const int threads = options_.num_threads > 0 ? options_.num_threads
+                                               : ThreadPool::DefaultThreads();
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Result<std::unique_ptr<ReverseTopkEngine>> ReverseTopkEngine::Build(
+    Graph graph, const EngineOptions& options) {
+  std::unique_ptr<ReverseTopkEngine> engine(
+      new ReverseTopkEngine(std::move(graph), options));
+
+  HubSelectionOptions hub_opts = options.hub_selection;
+  hub_opts.alpha = options.bca.alpha;
+  RTK_ASSIGN_OR_RETURN(std::vector<uint32_t> hubs,
+                       SelectHubs(engine->graph_, hub_opts));
+
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = options.capacity_k;
+  build_opts.bca = options.bca;
+  build_opts.hub_store.rwr = options.solver;
+  build_opts.hub_store.rwr.alpha = options.bca.alpha;
+  build_opts.hub_store.rounding_omega = options.rounding_omega;
+  RTK_ASSIGN_OR_RETURN(
+      LowerBoundIndex index,
+      BuildLowerBoundIndex(*engine->op_, hubs, build_opts,
+                           engine->pool_.get(), &engine->build_report_));
+  engine->index_ = std::make_unique<LowerBoundIndex>(std::move(index));
+  engine->searcher_ = std::make_unique<ReverseTopkSearcher>(
+      *engine->op_, engine->index_.get());
+  return engine;
+}
+
+Result<std::unique_ptr<ReverseTopkEngine>> ReverseTopkEngine::LoadFromFile(
+    Graph graph, const std::string& index_path, const EngineOptions& options) {
+  std::unique_ptr<ReverseTopkEngine> engine(
+      new ReverseTopkEngine(std::move(graph), options));
+  RTK_ASSIGN_OR_RETURN(LowerBoundIndex index,
+                       LoadIndex(index_path, engine->graph_.num_nodes()));
+  engine->index_ = std::make_unique<LowerBoundIndex>(std::move(index));
+  engine->searcher_ = std::make_unique<ReverseTopkSearcher>(
+      *engine->op_, engine->index_.get());
+  return engine;
+}
+
+Status ReverseTopkEngine::SaveIndex(const std::string& path) const {
+  return rtk::SaveIndex(*index_, path);
+}
+
+Result<std::vector<uint32_t>> ReverseTopkEngine::Query(uint32_t q, uint32_t k,
+                                                       QueryStats* stats) {
+  QueryOptions query_opts;
+  query_opts.k = k;
+  query_opts.pmpn = options_.solver;
+  return searcher_->Query(q, query_opts, stats);
+}
+
+Result<std::vector<uint32_t>> ReverseTopkEngine::QueryWithOptions(
+    uint32_t q, const QueryOptions& options, QueryStats* stats) {
+  return searcher_->Query(q, options, stats);
+}
+
+}  // namespace rtk

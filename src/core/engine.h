@@ -1,0 +1,105 @@
+// ReverseTopkEngine: the library's public facade.
+//
+// Wraps graph + transition operator + hub selection + index construction +
+// online query behind one object, so a downstream user writes:
+//
+//   rtk::Graph graph = ...;                       // load or generate
+//   auto engine = rtk::ReverseTopkEngine::Build(std::move(graph), {});
+//   auto result = (*engine)->Query(q, k);         // reverse top-k of q
+//
+// Power users can drive the underlying modules (index_builder.h,
+// online_query.h, ...) directly; the engine adds no policy beyond wiring
+// consistent options through the stack.
+
+#ifndef RTK_CORE_ENGINE_H_
+#define RTK_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bca/hub_selection.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/online_query.h"
+#include "graph/graph.h"
+#include "index/index_builder.h"
+#include "index/lower_bound_index.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Top-level configuration (defaults are the paper's Section 5.2).
+struct EngineOptions {
+  /// K: largest k a query may use.
+  uint32_t capacity_k = 200;
+  /// BCA: restart alpha, propagation eta, residue delta.
+  BcaOptions bca;
+  /// How hubs are chosen (degree strategy with B=100 by default).
+  HubSelectionOptions hub_selection;
+  /// Hub-vector rounding threshold omega (Section 4.1.3).
+  double rounding_omega = 1e-6;
+  /// Iterative-solver settings for hub solves and PMPN (alpha is taken
+  /// from `bca.alpha`; epsilon defaults to 1e-10).
+  RwrOptions solver;
+  /// Worker threads for index construction; 0 = hardware concurrency,
+  /// 1 = fully serial.
+  int num_threads = 0;
+};
+
+/// \brief Owning facade over graph, index and query machinery.
+///
+/// Query() is not thread-safe (it may refine the index in place); guard
+/// with a mutex or set update_index=false and clone searchers externally
+/// for concurrent read-only querying.
+class ReverseTopkEngine {
+ public:
+  /// \brief Selects hubs, builds the index, and readies the searcher.
+  static Result<std::unique_ptr<ReverseTopkEngine>> Build(
+      Graph graph, const EngineOptions& options = {});
+
+  /// \brief Loads a previously saved index instead of building (hub set and
+  /// BCA options come from the file).
+  static Result<std::unique_ptr<ReverseTopkEngine>> LoadFromFile(
+      Graph graph, const std::string& index_path,
+      const EngineOptions& options = {});
+
+  /// \brief Persists the current (possibly query-refined) index.
+  Status SaveIndex(const std::string& path) const;
+
+  /// \brief Reverse top-k query with default per-query options
+  /// (update_index = true).
+  Result<std::vector<uint32_t>> Query(uint32_t q, uint32_t k,
+                                      QueryStats* stats = nullptr);
+
+  /// \brief Reverse top-k query with full per-query control.
+  Result<std::vector<uint32_t>> QueryWithOptions(uint32_t q,
+                                                 const QueryOptions& options,
+                                                 QueryStats* stats = nullptr);
+
+  const Graph& graph() const { return graph_; }
+  const LowerBoundIndex& index() const { return *index_; }
+  const TransitionOperator& transition() const { return *op_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// \brief Build timing (zeroed when the index was loaded from disk).
+  const IndexBuildReport& build_report() const { return build_report_; }
+
+  /// \brief Current index sizes.
+  IndexStats index_stats() const { return index_->ComputeStats(); }
+
+ private:
+  explicit ReverseTopkEngine(Graph graph, const EngineOptions& options);
+
+  Graph graph_;
+  EngineOptions options_;
+  std::unique_ptr<TransitionOperator> op_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<LowerBoundIndex> index_;
+  std::unique_ptr<ReverseTopkSearcher> searcher_;
+  IndexBuildReport build_report_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_CORE_ENGINE_H_

@@ -1,0 +1,113 @@
+// OQ — the online reverse top-k query algorithm (paper Algorithm 4).
+//
+// Query evaluation for node q with parameter k <= K:
+//   1. Compute the exact proximities p_{q,*} from all nodes to q via PMPN.
+//   2. For each u: prune when p_u(q) < lb_u(k) (index lower bound);
+//      confirm when |r_u| = 0 (bound is exact) or p_u(q) >= ub_u (Alg. 3).
+//   3. Otherwise refine u's BCA state one iteration at a time, re-testing
+//      both bounds, until u is pruned or confirmed.
+//   4. Optionally write refined states back into the index so future
+//      queries start from tighter bounds (Section 4.2.3).
+
+#ifndef RTK_CORE_ONLINE_QUERY_H_
+#define RTK_CORE_ONLINE_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "index/lower_bound_index.h"
+#include "rwr/pmpn.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Per-query options.
+struct QueryOptions {
+  /// Number of top slots q must occupy; 1 <= k <= index.capacity_k().
+  uint32_t k = 10;
+  /// Write refined BCA states back into the index ("update" mode of the
+  /// evaluation; makes future queries faster).
+  bool update_index = true;
+  /// Section 5.3's approximate variant: return only lower-bound survivors
+  /// confirmed by the *initial* upper bound ("hits"), skipping refinement.
+  bool approximate_hits_only = false;
+  /// PMPN solver settings (alpha must match the index).
+  RwrOptions pmpn;
+  /// Refinement push strategy; batch is the paper's choice.
+  PushStrategy refine_strategy = PushStrategy::kBatch;
+  /// Safety valve: nodes still undecided after this many refinement
+  /// iterations are resolved exactly by a power-method solve.
+  int max_refine_iterations_per_node = 10000;
+  /// Stall cut-over: once no node holds residue >= eta, each forced
+  /// single-max push removes only ~alpha*eta of mass — for a candidate
+  /// whose margin is a near-tie that decay can take 10^5+ iterations. After
+  /// this many consecutive stalled iterations the node is resolved exactly
+  /// by one power-method solve instead (and, in update mode, its exact
+  /// top-K is installed in the index, making it free forever after).
+  int max_stalled_refinements = 64;
+  /// Tie tolerance. Problem 1 uses ">=", and exact ties are common (a
+  /// node's own maximum, symmetric structures). The query-side proximities
+  /// come from PMPN while the bounds come from BCA/power-method solves, so
+  /// a mathematical tie arrives with ~solver-epsilon noise; margins within
+  /// this tolerance are treated as ties and included, exactly like the
+  /// brute force's ">=" does. Must exceed the solvers' epsilon/alpha error.
+  double tie_epsilon = 1e-9;
+};
+
+/// \brief Counters filled in by Query (Figures 5-7 inputs).
+struct QueryStats {
+  uint32_t query = 0;
+  uint32_t k = 0;
+  /// Nodes not pruned by the stored lower bound (paper's "cand").
+  uint64_t candidates = 0;
+  /// Candidates confirmed immediately: exact bound or first upper bound
+  /// (paper's "hits").
+  uint64_t hits = 0;
+  /// Final result size.
+  uint64_t results = 0;
+  /// Candidates that required refinement iterations.
+  uint64_t refined_nodes = 0;
+  uint64_t refine_iterations = 0;
+  /// Nodes resolved by the exact-solve safety valve (0 in practice).
+  uint64_t exact_fallbacks = 0;
+  int pmpn_iterations = 0;
+  double pmpn_seconds = 0.0;
+  double scan_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// \brief Executes reverse top-k queries against a LowerBoundIndex.
+///
+/// Membership semantics: Problem 1's "p_u^kmax <= p_u(q)" with ties
+/// included, restricted to p_u(q) > 0. Without that restriction, any node
+/// with fewer than k reachable targets (p_u^kmax = 0) would vacuously
+/// "rank" every unreachable node in the graph; a node that cannot reach q
+/// cannot meaningfully have q in its top-k. The brute-force baselines in
+/// brute_force.h apply the identical rule.
+///
+/// Holds reusable O(n) workspaces; not thread-safe. The index may be
+/// mutated by queries when update_index is set.
+class ReverseTopkSearcher {
+ public:
+  /// The operator, index (and the graph beneath them) must outlive the
+  /// searcher.
+  ReverseTopkSearcher(const TransitionOperator& op, LowerBoundIndex* index);
+
+  /// \brief Runs Algorithm 4. Returns the sorted list of result nodes: all
+  /// u with p_u(q) >= p_u^kmax (ties included, matching Problem 1).
+  Result<std::vector<uint32_t>> Query(uint32_t q, const QueryOptions& options,
+                                      QueryStats* stats = nullptr);
+
+  const LowerBoundIndex& index() const { return *index_; }
+
+ private:
+  const TransitionOperator* op_;
+  LowerBoundIndex* index_;
+  std::unique_ptr<BcaRunner> runner_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_CORE_ONLINE_QUERY_H_

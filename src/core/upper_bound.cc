@@ -1,0 +1,29 @@
+#include "core/upper_bound.h"
+
+#include <cassert>
+
+namespace rtk {
+
+double ComputeUpperBound(std::span<const double> lower_bounds, uint32_t k,
+                         double residue_l1) {
+  assert(k >= 1 && lower_bounds.size() >= k);
+  const double R = residue_l1;
+  // p_hat(i) is 1-based in the paper; lower_bounds[i-1] here.
+  if (R <= 0.0) return lower_bounds[k - 1];
+  double z_prev = 0.0;  // z_{j-1}
+  for (uint32_t j = 1; j <= k - 1; ++j) {
+    // Delta_{k-j} = p_hat(k-j) - p_hat(k-j+1): the gap between steps k-j
+    // and k-j+1 of the staircase.
+    const double delta = lower_bounds[k - j - 1] - lower_bounds[k - j];
+    const double z_j = z_prev + static_cast<double>(j) * delta;  // Eq. (17)
+    if (z_prev < R && R <= z_j) {
+      // Ink level lands between steps: Eq. (18), first case.
+      return lower_bounds[k - j - 1] - (z_j - R) / static_cast<double>(j);
+    }
+    z_prev = z_j;
+  }
+  // Whole staircase submerged: Eq. (18), second case.
+  return lower_bounds[0] + (R - z_prev) / static_cast<double>(k);
+}
+
+}  // namespace rtk

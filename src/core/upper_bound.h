@@ -1,0 +1,31 @@
+// UBC — Upper Bound Computation (paper Algorithm 3, Eq. 16-18).
+//
+// Given the descending lower-bound list p_hat of a node and its remaining
+// residue ink R = |r|_1, the tightest possible k-th largest proximity is
+// obtained by "pouring" R into the staircase formed by the top-k lower
+// bounds: ink first fills the gap above the k-th step, then above the
+// (k-1)-th, ... If R exceeds the whole staircase volume, the level rises
+// uniformly above the top step. O(k).
+
+#ifndef RTK_CORE_UPPER_BOUND_H_
+#define RTK_CORE_UPPER_BOUND_H_
+
+#include <cstdint>
+#include <span>
+
+namespace rtk {
+
+/// \brief Upper bound of the k-th largest entry of the exact proximity
+/// vector, given `lower_bounds` (descending, at least k entries; missing
+/// entries may be 0) and the residue mass `residue_l1` (>= 0).
+///
+/// Matches Eq. (18):
+///   - find j in [1, k-1] with z_{j-1} < R <= z_j: ub = p_hat(k-j) - (z_j-R)/j
+///   - if R > z_{k-1}:                             ub = p_hat(1) + (R - z_{k-1})/k
+///   - if R == 0:                                  ub = p_hat(k) (bounds exact)
+double ComputeUpperBound(std::span<const double> lower_bounds, uint32_t k,
+                         double residue_l1);
+
+}  // namespace rtk
+
+#endif  // RTK_CORE_UPPER_BOUND_H_

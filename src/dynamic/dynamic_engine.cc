@@ -1,0 +1,192 @@
+#include "dynamic/dynamic_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "index/index_builder.h"
+
+namespace rtk {
+
+namespace {
+
+IndexBuildOptions MakeBuildOptions(const EngineOptions& options) {
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = options.capacity_k;
+  build_opts.bca = options.bca;
+  build_opts.hub_store.rwr = options.solver;
+  build_opts.hub_store.rwr.alpha = options.bca.alpha;
+  build_opts.hub_store.rounding_omega = options.rounding_omega;
+  return build_opts;
+}
+
+}  // namespace
+
+DynamicReverseTopkEngine::DynamicReverseTopkEngine(
+    Graph graph, const DynamicEngineOptions& options)
+    : graph_(std::move(graph)), options_(options) {
+  const int threads = options_.engine.num_threads > 0
+                          ? options_.engine.num_threads
+                          : ThreadPool::DefaultThreads();
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Result<std::unique_ptr<DynamicReverseTopkEngine>>
+DynamicReverseTopkEngine::Build(Graph graph,
+                                const DynamicEngineOptions& options) {
+  if (!(options.rebuild_fraction > 0.0) || options.rebuild_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "dynamic engine: rebuild_fraction must be in (0, 1]");
+  }
+  std::unique_ptr<DynamicReverseTopkEngine> engine(
+      new DynamicReverseTopkEngine(std::move(graph), options));
+  if (Status s = engine->RebuildAll(); !s.ok()) return s;
+  return engine;
+}
+
+Status DynamicReverseTopkEngine::RebuildAll() {
+  op_ = std::make_unique<TransitionOperator>(graph_);
+  HubSelectionOptions hub_opts = options_.engine.hub_selection;
+  hub_opts.alpha = options_.engine.bca.alpha;
+  RTK_ASSIGN_OR_RETURN(hubs_, SelectHubs(graph_, hub_opts));
+  RTK_ASSIGN_OR_RETURN(
+      LowerBoundIndex index,
+      BuildLowerBoundIndex(*op_, hubs_, MakeBuildOptions(options_.engine),
+                           pool_.get()));
+  index_ = std::make_unique<LowerBoundIndex>(std::move(index));
+  searcher_ = std::make_unique<ReverseTopkSearcher>(*op_, index_.get());
+  return Status::OK();
+}
+
+Status DynamicReverseTopkEngine::ApplyUpdates(
+    const std::vector<EdgeUpdate>& updates, UpdateReport* report) {
+  UpdateReport local;
+  Stopwatch total_watch;
+
+  Stopwatch graph_watch;
+  RTK_ASSIGN_OR_RETURN(Graph new_graph, ApplyEdgeUpdates(
+                                            graph_, updates,
+                                            options_.graph_rebuild));
+  local.graph_seconds = graph_watch.ElapsedSeconds();
+
+  const uint32_t n = graph_.num_nodes();
+  const auto cap =
+      static_cast<uint32_t>(options_.rebuild_fraction * static_cast<double>(n));
+  bool incremental = options_.strategy == UpdateStrategy::kIncremental;
+  ReverseReachability affected;
+  if (incremental) {
+    affected = ReverseReachableFrom(new_graph, ModifiedSources(updates), cap);
+    if (affected.truncated || affected.nodes.size() > cap) {
+      incremental = false;  // the batch touches too much: rebuild instead
+    }
+  }
+
+  if (!incremental) {
+    graph_ = std::move(new_graph);
+    local.rebuilt_all = true;
+    local.affected_nodes = n;
+    local.affected_hubs = static_cast<uint32_t>(hubs_.size());
+    if (Status s = RebuildAll(); !s.ok()) return s;
+    local.total_seconds = total_watch.ElapsedSeconds();
+    if (report != nullptr) *report = local;
+    return Status::OK();
+  }
+
+  local.affected_nodes = static_cast<uint32_t>(affected.nodes.size());
+  Status s = RebuildAffected(std::move(new_graph), affected.nodes, &local);
+  if (!s.ok()) return s;
+  local.total_seconds = total_watch.ElapsedSeconds();
+  if (report != nullptr) *report = local;
+  return Status::OK();
+}
+
+Status DynamicReverseTopkEngine::RebuildAffected(
+    Graph new_graph, const std::vector<uint32_t>& affected,
+    UpdateReport* report) {
+  graph_ = std::move(new_graph);
+  auto new_op = std::make_unique<TransitionOperator>(graph_);
+
+  // 1. Refresh the vectors of affected hubs against the new graph.
+  Stopwatch hub_watch;
+  std::vector<uint32_t> affected_hubs;
+  const HubProximityStore& old_store = index_->hub_store();
+  for (uint32_t u : affected) {
+    if (old_store.IsHub(u)) affected_hubs.push_back(u);
+  }
+  RwrOptions solver = options_.engine.solver;
+  solver.alpha = options_.engine.bca.alpha;
+  RTK_ASSIGN_OR_RETURN(
+      HubProximityStore new_store,
+      HubProximityStore::Rebuilt(old_store, *new_op, affected_hubs, solver,
+                                 pool_.get()));
+  report->affected_hubs = static_cast<uint32_t>(affected_hubs.size());
+  report->hub_seconds = hub_watch.ElapsedSeconds();
+
+  // 2. New index shell: unaffected nodes keep their state verbatim.
+  Stopwatch bca_watch;
+  auto new_index = std::make_unique<LowerBoundIndex>(
+      graph_.num_nodes(), index_->capacity_k(), index_->bca_options(),
+      std::move(new_store));
+  const HubProximityStore& store = new_index->hub_store();
+  const uint32_t capacity_k = new_index->capacity_k();
+  std::vector<bool> is_affected(graph_.num_nodes(), false);
+  for (uint32_t u : affected) is_affected[u] = true;
+  for (uint32_t u = 0; u < graph_.num_nodes(); ++u) {
+    if (is_affected[u]) continue;
+    const auto bounds = index_->LowerBounds(u);
+    new_index->SetNode(u, std::vector<double>(bounds.begin(), bounds.end()),
+                       index_->State(u), index_->ResidueL1(u));
+  }
+
+  // 3. Algorithm 1 restricted to the affected set (hubs read their exact
+  // top-K from the refreshed store; non-hubs rerun truncated BCA).
+  const BcaOptions& bca_opts = new_index->bca_options();
+  std::atomic<bool> failed{false};
+  auto rebuild_one = [&](int64_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const uint32_t u = affected[i];
+    if (store.IsHub(u)) {
+      auto topk = store.TopK(u, capacity_k);
+      std::vector<double> values;
+      values.reserve(topk.size());
+      for (const auto& [id, v] : topk) values.push_back(v);
+      new_index->SetNode(u, values, StoredBcaState{}, /*residue_l1=*/0.0);
+      return;
+    }
+    // One runner per call keeps this trivially thread-safe; the runner's
+    // O(n) workspace allocation is dwarfed by the BCA run itself.
+    BcaRunner runner(*new_op, store.hubs(), bca_opts);
+    runner.Start(u);
+    runner.RunToTermination();
+    auto topk = runner.TopKApprox(store, capacity_k);
+    std::vector<double> values;
+    values.reserve(topk.size());
+    for (const auto& [id, v] : topk) values.push_back(v);
+    new_index->SetNode(u, values, runner.Extract(), runner.ResidueL1());
+  };
+  ParallelFor(pool_.get(), 0, static_cast<int64_t>(affected.size()),
+              rebuild_one);
+  if (failed.load()) return Status::Internal("affected-node rebuild failed");
+  report->bca_seconds = bca_watch.ElapsedSeconds();
+
+  op_ = std::move(new_op);
+  index_ = std::move(new_index);
+  searcher_ = std::make_unique<ReverseTopkSearcher>(*op_, index_.get());
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> DynamicReverseTopkEngine::Query(
+    uint32_t q, uint32_t k, QueryStats* stats) {
+  QueryOptions query_opts;
+  query_opts.k = k;
+  query_opts.pmpn = options_.engine.solver;
+  return searcher_->Query(q, query_opts, stats);
+}
+
+Result<std::vector<uint32_t>> DynamicReverseTopkEngine::QueryWithOptions(
+    uint32_t q, const QueryOptions& options, QueryStats* stats) {
+  return searcher_->Query(q, options, stats);
+}
+
+}  // namespace rtk

@@ -1,0 +1,136 @@
+// DynamicReverseTopkEngine: reverse top-k search over an evolving graph —
+// the paper's Section 7 future work ("the key challenge is how to maintain
+// the index incrementally").
+//
+// The engine owns the graph and a LowerBoundIndex and accepts batches of
+// edge updates. Two maintenance strategies:
+//
+//  * kRebuild      — rebuild the whole index after every batch (the
+//                    baseline the paper implies; always correct, cost is
+//                    a full Algorithm-1 run).
+//  * kIncremental  — recompute only what the batch can invalidate:
+//                    (1) the affected set = nodes that can reach a
+//                        modified source in the updated graph (see
+//                        graph_updates.h for the soundness argument);
+//                    (2) hub vectors of affected hubs (exact re-solves,
+//                        spliced into the store by
+//                        HubProximityStore::Rebuilt);
+//                    (3) fresh truncated-BCA state for affected non-hub
+//                        nodes (Algorithm 1 restricted to the set).
+//                    Unaffected nodes keep their state verbatim: their
+//                    proximity vectors are unchanged, and their residue /
+//                    hub ink lives only on nodes they can reach — all
+//                    unaffected. When the affected set exceeds
+//                    rebuild_fraction * n the engine falls back to a full
+//                    rebuild (the incremental path would do the same work
+//                    with extra bookkeeping).
+//
+// Either way, queries after ApplyUpdates() return exactly what a fresh
+// engine built on the updated graph returns (asserted by dynamic_test.cc).
+
+#ifndef RTK_DYNAMIC_DYNAMIC_ENGINE_H_
+#define RTK_DYNAMIC_DYNAMIC_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/online_query.h"
+#include "dynamic/graph_updates.h"
+#include "graph/graph.h"
+#include "index/lower_bound_index.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief How ApplyUpdates() maintains the index.
+enum class UpdateStrategy {
+  kRebuild,
+  kIncremental,
+};
+
+/// \brief Options for the dynamic engine.
+struct DynamicEngineOptions {
+  /// Index/query configuration, as for the static engine.
+  EngineOptions engine;
+  UpdateStrategy strategy = UpdateStrategy::kIncremental;
+  /// Incremental mode falls back to a full rebuild when the affected set
+  /// exceeds this fraction of all nodes.
+  double rebuild_fraction = 0.5;
+  /// Graph rebuild policy for update batches. Restricted to id-preserving
+  /// dangling policies (kError / kSelfLoop); see ApplyEdgeUpdates().
+  GraphBuilderOptions graph_rebuild = {
+      .dangling_policy = DanglingPolicy::kSelfLoop,
+      .parallel_edges = ParallelEdgePolicy::kError,
+      .allow_self_loops = true};
+};
+
+/// \brief What one ApplyUpdates() call did (bench_dynamic_updates inputs).
+struct UpdateReport {
+  /// Nodes whose proximity vectors the batch may change.
+  uint32_t affected_nodes = 0;
+  /// Hub vectors re-solved.
+  uint32_t affected_hubs = 0;
+  /// True when the full-rebuild path ran (strategy, fallback, or cap).
+  bool rebuilt_all = false;
+  double graph_seconds = 0.0;
+  double hub_seconds = 0.0;
+  double bca_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// \brief Reverse top-k engine with edge-update support.
+///
+/// Query() may refine the index in place (like the static engine) and
+/// ApplyUpdates() replaces internals; neither is thread-safe.
+class DynamicReverseTopkEngine {
+ public:
+  /// \brief Builds the initial index (same semantics as
+  /// ReverseTopkEngine::Build).
+  static Result<std::unique_ptr<DynamicReverseTopkEngine>> Build(
+      Graph graph, const DynamicEngineOptions& options = {});
+
+  /// \brief Applies an update batch and brings the index back in sync
+  /// using the configured strategy.
+  Status ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                      UpdateReport* report = nullptr);
+
+  /// \brief Reverse top-k query (update_index defaults to true).
+  Result<std::vector<uint32_t>> Query(uint32_t q, uint32_t k,
+                                      QueryStats* stats = nullptr);
+
+  /// \brief Reverse top-k query with full per-query control.
+  Result<std::vector<uint32_t>> QueryWithOptions(uint32_t q,
+                                                 const QueryOptions& options,
+                                                 QueryStats* stats = nullptr);
+
+  const Graph& graph() const { return graph_; }
+  const LowerBoundIndex& index() const { return *index_; }
+  const DynamicEngineOptions& options() const { return options_; }
+
+ private:
+  DynamicReverseTopkEngine(Graph graph, const DynamicEngineOptions& options);
+
+  // Builds index_ / op_ / searcher_ from graph_ from scratch.
+  Status RebuildAll();
+  // The incremental path; `affected` is the sorted affected node set and
+  // `new_graph` the post-update graph.
+  Status RebuildAffected(Graph new_graph,
+                         const std::vector<uint32_t>& affected,
+                         UpdateReport* report);
+
+  Graph graph_;
+  DynamicEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<TransitionOperator> op_;
+  std::vector<uint32_t> hubs_;
+  std::unique_ptr<LowerBoundIndex> index_;
+  std::unique_ptr<ReverseTopkSearcher> searcher_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_DYNAMIC_DYNAMIC_ENGINE_H_

@@ -1,0 +1,136 @@
+#include "dynamic/graph_updates.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace rtk {
+
+namespace {
+
+std::string EdgeName(uint32_t src, uint32_t dst) {
+  return std::to_string(src) + " -> " + std::to_string(dst);
+}
+
+}  // namespace
+
+Result<Graph> ApplyEdgeUpdates(const Graph& graph,
+                               const std::vector<EdgeUpdate>& updates,
+                               const GraphBuilderOptions& options) {
+  if (options.dangling_policy != DanglingPolicy::kError &&
+      options.dangling_policy != DanglingPolicy::kSelfLoop) {
+    return Status::InvalidArgument(
+        "ApplyEdgeUpdates: dangling policy must preserve node ids "
+        "(kError or kSelfLoop)");
+  }
+  const uint32_t n = graph.num_nodes();
+
+  // Materialize the adjacency as an ordered map so updates can be applied
+  // by key. Weight 1.0 everywhere keeps an unweighted graph unweighted
+  // through the rebuild (GraphBuilder emits weights only when some weight
+  // differs from 1).
+  std::map<std::pair<uint32_t, uint32_t>, double> adjacency;
+  for (uint32_t u = 0; u < n; ++u) {
+    const auto targets = graph.OutNeighbors(u);
+    const auto weights = graph.OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      adjacency[{u, targets[i]}] = weights.empty() ? 1.0 : weights[i];
+    }
+  }
+
+  for (const EdgeUpdate& update : updates) {
+    if (update.src >= n || update.dst >= n) {
+      return Status::InvalidArgument("ApplyEdgeUpdates: endpoint out of range: " +
+                                     EdgeName(update.src, update.dst));
+    }
+    const std::pair<uint32_t, uint32_t> key{update.src, update.dst};
+    switch (update.kind) {
+      case EdgeUpdate::Kind::kInsert: {
+        if (!(update.weight > 0.0)) {
+          return Status::InvalidArgument(
+              "ApplyEdgeUpdates: insert weight must be > 0 for " +
+              EdgeName(update.src, update.dst));
+        }
+        auto [it, inserted] = adjacency.emplace(key, update.weight);
+        if (!inserted) {
+          return Status::InvalidArgument("ApplyEdgeUpdates: edge exists: " +
+                                         EdgeName(update.src, update.dst));
+        }
+        break;
+      }
+      case EdgeUpdate::Kind::kDelete: {
+        if (adjacency.erase(key) == 0) {
+          return Status::NotFound("ApplyEdgeUpdates: no such edge: " +
+                                  EdgeName(update.src, update.dst));
+        }
+        break;
+      }
+      case EdgeUpdate::Kind::kSetWeight: {
+        if (!(update.weight > 0.0)) {
+          return Status::InvalidArgument(
+              "ApplyEdgeUpdates: weight must be > 0 for " +
+              EdgeName(update.src, update.dst));
+        }
+        auto it = adjacency.find(key);
+        if (it == adjacency.end()) {
+          return Status::NotFound("ApplyEdgeUpdates: no such edge: " +
+                                  EdgeName(update.src, update.dst));
+        }
+        it->second = update.weight;
+        break;
+      }
+    }
+  }
+
+  GraphBuilder builder(n);
+  for (const auto& [edge, weight] : adjacency) {
+    builder.AddEdge(edge.first, edge.second, weight);
+  }
+  return builder.Build(options);
+}
+
+std::vector<uint32_t> ModifiedSources(const std::vector<EdgeUpdate>& updates) {
+  std::vector<uint32_t> sources;
+  sources.reserve(updates.size());
+  for (const EdgeUpdate& update : updates) sources.push_back(update.src);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return sources;
+}
+
+ReverseReachability ReverseReachableFrom(const Graph& graph,
+                                         const std::vector<uint32_t>& seeds,
+                                         uint32_t max_nodes) {
+  ReverseReachability out;
+  const uint32_t n = graph.num_nodes();
+  std::vector<bool> visited(n, false);
+  std::deque<uint32_t> frontier;
+  for (uint32_t s : seeds) {
+    if (s < n && !visited[s]) {
+      visited[s] = true;
+      out.nodes.push_back(s);
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    if (max_nodes != 0 && out.nodes.size() > max_nodes) {
+      out.truncated = true;
+      break;
+    }
+    const uint32_t v = frontier.front();
+    frontier.pop_front();
+    for (uint32_t u : graph.InNeighbors(v)) {
+      if (!visited[u]) {
+        visited[u] = true;
+        out.nodes.push_back(u);
+        frontier.push_back(u);
+      }
+    }
+  }
+  std::sort(out.nodes.begin(), out.nodes.end());
+  return out;
+}
+
+}  // namespace rtk

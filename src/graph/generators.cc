@@ -1,0 +1,153 @@
+#include "graph/generators.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace rtk {
+
+namespace {
+
+// Packs a directed edge into one 64-bit key for dedup sets.
+inline uint64_t EdgeKey(uint32_t u, uint32_t v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Result<Graph> ErdosRenyi(uint32_t n, uint64_t m, Rng* rng,
+                         DanglingPolicy policy) {
+  if (n < 2) return Status::InvalidArgument("ErdosRenyi requires n >= 2");
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1);
+  if (m > max_edges) {
+    return Status::InvalidArgument("ErdosRenyi: m=" + std::to_string(m) +
+                                   " exceeds n*(n-1)");
+  }
+  GraphBuilder builder(n);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const uint32_t u = static_cast<uint32_t>(rng->Uniform(n));
+    const uint32_t v = static_cast<uint32_t>(rng->Uniform(n));
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) builder.AddEdge(u, v);
+  }
+  return builder.Build({.dangling_policy = policy});
+}
+
+Result<Graph> BarabasiAlbert(uint32_t n, uint32_t edges_per_node, Rng* rng,
+                             DanglingPolicy policy) {
+  if (edges_per_node == 0) {
+    return Status::InvalidArgument("BarabasiAlbert: edges_per_node must be > 0");
+  }
+  if (n < edges_per_node + 1) {
+    return Status::InvalidArgument("BarabasiAlbert: n too small");
+  }
+  GraphBuilder builder(n);
+  // `attachment` holds one entry per (in-)edge endpoint plus one per node,
+  // implementing sampling proportional to in-degree + 1.
+  std::vector<uint32_t> attachment;
+  attachment.reserve(static_cast<size_t>(n) * (edges_per_node + 1));
+  // Seed: a small directed cycle over the first edges_per_node + 1 nodes so
+  // early nodes are not dangling.
+  const uint32_t seed_nodes = edges_per_node + 1;
+  for (uint32_t u = 0; u < seed_nodes; ++u) {
+    builder.AddEdge(u, (u + 1) % seed_nodes);
+    attachment.push_back(u);
+    attachment.push_back((u + 1) % seed_nodes);
+  }
+  for (uint32_t u = seed_nodes; u < n; ++u) {
+    std::unordered_set<uint32_t> targets;
+    targets.reserve(edges_per_node * 2);
+    while (targets.size() < edges_per_node) {
+      const uint32_t t = attachment[rng->Uniform(attachment.size())];
+      if (t != u) targets.insert(t);
+    }
+    for (uint32_t t : targets) {
+      builder.AddEdge(u, t);
+      attachment.push_back(t);
+    }
+    attachment.push_back(u);
+  }
+  return builder.Build({.dangling_policy = policy});
+}
+
+Result<Graph> Rmat(uint32_t scale, uint64_t m, Rng* rng,
+                   const RmatOptions& options, DanglingPolicy policy) {
+  if (scale == 0 || scale > 30) {
+    return Status::InvalidArgument("Rmat: scale must be in [1, 30]");
+  }
+  const double sum = options.a + options.b + options.c + options.d;
+  if (sum < 0.999 || sum > 1.001) {
+    return Status::InvalidArgument("Rmat: a+b+c+d must be 1");
+  }
+  const uint32_t n = 1u << scale;
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1);
+  if (m > max_edges / 2) {
+    return Status::InvalidArgument("Rmat: m too large for 2^scale nodes");
+  }
+
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  if (options.permute_ids) rng->Shuffle(&perm);
+
+  GraphBuilder builder(n);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  const double ab = options.a + options.b;
+  const double ac = options.a + options.c;
+  while (seen.size() < m) {
+    uint32_t row = 0, col = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      // Choose a quadrant; noise on the probabilities (common practice)
+      // avoids exactly self-similar degree plateaus.
+      const double r = rng->NextDouble();
+      const bool bottom = r >= ab;
+      // Conditional probability of "right" given the chosen half.
+      const double p_right_top = options.b / ab;
+      const double p_right_bottom = options.d / (1.0 - ab);
+      const double r2 = rng->NextDouble();
+      const bool right = r2 < (bottom ? p_right_bottom : p_right_top);
+      row = (row << 1) | (bottom ? 1u : 0u);
+      col = (col << 1) | (right ? 1u : 0u);
+    }
+    (void)ac;
+    if (row == col) continue;
+    const uint32_t u = perm[row];
+    const uint32_t v = perm[col];
+    if (seen.insert(EdgeKey(u, v)).second) builder.AddEdge(u, v);
+  }
+  return builder.Build({.dangling_policy = policy});
+}
+
+Result<Graph> WattsStrogatz(uint32_t n, uint32_t k, double beta, Rng* rng,
+                            DanglingPolicy policy) {
+  if (n < 3 || k == 0 || k >= n) {
+    return Status::InvalidArgument("WattsStrogatz: need n >= 3, 0 < k < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("WattsStrogatz: beta must be in [0, 1]");
+  }
+  GraphBuilder builder(n);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(n) * k * 2);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      uint32_t v = (u + j) % n;
+      if (rng->Bernoulli(beta)) {
+        // Rewire to a uniform random non-self target, avoiding duplicates.
+        for (int attempts = 0; attempts < 32; ++attempts) {
+          const uint32_t cand = static_cast<uint32_t>(rng->Uniform(n));
+          if (cand != u && !seen.count(EdgeKey(u, cand))) {
+            v = cand;
+            break;
+          }
+        }
+      }
+      if (v != u && seen.insert(EdgeKey(u, v)).second) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build({.dangling_policy = policy});
+}
+
+}  // namespace rtk

@@ -1,0 +1,63 @@
+// Random graph generators.
+//
+// The paper's datasets (Web-stanford-cs, Web-stanford, Web-google: crawled
+// web graphs; Epinions: a who-trusts-whom social network) are not shipped
+// with this repository, so the benches synthesize graphs with matched shape:
+// R-MAT for the heavy-tailed, locally clustered web graphs and directed
+// preferential attachment for the social network. All generators are
+// deterministic given the Rng seed.
+
+#ifndef RTK_GRAPH_GENERATORS_H_
+#define RTK_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace rtk {
+
+/// \brief G(n, m): m distinct directed edges chosen uniformly at random
+/// (no self-loops). Requires m <= n*(n-1).
+Result<Graph> ErdosRenyi(uint32_t n, uint64_t m, Rng* rng,
+                         DanglingPolicy policy = DanglingPolicy::kAddSink);
+
+/// \brief Directed preferential attachment (citation-graph style): nodes
+/// arrive one at a time, each adding `edges_per_node` out-edges whose
+/// targets are sampled proportionally to in-degree + 1 among earlier nodes.
+/// Produces a heavy-tailed in-degree distribution, the shape of social /
+/// trust networks such as Epinions.
+Result<Graph> BarabasiAlbert(uint32_t n, uint32_t edges_per_node, Rng* rng,
+                             DanglingPolicy policy = DanglingPolicy::kAddSink);
+
+/// \brief Parameters for the R-MAT recursive matrix generator
+/// (Chakrabarti, Zhan & Faloutsos, SDM'04). Defaults are the common
+/// web-graph setting; a + b + c + d must be 1.
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Randomly permute node ids afterwards so degree does not correlate with
+  /// id (keeps downstream code honest).
+  bool permute_ids = true;
+};
+
+/// \brief R-MAT graph with 2^scale nodes and ~m distinct directed edges;
+/// self-loops and duplicates are rejected and resampled, and isolated ids
+/// may remain (handled by the dangling policy).
+Result<Graph> Rmat(uint32_t scale, uint64_t m, Rng* rng,
+                   const RmatOptions& options = {},
+                   DanglingPolicy policy = DanglingPolicy::kAddSink);
+
+/// \brief Directed Watts-Strogatz small world: ring lattice where every node
+/// points to its `k` clockwise successors, each edge rewired to a uniform
+/// random target with probability beta.
+Result<Graph> WattsStrogatz(uint32_t n, uint32_t k, double beta, Rng* rng,
+                            DanglingPolicy policy = DanglingPolicy::kAddSink);
+
+}  // namespace rtk
+
+#endif  // RTK_GRAPH_GENERATORS_H_

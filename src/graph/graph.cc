@@ -1,0 +1,40 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rtk {
+
+uint32_t Graph::MaxOutDegree() const {
+  uint32_t best = 0;
+  for (uint32_t u = 0; u < num_nodes_; ++u) best = std::max(best, OutDegree(u));
+  return best;
+}
+
+uint32_t Graph::MaxInDegree() const {
+  uint32_t best = 0;
+  for (uint32_t u = 0; u < num_nodes_; ++u) best = std::max(best, InDegree(u));
+  return best;
+}
+
+uint64_t Graph::MemoryBytes() const {
+  uint64_t bytes = 0;
+  bytes += out_offsets_.capacity() * sizeof(uint64_t);
+  bytes += out_targets_.capacity() * sizeof(uint32_t);
+  bytes += out_weights_.capacity() * sizeof(double);
+  bytes += out_weight_sums_.capacity() * sizeof(double);
+  bytes += in_offsets_.capacity() * sizeof(uint64_t);
+  bytes += in_sources_.capacity() * sizeof(uint32_t);
+  bytes += original_ids_.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+std::string Graph::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Graph(n=%u, m=%llu, weighted=%s)",
+                num_nodes_, static_cast<unsigned long long>(num_edges()),
+                is_weighted() ? "yes" : "no");
+  return buf;
+}
+
+}  // namespace rtk

@@ -1,0 +1,154 @@
+#include "graph/graph_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtk {
+
+namespace {
+
+// Top-`count` values of `values`, descending.
+std::vector<uint32_t> TopValues(std::vector<uint32_t> values, size_t count) {
+  count = std::min(count, values.size());
+  std::partial_sort(values.begin(), values.begin() + count, values.end(),
+                    std::greater<>());
+  values.resize(count);
+  return values;
+}
+
+}  // namespace
+
+DegreeStatistics ComputeDegreeStatistics(const Graph& graph) {
+  DegreeStatistics stats;
+  const uint32_t n = graph.num_nodes();
+  if (n == 0) return stats;
+
+  std::vector<uint32_t> out(n), in(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    out[u] = graph.OutDegree(u);
+    in[u] = graph.InDegree(u);
+  }
+  stats.min_out = *std::min_element(out.begin(), out.end());
+  stats.max_out = *std::max_element(out.begin(), out.end());
+  stats.min_in = *std::min_element(in.begin(), in.end());
+  stats.max_in = *std::max_element(in.begin(), in.end());
+  stats.mean_degree =
+      static_cast<double>(graph.num_edges()) / static_cast<double>(n);
+  stats.top_out = TopValues(out, 5);
+  stats.top_in = TopValues(in, 5);
+
+  // Gini via the sorted-index formula:
+  //   G = (2 * sum_i i * x_(i)) / (n * sum_i x_(i)) - (n + 1) / n,
+  // with x_(i) ascending and i 1-based.
+  std::sort(in.begin(), in.end());
+  double weighted = 0.0, total = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    weighted += static_cast<double>(i + 1) * in[i];
+    total += in[i];
+  }
+  if (total > 0.0) {
+    stats.in_degree_gini = 2.0 * weighted / (n * total) -
+                           (static_cast<double>(n) + 1.0) / n;
+  }
+  return stats;
+}
+
+SccResult StronglyConnectedComponents(const Graph& graph) {
+  const uint32_t n = graph.num_nodes();
+  SccResult result;
+  result.component.assign(n, UINT32_MAX);
+  if (n == 0) return result;
+
+  // Pass 1: iterative DFS on out-edges, recording finish order.
+  std::vector<uint32_t> finish_order;
+  finish_order.reserve(n);
+  {
+    std::vector<uint8_t> visited(n, 0);
+    // Stack frames: (node, next out-edge offset to explore).
+    std::vector<std::pair<uint32_t, uint32_t>> stack;
+    for (uint32_t start = 0; start < n; ++start) {
+      if (visited[start]) continue;
+      visited[start] = 1;
+      stack.emplace_back(start, 0);
+      while (!stack.empty()) {
+        auto& [u, next] = stack.back();
+        const auto nbrs = graph.OutNeighbors(u);
+        bool descended = false;
+        while (next < nbrs.size()) {
+          const uint32_t v = nbrs[next++];
+          if (!visited[v]) {
+            visited[v] = 1;
+            stack.emplace_back(v, 0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && next >= nbrs.size()) {
+          finish_order.push_back(u);
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Pass 2: DFS on in-edges in reverse finish order; each tree is one SCC.
+  std::vector<uint32_t> dfs_stack;
+  for (auto it = finish_order.rbegin(); it != finish_order.rend(); ++it) {
+    if (result.component[*it] != UINT32_MAX) continue;
+    const uint32_t id = result.num_components++;
+    uint32_t size = 0;
+    dfs_stack.push_back(*it);
+    result.component[*it] = id;
+    while (!dfs_stack.empty()) {
+      const uint32_t u = dfs_stack.back();
+      dfs_stack.pop_back();
+      ++size;
+      for (uint32_t v : graph.InNeighbors(u)) {
+        if (result.component[v] == UINT32_MAX) {
+          result.component[v] = id;
+          dfs_stack.push_back(v);
+        }
+      }
+    }
+    result.largest_size = std::max(result.largest_size, size);
+  }
+  return result;
+}
+
+bool IsStronglyConnected(const Graph& graph) {
+  if (graph.num_nodes() == 0) return false;
+  return StronglyConnectedComponents(graph).num_components == 1;
+}
+
+Result<double> EstimatePowerLawExponent(std::span<const double> values) {
+  std::vector<double> positive;
+  positive.reserve(values.size());
+  for (double v : values) {
+    if (v > 0.0) positive.push_back(v);
+  }
+  if (positive.size() < 3) {
+    return Status::InvalidArgument(
+        "power-law fit needs at least 3 positive values");
+  }
+  std::sort(positive.rbegin(), positive.rend());
+
+  // Least squares of log v_(i) = log c - beta * log i, i = 1..count.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const auto count = static_cast<double>(positive.size());
+  for (size_t i = 0; i < positive.size(); ++i) {
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(positive[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = count * sxx - sx * sx;
+  if (denom <= 0.0) {
+    return Status::InvalidArgument("degenerate ranks in power-law fit");
+  }
+  const double slope = (count * sxy - sx * sy) / denom;
+  return -slope;  // v ~ i^(-beta) => slope = -beta
+}
+
+}  // namespace rtk

@@ -1,0 +1,70 @@
+// Structural analysis utilities: degree statistics, strongly connected
+// components, and the power-law exponent estimate behind Theorem 1.
+//
+// These support the paper's modeling assumptions rather than the query
+// path itself: hub selection (Section 4.1.1) presumes heavy-tailed
+// degrees; the Table 2 space prediction (Theorem 1) presumes proximity
+// vectors follow a power law with exponent beta (the paper plugs in
+// beta = 0.76 citing [4]); and reverse-reachability (dynamic maintenance)
+// behaves very differently inside and outside the giant SCC.
+
+#ifndef RTK_GRAPH_GRAPH_ANALYSIS_H_
+#define RTK_GRAPH_GRAPH_ANALYSIS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace rtk {
+
+/// \brief Degree summary of a graph.
+struct DegreeStatistics {
+  uint32_t min_out = 0, max_out = 0;
+  uint32_t min_in = 0, max_in = 0;
+  double mean_degree = 0.0;  // m / n, both directions share it
+  /// Degrees of the top-5 nodes by out- and by in-degree, descending.
+  std::vector<uint32_t> top_out;
+  std::vector<uint32_t> top_in;
+  /// Gini coefficient of the in-degree distribution in [0, 1): 0 is
+  /// perfectly uniform, ~1 is maximally concentrated. Heavy-tailed webs
+  /// score high — the property degree-based hub selection exploits.
+  double in_degree_gini = 0.0;
+};
+
+/// \brief Computes degree statistics in O(n log n).
+DegreeStatistics ComputeDegreeStatistics(const Graph& graph);
+
+/// \brief Strongly connected components.
+struct SccResult {
+  /// Component id per node, in [0, num_components). Ids follow the
+  /// topological order of the condensation (source components first —
+  /// the Kosaraju processing order).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+  /// Size of the largest component.
+  uint32_t largest_size = 0;
+};
+
+/// \brief Kosaraju's algorithm (two iterative DFS passes) in O(n + m).
+SccResult StronglyConnectedComponents(const Graph& graph);
+
+/// \brief True when the graph is one single SCC.
+bool IsStronglyConnected(const Graph& graph);
+
+/// \brief Least-squares estimate of the power-law exponent beta assuming
+/// the POSITIVE entries of `values`, sorted descending, follow
+/// v_(i) ~ c * i^(-beta) (the Theorem 1 model): a linear fit of log v
+/// against log rank. Returns InvalidArgument when fewer than 3 positive
+/// values exist.
+///
+/// The paper plugs beta = 0.76 (from Bahmani et al. [4]) into Theorem 1's
+/// space prediction; this estimator lets the Table 2 bench derive beta
+/// from the graph at hand instead.
+Result<double> EstimatePowerLawExponent(std::span<const double> values);
+
+}  // namespace rtk
+
+#endif  // RTK_GRAPH_GRAPH_ANALYSIS_H_

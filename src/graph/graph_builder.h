@@ -1,0 +1,100 @@
+// GraphBuilder: validated construction of CSR graphs from edge lists.
+
+#ifndef RTK_GRAPH_GRAPH_BUILDER_H_
+#define RTK_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace rtk {
+
+/// \brief What to do with dangling nodes (out-degree 0) at Build() time.
+///
+/// RWR requires a column-stochastic transition matrix, so dangling nodes
+/// must be eliminated. The paper (Section 2.1, footnote 1) proposes deleting
+/// them or adding a self-looping sink node pointed to by each dangling node;
+/// we additionally offer the common self-loop fix and a strict error mode.
+enum class DanglingPolicy {
+  /// Build() fails with InvalidArgument if any node is dangling.
+  kError,
+  /// Iteratively remove dangling nodes (removal can create new dangling
+  /// nodes); surviving nodes are compacted and Graph::original_ids() maps
+  /// back to input ids.
+  kRemove,
+  /// Add one sink node with a self-loop; every dangling node gets an edge to
+  /// the sink. The sink is reported by Graph::sink_node().
+  kAddSink,
+  /// Give each dangling node a self-loop.
+  kSelfLoop,
+};
+
+/// \brief What to do with duplicate (parallel) edges at Build() time.
+enum class ParallelEdgePolicy {
+  /// Duplicates are an InvalidArgument error.
+  kError,
+  /// Weights of duplicates are summed into one edge. Duplicate unweighted
+  /// edges collapse to weight > 1, making the graph weighted — the natural
+  /// semantics for multigraph inputs such as coauthorship events.
+  kSumWeights,
+  /// Keep the first occurrence, drop the rest (graph stays unweighted if
+  /// the input was). The right choice for web crawls with repeated links.
+  kKeepFirst,
+};
+
+/// \brief Options controlling GraphBuilder::Build().
+struct GraphBuilderOptions {
+  DanglingPolicy dangling_policy = DanglingPolicy::kAddSink;
+  ParallelEdgePolicy parallel_edges = ParallelEdgePolicy::kSumWeights;
+  /// Self-loops in the *input* are rejected unless allowed here (policies
+  /// may still add their own).
+  bool allow_self_loops = false;
+};
+
+/// \brief Accumulates edges and produces an immutable Graph.
+///
+/// Usage:
+///   GraphBuilder b(n);
+///   b.AddEdge(0, 1);
+///   RTK_ASSIGN_OR_RETURN(Graph g, b.Build(options));
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph over nodes [0, num_nodes).
+  explicit GraphBuilder(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// \brief Adds a directed edge u -> v with the given weight (> 0).
+  /// Out-of-range endpoints or non-positive weights surface at Build().
+  void AddEdge(uint32_t u, uint32_t v, double weight = 1.0) {
+    edges_.push_back(Edge{u, v, weight});
+  }
+
+  /// \brief Adds both u -> v and v -> u (undirected convenience).
+  void AddUndirectedEdge(uint32_t u, uint32_t v, double weight = 1.0) {
+    AddEdge(u, v, weight);
+    AddEdge(v, u, weight);
+  }
+
+  /// \brief Number of edges added so far (before merging).
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// \brief Validates the edges, applies the dangling policy and produces
+  /// the CSR graph. The builder can be reused afterwards (edges retained).
+  Result<Graph> Build(const GraphBuilderOptions& options = {}) const;
+
+ private:
+  struct Edge {
+    uint32_t src;
+    uint32_t dst;
+    double weight;
+  };
+
+  uint32_t num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,110 @@
+#include "graph/graph_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace rtk {
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const LoadEdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open edge list: " + path);
+  }
+
+  struct RawEdge {
+    uint64_t src;
+    uint64_t dst;
+    double weight;
+  };
+  std::vector<RawEdge> raw;
+  std::string line;
+  size_t line_no = 0;
+  uint64_t max_id = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Skip blank and comment lines.
+    size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#' || line[pos] == '%') {
+      continue;
+    }
+    std::istringstream ss(line);
+    uint64_t s, d;
+    if (!(ss >> s >> d)) {
+      return Status::Corruption("unparsable edge at " + path + ":" +
+                                std::to_string(line_no) + ": '" + line + "'");
+    }
+    double w = 1.0;
+    ss >> w;  // optional third column; leaves w=1.0 on failure
+    if (!(w > 0.0)) {
+      return Status::Corruption("non-positive weight at " + path + ":" +
+                                std::to_string(line_no));
+    }
+    raw.push_back({s, d, w});
+    max_id = std::max(max_id, std::max(s, d));
+  }
+  if (raw.empty()) {
+    return Status::InvalidArgument("edge list is empty: " + path);
+  }
+
+  uint32_t num_nodes;
+  std::unordered_map<uint64_t, uint32_t> remap;
+  if (options.relabel_dense) {
+    remap.reserve(raw.size() * 2);
+    uint32_t next = 0;
+    for (const auto& e : raw) {
+      if (remap.emplace(e.src, next).second) ++next;
+      if (remap.emplace(e.dst, next).second) ++next;
+    }
+    num_nodes = next;
+  } else {
+    if (max_id >= UINT32_MAX) {
+      return Status::InvalidArgument("node id exceeds uint32 range in " +
+                                     path + " (use relabel_dense)");
+    }
+    num_nodes = static_cast<uint32_t>(max_id) + 1;
+  }
+
+  GraphBuilder builder(num_nodes);
+  for (const auto& e : raw) {
+    uint32_t s, d;
+    if (options.relabel_dense) {
+      s = remap.at(e.src);
+      d = remap.at(e.dst);
+    } else {
+      s = static_cast<uint32_t>(e.src);
+      d = static_cast<uint32_t>(e.dst);
+    }
+    builder.AddEdge(s, d, e.weight);
+  }
+  return builder.Build(options.builder);
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << "# rtk edge list: n=" << graph.num_nodes()
+      << " m=" << graph.num_edges()
+      << " weighted=" << (graph.is_weighted() ? 1 : 0) << "\n";
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.OutNeighbors(u);
+    auto weights = graph.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out << u << '\t' << nbrs[i];
+      if (graph.is_weighted()) out << '\t' << weights[i];
+      out << '\n';
+    }
+  }
+  if (!out.good()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace rtk

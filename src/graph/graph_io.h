@@ -1,0 +1,47 @@
+// Edge-list I/O: loads SNAP-style edge lists and writes them back.
+//
+// The paper evaluates on SNAP (snap.stanford.edu) and LAW graphs; those
+// files are whitespace-separated "src dst [weight]" lines with '#' comments.
+// The loader accepts exactly that format, so real datasets drop in when
+// available; our benches default to synthetic graphs with matched shape
+// (see DESIGN.md Section 3).
+
+#ifndef RTK_GRAPH_GRAPH_IO_H_
+#define RTK_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace rtk {
+
+/// \brief Options for LoadEdgeList().
+struct LoadEdgeListOptions {
+  /// Relabel node ids densely in first-appearance order (SNAP ids are often
+  /// sparse). When false, ids are used as-is and the node count is
+  /// max id + 1.
+  bool relabel_dense = true;
+  /// Passed through to GraphBuilder::Build(). Note that SNAP web graphs
+  /// contain self-loops and repeated links, so allow_self_loops defaults to
+  /// true and duplicates keep their first occurrence.
+  GraphBuilderOptions builder = {
+      .dangling_policy = DanglingPolicy::kAddSink,
+      .parallel_edges = ParallelEdgePolicy::kKeepFirst,
+      .allow_self_loops = true};
+};
+
+/// \brief Loads a SNAP-style edge list: one "src dst" or "src dst weight"
+/// per line, '#'-prefixed comment lines ignored.
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const LoadEdgeListOptions& options = {});
+
+/// \brief Writes the graph as a SNAP-style edge list (with weights when the
+/// graph is weighted). Intended for round-trip tests and exporting
+/// generated workloads.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace rtk
+
+#endif  // RTK_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,103 @@
+#include "graph/toy_graphs.h"
+
+#include <cassert>
+
+#include "graph/graph_builder.h"
+
+namespace rtk {
+
+namespace {
+
+// Builds a fixture graph; fixtures are hand-checked to never fail.
+Graph MustBuild(const GraphBuilder& builder, const GraphBuilderOptions& opts) {
+  Result<Graph> result = builder.Build(opts);
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+Graph PaperToyGraph() {
+  GraphBuilder b(6);
+  // 1-based edges from DESIGN.md section 7, shifted to 0-based.
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 5);
+  b.AddEdge(1, 0);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 1);
+  b.AddEdge(3, 1);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 1);
+  b.AddEdge(5, 1);
+  b.AddEdge(5, 3);
+  return MustBuild(b, {.dangling_policy = DanglingPolicy::kError});
+}
+
+std::array<std::array<double, 6>, 6> PaperToyExpectedProximity() {
+  // Columns are p_1 .. p_6 as printed in Figure 1 (0-based here).
+  return {{
+      // row i: proximity *to* node i from nodes 1..6
+      {{0.32, 0.24, 0.24, 0.19, 0.20, 0.18}},
+      {{0.28, 0.39, 0.29, 0.31, 0.33, 0.30}},
+      {{0.12, 0.17, 0.27, 0.13, 0.14, 0.13}},
+      {{0.13, 0.10, 0.10, 0.23, 0.08, 0.14}},
+      {{0.06, 0.04, 0.04, 0.10, 0.18, 0.06}},
+      {{0.09, 0.07, 0.07, 0.05, 0.06, 0.20}},
+  }};
+}
+
+Graph CycleGraph(uint32_t n) {
+  assert(n >= 2);
+  GraphBuilder b(n);
+  for (uint32_t u = 0; u < n; ++u) b.AddEdge(u, (u + 1) % n);
+  return MustBuild(b, {.dangling_policy = DanglingPolicy::kError});
+}
+
+Graph PathGraph(uint32_t n) {
+  assert(n >= 2);
+  GraphBuilder b(n);
+  for (uint32_t u = 0; u + 1 < n; ++u) b.AddEdge(u, u + 1);
+  return MustBuild(b, {.dangling_policy = DanglingPolicy::kSelfLoop});
+}
+
+Graph StarGraph(uint32_t n) {
+  assert(n >= 2);
+  GraphBuilder b(n);
+  for (uint32_t leaf = 1; leaf < n; ++leaf) {
+    b.AddEdge(leaf, 0);
+    b.AddEdge(0, leaf);
+  }
+  return MustBuild(b, {.dangling_policy = DanglingPolicy::kError});
+}
+
+Graph CompleteGraph(uint32_t n) {
+  assert(n >= 2);
+  GraphBuilder b(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (u != v) b.AddEdge(u, v);
+    }
+  }
+  return MustBuild(b, {.dangling_policy = DanglingPolicy::kError});
+}
+
+Graph TwoCommunitiesGraph(uint32_t half) {
+  assert(half >= 2);
+  const uint32_t n = 2 * half;
+  GraphBuilder b(n);
+  for (uint32_t u = 0; u < half; ++u) {
+    for (uint32_t v = 0; v < half; ++v) {
+      if (u != v) {
+        b.AddEdge(u, v);
+        b.AddEdge(half + u, half + v);
+      }
+    }
+  }
+  b.AddEdge(0, half);
+  b.AddEdge(half, 0);
+  return MustBuild(b, {.dangling_policy = DanglingPolicy::kError});
+}
+
+}  // namespace rtk

@@ -1,0 +1,51 @@
+// Deterministic fixture graphs, including the paper's Figure-1 toy graph.
+
+#ifndef RTK_GRAPH_TOY_GRAPHS_H_
+#define RTK_GRAPH_TOY_GRAPHS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace rtk {
+
+/// \brief The 6-node toy graph of the paper's Figure 1 / Figure 2.
+///
+/// The paper prints the full proximity matrix P (alpha = 0.15) but not the
+/// edge list; we recovered the edges by inverting the printed matrix,
+/// A = (I - alpha * P^{-1}) / (1 - alpha), which cleanly snaps to
+///   1 -> {2, 4, 6},  2 -> {1, 3},  3 -> {1, 2},
+///   4 -> {2, 5},     5 -> {2},     6 -> {2, 4}
+/// (1-based ids as in the paper; this function returns 0-based ids).
+/// Recomputing P from these edges reproduces the printed matrix to the
+/// printed 2 decimals — see PaperToyExpectedProximity() and the tests.
+Graph PaperToyGraph();
+
+/// \brief The proximity matrix of Figure 1 exactly as printed (2 decimals).
+/// Entry [i][j] is the proximity from node j to node i (column j = p_j),
+/// 0-based.
+std::array<std::array<double, 6>, 6> PaperToyExpectedProximity();
+
+/// \brief Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Graph CycleGraph(uint32_t n);
+
+/// \brief Directed path 0 -> 1 -> ... -> n-1; the tail is dangling, fixed by
+/// a self-loop so the graph stays at n nodes.
+Graph PathGraph(uint32_t n);
+
+/// \brief Star: every leaf points to the center (node 0) and the center
+/// points back to every leaf. n >= 2.
+Graph StarGraph(uint32_t n);
+
+/// \brief Complete digraph on n >= 2 nodes (all ordered pairs, no loops).
+Graph CompleteGraph(uint32_t n);
+
+/// \brief Two complete communities of size `half` each, joined by a single
+/// bridge edge in each direction. Exercises block structure (RWR proximity
+/// concentrates within a community).
+Graph TwoCommunitiesGraph(uint32_t half);
+
+}  // namespace rtk
+
+#endif  // RTK_GRAPH_TOY_GRAPHS_H_

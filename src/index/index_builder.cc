@@ -1,0 +1,95 @@
+#include "index/index_builder.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/stopwatch.h"
+
+namespace rtk {
+
+Result<LowerBoundIndex> BuildLowerBoundIndex(const TransitionOperator& op,
+                                             const std::vector<uint32_t>& hubs,
+                                             const IndexBuildOptions& options,
+                                             ThreadPool* pool,
+                                             IndexBuildReport* report) {
+  const uint32_t n = op.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (options.capacity_k == 0) {
+    return Status::InvalidArgument("capacity_k must be > 0");
+  }
+  if (!(options.bca.alpha > 0.0) || !(options.bca.alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+
+  Stopwatch total_watch;
+  IndexBuildReport local_report;
+
+  // Phase 1: exact hub vectors, rounded (Section 4.1.3).
+  Stopwatch hub_watch;
+  HubStoreOptions hub_opts = options.hub_store;
+  hub_opts.rwr.alpha = options.bca.alpha;  // one alpha everywhere
+  RTK_ASSIGN_OR_RETURN(
+      HubProximityStore store,
+      HubProximityStore::Build(op, hubs, hub_opts, pool));
+  local_report.hub_solve_seconds = hub_watch.ElapsedSeconds();
+
+  LowerBoundIndex index(n, options.capacity_k, options.bca, std::move(store));
+  const HubProximityStore& hub_store = index.hub_store();
+
+  // Phase 2: partial BCA from every node (Algorithm 1 lines 3-9).
+  Stopwatch bca_watch;
+  const int num_tasks =
+      (pool == nullptr || pool->num_threads() <= 1) ? 1 : pool->num_threads();
+  std::atomic<uint64_t> iteration_total{0};
+  std::atomic<uint32_t> next_block{0};
+  constexpr uint32_t kBlock = 256;
+
+  auto worker = [&]() {
+    // One runner per worker: it owns the O(n) workspaces.
+    BcaRunner runner(op, hub_store.hubs(), options.bca);
+    uint64_t iters = 0;
+    for (;;) {
+      const uint32_t block = next_block.fetch_add(1);
+      const uint32_t lo = block * kBlock;
+      if (lo >= n) break;
+      const uint32_t hi = std::min(n, lo + kBlock);
+      for (uint32_t u = lo; u < hi; ++u) {
+        if (hub_store.IsHub(u)) {
+          // Hubs store their exact top-K straight from P_H; no BCA state.
+          std::vector<std::pair<uint32_t, double>> topk =
+              hub_store.TopK(u, options.capacity_k);
+          std::vector<double> values;
+          values.reserve(topk.size());
+          for (const auto& [id, v] : topk) values.push_back(v);
+          index.SetNode(u, values, StoredBcaState{}, /*residue_l1=*/0.0);
+          continue;
+        }
+        runner.Start(u);
+        iters += static_cast<uint64_t>(
+            runner.RunToTermination(options.push_strategy));
+        std::vector<std::pair<uint32_t, double>> topk =
+            runner.TopKApprox(hub_store, options.capacity_k);
+        std::vector<double> values;
+        values.reserve(topk.size());
+        for (const auto& [id, v] : topk) values.push_back(v);
+        index.SetNode(u, values, runner.Extract(), runner.ResidueL1());
+      }
+    }
+    iteration_total.fetch_add(iters);
+  };
+
+  if (num_tasks == 1) {
+    worker();
+  } else {
+    for (int t = 0; t < num_tasks; ++t) pool->Submit(worker);
+    pool->Wait();
+  }
+  local_report.bca_seconds = bca_watch.ElapsedSeconds();
+  local_report.total_bca_iterations = iteration_total.load();
+  local_report.total_seconds = total_watch.ElapsedSeconds();
+  if (report != nullptr) *report = local_report;
+  return index;
+}
+
+}  // namespace rtk

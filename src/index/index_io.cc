@@ -1,0 +1,244 @@
+#include "index/index_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace rtk {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'T', 'K', 'I', 'D', 'X', '0', '1'};
+
+// Streaming FNV-1a over everything written/read, so corruption anywhere in
+// the file is detected.
+class Checksummer {
+ public:
+  void Update(const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ull;
+    }
+  }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ofstream& out) : out_(out) {}
+
+  template <typename T>
+  void Pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    sum_.Update(&value, sizeof(T));
+  }
+  template <typename T>
+  void Array(const T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(data), count * sizeof(T));
+    sum_.Update(data, count * sizeof(T));
+  }
+  void Pairs(const std::vector<std::pair<uint32_t, double>>& pairs) {
+    Pod<uint64_t>(pairs.size());
+    for (const auto& [id, v] : pairs) {
+      Pod<uint32_t>(id);
+      Pod<double>(v);
+    }
+  }
+  uint64_t checksum() const { return sum_.hash(); }
+  bool good() const { return out_.good(); }
+
+ private:
+  std::ofstream& out_;
+  Checksummer sum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::ifstream& in) : in_(in) {}
+
+  template <typename T>
+  bool Pod(T* value) {
+    in_.read(reinterpret_cast<char*>(value), sizeof(T));
+    if (!in_.good()) return false;
+    sum_.Update(value, sizeof(T));
+    return true;
+  }
+  template <typename T>
+  bool Array(T* data, size_t count) {
+    in_.read(reinterpret_cast<char*>(data), count * sizeof(T));
+    if (!in_.good()) return false;
+    sum_.Update(data, count * sizeof(T));
+    return true;
+  }
+  bool Pairs(std::vector<std::pair<uint32_t, double>>* pairs,
+             uint64_t sanity_cap) {
+    uint64_t count = 0;
+    if (!Pod(&count) || count > sanity_cap) return false;
+    pairs->resize(count);
+    for (auto& [id, v] : *pairs) {
+      if (!Pod(&id) || !Pod(&v)) return false;
+    }
+    return true;
+  }
+  uint64_t checksum() const { return sum_.hash(); }
+
+ private:
+  std::ifstream& in_;
+  Checksummer sum_;
+};
+
+}  // namespace
+
+Status SaveIndex(const LowerBoundIndex& index, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + tmp);
+  }
+  Writer w(out);
+  w.Array(kMagic, sizeof(kMagic));
+  const uint32_t n = index.num_nodes();
+  const uint32_t k = index.capacity_k();
+  w.Pod(n);
+  w.Pod(k);
+  const BcaOptions& bca = index.bca_options();
+  w.Pod(bca.alpha);
+  w.Pod(bca.eta);
+  w.Pod(bca.delta);
+  w.Pod<int32_t>(bca.max_iterations);
+
+  const HubProximityStore& store = index.hub_store();
+  w.Pod<uint32_t>(store.num_hubs());
+  w.Pod<double>(store.rounding_omega());
+  w.Pod<uint64_t>(store.DroppedEntries());
+  w.Array(store.hubs().data(), store.hubs().size());
+  w.Array(store.offsets().data(), store.offsets().size());
+  for (const auto& [id, v] : store.entries()) {
+    w.Pod(id);
+    w.Pod(v);
+  }
+
+  for (uint32_t u = 0; u < n; ++u) {
+    w.Array(index.LowerBounds(u).data(), k);
+    w.Pod(index.ResidueL1(u));
+    const StoredBcaState& st = index.State(u);
+    w.Pod<uint32_t>(st.iterations);
+    w.Pairs(st.residue);
+    w.Pairs(st.retained);
+    w.Pairs(st.hub_ink);
+  }
+  const uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("write failed: " + tmp);
+  }
+  out.close();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<LowerBoundIndex> LoadIndex(const std::string& path,
+                                  uint32_t expected_nodes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open index: " + path);
+  }
+  Reader r(in);
+  char magic[8];
+  if (!r.Array(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in index file: " + path);
+  }
+  uint32_t n = 0, k = 0;
+  if (!r.Pod(&n) || !r.Pod(&k) || k == 0) {
+    return Status::Corruption("bad header in index file");
+  }
+  if (n != expected_nodes) {
+    return Status::InvalidArgument(
+        "index was built for n=" + std::to_string(n) +
+        " nodes, graph has n=" + std::to_string(expected_nodes));
+  }
+  BcaOptions bca;
+  int32_t max_iters = 0;
+  if (!r.Pod(&bca.alpha) || !r.Pod(&bca.eta) || !r.Pod(&bca.delta) ||
+      !r.Pod(&max_iters)) {
+    return Status::Corruption("bad BCA options in index file");
+  }
+  bca.max_iterations = max_iters;
+
+  uint32_t num_hubs = 0;
+  double omega = 0.0;
+  uint64_t dropped = 0;
+  if (!r.Pod(&num_hubs) || !r.Pod(&omega) || !r.Pod(&dropped) ||
+      num_hubs > n) {
+    return Status::Corruption("bad hub header in index file");
+  }
+  std::vector<uint32_t> hubs(num_hubs);
+  if (!r.Array(hubs.data(), hubs.size())) {
+    return Status::Corruption("bad hub list");
+  }
+  std::vector<uint64_t> offsets(num_hubs + 1);
+  if (!r.Array(offsets.data(), offsets.size())) {
+    return Status::Corruption("bad hub offsets");
+  }
+  const uint64_t total_entries = offsets.empty() ? 0 : offsets.back();
+  if (total_entries > static_cast<uint64_t>(n) * num_hubs) {
+    return Status::Corruption("hub entry count exceeds n*|H|");
+  }
+  std::vector<std::pair<uint32_t, double>> entries(total_entries);
+  for (auto& [id, v] : entries) {
+    if (!r.Pod(&id) || !r.Pod(&v)) {
+      return Status::Corruption("bad hub entries");
+    }
+  }
+  HubProximityStore store = HubProximityStore::FromRaw(
+      n, std::move(hubs), std::move(offsets), std::move(entries), omega,
+      dropped);
+
+  LowerBoundIndex index(n, k, bca, std::move(store));
+  std::vector<double> topk(k);
+  for (uint32_t u = 0; u < n; ++u) {
+    if (!r.Array(topk.data(), k)) {
+      return Status::Corruption("bad top-K row for node " + std::to_string(u));
+    }
+    double residue_l1 = 0.0;
+    StoredBcaState st;
+    uint32_t iters = 0;
+    if (!r.Pod(&residue_l1) || !r.Pod(&iters) ||
+        !r.Pairs(&st.residue, n) || !r.Pairs(&st.retained, n) ||
+        !r.Pairs(&st.hub_ink, n)) {
+      return Status::Corruption("bad BCA state for node " + std::to_string(u));
+    }
+    st.iterations = iters;
+    // Strip the zero padding so SetNode's descending-order contract holds.
+    size_t len = k;
+    while (len > 0 && topk[len - 1] == 0.0) --len;
+    index.SetNode(u, std::vector<double>(topk.begin(), topk.begin() + len),
+                  std::move(st), residue_l1);
+  }
+  const uint64_t expected_sum = r.checksum();
+  uint64_t stored_sum = 0;
+  in.read(reinterpret_cast<char*>(&stored_sum), sizeof(stored_sum));
+  if (!in.good() || stored_sum != expected_sum) {
+    return Status::Corruption("index checksum mismatch: " + path);
+  }
+  // The checksum is the final field; any trailing bytes mean the file was
+  // not produced by SaveIndex (or was corrupted by concatenation).
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    return Status::Corruption("trailing bytes after index checksum: " + path);
+  }
+  return index;
+}
+
+}  // namespace rtk

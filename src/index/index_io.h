@@ -1,0 +1,34 @@
+// Binary serialization of the LowerBoundIndex.
+//
+// Format (version 1, native little-endian, not cross-endian portable):
+//   magic "RTKIDX01"
+//   u32 num_nodes, u32 capacity_k
+//   f64 alpha, f64 eta, f64 delta, i32 max_iterations
+//   hub store: u32 num_hubs, f64 omega, u64 dropped,
+//              hubs[], offsets[], entries[] (u32+f64 pairs)
+//   per node: f64 topk[K], f64 residue_l1, u32 iterations,
+//             3 x (u64 count, (u32,f64) pairs)   -- residue, retained, hub ink
+// A u64 FNV-1a checksum of the payload trails the file; Load verifies it.
+
+#ifndef RTK_INDEX_INDEX_IO_H_
+#define RTK_INDEX_INDEX_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "index/lower_bound_index.h"
+
+namespace rtk {
+
+/// \brief Writes the index to `path` (atomically: temp file + rename).
+Status SaveIndex(const LowerBoundIndex& index, const std::string& path);
+
+/// \brief Reads an index previously written by SaveIndex. `expected_nodes`
+/// guards against loading an index built for a different graph (pass the
+/// graph's node count).
+Result<LowerBoundIndex> LoadIndex(const std::string& path,
+                                  uint32_t expected_nodes);
+
+}  // namespace rtk
+
+#endif  // RTK_INDEX_INDEX_IO_H_

@@ -1,0 +1,50 @@
+#include "index/lower_bound_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtk {
+
+LowerBoundIndex::LowerBoundIndex(uint32_t num_nodes, uint32_t capacity_k,
+                                 BcaOptions bca_options,
+                                 HubProximityStore hub_store)
+    : num_nodes_(num_nodes),
+      capacity_k_(capacity_k),
+      bca_options_(bca_options),
+      hub_store_(std::move(hub_store)),
+      topk_values_(static_cast<size_t>(num_nodes) * capacity_k, 0.0),
+      residue_l1_(num_nodes, 1.0),
+      states_(num_nodes) {
+  assert(capacity_k_ > 0);
+}
+
+void LowerBoundIndex::SetNode(uint32_t u, const std::vector<double>& topk,
+                              StoredBcaState state, double residue_l1) {
+  assert(u < num_nodes_);
+  assert(topk.size() <= capacity_k_);
+  assert(std::is_sorted(topk.rbegin(), topk.rend()));
+  double* row = topk_values_.data() + static_cast<size_t>(u) * capacity_k_;
+  std::copy(topk.begin(), topk.end(), row);
+  std::fill(row + topk.size(), row + capacity_k_, 0.0);
+  states_[u] = std::move(state);
+  residue_l1_[u] = residue_l1;
+}
+
+IndexStats LowerBoundIndex::ComputeStats() const {
+  IndexStats stats;
+  stats.num_nodes = num_nodes_;
+  stats.capacity_k = capacity_k_;
+  stats.num_hubs = hub_store_.num_hubs();
+  stats.topk_bytes = topk_values_.size() * sizeof(double) +
+                     residue_l1_.size() * sizeof(double);
+  for (const auto& state : states_) stats.state_bytes += state.MemoryBytes();
+  stats.hub_store_bytes = hub_store_.MemoryBytes();
+  stats.hub_entries_stored = hub_store_.TotalEntries();
+  stats.hub_entries_dropped = hub_store_.DroppedEntries();
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    if (IsExact(u)) ++stats.exact_nodes;
+  }
+  return stats;
+}
+
+}  // namespace rtk

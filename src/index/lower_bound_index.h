@@ -1,0 +1,104 @@
+// LowerBoundIndex: the paper's graph index I = (P_hat, R, W, S, P_H)
+// (Section 4.1, Algorithm 1).
+//
+// For every node u it stores the K largest entries of the partially-run BCA
+// approximation p^t_u — guaranteed lower bounds of the true proximities
+// (Propositions 1-2) — together with the BCA state (residue r_u, retained
+// w_u, hub ink s_u) so the online query can resume refinement exactly where
+// indexing stopped, plus the shared rounded hub matrix P_H.
+//
+// The index is mutable by design: query-time refinement writes back
+// (Section 4.2.3), making bounds progressively tighter for future queries.
+
+#ifndef RTK_INDEX_LOWER_BOUND_INDEX_H_
+#define RTK_INDEX_LOWER_BOUND_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bca/bca.h"
+#include "bca/hub_proximity_store.h"
+
+namespace rtk {
+
+/// \brief Aggregate memory/shape statistics of an index (Table 2 inputs).
+struct IndexStats {
+  uint32_t num_nodes = 0;
+  uint32_t capacity_k = 0;
+  uint32_t num_hubs = 0;
+  uint64_t topk_bytes = 0;       // the K x n lower-bound matrix P_hat
+  uint64_t state_bytes = 0;      // R, W, S sparse states
+  uint64_t hub_store_bytes = 0;  // rounded P_H
+  uint64_t hub_entries_stored = 0;
+  uint64_t hub_entries_dropped = 0;  // removed by rounding
+  uint64_t exact_nodes = 0;          // nodes whose BCA fully converged
+
+  uint64_t TotalBytes() const {
+    return topk_bytes + state_bytes + hub_store_bytes;
+  }
+};
+
+/// \brief The offline index of Algorithm 1. Constructed by IndexBuilder or
+/// loaded from disk by index_io.
+class LowerBoundIndex {
+ public:
+  /// Creates an empty index shell; used by the builder and the loader.
+  LowerBoundIndex(uint32_t num_nodes, uint32_t capacity_k,
+                  BcaOptions bca_options, HubProximityStore hub_store);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  /// \brief K: the largest k any query may use against this index.
+  uint32_t capacity_k() const { return capacity_k_; }
+
+  /// \brief The BCA options (alpha/eta/delta) the index was built with;
+  /// refinement must reuse them.
+  const BcaOptions& bca_options() const { return bca_options_; }
+
+  const HubProximityStore& hub_store() const { return hub_store_; }
+
+  /// \brief Lower bound of the k-th largest proximity from u (k is
+  /// 1-based, k <= capacity_k). Zero when fewer than k entries are known —
+  /// still a valid lower bound.
+  double LowerBound(uint32_t u, uint32_t k) const {
+    return topk_values_[static_cast<size_t>(u) * capacity_k_ + (k - 1)];
+  }
+
+  /// \brief All K stored lower-bound values of u, descending.
+  std::span<const double> LowerBounds(uint32_t u) const {
+    return {topk_values_.data() + static_cast<size_t>(u) * capacity_k_,
+            capacity_k_};
+  }
+
+  /// \brief Cached |r_u|_1; 0 means the stored bounds are exact.
+  double ResidueL1(uint32_t u) const { return residue_l1_[u]; }
+
+  /// \brief True when u's stored values are exact top-K proximities.
+  bool IsExact(uint32_t u) const { return residue_l1_[u] == 0.0; }
+
+  /// \brief The stored BCA state of u (empty lists for exact/hub nodes).
+  const StoredBcaState& State(uint32_t u) const { return states_[u]; }
+
+  /// \brief Installs new per-node data; used by the builder and by
+  /// query-time refinement write-back. `topk` must be descending with
+  /// exactly min(capacity_k, available) entries; missing tail is zero.
+  void SetNode(uint32_t u, const std::vector<double>& topk,
+               StoredBcaState state, double residue_l1);
+
+  /// \brief Aggregate statistics (sizes recomputed on call).
+  IndexStats ComputeStats() const;
+
+ private:
+  uint32_t num_nodes_;
+  uint32_t capacity_k_;
+  BcaOptions bca_options_;
+  HubProximityStore hub_store_;
+  std::vector<double> topk_values_;   // n * K, row-major, descending
+  std::vector<double> residue_l1_;    // per node
+  std::vector<StoredBcaState> states_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_INDEX_LOWER_BOUND_INDEX_H_

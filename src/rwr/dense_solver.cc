@@ -1,0 +1,93 @@
+#include "rwr/dense_solver.h"
+
+#include <cmath>
+#include <string>
+
+namespace rtk {
+
+std::vector<double> DenseProximityMatrix::Column(uint32_t u) const {
+  std::vector<double> col(n_);
+  for (uint32_t i = 0; i < n_; ++i) col[i] = data_[i * n_ + u];
+  return col;
+}
+
+std::vector<double> DenseProximityMatrix::Row(uint32_t q) const {
+  return std::vector<double>(data_.begin() + static_cast<size_t>(q) * n_,
+                             data_.begin() + static_cast<size_t>(q + 1) * n_);
+}
+
+Result<DenseProximityMatrix> ComputeDenseProximityMatrix(
+    const Graph& graph, const DenseSolverOptions& options) {
+  const uint32_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (n > options.max_nodes) {
+    return Status::InvalidArgument(
+        "dense solve over n=" + std::to_string(n) + " exceeds max_nodes=" +
+        std::to_string(options.max_nodes) + " (O(n^3) guard)");
+  }
+  if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  const double alpha = options.alpha;
+
+  // M = I - (1-alpha) A, built densely. A is column-stochastic:
+  // A[i][j] = w(j,i)/W(j) for each edge j -> i.
+  std::vector<double> M(static_cast<size_t>(n) * n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) M[static_cast<size_t>(i) * n + i] = 1.0;
+  for (uint32_t j = 0; j < n; ++j) {
+    auto nbrs = graph.OutNeighbors(j);
+    auto weights = graph.OutWeights(j);
+    const double inv_w = 1.0 / graph.OutWeightSum(j);
+    for (size_t t = 0; t < nbrs.size(); ++t) {
+      const double a_ij = (weights.empty() ? 1.0 : weights[t]) * inv_w;
+      M[static_cast<size_t>(nbrs[t]) * n + j] -= (1.0 - alpha) * a_ij;
+    }
+  }
+
+  // Gauss-Jordan with partial pivoting: reduce [M | alpha*I] to [I | P].
+  std::vector<double> P(static_cast<size_t>(n) * n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) P[static_cast<size_t>(i) * n + i] = alpha;
+
+  for (uint32_t col = 0; col < n; ++col) {
+    // Pivot selection.
+    uint32_t pivot = col;
+    double best = std::abs(M[static_cast<size_t>(col) * n + col]);
+    for (uint32_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(M[static_cast<size_t>(r) * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::Internal("singular system in dense proximity solve");
+    }
+    if (pivot != col) {
+      for (uint32_t c = 0; c < n; ++c) {
+        std::swap(M[static_cast<size_t>(pivot) * n + c],
+                  M[static_cast<size_t>(col) * n + c]);
+        std::swap(P[static_cast<size_t>(pivot) * n + c],
+                  P[static_cast<size_t>(col) * n + c]);
+      }
+    }
+    const double inv_pivot = 1.0 / M[static_cast<size_t>(col) * n + col];
+    for (uint32_t c = 0; c < n; ++c) {
+      M[static_cast<size_t>(col) * n + c] *= inv_pivot;
+      P[static_cast<size_t>(col) * n + c] *= inv_pivot;
+    }
+    for (uint32_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = M[static_cast<size_t>(r) * n + col];
+      if (factor == 0.0) continue;
+      for (uint32_t c = 0; c < n; ++c) {
+        M[static_cast<size_t>(r) * n + c] -=
+            factor * M[static_cast<size_t>(col) * n + c];
+        P[static_cast<size_t>(r) * n + c] -=
+            factor * P[static_cast<size_t>(col) * n + c];
+      }
+    }
+  }
+  return DenseProximityMatrix(n, std::move(P));
+}
+
+}  // namespace rtk

@@ -1,0 +1,61 @@
+// Dense exact solver: the full proximity matrix P = alpha (I - (1-alpha)A)^-1
+// by Gauss-Jordan elimination. O(n^3) — ground truth for tests and the
+// "infeasible brute force" (IBF) baseline on small graphs only.
+
+#ifndef RTK_RWR_DENSE_SOLVER_H_
+#define RTK_RWR_DENSE_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace rtk {
+
+/// \brief Dense n x n proximity matrix. Entry At(i, j) is the proximity
+/// from node j to node i, i.e. column j is the proximity vector p_j,
+/// matching the paper's layout (Figure 1).
+class DenseProximityMatrix {
+ public:
+  DenseProximityMatrix(uint32_t n, std::vector<double> data)
+      : n_(n), data_(std::move(data)) {}
+
+  uint32_t n() const { return n_; }
+
+  /// \brief Proximity from node j to node i.
+  double At(uint32_t i, uint32_t j) const { return data_[i * n_ + j]; }
+
+  /// \brief The proximity vector p_u (column u) as a dense vector.
+  std::vector<double> Column(uint32_t u) const;
+
+  /// \brief The row q of P: exact proximities from every node to q.
+  std::vector<double> Row(uint32_t q) const;
+
+  /// \brief Bytes held by the matrix.
+  uint64_t MemoryBytes() const { return data_.size() * sizeof(double); }
+
+ private:
+  uint32_t n_;
+  std::vector<double> data_;  // row-major
+};
+
+/// \brief Options for the dense solve.
+struct DenseSolverOptions {
+  double alpha = 0.15;
+  /// Guard against accidental O(n^3) on big graphs; raise explicitly if you
+  /// really mean it.
+  uint32_t max_nodes = 2048;
+};
+
+/// \brief Computes the full proximity matrix exactly.
+///
+/// Errors: InvalidArgument when n exceeds options.max_nodes or alpha is out
+/// of range; Internal if the system is singular (cannot happen for a
+/// stochastic A with alpha in (0,1), but checked anyway).
+Result<DenseProximityMatrix> ComputeDenseProximityMatrix(
+    const Graph& graph, const DenseSolverOptions& options = {});
+
+}  // namespace rtk
+
+#endif  // RTK_RWR_DENSE_SOLVER_H_

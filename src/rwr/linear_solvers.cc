@@ -1,0 +1,106 @@
+#include "rwr/linear_solvers.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rtk {
+
+namespace {
+
+Status ValidateInputs(const ReverseTransitionView& view, uint32_t u,
+                      const StationarySolverOptions& options) {
+  if (u >= view.num_nodes()) {
+    return Status::InvalidArgument("solver: node id out of range");
+  }
+  const double alpha = options.rwr.alpha;
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::InvalidArgument("solver: alpha must be in (0, 1)");
+  }
+  if (!(options.relaxation > 0.0) || !(options.relaxation < 2.0)) {
+    return Status::InvalidArgument("solver: relaxation must be in (0, 2)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<double>> JacobiSolveColumn(
+    const ReverseTransitionView& view, uint32_t u,
+    const StationarySolverOptions& options, IterativeSolveStats* stats) {
+  if (Status s = ValidateInputs(view, u, options); !s.ok()) return s;
+  const uint32_t n = view.num_nodes();
+  const double alpha = options.rwr.alpha;
+  const double beta = 1.0 - alpha;
+
+  std::vector<double> x(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  x[u] = alpha;  // start from the restart injection itself
+
+  IterativeSolveStats local;
+  for (int iter = 0; iter < options.rwr.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (uint32_t v = 0; v < n; ++v) {
+      const auto sources = view.InSources(v);
+      const auto probs = view.InProbabilities(v);
+      double acc = (v == u) ? alpha : 0.0;
+      for (size_t i = 0; i < sources.size(); ++i) {
+        if (sources[i] == v) continue;  // diagonal handled below
+        acc += beta * probs[i] * x[sources[i]];
+      }
+      const double diag = 1.0 - beta * view.SelfLoopProbability(v);
+      next[v] = acc / diag;
+      delta += std::abs(next[v] - x[v]);
+    }
+    x.swap(next);
+    local.iterations = iter + 1;
+    local.final_delta = delta;
+    if (delta < options.rwr.epsilon) {
+      local.converged = true;
+      break;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return x;
+}
+
+Result<std::vector<double>> GaussSeidelSolveColumn(
+    const ReverseTransitionView& view, uint32_t u,
+    const StationarySolverOptions& options, IterativeSolveStats* stats) {
+  if (Status s = ValidateInputs(view, u, options); !s.ok()) return s;
+  const uint32_t n = view.num_nodes();
+  const double alpha = options.rwr.alpha;
+  const double beta = 1.0 - alpha;
+  const double omega = options.relaxation;
+
+  std::vector<double> x(n, 0.0);
+  x[u] = alpha;
+
+  IterativeSolveStats local;
+  for (int iter = 0; iter < options.rwr.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (uint32_t v = 0; v < n; ++v) {
+      const auto sources = view.InSources(v);
+      const auto probs = view.InProbabilities(v);
+      double acc = (v == u) ? alpha : 0.0;
+      for (size_t i = 0; i < sources.size(); ++i) {
+        if (sources[i] == v) continue;
+        acc += beta * probs[i] * x[sources[i]];  // fresh values in-place
+      }
+      const double diag = 1.0 - beta * view.SelfLoopProbability(v);
+      const double gs = acc / diag;
+      const double updated = (1.0 - omega) * x[v] + omega * gs;
+      delta += std::abs(updated - x[v]);
+      x[v] = updated;
+    }
+    local.iterations = iter + 1;
+    local.final_delta = delta;
+    if (delta < options.rwr.epsilon) {
+      local.converged = true;
+      break;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return x;
+}
+
+}  // namespace rtk

@@ -1,0 +1,77 @@
+#include "rwr/local_push.h"
+
+#include <deque>
+
+namespace rtk {
+
+Result<ContributionEstimate> ApproximateContributions(
+    const ReverseTransitionView& view, uint32_t q,
+    const LocalPushOptions& options) {
+  if (q >= view.num_nodes()) {
+    return Status::InvalidArgument("local push: node id out of range");
+  }
+  if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
+    return Status::InvalidArgument("local push: alpha must be in (0, 1)");
+  }
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("local push: epsilon must be positive");
+  }
+
+  const uint32_t n = view.num_nodes();
+  const double alpha = options.alpha;
+  const double beta = 1.0 - alpha;
+  const double threshold = alpha * options.epsilon;
+
+  ContributionEstimate out;
+  out.estimates.assign(n, 0.0);
+  std::vector<double> residual(n, 0.0);
+  std::vector<bool> queued(n, false);
+  std::vector<bool> touched(n, false);
+  std::deque<uint32_t> queue;
+
+  residual[q] = alpha;
+  queue.push_back(q);
+  queued[q] = true;
+  touched[q] = true;
+
+  while (!queue.empty()) {
+    if (options.max_pushes != 0 && out.pushes >= options.max_pushes) break;
+    const uint32_t v = queue.front();
+    queue.pop_front();
+    queued[v] = false;
+    const double rv = residual[v];
+    if (rv < threshold) continue;  // decayed below threshold while queued
+    ++out.pushes;
+
+    // Move the residual into the estimate, keep the self-loop share in
+    // place, and scatter the rest backwards along in-edges.
+    out.estimates[v] += rv;
+    residual[v] = beta * rv * view.SelfLoopProbability(v);
+    const auto sources = view.InSources(v);
+    const auto probs = view.InProbabilities(v);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const uint32_t u = sources[i];
+      if (u == v) continue;  // self-loop share already retained above
+      residual[u] += beta * rv * probs[i];
+      touched[u] = true;
+      if (!queued[u] && residual[u] >= threshold) {
+        queue.push_back(u);
+        queued[u] = true;
+      }
+    }
+    if (!queued[v] && residual[v] >= threshold) {
+      queue.push_back(v);
+      queued[v] = true;
+    }
+  }
+
+  for (uint32_t v = 0; v < n; ++v) {
+    out.residual_l1 += residual[v];
+    if (residual[v] > out.max_residual) out.max_residual = residual[v];
+    if (touched[v]) ++out.touched_nodes;
+  }
+  out.converged = out.max_residual < threshold;
+  return out;
+}
+
+}  // namespace rtk

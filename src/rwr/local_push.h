@@ -1,0 +1,73 @@
+// Local (reverse) push approximation of PageRank contributions: the
+// related-work alternative [1] to the paper's exact PMPN (Section 4.2.1).
+//
+// The contribution vector c = p_{q,*}^T (proximity from every node TO q)
+// solves  c = (1-alpha) A^T c + alpha e_q.  Instead of iterating to
+// convergence over the whole graph, local push maintains an estimate p and
+// a residual r with the invariant
+//
+//     c = p + (I - (1-alpha) A^T)^{-1} r,       p, r >= 0,
+//
+// starting from p = 0, r = alpha e_q. A push at node v moves r_v into p_v
+// and scatters (1-alpha) r_v P(u->v) to every in-neighbor u. Since the
+// inverse is nonnegative with row sums 1/alpha, stopping when
+// max_v r_v <= alpha * epsilon guarantees
+//
+//     0 <= c_u - p_u <= epsilon            for every u,
+//
+// i.e. the estimates are LOWER bounds with a uniform additive error — the
+// contract the paper contrasts with PMPN's exactness. Work is local: only
+// nodes that can reach q are ever touched.
+
+#ifndef RTK_RWR_LOCAL_PUSH_H_
+#define RTK_RWR_LOCAL_PUSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "rwr/reverse_adjacency.h"
+
+namespace rtk {
+
+/// \brief Options for ApproximateContributions().
+struct LocalPushOptions {
+  /// Restart probability alpha in (0, 1).
+  double alpha = 0.15;
+  /// Additive per-entry error target: every estimate is within epsilon
+  /// below the true contribution on convergence.
+  double epsilon = 1e-6;
+  /// Hard cap on the number of pushes (0 = no cap). The push count grows
+  /// with the query's aggregated contribution mass n*pr(q), so popular
+  /// targets cost more.
+  uint64_t max_pushes = 0;
+};
+
+/// \brief Result of a local contribution push.
+struct ContributionEstimate {
+  /// Dense per-node lower bounds on p_u(q); exact to within epsilon when
+  /// `converged`.
+  std::vector<double> estimates;
+  /// Largest remaining residual entry.
+  double max_residual = 0.0;
+  /// Total remaining residual mass.
+  double residual_l1 = 0.0;
+  /// Number of node pushes performed.
+  uint64_t pushes = 0;
+  /// Number of distinct nodes ever touched (the locality measure).
+  uint32_t touched_nodes = 0;
+  /// True when every residual fell below alpha * epsilon.
+  bool converged = false;
+};
+
+/// \brief Approximates the contribution vector p_{q,*} by reverse local
+/// push with the guarantee documented above.
+///
+/// Errors: InvalidArgument for bad q, alpha, or epsilon.
+Result<ContributionEstimate> ApproximateContributions(
+    const ReverseTransitionView& view, uint32_t q,
+    const LocalPushOptions& options = {});
+
+}  // namespace rtk
+
+#endif  // RTK_RWR_LOCAL_PUSH_H_

@@ -1,0 +1,62 @@
+#include "rwr/monte_carlo.h"
+
+#include <string>
+
+namespace rtk {
+
+namespace {
+
+Status ValidateMcOptions(const TransitionOperator& op, uint32_t u,
+                         const MonteCarloOptions& options) {
+  if (u >= op.num_nodes()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (options.num_walks == 0) {
+    return Status::InvalidArgument("num_walks must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<double>> MonteCarloEndPoint(const TransitionOperator& op,
+                                               uint32_t u,
+                                               const MonteCarloOptions& options,
+                                               Rng* rng) {
+  RTK_RETURN_NOT_OK(ValidateMcOptions(op, u, options));
+  std::vector<double> estimate(op.num_nodes(), 0.0);
+  const double weight = 1.0 / static_cast<double>(options.num_walks);
+  for (uint64_t w = 0; w < options.num_walks; ++w) {
+    uint32_t cur = u;
+    for (uint32_t step = 0; step < options.max_walk_length; ++step) {
+      if (rng->Bernoulli(options.alpha)) break;  // walk ends here
+      cur = op.SampleOutNeighbor(cur, rng);
+    }
+    estimate[cur] += weight;
+  }
+  return estimate;
+}
+
+Result<std::vector<double>> MonteCarloCompletePath(
+    const TransitionOperator& op, uint32_t u, const MonteCarloOptions& options,
+    Rng* rng) {
+  RTK_RETURN_NOT_OK(ValidateMcOptions(op, u, options));
+  std::vector<double> visits(op.num_nodes(), 0.0);
+  for (uint64_t w = 0; w < options.num_walks; ++w) {
+    uint32_t cur = u;
+    visits[cur] += 1.0;
+    for (uint32_t step = 0; step < options.max_walk_length; ++step) {
+      if (rng->Bernoulli(options.alpha)) break;
+      cur = op.SampleOutNeighbor(cur, rng);
+      visits[cur] += 1.0;
+    }
+  }
+  const double scale = options.alpha / static_cast<double>(options.num_walks);
+  for (double& v : visits) v *= scale;
+  return visits;
+}
+
+}  // namespace rtk

@@ -1,0 +1,45 @@
+// Monte-Carlo RWR estimators (Avrachenkov et al. [3], Fogaras et al. [9]).
+//
+// Related-work baselines: fast, approximate, and — unlike BCA — NOT lower
+// bounds of the exact proximities, which is precisely why the paper's index
+// builds on BCA instead (Section 6.1). We implement both classic flavors to
+// let the benches and tests demonstrate that distinction.
+
+#ifndef RTK_RWR_MONTE_CARLO_H_
+#define RTK_RWR_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Options for the Monte-Carlo estimators.
+struct MonteCarloOptions {
+  double alpha = 0.15;
+  /// Number of simulated walks.
+  uint64_t num_walks = 10000;
+  /// Safety cap on a single walk's length (restart usually fires earlier).
+  uint32_t max_walk_length = 1000;
+};
+
+/// \brief MC End Point: estimates p_u(v) as the fraction of walks from u
+/// that terminate at v (the walk ends at each step with probability alpha).
+Result<std::vector<double>> MonteCarloEndPoint(const TransitionOperator& op,
+                                               uint32_t u,
+                                               const MonteCarloOptions& options,
+                                               Rng* rng);
+
+/// \brief MC Complete Path: estimates p_u(v) as
+/// alpha * (total visits to v across walks) / num_walks, using every node on
+/// each walk (lower variance than End Point for the same walk budget).
+Result<std::vector<double>> MonteCarloCompletePath(
+    const TransitionOperator& op, uint32_t u, const MonteCarloOptions& options,
+    Rng* rng);
+
+}  // namespace rtk
+
+#endif  // RTK_RWR_MONTE_CARLO_H_

@@ -1,0 +1,33 @@
+// PageRank and personalized PageRank via the proximity relation (Eq. 3):
+//   pr = (1/n) P e        pprv = P v
+// computed directly by power iteration, without materializing P.
+//
+// Used by the spam-detection application (Section 5.4): the proximity from
+// u to v is exactly u's PageRank contribution to v.
+
+#ifndef RTK_RWR_PAGERANK_H_
+#define RTK_RWR_PAGERANK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "rwr/power_method.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Standard PageRank with uniform teleport: the stationary vector of
+/// x <- (1-alpha) A x + alpha/n e.
+Result<std::vector<double>> ComputePageRank(
+    const TransitionOperator& op, const RwrOptions& options = {},
+    IterativeSolveStats* stats = nullptr);
+
+/// \brief Personalized PageRank for a preference vector v (entries >= 0,
+/// L1 norm 1): the stationary vector of x <- (1-alpha) A x + alpha v.
+Result<std::vector<double>> ComputePersonalizedPageRank(
+    const TransitionOperator& op, const std::vector<double>& preference,
+    const RwrOptions& options = {}, IterativeSolveStats* stats = nullptr);
+
+}  // namespace rtk
+
+#endif  // RTK_RWR_PAGERANK_H_

@@ -1,0 +1,52 @@
+#include "rwr/reverse_adjacency.h"
+
+#include <algorithm>
+
+namespace rtk {
+
+ReverseTransitionView::ReverseTransitionView(const TransitionOperator& op)
+    : op_(&op) {
+  const Graph& g = op.graph();
+  const uint32_t n = g.num_nodes();
+  in_offsets_.assign(n + 1, 0);
+  self_loop_.assign(n, 0.0);
+  for (uint32_t v = 0; v < n; ++v) {
+    in_offsets_[v + 1] = in_offsets_[v] + g.InDegree(v);
+  }
+  in_probabilities_.assign(in_offsets_[n], 0.0);
+
+  // One scatter pass over the out-CSR: u's i-th out-edge (u -> v) lands in
+  // v's in-list. The graph stores in-sources sorted ascending, so v's slot
+  // for source u is found by matching positions; a per-node cursor plus the
+  // sorted-source invariant makes this O(m) total. Parallel edges are
+  // coalesced by GraphBuilder, so (u, v) appears once in both CSRs.
+  std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (uint32_t u = 0; u < n; ++u) {
+    const auto targets = g.OutNeighbors(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const uint32_t v = targets[i];
+      const double p = op.EdgeProbability(u, i);
+      if (v == u) self_loop_[u] = p;
+      in_probabilities_[cursor[v]++] = p;
+    }
+  }
+  // The scatter above fills v's in-probabilities in source order only if
+  // sources arrive in ascending u, which the u-loop guarantees. Verify the
+  // cursors consumed every slot (debug-only invariant).
+#ifndef NDEBUG
+  for (uint32_t v = 0; v < n; ++v) {
+    if (cursor[v] != in_offsets_[v + 1]) {
+      // In-degree and scattered edge count disagree: CSR corruption.
+      std::abort();
+    }
+  }
+#endif
+}
+
+uint64_t ReverseTransitionView::MemoryBytes() const {
+  return in_offsets_.size() * sizeof(uint64_t) +
+         in_probabilities_.size() * sizeof(double) +
+         self_loop_.size() * sizeof(double);
+}
+
+}  // namespace rtk

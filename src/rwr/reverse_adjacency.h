@@ -1,0 +1,61 @@
+// ReverseTransitionView: the in-adjacency of a graph annotated with
+// transition probabilities, i.e. for each node v the list of sources u with
+// P(u -> v) = w(u,v) / W(u).
+//
+// The Graph CSR materializes in-neighbors but not in-edge weights; solvers
+// that sweep rows of A (Gauss-Seidel) or push residue backwards along edges
+// (local contribution push, Section 4.2.1's related work [1]) need the
+// probability attached to each in-edge. This view builds that in one O(m)
+// pass and shares it across solves on the same graph.
+
+#ifndef RTK_RWR_REVERSE_ADJACENCY_H_
+#define RTK_RWR_REVERSE_ADJACENCY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief In-edges of every node with their transition probabilities.
+///
+/// Holds a reference to the operator's graph; the graph must outlive the
+/// view. Building is O(n + m); the arrays parallel the graph's in-CSR.
+class ReverseTransitionView {
+ public:
+  explicit ReverseTransitionView(const TransitionOperator& op);
+
+  const TransitionOperator& op() const { return *op_; }
+  uint32_t num_nodes() const { return op_->num_nodes(); }
+
+  /// \brief Sources of v's in-edges (same order as Graph::InNeighbors).
+  std::span<const uint32_t> InSources(uint32_t v) const {
+    return op_->graph().InNeighbors(v);
+  }
+
+  /// \brief P(u -> v) for each in-edge of v, aligned with InSources(v).
+  std::span<const double> InProbabilities(uint32_t v) const {
+    return {in_probabilities_.data() + in_offsets_[v],
+            in_probabilities_.data() + in_offsets_[v + 1]};
+  }
+
+  /// \brief The self-loop probability P(v -> v), 0 when absent. This is the
+  /// diagonal entry a_vv of the transition matrix, which Jacobi and
+  /// Gauss-Seidel must treat specially.
+  double SelfLoopProbability(uint32_t v) const { return self_loop_[v]; }
+
+  /// \brief Heap bytes used by the probability arrays.
+  uint64_t MemoryBytes() const;
+
+ private:
+  const TransitionOperator* op_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<double> in_probabilities_;
+  std::vector<double> self_loop_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_RWR_REVERSE_ADJACENCY_H_

@@ -1,0 +1,85 @@
+#include "rwr/transition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtk {
+
+TransitionOperator::TransitionOperator(const Graph& graph) : graph_(&graph) {
+  const uint32_t n = graph.num_nodes();
+  inv_out_weight_.resize(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    const double w = graph.OutWeightSum(u);
+    assert(w > 0.0 && "graph has a dangling node; use a DanglingPolicy");
+    inv_out_weight_[u] = 1.0 / w;
+  }
+  if (graph.is_weighted()) {
+    cumulative_weights_.reserve(graph.num_edges());
+    for (uint32_t u = 0; u < n; ++u) {
+      double acc = 0.0;
+      for (double w : graph.OutWeights(u)) {
+        acc += w;
+        cumulative_weights_.push_back(acc);
+      }
+    }
+  }
+}
+
+void TransitionOperator::ApplyForward(const std::vector<double>& x,
+                                      std::vector<double>* y) const {
+  const uint32_t n = graph_->num_nodes();
+  assert(x.size() == n && y->size() == n && &x != y);
+  std::fill(y->begin(), y->end(), 0.0);
+  for (uint32_t u = 0; u < n; ++u) {
+    const double xu = x[u];
+    if (xu == 0.0) continue;
+    auto nbrs = graph_->OutNeighbors(u);
+    auto weights = graph_->OutWeights(u);
+    if (weights.empty()) {
+      const double share = xu * inv_out_weight_[u];
+      for (uint32_t v : nbrs) (*y)[v] += share;
+    } else {
+      const double scale = xu * inv_out_weight_[u];
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        (*y)[nbrs[i]] += scale * weights[i];
+      }
+    }
+  }
+}
+
+void TransitionOperator::ApplyTranspose(const std::vector<double>& x,
+                                        std::vector<double>* y) const {
+  const uint32_t n = graph_->num_nodes();
+  assert(x.size() == n && y->size() == n && &x != y);
+  for (uint32_t u = 0; u < n; ++u) {
+    auto nbrs = graph_->OutNeighbors(u);
+    auto weights = graph_->OutWeights(u);
+    double acc = 0.0;
+    if (weights.empty()) {
+      for (uint32_t v : nbrs) acc += x[v];
+    } else {
+      for (size_t i = 0; i < nbrs.size(); ++i) acc += weights[i] * x[nbrs[i]];
+    }
+    (*y)[u] = acc * inv_out_weight_[u];
+  }
+}
+
+uint32_t TransitionOperator::SampleOutNeighbor(uint32_t u, Rng* rng) const {
+  auto nbrs = graph_->OutNeighbors(u);
+  assert(!nbrs.empty());
+  if (cumulative_weights_.empty()) {
+    return nbrs[rng->Uniform(nbrs.size())];
+  }
+  // Binary search the node's cumulative-weight slice.
+  const uint64_t begin = &nbrs[0] - graph_->OutNeighbors(0).data();
+  const double* lo = cumulative_weights_.data() + begin;
+  const double* hi = lo + nbrs.size();
+  const double total = *(hi - 1) - (begin == 0 ? 0.0 : *(lo - 1));
+  const double base = (begin == 0 ? 0.0 : *(lo - 1));
+  const double target = base + rng->NextDouble() * total;
+  const double* it = std::upper_bound(lo, hi, target);
+  if (it == hi) --it;  // numerical edge: target == total
+  return nbrs[it - lo];
+}
+
+}  // namespace rtk

@@ -1,0 +1,73 @@
+// TransitionOperator: the column-stochastic RWR transition matrix A of a
+// graph, applied matrix-free in O(m).
+//
+// a_ij = w(j, i) / W(j) where W(j) is node j's total out-weight (Section 2.1
+// of the paper; uniform 1/OD(j) for unweighted graphs, and the weighted
+// variant of Section 5.4 for weighted ones). Both y = A x (scatter over
+// out-edges) and y = A^T x (gather over out-edges) are provided; the latter
+// is the kernel of the paper's PMPN algorithm and deliberately needs only
+// the out-CSR.
+
+#ifndef RTK_RWR_TRANSITION_H_
+#define RTK_RWR_TRANSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace rtk {
+
+/// \brief Shared knobs for iterative RWR computations.
+struct RwrOptions {
+  /// Restart probability alpha in (0, 1); the paper uses 0.15 throughout.
+  double alpha = 0.15;
+  /// L1 convergence threshold epsilon for iterative solvers.
+  double epsilon = 1e-10;
+  /// Hard iteration cap (the epsilon criterion normally fires well before).
+  int max_iterations = 100000;
+};
+
+/// \brief Matrix-free application of A and A^T for a graph.
+///
+/// Holds a reference to the graph; the graph must outlive the operator.
+class TransitionOperator {
+ public:
+  explicit TransitionOperator(const Graph& graph);
+
+  const Graph& graph() const { return *graph_; }
+  uint32_t num_nodes() const { return graph_->num_nodes(); }
+
+  /// \brief Transition probability mass leaving u along its i-th out-edge:
+  /// w_i / W(u).
+  double EdgeProbability(uint32_t u, size_t edge_index) const {
+    auto weights = graph_->OutWeights(u);
+    if (weights.empty()) return inv_out_weight_[u];  // uniform 1/OD(u)
+    return weights[edge_index] * inv_out_weight_[u];
+  }
+
+  /// \brief y = A x. y is overwritten; x and y must have size n and be
+  /// distinct.
+  void ApplyForward(const std::vector<double>& x, std::vector<double>* y) const;
+
+  /// \brief y = A^T x. y is overwritten; x and y must have size n and be
+  /// distinct.
+  void ApplyTranspose(const std::vector<double>& x,
+                      std::vector<double>* y) const;
+
+  /// \brief Samples an out-neighbor of u with probability proportional to
+  /// edge weight (uniform when unweighted). u must have out-degree > 0.
+  uint32_t SampleOutNeighbor(uint32_t u, Rng* rng) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<double> inv_out_weight_;  // 1 / W(u) per node
+  // Per-node cumulative weights for weighted sampling; empty when the graph
+  // is unweighted. Aligned with the out-edge arrays.
+  std::vector<double> cumulative_weights_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_RWR_TRANSITION_H_

@@ -1,0 +1,228 @@
+#include "topk/kdash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/top_k.h"
+#include "rwr/reverse_adjacency.h"
+
+namespace rtk {
+
+Result<KdashIndex> KdashIndex::Build(const TransitionOperator& op,
+                                     const KdashOptions& options) {
+  const uint32_t n = op.num_nodes();
+  if (n == 0) return Status::InvalidArgument("kdash: empty graph");
+  if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
+    return Status::InvalidArgument("kdash: alpha must be in (0, 1)");
+  }
+
+  KdashIndex index;
+  index.n_ = n;
+  index.alpha_ = options.alpha;
+  index.perm_.resize(n);
+  std::iota(index.perm_.begin(), index.perm_.end(), 0u);
+  if (options.ordering == KdashOrdering::kDegreeAscending) {
+    const Graph& g = op.graph();
+    std::stable_sort(index.perm_.begin(), index.perm_.end(),
+                     [&g](uint32_t a, uint32_t b) {
+                       const uint64_t da = g.InDegree(a) + g.OutDegree(a);
+                       const uint64_t db = g.InDegree(b) + g.OutDegree(b);
+                       return da < db;
+                     });
+  }
+  index.inv_perm_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) index.inv_perm_[index.perm_[i]] = i;
+
+  // Row i of the permuted M = I - (1-alpha)A is the in-edge list of the
+  // original node perm_[i]; the view provides those probabilities.
+  const ReverseTransitionView view(op);
+  const double beta = 1.0 - options.alpha;
+
+  index.l_offsets_.assign(1, 0);
+  index.u_offsets_.assign(1, 0);
+  index.u_diag_.assign(n, 0.0);
+
+  // Sparse accumulator (SPA) shared across rows.
+  std::vector<double> work(n, 0.0);
+  std::vector<bool> in_heap(n, false);
+  std::vector<uint32_t> upper_touched;  // indices >= i introduced this row
+  // Min-heap of pending elimination columns (< i), popped ascending.
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> heap;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t oi = index.perm_[i];
+    upper_touched.clear();
+
+    auto scatter = [&](uint32_t col, double value) {
+      if (work[col] == 0.0) {
+        if (col < i) {
+          if (!in_heap[col]) {
+            heap.push(col);
+            in_heap[col] = true;
+          }
+        } else {
+          upper_touched.push_back(col);
+        }
+      }
+      work[col] += value;
+    };
+
+    // Row of M: +1 on the diagonal, -(1-alpha) P(s -> oi) per in-edge.
+    scatter(i, 1.0);
+    const auto sources = view.InSources(oi);
+    const auto probs = view.InProbabilities(oi);
+    for (size_t e = 0; e < sources.size(); ++e) {
+      scatter(index.inv_perm_[sources[e]], -beta * probs[e]);
+    }
+
+    // Up-looking elimination: pop pending columns ascending; each pop can
+    // only introduce columns to its right, so order is safe.
+    while (!heap.empty()) {
+      const uint32_t k = heap.top();
+      heap.pop();
+      in_heap[k] = false;
+      const double lik = work[k] / index.u_diag_[k];
+      work[k] = 0.0;
+      if (lik == 0.0) continue;
+      index.l_cols_.push_back(k);
+      index.l_vals_.push_back(lik);
+      for (uint64_t e = index.u_offsets_[k]; e < index.u_offsets_[k + 1];
+           ++e) {
+        scatter(index.u_cols_[e], -lik * index.u_vals_[e]);
+      }
+    }
+    index.l_offsets_.push_back(index.l_cols_.size());
+
+    // Harvest the U row: diagonal plus sorted strict-upper entries.
+    index.u_diag_[i] = work[i];
+    work[i] = 0.0;
+    std::sort(upper_touched.begin(), upper_touched.end());
+    for (uint32_t col : upper_touched) {
+      if (col == i) continue;
+      if (work[col] != 0.0) {
+        index.u_cols_.push_back(col);
+        index.u_vals_.push_back(work[col]);
+      }
+      work[col] = 0.0;
+    }
+    index.u_offsets_.push_back(index.u_cols_.size());
+
+    if (index.u_diag_[i] <= 0.0) {
+      // Column diagonal dominance guarantees this never fires; a zero or
+      // negative pivot means the transition matrix was malformed.
+      return Status::Internal("kdash: non-positive pivot");
+    }
+    if (options.max_fill_entries != 0 &&
+        index.l_cols_.size() + index.u_cols_.size() >
+            options.max_fill_entries) {
+      return Status::ResourceExhausted("kdash: fill cap exceeded at row " +
+                                       std::to_string(i));
+    }
+  }
+  return index;
+}
+
+void KdashIndex::ForwardSolve(std::vector<double>* b) const {
+  std::vector<double>& x = *b;
+  for (uint32_t i = 0; i < n_; ++i) {
+    double acc = x[i];
+    for (uint64_t e = l_offsets_[i]; e < l_offsets_[i + 1]; ++e) {
+      acc -= l_vals_[e] * x[l_cols_[e]];
+    }
+    x[i] = acc;
+  }
+}
+
+void KdashIndex::BackwardSolve(std::vector<double>* b) const {
+  std::vector<double>& x = *b;
+  for (uint32_t i = n_; i-- > 0;) {
+    double acc = x[i];
+    for (uint64_t e = u_offsets_[i]; e < u_offsets_[i + 1]; ++e) {
+      acc -= u_vals_[e] * x[u_cols_[e]];
+    }
+    x[i] = acc / u_diag_[i];
+  }
+}
+
+void KdashIndex::ForwardSolveTransposeU(std::vector<double>* b) const {
+  // U^T is lower triangular; processing U's rows top-down applies its
+  // columns, which is exactly the forward substitution on U^T.
+  std::vector<double>& x = *b;
+  for (uint32_t i = 0; i < n_; ++i) {
+    x[i] /= u_diag_[i];
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (uint64_t e = u_offsets_[i]; e < u_offsets_[i + 1]; ++e) {
+      x[u_cols_[e]] -= u_vals_[e] * xi;
+    }
+  }
+}
+
+void KdashIndex::BackwardSolveTransposeL(std::vector<double>* b) const {
+  // L^T is unit upper triangular; process L's rows bottom-up.
+  std::vector<double>& x = *b;
+  for (uint32_t i = n_; i-- > 0;) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (uint64_t e = l_offsets_[i]; e < l_offsets_[i + 1]; ++e) {
+      x[l_cols_[e]] -= l_vals_[e] * xi;
+    }
+  }
+}
+
+Result<std::vector<double>> KdashIndex::SolveColumn(uint32_t u) const {
+  if (u >= n_) return Status::InvalidArgument("kdash: node id out of range");
+  std::vector<double> b(n_, 0.0);
+  b[inv_perm_[u]] = alpha_;
+  ForwardSolve(&b);
+  BackwardSolve(&b);
+  std::vector<double> x(n_);
+  for (uint32_t i = 0; i < n_; ++i) x[perm_[i]] = b[i];
+  return x;
+}
+
+Result<std::vector<double>> KdashIndex::SolveRow(uint32_t q) const {
+  if (q >= n_) return Status::InvalidArgument("kdash: node id out of range");
+  // M^T z = alpha e_q with M = LU: solve U^T w = alpha e_q, then L^T z = w.
+  std::vector<double> b(n_, 0.0);
+  b[inv_perm_[q]] = alpha_;
+  ForwardSolveTransposeU(&b);
+  BackwardSolveTransposeL(&b);
+  std::vector<double> x(n_);
+  for (uint32_t i = 0; i < n_; ++i) x[perm_[i]] = b[i];
+  return x;
+}
+
+Result<std::vector<std::pair<uint32_t, double>>> KdashIndex::TopK(
+    uint32_t u, uint32_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  RTK_ASSIGN_OR_RETURN(std::vector<double> col, SolveColumn(u));
+  std::vector<double> top = TopKValuesDescending(col, k);
+  const double kth = top.size() >= k ? top[k - 1] : 0.0;
+  std::vector<std::pair<uint32_t, double>> result;
+  for (uint32_t v = 0; v < col.size(); ++v) {
+    if (col[v] >= kth && col[v] > 0.0) result.emplace_back(v, col[v]);
+  }
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return result;
+}
+
+uint64_t KdashIndex::FillEntries() const {
+  return l_cols_.size() + u_cols_.size() + n_;  // + unit/diag entries
+}
+
+uint64_t KdashIndex::MemoryBytes() const {
+  return perm_.size() * sizeof(uint32_t) + inv_perm_.size() * sizeof(uint32_t) +
+         l_offsets_.size() * sizeof(uint64_t) +
+         l_cols_.size() * sizeof(uint32_t) + l_vals_.size() * sizeof(double) +
+         u_offsets_.size() * sizeof(uint64_t) +
+         u_cols_.size() * sizeof(uint32_t) + u_vals_.size() * sizeof(double) +
+         u_diag_.size() * sizeof(double);
+}
+
+}  // namespace rtk

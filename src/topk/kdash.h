@@ -1,0 +1,120 @@
+// K-dash-style LU-factorization index for exact RWR proximity (Fujiwara et
+// al. [10], the state-of-the-art exact top-k baseline of Section 6.2).
+//
+// K-dash precomputes a sparse LU decomposition of
+//
+//     M = I - (1-alpha) A
+//
+// (with a fill-reducing node ordering) and answers each exact proximity
+// column p_u = alpha M^{-1} e_u by one forward + one backward triangular
+// solve in O(nnz(L) + nnz(U)) — no iteration. Because M is strictly
+// column-diagonally dominant (the off-diagonal column sum is at most
+// (1-alpha) < 1 = excess of the diagonal), the factorization needs no
+// pivoting and every U diagonal is positive.
+//
+// This reimplementation keeps K-dash's essence — degree-ordered
+// no-pivoting sparse LU + triangular solves — and omits the original's
+// BFS-tree incremental pruning (our reverse top-k core has its own
+// bound machinery). It also adds transpose solves, so the same index
+// yields exact proximity ROWS p_{q,*} = alpha M^{-T} e_q, cross-validating
+// the paper's PMPN (Algorithm 2) in tests and benches.
+//
+// Fill-in grows with graph density and treewidth; Build() can be capped
+// with max_fill_entries. Intended for the brute-force/baseline role on
+// bench-scale graphs, exactly like the paper uses K-dash in Table 2.
+
+#ifndef RTK_TOPK_KDASH_H_
+#define RTK_TOPK_KDASH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Node elimination orderings for the factorization.
+enum class KdashOrdering {
+  /// Eliminate low-degree nodes first (K-dash's fill-reducing heuristic).
+  kDegreeAscending,
+  /// Natural id order (baseline; usually much more fill).
+  kNatural,
+};
+
+/// \brief Options for KdashIndex::Build().
+struct KdashOptions {
+  double alpha = 0.15;
+  KdashOrdering ordering = KdashOrdering::kDegreeAscending;
+  /// Abort with ResourceExhausted when L+U fill exceeds this many entries
+  /// (0 = unlimited). Protects against dense-blowup on high-treewidth
+  /// graphs.
+  uint64_t max_fill_entries = 0;
+};
+
+/// \brief Precomputed LU factorization answering exact proximity columns,
+/// rows, and top-k queries without iteration.
+class KdashIndex {
+ public:
+  /// \brief Factorizes M = I - (1-alpha)A over the operator's graph.
+  ///
+  /// Errors: InvalidArgument (bad alpha / empty graph), ResourceExhausted
+  /// (fill cap hit).
+  static Result<KdashIndex> Build(const TransitionOperator& op,
+                                  const KdashOptions& options = {});
+
+  /// \brief Exact proximity column p_u (equals ComputeProximityColumn up to
+  /// solver epsilon) via L/U triangular solves.
+  Result<std::vector<double>> SolveColumn(uint32_t u) const;
+
+  /// \brief Exact proximity row p_{q,*} (equals ComputeProximityToNode)
+  /// via U^T/L^T triangular solves.
+  Result<std::vector<double>> SolveRow(uint32_t q) const;
+
+  /// \brief Exact top-k of node u; ties at the k-th value are included,
+  /// mirroring ExactTopK().
+  Result<std::vector<std::pair<uint32_t, double>>> TopK(uint32_t u,
+                                                        uint32_t k) const;
+
+  uint32_t num_nodes() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// \brief Stored nonzeros in L and U together (the index size driver).
+  uint64_t FillEntries() const;
+
+  /// \brief Heap bytes used by the factor arrays.
+  uint64_t MemoryBytes() const;
+
+ private:
+  KdashIndex() = default;
+
+  // Solves L y = b in place (unit lower triangular, permuted order).
+  void ForwardSolve(std::vector<double>* b) const;
+  // Solves U x = b in place.
+  void BackwardSolve(std::vector<double>* b) const;
+  // Solves U^T y = b in place (U^T is lower triangular).
+  void ForwardSolveTransposeU(std::vector<double>* b) const;
+  // Solves L^T x = b in place (L^T is unit upper triangular).
+  void BackwardSolveTransposeL(std::vector<double>* b) const;
+
+  uint32_t n_ = 0;
+  double alpha_ = 0.15;
+  // perm_[new] = original id; inv_perm_[original] = new position.
+  std::vector<uint32_t> perm_;
+  std::vector<uint32_t> inv_perm_;
+  // Strictly lower triangle of L by row (unit diagonal implicit),
+  // column indices ascending within a row.
+  std::vector<uint64_t> l_offsets_;
+  std::vector<uint32_t> l_cols_;
+  std::vector<double> l_vals_;
+  // Strict upper triangle of U by row, ascending; diagonal kept separately.
+  std::vector<uint64_t> u_offsets_;
+  std::vector<uint32_t> u_cols_;
+  std::vector<double> u_vals_;
+  std::vector<double> u_diag_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_TOPK_KDASH_H_

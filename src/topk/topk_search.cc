@@ -1,0 +1,86 @@
+#include "topk/topk_search.h"
+
+#include <algorithm>
+
+#include "bca/bca.h"
+#include "bca/hub_proximity_store.h"
+#include "common/top_k.h"
+
+namespace rtk {
+
+Result<std::vector<std::pair<uint32_t, double>>> ExactTopK(
+    const TransitionOperator& op, uint32_t u, uint32_t k,
+    const RwrOptions& options) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  RTK_ASSIGN_OR_RETURN(std::vector<double> col,
+                       ComputeProximityColumn(op, u, options));
+  // Find the k-th largest value, then include every node >= it (ties).
+  std::vector<double> top = TopKValuesDescending(col, k);
+  const double kth = top.size() >= k ? top[k - 1] : 0.0;
+  std::vector<std::pair<uint32_t, double>> result;
+  for (uint32_t v = 0; v < col.size(); ++v) {
+    if (col[v] >= kth && col[v] > 0.0) result.emplace_back(v, col[v]);
+  }
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return result;
+}
+
+Result<BpaTopkResult> BpaTopK(const TransitionOperator& op, uint32_t u,
+                              uint32_t k, const BpaOptions& options) {
+  if (u >= op.num_nodes()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  BcaOptions bca_opts;
+  bca_opts.alpha = options.alpha;
+  bca_opts.eta = options.eta;
+  bca_opts.delta = 0.0;  // termination decided by the top-k bound below
+  bca_opts.max_iterations = options.max_iterations;
+  // Hub-less runner: all ink propagates explicitly.
+  BcaRunner runner(op, /*hubs=*/{}, bca_opts);
+  const HubProximityStore empty_store =
+      HubProximityStore::Empty(op.num_nodes());
+  runner.Start(u);
+  runner.BeginApproxTracking(empty_store);  // selection-only per iteration
+
+  BpaTopkResult result;
+  // Margins below solver precision count as converged — the tie there is
+  // genuine and either winner is a correct top-k set.
+  constexpr double kBoundSlack = 1e-9;
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    // Candidates so far: top k+1 of the current lower-bound vector. If the
+    // k-th lower bound already beats the best possible value of any node
+    // outside the top-k (their current value + all remaining ink), the set
+    // is final: p_u(v) <= p^t(v) + |r|_1 for every v. When fewer than k
+    // nodes are reachable at all, the set is final once the residue dies.
+    const auto top = runner.TopKApprox(empty_store, k + 1);
+    const double kth_lb = top.size() >= k ? top[k - 1].second : 0.0;
+    const double outsider_ub =
+        (top.size() > k ? top[k].second : 0.0) + runner.ResidueL1();
+    if (kth_lb + kBoundSlack >= outsider_ub) {
+      result.entries.assign(top.begin(),
+                            top.begin() + std::min<size_t>(k, top.size()));
+      result.converged = true;
+      return result;
+    }
+    size_t pushed = runner.Step(PushStrategy::kBatch);
+    if (pushed == 0) pushed = runner.Step(PushStrategy::kSingleMax);
+    if (pushed == 0) {
+      // Residue exhausted: lower bounds are exact.
+      auto top_exact = runner.TopKApprox(empty_store, k);
+      result.entries = std::move(top_exact);
+      result.converged = true;
+      return result;
+    }
+  }
+  // Iteration cap: return the best-known candidates, flagged unconverged.
+  result.entries = runner.TopKApprox(empty_store, k);
+  result.converged = false;
+  return result;
+}
+
+}  // namespace rtk

@@ -1,0 +1,55 @@
+// Forward top-k RWR search: the classic query the paper builds on
+// (Section 6.2), implemented both exactly and with BPA-style push bounds.
+//
+// The reverse query and the forward query are duals:
+//     u in ReverseTopk(q)  <=>  q in Topk(u)
+// which the tests exploit to cross-validate the core module against this
+// independent implementation.
+
+#ifndef RTK_TOPK_TOPK_SEARCH_H_
+#define RTK_TOPK_TOPK_SEARCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "rwr/power_method.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Exact top-k: one power-method solve + selection. Ties at the k-th
+/// value are all included (consistent with Problem 1's >=), so the result
+/// may exceed k entries.
+Result<std::vector<std::pair<uint32_t, double>>> ExactTopK(
+    const TransitionOperator& op, uint32_t u, uint32_t k,
+    const RwrOptions& options = {});
+
+/// \brief Options for the push-based (BPA-flavored [11]) top-k search.
+struct BpaOptions {
+  double alpha = 0.15;
+  /// Propagation threshold of the underlying BCA.
+  double eta = 1e-6;
+  int max_iterations = 100000;
+};
+
+/// \brief Result of BpaTopK.
+struct BpaTopkResult {
+  /// (node, lower-bound value) pairs, descending; exact top-k set when
+  /// `converged`.
+  std::vector<std::pair<uint32_t, double>> entries;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// \brief Push-based top-k: run hub-less BCA from u, maintaining the bound
+/// p_u(v) <= p^t(v) + |r|_1; stop once the k-th candidate's lower bound
+/// beats every outsider's upper bound. Returns the top-k set without exact
+/// values — the BPA idea of Gupta et al. [11] on our batched push engine.
+Result<BpaTopkResult> BpaTopK(const TransitionOperator& op, uint32_t u,
+                              uint32_t k, const BpaOptions& options = {});
+
+}  // namespace rtk
+
+#endif  // RTK_TOPK_TOPK_SEARCH_H_

@@ -1,0 +1,137 @@
+#include "workload/coauthorship.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "graph/graph_builder.h"
+
+namespace rtk {
+
+Result<CoauthorshipNetwork> GenerateCoauthorship(
+    const CoauthorshipOptions& options, Rng* rng) {
+  const uint32_t n = options.num_authors;
+  if (n < 100 || options.num_communities == 0 ||
+      options.num_communities > n / 4) {
+    return Status::InvalidArgument("coauthorship: bad community shape");
+  }
+  if (options.max_authors_per_paper < 2) {
+    return Status::InvalidArgument("coauthorship: papers need >= 2 authors");
+  }
+  if (options.num_connectors >= n / 10) {
+    return Status::InvalidArgument("coauthorship: too many connectors");
+  }
+
+  // Community membership: round-robin so communities are balanced.
+  // Professors are the rank-0 member of each community; connectors are the
+  // rank-1 members of the first communities (distinct from professors).
+  const uint32_t c = options.num_communities;
+  std::vector<std::vector<uint32_t>> members(c);
+  for (uint32_t a = 0; a < n; ++a) members[a % c].push_back(a);
+  for (const auto& m : members) {
+    if (m.size() < 3) {
+      return Status::InvalidArgument("coauthorship: communities too small");
+    }
+  }
+  if (options.communities_per_connector == 0 ||
+      options.communities_per_connector > c) {
+    return Status::InvalidArgument(
+        "coauthorship: communities_per_connector out of range");
+  }
+
+  CoauthorshipNetwork net;
+  net.connectors.reserve(options.num_connectors);
+  for (uint32_t i = 0; i < options.num_connectors; ++i) {
+    net.connectors.push_back(members[i % c][1]);
+  }
+  std::set<uint32_t> connector_set(net.connectors.begin(),
+                                   net.connectors.end());
+
+  net.paper_counts.assign(n, 0);
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> copaper;  // i<j -> count
+
+  auto record_paper = [&](const std::vector<uint32_t>& authors) {
+    for (uint32_t a : authors) ++net.paper_counts[a];
+    for (size_t i = 0; i < authors.size(); ++i) {
+      for (size_t j = i + 1; j < authors.size(); ++j) {
+        const uint32_t lo = std::min(authors[i], authors[j]);
+        const uint32_t hi = std::max(authors[i], authors[j]);
+        ++copaper[{lo, hi}];
+      }
+    }
+  };
+
+  // Zipf-of-membership: within a community, author rank r is picked with
+  // probability ~ (r+1)^-s, modeling productivity skew.
+  auto pick_in_community = [&](uint32_t community) {
+    const auto& m = members[community];
+    const uint64_t r = rng->Zipf(m.size(), options.productivity_exponent);
+    return m[r];
+  };
+
+  // Regular community papers: all authors from one community. The
+  // professor (rank 0) joins with probability professor_participation (a
+  // PI co-authors most lab output), which concentrates every member's
+  // transition mass on the professor.
+  for (uint32_t p = 0; p < options.num_papers; ++p) {
+    const uint32_t team =
+        2 + static_cast<uint32_t>(
+                rng->Uniform(options.max_authors_per_paper - 1));
+    std::vector<uint32_t> authors;
+    const uint32_t community = static_cast<uint32_t>(rng->Uniform(c));
+    if (rng->Bernoulli(options.professor_participation)) {
+      authors.push_back(members[community][0]);
+    }
+    while (authors.size() < team) {
+      const uint32_t a = pick_in_community(community);
+      if (std::find(authors.begin(), authors.end(), a) == authors.end()) {
+        authors.push_back(a);
+      }
+    }
+    record_paper(authors);
+  }
+
+  // Connector papers: repeated two-author collaborations with professors
+  // of several (distinct, non-home) communities. The repetition is the
+  // point: it gives the connector a visible share of each professor's
+  // transition mass, so whole communities rank the connector indirectly.
+  // At most c - 1 foreign communities exist per connector.
+  const uint32_t links_per_connector =
+      std::min(options.communities_per_connector, c - 1);
+  for (uint32_t i = 0; i < net.connectors.size(); ++i) {
+    const uint32_t star = net.connectors[i];
+    const uint32_t home = star % c;
+    std::set<uint32_t> chosen;
+    while (chosen.size() < links_per_connector) {
+      const uint32_t community = static_cast<uint32_t>(rng->Uniform(c));
+      if (community != home) chosen.insert(community);
+    }
+    for (uint32_t community : chosen) {
+      const uint32_t professor = members[community][0];
+      for (uint32_t p = 0; p < options.papers_per_professor_link; ++p) {
+        record_paper({star, professor});
+      }
+    }
+  }
+
+  // Assemble the weighted symmetric graph. Isolated authors (no papers or
+  // only solo papers) would dangle; the kRemove policy would renumber ids
+  // and break paper_counts alignment, so give them self-loops instead.
+  GraphBuilder builder(n);
+  net.coauthor_counts.assign(n, 0);
+  for (const auto& [pair, count] : copaper) {
+    builder.AddUndirectedEdge(pair.first, pair.second,
+                              static_cast<double>(count));
+    ++net.coauthor_counts[pair.first];
+    ++net.coauthor_counts[pair.second];
+  }
+  GraphBuilderOptions build_opts;
+  build_opts.dangling_policy = DanglingPolicy::kSelfLoop;
+  build_opts.parallel_edges = ParallelEdgePolicy::kError;  // keys are unique
+  RTK_ASSIGN_OR_RETURN(Graph graph, builder.Build(build_opts));
+  net.graph = std::move(graph);
+  return net;
+}
+
+}  // namespace rtk

@@ -1,0 +1,86 @@
+// Synthetic weighted coauthorship network for the author-popularity
+// experiment (paper Section 5.4, Table 3).
+//
+// The paper extracts a 44528-author / 121352-edge DBLP coauthorship graph
+// and weights the RWR transition matrix by a_ij = w_ij / w_j, where w_j is
+// author j's publication count and w_ij the number of papers i and j
+// coauthored. DBLP is not shipped here; this generator simulates a
+// community-structured publication process that yields the same mechanics:
+// a heavy-tailed productivity (Zipf) distribution, within-community
+// collaboration, and a handful of highly collaborative "connector" authors
+// whose reverse top-k lists grow far beyond their direct coauthor count —
+// the Table 3 signature.
+//
+// Note on normalization: the paper's a_ij = w_ij / w_j is not
+// column-stochastic when papers have more than two authors (the column sum
+// is sum_i w_ij / w_j which can exceed 1). We therefore normalize each
+// column by its actual weight sum — identical when every paper has two
+// authors, and the standard weighted-RWR semantics otherwise. Recorded as
+// substitution S3 in EXPERIMENTS.md.
+
+#ifndef RTK_WORKLOAD_COAUTHORSHIP_H_
+#define RTK_WORKLOAD_COAUTHORSHIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace rtk {
+
+/// \brief Options for GenerateCoauthorship().
+///
+/// The generator models a collaboration hierarchy: every community has a
+/// "professor" (its rank-0, most prolific member) whom regular members
+/// mostly publish with; "connector" stars publish repeatedly with the
+/// professors of many communities. A random walk from any community
+/// member therefore flows member -> professor -> connector, which is what
+/// gives the paper's Table-3 signature: connectors' reverse top-k lists
+/// span whole communities while their direct coauthor lists stay short.
+struct CoauthorshipOptions {
+  uint32_t num_authors = 5000;
+  uint32_t num_communities = 50;
+  /// Community papers generated; each picks 2..max_authors_per_paper
+  /// authors from one community (Zipf-rank weighted).
+  uint32_t num_papers = 30000;
+  uint32_t max_authors_per_paper = 4;
+  /// Zipf exponent of author productivity (larger = more skewed).
+  double productivity_exponent = 1.1;
+  /// Probability that the community professor joins any lab paper (the PI
+  /// effect). This is what concentrates members' transition mass on the
+  /// professor, the first hop of the member -> professor -> connector path.
+  double professor_participation = 0.7;
+  /// Number of cross-community "connector" stars.
+  uint32_t num_connectors = 10;
+  /// Communities each connector maintains a professor link with (clamped
+  /// to num_communities - 1).
+  uint32_t communities_per_connector = 8;
+  /// Two-author papers per connector-professor link; must be large enough
+  /// that the connector takes a visible share of the professor's
+  /// transition mass.
+  uint32_t papers_per_professor_link = 150;
+  uint64_t seed = 7;
+};
+
+/// \brief A generated coauthorship network.
+struct CoauthorshipNetwork {
+  /// Weighted graph: edge i <-> j carries w_ij = number of coauthored
+  /// papers (both directions present with equal weight).
+  Graph graph;
+  /// w_j: publication count per author.
+  std::vector<uint32_t> paper_counts;
+  /// Distinct coauthors per author (Table 3's third column).
+  std::vector<uint32_t> coauthor_counts;
+  /// The designated connector authors ("popular" candidates).
+  std::vector<uint32_t> connectors;
+};
+
+/// \brief Generates the network described above.
+Result<CoauthorshipNetwork> GenerateCoauthorship(
+    const CoauthorshipOptions& options, Rng* rng);
+
+}  // namespace rtk
+
+#endif  // RTK_WORKLOAD_COAUTHORSHIP_H_

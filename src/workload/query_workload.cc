@@ -1,0 +1,57 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtk {
+
+std::vector<uint32_t> SampleQueries(const Graph& graph, size_t count,
+                                    QueryDistribution distribution, Rng* rng,
+                                    bool distinct) {
+  const uint32_t n = graph.num_nodes();
+  assert(n > 0);
+  std::vector<uint32_t> queries;
+  queries.reserve(count);
+  switch (distribution) {
+    case QueryDistribution::kUniform: {
+      if (distinct) {
+        assert(count <= n);
+        std::vector<uint64_t> sample =
+            rng->SampleWithoutReplacement(n, count);
+        queries.assign(sample.begin(), sample.end());
+        rng->Shuffle(&queries);
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          queries.push_back(static_cast<uint32_t>(rng->Uniform(n)));
+        }
+      }
+      break;
+    }
+    case QueryDistribution::kInDegreeBiased: {
+      // Cumulative in-degree+1 table; binary search per draw.
+      std::vector<uint64_t> cumulative(n);
+      uint64_t acc = 0;
+      for (uint32_t u = 0; u < n; ++u) {
+        acc += graph.InDegree(u) + 1;
+        cumulative[u] = acc;
+      }
+      std::vector<uint8_t> used(distinct ? n : 0, 0);
+      while (queries.size() < count) {
+        const uint64_t t = rng->Uniform(acc);
+        const auto it =
+            std::upper_bound(cumulative.begin(), cumulative.end(), t);
+        const uint32_t u =
+            static_cast<uint32_t>(it - cumulative.begin());
+        if (distinct) {
+          if (used[u]) continue;
+          used[u] = 1;
+        }
+        queries.push_back(u);
+      }
+      break;
+    }
+  }
+  return queries;
+}
+
+}  // namespace rtk

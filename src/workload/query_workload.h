@@ -1,0 +1,31 @@
+// Query workload samplers for the evaluation benches.
+
+#ifndef RTK_WORKLOAD_QUERY_WORKLOAD_H_
+#define RTK_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace rtk {
+
+/// \brief How query nodes are drawn.
+enum class QueryDistribution {
+  /// Uniform over all nodes (the paper's 500-query workloads).
+  kUniform,
+  /// Proportional to in-degree + 1: models querying "interesting" nodes.
+  kInDegreeBiased,
+};
+
+/// \brief Samples `count` query nodes (with replacement, like a real query
+/// log; pass distinct=true for a permutation-style workload without
+/// repeats, count <= n).
+std::vector<uint32_t> SampleQueries(const Graph& graph, size_t count,
+                                    QueryDistribution distribution, Rng* rng,
+                                    bool distinct = false);
+
+}  // namespace rtk
+
+#endif  // RTK_WORKLOAD_QUERY_WORKLOAD_H_

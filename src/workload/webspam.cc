@@ -1,0 +1,118 @@
+#include "workload/webspam.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+
+namespace rtk {
+
+Result<WebspamCorpus> GenerateWebspam(const WebspamOptions& options,
+                                      Rng* rng) {
+  if (options.num_normal < 16 || options.num_spam < options.farm_size) {
+    return Status::InvalidArgument("webspam: corpus too small");
+  }
+  if (options.farm_size < 3) {
+    return Status::InvalidArgument("webspam: farm_size must be >= 3");
+  }
+  const uint32_t n_normal = options.num_normal;
+  const uint32_t n_spam = options.num_spam;
+  const uint32_t n = n_normal + n_spam;
+  // Nodes [0, n_normal) are normal; [n_normal, n) are spam.
+  GraphBuilder builder(n);
+
+  // -- Normal web: directed preferential attachment over normal hosts -----
+  std::vector<uint32_t> attachment;
+  attachment.reserve(static_cast<size_t>(n_normal) *
+                     (options.normal_out_degree + 1));
+  const uint32_t seed_nodes = std::min(n_normal, options.normal_out_degree + 1);
+  for (uint32_t u = 0; u < seed_nodes; ++u) {
+    builder.AddEdge(u, (u + 1) % seed_nodes);
+    attachment.push_back(u);
+  }
+  for (uint32_t u = seed_nodes; u < n_normal; ++u) {
+    std::unordered_set<uint32_t> targets;
+    while (targets.size() < options.normal_out_degree) {
+      const uint32_t t = attachment[rng->Uniform(attachment.size())];
+      if (t != u) targets.insert(t);
+    }
+    for (uint32_t t : targets) {
+      builder.AddEdge(u, t);
+      attachment.push_back(t);
+    }
+    attachment.push_back(u);
+  }
+
+  // -- Spam farms ----------------------------------------------------------
+  // Hosts are grouped into farms of farm_size; member 0 of each farm is the
+  // boosted target. Members link to the target and to a few farm peers
+  // (dense in-farm structure); the target links back to all members
+  // (PageRank recycling).
+  const uint32_t peers_per_member = std::min<uint32_t>(4, options.farm_size - 2);
+  for (uint32_t base = 0; base < n_spam; base += options.farm_size) {
+    const uint32_t size = std::min(options.farm_size, n_spam - base);
+    if (size < 3) {
+      // Tiny trailing farm: chain it to stay connected.
+      for (uint32_t i = 0; i < size; ++i) {
+        const uint32_t u = n_normal + base + i;
+        const uint32_t v = n_normal + base + (i + 1) % size;
+        if (u != v) builder.AddEdge(u, v);
+      }
+      continue;
+    }
+    const uint32_t target = n_normal + base;
+    for (uint32_t i = 1; i < size; ++i) {
+      const uint32_t member = n_normal + base + i;
+      builder.AddEdge(member, target);
+      builder.AddEdge(target, member);
+      for (uint32_t p = 0; p < peers_per_member; ++p) {
+        const uint32_t peer =
+            n_normal + base + 1 + rng->Uniform(size - 1);
+        if (peer != member) builder.AddEdge(member, peer);
+      }
+    }
+  }
+
+  // -- Cross links ---------------------------------------------------------
+  // Compromised normal hosts: a handful per farm link into the farm with
+  // enough weight that the farm enters their top-k neighborhoods.
+  for (uint32_t base = 0; base < n_spam; base += options.farm_size) {
+    const uint32_t size = std::min(options.farm_size, n_spam - base);
+    if (size < 3) continue;
+    for (uint32_t h = 0; h < options.hijacked_per_farm; ++h) {
+      const uint32_t victim = static_cast<uint32_t>(rng->Uniform(n_normal));
+      builder.AddEdge(victim, n_normal + base);  // the boosted target
+      for (int extra = 0; extra < 2; ++extra) {
+        const uint32_t member =
+            n_normal + base + 1 + static_cast<uint32_t>(rng->Uniform(size - 1));
+        builder.AddEdge(victim, member);
+      }
+    }
+  }
+  // Spam camouflage: each spam host points at a few normal hosts.
+  for (uint32_t s = 0; s < n_spam; ++s) {
+    for (uint32_t j = 0; j < options.spam_to_normal_links; ++j) {
+      builder.AddEdge(n_normal + s,
+                      static_cast<uint32_t>(rng->Uniform(n_normal)));
+    }
+  }
+  // Hijacked links: rare normal -> spam edges.
+  for (uint32_t u = 0; u < n_normal; ++u) {
+    if (rng->Bernoulli(options.normal_to_spam_prob)) {
+      builder.AddEdge(u, n_normal + static_cast<uint32_t>(
+                                         rng->Uniform(n_spam)));
+    }
+  }
+
+  GraphBuilderOptions build_opts;
+  build_opts.dangling_policy = DanglingPolicy::kSelfLoop;
+  build_opts.parallel_edges = ParallelEdgePolicy::kKeepFirst;
+  RTK_ASSIGN_OR_RETURN(Graph graph, builder.Build(build_opts));
+
+  WebspamCorpus corpus{std::move(graph), {}};
+  corpus.labels.assign(n, HostLabel::kNormal);
+  for (uint32_t s = n_normal; s < n; ++s) corpus.labels[s] = HostLabel::kSpam;
+  return corpus;
+}
+
+}  // namespace rtk

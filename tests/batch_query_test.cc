@@ -1,0 +1,138 @@
+// Tests for the workload runner: sequential/parallel equivalence,
+// aggregation, and error propagation.
+
+#include "core/batch_query.h"
+
+#include <gtest/gtest.h>
+
+#include "bca/hub_selection.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "index/index_builder.h"
+
+namespace rtk {
+namespace {
+
+TEST(BatchQueryTest, ParallelMatchesSequential) {
+  Rng rng(81);
+  auto g = ErdosRenyi(150, 1100, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 6});
+  ASSERT_TRUE(hubs.ok());
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 10;
+  auto index = BuildLowerBoundIndex(op, *hubs, build_opts);
+  ASSERT_TRUE(index.ok());
+
+  std::vector<uint32_t> queries;
+  for (uint32_t q = 0; q < 150; q += 4) queries.push_back(q);
+
+  WorkloadOptions seq;
+  seq.query.k = 5;
+  seq.query.update_index = false;
+  seq.keep_results = true;
+  auto sequential = RunQueryWorkload(op, &(*index), queries, seq);
+  ASSERT_TRUE(sequential.ok());
+
+  ThreadPool pool(2);
+  WorkloadOptions par = seq;
+  par.num_threads = 2;
+  auto parallel = RunQueryWorkload(op, &(*index), queries, par, &pool);
+  ASSERT_TRUE(parallel.ok());
+
+  ASSERT_EQ(sequential->results.size(), parallel->results.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(sequential->results[i], parallel->results[i]) << "i=" << i;
+  }
+  EXPECT_EQ(sequential->total_results, parallel->total_results);
+  EXPECT_EQ(sequential->total_candidates, parallel->total_candidates);
+}
+
+TEST(BatchQueryTest, UpdateModeRefinesForLaterQueries) {
+  Rng rng(83);
+  auto g = ErdosRenyi(120, 900, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 5});
+  ASSERT_TRUE(hubs.ok());
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 10;
+  build_opts.bca.delta = 0.4;  // loose index: refinement will happen
+  auto index = BuildLowerBoundIndex(op, *hubs, build_opts);
+  ASSERT_TRUE(index.ok());
+
+  std::vector<uint32_t> queries(40);
+  for (uint32_t i = 0; i < 40; ++i) queries[i] = i % 120;
+
+  WorkloadOptions update;
+  update.query.k = 5;
+  update.query.update_index = true;
+  auto first = RunQueryWorkload(op, &(*index), queries, update);
+  ASSERT_TRUE(first.ok());
+  // Re-running the identical workload against the refined index must need
+  // no further refinement at all.
+  auto second = RunQueryWorkload(op, &(*index), queries, update);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->total_refine_iterations, 0u);
+  EXPECT_LE(second->total_refine_iterations, first->total_refine_iterations);
+}
+
+TEST(BatchQueryTest, AggregatesMatchPerQueryStats) {
+  Rng rng(87);
+  auto g = ErdosRenyi(100, 800, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 5});
+  ASSERT_TRUE(hubs.ok());
+  auto index = BuildLowerBoundIndex(op, *hubs, {.capacity_k = 8});
+  ASSERT_TRUE(index.ok());
+
+  std::vector<uint32_t> queries = {1, 5, 9, 13};
+  WorkloadOptions opts;
+  opts.query.k = 4;
+  opts.query.update_index = false;
+  auto report = RunQueryWorkload(op, &(*index), queries, opts);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->per_query.size(), 4u);
+  uint64_t results = 0, candidates = 0, hits = 0;
+  for (const auto& s : report->per_query) {
+    results += s.results;
+    candidates += s.candidates;
+    hits += s.hits;
+  }
+  EXPECT_EQ(report->total_results, results);
+  EXPECT_EQ(report->total_candidates, candidates);
+  EXPECT_EQ(report->total_hits, hits);
+  EXPECT_GT(report->wall_seconds, 0.0);
+  EXPECT_GT(report->MeanQuerySeconds(), 0.0);
+  EXPECT_TRUE(report->results.empty());  // keep_results defaults off
+}
+
+TEST(BatchQueryTest, ErrorPropagatesFromBadQuery) {
+  Rng rng(89);
+  auto g = ErdosRenyi(50, 300, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 4});
+  ASSERT_TRUE(hubs.ok());
+  auto index = BuildLowerBoundIndex(op, *hubs, {.capacity_k = 8});
+  ASSERT_TRUE(index.ok());
+
+  // Query id out of range fails the run in both modes.
+  std::vector<uint32_t> queries = {1, 999};
+  WorkloadOptions seq;
+  seq.query.k = 4;
+  EXPECT_FALSE(RunQueryWorkload(op, &(*index), queries, seq).ok());
+
+  ThreadPool pool(2);
+  WorkloadOptions par = seq;
+  par.query.update_index = false;
+  par.num_threads = 2;
+  EXPECT_FALSE(RunQueryWorkload(op, &(*index), queries, par, &pool).ok());
+
+  EXPECT_FALSE(RunQueryWorkload(op, nullptr, queries, seq).ok());
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,484 @@
+// Tests for src/bca: hub selection, hub proximity store + rounding, and the
+// BCA propagation engine including the paper's Propositions 1-2 and the ink
+// conservation invariant.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "bca/bca.h"
+#include "bca/hub_proximity_store.h"
+#include "bca/hub_selection.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/toy_graphs.h"
+#include "rwr/power_method.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+namespace {
+
+double InkTotal(const BcaRunner& runner, const StoredBcaState& state) {
+  (void)runner;
+  double total = state.ResidueL1();
+  for (const auto& [id, v] : state.retained) total += v;
+  for (const auto& [id, v] : state.hub_ink) total += v;
+  return total;
+}
+
+// ----------------------------------------------------------- HubSelection --
+
+TEST(HubSelectionTest, DegreePicksHighDegreeNodes) {
+  Graph g = PaperToyGraph();
+  HubSelectionOptions opts;
+  opts.degree_budget_b = 1;
+  Result<std::vector<uint32_t>> hubs = SelectHubs(g, opts);
+  ASSERT_TRUE(hubs.ok());
+  // Node 0 has max out-degree (3), node 1 max in-degree (5).
+  EXPECT_EQ(*hubs, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(HubSelectionTest, DegreeUnionDeduplicates) {
+  // Star center has both max in- and out-degree: |H| = 2B - overlap.
+  Graph g = StarGraph(10);
+  HubSelectionOptions opts;
+  opts.degree_budget_b = 1;
+  Result<std::vector<uint32_t>> hubs = SelectHubs(g, opts);
+  ASSERT_TRUE(hubs.ok());
+  EXPECT_EQ(hubs->size(), 1u);
+  EXPECT_EQ((*hubs)[0], 0u);
+}
+
+TEST(HubSelectionTest, BudgetLargerThanGraphIsClamped) {
+  Graph g = CycleGraph(5);
+  HubSelectionOptions opts;
+  opts.degree_budget_b = 100;
+  Result<std::vector<uint32_t>> hubs = SelectHubs(g, opts);
+  ASSERT_TRUE(hubs.ok());
+  EXPECT_EQ(hubs->size(), 5u);
+}
+
+TEST(HubSelectionTest, RandomIsDeterministicPerSeed) {
+  Rng rng(3);
+  Result<Graph> g = ErdosRenyi(200, 1000, &rng);
+  ASSERT_TRUE(g.ok());
+  HubSelectionOptions opts;
+  opts.strategy = HubSelectionStrategy::kRandom;
+  opts.num_hubs = 20;
+  opts.seed = 99;
+  Result<std::vector<uint32_t>> a = SelectHubs(*g, opts);
+  Result<std::vector<uint32_t>> b = SelectHubs(*g, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(a->size(), 20u);
+  EXPECT_TRUE(std::is_sorted(a->begin(), a->end()));
+}
+
+TEST(HubSelectionTest, GreedyBcaFindsCentralNodes) {
+  // In a two-community graph every node is symmetric-ish, but greedy should
+  // still return the requested count of distinct sorted hubs.
+  Rng rng(5);
+  Result<Graph> g = BarabasiAlbert(300, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  HubSelectionOptions opts;
+  opts.strategy = HubSelectionStrategy::kGreedyBca;
+  opts.num_hubs = 10;
+  Result<std::vector<uint32_t>> hubs = SelectHubs(*g, opts);
+  ASSERT_TRUE(hubs.ok());
+  EXPECT_EQ(hubs->size(), 10u);
+  EXPECT_TRUE(std::is_sorted(hubs->begin(), hubs->end()));
+  std::set<uint32_t> uniq(hubs->begin(), hubs->end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(HubSelectionTest, GreedyPrefersTheHubOfAStar) {
+  // The star center retains by far the most ink on probes from leaves.
+  Graph g = StarGraph(30);
+  HubSelectionOptions opts;
+  opts.strategy = HubSelectionStrategy::kGreedyBca;
+  opts.num_hubs = 1;
+  opts.seed = 4;
+  Result<std::vector<uint32_t>> hubs = SelectHubs(g, opts);
+  ASSERT_TRUE(hubs.ok());
+  ASSERT_EQ(hubs->size(), 1u);
+  EXPECT_EQ((*hubs)[0], 0u);
+}
+
+TEST(HubSelectionTest, RejectsBadOptions) {
+  Graph g = CycleGraph(4);
+  HubSelectionOptions opts;
+  opts.degree_budget_b = 0;
+  EXPECT_FALSE(SelectHubs(g, opts).ok());
+  opts.strategy = HubSelectionStrategy::kRandom;
+  opts.num_hubs = 0;
+  EXPECT_FALSE(SelectHubs(g, opts).ok());
+}
+
+// ------------------------------------------------------ HubProximityStore --
+
+TEST(HubProximityStoreTest, StoresExactVectorsUnrounded) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  HubStoreOptions opts;
+  opts.rounding_omega = 0.0;  // no rounding
+  Result<HubProximityStore> store =
+      HubProximityStore::Build(op, {0, 1}, opts);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_hubs(), 2u);
+  EXPECT_TRUE(store->IsHub(0));
+  EXPECT_TRUE(store->IsHub(1));
+  EXPECT_FALSE(store->IsHub(2));
+  Result<std::vector<double>> exact = ComputeProximityColumn(op, 0);
+  ASSERT_TRUE(exact.ok());
+  for (const auto& [node, value] : store->Vector(0)) {
+    EXPECT_NEAR(value, (*exact)[node], 1e-9);
+  }
+  EXPECT_EQ(store->Vector(0).size(), 6u);
+  EXPECT_EQ(store->DroppedEntries(), 0u);
+}
+
+TEST(HubProximityStoreTest, RoundingDropsSmallEntries) {
+  // ER graphs at this density are strongly connected, so hub vectors are
+  // positive almost everywhere and rounding has something to drop. (A
+  // citation-style BA graph would not do: old nodes reach only the seed.)
+  Rng rng(7);
+  Result<Graph> g = ErdosRenyi(400, 4000, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  HubStoreOptions coarse;
+  coarse.rounding_omega = 1e-3;
+  HubStoreOptions fine;
+  fine.rounding_omega = 0.0;
+  Result<HubProximityStore> a = HubProximityStore::Build(op, {0, 1, 2}, coarse);
+  Result<HubProximityStore> b = HubProximityStore::Build(op, {0, 1, 2}, fine);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(a->TotalEntries(), b->TotalEntries());
+  EXPECT_GT(a->DroppedEntries(), 0u);
+  // Every surviving entry is >= omega and matches the unrounded value.
+  for (const auto& [node, value] : a->Vector(1)) {
+    EXPECT_GE(value, 1e-3);
+  }
+}
+
+TEST(HubProximityStoreTest, TopKIsDescendingAndExact) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  Result<HubProximityStore> store = HubProximityStore::Build(op, {1}, {});
+  ASSERT_TRUE(store.ok());
+  auto top = store->TopK(1, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // p_2 (1-based) = [0.24, 0.39, 0.17, ...]: top-3 = 0.39, 0.24, 0.17.
+  EXPECT_NEAR(top[0].second, 0.39, 0.005);
+  EXPECT_NEAR(top[1].second, 0.24, 0.005);
+  EXPECT_NEAR(top[2].second, 0.17, 0.005);
+  EXPECT_TRUE(std::is_sorted(
+      top.begin(), top.end(),
+      [](const auto& x, const auto& y) { return x.second > y.second; }));
+}
+
+TEST(HubProximityStoreTest, EmptyStoreHasNoHubs) {
+  HubProximityStore store = HubProximityStore::Empty(10);
+  EXPECT_EQ(store.num_hubs(), 0u);
+  for (uint32_t v = 0; v < 10; ++v) EXPECT_FALSE(store.IsHub(v));
+}
+
+TEST(HubProximityStoreTest, RejectsUnsortedHubs) {
+  Graph g = CycleGraph(4);
+  TransitionOperator op(g);
+  EXPECT_FALSE(HubProximityStore::Build(op, {2, 1}, {}).ok());
+  EXPECT_FALSE(HubProximityStore::Build(op, {1, 1}, {}).ok());
+  EXPECT_FALSE(HubProximityStore::Build(op, {9}, {}).ok());
+}
+
+TEST(HubProximityStoreTest, Theorem1PredictionIsMonotone) {
+  // Smaller omega => more entries predicted; larger n => more entries.
+  const double a = HubProximityStore::PredictedEntriesPerHub(10000, 1e-6, 0.76);
+  const double b = HubProximityStore::PredictedEntriesPerHub(10000, 1e-4, 0.76);
+  EXPECT_GT(a, b);
+  const double c = HubProximityStore::PredictedEntriesPerHub(100000, 1e-6, 0.76);
+  EXPECT_GT(c, a);
+  EXPECT_LE(a, 10000.0);  // clamped at n
+}
+
+TEST(HubProximityStoreTest, Proposition3BoundShrinksWithOmega) {
+  const double coarse = HubProximityStore::RoundingErrorBound(10000, 1e-3, 0.76);
+  const double fine = HubProximityStore::RoundingErrorBound(10000, 1e-7, 0.76);
+  EXPECT_GE(coarse, fine);
+  EXPECT_GE(fine, 0.0);
+  EXPECT_LE(coarse, 1.0);
+}
+
+TEST(HubProximityStoreTest, RoundingErrorWithinProposition3Bound) {
+  // Actual L1 mass dropped from one hub vector <= Prop 3 bound (with the
+  // empirical beta = 0.76 from [4] the bound is loose; just verify order).
+  Rng rng(11);
+  Result<Graph> g = BarabasiAlbert(500, 4, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  const double omega = 1e-4;
+  HubStoreOptions opts;
+  opts.rounding_omega = omega;
+  Result<HubProximityStore> store = HubProximityStore::Build(op, {0}, opts);
+  ASSERT_TRUE(store.ok());
+  Result<std::vector<double>> exact = ComputeProximityColumn(op, 0);
+  ASSERT_TRUE(exact.ok());
+  double kept = 0.0;
+  for (const auto& [node, value] : store->Vector(0)) kept += value;
+  const double dropped_mass = 1.0 - kept;
+  EXPECT_GE(dropped_mass, 0.0);
+  // Trivial sanity: dropped mass < omega * n.
+  EXPECT_LE(dropped_mass, omega * g->num_nodes());
+}
+
+// -------------------------------------------------------------- BcaRunner --
+
+class BcaToyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = PaperToyGraph();
+    op_ = std::make_unique<TransitionOperator>(graph_);
+    Result<HubProximityStore> store =
+        HubProximityStore::Build(*op_, {0, 1}, {});
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<HubProximityStore>(std::move(store).value());
+  }
+  BcaOptions PaperOptions() const {
+    BcaOptions o;
+    o.eta = 1e-4;
+    o.delta = 0.8;
+    return o;
+  }
+  Graph graph_;
+  std::unique_ptr<TransitionOperator> op_;
+  std::unique_ptr<HubProximityStore> store_;
+};
+
+TEST_F(BcaToyTest, ReproducesFigure2StateForNode4) {
+  // 1-based node 4 = 0-based 3: two iterations under delta=0.8, ending with
+  // w={4:.15, 5:.064}, s={2:.425}, r={2:.361}.
+  BcaRunner runner(*op_, {0, 1}, PaperOptions());
+  runner.Start(3);
+  runner.RunToTermination(PushStrategy::kBatch);
+  EXPECT_NEAR(runner.ResidueL1(), 0.361, 0.001);
+  StoredBcaState state = runner.Extract();
+  ASSERT_EQ(state.hub_ink.size(), 1u);
+  EXPECT_EQ(state.hub_ink[0].first, 1u);  // hub node 2 (0-based 1)
+  EXPECT_NEAR(state.hub_ink[0].second, 0.425, 1e-9);
+  ASSERT_EQ(state.retained.size(), 2u);
+  EXPECT_NEAR(state.retained[0].second, 0.15, 1e-9);     // node 4 itself
+  EXPECT_NEAR(state.retained[1].second, 0.063750, 1e-6);  // node 5
+}
+
+TEST_F(BcaToyTest, ReproducesFigure2ApproxVectors) {
+  // Check all four non-hub columns of Figure 2 to the printed 2 decimals.
+  const double expected[4][6] = {
+      {0.24, 0.29, 0.27, 0.10, 0.04, 0.07},  // p^t3 (node 3, 0-based 2)
+      {0.10, 0.17, 0.07, 0.19, 0.08, 0.03},  // p^t4
+      {0.20, 0.33, 0.14, 0.08, 0.18, 0.06},  // p^t5
+      {0.10, 0.17, 0.07, 0.10, 0.02, 0.18},  // p^t6
+  };
+  BcaRunner runner(*op_, {0, 1}, PaperOptions());
+  for (uint32_t u = 2; u < 6; ++u) {
+    runner.Start(u);
+    runner.RunToTermination(PushStrategy::kBatch);
+    std::vector<double> approx;
+    runner.MaterializeApprox(*store_, &approx);
+    for (uint32_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(approx[i], expected[u - 2][i], 0.005)
+          << "node " << u << " entry " << i;
+    }
+  }
+}
+
+TEST_F(BcaToyTest, NodesWithOnlyHubNeighborsConvergeToZeroResidue) {
+  BcaRunner runner(*op_, {0, 1}, PaperOptions());
+  runner.Start(2);  // node 3: out-edges {1, 2} are both hubs
+  runner.RunToTermination(PushStrategy::kBatch);
+  EXPECT_EQ(runner.ResidueL1(), 0.0);
+}
+
+TEST_F(BcaToyTest, InkConservationThroughoutRun) {
+  BcaRunner runner(*op_, {0, 1}, PaperOptions());
+  runner.Start(5);
+  for (int step = 0; step < 30; ++step) {
+    StoredBcaState state = runner.Extract();
+    EXPECT_NEAR(InkTotal(runner, state), 1.0, 1e-12) << "step " << step;
+    if (runner.Step(PushStrategy::kBatch) == 0) break;
+  }
+}
+
+TEST_F(BcaToyTest, Proposition1MonotoneLowerBounds) {
+  // Every entry of p^t is non-decreasing across iterations and bounded by
+  // the exact proximity.
+  BcaRunner runner(*op_, {0, 1}, PaperOptions());
+  Result<std::vector<double>> exact = ComputeProximityColumn(*op_, 5);
+  ASSERT_TRUE(exact.ok());
+  runner.Start(5);
+  std::vector<double> prev(6, 0.0), cur(6);
+  for (int step = 0; step < 50; ++step) {
+    if (runner.Step(PushStrategy::kBatch) == 0) break;
+    runner.MaterializeApprox(*store_, &cur);
+    for (uint32_t i = 0; i < 6; ++i) {
+      EXPECT_GE(cur[i], prev[i] - 1e-12) << "entry " << i;
+      EXPECT_LE(cur[i], (*exact)[i] + 1e-9) << "entry " << i;
+    }
+    prev = cur;
+  }
+}
+
+TEST_F(BcaToyTest, Proposition2KthLargestIsLowerBound) {
+  BcaRunner runner(*op_, {0, 1}, PaperOptions());
+  Result<std::vector<double>> exact = ComputeProximityColumn(*op_, 3);
+  ASSERT_TRUE(exact.ok());
+  std::vector<double> sorted = *exact;
+  std::sort(sorted.rbegin(), sorted.rend());
+  runner.Start(3);
+  for (int step = 0; step < 50; ++step) {
+    if (runner.Step(PushStrategy::kBatch) == 0) break;
+    auto top = runner.TopKApprox(*store_, 3);
+    for (size_t k = 0; k < top.size(); ++k) {
+      EXPECT_LE(top[k].second, sorted[k] + 1e-9);
+    }
+  }
+}
+
+TEST_F(BcaToyTest, ConvergesToExactProximityWhenRunToZero) {
+  BcaOptions opts = PaperOptions();
+  opts.delta = 0.0;
+  opts.eta = 1e-14;
+  BcaRunner runner(*op_, {0, 1}, opts);
+  runner.Start(5);
+  for (int i = 0; i < 100000 && runner.ResidueL1() > 1e-12; ++i) {
+    if (runner.Step(PushStrategy::kBatch) == 0) break;
+  }
+  std::vector<double> approx;
+  runner.MaterializeApprox(*store_, &approx);
+  Result<std::vector<double>> exact = ComputeProximityColumn(*op_, 5);
+  ASSERT_TRUE(exact.ok());
+  for (uint32_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(approx[i], (*exact)[i], 1e-8);
+  }
+}
+
+TEST_F(BcaToyTest, ExtractLoadRoundTripResumes) {
+  BcaRunner runner(*op_, {0, 1}, PaperOptions());
+  runner.Start(3);
+  runner.Step(PushStrategy::kBatch);
+  StoredBcaState snapshot = runner.Extract();
+  const double residue_at_snapshot = runner.ResidueL1();
+
+  // Continue in a fresh runner from the snapshot.
+  BcaRunner other(*op_, {0, 1}, PaperOptions());
+  other.Load(snapshot);
+  EXPECT_NEAR(other.ResidueL1(), residue_at_snapshot, 1e-12);
+  EXPECT_EQ(other.iterations(), snapshot.iterations);
+  other.Step(PushStrategy::kBatch);
+
+  // And in the original runner; both must agree exactly.
+  runner.Step(PushStrategy::kBatch);
+  StoredBcaState a = runner.Extract();
+  StoredBcaState b = other.Extract();
+  EXPECT_EQ(a.residue, b.residue);
+  EXPECT_EQ(a.retained, b.retained);
+  EXPECT_EQ(a.hub_ink, b.hub_ink);
+}
+
+TEST_F(BcaToyTest, StartFromHubAbsorbsInOneStep) {
+  BcaRunner runner(*op_, {0, 1}, PaperOptions());
+  runner.Start(1);  // hub
+  EXPECT_EQ(runner.ResidueL1(), 1.0);
+  EXPECT_GT(runner.Step(PushStrategy::kBatch), 0u);
+  EXPECT_EQ(runner.ResidueL1(), 0.0);
+  std::vector<double> approx;
+  runner.MaterializeApprox(*store_, &approx);
+  Result<std::vector<double>> exact = ComputeProximityColumn(*op_, 1);
+  ASSERT_TRUE(exact.ok());
+  for (uint32_t i = 0; i < 6; ++i) EXPECT_NEAR(approx[i], (*exact)[i], 1e-9);
+}
+
+// Push strategies compared on random graphs.
+class PushStrategyTest : public ::testing::TestWithParam<PushStrategy> {};
+
+TEST_P(PushStrategyTest, AllStrategiesConservInkAndLowerBound) {
+  Rng rng(13);
+  Result<Graph> g = ErdosRenyi(60, 400, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  Result<HubProximityStore> store = HubProximityStore::Build(op, {0, 1, 2}, {});
+  ASSERT_TRUE(store.ok());
+  BcaOptions opts;
+  opts.delta = 0.05;
+  BcaRunner runner(op, {0, 1, 2}, opts);
+  Result<std::vector<double>> exact = ComputeProximityColumn(op, 30);
+  ASSERT_TRUE(exact.ok());
+
+  runner.Start(30);
+  runner.RunToTermination(GetParam());
+  StoredBcaState state = runner.Extract();
+  EXPECT_NEAR(InkTotal(runner, state), 1.0, 1e-10);
+  EXPECT_LE(runner.ResidueL1(), 0.05 + 1e-12);
+  std::vector<double> approx;
+  runner.MaterializeApprox(*store, &approx);
+  for (uint32_t i = 0; i < g->num_nodes(); ++i) {
+    EXPECT_LE(approx[i], (*exact)[i] + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PushStrategyTest,
+                         ::testing::Values(PushStrategy::kBatch,
+                                           PushStrategy::kSingleMax,
+                                           PushStrategy::kThresholdQueue),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case PushStrategy::kBatch:
+                               return "Batch";
+                             case PushStrategy::kSingleMax:
+                               return "SingleMax";
+                             case PushStrategy::kThresholdQueue:
+                               return "ThresholdQueue";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(BcaStrategyComparisonTest, BatchNeedsFewerIterationsThanSingle) {
+  // On a well-mixed graph the batch strategy drains residue geometrically
+  // per iteration, while single-max removes only alpha * r_max at a time.
+  Rng rng(17);
+  Result<Graph> g = ErdosRenyi(300, 2400, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  BcaOptions opts;
+  opts.delta = 0.05;
+  BcaRunner batch(op, {}, opts), single(op, {}, opts);
+  batch.Start(50);
+  single.Start(50);
+  const int batch_iters = batch.RunToTermination(PushStrategy::kBatch);
+  const int single_iters = single.RunToTermination(PushStrategy::kSingleMax);
+  // This is the paper's Section 4.1.2 claim: batching slashes iterations.
+  EXPECT_LT(batch_iters * 5, single_iters);
+}
+
+TEST(BcaWeightedTest, RespectsEdgeWeights) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 3.0);
+  b.AddEdge(0, 2, 1.0);
+  b.AddEdge(1, 0);
+  b.AddEdge(2, 0);
+  Result<Graph> g = b.Build({.dangling_policy = DanglingPolicy::kError});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  BcaOptions opts;
+  BcaRunner runner(op, {}, opts);
+  runner.Start(0);
+  runner.Step(PushStrategy::kBatch);  // push node 0 once
+  StoredBcaState state = runner.Extract();
+  // 0.85 split 3:1 between nodes 1 and 2.
+  ASSERT_EQ(state.residue.size(), 2u);
+  EXPECT_NEAR(state.residue[0].second, 0.6375, 1e-12);
+  EXPECT_NEAR(state.residue[1].second, 0.2125, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,118 @@
+// Tests for the ReverseTopkEngine facade: build, query, persistence.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/toy_graphs.h"
+
+namespace rtk {
+namespace {
+
+EngineOptions SmallOptions() {
+  EngineOptions opts;
+  opts.capacity_k = 20;
+  opts.hub_selection.degree_budget_b = 5;
+  opts.num_threads = 2;
+  return opts;
+}
+
+TEST(EngineTest, BuildAndQueryToyGraph) {
+  auto engine = ReverseTopkEngine::Build(PaperToyGraph(), [] {
+    EngineOptions o;
+    o.capacity_k = 3;
+    o.hub_selection.degree_budget_b = 1;
+    return o;
+  }());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto result = (*engine)->Query(0, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<uint32_t>{0, 1, 4}));
+  EXPECT_EQ((*engine)->graph().num_nodes(), 6u);
+  EXPECT_GT((*engine)->build_report().total_seconds, 0.0);
+  EXPECT_EQ((*engine)->index_stats().num_hubs, 2u);
+}
+
+TEST(EngineTest, AgreesWithBruteForceOnRandomGraph) {
+  Rng rng(5);
+  auto g = BarabasiAlbert(250, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator reference_op(*g);  // for the brute force
+
+  Rng rng2(5);
+  auto g2 = BarabasiAlbert(250, 3, &rng2);
+  ASSERT_TRUE(g2.ok());
+  auto engine = ReverseTopkEngine::Build(std::move(*g2), SmallOptions());
+  ASSERT_TRUE(engine.ok());
+  for (uint32_t q : {1u, 50u, 249u}) {
+    auto got = (*engine)->Query(q, 8);
+    auto expected = BruteForceReverseTopk(reference_op, q, 8);
+    ASSERT_TRUE(got.ok() && expected.ok());
+    EXPECT_EQ(*got, *expected) << "q=" << q;
+  }
+}
+
+TEST(EngineTest, SaveAndLoadRoundTrip) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "rtk_engine_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "engine_index.bin").string();
+
+  Rng rng(9);
+  auto g = ErdosRenyi(150, 900, &rng);
+  ASSERT_TRUE(g.ok());
+  auto engine = ReverseTopkEngine::Build(std::move(*g), SmallOptions());
+  ASSERT_TRUE(engine.ok());
+  QueryStats warm_stats;
+  auto original = (*engine)->Query(17, 10, &warm_stats);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE((*engine)->SaveIndex(path).ok());
+
+  Rng rng2(9);
+  auto g2 = ErdosRenyi(150, 900, &rng2);
+  ASSERT_TRUE(g2.ok());
+  auto loaded =
+      ReverseTopkEngine::LoadFromFile(std::move(*g2), path, SmallOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto replay = (*loaded)->Query(17, 10);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay, *original);
+  // Saved index contains the refinement done by the first query.
+  EXPECT_EQ((*loaded)->index().ComputeStats().exact_nodes,
+            (*engine)->index().ComputeStats().exact_nodes);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineTest, QueryWithOptionsControlsUpdate) {
+  Rng rng(13);
+  auto g = BarabasiAlbert(200, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  auto engine = ReverseTopkEngine::Build(std::move(*g), SmallOptions());
+  ASSERT_TRUE(engine.ok());
+  QueryOptions opts;
+  opts.k = 5;
+  opts.update_index = false;
+  QueryStats stats;
+  auto r = (*engine)->QueryWithOptions(60, opts, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.results, r->size());
+}
+
+TEST(EngineTest, RejectsOutOfRangeQueries) {
+  auto engine = ReverseTopkEngine::Build(PaperToyGraph(), [] {
+    EngineOptions o;
+    o.capacity_k = 3;
+    o.hub_selection.degree_budget_b = 1;
+    return o;
+  }());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE((*engine)->Query(99, 2).ok());
+  EXPECT_FALSE((*engine)->Query(0, 99).ok());
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,238 @@
+// Property suite: the online query (Algorithm 4) must return exactly the
+// brute-force reverse top-k answer across a grid of graph families, k
+// values, alphas, index qualities and query options. Near-ties (|p_u(q) -
+// p_u^kmax| below solver precision) are excluded from strict comparison —
+// there the ">=" of Problem 1 is decided by floating-point noise in any
+// implementation, including the baselines.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "bca/hub_selection.h"
+#include "common/rng.h"
+#include "common/top_k.h"
+#include "core/brute_force.h"
+#include "core/online_query.h"
+#include "graph/generators.h"
+#include "graph/toy_graphs.h"
+#include "index/index_builder.h"
+#include "rwr/power_method.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+namespace {
+
+constexpr double kTieTolerance = 1e-8;
+
+enum class GraphFamily { kErdosRenyi, kBarabasiAlbert, kRmat, kWattsStrogatz,
+                         kTwoCommunities };
+
+std::string FamilyName(GraphFamily f) {
+  switch (f) {
+    case GraphFamily::kErdosRenyi: return "ErdosRenyi";
+    case GraphFamily::kBarabasiAlbert: return "BarabasiAlbert";
+    case GraphFamily::kRmat: return "Rmat";
+    case GraphFamily::kWattsStrogatz: return "WattsStrogatz";
+    case GraphFamily::kTwoCommunities: return "TwoCommunities";
+  }
+  return "Unknown";
+}
+
+Graph MakeGraph(GraphFamily family, uint64_t seed) {
+  Rng rng(seed);
+  Result<Graph> g = Status::Internal("unset");
+  switch (family) {
+    case GraphFamily::kErdosRenyi:
+      g = ErdosRenyi(180, 1200, &rng);
+      break;
+    case GraphFamily::kBarabasiAlbert:
+      g = BarabasiAlbert(180, 3, &rng);
+      break;
+    case GraphFamily::kRmat:
+      g = Rmat(8, 1200, &rng);  // 256 nodes
+      break;
+    case GraphFamily::kWattsStrogatz:
+      g = WattsStrogatz(180, 4, 0.2, &rng);
+      break;
+    case GraphFamily::kTwoCommunities:
+      return TwoCommunitiesGraph(20);
+  }
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+// Compares OQ and BF results, ignoring nodes whose membership is decided by
+// less than kTieTolerance. `to_q[u]` and `kth[u]` are exact values used to
+// identify near-ties.
+void ExpectEquivalent(const std::vector<uint32_t>& got,
+                      const std::vector<uint32_t>& expected,
+                      const std::vector<double>& to_q,
+                      const std::vector<double>& kth,
+                      const std::string& context) {
+  std::set<uint32_t> got_set(got.begin(), got.end());
+  std::set<uint32_t> exp_set(expected.begin(), expected.end());
+  std::vector<uint32_t> diff;
+  std::set_symmetric_difference(got_set.begin(), got_set.end(),
+                                exp_set.begin(), exp_set.end(),
+                                std::back_inserter(diff));
+  for (uint32_t u : diff) {
+    const double margin = std::abs(to_q[u] - kth[u]);
+    EXPECT_LE(margin, kTieTolerance)
+        << context << ": node " << u << " differs with margin " << margin
+        << " (in_got=" << got_set.count(u) << ")";
+  }
+}
+
+struct EquivalenceParam {
+  GraphFamily family;
+  uint32_t k;
+  double alpha;
+  double delta;
+  bool update_index;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(EquivalenceTest, OnlineQueryMatchesBruteForce) {
+  const EquivalenceParam& param = GetParam();
+  Graph graph = MakeGraph(param.family, /*seed=*/777);
+  TransitionOperator op(graph);
+  const uint32_t n = graph.num_nodes();
+
+  HubSelectionOptions hub_opts;
+  hub_opts.degree_budget_b = std::max<uint32_t>(2, n / 40);
+  auto hubs = SelectHubs(graph, hub_opts);
+  ASSERT_TRUE(hubs.ok());
+
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = std::max<uint32_t>(param.k, 10);
+  build_opts.bca.alpha = param.alpha;
+  build_opts.bca.delta = param.delta;
+  auto index = BuildLowerBoundIndex(op, *hubs, build_opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ReverseTopkSearcher searcher(op, &(*index));
+
+  RwrOptions rwr;
+  rwr.alpha = param.alpha;
+
+  // Exact per-column k-th values, for tie detection.
+  std::vector<double> kth(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    auto col = ComputeProximityColumn(op, u, rwr);
+    ASSERT_TRUE(col.ok());
+    auto top = TopKValuesDescending(*col, param.k);
+    kth[u] = top.size() >= param.k ? top[param.k - 1] : 0.0;
+  }
+
+  Rng rng(999);
+  for (int trial = 0; trial < 4; ++trial) {
+    const uint32_t q = static_cast<uint32_t>(rng.Uniform(n));
+    QueryOptions query_opts;
+    query_opts.k = param.k;
+    query_opts.update_index = param.update_index;
+    query_opts.pmpn = rwr;
+    auto got = searcher.Query(q, query_opts);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto expected = BruteForceReverseTopk(op, q, param.k, rwr);
+    ASSERT_TRUE(expected.ok());
+    auto to_q = ComputeProximityToNode(op, q, rwr);
+    ASSERT_TRUE(to_q.ok());
+    ExpectEquivalent(*got, *expected, *to_q, kth,
+                     FamilyName(param.family) + " q=" + std::to_string(q) +
+                         " k=" + std::to_string(param.k));
+  }
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<EquivalenceParam>& info) {
+  const auto& p = info.param;
+  std::string name = FamilyName(p.family) + "_k" + std::to_string(p.k) +
+                     "_a" + std::to_string(static_cast<int>(p.alpha * 100)) +
+                     "_d" + std::to_string(static_cast<int>(p.delta * 100)) +
+                     (p.update_index ? "_upd" : "_noupd");
+  return name;
+}
+
+// Axis 1: graph families at the paper's default parameters.
+INSTANTIATE_TEST_SUITE_P(
+    Families, EquivalenceTest,
+    ::testing::Values(
+        EquivalenceParam{GraphFamily::kErdosRenyi, 10, 0.15, 0.1, true},
+        EquivalenceParam{GraphFamily::kBarabasiAlbert, 10, 0.15, 0.1, true},
+        EquivalenceParam{GraphFamily::kRmat, 10, 0.15, 0.1, true},
+        EquivalenceParam{GraphFamily::kWattsStrogatz, 10, 0.15, 0.1, true},
+        EquivalenceParam{GraphFamily::kTwoCommunities, 10, 0.15, 0.1, true}),
+    ParamName);
+
+// Axis 2: k sweep (Figure 5/6's x-axis).
+INSTANTIATE_TEST_SUITE_P(
+    KSweep, EquivalenceTest,
+    ::testing::Values(
+        EquivalenceParam{GraphFamily::kBarabasiAlbert, 1, 0.15, 0.1, true},
+        EquivalenceParam{GraphFamily::kBarabasiAlbert, 2, 0.15, 0.1, true},
+        EquivalenceParam{GraphFamily::kBarabasiAlbert, 5, 0.15, 0.1, true},
+        EquivalenceParam{GraphFamily::kBarabasiAlbert, 20, 0.15, 0.1, true},
+        EquivalenceParam{GraphFamily::kBarabasiAlbert, 50, 0.15, 0.1, true}),
+    ParamName);
+
+// Axis 3: restart probability.
+INSTANTIATE_TEST_SUITE_P(
+    AlphaSweep, EquivalenceTest,
+    ::testing::Values(
+        EquivalenceParam{GraphFamily::kErdosRenyi, 10, 0.05, 0.1, true},
+        EquivalenceParam{GraphFamily::kErdosRenyi, 10, 0.30, 0.1, true},
+        EquivalenceParam{GraphFamily::kErdosRenyi, 10, 0.50, 0.1, true}),
+    ParamName);
+
+// Axis 4: index quality (delta) and update policy.
+INSTANTIATE_TEST_SUITE_P(
+    IndexQuality, EquivalenceTest,
+    ::testing::Values(
+        EquivalenceParam{GraphFamily::kRmat, 10, 0.15, 0.5, true},
+        EquivalenceParam{GraphFamily::kRmat, 10, 0.15, 0.9, true},
+        EquivalenceParam{GraphFamily::kRmat, 10, 0.15, 0.01, true},
+        EquivalenceParam{GraphFamily::kRmat, 10, 0.15, 0.5, false},
+        EquivalenceParam{GraphFamily::kBarabasiAlbert, 5, 0.15, 0.9, false}),
+    ParamName);
+
+// Cross-validation against the independent forward top-k module:
+// u in ReverseTopk(q) <=> q in Topk(u).
+TEST(DualityTest, ReverseAndForwardAgree) {
+  Graph graph = MakeGraph(GraphFamily::kBarabasiAlbert, 31337);
+  TransitionOperator op(graph);
+  const uint32_t k = 5;
+  auto hubs = SelectHubs(graph, {});
+  ASSERT_TRUE(hubs.ok());
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 10;
+  auto index = BuildLowerBoundIndex(op, *hubs, build_opts);
+  ASSERT_TRUE(index.ok());
+  ReverseTopkSearcher searcher(op, &(*index));
+
+  const uint32_t q = 17;
+  QueryOptions opts;
+  opts.k = k;
+  auto reverse = searcher.Query(q, opts);
+  ASSERT_TRUE(reverse.ok());
+  std::set<uint32_t> reverse_set(reverse->begin(), reverse->end());
+
+  auto to_q = ComputeProximityToNode(op, q);
+  ASSERT_TRUE(to_q.ok());
+  for (uint32_t u = 0; u < graph.num_nodes(); u += 3) {
+    auto col = ComputeProximityColumn(op, u);
+    ASSERT_TRUE(col.ok());
+    auto top = TopKValuesDescending(*col, k);
+    const double kth = top[k - 1];
+    const double margin = std::abs((*to_q)[u] - kth);
+    if (margin <= kTieTolerance) continue;  // tie: either answer valid
+    const bool in_forward_topk = (*col)[q] >= kth;
+    EXPECT_EQ(reverse_set.count(u) == 1, in_forward_topk) << "u=" << u;
+  }
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,181 @@
+// Fault-injection tests for the persistence layer: corrupted, truncated,
+// mismatched, and malformed inputs must surface as clean Status errors —
+// never crashes, hangs, or silently wrong data.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bca/hub_selection.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "index/index_builder.h"
+#include "index/index_io.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "rtk_fault_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  }
+
+  std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  // A valid saved index to mutate.
+  std::string MakeValidIndexFile() {
+    Rng rng(7);
+    graph_ = std::move(ErdosRenyi(60, 400, &rng)).value();
+    op_ = std::make_unique<TransitionOperator>(graph_);
+    auto hubs = SelectHubs(graph_, {.degree_budget_b = 4});
+    auto index = BuildLowerBoundIndex(*op_, *hubs, {.capacity_k = 8});
+    EXPECT_TRUE(index.ok());
+    const std::string path = Path("valid.idx");
+    EXPECT_TRUE(SaveIndex(*index, path).ok());
+    return path;
+  }
+
+  fs::path dir_;
+  Graph graph_;
+  std::unique_ptr<TransitionOperator> op_;
+};
+
+// ------------------------------------------------------------- edge lists --
+
+TEST_F(FaultInjectionTest, MissingEdgeListFile) {
+  auto g = LoadEdgeList(Path("nope.txt"));
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FaultInjectionTest, EdgeListGarbageTokens) {
+  WriteFile(Path("garbage.txt"), "0 1\nfoo bar\n2 3\n");
+  auto g = LoadEdgeList(Path("garbage.txt"));
+  EXPECT_FALSE(g.ok());
+}
+
+TEST_F(FaultInjectionTest, EdgeListMissingEndpoint) {
+  WriteFile(Path("half.txt"), "0 1\n2\n");
+  auto g = LoadEdgeList(Path("half.txt"));
+  EXPECT_FALSE(g.ok());
+}
+
+TEST_F(FaultInjectionTest, EdgeListNegativeWeight) {
+  WriteFile(Path("negw.txt"), "0 1 2.5\n1 0 -3.0\n");
+  auto g = LoadEdgeList(Path("negw.txt"));
+  EXPECT_FALSE(g.ok());
+}
+
+TEST_F(FaultInjectionTest, EdgeListCommentsAndBlanksAreFine) {
+  WriteFile(Path("ok.txt"), "# a comment\n\n0 1\n1 2\n2 0\n# trailing\n");
+  auto g = LoadEdgeList(Path("ok.txt"));
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+}
+
+TEST_F(FaultInjectionTest, EmptyEdgeListFails) {
+  WriteFile(Path("empty.txt"), "");
+  auto g = LoadEdgeList(Path("empty.txt"));
+  EXPECT_FALSE(g.ok());
+}
+
+TEST_F(FaultInjectionTest, SaveEdgeListToUnwritablePath) {
+  WriteFile(Path("ok2.txt"), "0 1\n1 0\n");
+  auto g = LoadEdgeList(Path("ok2.txt"));
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(SaveEdgeList(*g, (dir_ / "no_dir" / "x.txt").string()).ok());
+}
+
+// ------------------------------------------------------------ index files --
+
+TEST_F(FaultInjectionTest, MissingIndexFile) {
+  auto loaded = LoadIndex(Path("nope.idx"), 60);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FaultInjectionTest, BadMagicRejected) {
+  const std::string path = MakeValidIndexFile();
+  std::string bytes = ReadFile(path);
+  bytes[0] = 'X';
+  WriteFile(Path("badmagic.idx"), bytes);
+  auto loaded = LoadIndex(Path("badmagic.idx"), 60);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FaultInjectionTest, TruncationAtEveryQuarterRejected) {
+  const std::string path = MakeValidIndexFile();
+  const std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 64u);
+  for (double fraction : {0.25, 0.5, 0.75, 0.99}) {
+    const auto cut = static_cast<size_t>(bytes.size() * fraction);
+    WriteFile(Path("trunc.idx"), bytes.substr(0, cut));
+    auto loaded = LoadIndex(Path("trunc.idx"), 60);
+    EXPECT_FALSE(loaded.ok()) << "fraction " << fraction;
+  }
+}
+
+TEST_F(FaultInjectionTest, PayloadBitflipFailsChecksum) {
+  const std::string path = MakeValidIndexFile();
+  std::string bytes = ReadFile(path);
+  // Flip one byte in the middle of the payload (past the 8-byte magic,
+  // before the trailing 8-byte checksum).
+  bytes[bytes.size() / 2] ^= 0x40;
+  WriteFile(Path("flip.idx"), bytes);
+  auto loaded = LoadIndex(Path("flip.idx"), 60);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FaultInjectionTest, NodeCountMismatchRejected) {
+  const std::string path = MakeValidIndexFile();
+  auto loaded = LoadIndex(path, 61);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FaultInjectionTest, AppendedJunkRejected) {
+  const std::string path = MakeValidIndexFile();
+  std::string bytes = ReadFile(path);
+  bytes += "EXTRA BYTES AFTER CHECKSUM";
+  WriteFile(Path("junk.idx"), bytes);
+  auto loaded = LoadIndex(Path("junk.idx"), 60);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(FaultInjectionTest, ValidFileStillLoadsAfterAllThat) {
+  const std::string path = MakeValidIndexFile();
+  auto loaded = LoadIndex(path, 60);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 60u);
+  EXPECT_EQ(loaded->capacity_k(), 8u);
+}
+
+}  // namespace
+}  // namespace rtk

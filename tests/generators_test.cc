@@ -1,0 +1,156 @@
+// Tests for the random graph generators: shape, determinism, option
+// validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace rtk {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCountBeforePolicy) {
+  Rng rng(1);
+  auto g = ErdosRenyi(100, 500, &rng, DanglingPolicy::kSelfLoop);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 100u);
+  // Self-loop policy may add a few edges for dangling nodes.
+  EXPECT_GE(g->num_edges(), 500u);
+  EXPECT_LE(g->num_edges(), 600u);
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  auto ga = ErdosRenyi(50, 200, &a);
+  auto gb = ErdosRenyi(50, 200, &b);
+  ASSERT_TRUE(ga.ok() && gb.ok());
+  ASSERT_EQ(ga->num_edges(), gb->num_edges());
+  for (uint32_t u = 0; u < ga->num_nodes(); ++u) {
+    auto na = ga->OutNeighbors(u);
+    auto nb = gb->OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsGenerated) {
+  Rng rng(3);
+  auto g = ErdosRenyi(60, 300, &rng, DanglingPolicy::kAddSink);
+  ASSERT_TRUE(g.ok());
+  for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+    if (g->sink_node() && u == *g->sink_node()) continue;  // sink's loop ok
+    for (uint32_t v : g->OutNeighbors(u)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleDensity) {
+  Rng rng(5);
+  EXPECT_FALSE(ErdosRenyi(10, 91, &rng).ok());
+  EXPECT_FALSE(ErdosRenyi(1, 0, &rng).ok());
+}
+
+TEST(BarabasiAlbertTest, HeavyTailedInDegrees) {
+  Rng rng(7);
+  auto g = BarabasiAlbert(2000, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  const uint32_t max_in = g->MaxInDegree();
+  // Preferential attachment: the richest node far exceeds the mean (~3).
+  EXPECT_GT(max_in, 40u);
+  // And most nodes stay near the minimum.
+  uint32_t small = 0;
+  for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+    small += (g->InDegree(u) <= 6);
+  }
+  EXPECT_GT(small, g->num_nodes() / 2);
+}
+
+TEST(BarabasiAlbertTest, OutDegreeIsUniformByConstruction) {
+  Rng rng(9);
+  auto g = BarabasiAlbert(500, 4, &rng);
+  ASSERT_TRUE(g.ok());
+  uint32_t with_m = 0;
+  for (uint32_t u = 5; u < g->num_nodes(); ++u) {
+    with_m += (g->OutDegree(u) == 4);
+  }
+  EXPECT_GT(with_m, 490u);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadShape) {
+  Rng rng(11);
+  EXPECT_FALSE(BarabasiAlbert(10, 0, &rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(3, 5, &rng).ok());
+}
+
+TEST(RmatTest, PowerOfTwoNodes) {
+  Rng rng(13);
+  auto g = Rmat(10, 5000, &rng);
+  ASSERT_TRUE(g.ok());
+  // 2^10 nodes plus possibly a sink.
+  EXPECT_GE(g->num_nodes(), 1024u);
+  EXPECT_LE(g->num_nodes(), 1025u);
+  EXPECT_GE(g->num_edges(), 5000u);
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  Rng rng(17);
+  auto g = Rmat(12, 40000, &rng);
+  ASSERT_TRUE(g.ok());
+  const double mean_out =
+      static_cast<double>(g->num_edges()) / g->num_nodes();
+  EXPECT_GT(g->MaxOutDegree(), mean_out * 8);
+}
+
+TEST(RmatTest, RejectsBadParameters) {
+  Rng rng(19);
+  EXPECT_FALSE(Rmat(0, 10, &rng).ok());
+  RmatOptions bad;
+  bad.a = 0.9;  // sums to 1.33
+  EXPECT_FALSE(Rmat(5, 10, &rng, bad).ok());
+  EXPECT_FALSE(Rmat(3, 100, &rng).ok());  // too dense
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(23);
+  auto g = WattsStrogatz(20, 3, 0.0, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 60u);
+  for (uint32_t u = 0; u < 20; ++u) {
+    EXPECT_EQ(g->OutDegree(u), 3u);
+    auto nbrs = g->OutNeighbors(u);
+    std::set<uint32_t> expect{(u + 1) % 20, (u + 2) % 20, (u + 3) % 20};
+    for (uint32_t v : nbrs) EXPECT_TRUE(expect.count(v));
+  }
+}
+
+TEST(WattsStrogatzTest, RewiringChangesEdges) {
+  Rng a(29), b(29);
+  auto lattice = WattsStrogatz(100, 4, 0.0, &a);
+  auto rewired = WattsStrogatz(100, 4, 0.5, &b);
+  ASSERT_TRUE(lattice.ok() && rewired.ok());
+  // Count long-range edges (distance > 4 on the ring).
+  auto long_range = [](const Graph& g) {
+    uint32_t count = 0;
+    for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+      for (uint32_t v : g.OutNeighbors(u)) {
+        const uint32_t d = (v + g.num_nodes() - u) % g.num_nodes();
+        if (d > 4 && d < g.num_nodes() - 4) ++count;
+      }
+    }
+    return count;
+  };
+  EXPECT_EQ(long_range(*lattice), 0u);
+  EXPECT_GT(long_range(*rewired), 50u);
+}
+
+TEST(WattsStrogatzTest, RejectsBadParameters) {
+  Rng rng(31);
+  EXPECT_FALSE(WattsStrogatz(2, 1, 0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 3, 1.5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,289 @@
+// Tests for src/index: Algorithm 1 construction, stats, mutation, and
+// serialization round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bca/hub_selection.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "graph/toy_graphs.h"
+#include "index/index_builder.h"
+#include "index/index_io.h"
+#include "index/lower_bound_index.h"
+#include "rwr/power_method.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+namespace {
+
+LowerBoundIndex MustBuild(const TransitionOperator& op,
+                          const std::vector<uint32_t>& hubs,
+                          IndexBuildOptions opts = {},
+                          ThreadPool* pool = nullptr,
+                          IndexBuildReport* report = nullptr) {
+  Result<LowerBoundIndex> index =
+      BuildLowerBoundIndex(op, hubs, opts, pool, report);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+TEST(IndexBuilderTest, ToyIndexShape) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 3;
+  opts.bca.delta = 0.8;
+  LowerBoundIndex index = MustBuild(op, {0, 1}, opts);
+  EXPECT_EQ(index.num_nodes(), 6u);
+  EXPECT_EQ(index.capacity_k(), 3u);
+  EXPECT_EQ(index.hub_store().num_hubs(), 2u);
+  // Hubs are exact; their state is empty.
+  EXPECT_TRUE(index.IsExact(0));
+  EXPECT_TRUE(index.State(0).residue.empty());
+  EXPECT_TRUE(index.State(0).retained.empty());
+}
+
+TEST(IndexBuilderTest, LowerBoundsAreDescendingRows) {
+  Rng rng(41);
+  Result<Graph> g = ErdosRenyi(100, 600, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  HubSelectionOptions hub_opts;
+  hub_opts.degree_budget_b = 5;
+  Result<std::vector<uint32_t>> hubs = SelectHubs(*g, hub_opts);
+  ASSERT_TRUE(hubs.ok());
+  IndexBuildOptions opts;
+  opts.capacity_k = 20;
+  LowerBoundIndex index = MustBuild(op, *hubs, opts);
+  for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+    auto row = index.LowerBounds(u);
+    for (size_t i = 1; i < row.size(); ++i) {
+      EXPECT_LE(row[i], row[i - 1]) << "u=" << u << " i=" << i;
+    }
+  }
+}
+
+TEST(IndexBuilderTest, BoundsAreValidLowerBounds) {
+  Rng rng(43);
+  Result<Graph> g = BarabasiAlbert(120, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 10;
+  LowerBoundIndex index = MustBuild(op, {0, 1, 2, 3});
+  for (uint32_t u = 0; u < g->num_nodes(); u += 11) {
+    Result<std::vector<double>> exact = ComputeProximityColumn(op, u);
+    ASSERT_TRUE(exact.ok());
+    std::vector<double> sorted = *exact;
+    std::sort(sorted.rbegin(), sorted.rend());
+    for (uint32_t k = 1; k <= 10; ++k) {
+      EXPECT_LE(index.LowerBound(u, k), sorted[k - 1] + 1e-9)
+          << "u=" << u << " k=" << k;
+    }
+  }
+}
+
+TEST(IndexBuilderTest, ParallelAndSerialBuildsAgree) {
+  Rng rng(47);
+  Result<Graph> g = ErdosRenyi(150, 900, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 15;
+  ThreadPool pool(4);
+  LowerBoundIndex serial = MustBuild(op, {0, 5, 10}, opts, nullptr);
+  LowerBoundIndex parallel = MustBuild(op, {0, 5, 10}, opts, &pool);
+  for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+    EXPECT_EQ(serial.ResidueL1(u), parallel.ResidueL1(u)) << "u=" << u;
+    auto a = serial.LowerBounds(u);
+    auto b = parallel.LowerBounds(u);
+    for (uint32_t k = 0; k < opts.capacity_k; ++k) {
+      EXPECT_EQ(a[k], b[k]) << "u=" << u << " k=" << k;
+    }
+  }
+}
+
+TEST(IndexBuilderTest, ReportBreaksDownTime) {
+  Graph g = TwoCommunitiesGraph(10);
+  TransitionOperator op(g);
+  IndexBuildReport report;
+  IndexBuildOptions opts;
+  opts.capacity_k = 5;
+  MustBuild(op, {0, 10}, opts, nullptr, &report);
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GE(report.total_seconds,
+            report.hub_solve_seconds * 0.5);  // sanity, not exact
+  EXPECT_GT(report.total_bca_iterations, 0u);
+}
+
+TEST(IndexBuilderTest, SmallerDeltaMeansTighterBounds) {
+  Rng rng(53);
+  Result<Graph> g = BarabasiAlbert(100, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  IndexBuildOptions coarse, fine;
+  coarse.capacity_k = fine.capacity_k = 10;
+  coarse.bca.delta = 0.5;
+  fine.bca.delta = 0.01;
+  LowerBoundIndex ci = MustBuild(op, {0, 1}, coarse);
+  LowerBoundIndex fi = MustBuild(op, {0, 1}, fine);
+  double coarse_sum = 0.0, fine_sum = 0.0;
+  for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+    coarse_sum += ci.LowerBound(u, 10);
+    fine_sum += fi.LowerBound(u, 10);
+    EXPECT_LE(ci.ResidueL1(u), 0.5 + 1e-12);
+    EXPECT_LE(fi.ResidueL1(u), 0.01 + 1e-12);
+  }
+  EXPECT_GE(fine_sum, coarse_sum);
+}
+
+TEST(IndexBuilderTest, RejectsBadOptions) {
+  Graph g = CycleGraph(4);
+  TransitionOperator op(g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 0;
+  EXPECT_FALSE(BuildLowerBoundIndex(op, {}, opts).ok());
+  opts.capacity_k = 5;
+  opts.bca.alpha = 2.0;
+  EXPECT_FALSE(BuildLowerBoundIndex(op, {}, opts).ok());
+}
+
+TEST(IndexStatsTest, CountsComponents) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 3;
+  opts.bca.delta = 0.8;
+  LowerBoundIndex index = MustBuild(op, {0, 1}, opts);
+  IndexStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_nodes, 6u);
+  EXPECT_EQ(stats.num_hubs, 2u);
+  EXPECT_EQ(stats.capacity_k, 3u);
+  // Hubs + nodes 3 and 5 (1-based) are exact: 4 of 6.
+  EXPECT_EQ(stats.exact_nodes, 4u);
+  EXPECT_GT(stats.topk_bytes, 0u);
+  EXPECT_GT(stats.hub_store_bytes, 0u);
+  EXPECT_EQ(stats.TotalBytes(),
+            stats.topk_bytes + stats.state_bytes + stats.hub_store_bytes);
+}
+
+TEST(IndexMutationTest, SetNodeOverwrites) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 3;
+  LowerBoundIndex index = MustBuild(op, {0, 1}, opts);
+  StoredBcaState state;
+  state.retained = {{2u, 0.5}};
+  state.iterations = 9;
+  index.SetNode(2, {0.5, 0.4}, state, 0.25);
+  EXPECT_DOUBLE_EQ(index.LowerBound(2, 1), 0.5);
+  EXPECT_DOUBLE_EQ(index.LowerBound(2, 2), 0.4);
+  EXPECT_DOUBLE_EQ(index.LowerBound(2, 3), 0.0);  // padded
+  EXPECT_DOUBLE_EQ(index.ResidueL1(2), 0.25);
+  EXPECT_FALSE(index.IsExact(2));
+  EXPECT_EQ(index.State(2).iterations, 9u);
+}
+
+// ------------------------------------------------------------------- I/O --
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "rtk_index_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IndexIoTest, RoundTripPreservesEverything) {
+  Rng rng(61);
+  Result<Graph> g = ErdosRenyi(80, 500, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 12;
+  opts.bca.eta = 2e-4;
+  opts.bca.delta = 0.2;
+  LowerBoundIndex index = MustBuild(op, {0, 7, 11}, opts);
+
+  const std::string path = (dir_ / "index.bin").string();
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+  Result<LowerBoundIndex> loaded = LoadIndex(path, g->num_nodes());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->capacity_k(), 12u);
+  EXPECT_EQ(loaded->bca_options().eta, 2e-4);
+  EXPECT_EQ(loaded->bca_options().delta, 0.2);
+  EXPECT_EQ(loaded->hub_store().num_hubs(), 3u);
+  EXPECT_EQ(loaded->hub_store().hubs(), index.hub_store().hubs());
+  EXPECT_EQ(loaded->hub_store().TotalEntries(),
+            index.hub_store().TotalEntries());
+  for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+    EXPECT_EQ(loaded->ResidueL1(u), index.ResidueL1(u)) << "u=" << u;
+    auto a = index.LowerBounds(u);
+    auto b = loaded->LowerBounds(u);
+    for (uint32_t k = 0; k < 12; ++k) EXPECT_EQ(a[k], b[k]);
+    EXPECT_EQ(loaded->State(u).residue, index.State(u).residue);
+    EXPECT_EQ(loaded->State(u).retained, index.State(u).retained);
+    EXPECT_EQ(loaded->State(u).hub_ink, index.State(u).hub_ink);
+    EXPECT_EQ(loaded->State(u).iterations, index.State(u).iterations);
+  }
+}
+
+TEST_F(IndexIoTest, RejectsWrongGraphSize) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 3;
+  LowerBoundIndex index = MustBuild(op, {0, 1}, opts);
+  const std::string path = (dir_ / "index.bin").string();
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+  Result<LowerBoundIndex> loaded = LoadIndex(path, 7);  // wrong n
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexIoTest, DetectsCorruption) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 3;
+  LowerBoundIndex index = MustBuild(op, {0, 1}, opts);
+  const std::string path = (dir_ / "index.bin").string();
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+  // Flip one byte in the middle of the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200);
+    char byte;
+    f.seekg(200);
+    f.read(&byte, 1);
+    byte ^= 0x40;
+    f.seekp(200);
+    f.write(&byte, 1);
+  }
+  Result<LowerBoundIndex> loaded = LoadIndex(path, g.num_nodes());
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(IndexIoTest, RejectsBadMagic) {
+  const std::string path = (dir_ / "junk.bin").string();
+  std::ofstream(path, std::ios::binary) << "NOTANINDEXFILE AT ALL";
+  Result<LowerBoundIndex> loaded = LoadIndex(path, 6);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IndexIoTest, MissingFileIsIOError) {
+  Result<LowerBoundIndex> loaded =
+      LoadIndex((dir_ / "missing.bin").string(), 6);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,278 @@
+// Cross-module integration tests: full pipelines that exercise several
+// modules together, beyond what the per-module suites cover.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "bca/hub_selection.h"
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "core/online_query.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "index/index_builder.h"
+#include "index/index_io.h"
+#include "rwr/pagerank.h"
+#include "rwr/pmpn.h"
+#include "topk/topk_search.h"
+#include "workload/coauthorship.h"
+#include "workload/webspam.h"
+
+namespace rtk {
+namespace {
+
+// Pipeline: generate -> save edge list -> load -> build engine -> query;
+// results must match the engine built on the in-memory graph.
+TEST(PipelineTest, SaveLoadGraphPreservesQueries) {
+  const auto dir = std::filesystem::temp_directory_path() / "rtk_integ";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "graph.txt").string();
+
+  Rng rng(1);
+  auto g = ErdosRenyi(200, 1600, &rng);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(SaveEdgeList(*g, path).ok());
+  LoadEdgeListOptions load_opts;
+  load_opts.relabel_dense = false;
+  load_opts.builder.dangling_policy = DanglingPolicy::kError;
+  auto loaded = LoadEdgeList(path, load_opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EngineOptions opts;
+  opts.capacity_k = 10;
+  opts.hub_selection.degree_budget_b = 5;
+  auto e1 = ReverseTopkEngine::Build(std::move(*g), opts);
+  auto e2 = ReverseTopkEngine::Build(std::move(*loaded), opts);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  for (uint32_t q : {0u, 55u, 199u}) {
+    auto r1 = (*e1)->Query(q, 5);
+    auto r2 = (*e2)->Query(q, 5);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    EXPECT_EQ(*r1, *r2) << "q=" << q;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Pipeline: index built -> saved -> loaded -> refined by queries -> saved
+// again -> loaded: refinements must persist through both round trips.
+TEST(PipelineTest, RefinementSurvivesSerializationCycles) {
+  const auto dir = std::filesystem::temp_directory_path() / "rtk_integ2";
+  std::filesystem::create_directories(dir);
+
+  Rng rng(3);
+  auto g = ErdosRenyi(150, 1100, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 4});
+  ASSERT_TRUE(hubs.ok());
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 10;
+  build_opts.bca.delta = 0.4;  // loose: queries will refine
+  auto index = BuildLowerBoundIndex(op, *hubs, build_opts);
+  ASSERT_TRUE(index.ok());
+
+  const std::string p1 = (dir / "a.bin").string();
+  const std::string p2 = (dir / "b.bin").string();
+  ASSERT_TRUE(SaveIndex(*index, p1).ok());
+  auto loaded1 = LoadIndex(p1, g->num_nodes());
+  ASSERT_TRUE(loaded1.ok());
+
+  ReverseTopkSearcher searcher(op, &(*loaded1));
+  QueryOptions qopts;
+  qopts.k = 10;
+  uint64_t refined = 0;
+  for (uint32_t q = 0; q < 30; ++q) {
+    QueryStats stats;
+    ASSERT_TRUE(searcher.Query(q, qopts, &stats).ok());
+    refined += stats.refined_nodes;
+  }
+  ASSERT_GT(refined, 0u);
+
+  ASSERT_TRUE(SaveIndex(*loaded1, p2).ok());
+  auto loaded2 = LoadIndex(p2, g->num_nodes());
+  ASSERT_TRUE(loaded2.ok());
+  // The refined index answers the same queries with zero refinements.
+  ReverseTopkSearcher warm(op, &(*loaded2));
+  for (uint32_t q = 0; q < 30; ++q) {
+    QueryStats stats;
+    auto r = warm.Query(q, qopts, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(stats.refine_iterations, 0u) << "q=" << q;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// The spam workload end to end: reverse sets must be label-homophilous
+// (this is the paper's Section 5.4 claim as a testable property).
+TEST(PipelineTest, SpamCorpusReverseSetsAreHomophilous) {
+  Rng rng(5);
+  WebspamOptions copts;
+  copts.num_normal = 600;
+  copts.num_spam = 150;
+  copts.farm_size = 25;
+  auto corpus = GenerateWebspam(copts, &rng);
+  ASSERT_TRUE(corpus.ok());
+  const auto labels = corpus->labels;
+  EngineOptions opts;
+  opts.capacity_k = 8;
+  opts.hub_selection.degree_budget_b = 15;
+  auto engine = ReverseTopkEngine::Build(std::move(corpus->graph), opts);
+  ASSERT_TRUE(engine.ok());
+
+  double spam_homophily = 0.0;
+  int spam_queries = 0;
+  for (uint32_t q = 600; q < 750; q += 10) {  // spam hosts
+    auto r = (*engine)->Query(q, 5);
+    ASSERT_TRUE(r.ok());
+    if (r->empty()) continue;
+    int same = 0;
+    for (uint32_t u : *r) same += (labels[u] == HostLabel::kSpam);
+    spam_homophily += static_cast<double>(same) / r->size();
+    ++spam_queries;
+  }
+  ASSERT_GT(spam_queries, 0);
+  EXPECT_GT(spam_homophily / spam_queries, 0.8);
+}
+
+// PageRank contribution identity: the sum over u of p_u(q) relates to
+// PageRank by pr(q) = (1/n) * sum_u p_u(q) (Eq. 3) — ties PMPN, PageRank
+// and the proximity matrix together across modules.
+TEST(CrossCheckTest, PmpnRowSumMatchesPageRank) {
+  Rng rng(7);
+  auto g = Rmat(8, 1500, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto pr = ComputePageRank(op);
+  ASSERT_TRUE(pr.ok());
+  const uint32_t n = g->num_nodes();
+  for (uint32_t q = 0; q < n; q += 37) {
+    auto row = ComputeProximityToNode(op, q);
+    ASSERT_TRUE(row.ok());
+    const double sum = std::accumulate(row->begin(), row->end(), 0.0);
+    EXPECT_NEAR((*pr)[q], sum / n, 1e-8) << "q=" << q;
+  }
+}
+
+// Engine + forward top-k: for every result u of a reverse query, q must be
+// in u's forward top-k (with tie slack); for a sample of non-results, q
+// must not be.
+TEST(CrossCheckTest, EngineResultsSatisfyForwardDefinition) {
+  Rng rng(11);
+  auto g = ErdosRenyi(250, 2000, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+
+  Rng rng2(11);
+  auto g2 = ErdosRenyi(250, 2000, &rng2);
+  ASSERT_TRUE(g2.ok());
+  EngineOptions opts;
+  opts.capacity_k = 10;
+  opts.hub_selection.degree_budget_b = 6;
+  auto engine = ReverseTopkEngine::Build(std::move(*g2), opts);
+  ASSERT_TRUE(engine.ok());
+
+  const uint32_t q = 123, k = 7;
+  auto reverse = (*engine)->Query(q, k);
+  ASSERT_TRUE(reverse.ok());
+  std::set<uint32_t> reverse_set(reverse->begin(), reverse->end());
+
+  for (uint32_t u = 0; u < 250; u += 11) {
+    auto topk = ExactTopK(op, u, k);
+    ASSERT_TRUE(topk.ok());
+    const bool q_in_topk =
+        std::any_of(topk->begin(), topk->end(),
+                    [&](const auto& e) { return e.first == q; });
+    // Skip near-ties (both answers defensible there).
+    auto col = ComputeProximityColumn(op, u);
+    ASSERT_TRUE(col.ok());
+    std::vector<double> sorted = *col;
+    std::partial_sort(sorted.begin(), sorted.begin() + k, sorted.end(),
+                      std::greater<>());
+    if (std::abs((*col)[q] - sorted[k - 1]) < 1e-8) continue;
+    EXPECT_EQ(reverse_set.count(u) == 1, q_in_topk) << "u=" << u;
+  }
+}
+
+// The coauthorship workload end to end: the Table-3 shape — designated
+// connectors must rank among the longest reverse top-5 lists and their
+// list sizes must exceed their direct coauthor counts.
+TEST(PipelineTest, CoauthorshipConnectorsDominatePopularity) {
+  Rng rng(17);
+  CoauthorshipOptions copts;
+  copts.num_authors = 600;
+  copts.num_communities = 12;
+  copts.num_papers = 3600;
+  copts.num_connectors = 4;
+  copts.communities_per_connector = 6;
+  copts.papers_per_professor_link = 60;
+  auto net = GenerateCoauthorship(copts, &rng);
+  ASSERT_TRUE(net.ok());
+  const std::vector<uint32_t> coauthors = net->coauthor_counts;
+  const std::set<uint32_t> connectors(net->connectors.begin(),
+                                      net->connectors.end());
+  EngineOptions opts;
+  opts.capacity_k = 8;
+  opts.hub_selection.degree_budget_b = 12;
+  auto engine = ReverseTopkEngine::Build(std::move(net->graph), opts);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<std::pair<size_t, uint32_t>> popularity;
+  for (uint32_t q = 0; q < 600; ++q) {
+    auto r = (*engine)->Query(q, 5);
+    ASSERT_TRUE(r.ok());
+    popularity.emplace_back(r->size(), q);
+  }
+  std::sort(popularity.rbegin(), popularity.rend());
+  // At least half the connectors sit in the top 10 by reverse size...
+  int in_top10 = 0;
+  for (int i = 0; i < 10; ++i) in_top10 += connectors.count(popularity[i].second);
+  EXPECT_GE(in_top10, 2);
+  // ...and every connector's reverse list clearly exceeds its coauthors.
+  std::map<uint32_t, size_t> reverse_size;
+  for (const auto& [size, q] : popularity) reverse_size[q] = size;
+  const size_t median = popularity[popularity.size() / 2].first;
+  for (uint32_t star : net->connectors) {
+    EXPECT_GT(reverse_size[star], coauthors[star]) << "connector " << star;
+    EXPECT_GT(reverse_size[star], median) << "connector " << star;
+  }
+}
+
+// Weighted + unweighted mixed usage through the full engine facade.
+TEST(PipelineTest, WeightedEngineEndToEnd) {
+  GraphBuilder b(60);
+  Rng rng(13);
+  for (uint32_t u = 0; u < 60; ++u) {
+    const uint32_t fan = 2 + static_cast<uint32_t>(rng.Uniform(4));
+    for (uint32_t j = 0; j < fan; ++j) {
+      uint32_t v = static_cast<uint32_t>(rng.Uniform(60));
+      if (v == u) continue;
+      b.AddEdge(u, v, 1.0 + static_cast<double>(rng.Uniform(9)));
+    }
+  }
+  auto g = b.Build({.dangling_policy = DanglingPolicy::kSelfLoop});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->is_weighted());
+  TransitionOperator reference_op(*g);
+
+  auto copy = *g;  // Graph is copyable
+  EngineOptions opts;
+  opts.capacity_k = 8;
+  opts.hub_selection.degree_budget_b = 3;
+  auto engine = ReverseTopkEngine::Build(std::move(copy), opts);
+  ASSERT_TRUE(engine.ok());
+  for (uint32_t q = 0; q < 60; q += 7) {
+    auto got = (*engine)->Query(q, 4);
+    auto expected = BruteForceReverseTopk(reference_op, q, 4);
+    ASSERT_TRUE(got.ok() && expected.ok());
+    EXPECT_EQ(*got, *expected) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,216 @@
+// Tests for the K-dash-style LU index: factorization correctness against
+// the iterative solvers, top-k agreement, orderings, and resource caps.
+
+#include "topk/kdash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/toy_graphs.h"
+#include "rwr/pmpn.h"
+#include "rwr/power_method.h"
+#include "topk/topk_search.h"
+
+namespace rtk {
+namespace {
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+class KdashParamTest
+    : public ::testing::TestWithParam<std::tuple<int, KdashOrdering>> {
+ protected:
+  Graph MakeGraph() {
+    const int family = std::get<0>(GetParam());
+    Rng rng(100 + family);
+    switch (family) {
+      case 0:
+        return std::move(ErdosRenyi(120, 700, &rng)).value();
+      case 1:
+        return std::move(BarabasiAlbert(120, 3, &rng)).value();
+      case 2:
+        return PaperToyGraph();
+      default:
+        return std::move(WattsStrogatz(100, 6, 0.2, &rng)).value();
+    }
+  }
+};
+
+TEST_P(KdashParamTest, ColumnsMatchPowerMethod) {
+  Graph g = MakeGraph();
+  TransitionOperator op(g);
+  KdashOptions opts;
+  opts.ordering = std::get<1>(GetParam());
+  auto index = KdashIndex::Build(op, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  RwrOptions tight;
+  tight.epsilon = 1e-13;
+  for (uint32_t u = 0; u < g.num_nodes(); u += 17) {
+    auto lu = index->SolveColumn(u);
+    auto pm = ComputeProximityColumn(op, u, tight);
+    ASSERT_TRUE(lu.ok() && pm.ok());
+    EXPECT_LT(L1Distance(*lu, *pm), 1e-9) << "u=" << u;
+  }
+}
+
+TEST_P(KdashParamTest, RowsMatchPmpn) {
+  Graph g = MakeGraph();
+  TransitionOperator op(g);
+  KdashOptions opts;
+  opts.ordering = std::get<1>(GetParam());
+  auto index = KdashIndex::Build(op, opts);
+  ASSERT_TRUE(index.ok());
+  RwrOptions tight;
+  tight.epsilon = 1e-13;
+  for (uint32_t q = 0; q < g.num_nodes(); q += 23) {
+    auto lu = index->SolveRow(q);
+    auto pmpn = ComputeProximityToNode(op, q, tight);
+    ASSERT_TRUE(lu.ok() && pmpn.ok());
+    EXPECT_LT(L1Distance(*lu, *pmpn), 1e-9) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndOrderings, KdashParamTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(KdashOrdering::kDegreeAscending,
+                                         KdashOrdering::kNatural)));
+
+TEST(KdashTest, TopKAgreesWithExactTopK) {
+  Rng rng(5);
+  auto g = ErdosRenyi(90, 540, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto index = KdashIndex::Build(op);
+  ASSERT_TRUE(index.ok());
+  RwrOptions tight;
+  tight.epsilon = 1e-13;
+  for (uint32_t u = 0; u < 90; u += 7) {
+    auto a = index->TopK(u, 10);
+    auto b = ExactTopK(op, u, 10, tight);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size()) << "u=" << u;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].first, (*b)[i].first) << "u=" << u << " i=" << i;
+      EXPECT_NEAR((*a)[i].second, (*b)[i].second, 1e-9);
+    }
+  }
+}
+
+TEST(KdashTest, WeightedGraphSupported) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 2.5);
+  b.AddEdge(0, 2, 0.5);
+  b.AddEdge(1, 3, 1.0);
+  b.AddEdge(2, 3, 4.0);
+  b.AddEdge(3, 4, 1.0);
+  b.AddEdge(4, 0, 1.0);
+  auto g = b.Build({.dangling_policy = DanglingPolicy::kError});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto index = KdashIndex::Build(op);
+  ASSERT_TRUE(index.ok());
+  RwrOptions tight;
+  tight.epsilon = 1e-13;
+  for (uint32_t u = 0; u < 5; ++u) {
+    auto lu = index->SolveColumn(u);
+    auto pm = ComputeProximityColumn(op, u, tight);
+    ASSERT_TRUE(lu.ok() && pm.ok());
+    EXPECT_LT(L1Distance(*lu, *pm), 1e-10);
+  }
+}
+
+TEST(KdashTest, ColumnsAreProbabilityDistributions) {
+  Rng rng(19);
+  auto g = Rmat(7, 500, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto index = KdashIndex::Build(op);
+  ASSERT_TRUE(index.ok());
+  for (uint32_t u = 0; u < g->num_nodes(); u += 31) {
+    auto col = index->SolveColumn(u);
+    ASSERT_TRUE(col.ok());
+    double sum = 0.0;
+    for (double v : *col) {
+      EXPECT_GE(v, -1e-12);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "u=" << u;
+  }
+}
+
+TEST(KdashTest, DegreeOrderingReducesFillOnHubbyGraphs) {
+  // Preferential-attachment graphs have a few huge-degree hubs; eliminating
+  // them last (degree-ascending) is the classic fill reducer.
+  Rng rng(23);
+  auto g = BarabasiAlbert(400, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto degree = KdashIndex::Build(op, {.ordering = KdashOrdering::kDegreeAscending});
+  auto natural = KdashIndex::Build(op, {.ordering = KdashOrdering::kNatural});
+  ASSERT_TRUE(degree.ok() && natural.ok());
+  EXPECT_LT(degree->FillEntries(), natural->FillEntries());
+}
+
+TEST(KdashTest, FillCapAbortsCleanly) {
+  Rng rng(29);
+  auto g = ErdosRenyi(200, 2000, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  KdashOptions opts;
+  opts.max_fill_entries = 100;  // absurdly small
+  auto index = KdashIndex::Build(op, opts);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(KdashTest, AlphaIsRespected) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  for (double alpha : {0.15, 0.5, 0.85}) {
+    auto index = KdashIndex::Build(op, {.alpha = alpha});
+    ASSERT_TRUE(index.ok());
+    RwrOptions pm_opts;
+    pm_opts.alpha = alpha;
+    pm_opts.epsilon = 1e-13;
+    auto lu = index->SolveColumn(2);
+    auto pm = ComputeProximityColumn(op, 2, pm_opts);
+    ASSERT_TRUE(lu.ok() && pm.ok());
+    EXPECT_LT(L1Distance(*lu, *pm), 1e-10) << "alpha=" << alpha;
+  }
+}
+
+TEST(KdashTest, RejectsBadArguments) {
+  Graph g = CycleGraph(4);
+  TransitionOperator op(g);
+  EXPECT_FALSE(KdashIndex::Build(op, {.alpha = 0.0}).ok());
+  EXPECT_FALSE(KdashIndex::Build(op, {.alpha = 1.0}).ok());
+  auto index = KdashIndex::Build(op);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->SolveColumn(4).ok());
+  EXPECT_FALSE(index->SolveRow(4).ok());
+  EXPECT_FALSE(index->TopK(0, 0).ok());
+}
+
+TEST(KdashTest, MemoryAccountingIsConsistent) {
+  Graph g = CycleGraph(10);
+  TransitionOperator op(g);
+  auto index = KdashIndex::Build(op);
+  ASSERT_TRUE(index.ok());
+  // A cycle factors with zero fill beyond the matrix itself: L strictly
+  // lower entries + U strict upper entries + n diagonals = m + n at most
+  // (the wrap-around edge fills one extra path).
+  EXPECT_GE(index->FillEntries(), 10u);
+  EXPECT_GT(index->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rtk

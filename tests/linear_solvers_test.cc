@@ -1,0 +1,255 @@
+// Tests for the stationary iterative solvers (Jacobi / Gauss-Seidel) and
+// the ReverseTransitionView they sweep over.
+
+#include "rwr/linear_solvers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/toy_graphs.h"
+#include "rwr/dense_solver.h"
+#include "rwr/power_method.h"
+#include "rwr/reverse_adjacency.h"
+
+namespace rtk {
+namespace {
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+// ------------------------------------------------- ReverseTransitionView --
+
+TEST(ReverseTransitionViewTest, ProbabilitiesMatchForwardOperator) {
+  Rng rng(1);
+  auto g = ErdosRenyi(80, 500, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+
+  // Column-stochasticity seen from the in-side: summing P(u -> v) over all
+  // in-edges of every v recovers each source's full out-mass once.
+  std::vector<double> out_mass(g->num_nodes(), 0.0);
+  for (uint32_t v = 0; v < g->num_nodes(); ++v) {
+    const auto sources = view.InSources(v);
+    const auto probs = view.InProbabilities(v);
+    ASSERT_EQ(sources.size(), probs.size());
+    for (size_t i = 0; i < sources.size(); ++i) out_mass[sources[i]] += probs[i];
+  }
+  for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+    EXPECT_NEAR(out_mass[u], 1.0, 1e-12) << "u=" << u;
+  }
+}
+
+TEST(ReverseTransitionViewTest, SelfLoopProbabilityIsExposed) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 0, 3.0);  // self-loop, weight 3 of total 4
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  auto g = b.Build({.dangling_policy = DanglingPolicy::kError,
+                    .parallel_edges = ParallelEdgePolicy::kError,
+                    .allow_self_loops = true});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+  EXPECT_NEAR(view.SelfLoopProbability(0), 0.75, 1e-12);
+  EXPECT_EQ(view.SelfLoopProbability(1), 0.0);
+  EXPECT_EQ(view.SelfLoopProbability(2), 0.0);
+}
+
+TEST(ReverseTransitionViewTest, WeightedGraphProbabilities) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(0, 2, 3.0);
+  b.AddEdge(1, 0);
+  b.AddEdge(2, 0);
+  auto g = b.Build({.dangling_policy = DanglingPolicy::kError});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+  // Node 2's only in-edge is 0 -> 2 with probability 3/4.
+  ASSERT_EQ(view.InSources(2).size(), 1u);
+  EXPECT_EQ(view.InSources(2)[0], 0u);
+  EXPECT_NEAR(view.InProbabilities(2)[0], 0.75, 1e-12);
+}
+
+// ------------------------------------------------------- solver vs truth --
+
+class StationarySolverParamTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(StationarySolverParamTest, MatchesDenseGroundTruth) {
+  const auto [family, alpha] = GetParam();
+  Rng rng(42 + family);
+  Graph g = [&]() -> Graph {
+    switch (family) {
+      case 0:
+        return std::move(ErdosRenyi(60, 400, &rng)).value();
+      case 1:
+        return std::move(BarabasiAlbert(60, 3, &rng)).value();
+      case 2:
+        return PaperToyGraph();
+      default:
+        return CycleGraph(40);
+    }
+  }();
+  TransitionOperator op(g);
+  ReverseTransitionView view(op);
+  DenseSolverOptions dense_opts;
+  dense_opts.alpha = alpha;
+  auto dense = ComputeDenseProximityMatrix(g, dense_opts);
+  ASSERT_TRUE(dense.ok());
+
+  StationarySolverOptions opts;
+  opts.rwr.alpha = alpha;
+  opts.rwr.epsilon = 1e-12;
+  for (uint32_t u = 0; u < g.num_nodes(); u += 13) {
+    const std::vector<double> truth = dense->Column(u);
+    auto jacobi = JacobiSolveColumn(view, u, opts);
+    auto gauss = GaussSeidelSolveColumn(view, u, opts);
+    ASSERT_TRUE(jacobi.ok() && gauss.ok());
+    EXPECT_LT(L1Distance(*jacobi, truth), 1e-9) << "jacobi u=" << u;
+    EXPECT_LT(L1Distance(*gauss, truth), 1e-9) << "gs u=" << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphFamiliesAndAlphas, StationarySolverParamTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0.15, 0.3, 0.5)));
+
+TEST(StationarySolverTest, JacobiMatchesPowerMethodWithoutSelfLoops) {
+  // With no self-loops the Jacobi diagonal is 1, so a Jacobi sweep IS a
+  // power-method step; the two runs differ only in their start vector (PM
+  // seeds the distribution e_u, whose zero-sum iterate differences contract
+  // at (1-alpha)*|lambda_2|; Jacobi seeds alpha*e_u and pays the plain
+  // (1-alpha) rate). Same fixed point; Jacobi's iterations obey the
+  // worst-case geometric bound.
+  Rng rng(7);
+  auto g = ErdosRenyi(100, 700, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+
+  IterativeSolveStats pm_stats, jacobi_stats;
+  auto pm = ComputeProximityColumn(op, 5, {}, &pm_stats);
+  StationarySolverOptions opts;  // same defaults: alpha .15, eps 1e-10
+  auto jacobi = JacobiSolveColumn(view, 5, opts, &jacobi_stats);
+  ASSERT_TRUE(pm.ok() && jacobi.ok());
+  EXPECT_LT(L1Distance(*pm, *jacobi), 1e-9);
+  EXPECT_TRUE(jacobi_stats.converged);
+  // Worst-case count: delta_i ~ (1-alpha)^i shrinking to eps takes
+  // log(eps)/log(1-alpha) ~ 142 sweeps at the defaults; allow slack.
+  const int bound = static_cast<int>(
+      std::log(opts.rwr.epsilon) / std::log(1.0 - opts.rwr.alpha)) + 10;
+  EXPECT_LE(jacobi_stats.iterations, bound);
+  EXPECT_GE(jacobi_stats.iterations, pm_stats.iterations);
+}
+
+TEST(StationarySolverTest, GaussSeidelConvergesFasterThanJacobi) {
+  Rng rng(11);
+  auto g = BarabasiAlbert(200, 4, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+  StationarySolverOptions opts;
+  opts.rwr.epsilon = 1e-10;
+
+  IterativeSolveStats jacobi_stats, gs_stats;
+  ASSERT_TRUE(JacobiSolveColumn(view, 0, opts, &jacobi_stats).ok());
+  ASSERT_TRUE(GaussSeidelSolveColumn(view, 0, opts, &gs_stats).ok());
+  EXPECT_TRUE(jacobi_stats.converged);
+  EXPECT_TRUE(gs_stats.converged);
+  EXPECT_LT(gs_stats.iterations, jacobi_stats.iterations);
+}
+
+TEST(StationarySolverTest, SelfLoopGraphStillMatchesTruth) {
+  // DanglingPolicy::kSelfLoop creates exactly the graphs where Jacobi and
+  // the power method differ; both must still hit the dense ground truth.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(3, 0);
+  // Nodes 3 (after its edge) and 4 are dangling -> get self-loops.
+  auto g = b.Build({.dangling_policy = DanglingPolicy::kSelfLoop});
+  ASSERT_TRUE(g.ok());
+  auto dense = ComputeDenseProximityMatrix(*g);
+  ASSERT_TRUE(dense.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+  StationarySolverOptions opts;
+  opts.rwr.epsilon = 1e-12;
+  for (uint32_t u = 0; u < 5; ++u) {
+    auto jacobi = JacobiSolveColumn(view, u, opts);
+    auto gs = GaussSeidelSolveColumn(view, u, opts);
+    ASSERT_TRUE(jacobi.ok() && gs.ok());
+    EXPECT_LT(L1Distance(*jacobi, dense->Column(u)), 1e-9) << "u=" << u;
+    EXPECT_LT(L1Distance(*gs, dense->Column(u)), 1e-9) << "u=" << u;
+  }
+}
+
+TEST(StationarySolverTest, UnderRelaxationConvergesToSameAnswer) {
+  Rng rng(13);
+  auto g = ErdosRenyi(50, 300, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+
+  StationarySolverOptions plain;
+  plain.rwr.epsilon = 1e-12;
+  StationarySolverOptions relaxed = plain;
+  relaxed.relaxation = 0.7;
+  auto a = GaussSeidelSolveColumn(view, 3, plain);
+  auto b = GaussSeidelSolveColumn(view, 3, relaxed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(L1Distance(*a, *b), 1e-8);
+}
+
+TEST(StationarySolverTest, SolutionIsAProbabilityDistribution) {
+  Rng rng(17);
+  auto g = Rmat(7, 600, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+  auto x = GaussSeidelSolveColumn(view, 10);
+  ASSERT_TRUE(x.ok());
+  double sum = 0.0;
+  for (double v : *x) {
+    EXPECT_GE(v, -1e-12);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+// ------------------------------------------------------------ error paths --
+
+TEST(StationarySolverTest, RejectsBadArguments) {
+  Graph g = CycleGraph(4);
+  TransitionOperator op(g);
+  ReverseTransitionView view(op);
+
+  EXPECT_FALSE(JacobiSolveColumn(view, 99).ok());
+  EXPECT_FALSE(GaussSeidelSolveColumn(view, 99).ok());
+
+  StationarySolverOptions bad_alpha;
+  bad_alpha.rwr.alpha = 1.0;
+  EXPECT_FALSE(JacobiSolveColumn(view, 0, bad_alpha).ok());
+
+  StationarySolverOptions bad_relax;
+  bad_relax.relaxation = 2.0;
+  EXPECT_FALSE(GaussSeidelSolveColumn(view, 0, bad_relax).ok());
+  bad_relax.relaxation = 0.0;
+  EXPECT_FALSE(GaussSeidelSolveColumn(view, 0, bad_relax).ok());
+}
+
+}  // namespace
+}  // namespace rtk

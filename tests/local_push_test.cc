@@ -1,0 +1,162 @@
+// Tests for the reverse local-push contribution approximation: the
+// lower-bound + additive-error contract, locality, and agreement with the
+// exact PMPN row.
+
+#include "rwr/local_push.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/toy_graphs.h"
+#include "rwr/pmpn.h"
+#include "rwr/reverse_adjacency.h"
+
+namespace rtk {
+namespace {
+
+class LocalPushParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LocalPushParamTest, LowerBoundWithinEpsilonOfExactRow) {
+  const double epsilon = GetParam();
+  Rng rng(3);
+  auto g = ErdosRenyi(150, 1200, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+
+  for (uint32_t q : {0u, 77u, 149u}) {
+    auto exact = ComputeProximityToNode(op, q);
+    ASSERT_TRUE(exact.ok());
+    LocalPushOptions opts;
+    opts.epsilon = epsilon;
+    auto approx = ApproximateContributions(view, q, opts);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_TRUE(approx->converged);
+    for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+      // Lower bound: estimate never exceeds the truth (PMPN epsilon slack).
+      EXPECT_LE(approx->estimates[u], (*exact)[u] + 1e-9) << "u=" << u;
+      // Additive guarantee: never more than epsilon below.
+      EXPECT_GE(approx->estimates[u], (*exact)[u] - epsilon - 1e-9)
+          << "u=" << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, LocalPushParamTest,
+                         ::testing::Values(1e-3, 1e-5, 1e-7));
+
+TEST(LocalPushTest, ExactOnPaperToyGraphWithTinyEpsilon) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  ReverseTransitionView view(op);
+  LocalPushOptions opts;
+  opts.epsilon = 1e-12;
+  for (uint32_t q = 0; q < 6; ++q) {
+    auto approx = ApproximateContributions(view, q, opts);
+    auto exact = ComputeProximityToNode(op, q);
+    ASSERT_TRUE(approx.ok() && exact.ok());
+    for (uint32_t u = 0; u < 6; ++u) {
+      EXPECT_NEAR(approx->estimates[u], (*exact)[u], 1e-9);
+    }
+  }
+}
+
+TEST(LocalPushTest, WorkIsLocalForUnreachableTargets) {
+  // Two disjoint cycles: contributions to a node in the first cycle can
+  // only come from that cycle; the push must never touch the second one.
+  GraphBuilder b(20);
+  for (uint32_t i = 0; i < 10; ++i) b.AddEdge(i, (i + 1) % 10);
+  for (uint32_t i = 10; i < 20; ++i) b.AddEdge(i, 10 + (i + 1 - 10) % 10);
+  auto g = b.Build({.dangling_policy = DanglingPolicy::kError});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+
+  auto approx = ApproximateContributions(view, 3, {.epsilon = 1e-10});
+  ASSERT_TRUE(approx.ok());
+  EXPECT_LE(approx->touched_nodes, 10u);
+  for (uint32_t u = 10; u < 20; ++u) EXPECT_EQ(approx->estimates[u], 0.0);
+}
+
+TEST(LocalPushTest, ResidualInvariantAfterCappedRun) {
+  // Stopping early (push cap) must leave a valid invariant: estimate plus
+  // residual-driven slack still brackets the truth.
+  Rng rng(9);
+  auto g = BarabasiAlbert(300, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+
+  LocalPushOptions opts;
+  opts.epsilon = 1e-9;
+  opts.max_pushes = 25;  // far too few to converge
+  auto capped = ApproximateContributions(view, 0, opts);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_FALSE(capped->converged);
+  EXPECT_EQ(capped->pushes, 25u);
+
+  auto exact = ComputeProximityToNode(op, 0);
+  ASSERT_TRUE(exact.ok());
+  // The per-entry invariant c - p = M^{-1} r gives, since M^{-1} has row
+  // sums 1/alpha: every gap is at most max_residual / alpha, even though
+  // the run stopped far from convergence.
+  for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+    EXPECT_LE(capped->estimates[u], (*exact)[u] + 1e-9);
+    EXPECT_LE((*exact)[u] - capped->estimates[u],
+              capped->max_residual / opts.alpha + 1e-9)
+        << "u=" << u;
+  }
+}
+
+TEST(LocalPushTest, SelfLoopTargetConverges) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 0, 2.0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  auto g = b.Build({.dangling_policy = DanglingPolicy::kError,
+                    .parallel_edges = ParallelEdgePolicy::kError,
+                    .allow_self_loops = true});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ReverseTransitionView view(op);
+  auto approx = ApproximateContributions(view, 0, {.epsilon = 1e-10});
+  auto exact = ComputeProximityToNode(op, 0);
+  ASSERT_TRUE(approx.ok() && exact.ok());
+  EXPECT_TRUE(approx->converged);
+  for (uint32_t u = 0; u < 3; ++u) {
+    EXPECT_NEAR(approx->estimates[u], (*exact)[u], 1e-8);
+  }
+}
+
+TEST(LocalPushTest, PopularTargetsCostMorePushes) {
+  // A star's center receives contributions from every leaf; a leaf only
+  // from itself and the center. The push counts must reflect that.
+  Graph g = StarGraph(50);  // leaves point at node 0; 0 points back
+  TransitionOperator op(g);
+  ReverseTransitionView view(op);
+  auto center = ApproximateContributions(view, 0, {.epsilon = 1e-8});
+  auto leaf = ApproximateContributions(view, 7, {.epsilon = 1e-8});
+  ASSERT_TRUE(center.ok() && leaf.ok());
+  // Everything reaches everything in a star, so both touch all nodes; the
+  // center's far larger contribution mass must cost more pushes.
+  EXPECT_GE(center->touched_nodes, leaf->touched_nodes);
+  EXPECT_GT(center->pushes, leaf->pushes);
+}
+
+TEST(LocalPushTest, RejectsBadArguments) {
+  Graph g = CycleGraph(4);
+  TransitionOperator op(g);
+  ReverseTransitionView view(op);
+  EXPECT_FALSE(ApproximateContributions(view, 99).ok());
+  EXPECT_FALSE(ApproximateContributions(view, 0, {.alpha = 0.0}).ok());
+  EXPECT_FALSE(ApproximateContributions(view, 0, {.alpha = 1.0}).ok());
+  EXPECT_FALSE(ApproximateContributions(view, 0, {.epsilon = 0.0}).ok());
+}
+
+}  // namespace
+}  // namespace rtk

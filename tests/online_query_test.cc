@@ -1,0 +1,256 @@
+// Tests for the Algorithm 4 online query: pruning/confirmation logic,
+// statistics, index update semantics, and the approximate hits-only mode.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bca/hub_selection.h"
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/online_query.h"
+#include "graph/generators.h"
+#include "graph/toy_graphs.h"
+#include "index/index_builder.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+namespace {
+
+struct QueryFixture {
+  explicit QueryFixture(Graph graph_in, uint32_t capacity_k = 20,
+                        uint32_t degree_b = 4, double delta = 0.1)
+      : graph(std::move(graph_in)), op(graph) {
+    HubSelectionOptions hub_opts;
+    hub_opts.degree_budget_b = degree_b;
+    auto hubs = SelectHubs(graph, hub_opts);
+    EXPECT_TRUE(hubs.ok());
+    IndexBuildOptions opts;
+    opts.capacity_k = capacity_k;
+    opts.bca.delta = delta;
+    auto built = BuildLowerBoundIndex(op, *hubs, opts);
+    EXPECT_TRUE(built.ok());
+    index = std::make_unique<LowerBoundIndex>(std::move(built).value());
+    searcher = std::make_unique<ReverseTopkSearcher>(op, index.get());
+  }
+  Graph graph;
+  TransitionOperator op;
+  std::unique_ptr<LowerBoundIndex> index;
+  std::unique_ptr<ReverseTopkSearcher> searcher;
+};
+
+TEST(OnlineQueryTest, MatchesBruteForceOnToyGraph) {
+  QueryFixture fx(PaperToyGraph(), /*capacity_k=*/5, /*degree_b=*/1,
+                  /*delta=*/0.8);
+  for (uint32_t q = 0; q < 6; ++q) {
+    for (uint32_t k : {1u, 2u, 3u, 5u}) {
+      QueryOptions opts;
+      opts.k = k;
+      auto got = fx.searcher->Query(q, opts);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      auto expected = BruteForceReverseTopk(fx.op, q, k);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(*got, *expected) << "q=" << q << " k=" << k;
+    }
+  }
+}
+
+TEST(OnlineQueryTest, ResultsAreSortedUnique) {
+  Rng rng(71);
+  auto g = BarabasiAlbert(200, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  QueryFixture fx(std::move(*g));
+  QueryOptions opts;
+  opts.k = 10;
+  auto got = fx.searcher->Query(42, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(std::is_sorted(got->begin(), got->end()));
+  EXPECT_EQ(std::adjacent_find(got->begin(), got->end()), got->end());
+}
+
+TEST(OnlineQueryTest, StatsAreConsistent) {
+  Rng rng(73);
+  auto g = ErdosRenyi(300, 2400, &rng);
+  ASSERT_TRUE(g.ok());
+  QueryFixture fx(std::move(*g));
+  QueryOptions opts;
+  opts.k = 10;
+  QueryStats stats;
+  auto got = fx.searcher->Query(7, opts, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(stats.query, 7u);
+  EXPECT_EQ(stats.k, 10u);
+  EXPECT_EQ(stats.results, got->size());
+  EXPECT_LE(stats.hits, stats.candidates);
+  EXPECT_LE(stats.results, stats.candidates);
+  EXPECT_GE(stats.results, stats.hits);  // every hit is a result
+  EXPECT_LE(stats.refined_nodes, stats.candidates - stats.hits);
+  EXPECT_GT(stats.pmpn_iterations, 0);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  // Stall cut-over may resolve near-tie candidates exactly; never more
+  // such fallbacks than refined nodes.
+  EXPECT_LE(stats.exact_fallbacks, stats.refined_nodes);
+}
+
+TEST(OnlineQueryTest, CandidatesAreFarFewerThanNodes) {
+  // The index's whole point (Figure 6): candidates ~ O(k), not O(n).
+  Rng rng(79);
+  auto g = BarabasiAlbert(500, 4, &rng);
+  ASSERT_TRUE(g.ok());
+  QueryFixture fx(std::move(*g), 20, 10);
+  QueryOptions opts;
+  opts.k = 10;
+  QueryStats stats;
+  auto got = fx.searcher->Query(100, opts, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_LT(stats.candidates, fx.graph.num_nodes() / 4);
+}
+
+TEST(OnlineQueryTest, UpdateModePersistsRefinement) {
+  Rng rng(83);
+  auto g = BarabasiAlbert(300, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  QueryFixture fx(std::move(*g));
+  QueryOptions opts;
+  opts.k = 10;
+  opts.update_index = true;
+  QueryStats first, second;
+  auto r1 = fx.searcher->Query(50, opts, &first);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = fx.searcher->Query(50, opts, &second);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);  // same query, same answer
+  // The second run reuses the refinement work of the first.
+  EXPECT_LE(second.refine_iterations, first.refine_iterations);
+}
+
+TEST(OnlineQueryTest, NoUpdateModeLeavesIndexUntouched) {
+  Rng rng(89);
+  auto g = ErdosRenyi(300, 2400, &rng);  // well-mixed: refinement happens
+  ASSERT_TRUE(g.ok());
+  QueryFixture fx(std::move(*g), /*capacity_k=*/20, /*degree_b=*/4,
+                  /*delta=*/0.4);  // loose index so bounds need refinement
+  // Snapshot index state.
+  std::vector<double> residues;
+  for (uint32_t u = 0; u < fx.graph.num_nodes(); ++u) {
+    residues.push_back(fx.index->ResidueL1(u));
+  }
+  QueryOptions opts;
+  opts.k = 10;
+  opts.update_index = false;
+  uint64_t refined_total = 0;
+  for (uint32_t q : {50u, 120u, 233u}) {
+    QueryStats stats;
+    auto r = fx.searcher->Query(q, opts, &stats);
+    ASSERT_TRUE(r.ok());
+    refined_total += stats.refined_nodes;
+  }
+  ASSERT_GT(refined_total, 0u);  // something was refined...
+  for (uint32_t u = 0; u < fx.graph.num_nodes(); ++u) {
+    EXPECT_EQ(fx.index->ResidueL1(u), residues[u]) << "u=" << u;
+  }
+}
+
+TEST(OnlineQueryTest, UpdateAndNoUpdateReturnIdenticalResults) {
+  Rng rng(97);
+  auto g = ErdosRenyi(250, 1800, &rng);
+  ASSERT_TRUE(g.ok());
+  QueryFixture fx_a(std::move(*g));
+  Rng rng2(97);
+  auto g2 = ErdosRenyi(250, 1800, &rng2);
+  ASSERT_TRUE(g2.ok());
+  QueryFixture fx_b(std::move(*g2));
+  for (uint32_t q : {3u, 77u, 141u}) {
+    QueryOptions upd, noupd;
+    upd.k = noupd.k = 5;
+    upd.update_index = true;
+    noupd.update_index = false;
+    auto ra = fx_a.searcher->Query(q, upd);
+    auto rb = fx_b.searcher->Query(q, noupd);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(*ra, *rb) << "q=" << q;
+  }
+}
+
+TEST(OnlineQueryTest, ApproximateHitsAreSubsetOfExactResults) {
+  Rng rng(101);
+  auto g = BarabasiAlbert(300, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  QueryFixture fx(std::move(*g));
+  QueryOptions approx;
+  approx.k = 10;
+  approx.approximate_hits_only = true;
+  approx.update_index = false;
+  auto hits = fx.searcher->Query(33, approx);
+  ASSERT_TRUE(hits.ok());
+  QueryOptions exact;
+  exact.k = 10;
+  exact.update_index = false;
+  auto full = fx.searcher->Query(33, exact);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(std::includes(full->begin(), full->end(), hits->begin(),
+                            hits->end()));
+}
+
+TEST(OnlineQueryTest, QueryNodeUsuallyInItsOwnResult) {
+  // p_q(q) is typically among q's top-k values (restart mass), so q is in
+  // its own reverse top-k for reasonable k.
+  QueryFixture fx(TwoCommunitiesGraph(8), 10, 2);
+  QueryOptions opts;
+  opts.k = 5;
+  auto r = fx.searcher->Query(3, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::binary_search(r->begin(), r->end(), 3u));
+}
+
+TEST(OnlineQueryTest, LargerKGivesSupersetResults) {
+  QueryFixture fx(TwoCommunitiesGraph(10), 15, 2);
+  QueryOptions small, large;
+  small.k = 3;
+  large.k = 12;
+  small.update_index = false;
+  large.update_index = false;
+  auto rs = fx.searcher->Query(5, small);
+  auto rl = fx.searcher->Query(5, large);
+  ASSERT_TRUE(rs.ok() && rl.ok());
+  EXPECT_TRUE(std::includes(rl->begin(), rl->end(), rs->begin(), rs->end()));
+  EXPECT_GE(rl->size(), rs->size());
+}
+
+TEST(OnlineQueryTest, RejectsBadArguments) {
+  QueryFixture fx(PaperToyGraph(), 5, 1);
+  QueryOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(fx.searcher->Query(0, opts).ok());
+  opts.k = 6;  // > capacity
+  EXPECT_FALSE(fx.searcher->Query(0, opts).ok());
+  opts.k = 2;
+  EXPECT_FALSE(fx.searcher->Query(99, opts).ok());
+}
+
+TEST(OnlineQueryTest, WeightedGraphQueriesMatchBruteForce) {
+  // The coauthorship experiment path: weighted transition probabilities.
+  GraphBuilder b(8);
+  Rng rng(103);
+  for (uint32_t u = 0; u < 8; ++u) {
+    for (uint32_t v = 0; v < 8; ++v) {
+      if (u != v && rng.Bernoulli(0.4)) {
+        b.AddEdge(u, v, 1.0 + static_cast<double>(rng.Uniform(5)));
+      }
+    }
+  }
+  auto g = b.Build({.dangling_policy = DanglingPolicy::kSelfLoop});
+  ASSERT_TRUE(g.ok());
+  QueryFixture fx(std::move(*g), 5, 2);
+  for (uint32_t q = 0; q < 8; ++q) {
+    QueryOptions opts;
+    opts.k = 3;
+    auto got = fx.searcher->Query(q, opts);
+    auto expected = BruteForceReverseTopk(fx.op, q, 3);
+    ASSERT_TRUE(got.ok() && expected.ok());
+    EXPECT_EQ(*got, *expected) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,162 @@
+// End-to-end validation against the numbers the paper prints.
+//
+// These tests walk through Figures 1-2 and the Section 4.2.3 example: the
+// recovered toy graph must reproduce the printed proximity matrix, its
+// top-2 sets, the hub selection of Figure 2, and the reverse top-2 query
+// result {1, 2, 5} for q = 1 (1-based; {0, 1, 4} 0-based).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bca/hub_selection.h"
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "graph/toy_graphs.h"
+#include "rwr/dense_solver.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+namespace {
+
+// Shared fixture: toy graph + exact matrix.
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = PaperToyGraph();
+    Result<DenseProximityMatrix> dense = ComputeDenseProximityMatrix(graph_);
+    ASSERT_TRUE(dense.ok());
+    dense_ = std::make_unique<DenseProximityMatrix>(std::move(dense).value());
+  }
+  Graph graph_;
+  std::unique_ptr<DenseProximityMatrix> dense_;
+};
+
+TEST_F(PaperExampleTest, ProximityMatrixMatchesFigure1) {
+  const auto expected = PaperToyExpectedProximity();
+  for (uint32_t i = 0; i < 6; ++i) {
+    for (uint32_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(dense_->At(i, j), expected[i][j], 0.005)
+          << "P[" << i << "][" << j << "]";
+    }
+  }
+}
+
+TEST_F(PaperExampleTest, Top2SetsMatchFigure1Shading) {
+  // Expected (1-based, from the shaded entries): top2(p1)={1,2},
+  // top2(p2)={2,1}, top2(p3)={2,3}, top2(p4)={2,4}, top2(p5)={2,1},
+  // top2(p6)={2,6}.
+  const std::vector<std::set<uint32_t>> expected = {
+      {0, 1}, {0, 1}, {1, 2}, {1, 3}, {0, 1}, {1, 5}};
+  for (uint32_t u = 0; u < 6; ++u) {
+    std::vector<std::pair<double, uint32_t>> vals;
+    for (uint32_t i = 0; i < 6; ++i) vals.push_back({dense_->At(i, u), i});
+    std::sort(vals.rbegin(), vals.rend());
+    std::set<uint32_t> top2{vals[0].second, vals[1].second};
+    EXPECT_EQ(top2, expected[u]) << "column " << u;
+  }
+}
+
+TEST_F(PaperExampleTest, DegreeHubSelectionPicksNodes1And2) {
+  // Figure 2 with B=1: hubs = {highest in-degree, highest out-degree}
+  // = {node 2, node 1} (1-based) = {0, 1} here.
+  HubSelectionOptions opts;
+  opts.strategy = HubSelectionStrategy::kDegree;
+  opts.degree_budget_b = 1;
+  Result<std::vector<uint32_t>> hubs = SelectHubs(graph_, opts);
+  ASSERT_TRUE(hubs.ok());
+  EXPECT_EQ(*hubs, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST_F(PaperExampleTest, ReverseTop2OfNode1IsNodes125) {
+  // "the reverse top-2 query for node 1 returns nodes 1, 2, and 5".
+  TransitionOperator op(graph_);
+  Result<std::vector<uint32_t>> bf = BruteForceReverseTopk(op, /*q=*/0, 2);
+  ASSERT_TRUE(bf.ok());
+  EXPECT_EQ(*bf, (std::vector<uint32_t>{0, 1, 4}));
+}
+
+TEST_F(PaperExampleTest, EngineReproducesSection423Walkthrough) {
+  EngineOptions opts;
+  opts.capacity_k = 3;  // Figure 2 builds a top-3 index
+  opts.hub_selection.degree_budget_b = 1;
+  opts.bca.eta = 1e-4;
+  opts.bca.delta = 0.8;  // the walkthrough's residue threshold
+  Result<std::unique_ptr<ReverseTopkEngine>> engine =
+      ReverseTopkEngine::Build(PaperToyGraph(), opts);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Hubs are exact.
+  const LowerBoundIndex& index = (*engine)->index();
+  EXPECT_TRUE(index.IsExact(0));
+  EXPECT_TRUE(index.IsExact(1));
+
+  // Nodes 3 and 5 (1-based) converge fully: all their out-edges point at
+  // hubs, so one push drains the residue. Nodes 4 and 6 keep residue.
+  EXPECT_TRUE(index.IsExact(2));
+  EXPECT_TRUE(index.IsExact(4));
+  EXPECT_FALSE(index.IsExact(3));
+  EXPECT_FALSE(index.IsExact(5));
+  // Figure 2 reports |r_4| = |r_6| = 0.36 after termination.
+  EXPECT_NEAR(index.ResidueL1(3), 0.36, 0.005);
+  EXPECT_NEAR(index.ResidueL1(5), 0.36, 0.005);
+
+  // The query of Section 4.2.3: q = node 1 (0-based 0), k = 2,
+  // result {1, 2, 5} (0-based {0, 1, 4}).
+  QueryStats stats;
+  Result<std::vector<uint32_t>> result = (*engine)->Query(0, 2, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, (std::vector<uint32_t>{0, 1, 4}));
+
+  // The walkthrough prunes node 3 immediately (never a candidate) and
+  // refines nodes 4 and 6 once each before pruning them.
+  EXPECT_EQ(stats.results, 3u);
+  EXPECT_GE(stats.candidates, 4u);  // 1, 2, 4, 5 at least survive the LB
+  EXPECT_GE(stats.refined_nodes, 1u);
+}
+
+TEST_F(PaperExampleTest, Figure2LowerBoundsAreLowerBounds) {
+  EngineOptions opts;
+  opts.capacity_k = 3;
+  opts.hub_selection.degree_budget_b = 1;
+  opts.bca.delta = 0.8;
+  Result<std::unique_ptr<ReverseTopkEngine>> engine =
+      ReverseTopkEngine::Build(PaperToyGraph(), opts);
+  ASSERT_TRUE(engine.ok());
+  const LowerBoundIndex& index = (*engine)->index();
+  for (uint32_t u = 0; u < 6; ++u) {
+    // Exact top-3 values of column u.
+    std::vector<double> col;
+    for (uint32_t i = 0; i < 6; ++i) col.push_back(dense_->At(i, u));
+    std::sort(col.rbegin(), col.rend());
+    for (uint32_t k = 1; k <= 3; ++k) {
+      // Tolerance: hub vectors come from the power method (eps = 1e-10), so
+      // stored bounds can exceed the dense-solver truth by solver error.
+      EXPECT_LE(index.LowerBound(u, k), col[k - 1] + 5e-9)
+          << "u=" << u << " k=" << k;
+    }
+  }
+}
+
+TEST_F(PaperExampleTest, Figure2HubColumnsStoreExactTopK) {
+  EngineOptions opts;
+  opts.capacity_k = 3;
+  opts.hub_selection.degree_budget_b = 1;
+  opts.bca.delta = 0.8;
+  Result<std::unique_ptr<ReverseTopkEngine>> engine =
+      ReverseTopkEngine::Build(PaperToyGraph(), opts);
+  ASSERT_TRUE(engine.ok());
+  const LowerBoundIndex& index = (*engine)->index();
+  // Figure 2 prints p_hat_1 = (0.32, 0.28, 0.13): exact top-3 of column 1.
+  EXPECT_NEAR(index.LowerBound(0, 1), 0.32, 0.005);
+  EXPECT_NEAR(index.LowerBound(0, 2), 0.28, 0.005);
+  EXPECT_NEAR(index.LowerBound(0, 3), 0.13, 0.005);
+  // And p_hat_2 = (0.39, 0.24, 0.17).
+  EXPECT_NEAR(index.LowerBound(1, 1), 0.39, 0.005);
+  EXPECT_NEAR(index.LowerBound(1, 2), 0.24, 0.005);
+  EXPECT_NEAR(index.LowerBound(1, 3), 0.17, 0.005);
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,140 @@
+// Tests for the popularity-ranking application (Table 3 as an API).
+
+#include "apps/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bca/hub_selection.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/toy_graphs.h"
+#include "index/index_builder.h"
+#include "workload/coauthorship.h"
+
+namespace rtk {
+namespace {
+
+TEST(PopularityTest, RankingMatchesDirectQueries) {
+  Rng rng(91);
+  auto g = ErdosRenyi(120, 900, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 6});
+  ASSERT_TRUE(hubs.ok());
+  auto index = BuildLowerBoundIndex(op, *hubs, {.capacity_k = 10});
+  ASSERT_TRUE(index.ok());
+
+  PopularityOptions opts;
+  opts.k = 5;
+  auto ranking = ComputePopularityRanking(op, &(*index), opts);
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_EQ(ranking->size(), 120u);
+
+  // Sizes match per-query searcher output; order is size-desc, id-asc.
+  std::map<uint32_t, uint32_t> by_node;
+  for (const auto& e : *ranking) by_node[e.node] = e.reverse_size;
+  ReverseTopkSearcher searcher(op, &(*index));
+  QueryOptions qopts;
+  qopts.k = 5;
+  qopts.update_index = false;
+  for (uint32_t q = 0; q < 120; q += 17) {
+    auto r = searcher.Query(q, qopts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(by_node[q], r->size()) << "q=" << q;
+  }
+  for (size_t i = 1; i < ranking->size(); ++i) {
+    const auto& prev = (*ranking)[i - 1];
+    const auto& cur = (*ranking)[i];
+    EXPECT_TRUE(prev.reverse_size > cur.reverse_size ||
+                (prev.reverse_size == cur.reverse_size &&
+                 prev.node < cur.node));
+  }
+}
+
+TEST(PopularityTest, CandidateSubsetAndParallelAgree) {
+  Rng rng(93);
+  auto g = BarabasiAlbert(200, 4, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 8});
+  ASSERT_TRUE(hubs.ok());
+  auto index = BuildLowerBoundIndex(op, *hubs, {.capacity_k = 8});
+  ASSERT_TRUE(index.ok());
+
+  PopularityOptions serial;
+  serial.k = 5;
+  serial.candidates = {0, 5, 50, 150, 199};
+  auto a = ComputePopularityRanking(op, &(*index), serial);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(), 5u);
+
+  ThreadPool pool(2);
+  PopularityOptions parallel = serial;
+  parallel.num_threads = 2;
+  auto b = ComputePopularityRanking(op, &(*index), parallel, &pool);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].node, (*b)[i].node);
+    EXPECT_EQ((*a)[i].reverse_size, (*b)[i].reverse_size);
+  }
+}
+
+TEST(PopularityTest, ConnectorsOutrankDegreeInCoauthorship) {
+  // The Table 3 signature as an API-level property: connectors' reverse
+  // sizes exceed their in-degrees (the naive popularity proxy).
+  Rng rng(95);
+  CoauthorshipOptions copts;
+  copts.num_authors = 600;
+  copts.num_communities = 12;
+  copts.num_papers = 3600;
+  copts.num_connectors = 4;
+  copts.communities_per_connector = 6;
+  copts.papers_per_professor_link = 60;
+  auto net = GenerateCoauthorship(copts, &rng);
+  ASSERT_TRUE(net.ok());
+  TransitionOperator op(net->graph);
+  auto hubs = SelectHubs(net->graph, {.degree_budget_b = 12});
+  ASSERT_TRUE(hubs.ok());
+  auto index = BuildLowerBoundIndex(op, *hubs, {.capacity_k = 8});
+  ASSERT_TRUE(index.ok());
+
+  auto ranking = ComputePopularityRanking(op, &(*index), {.k = 5});
+  ASSERT_TRUE(ranking.ok());
+  std::map<uint32_t, PopularityEntry> by_node;
+  std::map<uint32_t, size_t> position;
+  for (size_t i = 0; i < ranking->size(); ++i) {
+    by_node[(*ranking)[i].node] = (*ranking)[i];
+    position[(*ranking)[i].node] = i;
+  }
+  // Most connectors' reverse sets exceed their in-degree (individual
+  // connectors can land near parity on some seeds), and every connector
+  // ranks in the top decile of the popularity ordering.
+  int outranking = 0;
+  for (uint32_t star : net->connectors) {
+    outranking += by_node[star].reverse_size > by_node[star].in_degree;
+    EXPECT_LT(position[star], ranking->size() / 10) << "connector " << star;
+  }
+  EXPECT_GE(outranking, 3);
+}
+
+TEST(PopularityTest, RejectsBadArguments) {
+  Graph g = CycleGraph(10);
+  TransitionOperator op(g);
+  auto hubs = SelectHubs(g, {.degree_budget_b = 2});
+  ASSERT_TRUE(hubs.ok());
+  auto index = BuildLowerBoundIndex(op, *hubs, {.capacity_k = 4});
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(ComputePopularityRanking(op, nullptr, {.k = 2}).ok());
+  EXPECT_FALSE(ComputePopularityRanking(op, &(*index), {.k = 0}).ok());
+  EXPECT_FALSE(ComputePopularityRanking(op, &(*index), {.k = 99}).ok());
+  PopularityOptions bad;
+  bad.k = 2;
+  bad.candidates = {99};
+  EXPECT_FALSE(ComputePopularityRanking(op, &(*index), bad).ok());
+}
+
+}  // namespace
+}  // namespace rtk

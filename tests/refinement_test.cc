@@ -1,0 +1,185 @@
+// Tests for the refinement-path mechanisms added on top of the paper's
+// Algorithm 4: incremental approx tracking, the stall cut-over to exact
+// resolution, and their interaction with index updates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bca/bca.h"
+#include "bca/hub_proximity_store.h"
+#include "bca/hub_selection.h"
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/online_query.h"
+#include "graph/generators.h"
+#include "graph/toy_graphs.h"
+#include "index/index_builder.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+namespace {
+
+// Tracked and untracked TopKApprox must agree exactly at every step.
+TEST(ApproxTrackingTest, TrackedMatchesRebuiltAtEveryStep) {
+  Rng rng(3);
+  auto g = ErdosRenyi(120, 900, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  std::vector<uint32_t> hubs{0, 3, 9, 27};
+  auto store = HubProximityStore::Build(op, hubs, {});
+  ASSERT_TRUE(store.ok());
+  BcaOptions opts;
+
+  BcaRunner tracked(op, hubs, opts);
+  BcaRunner rebuilt(op, hubs, opts);
+  tracked.Start(42);
+  tracked.BeginApproxTracking(*store);
+  rebuilt.Start(42);
+  for (int step = 0; step < 25; ++step) {
+    const size_t a = tracked.Step(PushStrategy::kBatch);
+    const size_t b = rebuilt.Step(PushStrategy::kBatch);
+    ASSERT_EQ(a, b);
+    if (a == 0) break;
+    auto ta = tracked.TopKApprox(*store, 10);
+    auto tb = rebuilt.TopKApprox(*store, 10);
+    ASSERT_EQ(ta.size(), tb.size()) << "step " << step;
+    for (size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].first, tb[i].first) << "step " << step << " i=" << i;
+      EXPECT_NEAR(ta[i].second, tb[i].second, 1e-12);
+    }
+  }
+}
+
+TEST(ApproxTrackingTest, TrackingSurvivesHubAbsorptions) {
+  // Start at a node whose neighbors are hubs so absorptions dominate.
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  std::vector<uint32_t> hubs{0, 1};
+  auto store = HubProximityStore::Build(op, hubs, {});
+  ASSERT_TRUE(store.ok());
+  BcaOptions opts;
+  BcaRunner runner(op, hubs, opts);
+  runner.Start(2);  // out-edges {0, 1}: both hubs
+  runner.BeginApproxTracking(*store);
+  while (runner.Step(PushStrategy::kBatch) > 0) {
+  }
+  std::vector<double> dense;
+  runner.MaterializeApprox(*store, &dense);
+  auto top = runner.TopKApprox(*store, 6);
+  for (const auto& [id, value] : top) {
+    EXPECT_NEAR(value, dense[id], 1e-12);
+  }
+}
+
+TEST(ApproxTrackingTest, StartResetsTracking) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  std::vector<uint32_t> hubs{0, 1};
+  auto store = HubProximityStore::Build(op, hubs, {});
+  ASSERT_TRUE(store.ok());
+  BcaRunner runner(op, hubs, {});
+  runner.Start(3);
+  runner.BeginApproxTracking(*store);
+  runner.Step();
+  // A fresh Start must not leak the previous node's approx.
+  runner.Start(5);
+  runner.Step();
+  auto top = runner.TopKApprox(*store, 6);  // untracked rebuild path
+  std::vector<double> dense;
+  runner.MaterializeApprox(*store, &dense);
+  for (const auto& [id, value] : top) {
+    EXPECT_NEAR(value, dense[id], 1e-12);
+  }
+}
+
+// The stall cut-over must not change results: force tiny stall budgets and
+// compare against brute force.
+TEST(StallCutoverTest, AggressiveFallbackPreservesResults) {
+  Rng rng(7);
+  auto g = ErdosRenyi(150, 1200, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 4});
+  ASSERT_TRUE(hubs.ok());
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 10;
+  build_opts.bca.delta = 0.5;  // loose: plenty of refinement needed
+  auto index = BuildLowerBoundIndex(op, *hubs, build_opts);
+  ASSERT_TRUE(index.ok());
+  ReverseTopkSearcher searcher(op, &(*index));
+
+  QueryOptions opts;
+  opts.k = 5;
+  opts.max_stalled_refinements = 1;  // cut over almost immediately
+  opts.max_refine_iterations_per_node = 3;
+  for (uint32_t q : {10u, 60u, 120u}) {
+    QueryStats stats;
+    auto got = searcher.Query(q, opts, &stats);
+    ASSERT_TRUE(got.ok());
+    auto expected = BruteForceReverseTopk(op, q, 5);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(*got, *expected) << "q=" << q;
+    EXPECT_GT(stats.exact_fallbacks, 0u);  // the valve actually fired
+  }
+}
+
+TEST(StallCutoverTest, FallbackInstallsExactEntry) {
+  Rng rng(9);
+  auto g = ErdosRenyi(100, 700, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 3});
+  ASSERT_TRUE(hubs.ok());
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 8;
+  build_opts.bca.delta = 0.5;
+  auto index = BuildLowerBoundIndex(op, *hubs, build_opts);
+  ASSERT_TRUE(index.ok());
+  ReverseTopkSearcher searcher(op, &(*index));
+
+  QueryOptions opts;
+  opts.k = 5;
+  opts.max_refine_iterations_per_node = 1;  // everything refined goes exact
+  QueryStats stats;
+  auto r = searcher.Query(33, opts, &stats);
+  ASSERT_TRUE(r.ok());
+  if (stats.exact_fallbacks > 0) {
+    // At least one node got upgraded to an exact entry.
+    uint64_t exact_after = index->ComputeStats().exact_nodes;
+    EXPECT_GT(exact_after, hubs->size());
+  }
+  // A repeat query does zero refinement on upgraded nodes and agrees.
+  QueryStats again;
+  auto r2 = searcher.Query(33, opts, &again);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r, *r2);
+  EXPECT_LE(again.exact_fallbacks, stats.exact_fallbacks);
+}
+
+TEST(StallCutoverTest, NoUpdateFallbackDoesNotMutateIndex) {
+  Rng rng(11);
+  auto g = ErdosRenyi(100, 700, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto hubs = SelectHubs(*g, {.degree_budget_b = 3});
+  ASSERT_TRUE(hubs.ok());
+  IndexBuildOptions build_opts;
+  build_opts.capacity_k = 8;
+  build_opts.bca.delta = 0.5;
+  auto index = BuildLowerBoundIndex(op, *hubs, build_opts);
+  ASSERT_TRUE(index.ok());
+  const uint64_t exact_before = index->ComputeStats().exact_nodes;
+
+  ReverseTopkSearcher searcher(op, &(*index));
+  QueryOptions opts;
+  opts.k = 5;
+  opts.update_index = false;
+  opts.max_refine_iterations_per_node = 1;
+  QueryStats stats;
+  ASSERT_TRUE(searcher.Query(33, opts, &stats).ok());
+  EXPECT_EQ(index->ComputeStats().exact_nodes, exact_before);
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,102 @@
+// Moderate-scale integration: the full engine against the FBF oracle on a
+// web-shaped graph large enough that shortcuts (accidental O(n^2) paths,
+// index state corruption under refinement churn, parallel build races)
+// would show — but small enough for CI.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/batch_query.h"
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "workload/query_workload.h"
+
+namespace rtk {
+namespace {
+
+TEST(ScaleTest, EngineMatchesFbfOracleOnWebGraph) {
+  Rng rng(2025);
+  auto g = Rmat(/*scale=*/12, /*m=*/18000, &rng);  // 4096 nodes
+  ASSERT_TRUE(g.ok());
+  const Graph& graph = *g;
+  TransitionOperator op(graph);
+  ThreadPool pool(2);
+
+  BaselineOptions base_opts;
+  base_opts.capacity_k = 20;
+  auto oracle = FbfOracle::Build(op, base_opts, &pool);
+  ASSERT_TRUE(oracle.ok());
+
+  EngineOptions opts;
+  opts.capacity_k = 20;
+  opts.hub_selection.degree_budget_b = graph.num_nodes() / 50 + 1;
+  opts.num_threads = 2;
+  Graph copy = graph;
+  auto engine = ReverseTopkEngine::Build(std::move(copy), opts);
+  ASSERT_TRUE(engine.ok());
+
+  Rng qrng(11);
+  const auto queries =
+      SampleQueries(graph, 25, QueryDistribution::kUniform, &qrng);
+  for (uint32_t k : {5u, 20u}) {
+    for (uint32_t q : queries) {
+      auto fast = (*engine)->Query(q, k);
+      auto slow = oracle->Query(q, k);
+      ASSERT_TRUE(fast.ok() && slow.ok());
+      EXPECT_EQ(*fast, *slow) << "q=" << q << " k=" << k;
+    }
+  }
+}
+
+TEST(ScaleTest, ParallelWorkloadOnLargeIndexIsConsistent) {
+  Rng rng(2026);
+  auto g = BarabasiAlbert(4000, 6, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  ThreadPool pool(2);
+
+  EngineOptions opts;
+  opts.capacity_k = 20;
+  opts.hub_selection.degree_budget_b = 40;
+  opts.num_threads = 2;
+  Graph copy = *g;
+  auto engine = ReverseTopkEngine::Build(std::move(copy), opts);
+  ASSERT_TRUE(engine.ok());
+
+  // The same workload, sequentially in update mode and in parallel
+  // read-only mode, must produce identical result sets.
+  Rng qrng(13);
+  const auto queries =
+      SampleQueries(*g, 60, QueryDistribution::kUniform, &qrng);
+  WorkloadOptions par;
+  par.query.k = 10;
+  par.query.update_index = false;
+  par.num_threads = 2;
+  par.keep_results = true;
+  // Parallel run FIRST (against the pristine index), then the update-mode
+  // run, which may refine but must not change any answer.
+  LowerBoundIndex* index =
+      const_cast<LowerBoundIndex*>(&(*engine)->index());
+  auto parallel = RunQueryWorkload(op, index, queries, par, &pool);
+  ASSERT_TRUE(parallel.ok());
+
+  WorkloadOptions seq;
+  seq.query.k = 10;
+  seq.query.update_index = true;
+  seq.keep_results = true;
+  auto sequential = RunQueryWorkload(op, index, queries, seq);
+  ASSERT_TRUE(sequential.ok());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(parallel->results[i], sequential->results[i]) << "i=" << i;
+  }
+  // Refinement must strictly help subsequent identical queries.
+  auto again = RunQueryWorkload(op, index, queries, seq);
+  ASSERT_TRUE(again.ok());
+  EXPECT_LE(again->total_refine_iterations,
+            sequential->total_refine_iterations);
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,160 @@
+// Tests for the SpamRank-style application module: contribution profiles,
+// spam mass, the Section 5.4 reverse-top-k ratio, and the threshold
+// classifier.
+
+#include "apps/spamrank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "graph/toy_graphs.h"
+#include "rwr/pagerank.h"
+#include "workload/webspam.h"
+
+namespace rtk {
+namespace {
+
+WebspamOptions SmallCorpus() {
+  WebspamOptions opts;
+  opts.num_normal = 500;
+  opts.num_spam = 120;
+  opts.farm_size = 20;
+  return opts;
+}
+
+TEST(SpamRankTest, ProfileTotalsMatchPageRankIdentity) {
+  // Eq. 3: pr(q) = (1/n) sum_u p_u(q). The profile excludes q itself, so
+  // total + p_q(q) = n * pr(q).
+  Rng rng(61);
+  auto corpus = GenerateWebspam(SmallCorpus(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  const std::vector<HostLabel> labels = corpus->labels;
+  TransitionOperator op(corpus->graph);
+  auto pr = ComputePageRank(op);
+  ASSERT_TRUE(pr.ok());
+  const auto n = static_cast<double>(op.num_nodes());
+
+  for (uint32_t q : {0u, 100u, 550u}) {
+    auto profile = ComputeContributionProfile(op, q, labels);
+    ASSERT_TRUE(profile.ok());
+    // p_q(q) >= alpha always; bound the self-term to check the identity.
+    const double with_self_lo = profile->total_contribution + 0.15;
+    const double with_self_hi = profile->total_contribution + 1.0;
+    EXPECT_GE(n * (*pr)[q] + 1e-6, with_self_lo) << "q=" << q;
+    EXPECT_LE(n * (*pr)[q] - 1e-6, with_self_hi) << "q=" << q;
+  }
+}
+
+TEST(SpamRankTest, SpamTargetsHaveHighSpamMass) {
+  Rng rng(67);
+  auto corpus = GenerateWebspam(SmallCorpus(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  const auto& labels = corpus->labels;
+  TransitionOperator op(corpus->graph);
+
+  double spam_mass_spam = 0.0, spam_mass_normal = 0.0;
+  int spam_count = 0, normal_count = 0;
+  for (uint32_t q = 0; q < op.num_nodes(); q += 23) {
+    auto profile = ComputeContributionProfile(op, q, labels);
+    ASSERT_TRUE(profile.ok());
+    if (labels[q] == HostLabel::kSpam) {
+      spam_mass_spam += profile->spam_mass;
+      ++spam_count;
+    } else {
+      spam_mass_normal += profile->spam_mass;
+      ++normal_count;
+    }
+  }
+  ASSERT_GT(spam_count, 0);
+  ASSERT_GT(normal_count, 0);
+  // Spam pages draw their support from the farm; normal pages from the
+  // normal web. The means must separate decisively.
+  EXPECT_GT(spam_mass_spam / spam_count, 2.0 * spam_mass_normal / normal_count);
+}
+
+TEST(SpamRankTest, TopSupportersAreSortedAndCapped) {
+  Rng rng(71);
+  auto corpus = GenerateWebspam(SmallCorpus(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  TransitionOperator op(corpus->graph);
+  SpamRankOptions opts;
+  opts.top_supporters = 5;
+  auto profile = ComputeContributionProfile(op, 10, corpus->labels, opts);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_LE(profile->top_supporters.size(), 5u);
+  for (size_t i = 1; i < profile->top_supporters.size(); ++i) {
+    EXPECT_GE(profile->top_supporters[i - 1].second,
+              profile->top_supporters[i].second);
+  }
+  for (const auto& [node, value] : profile->top_supporters) {
+    EXPECT_NE(node, 10u);  // target excluded
+    EXPECT_GT(value, 0.0);
+  }
+}
+
+TEST(SpamRankTest, ReverseTopkRatioSeparatesClasses) {
+  Rng rng(73);
+  auto corpus = GenerateWebspam(SmallCorpus(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  const auto labels = corpus->labels;
+  EngineOptions eopts;
+  eopts.capacity_k = 8;
+  eopts.hub_selection.degree_budget_b = 15;
+  auto engine = ReverseTopkEngine::Build(std::move(corpus->graph), eopts);
+  ASSERT_TRUE(engine.ok());
+
+  double spam_ratio = 0.0, normal_ratio = 0.0;
+  int spam_n = 0, normal_n = 0;
+  for (uint32_t q = 0; q < 620; q += 37) {
+    auto ratio = ReverseTopkSpamRatio(**engine, q, 5, labels);
+    ASSERT_TRUE(ratio.ok());
+    if (ratio->set_size == 0) continue;
+    if (labels[q] == HostLabel::kSpam) {
+      spam_ratio += ratio->ratio;
+      ++spam_n;
+    } else {
+      normal_ratio += ratio->ratio;
+      ++normal_n;
+    }
+  }
+  ASSERT_GT(spam_n, 0);
+  ASSERT_GT(normal_n, 0);
+  EXPECT_GT(spam_ratio / spam_n, 0.8);       // paper: 96.1% spam-majority
+  EXPECT_LT(normal_ratio / normal_n, 0.2);   // paper: 97.4% normal-majority
+}
+
+TEST(SpamRankTest, ClassifierCountsAndMetrics) {
+  const std::vector<double> scores = {0.9, 0.1, 0.8, 0.2, 0.6};
+  const std::vector<HostLabel> labels = {
+      HostLabel::kSpam, HostLabel::kNormal, HostLabel::kSpam,
+      HostLabel::kSpam, HostLabel::kNormal};
+  const auto report = ClassifyByThreshold(scores, labels, 0.5);
+  EXPECT_EQ(report.true_positives, 2u);   // 0.9, 0.8
+  EXPECT_EQ(report.false_positives, 1u);  // 0.6
+  EXPECT_EQ(report.true_negatives, 1u);   // 0.1
+  EXPECT_EQ(report.false_negatives, 1u);  // 0.2
+  EXPECT_NEAR(report.Precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.Recall(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.F1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SpamRankTest, ClassifierDegenerateCases) {
+  ClassificationReport empty = ClassifyByThreshold({}, {}, 0.5);
+  EXPECT_EQ(empty.Precision(), 0.0);
+  EXPECT_EQ(empty.Recall(), 0.0);
+  EXPECT_EQ(empty.F1(), 0.0);
+}
+
+TEST(SpamRankTest, RejectsBadArguments) {
+  Graph g = CycleGraph(4);
+  TransitionOperator op(g);
+  std::vector<HostLabel> labels(4, HostLabel::kNormal);
+  EXPECT_FALSE(ComputeContributionProfile(op, 9, labels).ok());
+  labels.pop_back();
+  EXPECT_FALSE(ComputeContributionProfile(op, 0, labels).ok());
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,148 @@
+// Tests for the forward top-k module (exact and BPA-style push search).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/toy_graphs.h"
+#include "rwr/power_method.h"
+#include "topk/topk_search.h"
+
+namespace rtk {
+namespace {
+
+TEST(ExactTopKTest, ToyGraphTop2MatchesFigure1) {
+  Graph g = PaperToyGraph();
+  TransitionOperator op(g);
+  // top2(p_3) = {2, 3} (1-based) = {1, 2} 0-based with values .29/.27.
+  auto top = ExactTopK(op, 2, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].first, 1u);
+  EXPECT_NEAR((*top)[0].second, 0.29, 0.005);
+  EXPECT_EQ((*top)[1].first, 2u);
+  EXPECT_NEAR((*top)[1].second, 0.27, 0.005);
+}
+
+TEST(ExactTopKTest, DescendingOrder) {
+  Rng rng(7);
+  auto g = ErdosRenyi(100, 700, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto top = ExactTopK(op, 5, 10);
+  ASSERT_TRUE(top.ok());
+  EXPECT_GE(top->size(), 10u);
+  for (size_t i = 1; i < top->size(); ++i) {
+    EXPECT_LE((*top)[i].second, (*top)[i - 1].second);
+  }
+}
+
+TEST(ExactTopKTest, IncludesTies) {
+  // Cycle graph: all non-source nodes at the same hop distance have equal
+  // proximity... in a directed cycle each hop differs, but node 0's k=1 set
+  // is {0} and larger k picks successive hops. Use a star for real ties:
+  // all leaves have identical proximity from the center.
+  Graph g = StarGraph(6);  // center 0, leaves 1..5
+  TransitionOperator op(g);
+  auto top = ExactTopK(op, 0, 2);
+  ASSERT_TRUE(top.ok());
+  // k=2: center plus ALL 5 tied leaves.
+  EXPECT_EQ(top->size(), 6u);
+  EXPECT_EQ((*top)[0].first, 0u);
+}
+
+TEST(ExactTopKTest, RejectsBadArguments) {
+  Graph g = CycleGraph(4);
+  TransitionOperator op(g);
+  EXPECT_FALSE(ExactTopK(op, 9, 2).ok());
+  EXPECT_FALSE(ExactTopK(op, 0, 0).ok());
+}
+
+TEST(BpaTopKTest, AgreesWithExactOnRandomGraphs) {
+  Rng rng(11);
+  auto g = ErdosRenyi(150, 1200, &rng);  // dense ER: everything reachable
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  for (uint32_t u : {0u, 42u, 99u}) {
+    for (uint32_t k : {1u, 5u, 10u}) {
+      auto bpa = BpaTopK(op, u, k);
+      ASSERT_TRUE(bpa.ok());
+      EXPECT_TRUE(bpa->converged);
+      auto exact = ExactTopK(op, u, k);
+      ASSERT_TRUE(exact.ok());
+      // Compare id sets (BPA returns exactly k; exact may include ties).
+      std::set<uint32_t> exact_ids;
+      for (const auto& [id, v] : *exact) exact_ids.insert(id);
+      for (const auto& [id, v] : bpa->entries) {
+        EXPECT_TRUE(exact_ids.count(id))
+            << "u=" << u << " k=" << k << " id=" << id;
+      }
+      EXPECT_EQ(bpa->entries.size(), k);
+    }
+  }
+}
+
+TEST(BpaTopKTest, HandlesFewerReachableNodesThanK) {
+  // Citation-style BA graph: from an early node only the seed cycle is
+  // reachable, so the top-k set can have fewer than k members.
+  Rng rng(12);
+  auto g = BarabasiAlbert(150, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  auto bpa = BpaTopK(op, 0, 10);
+  ASSERT_TRUE(bpa.ok());
+  EXPECT_TRUE(bpa->converged);
+  EXPECT_LE(bpa->entries.size(), 10u);
+  EXPECT_GE(bpa->entries.size(), 1u);
+  auto exact = ExactTopK(op, 0, 10);
+  ASSERT_TRUE(exact.ok());
+  std::set<uint32_t> exact_ids;
+  for (const auto& [id, v] : *exact) exact_ids.insert(id);
+  for (const auto& [id, v] : bpa->entries) {
+    EXPECT_TRUE(exact_ids.count(id)) << "id=" << id;
+  }
+}
+
+TEST(BpaTopKTest, LowerBoundValuesNeverExceedExact) {
+  Graph g = TwoCommunitiesGraph(10);
+  TransitionOperator op(g);
+  auto bpa = BpaTopK(op, 3, 5);
+  ASSERT_TRUE(bpa.ok());
+  auto exact_col = ComputeProximityColumn(op, 3);
+  ASSERT_TRUE(exact_col.ok());
+  for (const auto& [id, value] : bpa->entries) {
+    EXPECT_LE(value, (*exact_col)[id] + 1e-9);
+  }
+}
+
+TEST(BpaTopKTest, TerminatesOnExhaustedResidue) {
+  // Tiny graph where BCA drains completely.
+  Graph g = CycleGraph(3);
+  TransitionOperator op(g);
+  BpaOptions opts;
+  opts.eta = 1e-12;
+  auto bpa = BpaTopK(op, 0, 3, opts);
+  ASSERT_TRUE(bpa.ok());
+  EXPECT_TRUE(bpa->converged);
+  EXPECT_EQ(bpa->entries.size(), 3u);
+  // Source retains the most ink in a cycle.
+  EXPECT_EQ(bpa->entries[0].first, 0u);
+}
+
+TEST(BpaTopKTest, UnconvergedFlagOnTinyIterationBudget) {
+  Rng rng(13);
+  auto g = BarabasiAlbert(200, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  BpaOptions opts;
+  opts.max_iterations = 1;
+  auto bpa = BpaTopK(op, 100, 10, opts);
+  ASSERT_TRUE(bpa.ok());
+  EXPECT_FALSE(bpa->converged);
+}
+
+}  // namespace
+}  // namespace rtk

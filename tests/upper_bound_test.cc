@@ -1,0 +1,168 @@
+// Tests for the Algorithm 3 staircase upper bound, including the paper's
+// Figure 3/4 geometry and Proposition 4 (monotone decrease, validity).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bca/bca.h"
+#include "bca/hub_proximity_store.h"
+#include "common/rng.h"
+#include "core/upper_bound.h"
+#include "graph/generators.h"
+#include "graph/toy_graphs.h"
+#include "rwr/power_method.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+namespace {
+
+// ------------------------------------------------------------ arithmetic --
+
+TEST(UpperBoundTest, ZeroResidueReturnsKthValue) {
+  std::vector<double> lb{0.5, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 3, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 1, 0.0), 0.5);
+}
+
+TEST(UpperBoundTest, KEqualsOneAddsAllResidueToTop) {
+  std::vector<double> lb{0.5};
+  // All residue could land on the current best node.
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 1, 0.3), 0.8);
+}
+
+TEST(UpperBoundTest, SmallResidueFillsOnlyTheLastGap) {
+  // Staircase 0.5 / 0.3: gap above step 2 is z_1 = 1 * (0.5 - 0.3) = 0.2.
+  // R = 0.1 <= z_1 lands inside: ub = p(1) - (z_1 - R)/1 = 0.5 - 0.1 = 0.4.
+  std::vector<double> lb{0.5, 0.3};
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 2, 0.1), 0.4);
+}
+
+TEST(UpperBoundTest, ExactlyFillingTheStaircaseHitsTopStep) {
+  std::vector<double> lb{0.5, 0.3};
+  // R = z_1 = 0.2 exactly: level reaches p(1).
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 2, 0.2), 0.5);
+}
+
+TEST(UpperBoundTest, OverflowRaisesLevelAboveTopStep) {
+  std::vector<double> lb{0.5, 0.3};
+  // R = 0.4 > z_1 = 0.2: ub = 0.5 + (0.4 - 0.2)/2 = 0.6.
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 2, 0.4), 0.6);
+}
+
+TEST(UpperBoundTest, MultiStepStaircase) {
+  // k = 3, steps 0.4 / 0.2 / 0.1.
+  // z_1 = 1*(0.2-0.1) = 0.1; z_2 = z_1 + 2*(0.4-0.2) = 0.5.
+  std::vector<double> lb{0.4, 0.2, 0.1};
+  // R = 0.05 <= z_1: ub = p(2) - (z_1 - R)/1 = 0.2 - 0.05 = 0.15.
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 3, 0.05), 0.15);
+  // z_1 < R = 0.3 <= z_2: ub = p(1) - (z_2 - R)/2 = 0.4 - 0.1 = 0.3.
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 3, 0.3), 0.3);
+  // R = 0.8 > z_2: ub = 0.4 + (0.8 - 0.5)/3 = 0.5.
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 3, 0.8), 0.5);
+}
+
+TEST(UpperBoundTest, FlatStaircaseGoesStraightToOverflow) {
+  std::vector<double> lb{0.2, 0.2, 0.2};
+  // All z_j = 0: any R > 0 overflows: ub = 0.2 + R/3.
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 3, 0.3), 0.3);
+}
+
+TEST(UpperBoundTest, ZeroPaddedTailBehavesLikeEmptySlots) {
+  // Fewer known values than k: missing entries are 0 lower bounds.
+  std::vector<double> lb{0.4, 0.0, 0.0};
+  // z_1 = 0, z_2 = 0 + 2*(0.4-0) = 0.8. R = 0.4 <= z_2:
+  // ub = p(1) - (0.8-0.4)/2 = 0.4 - 0.2 = 0.2.
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(lb, 3, 0.4), 0.2);
+}
+
+TEST(UpperBoundTest, PaperWalkthroughNode4Value) {
+  // Section 4.2.3: node 4's first upper bound is 0.36 for k = 2. Exact
+  // staircase: p_hat = (0.192125, 0.166175), R = 0.361250.
+  std::vector<double> lb{0.192125, 0.166175};
+  EXPECT_NEAR(ComputeUpperBound(lb, 2, 0.36125), 0.36, 0.005);
+}
+
+TEST(UpperBoundTest, UpperBoundNeverBelowKthLowerBound) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t k = 1 + rng.Uniform(8);
+    std::vector<double> lb(k);
+    double v = rng.NextDouble();
+    for (uint32_t i = 0; i < k; ++i) {
+      lb[i] = v;
+      v *= rng.NextDouble();  // descending
+    }
+    const double R = rng.NextDouble();
+    const double ub = ComputeUpperBound(lb, k, R);
+    EXPECT_GE(ub, lb[k - 1] - 1e-15);
+  }
+}
+
+TEST(UpperBoundTest, MonotoneInResidue) {
+  // More residue can only raise the ceiling.
+  std::vector<double> lb{0.4, 0.25, 0.12, 0.07};
+  double prev = ComputeUpperBound(lb, 4, 0.0);
+  for (double r = 0.02; r <= 1.0; r += 0.02) {
+    const double ub = ComputeUpperBound(lb, 4, r);
+    EXPECT_GE(ub, prev - 1e-15);
+    prev = ub;
+  }
+}
+
+TEST(UpperBoundTest, ConservesArea) {
+  // Water-fill property: the poured volume above the old staircase equals
+  // R whenever the level lands within the staircase (first case of
+  // Eq. (18)): sum_{i : lb_i < ub} (ub - lb_i over the top-k steps) == R.
+  std::vector<double> lb{0.5, 0.3, 0.22, 0.15, 0.1};
+  const uint32_t k = 5;
+  const double R = 0.2;
+  const double ub = ComputeUpperBound(lb, k, R);
+  double volume = 0.0;
+  for (uint32_t i = 0; i < k; ++i) {
+    if (lb[i] < ub) volume += ub - lb[i];
+  }
+  EXPECT_NEAR(volume, R, 1e-12);
+}
+
+// ----------------------------------------------------- validity vs truth --
+
+TEST(UpperBoundValidityTest, BoundsExactKthValueOnRandomGraphs) {
+  // Proposition 4 second half: ub^t >= p^kmax at every refinement step.
+  Rng rng(29);
+  Result<Graph> g = ErdosRenyi(80, 500, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  std::vector<uint32_t> hubs{0, 1, 2, 3};
+  Result<HubProximityStore> store = HubProximityStore::Build(op, hubs, {});
+  ASSERT_TRUE(store.ok());
+  BcaOptions opts;
+  BcaRunner runner(op, hubs, opts);
+
+  for (uint32_t u : {10u, 33u, 57u}) {
+    Result<std::vector<double>> exact = ComputeProximityColumn(op, u);
+    ASSERT_TRUE(exact.ok());
+    for (uint32_t k : {1u, 3u, 5u, 10u}) {
+      std::vector<double> sorted = *exact;
+      std::partial_sort(sorted.begin(), sorted.begin() + k, sorted.end(),
+                        std::greater<>());
+      const double kmax = sorted[k - 1];
+      runner.Start(u);
+      double prev_ub = 1.0 + 1e-9;  // |r|_1 = 1 at start: ub <= p(1) + 1
+      for (int step = 0; step < 40; ++step) {
+        if (runner.Step(PushStrategy::kBatch) == 0) break;
+        auto pairs = runner.TopKApprox(*store, k);
+        std::vector<double> lb(k, 0.0);
+        for (size_t i = 0; i < pairs.size(); ++i) lb[i] = pairs[i].second;
+        const double ub = ComputeUpperBound(lb, k, runner.ResidueL1());
+        EXPECT_GE(ub, kmax - 1e-9) << "u=" << u << " k=" << k;
+        // Proposition 4 first half: monotone non-increasing.
+        EXPECT_LE(ub, prev_ub + 1e-9) << "u=" << u << " k=" << k;
+        prev_ub = ub;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtk

@@ -1,0 +1,274 @@
+// Tests for the application workload generators (webspam, coauthorship)
+// and the query samplers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+#include "workload/coauthorship.h"
+#include "workload/query_workload.h"
+#include "workload/webspam.h"
+
+namespace rtk {
+namespace {
+
+// ----------------------------------------------------------------- webspam --
+
+TEST(WebspamTest, ShapeAndLabels) {
+  Rng rng(1);
+  WebspamOptions opts;
+  opts.num_normal = 400;
+  opts.num_spam = 90;
+  auto corpus = GenerateWebspam(opts, &rng);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->graph.num_nodes(), 490u);
+  EXPECT_EQ(corpus->labels.size(), 490u);
+  EXPECT_EQ(corpus->num_spam(), 90u);
+  EXPECT_FALSE(corpus->graph.is_weighted());
+}
+
+TEST(WebspamTest, SpamFarmsAreDenselyInterlinked) {
+  Rng rng(2);
+  WebspamOptions opts;
+  opts.num_normal = 400;
+  opts.num_spam = 90;
+  opts.farm_size = 30;
+  auto corpus = GenerateWebspam(opts, &rng);
+  ASSERT_TRUE(corpus.ok());
+  // Spam -> spam edge fraction among spam out-edges must dominate.
+  uint64_t spam_out = 0, spam_to_spam = 0;
+  for (uint32_t u = 400; u < 490; ++u) {
+    for (uint32_t v : corpus->graph.OutNeighbors(u)) {
+      ++spam_out;
+      spam_to_spam += (v >= 400);
+    }
+  }
+  EXPECT_GT(static_cast<double>(spam_to_spam) / spam_out, 0.6);
+}
+
+TEST(WebspamTest, NormalHostsRarelyLinkToSpam) {
+  Rng rng(3);
+  WebspamOptions opts;
+  opts.num_normal = 500;
+  opts.num_spam = 100;
+  opts.normal_to_spam_prob = 0.02;
+  auto corpus = GenerateWebspam(opts, &rng);
+  ASSERT_TRUE(corpus.ok());
+  uint64_t normal_out = 0, normal_to_spam = 0;
+  for (uint32_t u = 0; u < 500; ++u) {
+    for (uint32_t v : corpus->graph.OutNeighbors(u)) {
+      ++normal_out;
+      normal_to_spam += (v >= 500);
+    }
+  }
+  EXPECT_LT(static_cast<double>(normal_to_spam) / normal_out, 0.02);
+}
+
+TEST(WebspamTest, BoostedTargetsHaveHighInDegree) {
+  Rng rng(4);
+  WebspamOptions opts;
+  opts.num_normal = 300;
+  opts.num_spam = 120;
+  opts.farm_size = 40;
+  auto corpus = GenerateWebspam(opts, &rng);
+  ASSERT_TRUE(corpus.ok());
+  // Farm targets sit at offsets 0, 40, 80 within the spam range.
+  for (uint32_t base : {0u, 40u, 80u}) {
+    const uint32_t target = 300 + base;
+    EXPECT_GE(corpus->graph.InDegree(target), 35u);
+  }
+}
+
+TEST(WebspamTest, RejectsTinyCorpus) {
+  Rng rng(5);
+  WebspamOptions opts;
+  opts.num_normal = 4;
+  EXPECT_FALSE(GenerateWebspam(opts, &rng).ok());
+}
+
+// ------------------------------------------------------------ coauthorship --
+
+TEST(CoauthorshipTest, ShapeAndWeights) {
+  Rng rng(10);
+  CoauthorshipOptions opts;
+  opts.num_authors = 600;
+  opts.num_communities = 12;
+  opts.num_papers = 4000;
+  auto net = GenerateCoauthorship(opts, &rng);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  EXPECT_EQ(net->graph.num_nodes(), 600u);
+  EXPECT_TRUE(net->graph.is_weighted());
+  EXPECT_EQ(net->paper_counts.size(), 600u);
+  EXPECT_EQ(net->coauthor_counts.size(), 600u);
+  EXPECT_EQ(net->connectors.size(), opts.num_connectors);
+}
+
+TEST(CoauthorshipTest, EdgesAreSymmetricWithEqualWeights) {
+  Rng rng(11);
+  CoauthorshipOptions opts;
+  opts.num_authors = 400;
+  opts.num_communities = 8;
+  opts.num_papers = 2500;
+  auto net = GenerateCoauthorship(opts, &rng);
+  ASSERT_TRUE(net.ok());
+  const Graph& g = net->graph;
+  for (uint32_t u = 0; u < g.num_nodes(); u += 17) {
+    auto nbrs = g.OutNeighbors(u);
+    auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const uint32_t v = nbrs[i];
+      if (v == u) continue;  // dangling-fix self-loop
+      auto back = g.OutNeighbors(v);
+      auto it = std::lower_bound(back.begin(), back.end(), u);
+      ASSERT_TRUE(it != back.end() && *it == u) << u << "<->" << v;
+      const double w_vu = g.OutWeights(v)[it - back.begin()];
+      EXPECT_DOUBLE_EQ(weights[i], w_vu);
+    }
+  }
+}
+
+TEST(CoauthorshipTest, ProductivityIsSkewed) {
+  Rng rng(12);
+  CoauthorshipOptions opts;
+  opts.num_authors = 1000;
+  opts.num_communities = 20;
+  opts.num_papers = 8000;
+  auto net = GenerateCoauthorship(opts, &rng);
+  ASSERT_TRUE(net.ok());
+  std::vector<uint32_t> counts = net->paper_counts;
+  std::sort(counts.rbegin(), counts.rend());
+  // Top 1% of authors hold far more papers than the median author.
+  EXPECT_GT(counts[10], counts[500] * 5);
+}
+
+TEST(CoauthorshipTest, ConnectorsCollaborateAcrossCommunities) {
+  Rng rng(13);
+  CoauthorshipOptions opts;
+  opts.num_authors = 800;
+  opts.num_communities = 16;
+  opts.num_papers = 6000;
+  opts.num_connectors = 5;
+  auto net = GenerateCoauthorship(opts, &rng);
+  ASSERT_TRUE(net.ok());
+  // A connector's coauthors span many communities (author a is in
+  // community a % 16); regular authors stay mostly within one.
+  const uint32_t c = 16;
+  for (uint32_t star : net->connectors) {
+    std::set<uint32_t> communities;
+    for (uint32_t v : net->graph.OutNeighbors(star)) {
+      communities.insert(v % c);
+    }
+    EXPECT_GE(communities.size(), 6u) << "connector " << star;
+  }
+}
+
+TEST(CoauthorshipTest, ProfessorsDominateTheirCommunities) {
+  Rng rng(15);
+  CoauthorshipOptions opts;
+  opts.num_authors = 500;
+  opts.num_communities = 10;
+  opts.num_papers = 3000;
+  auto net = GenerateCoauthorship(opts, &rng);
+  ASSERT_TRUE(net.ok());
+  // Professors are authors 0..9 (rank-0 members); with participation 0.7
+  // they appear on most of their community's ~300 papers, far above any
+  // regular member.
+  uint32_t median_member_papers = net->paper_counts[237];
+  for (uint32_t prof = 0; prof < 10; ++prof) {
+    EXPECT_GT(net->paper_counts[prof], 5 * median_member_papers)
+        << "prof " << prof;
+  }
+}
+
+TEST(CoauthorshipTest, ConnectorProfessorLinksCarryConfiguredWeight) {
+  Rng rng(16);
+  CoauthorshipOptions opts;
+  opts.num_authors = 500;
+  opts.num_communities = 10;
+  opts.num_papers = 2000;
+  opts.num_connectors = 3;
+  opts.communities_per_connector = 4;
+  opts.papers_per_professor_link = 25;
+  auto net = GenerateCoauthorship(opts, &rng);
+  ASSERT_TRUE(net.ok());
+  // Every connector must have exactly 4 foreign-professor edges of weight
+  // >= 25 (the configured links). The home professor (id star % 10) is
+  // excluded: incidental community collaboration can push that edge past
+  // the threshold too.
+  for (uint32_t star : net->connectors) {
+    auto nbrs = net->graph.OutNeighbors(star);
+    auto weights = net->graph.OutWeights(star);
+    int heavy = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (weights[i] >= 25.0 && nbrs[i] < 10 && nbrs[i] != star % 10) {
+        ++heavy;  // professors are 0..9
+      }
+    }
+    EXPECT_EQ(heavy, 4) << "connector " << star;
+  }
+}
+
+TEST(CoauthorshipTest, RejectsBadOptions) {
+  Rng rng(14);
+  CoauthorshipOptions opts;
+  opts.num_authors = 50;  // too small
+  EXPECT_FALSE(GenerateCoauthorship(opts, &rng).ok());
+  opts.num_authors = 500;
+  opts.max_authors_per_paper = 1;
+  EXPECT_FALSE(GenerateCoauthorship(opts, &rng).ok());
+}
+
+// ---------------------------------------------------------- query sampler --
+
+TEST(QueryWorkloadTest, UniformCoversAndRepeats) {
+  Rng rng(20);
+  Graph g = [] {
+    GraphBuilder b(50);
+    for (uint32_t u = 0; u < 50; ++u) b.AddEdge(u, (u + 1) % 50);
+    return std::move(b.Build({.dangling_policy = DanglingPolicy::kError}))
+        .value();
+  }();
+  auto queries = SampleQueries(g, 500, QueryDistribution::kUniform, &rng);
+  EXPECT_EQ(queries.size(), 500u);
+  std::set<uint32_t> uniq(queries.begin(), queries.end());
+  EXPECT_GT(uniq.size(), 40u);  // coverage
+  for (uint32_t q : queries) EXPECT_LT(q, 50u);
+}
+
+TEST(QueryWorkloadTest, DistinctModeHasNoRepeats) {
+  Rng rng(21);
+  Graph g = [] {
+    GraphBuilder b(100);
+    for (uint32_t u = 0; u < 100; ++u) b.AddEdge(u, (u + 1) % 100);
+    return std::move(b.Build({.dangling_policy = DanglingPolicy::kError}))
+        .value();
+  }();
+  auto queries =
+      SampleQueries(g, 100, QueryDistribution::kUniform, &rng, true);
+  std::set<uint32_t> uniq(queries.begin(), queries.end());
+  EXPECT_EQ(uniq.size(), 100u);
+}
+
+TEST(QueryWorkloadTest, InDegreeBiasPrefersPopularNodes) {
+  // Star graph: the center has in-degree n-1, leaves 1.
+  Rng rng(22);
+  GraphBuilder b(101);
+  for (uint32_t leaf = 1; leaf <= 100; ++leaf) {
+    b.AddEdge(leaf, 0);
+    b.AddEdge(0, leaf);
+  }
+  Graph g =
+      std::move(b.Build({.dangling_policy = DanglingPolicy::kError})).value();
+  auto queries =
+      SampleQueries(g, 2000, QueryDistribution::kInDegreeBiased, &rng);
+  const size_t center_hits =
+      std::count(queries.begin(), queries.end(), 0u);
+  // Center mass: (100+1)/(100+1 + 100*2) ~ 1/3 of samples.
+  EXPECT_GT(center_hits, 400u);
+}
+
+}  // namespace
+}  // namespace rtk
