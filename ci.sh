@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI for rtk: the tier-1 verify twice.
+#
+#   pass 1  default build       — full library + tests + benches + examples,
+#                                 whole GoogleTest suite via ctest
+#   pass 2  ThreadSanitizer     — library + tests only, runs the concurrency
+#                                 suite (serving_test) race-detection-clean
+#
+# Then builds and smoke-runs the serving throughput bench (1 iteration of
+# a tiny workload) so throughput regressions fail loudly rather than rot.
+#
+# Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+JOBS="${1:-$(nproc)}"
+
+echo "=== pass 1: default build + full test suite ==="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== pass 2: TSan build + concurrency suite ==="
+cmake -B build-tsan -S . -DRTK_SANITIZE=thread \
+      -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$JOBS" --target serving_test
+# halt_on_error: any report fails CI instead of just logging.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
+
+echo "=== serving throughput smoke ==="
+cmake --build build -j "$JOBS" --target bench_serving_throughput
+RTK_BENCH_QUERIES=50 RTK_BENCH_SCALE=0.25 ./build/bench_serving_throughput
+
+echo "=== CI green ==="

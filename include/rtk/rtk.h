@@ -27,19 +27,29 @@
 #include "core/brute_force.h"   // IWYU pragma: export
 #include "core/engine.h"        // IWYU pragma: export
 #include "core/online_query.h"  // IWYU pragma: export
+#include "core/upper_bound.h"   // IWYU pragma: export
 #include "dynamic/dynamic_engine.h"  // IWYU pragma: export
 #include "dynamic/graph_updates.h"   // IWYU pragma: export
 #include "graph/generators.h"   // IWYU pragma: export
 #include "graph/graph.h"        // IWYU pragma: export
+#include "graph/graph_analysis.h"  // IWYU pragma: export
 #include "graph/graph_builder.h"  // IWYU pragma: export
 #include "graph/graph_io.h"       // IWYU pragma: export
 #include "graph/toy_graphs.h"     // IWYU pragma: export
+#include "index/index_io.h"       // IWYU pragma: export
+#include "rwr/dense_solver.h"     // IWYU pragma: export
 #include "rwr/linear_solvers.h"   // IWYU pragma: export
 #include "rwr/local_push.h"       // IWYU pragma: export
+#include "rwr/monte_carlo.h"      // IWYU pragma: export
 #include "rwr/pagerank.h"         // IWYU pragma: export
 #include "rwr/pmpn.h"             // IWYU pragma: export
 #include "rwr/power_method.h"     // IWYU pragma: export
+#include "serving/index_snapshot.h"  // IWYU pragma: export
+#include "serving/query_cache.h"     // IWYU pragma: export
+#include "serving/refinement_log.h"  // IWYU pragma: export
+#include "serving/serving_engine.h"  // IWYU pragma: export
 #include "topk/kdash.h"           // IWYU pragma: export
 #include "topk/topk_search.h"     // IWYU pragma: export
+#include "workload/query_workload.h"  // IWYU pragma: export
 
 #endif  // RTK_RTK_H_

@@ -49,9 +49,13 @@ struct EngineOptions {
 
 /// \brief Owning facade over graph, index and query machinery.
 ///
-/// Query() is not thread-safe (it may refine the index in place); guard
-/// with a mutex or set update_index=false and clone searchers externally
-/// for concurrent read-only querying.
+/// Thread-safety: Query() is NOT thread-safe — Algorithm 4 refines the
+/// LowerBoundIndex in place, and the searcher reuses O(n) workspaces. For
+/// concurrent querying wrap this engine in a ServingEngine
+/// (serving/serving_engine.h): it clones the index into immutable
+/// snapshots that any number of workers read lock-free, captures
+/// refinement as deltas, and republishes tightened snapshots through a
+/// single writer — byte-identical results at multi-threaded throughput.
 class ReverseTopkEngine {
  public:
   /// \brief Selects hubs, builds the index, and readies the searcher.

@@ -13,9 +13,16 @@ namespace rtk {
 
 ReverseTopkSearcher::ReverseTopkSearcher(const TransitionOperator& op,
                                          LowerBoundIndex* index)
-    : op_(&op), index_(index) {
+    : op_(&op), index_(index), mutable_index_(index) {
   runner_ = std::make_unique<BcaRunner>(op, index->hub_store().hubs(),
                                         index->bca_options());
+}
+
+ReverseTopkSearcher::ReverseTopkSearcher(const TransitionOperator& op,
+                                         const LowerBoundIndex& index)
+    : op_(&op), index_(&index), mutable_index_(nullptr) {
+  runner_ = std::make_unique<BcaRunner>(op, index.hub_store().hubs(),
+                                        index.bca_options());
 }
 
 Result<std::vector<uint32_t>> ReverseTopkSearcher::Query(
@@ -108,7 +115,13 @@ Result<std::vector<uint32_t>> ReverseTopkSearcher::Query(
         is_result = (top.size() >= k ? top[k - 1] : 0.0) - tie <= p_u_q;
         if (options.update_index) {
           while (!top.empty() && top.back() <= 0.0) top.pop_back();
-          index_->SetNode(u, top, StoredBcaState{}, /*residue_l1=*/0.0);
+          if (options.delta_sink != nullptr) {
+            options.delta_sink->push_back(
+                {u, std::move(top), StoredBcaState{}, /*residue_l1=*/0.0});
+          } else if (mutable_index_ != nullptr) {
+            mutable_index_->SetNode(u, top, StoredBcaState{},
+                                    /*residue_l1=*/0.0);
+          }
         }
         resolved_exactly = true;
         break;
@@ -164,8 +177,14 @@ Result<std::vector<uint32_t>> ReverseTopkSearcher::Query(
       std::vector<double> full_values;
       full_values.reserve(full_pairs.size());
       for (const auto& [id, v] : full_pairs) full_values.push_back(v);
-      index_->SetNode(u, full_values, runner_->Extract(),
-                      runner_->ResidueL1());
+      if (options.delta_sink != nullptr) {
+        options.delta_sink->push_back({u, std::move(full_values),
+                                       runner_->Extract(),
+                                       runner_->ResidueL1()});
+      } else if (mutable_index_ != nullptr) {
+        mutable_index_->SetNode(u, full_values, runner_->Extract(),
+                                runner_->ResidueL1());
+      }
     }
   }
   local.scan_seconds = scan_watch.ElapsedSeconds();

@@ -54,6 +54,13 @@ struct QueryOptions {
   /// this tolerance are treated as ties and included, exactly like the
   /// brute force's ">=" does. Must exceed the solvers' epsilon/alpha error.
   double tie_epsilon = 1e-9;
+  /// When set (and update_index is true), refinement write-back is captured
+  /// as IndexDelta values appended here instead of mutating the index. This
+  /// is how snapshot-isolated serving searchers record their work: the
+  /// deltas are merged into the next published snapshot by a single writer
+  /// (serving/refinement_log.h). Must point at caller-owned storage that
+  /// outlives the Query call; entries are appended, never cleared.
+  std::vector<IndexDelta>* delta_sink = nullptr;
 };
 
 /// \brief Counters filled in by Query (Figures 5-7 inputs).
@@ -87,13 +94,23 @@ struct QueryStats {
 /// cannot meaningfully have q in its top-k. The brute-force baselines in
 /// brute_force.h apply the identical rule.
 ///
-/// Holds reusable O(n) workspaces; not thread-safe. The index may be
-/// mutated by queries when update_index is set.
+/// Holds reusable O(n) workspaces; not thread-safe (one searcher per
+/// thread). The index may be mutated by queries when the searcher was
+/// constructed in read-write mode and update_index is set; in read-only
+/// mode the index is never touched and refinements either flow to
+/// QueryOptions::delta_sink or are discarded.
 class ReverseTopkSearcher {
  public:
-  /// The operator, index (and the graph beneath them) must outlive the
+  /// Read-write mode: refinement may write back into `index`. The
+  /// operator, index (and the graph beneath them) must outlive the
   /// searcher.
   ReverseTopkSearcher(const TransitionOperator& op, LowerBoundIndex* index);
+
+  /// Read-only mode: `index` is never mutated, so many searchers may share
+  /// one index concurrently (the serving layer's snapshot isolation).
+  /// Refinements are recorded into QueryOptions::delta_sink when provided.
+  ReverseTopkSearcher(const TransitionOperator& op,
+                      const LowerBoundIndex& index);
 
   /// \brief Runs Algorithm 4. Returns the sorted list of result nodes: all
   /// u with p_u(q) >= p_u^kmax (ties included, matching Problem 1).
@@ -104,7 +121,8 @@ class ReverseTopkSearcher {
 
  private:
   const TransitionOperator* op_;
-  LowerBoundIndex* index_;
+  const LowerBoundIndex* index_;
+  LowerBoundIndex* mutable_index_;  // null in read-only mode
   std::unique_ptr<BcaRunner> runner_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace rtk {
 
@@ -11,7 +12,7 @@ LowerBoundIndex::LowerBoundIndex(uint32_t num_nodes, uint32_t capacity_k,
     : num_nodes_(num_nodes),
       capacity_k_(capacity_k),
       bca_options_(bca_options),
-      hub_store_(std::move(hub_store)),
+      hub_store_(std::make_shared<const HubProximityStore>(std::move(hub_store))),
       topk_values_(static_cast<size_t>(num_nodes) * capacity_k, 0.0),
       residue_l1_(num_nodes, 1.0),
       states_(num_nodes) {
@@ -30,17 +31,35 @@ void LowerBoundIndex::SetNode(uint32_t u, const std::vector<double>& topk,
   residue_l1_[u] = residue_l1;
 }
 
+bool LowerBoundIndex::ApplyIfTighter(const IndexDelta& delta) {
+  assert(delta.node < num_nodes_);
+  if (delta.residue_l1 >= residue_l1_[delta.node]) {
+    return false;  // stored state is at least as refined
+  }
+  SetNode(delta.node, delta.topk, delta.state, delta.residue_l1);
+  return true;
+}
+
+bool LowerBoundIndex::ApplyIfTighter(IndexDelta&& delta) {
+  assert(delta.node < num_nodes_);
+  if (delta.residue_l1 >= residue_l1_[delta.node]) {
+    return false;
+  }
+  SetNode(delta.node, delta.topk, std::move(delta.state), delta.residue_l1);
+  return true;
+}
+
 IndexStats LowerBoundIndex::ComputeStats() const {
   IndexStats stats;
   stats.num_nodes = num_nodes_;
   stats.capacity_k = capacity_k_;
-  stats.num_hubs = hub_store_.num_hubs();
+  stats.num_hubs = hub_store_->num_hubs();
   stats.topk_bytes = topk_values_.size() * sizeof(double) +
                      residue_l1_.size() * sizeof(double);
   for (const auto& state : states_) stats.state_bytes += state.MemoryBytes();
-  stats.hub_store_bytes = hub_store_.MemoryBytes();
-  stats.hub_entries_stored = hub_store_.TotalEntries();
-  stats.hub_entries_dropped = hub_store_.DroppedEntries();
+  stats.hub_store_bytes = hub_store_->MemoryBytes();
+  stats.hub_entries_stored = hub_store_->TotalEntries();
+  stats.hub_entries_dropped = hub_store_->DroppedEntries();
   for (uint32_t u = 0; u < num_nodes_; ++u) {
     if (IsExact(u)) ++stats.exact_nodes;
   }

@@ -14,6 +14,7 @@
 #define RTK_INDEX_LOWER_BOUND_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -39,8 +40,24 @@ struct IndexStats {
   }
 };
 
+/// \brief One node's refined BCA state, captured as a value instead of
+/// written into the index. Produced by read-only query evaluation (see
+/// QueryOptions::delta_sink) and merged later by a single writer via
+/// ApplyIfTighter. Because refinement only tightens bounds (Section 4.2.3),
+/// deltas from concurrent queries never conflict: the tighter one wins.
+struct IndexDelta {
+  uint32_t node = 0;
+  /// Descending lower bounds, at most capacity_k entries (short lists are
+  /// zero-padded on apply, exactly like SetNode).
+  std::vector<double> topk;
+  StoredBcaState state;
+  /// |r|_1 of `state`; 0 means `topk` is exact.
+  double residue_l1 = 1.0;
+};
+
 /// \brief The offline index of Algorithm 1. Constructed by IndexBuilder or
-/// loaded from disk by index_io.
+/// loaded from disk by index_io. Copyable: the serving layer clones the
+/// index to publish immutable snapshots.
 class LowerBoundIndex {
  public:
   /// Creates an empty index shell; used by the builder and the loader.
@@ -56,7 +73,7 @@ class LowerBoundIndex {
   /// refinement must reuse them.
   const BcaOptions& bca_options() const { return bca_options_; }
 
-  const HubProximityStore& hub_store() const { return hub_store_; }
+  const HubProximityStore& hub_store() const { return *hub_store_; }
 
   /// \brief Lower bound of the k-th largest proximity from u (k is
   /// 1-based, k <= capacity_k). Zero when fewer than k entries are known —
@@ -86,6 +103,15 @@ class LowerBoundIndex {
   void SetNode(uint32_t u, const std::vector<double>& topk,
                StoredBcaState state, double residue_l1);
 
+  /// \brief Merges a refinement delta, keeping the tighter entry: the delta
+  /// is installed iff its residue is strictly smaller than the stored one
+  /// (monotone tightening makes |r|_1 a total progress measure — smaller
+  /// residue means a further-refined, entrywise-tighter bound). Returns
+  /// whether the delta was applied. The rvalue overload moves the delta's
+  /// state/topk in (the publisher applies from a drained list it owns).
+  bool ApplyIfTighter(const IndexDelta& delta);
+  bool ApplyIfTighter(IndexDelta&& delta);
+
   /// \brief Aggregate statistics (sizes recomputed on call).
   IndexStats ComputeStats() const;
 
@@ -93,7 +119,10 @@ class LowerBoundIndex {
   uint32_t num_nodes_;
   uint32_t capacity_k_;
   BcaOptions bca_options_;
-  HubProximityStore hub_store_;
+  // Immutable once built (rounding/refresh produce new stores), so clones
+  // share it: copying the index for a serving snapshot duplicates only the
+  // per-node arrays, not the hub matrix that often dominates memory.
+  std::shared_ptr<const HubProximityStore> hub_store_;
   std::vector<double> topk_values_;   // n * K, row-major, descending
   std::vector<double> residue_l1_;    // per node
   std::vector<StoredBcaState> states_;

@@ -1,0 +1,54 @@
+// IndexSnapshot: an immutable, shared-ownership view of a LowerBoundIndex
+// at a fixed refinement epoch.
+//
+// The serving layer never lets query workers touch the live index.
+// Instead, a snapshot (deep copy) of the index is published under a
+// monotonically increasing epoch; any number of ReverseTopkSearcher
+// workers read it lock-free because nothing ever writes to it. Refinement
+// produced by queries is captured as IndexDelta values (see
+// refinement_log.h) and folded into the *next* snapshot by a single
+// writer. Correctness rests on the paper's Section 4.2.3 property: refined
+// BCA states only tighten lower bounds, so a query answered against an
+// older (looser) snapshot returns the same exact result set, just with
+// more refinement work.
+
+#ifndef RTK_SERVING_INDEX_SNAPSHOT_H_
+#define RTK_SERVING_INDEX_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "index/lower_bound_index.h"
+
+namespace rtk {
+
+/// \brief An immutable index at a fixed epoch. Cheap to share (the index
+/// lives behind a shared_ptr); a worker holding a snapshot keeps the index
+/// alive across publishes of newer epochs.
+class IndexSnapshot {
+ public:
+  IndexSnapshot(LowerBoundIndex index, uint64_t epoch)
+      : index_(std::make_shared<const LowerBoundIndex>(std::move(index))),
+        epoch_(epoch) {}
+
+  /// \brief The frozen index. Safe for concurrent reads from any thread.
+  const LowerBoundIndex& index() const { return *index_; }
+
+  /// \brief Shared ownership of the frozen index (e.g. to outlive the
+  /// snapshot object itself).
+  std::shared_ptr<const LowerBoundIndex> index_ptr() const { return index_; }
+
+  /// \brief Refinement epoch: 0 for the initial snapshot, +1 per publish.
+  /// Results are deterministic per (query, k, epoch), which is what makes
+  /// the query cache sound.
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::shared_ptr<const LowerBoundIndex> index_;
+  uint64_t epoch_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_SERVING_INDEX_SNAPSHOT_H_

@@ -1,0 +1,117 @@
+// QueryCache: a sharded LRU cache of reverse top-k result sets.
+//
+// Keyed on (q, k, epoch): per Problem 1 the result set is a deterministic
+// function of the graph and k, and within one index epoch every searcher
+// computes it from identical state, so cached entries never go stale —
+// they are simply superseded when a new epoch is published (old-epoch
+// entries age out of the LRU naturally). Sharding by key hash keeps lock
+// contention negligible under many worker threads; values are
+// shared_ptr<const vector> so a hit hands out the stored list without
+// copying under the shard lock.
+
+#ifndef RTK_SERVING_QUERY_CACHE_H_
+#define RTK_SERVING_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace rtk {
+
+/// \brief Cache shape knobs.
+struct QueryCacheOptions {
+  /// Total cached result sets across all shards (0 disables caching).
+  size_t capacity = 4096;
+  /// Number of independently locked shards (coerced to >= 1).
+  size_t num_shards = 8;
+};
+
+/// \brief Aggregate counters across all shards.
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+/// \brief Thread-safe sharded LRU. All methods may be called concurrently.
+class QueryCache {
+ public:
+  struct Key {
+    uint32_t q = 0;
+    uint32_t k = 0;
+    uint64_t epoch = 0;
+    bool operator==(const Key&) const = default;
+  };
+  /// Result sets are immutable once cached; shared so lookups are
+  /// copy-free.
+  using Value = std::shared_ptr<const std::vector<uint32_t>>;
+
+  explicit QueryCache(const QueryCacheOptions& options = {});
+
+  /// \brief Returns the cached result set or nullptr; a hit refreshes the
+  /// entry's LRU position.
+  Value Lookup(const Key& key);
+
+  /// \brief Inserts (or refreshes) an entry, evicting the shard's least
+  /// recently used entry when full. No-op when capacity is 0.
+  void Insert(const Key& key, Value value);
+
+  /// \brief Drops every entry (counters are kept).
+  void Clear();
+
+  /// \brief Drops entries whose epoch differs from `keep_epoch`. Called on
+  /// snapshot publish: superseded entries can never be looked up again
+  /// (keys carry the epoch), so evicting them eagerly keeps the LRU
+  /// capacity for live entries instead of letting dead weight age out.
+  void PurgeOtherEpochs(uint64_t keep_epoch);
+
+  QueryCacheStats stats() const;
+
+ private:
+  struct KeyHash {
+    // splitmix64-style mix of the three fields, kept in 64 bits so shard
+    // selection can use the high byte even where size_t is 32 bits.
+    static uint64_t Mix(const Key& key) {
+      uint64_t x = (static_cast<uint64_t>(key.q) << 32) ^ key.k;
+      x ^= key.epoch + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return x;
+    }
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(Mix(key));
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<Key, Value>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Value>>::iterator,
+                       KeyHash>
+        map;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // High bits, so shard choice and the shard map's bucket index (low
+    // bits on common implementations) don't collapse onto the same bits.
+    return *shards_[(KeyHash::Mix(key) >> 56) % shards_.size()];
+  }
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace rtk
+
+#endif  // RTK_SERVING_QUERY_CACHE_H_

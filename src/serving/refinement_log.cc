@@ -1,0 +1,44 @@
+#include "serving/refinement_log.h"
+
+#include <utility>
+
+namespace rtk {
+
+void RefinementLog::Append(std::vector<IndexDelta> deltas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  appended_ += deltas.size();
+  for (auto& delta : deltas) {
+    auto [it, inserted] = tightest_.try_emplace(delta.node);
+    if (inserted || delta.residue_l1 < it->second.residue_l1) {
+      if (!inserted) ++superseded_;
+      it->second = std::move(delta);
+    } else {
+      ++superseded_;
+    }
+  }
+}
+
+std::vector<IndexDelta> RefinementLog::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexDelta> out;
+  out.reserve(tightest_.size());
+  for (auto& [node, delta] : tightest_) out.push_back(std::move(delta));
+  tightest_.clear();
+  return out;
+}
+
+size_t RefinementLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tightest_.size();
+}
+
+RefinementLogStats RefinementLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefinementLogStats stats;
+  stats.appended = appended_;
+  stats.superseded = superseded_;
+  stats.pending = tightest_.size();
+  return stats;
+}
+
+}  // namespace rtk

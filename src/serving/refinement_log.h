@@ -1,0 +1,59 @@
+// RefinementLog: the write-back queue between snapshot-isolated query
+// workers and the single snapshot publisher.
+//
+// Workers append the IndexDelta values their queries produced; the log
+// deduplicates per node, keeping only the tightest delta (smallest
+// |r|_1 — refinement is monotone, so "tightest" is well-defined and
+// merging is conflict-free). The publisher drains the log, folds the
+// deltas into a clone of the current snapshot via
+// LowerBoundIndex::ApplyIfTighter, and publishes the result as a new
+// epoch. Thread-safe for any number of concurrent appenders and drainers.
+
+#ifndef RTK_SERVING_REFINEMENT_LOG_H_
+#define RTK_SERVING_REFINEMENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "index/lower_bound_index.h"
+
+namespace rtk {
+
+/// \brief Counters exposed through ServingStats.
+struct RefinementLogStats {
+  /// Deltas handed to Append (including ones later superseded).
+  uint64_t appended = 0;
+  /// Appended deltas dropped because a tighter delta for the same node was
+  /// already pending.
+  uint64_t superseded = 0;
+  /// Deltas currently waiting to be drained.
+  uint64_t pending = 0;
+};
+
+/// \brief Thread-safe, per-node-deduplicating delta queue.
+class RefinementLog {
+ public:
+  /// \brief Merges `deltas` into the pending set. For each node, the delta
+  /// with the smaller residue wins (ties keep the incumbent).
+  void Append(std::vector<IndexDelta> deltas);
+
+  /// \brief Removes and returns all pending deltas (unordered).
+  std::vector<IndexDelta> Drain();
+
+  /// \brief Number of pending deltas.
+  size_t pending() const;
+
+  RefinementLogStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint32_t, IndexDelta> tightest_;
+  uint64_t appended_ = 0;
+  uint64_t superseded_ = 0;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_SERVING_REFINEMENT_LOG_H_

@@ -1,0 +1,200 @@
+#include "serving/serving_engine.h"
+
+#include <condition_variable>
+#include <utility>
+
+namespace rtk {
+
+ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
+                             const ServingOptions& options)
+    : op_(&engine.transition()), options_(options), cache_(options.cache) {
+  const int threads = options_.num_threads > 0 ? options_.num_threads
+                                               : ThreadPool::DefaultThreads();
+  pool_ = std::make_unique<ThreadPool>(threads);
+  snapshot_ = std::make_shared<const IndexSnapshot>(
+      LowerBoundIndex(engine.index()), /*epoch=*/0);
+}
+
+ServingEngine::~ServingEngine() {
+  // Workers are joined by the pool destructor; callers must not have
+  // Query() calls in flight on external threads at destruction time.
+  pool_.reset();
+}
+
+Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
+    const ReverseTopkEngine& engine, const ServingOptions& options) {
+  ServingOptions opts = options;
+  // Inherit the engine's solver settings the way ReverseTopkEngine::Query
+  // does (the searcher re-pins alpha to the index's alpha regardless).
+  opts.query.pmpn = engine.options().solver;
+  return std::unique_ptr<ServingEngine>(new ServingEngine(engine, opts));
+}
+
+std::shared_ptr<const IndexSnapshot> ServingEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+ServingEngine::PooledSearcher ServingEngine::AcquireSearcher(
+    const std::shared_ptr<const IndexSnapshot>& snap) {
+  {
+    // Take only a matching-epoch searcher; leave the rest in place so a
+    // straggler wanting an old epoch doesn't destroy fresh searchers.
+    std::lock_guard<std::mutex> lock(searchers_mu_);
+    for (auto it = free_searchers_.begin(); it != free_searchers_.end();
+         ++it) {
+      if (it->snapshot->epoch() == snap->epoch()) {
+        PooledSearcher pooled = std::move(*it);
+        free_searchers_.erase(it);
+        return pooled;
+      }
+    }
+  }
+  PooledSearcher pooled;
+  pooled.snapshot = snap;
+  pooled.searcher = std::make_unique<ReverseTopkSearcher>(*op_, snap->index());
+  return pooled;
+}
+
+void ServingEngine::ReleaseSearcher(PooledSearcher pooled) {
+  // Searchers pinned to superseded snapshots are dropped, not pooled. The
+  // epoch check must happen under searchers_mu_: the publisher swaps the
+  // snapshot before clearing the pool under this same mutex, so checking
+  // inside the lock means a stale searcher either sees the new epoch (and
+  // is dropped) or is pushed before the publisher's clear (and is swept).
+  std::lock_guard<std::mutex> lock(searchers_mu_);
+  if (pooled.snapshot->epoch() != snapshot()->epoch()) return;
+  free_searchers_.push_back(std::move(pooled));
+}
+
+Result<std::vector<uint32_t>> ServingEngine::Query(uint32_t q, uint32_t k) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  const QueryCache::Key key{q, k, snap->epoch()};
+  if (QueryCache::Value cached = cache_.Lookup(key)) {
+    return *cached;  // results are immutable; hand out a copy of the list
+  }
+
+  PooledSearcher pooled = AcquireSearcher(snap);
+  QueryOptions query_opts = options_.query;
+  query_opts.k = k;
+  query_opts.update_index = true;  // capture refinement...
+  std::vector<IndexDelta> deltas;
+  query_opts.delta_sink = &deltas;  // ...as deltas, never index writes
+  Result<std::vector<uint32_t>> result =
+      pooled.searcher->Query(q, query_opts, nullptr);
+  ReleaseSearcher(std::move(pooled));
+  if (!result.ok()) return result.status();
+
+  if (!deltas.empty()) {
+    log_.Append(std::move(deltas));
+    MaybePublish();
+  }
+  cache_.Insert(key, std::make_shared<const std::vector<uint32_t>>(*result));
+  return result;
+}
+
+Result<std::vector<std::vector<uint32_t>>> ServingEngine::QueryBatch(
+    const std::vector<uint32_t>& queries, uint32_t k) {
+  const size_t n = queries.size();
+  std::vector<Result<std::vector<uint32_t>>> partial(
+      n, Status::Internal("query not executed"));
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    pool_->Submit([this, &queries, &partial, &mu, &done_cv, &remaining, i, k] {
+      Result<std::vector<uint32_t>> r = Query(queries[i], k);
+      std::lock_guard<std::mutex> lock(mu);
+      partial[i] = std::move(r);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
+  std::vector<std::vector<uint32_t>> results;
+  results.reserve(n);
+  for (auto& r : partial) {
+    if (!r.ok()) return r.status();
+    results.push_back(std::move(*r));
+  }
+  return results;
+}
+
+void ServingEngine::MaybePublish() {
+  if (options_.publish_threshold == 0) return;
+  // Only one writer; a thread that loses the try_lock leaves its deltas to
+  // the current publisher, whose re-check of the loop condition after
+  // unlocking picks up anything appended after its drain (otherwise deltas
+  // arriving mid-publish could strand above the threshold until the next
+  // delta-producing query).
+  while (log_.pending() >= options_.publish_threshold) {
+    if (!publish_mu_.try_lock()) return;
+    {
+      std::lock_guard<std::mutex> lock(publish_mu_, std::adopt_lock);
+      PublishLocked();
+    }
+  }
+}
+
+uint64_t ServingEngine::PublishPending() {
+  uint64_t applied;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    applied = PublishLocked();
+  }
+  // Deltas appended while we held the lock may have crossed the automatic
+  // threshold with their MaybePublish losing the try_lock; re-check so
+  // they don't strand.
+  MaybePublish();
+  return applied;
+}
+
+uint64_t ServingEngine::PublishLocked() {
+  std::vector<IndexDelta> deltas = log_.Drain();
+  if (deltas.empty()) return 0;
+  std::shared_ptr<const IndexSnapshot> current = snapshot();
+  LowerBoundIndex next(current->index());  // clone, then tighten
+  uint64_t applied = 0;
+  for (IndexDelta& delta : deltas) {
+    if (next.ApplyIfTighter(std::move(delta))) ++applied;
+  }
+  if (applied == 0) return 0;  // everything stale; keep the epoch
+  auto fresh = std::make_shared<const IndexSnapshot>(std::move(next),
+                                                     current->epoch() + 1);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = fresh;
+  }
+  {
+    // Pooled searchers pinned to the old epoch are useless now.
+    std::lock_guard<std::mutex> lock(searchers_mu_);
+    free_searchers_.clear();
+  }
+  // Superseded cache entries can never be hit again; free their slots.
+  cache_.PurgeOtherEpochs(fresh->epoch());
+  deltas_applied_.fetch_add(applied, std::memory_order_relaxed);
+  epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  return applied;
+}
+
+ServingStats ServingEngine::stats() const {
+  ServingStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  stats.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+  stats.current_epoch = snapshot()->epoch();
+  stats.cache = cache_.stats();
+  stats.log = log_.stats();
+  // Convenience aliases of the component counters (ServingEngine does one
+  // cache lookup / log append per miss, so these are exact).
+  stats.cache_hits = stats.cache.hits;
+  stats.cache_misses = stats.cache.misses;
+  stats.deltas_recorded = stats.log.appended;
+  stats.pending_deltas = stats.log.pending;
+  return stats;
+}
+
+}  // namespace rtk

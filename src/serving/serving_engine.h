@@ -1,0 +1,166 @@
+// ServingEngine: the concurrent query front-end over a ReverseTopkEngine.
+//
+// Architecture (one instance serves many threads):
+//
+//   callers ──► QueryCache (sharded LRU, keyed (q, k, epoch))
+//                  │ miss
+//                  ▼
+//           searcher pool ──reads──► IndexSnapshot (immutable, epoch E)
+//                  │ refinements as IndexDelta
+//                  ▼
+//           RefinementLog ──drain, single writer──► clone + ApplyIfTighter
+//                                                        │
+//                                   publish epoch E+1 ◄──┘ (atomic swap)
+//
+// Guarantees:
+//  * Query() is safe from any number of threads, with zero locking on the
+//    index read path (snapshots are immutable).
+//  * Results are byte-identical to the serial ReverseTopkEngine on the
+//    same graph: Algorithm 4 is exact regardless of how tight the index
+//    bounds are, and refinement only tightens them (Section 4.2.3).
+//  * Refinement is never lost, only deferred: deltas are merged and
+//    published once enough accumulate (or on explicit PublishPending()).
+
+#ifndef RTK_SERVING_SERVING_ENGINE_H_
+#define RTK_SERVING_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/online_query.h"
+#include "serving/index_snapshot.h"
+#include "serving/query_cache.h"
+#include "serving/refinement_log.h"
+
+namespace rtk {
+
+/// \brief Configuration of the serving layer.
+struct ServingOptions {
+  /// Worker threads for QueryBatch; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Result cache shape; capacity 0 disables caching entirely.
+  QueryCacheOptions cache;
+  /// Publish a new snapshot once this many refinement deltas are pending;
+  /// 0 disables automatic publishing (call PublishPending() yourself).
+  /// Each publish deep-copies the per-node index arrays, so on large
+  /// graphs raise this (or publish manually / on a timer) so clone cost
+  /// amortizes over more refinement — a flat 64 suits small-to-mid
+  /// indexes, not a 10^7-node one.
+  size_t publish_threshold = 64;
+  /// Base per-query options; k is overridden per call, update_index /
+  /// delta_sink are managed by the engine, and pmpn is inherited from the
+  /// source engine's solver settings in Create().
+  QueryOptions query;
+};
+
+/// \brief Aggregate serving counters (all monotone except current_epoch /
+/// pending_deltas, which are gauges).
+struct ServingStats {
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Refinement deltas recorded by queries (pre-dedup).
+  uint64_t deltas_recorded = 0;
+  /// Deltas that actually tightened a published snapshot.
+  uint64_t deltas_applied = 0;
+  uint64_t epochs_published = 0;
+  uint64_t current_epoch = 0;
+  uint64_t pending_deltas = 0;
+  QueryCacheStats cache;
+  RefinementLogStats log;
+};
+
+/// \brief Thread-safe query service over an immutable index snapshot
+/// chain. Construct via Create(); the source engine (graph, transition
+/// operator) must outlive the ServingEngine, but its index is cloned at
+/// creation and never touched afterwards.
+class ServingEngine {
+ public:
+  /// \brief Snapshots `engine`'s current index as epoch 0 and readies the
+  /// worker pool. PMPN solver settings always come from the engine
+  /// (options.query.pmpn is overwritten), keeping serving and serial
+  /// query evaluation bit-identical.
+  static Result<std::unique_ptr<ServingEngine>> Create(
+      const ReverseTopkEngine& engine, const ServingOptions& options = {});
+
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// \brief Reverse top-k query; safe to call concurrently from any
+  /// thread. Serves from the cache when possible, otherwise runs a
+  /// snapshot-isolated searcher and records its refinements.
+  Result<std::vector<uint32_t>> Query(uint32_t q, uint32_t k);
+
+  /// \brief Runs a batch of queries on the internal worker pool and
+  /// returns results aligned with `queries`. On any failure the first
+  /// failing query's status is returned.
+  Result<std::vector<std::vector<uint32_t>>> QueryBatch(
+      const std::vector<uint32_t>& queries, uint32_t k);
+
+  /// \brief The currently published snapshot (workers may still be
+  /// finishing queries against older epochs they acquired earlier).
+  std::shared_ptr<const IndexSnapshot> snapshot() const;
+
+  /// \brief Current epoch, = snapshot()->epoch().
+  uint64_t epoch() const { return snapshot()->epoch(); }
+
+  /// \brief Drains the refinement log and, when at least one delta
+  /// tightens the index, publishes a new snapshot under epoch+1. Returns
+  /// the number of deltas applied (0 = no publish happened). Serialized
+  /// internally; safe to call concurrently with queries.
+  uint64_t PublishPending();
+
+  ServingStats stats() const;
+
+  int num_threads() const { return pool_->num_threads(); }
+
+ private:
+  /// A pooled searcher pinned to the snapshot it was built against.
+  struct PooledSearcher {
+    std::shared_ptr<const IndexSnapshot> snapshot;
+    std::unique_ptr<ReverseTopkSearcher> searcher;
+  };
+
+  ServingEngine(const ReverseTopkEngine& engine, const ServingOptions& options);
+
+  /// Pops a pooled searcher for `snap` (or builds one). Searchers hold
+  /// O(n) workspaces, so reuse across queries matters.
+  PooledSearcher AcquireSearcher(
+      const std::shared_ptr<const IndexSnapshot>& snap);
+  void ReleaseSearcher(PooledSearcher pooled);
+
+  void MaybePublish();
+  uint64_t PublishLocked();
+
+  const TransitionOperator* op_;
+  ServingOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex snapshot_mu_;  // guards snapshot_ swap/load only
+  std::shared_ptr<const IndexSnapshot> snapshot_;
+
+  RefinementLog log_;
+  QueryCache cache_;
+  std::mutex publish_mu_;  // serializes the single snapshot writer
+
+  std::mutex searchers_mu_;
+  std::vector<PooledSearcher> free_searchers_;
+
+  // Hit/miss/recorded counts live in the cache and log; only counters no
+  // component tracks are kept here.
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> deltas_applied_{0};
+  std::atomic<uint64_t> epochs_published_{0};
+};
+
+}  // namespace rtk
+
+#endif  // RTK_SERVING_SERVING_ENGINE_H_

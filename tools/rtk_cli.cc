@@ -10,6 +10,9 @@
 //   analyze <edge_list>                           degree/SCC/power-law report
 //   generate <kind> <out> [scale]                 emit a synthetic edge list
 //                                                 (kind: rmat | ba | er | ws)
+//   serve-bench <edge_list> <index> [k] [queries] [threads]
+//                                                 concurrent ServingEngine vs
+//                                                 mutex-serialized baseline
 //
 // Node ids refer to the edge list after dense relabeling in first-appearance
 // order (the loader's default), matching what build-index used.
@@ -17,9 +20,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "core/engine.h"
 #include "graph/generators.h"
 #include "graph/graph_analysis.h"
@@ -27,7 +33,9 @@
 #include "rwr/pagerank.h"
 #include "rwr/pmpn.h"
 #include "rwr/power_method.h"
+#include "serving/serving_engine.h"
 #include "topk/topk_search.h"
+#include "workload/query_workload.h"
 
 namespace {
 
@@ -43,7 +51,9 @@ int Usage() {
                "  rtk_cli pagerank <edge_list> [count=10]\n"
                "  rtk_cli contrib <edge_list> <q> [count=10]\n"
                "  rtk_cli analyze <edge_list>\n"
-               "  rtk_cli generate <rmat|ba|er|ws> <out> [scale=12]\n");
+               "  rtk_cli generate <rmat|ba|er|ws> <out> [scale=12]\n"
+               "  rtk_cli serve-bench <edge_list> <index> [k=10] "
+               "[queries=500] [threads=hardware]\n");
   return 2;
 }
 
@@ -241,6 +251,74 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
+int CmdServeBench(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto graph = Load(argv[2]);
+  if (!graph.ok()) return Fail(graph.status());
+  auto engine = ReverseTopkEngine::LoadFromFile(std::move(*graph), argv[3], {});
+  if (!engine.ok()) return Fail(engine.status());
+  const uint32_t k = argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 10;
+  const size_t num_queries =
+      argc > 5 ? static_cast<size_t>(std::atoll(argv[5])) : 500;
+  const int threads = std::max(
+      1, argc > 6 ? std::atoi(argv[6])
+                  : static_cast<int>(
+                        std::max(1u, std::thread::hardware_concurrency())));
+
+  Rng rng(7);
+  const std::vector<uint32_t> workload =
+      SampleQueries((*engine)->graph(), num_queries,
+                    QueryDistribution::kInDegreeBiased, &rng);
+
+  ServingOptions serving_opts;
+  serving_opts.num_threads = threads;
+  auto serving = ServingEngine::Create(**engine, serving_opts);
+  if (!serving.ok()) return Fail(serving.status());
+  Stopwatch serving_watch;
+  auto batch = (*serving)->QueryBatch(workload, k);
+  if (!batch.ok()) return Fail(batch.status());
+  const double serving_seconds = serving_watch.ElapsedSeconds();
+  const ServingStats sstats = (*serving)->stats();
+
+  // Baseline: the engine's only safe concurrent recipe without the serving
+  // layer — every query behind one global mutex.
+  std::mutex mu;
+  std::vector<std::thread> baseline_threads;
+  const size_t per_thread = (workload.size() + threads - 1) / threads;
+  Stopwatch mutex_watch;
+  for (int t = 0; t < threads; ++t) {
+    const size_t begin = std::min(workload.size(), t * per_thread);
+    const size_t end = std::min(workload.size(), begin + per_thread);
+    baseline_threads.emplace_back([&, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        std::lock_guard<std::mutex> lock(mu);
+        auto r = (*engine)->Query(workload[i], k);
+        if (!r.ok()) std::abort();
+      }
+    });
+  }
+  for (auto& thread : baseline_threads) thread.join();
+  const double mutex_seconds = mutex_watch.ElapsedSeconds();
+
+  const double n = static_cast<double>(workload.size());
+  std::printf("workload: %zu queries, k=%u, %d threads\n", workload.size(), k,
+              threads);
+  std::printf("mutex-serialized engine: %8.1f q/s  (%.3fs)\n",
+              n / mutex_seconds, mutex_seconds);
+  std::printf("serving engine:          %8.1f q/s  (%.3fs)  %.2fx\n",
+              n / serving_seconds, serving_seconds,
+              mutex_seconds / serving_seconds);
+  std::printf("cache: %llu hits / %llu lookups; refinement: %llu deltas "
+              "recorded, %llu applied over %llu epochs\n",
+              static_cast<unsigned long long>(sstats.cache_hits),
+              static_cast<unsigned long long>(sstats.cache_hits +
+                                              sstats.cache_misses),
+              static_cast<unsigned long long>(sstats.deltas_recorded),
+              static_cast<unsigned long long>(sstats.deltas_applied),
+              static_cast<unsigned long long>(sstats.epochs_published));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,5 +332,6 @@ int main(int argc, char** argv) {
   if (cmd == "contrib") return CmdContrib(argc, argv);
   if (cmd == "analyze") return CmdAnalyze(argc, argv);
   if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "serve-bench") return CmdServeBench(argc, argv);
   return Usage();
 }
