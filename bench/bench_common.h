@@ -85,6 +85,97 @@ inline void PrintHeader(const std::string& title, const std::string& notes) {
   std::printf("================================================================\n");
 }
 
+// --json <path> / --json=<path> argument, or "" when absent. Benches emit
+// their tables to stdout as always and, with this flag, additionally write
+// machine-readable results for the perf-trajectory tooling.
+inline std::string JsonPathArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return "";
+}
+
+// Minimal JSON emitter (objects, arrays, string/number values) — enough
+// for flat bench reports without a dependency.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(const std::string& k) {
+    MaybeComma();
+    out_ += '"';
+    out_ += k;
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+  JsonWriter& String(const std::string& v) {
+    MaybeComma();
+    out_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& Double(double v) {
+    MaybeComma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Int(long long v) {
+    MaybeComma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  // Writes the document to `path` (stdout on failure is not retried; the
+  // bench's exit code reflects the write).
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  JsonWriter& Open(char c) {
+    MaybeComma();
+    out_ += c;
+    comma_stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    out_ += c;
+    comma_stack_.pop_back();
+    return *this;
+  }
+  void MaybeComma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value completing a "key": pair
+      return;
+    }
+    if (!comma_stack_.empty()) {
+      if (comma_stack_.back()) out_ += ',';
+      comma_stack_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> comma_stack_;
+  bool pending_value_ = false;
+};
+
 }  // namespace rtk::bench
 
 #endif  // RTK_BENCH_BENCH_COMMON_H_

@@ -1,9 +1,19 @@
 // Figure 5: average reverse top-k query time vs k, with and without the
-// index-update policy, per graph.
+// index-update policy, per graph — plus a staged-pipeline thread sweep
+// measuring single-query speedup from intra-query parallelism.
 //
 // Paper shape: query time grows mildly with k; "update" is at or below
 // "no-update", with the gap largest on small/dense graphs; both are orders
 // of magnitude below the entire-P brute force (Table 2's last column).
+//
+// Usage: bench_fig5_query_time [--json <path>]
+//   --json writes machine-readable results (per-graph k rows with stage
+//   timings, and the thread sweep with speedups) for the perf trajectory.
+// Env: RTK_BENCH_SCALE / RTK_BENCH_GRAPH / RTK_BENCH_QUERIES as usual,
+//   RTK_BENCH_THREADS caps the sweep (default {1, 2, 4, hardware}).
+
+#include <algorithm>
+#include <thread>
 
 #include "bench_common.h"
 #include "bca/hub_selection.h"
@@ -18,32 +28,85 @@ namespace {
 using namespace rtk;
 using namespace rtk::bench;
 
-void RunGraph(const NamedGraph& named, ThreadPool* pool) {
+struct KRow {
+  uint32_t k = 0;
+  double update_ms = 0.0;
+  double noupdate_ms = 0.0;
+  double pmpn_ms = 0.0;
+  double prune_ms = 0.0;
+  double refine_ms = 0.0;
+};
+
+struct ThreadRow {
+  int threads = 1;
+  double avg_query_ms = 0.0;
+  double speedup = 1.0;
+};
+
+struct GraphReport {
+  std::string name;
+  std::string stand_for;
+  uint32_t nodes = 0;
+  size_t queries = 0;
+  std::vector<KRow> k_rows;
+  std::vector<ThreadRow> thread_rows;
+};
+
+// Average per-query wall ms of the update-mode workload on a fresh index
+// copy at the given intra-query thread count.
+double TimeWorkload(const TransitionOperator& op,
+                    const LowerBoundIndex& base_index,
+                    const std::vector<uint32_t>& queries, uint32_t k,
+                    int num_threads, ThreadPool* pool) {
+  LowerBoundIndex index = base_index;
+  ReverseTopkSearcher searcher(op, &index);
+  searcher.set_thread_pool(pool);
+  QueryOptions query_opts;
+  query_opts.k = k;
+  query_opts.num_threads = num_threads;
+  Stopwatch watch;
+  for (uint32_t q : queries) {
+    auto r = searcher.Query(q, query_opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return watch.ElapsedSeconds() * 1e3 / static_cast<double>(queries.size());
+}
+
+bool RunGraph(const NamedGraph& named, ThreadPool* pool,
+              GraphReport* report) {
   const Graph& graph = named.graph;
   TransitionOperator op(graph);
   auto hubs = SelectHubs(graph, {.degree_budget_b = graph.num_nodes() / 50 + 1});
-  if (!hubs.ok()) return;
+  if (!hubs.ok()) return false;
   IndexBuildOptions build_opts;
   build_opts.capacity_k = 100;
   auto base_index = BuildLowerBoundIndex(op, *hubs, build_opts, pool);
   if (!base_index.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
                  base_index.status().ToString().c_str());
-    return;
+    return false;
   }
 
   Rng rng(77);
   const std::vector<uint32_t> queries = SampleQueries(
       graph, NumQueries(), QueryDistribution::kUniform, &rng);
+  report->name = named.name;
+  report->stand_for = named.stand_for;
+  report->nodes = graph.num_nodes();
+  report->queries = queries.size();
 
   std::printf("\n%s (stand-in for %s): n=%u, %zu queries\n",
               named.name.c_str(), named.stand_for.c_str(), graph.num_nodes(),
               queries.size());
-  std::printf("%-6s %-14s %-14s %-12s %-12s\n", "k", "update(ms)",
-              "noupd(ms)", "pmpn(ms)", "scan(ms)");
+  std::printf("%-6s %-14s %-14s %-10s %-10s %-10s\n", "k", "update(ms)",
+              "noupd(ms)", "pmpn(ms)", "prune(ms)", "refine(ms)");
   for (uint32_t k : {5u, 10u, 20u, 50u, 100u}) {
+    KRow row;
+    row.k = k;
     double avg_ms[2] = {0.0, 0.0};
-    double pmpn_ms = 0.0, scan_ms = 0.0;
     for (int mode = 0; mode < 2; ++mode) {
       const bool update = (mode == 0);
       LowerBoundIndex index = *base_index;  // fresh copy per mode
@@ -58,28 +121,119 @@ void RunGraph(const NamedGraph& named, ThreadPool* pool) {
         if (!r.ok()) {
           std::fprintf(stderr, "query failed: %s\n",
                        r.status().ToString().c_str());
-          return;
+          return false;
         }
         if (update) {
-          pmpn_ms += stats.pmpn_seconds * 1e3;
-          scan_ms += stats.scan_seconds * 1e3;
+          row.pmpn_ms += stats.pmpn_seconds * 1e3;
+          row.prune_ms += stats.prune_seconds * 1e3;
+          row.refine_ms += stats.refine_seconds * 1e3;
         }
       }
       avg_ms[mode] = watch.ElapsedSeconds() * 1e3 / queries.size();
     }
-    std::printf("%-6u %-14.2f %-14.2f %-12.2f %-12.2f\n", k, avg_ms[0],
-                avg_ms[1], pmpn_ms / queries.size(),
-                scan_ms / queries.size());
+    const double nq = static_cast<double>(queries.size());
+    row.update_ms = avg_ms[0];
+    row.noupdate_ms = avg_ms[1];
+    row.pmpn_ms /= nq;
+    row.prune_ms /= nq;
+    row.refine_ms /= nq;
+    std::printf("%-6u %-14.2f %-14.2f %-10.2f %-10.2f %-10.2f\n", k,
+                row.update_ms, row.noupdate_ms, row.pmpn_ms, row.prune_ms,
+                row.refine_ms);
+    report->k_rows.push_back(row);
   }
+
+  // Intra-query parallelism sweep (k = 10, update mode): the staged
+  // pipeline fans a SINGLE query's stages across the pool.
+  const int max_threads = static_cast<int>(
+      EnvInt64("RTK_BENCH_THREADS",
+               std::max(1u, std::thread::hardware_concurrency())));
+  std::vector<int> thread_counts;
+  for (int t : {1, 2, 4, max_threads}) {
+    if (t <= max_threads) thread_counts.push_back(t);
+  }
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::printf("%-8s %-16s %-10s   (intra-query pipeline, k=10, update)\n",
+              "threads", "avg query(ms)", "speedup");
+  // A dedicated pool sized to the sweep maximum, so requesting N workers
+  // actually provides N even when the hardware default is smaller.
+  ThreadPool sweep_pool(thread_counts.back());
+  double serial_ms = 0.0;
+  for (int threads : thread_counts) {
+    ThreadRow row;
+    row.threads = threads;
+    row.avg_query_ms =
+        TimeWorkload(op, *base_index, queries, /*k=*/10, threads, &sweep_pool);
+    if (threads == 1) serial_ms = row.avg_query_ms;
+    row.speedup = serial_ms > 0.0 ? serial_ms / row.avg_query_ms : 1.0;
+    std::printf("%-8d %-16.2f %-10.2fx\n", threads, row.avg_query_ms,
+                row.speedup);
+    report->thread_rows.push_back(row);
+  }
+  return true;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<GraphReport>& reports) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("fig5_query_time");
+  json.Key("graphs").BeginArray();
+  for (const GraphReport& g : reports) {
+    json.BeginObject();
+    json.Key("name").String(g.name);
+    json.Key("stand_for").String(g.stand_for);
+    json.Key("nodes").Int(g.nodes);
+    json.Key("queries").Int(static_cast<long long>(g.queries));
+    json.Key("k_rows").BeginArray();
+    for (const KRow& row : g.k_rows) {
+      json.BeginObject();
+      json.Key("k").Int(row.k);
+      json.Key("update_ms").Double(row.update_ms);
+      json.Key("noupdate_ms").Double(row.noupdate_ms);
+      json.Key("pmpn_ms").Double(row.pmpn_ms);
+      json.Key("prune_ms").Double(row.prune_ms);
+      json.Key("refine_ms").Double(row.refine_ms);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("thread_sweep").BeginArray();
+    for (const ThreadRow& row : g.thread_rows) {
+      json.BeginObject();
+      json.Key("threads").Int(row.threads);
+      json.Key("avg_query_ms").Double(row.avg_query_ms);
+      json.Key("speedup").Double(row.speedup);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteTo(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("\njson written to %s\n", path.c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Figure 5: average reverse top-k query time vs k",
               "series: with index update (paper 'update') vs without "
-              "('no-update')");
+              "('no-update'); plus intra-query thread sweep");
+  const std::string json_path = JsonPathArg(argc, argv);
   ThreadPool pool(ThreadPool::DefaultThreads());
-  for (const auto& named : MakeGraphSuite()) RunGraph(named, &pool);
+  std::vector<GraphReport> reports;
+  for (const auto& named : MakeGraphSuite()) {
+    GraphReport report;
+    if (RunGraph(named, &pool, &report)) reports.push_back(std::move(report));
+  }
+  if (!json_path.empty()) WriteJson(json_path, reports);
   return 0;
 }

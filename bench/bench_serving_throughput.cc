@@ -26,6 +26,15 @@ namespace {
 
 constexpr uint32_t kQueryK = 10;
 
+struct ThroughputRow {
+  std::string graph;
+  int threads = 1;
+  double mutex_qps = 0.0;
+  double serving_qps = 0.0;
+  double speedup = 1.0;
+  double cache_hit_pct = 0.0;
+};
+
 // Runs `workload` across `num_threads` threads, each thread taking a
 // contiguous slice, calling `run_one(q)`. Returns wall seconds.
 template <typename Fn>
@@ -47,11 +56,14 @@ double RunThreaded(const std::vector<uint32_t>& workload, int num_threads,
   return watch.ElapsedSeconds();
 }
 
-void RunSuite() {
-  const int hw = static_cast<int>(
+void RunSuite(std::vector<ThroughputRow>* rows) {
+  const int max_threads = static_cast<int>(
       EnvInt64("RTK_BENCH_THREADS",
                std::max(1u, std::thread::hardware_concurrency())));
-  std::vector<int> thread_counts = {1, 4, hw};
+  std::vector<int> thread_counts;
+  for (int t : {1, 4, max_threads}) {
+    if (t <= max_threads) thread_counts.push_back(t);
+  }
   std::sort(thread_counts.begin(), thread_counts.end());
   thread_counts.erase(
       std::unique(thread_counts.begin(), thread_counts.end()),
@@ -110,18 +122,50 @@ void RunSuite() {
                   named.name.c_str(), threads, n / mutex_seconds,
                   n / serving_seconds, mutex_seconds / serving_seconds,
                   hit_pct);
+      rows->push_back({named.name, threads, n / mutex_seconds,
+                       n / serving_seconds,
+                       mutex_seconds / serving_seconds, hit_pct});
     }
   }
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<ThroughputRow>& rows) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("serving_throughput");
+  json.Key("k").Int(kQueryK);
+  json.Key("rows").BeginArray();
+  for (const ThroughputRow& row : rows) {
+    json.BeginObject();
+    json.Key("graph").String(row.graph);
+    json.Key("threads").Int(row.threads);
+    json.Key("mutex_qps").Double(row.mutex_qps);
+    json.Key("serving_qps").Double(row.serving_qps);
+    json.Key("speedup").Double(row.speedup);
+    json.Key("cache_hit_pct").Double(row.cache_hit_pct);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteTo(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("json written to %s\n", path.c_str());
 }
 
 }  // namespace
 }  // namespace rtk::bench
 
-int main() {
+int main(int argc, char** argv) {
   rtk::bench::PrintHeader(
       "Serving throughput: ServingEngine vs mutex-serialized engine",
       "queries/sec over a skewed query log (repeats exercise the cache); "
       "speedup = mutex time / serving time at equal thread count");
-  rtk::bench::RunSuite();
+  const std::string json_path = rtk::bench::JsonPathArg(argc, argv);
+  std::vector<rtk::bench::ThroughputRow> rows;
+  rtk::bench::RunSuite(&rows);
+  if (!json_path.empty()) rtk::bench::WriteJson(json_path, rows);
   return 0;
 }

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# CI for rtk: the tier-1 verify twice.
+# CI for rtk: the tier-1 verify plus sanitizer and optimized legs.
 #
 #   pass 1  default build       — full library + tests + benches + examples,
 #                                 whole GoogleTest suite via ctest
 #   pass 2  ThreadSanitizer     — library + tests only, runs the concurrency
-#                                 suite (serving_test) race-detection-clean
-#
-# Then builds and smoke-runs the serving throughput bench (1 iteration of
-# a tiny workload) so throughput regressions fail loudly rather than rot.
+#                                 suites (serving_test: inter-query;
+#                                 pipeline_test: intra-query stage fan-out)
+#                                 race-detection-clean
+#   pass 3  Release (-O3 -DNDEBUG) — optimized build; smoke-runs the fig5
+#                                 query-time bench (with --json, validating
+#                                 the machine-readable output) and the
+#                                 serving throughput bench so perf
+#                                 regressions fail loudly rather than rot
 #
 # Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -20,15 +24,24 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== pass 2: TSan build + concurrency suite ==="
+echo "=== pass 2: TSan build + concurrency suites ==="
 cmake -B build-tsan -S . -DRTK_SANITIZE=thread \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j "$JOBS" --target serving_test
+cmake --build build-tsan -j "$JOBS" --target serving_test pipeline_test
 # halt_on_error: any report fails CI instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/pipeline_test
 
-echo "=== serving throughput smoke ==="
-cmake --build build -j "$JOBS" --target bench_serving_throughput
-RTK_BENCH_QUERIES=50 RTK_BENCH_SCALE=0.25 ./build/bench_serving_throughput
+echo "=== pass 3: Release build + bench smokes ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+      -DRTK_BUILD_TESTS=OFF -DRTK_BUILD_EXAMPLES=OFF
+cmake --build build-release -j "$JOBS" \
+      --target bench_fig5_query_time bench_serving_throughput
+RTK_BENCH_QUERIES=20 RTK_BENCH_SCALE=0.25 \
+    ./build-release/bench_fig5_query_time --json build-release/BENCH_fig5.json
+test -s build-release/BENCH_fig5.json
+RTK_BENCH_QUERIES=50 RTK_BENCH_SCALE=0.25 \
+    ./build-release/bench_serving_throughput --json build-release/BENCH_serving.json
+test -s build-release/BENCH_serving.json
 
 echo "=== CI green ==="

@@ -30,6 +30,10 @@
 #include "core/upper_bound.h"   // IWYU pragma: export
 #include "dynamic/dynamic_engine.h"  // IWYU pragma: export
 #include "dynamic/graph_updates.h"   // IWYU pragma: export
+#include "exec/proximity_stage.h"  // IWYU pragma: export
+#include "exec/prune_stage.h"      // IWYU pragma: export
+#include "exec/query_pipeline.h"   // IWYU pragma: export
+#include "exec/refine_stage.h"     // IWYU pragma: export
 #include "graph/generators.h"   // IWYU pragma: export
 #include "graph/graph.h"        // IWYU pragma: export
 #include "graph/graph_analysis.h"  // IWYU pragma: export

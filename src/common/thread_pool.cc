@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace rtk {
 
@@ -89,6 +90,84 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
     });
   }
   pool->Wait();
+}
+
+namespace {
+
+// Shared state of one ParallelForRange call. Heap-allocated and owned
+// jointly by the caller and every helper closure: a helper scheduled after
+// the caller already drained the range still reads `next` safely, finds no
+// chunk, and exits.
+struct RangeState {
+  std::atomic<int64_t> next{0};  // next chunk index to claim
+  std::atomic<int64_t> done{0};  // chunks fully executed
+  int64_t num_chunks = 0;
+  int64_t chunk = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+  std::mutex mu;
+  std::condition_variable all_done;
+  // Only dereferenced while an unfinished chunk is held, which keeps the
+  // caller (and thus the callee it points at) alive.
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+};
+
+void DrainChunks(RangeState* state) {
+  for (;;) {
+    const int64_t c = state->next.fetch_add(1);
+    if (c >= state->num_chunks) return;
+    const int64_t lo = state->begin + c * state->chunk;
+    const int64_t hi = std::min(state->end, lo + state->chunk);
+    (*state->body)(lo, hi);
+    if (state->done.fetch_add(1) + 1 == state->num_chunks) {
+      // Lock before notifying so the caller cannot miss the wakeup between
+      // its predicate check and its wait.
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->all_done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelForRange(ThreadPool* pool, int64_t begin, int64_t end,
+                      int max_parallelism, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  const int64_t count = end - begin;
+  int workers = (pool == nullptr) ? 1 : pool->num_threads();
+  if (max_parallelism > 0) workers = std::min(workers, max_parallelism);
+  if (workers <= 1 || count == 1) {
+    body(begin, end);
+    return;
+  }
+  const int64_t chunk =
+      grain > 0 ? grain
+                : std::max<int64_t>(
+                      1, (count + static_cast<int64_t>(workers) * 4 - 1) /
+                             (static_cast<int64_t>(workers) * 4));
+  const int64_t num_chunks = (count + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<RangeState>();
+  state->num_chunks = num_chunks;
+  state->chunk = chunk;
+  state->begin = begin;
+  state->end = end;
+  state->body = &body;
+  const int64_t helpers =
+      std::min<int64_t>(workers - 1, num_chunks - 1);
+  for (int64_t i = 0; i < helpers; ++i) {
+    pool->Submit([state] { DrainChunks(state.get()); });
+  }
+  DrainChunks(state.get());
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&state] {
+    return state->done.load() == state->num_chunks;
+  });
 }
 
 }  // namespace rtk

@@ -58,8 +58,33 @@ class ThreadPool {
 /// \brief Runs body(i) for i in [begin, end) on `pool`, splitting the range
 /// into contiguous chunks (one per worker by default). Blocks until all
 /// iterations complete. If pool is null or has 1 thread, runs inline.
+///
+/// NOT safe to call from inside a pool task: it joins via ThreadPool::Wait,
+/// which waits for ALL inflight work including the caller's own task. Use
+/// ParallelForRange for nested / intra-query parallelism.
 void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& body);
+
+/// \brief Range-apply helper for intra-query parallelism: splits
+/// [begin, end) into contiguous chunks claimed from a shared atomic cursor
+/// and runs body(lo, hi) for each, using up to `max_parallelism` workers of
+/// `pool` (0 = the whole pool). Blocks until every chunk has completed.
+///
+/// Unlike ParallelFor this is re-entrant: it is safe to call from inside a
+/// pool task (the serving engine runs queries as pool tasks whose stages
+/// fan out on the same pool). The calling thread participates in chunk
+/// draining and waits only on a per-call completion count — never on the
+/// pool's global inflight count — so a fully saturated pool degrades to the
+/// caller executing every chunk inline instead of deadlocking; helper tasks
+/// that get scheduled after the work is gone exit without touching it.
+///
+/// `grain` > 0 fixes the chunk size (1 = pure work queue, for skewed
+/// per-item costs); 0 picks ~4 chunks per worker. Chunk boundaries affect
+/// scheduling only; callers needing deterministic output must make per-
+/// element work independent of chunking (all callers in this library do).
+void ParallelForRange(ThreadPool* pool, int64_t begin, int64_t end,
+                      int max_parallelism, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& body);
 
 }  // namespace rtk
 

@@ -1,0 +1,96 @@
+// WorkspacePool: a mutex-guarded free list of reusable heavy workspaces.
+//
+// Several components hold O(n) scratch (BcaRunner's accumulators, dense
+// solver iterates). The staged query pipeline runs such work on a variable
+// number of threads, so instead of one private workspace per owner it
+// checks workspaces out of a shared pool: Acquire() pops a free instance
+// (or builds one via the factory on first contention), and the returned
+// RAII lease pushes it back on destruction. The pool grows to the peak
+// concurrency ever seen and never shrinks; with T refine workers that is
+// exactly T instances, reused across all subsequent queries.
+
+#ifndef RTK_COMMON_WORKSPACE_POOL_H_
+#define RTK_COMMON_WORKSPACE_POOL_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rtk {
+
+/// \brief Thread-safe free list of T instances. T is created by the
+/// factory, which must itself be safe to call concurrently (it only reads
+/// shared immutable inputs in all uses here).
+template <typename T>
+class WorkspacePool {
+ public:
+  explicit WorkspacePool(std::function<std::unique_ptr<T>()> factory)
+      : factory_(std::move(factory)) {}
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// \brief RAII checkout: returns the instance to the pool on destruction.
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<T> item)
+        : pool_(pool), item_(std::move(item)) {}
+    ~Lease() {
+      if (item_ != nullptr) pool_->Release(std::move(item_));
+    }
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&& other) {
+      if (this != &other) {
+        if (item_ != nullptr) pool_->Release(std::move(item_));  // not leak
+        pool_ = other.pool_;
+        item_ = std::move(other.item_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    T* get() const { return item_.get(); }
+    T* operator->() const { return item_.get(); }
+    T& operator*() const { return *item_; }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<T> item_;
+  };
+
+  /// \brief Pops a free instance, building one when none is idle.
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> item = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(item));
+      }
+    }
+    return Lease(this, factory_());  // factory runs outside the lock
+  }
+
+  /// \brief Number of idle instances (test/introspection only).
+  size_t idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  void Release(std::unique_ptr<T> item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(item));
+  }
+
+  std::function<std::unique_ptr<T>()> factory_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_COMMON_WORKSPACE_POOL_H_

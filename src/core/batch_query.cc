@@ -26,6 +26,11 @@ Result<WorkloadReport> RunQueryWorkload(const TransitionOperator& op,
                         queries.size() > 1;
   if (!parallel) {
     ReverseTopkSearcher searcher(op, index);
+    // Sequential mode still exploits the pool *within* each query: with
+    // query.num_threads != 1 the pipeline stages fan out, so the paper's
+    // update-enabled series (inherently serial across queries — index
+    // mutation) no longer wastes idle workers.
+    searcher.set_thread_pool(pool);
     for (size_t i = 0; i < queries.size(); ++i) {
       QueryStats stats;
       RTK_ASSIGN_OR_RETURN(std::vector<uint32_t> result,
@@ -45,6 +50,10 @@ Result<WorkloadReport> RunQueryWorkload(const TransitionOperator& op,
     for (int w = 0; w < workers; ++w) {
       pool->Submit([&]() {
         ReverseTopkSearcher searcher(op, index);
+        // Share the workload pool for intra-query fan-out too (the range
+        // helper is pool-reentrant); otherwise query.num_threads != 1
+        // would grow a private pool per worker.
+        searcher.set_thread_pool(pool);
         for (;;) {
           const size_t i = next.fetch_add(1);
           if (i >= queries.size()) break;

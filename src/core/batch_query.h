@@ -28,7 +28,9 @@ namespace rtk {
 
 /// \brief Options for RunQueryWorkload().
 struct WorkloadOptions {
-  /// Per-query options. update_index=true forces sequential execution.
+  /// Per-query options. update_index=true forces sequential execution
+  /// ACROSS queries; set query.num_threads != 1 to parallelize WITHIN each
+  /// query (the update series' only way to use more than one core).
   QueryOptions query;
   /// Worker threads for the read-only mode (<= 1, or update_index set:
   /// run sequentially on the caller's thread).

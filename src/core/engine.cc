@@ -35,6 +35,9 @@ Result<std::unique_ptr<ReverseTopkEngine>> ReverseTopkEngine::Build(
   engine->index_ = std::make_unique<LowerBoundIndex>(std::move(index));
   engine->searcher_ = std::make_unique<ReverseTopkSearcher>(
       *engine->op_, engine->index_.get());
+  // The build pool is idle after construction; lend it to the query
+  // pipeline so QueryOptions::num_threads != 1 parallelizes single queries.
+  engine->searcher_->set_thread_pool(engine->pool_.get());
   return engine;
 }
 
@@ -47,6 +50,7 @@ Result<std::unique_ptr<ReverseTopkEngine>> ReverseTopkEngine::LoadFromFile(
   engine->index_ = std::make_unique<LowerBoundIndex>(std::move(index));
   engine->searcher_ = std::make_unique<ReverseTopkSearcher>(
       *engine->op_, engine->index_.get());
+  engine->searcher_->set_thread_pool(engine->pool_.get());
   return engine;
 }
 

@@ -42,20 +42,28 @@ struct EngineOptions {
   /// Iterative-solver settings for hub solves and PMPN (alpha is taken
   /// from `bca.alpha`; epsilon defaults to 1e-10).
   RwrOptions solver;
-  /// Worker threads for index construction; 0 = hardware concurrency,
-  /// 1 = fully serial.
+  /// Worker threads for index construction (and, after construction, for
+  /// intra-query stage parallelism when QueryOptions::num_threads != 1);
+  /// 0 = hardware concurrency, 1 = fully serial.
   int num_threads = 0;
 };
 
 /// \brief Owning facade over graph, index and query machinery.
 ///
-/// Thread-safety: Query() is NOT thread-safe — Algorithm 4 refines the
-/// LowerBoundIndex in place, and the searcher reuses O(n) workspaces. For
-/// concurrent querying wrap this engine in a ServingEngine
-/// (serving/serving_engine.h): it clones the index into immutable
-/// snapshots that any number of workers read lock-free, captures
-/// refinement as deltas, and republishes tightened snapshots through a
-/// single writer — byte-identical results at multi-threaded throughput.
+/// Thread-safety: Query() is NOT safe to call from multiple threads —
+/// Algorithm 4 refines the LowerBoundIndex in place, and the searcher's
+/// pipeline reuses pooled O(n) workspaces. Two distinct kinds of
+/// parallelism compose with that rule:
+///  * intra-query — a SINGLE Query call fans its stages out across the
+///    engine's worker pool when QueryOptions::num_threads != 1 (see
+///    exec/query_pipeline.h); results stay byte-identical to serial.
+///  * inter-query — for concurrent callers wrap this engine in a
+///    ServingEngine (serving/serving_engine.h): it clones the index into
+///    immutable snapshots that any number of workers read lock-free,
+///    captures refinement as deltas, and republishes tightened snapshots
+///    through a single writer — byte-identical results at multi-threaded
+///    throughput. The serving layer can additionally enable intra-query
+///    parallelism so idle workers accelerate big queries.
 class ReverseTopkEngine {
  public:
   /// \brief Selects hubs, builds the index, and readies the searcher.

@@ -1,197 +1,30 @@
 #include "core/online_query.h"
 
-#include <algorithm>
-#include <cmath>
-#include <string>
-
-#include "common/stopwatch.h"
-#include "common/top_k.h"
-#include "core/upper_bound.h"
-#include "rwr/power_method.h"
+#include "exec/query_pipeline.h"
 
 namespace rtk {
 
 ReverseTopkSearcher::ReverseTopkSearcher(const TransitionOperator& op,
                                          LowerBoundIndex* index)
-    : op_(&op), index_(index), mutable_index_(index) {
-  runner_ = std::make_unique<BcaRunner>(op, index->hub_store().hubs(),
-                                        index->bca_options());
-}
+    : pipeline_(std::make_unique<QueryPipeline>(op, index)) {}
 
 ReverseTopkSearcher::ReverseTopkSearcher(const TransitionOperator& op,
                                          const LowerBoundIndex& index)
-    : op_(&op), index_(&index), mutable_index_(nullptr) {
-  runner_ = std::make_unique<BcaRunner>(op, index.hub_store().hubs(),
-                                        index.bca_options());
-}
+    : pipeline_(std::make_unique<QueryPipeline>(op, index)) {}
+
+ReverseTopkSearcher::~ReverseTopkSearcher() = default;
 
 Result<std::vector<uint32_t>> ReverseTopkSearcher::Query(
     uint32_t q, const QueryOptions& options, QueryStats* stats) {
-  const uint32_t n = op_->num_nodes();
-  if (q >= n) {
-    return Status::InvalidArgument("query node out of range");
-  }
-  if (options.k == 0 || options.k > index_->capacity_k()) {
-    return Status::InvalidArgument(
-        "k=" + std::to_string(options.k) + " outside [1, K=" +
-        std::to_string(index_->capacity_k()) + "]");
-  }
-  RwrOptions pmpn_opts = options.pmpn;
-  pmpn_opts.alpha = index_->bca_options().alpha;  // one alpha everywhere
-  const uint32_t k = options.k;
-  const uint32_t capacity_k = index_->capacity_k();
-  const HubProximityStore& store = index_->hub_store();
+  return pipeline_->Run(q, options, stats);
+}
 
-  Stopwatch total_watch;
-  QueryStats local;
-  local.query = q;
-  local.k = k;
+void ReverseTopkSearcher::set_thread_pool(ThreadPool* pool) {
+  pipeline_->set_thread_pool(pool);
+}
 
-  // Step 1 (Alg. 4 line 1): exact proximities from all nodes to q.
-  Stopwatch pmpn_watch;
-  IterativeSolveStats pmpn_stats;
-  RTK_ASSIGN_OR_RETURN(std::vector<double> to_q,
-                       ComputeProximityToNode(*op_, q, pmpn_opts, &pmpn_stats));
-  local.pmpn_iterations = pmpn_stats.iterations;
-  local.pmpn_seconds = pmpn_watch.ElapsedSeconds();
-
-  // Step 2: scan all nodes, pruning / confirming / refining.
-  const double tie = options.tie_epsilon;
-  Stopwatch scan_watch;
-  std::vector<uint32_t> results;
-  std::vector<double> refined_topk;  // scratch: current lower bounds of u
-  for (uint32_t u = 0; u < n; ++u) {
-    const double p_u_q = to_q[u];  // exact proximity from u to q
-    if (p_u_q <= 0.0) {
-      continue;  // q unreachable from u: u cannot rank q (see class docs)
-    }
-    if (p_u_q < index_->LowerBound(u, k) - tie) {
-      continue;  // pruned by the index (never becomes a candidate)
-    }
-    ++local.candidates;
-
-    // Exact stored bounds decide immediately (Alg. 4 lines 5-7).
-    if (index_->IsExact(u)) {
-      results.push_back(u);
-      ++local.hits;
-      continue;
-    }
-
-    // First upper-bound test on the stored state (Alg. 4 lines 8-11).
-    {
-      const double ub =
-          ComputeUpperBound(index_->LowerBounds(u), k, index_->ResidueL1(u));
-      if (p_u_q >= ub - tie) {
-        results.push_back(u);
-        ++local.hits;
-        continue;
-      }
-    }
-    if (options.approximate_hits_only) {
-      continue;  // Section 5.3 approximate mode: hits only, no refinement
-    }
-
-    // Refinement loop (Alg. 4 line 13 / Alg. 1 lines 6-7). Incremental
-    // approx tracking keeps per-iteration cost proportional to the delta
-    // instead of re-expanding every hub vector.
-    ++local.refined_nodes;
-    runner_->Load(index_->State(u));
-    runner_->BeginApproxTracking(store);
-    bool is_result = false;
-    bool decided = false;
-    bool resolved_exactly = false;
-    int iters_here = 0;
-    int consecutive_stalls = 0;
-    while (!decided) {
-      if (iters_here >= options.max_refine_iterations_per_node ||
-          consecutive_stalls >= options.max_stalled_refinements) {
-        // BCA's push granularity is exhausted (or the iteration cap hit):
-        // one exact solve decides the node and, in update mode, upgrades
-        // the index entry to exact (see SetNode below).
-        ++local.exact_fallbacks;
-        RTK_ASSIGN_OR_RETURN(std::vector<double> exact,
-                             ComputeProximityColumn(*op_, u, pmpn_opts));
-        std::vector<double> top = TopKValuesDescending(exact, capacity_k);
-        is_result = (top.size() >= k ? top[k - 1] : 0.0) - tie <= p_u_q;
-        if (options.update_index) {
-          while (!top.empty() && top.back() <= 0.0) top.pop_back();
-          if (options.delta_sink != nullptr) {
-            options.delta_sink->push_back(
-                {u, std::move(top), StoredBcaState{}, /*residue_l1=*/0.0});
-          } else if (mutable_index_ != nullptr) {
-            mutable_index_->SetNode(u, top, StoredBcaState{},
-                                    /*residue_l1=*/0.0);
-          }
-        }
-        resolved_exactly = true;
-        break;
-      }
-      size_t pushed = runner_->Step(options.refine_strategy);
-      // A stalled iteration is one where no node reached the eta
-      // threshold: absorption-only steps and forced single-max pushes both
-      // count. (Counting only the latter would let absorb/push alternation
-      // reset the counter forever while each sub-eta push removes just
-      // ~alpha*eta of residue.)
-      bool stalled = (runner_->last_step_pushed() == 0);
-      if (pushed == 0) {
-        // Nothing above eta and nothing to absorb: force progress on the
-        // largest residue.
-        pushed = runner_->Step(PushStrategy::kSingleMax);
-        stalled = true;
-      }
-      if (stalled) {
-        ++consecutive_stalls;
-      } else {
-        consecutive_stalls = 0;
-      }
-      ++iters_here;
-      ++local.refine_iterations;
-
-      const auto topk_pairs = runner_->TopKApprox(store, k);
-      refined_topk.assign(k, 0.0);
-      for (size_t i = 0; i < topk_pairs.size(); ++i) {
-        refined_topk[i] = topk_pairs[i].second;
-      }
-      const double residue = runner_->ResidueL1();
-      if (p_u_q < refined_topk[k - 1] - tie) {
-        is_result = false;  // pruned by the refined lower bound
-        decided = true;
-      } else if (residue == 0.0 || pushed == 0) {
-        is_result = true;  // bound is exact and p_u_q >= lb - tie
-        decided = true;
-      } else {
-        const double ub = ComputeUpperBound(refined_topk, k, residue);
-        if (p_u_q >= ub - tie) {
-          is_result = true;  // confirmed by the refined upper bound
-          decided = true;
-        }
-      }
-    }
-    if (is_result) results.push_back(u);
-
-    // Write-back (Section 4.2.3): store the refined state and FULL top-K
-    // list so future queries at any k <= K benefit. (Exact fallbacks
-    // already installed their exact entry above.)
-    if (options.update_index && !resolved_exactly) {
-      const auto full_pairs = runner_->TopKApprox(store, capacity_k);
-      std::vector<double> full_values;
-      full_values.reserve(full_pairs.size());
-      for (const auto& [id, v] : full_pairs) full_values.push_back(v);
-      if (options.delta_sink != nullptr) {
-        options.delta_sink->push_back({u, std::move(full_values),
-                                       runner_->Extract(),
-                                       runner_->ResidueL1()});
-      } else if (mutable_index_ != nullptr) {
-        mutable_index_->SetNode(u, full_values, runner_->Extract(),
-                                runner_->ResidueL1());
-      }
-    }
-  }
-  local.scan_seconds = scan_watch.ElapsedSeconds();
-  local.results = results.size();
-  local.total_seconds = total_watch.ElapsedSeconds();
-  if (stats != nullptr) *stats = local;
-  return results;
+const LowerBoundIndex& ReverseTopkSearcher::index() const {
+  return pipeline_->index();
 }
 
 }  // namespace rtk

@@ -8,6 +8,12 @@
 //      both bounds, until u is pruned or confirmed.
 //   4. Optionally write refined states back into the index so future
 //      queries start from tighter bounds (Section 4.2.3).
+//
+// Execution is staged (exec/query_pipeline.h): ProximityStage (step 1,
+// pluggable backend, parallel A^T x kernel), PruneStage (step 2, sharded
+// scan), RefineStage (step 3, work-queue of pooled BcaRunners). This header
+// keeps the per-query option/stat types and ReverseTopkSearcher, the thin
+// facade the rest of the library queries through.
 
 #ifndef RTK_CORE_ONLINE_QUERY_H_
 #define RTK_CORE_ONLINE_QUERY_H_
@@ -17,16 +23,26 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "index/lower_bound_index.h"
 #include "rwr/pmpn.h"
 #include "rwr/transition.h"
 
 namespace rtk {
 
+class QueryPipeline;
+
 /// \brief Per-query options.
 struct QueryOptions {
   /// Number of top slots q must occupy; 1 <= k <= index.capacity_k().
   uint32_t k = 10;
+  /// Intra-query parallelism: stage work (PMPN kernel, prune shards,
+  /// refinement queue) fans out across up to this many workers of the
+  /// pipeline's thread pool. 1 = fully serial on the calling thread
+  /// (always available, no pool needed); 0 = every pool worker. Results
+  /// and index write-back are byte-identical at every setting — stage
+  /// decomposition is order-independent (see exec/query_pipeline.h).
+  int num_threads = 1;
   /// Write refined BCA states back into the index ("update" mode of the
   /// evaluation; makes future queries faster).
   bool update_index = true;
@@ -60,10 +76,18 @@ struct QueryOptions {
   /// deltas are merged into the next published snapshot by a single writer
   /// (serving/refinement_log.h). Must point at caller-owned storage that
   /// outlives the Query call; entries are appended, never cleared.
+  /// Deltas arrive in ascending node order regardless of num_threads.
   std::vector<IndexDelta>* delta_sink = nullptr;
 };
 
 /// \brief Counters filled in by Query (Figures 5-7 inputs).
+///
+/// Timing accounting: the three stage timers are measured independently;
+/// scan_seconds and total_seconds are *derived* sums, so
+///   scan_seconds  == prune_seconds + refine_seconds
+///   total_seconds == pmpn_seconds + scan_seconds + overhead_seconds
+/// hold by construction (overhead_seconds absorbs validation, result
+/// merging and index write-back).
 struct QueryStats {
   uint32_t query = 0;
   uint32_t k = 0;
@@ -80,8 +104,19 @@ struct QueryStats {
   /// Nodes resolved by the exact-solve safety valve (0 in practice).
   uint64_t exact_fallbacks = 0;
   int pmpn_iterations = 0;
+  /// Workers the pipeline actually fanned out across (1 = serial).
+  int threads_used = 1;
+  /// Stage 1: PMPN proximity solve.
   double pmpn_seconds = 0.0;
+  /// Stage 2: sharded candidate scan against the index bounds.
+  double prune_seconds = 0.0;
+  /// Stage 3: BCA refinement of undecided candidates.
+  double refine_seconds = 0.0;
+  /// Everything outside the stages (validation, merge, write-back).
+  double overhead_seconds = 0.0;
+  /// Derived: prune_seconds + refine_seconds (the pre-pipeline "scan").
   double scan_seconds = 0.0;
+  /// Derived: pmpn_seconds + scan_seconds + overhead_seconds.
   double total_seconds = 0.0;
 };
 
@@ -94,10 +129,15 @@ struct QueryStats {
 /// cannot meaningfully have q in its top-k. The brute-force baselines in
 /// brute_force.h apply the identical rule.
 ///
-/// Holds reusable O(n) workspaces; not thread-safe (one searcher per
-/// thread). The index may be mutated by queries when the searcher was
-/// constructed in read-write mode and update_index is set; in read-only
-/// mode the index is never touched and refinements either flow to
+/// Thread-safety: a searcher is a stateful façade over one QueryPipeline
+/// (pooled O(n) workspaces) — do not call Query concurrently on the SAME
+/// searcher; use one searcher per calling thread (the serving layer's
+/// model). Within a single Query call the pipeline itself may fan out
+/// across set_thread_pool()'s workers when options.num_threads != 1; that
+/// internal parallelism is invisible to callers and byte-deterministic.
+/// The index may be mutated by queries when the searcher was constructed
+/// in read-write mode and update_index is set; in read-only mode the index
+/// is never touched and refinements either flow to
 /// QueryOptions::delta_sink or are discarded.
 class ReverseTopkSearcher {
  public:
@@ -112,18 +152,26 @@ class ReverseTopkSearcher {
   ReverseTopkSearcher(const TransitionOperator& op,
                       const LowerBoundIndex& index);
 
+  ~ReverseTopkSearcher();
+
   /// \brief Runs Algorithm 4. Returns the sorted list of result nodes: all
   /// u with p_u(q) >= p_u^kmax (ties included, matching Problem 1).
   Result<std::vector<uint32_t>> Query(uint32_t q, const QueryOptions& options,
                                       QueryStats* stats = nullptr);
 
-  const LowerBoundIndex& index() const { return *index_; }
+  /// \brief Lends a thread pool to the pipeline for intra-query
+  /// parallelism (non-owning; pass nullptr to detach). Without one,
+  /// num_threads != 1 runs on a lazily created internal pool.
+  void set_thread_pool(ThreadPool* pool);
+
+  /// \brief The staged executor, exposed for stage-level control (e.g.
+  /// swapping the proximity backend).
+  QueryPipeline& pipeline() { return *pipeline_; }
+
+  const LowerBoundIndex& index() const;
 
  private:
-  const TransitionOperator* op_;
-  const LowerBoundIndex* index_;
-  LowerBoundIndex* mutable_index_;  // null in read-only mode
-  std::unique_ptr<BcaRunner> runner_;
+  std::unique_ptr<QueryPipeline> pipeline_;
 };
 
 }  // namespace rtk

@@ -1,0 +1,69 @@
+// ProximityStage — stage 1 of the query pipeline (Algorithm 4 line 1):
+// compute p_{q,*}, the proximity from every node to the query node q.
+//
+// The stage is a seam: ProximityBackend abstracts HOW the row is obtained.
+// The shipped backend is exact PMPN (the paper's Algorithm 2) with its
+// A^T x kernel blocked over node ranges on the pipeline's thread pool.
+// Approximate backends (Monte-Carlo walks, TPA-style cumulative push) can
+// be slotted in later without touching the prune/refine stages — they only
+// consume the dense row.
+
+#ifndef RTK_EXEC_PROXIMITY_STAGE_H_
+#define RTK_EXEC_PROXIMITY_STAGE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "rwr/pmpn.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Strategy interface producing the to-q proximity row. Backends
+/// must be stateless w.r.t. queries (safe to reuse across calls from one
+/// pipeline; the pipeline serializes calls on itself).
+class ProximityBackend {
+ public:
+  virtual ~ProximityBackend() = default;
+
+  /// \brief Computes p_{*,q}: element u is the proximity from u to q.
+  /// `pool` may be used for intra-call parallelism (null = serial);
+  /// implementations must return identical values at every thread count.
+  virtual Result<std::vector<double>> ComputeToNode(
+      uint32_t q, const RwrOptions& options, ThreadPool* pool,
+      int max_parallelism, IterativeSolveStats* stats) const = 0;
+
+  /// \brief Whether the row is exact (PMPN) or approximate. Approximate
+  /// backends trade Problem 1's exactness guarantee for speed; the
+  /// pipeline records the flag in its stats but does not change behavior.
+  virtual bool exact() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// \brief The default exact backend: PMPN with the parallel A^T x kernel.
+class PmpnProximityBackend final : public ProximityBackend {
+ public:
+  /// The operator must outlive the backend.
+  explicit PmpnProximityBackend(const TransitionOperator& op) : op_(&op) {}
+
+  Result<std::vector<double>> ComputeToNode(
+      uint32_t q, const RwrOptions& options, ThreadPool* pool,
+      int max_parallelism, IterativeSolveStats* stats) const override {
+    return ComputeProximityToNode(*op_, q, options, stats, pool,
+                                  max_parallelism);
+  }
+
+  bool exact() const override { return true; }
+  std::string_view name() const override { return "pmpn"; }
+
+ private:
+  const TransitionOperator* op_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_EXEC_PROXIMITY_STAGE_H_

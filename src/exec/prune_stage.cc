@@ -1,0 +1,109 @@
+#include "exec/prune_stage.h"
+
+#include <algorithm>
+#include <span>
+
+#include "core/upper_bound.h"
+
+namespace rtk {
+
+namespace {
+
+// One shard's classification lists, merged in shard order afterwards.
+struct ShardResult {
+  std::vector<uint32_t> hits;
+  std::vector<uint32_t> undecided;
+  uint64_t candidates = 0;
+};
+
+// Classifies nodes [lo, hi) exactly like the serial Algorithm 4 scan.
+void ScanShard(const LowerBoundIndex& index, const std::vector<double>& to_q,
+               const PruneStageOptions& options, uint32_t lo, uint32_t hi,
+               ShardResult* out) {
+  const uint32_t k = options.k;
+  const uint32_t capacity_k = index.capacity_k();
+  const double tie = options.tie_epsilon;
+  const std::span<const double> lower_bounds = index.RawLowerBounds();
+  const std::span<const double> residues = index.RawResidues();
+  for (uint32_t u = lo; u < hi; ++u) {
+    const double p_u_q = to_q[u];  // exact proximity from u to q
+    if (p_u_q <= 0.0) {
+      continue;  // q unreachable from u: u cannot rank q (see class docs)
+    }
+    const double* row = lower_bounds.data() + static_cast<size_t>(u) * capacity_k;
+    if (p_u_q < row[k - 1] - tie) {
+      continue;  // pruned by the index (never becomes a candidate)
+    }
+    ++out->candidates;
+
+    // Exact stored bounds decide immediately (Alg. 4 lines 5-7).
+    const double residue = residues[u];
+    if (residue == 0.0) {
+      out->hits.push_back(u);
+      continue;
+    }
+
+    // First upper-bound test on the stored state (Alg. 4 lines 8-11).
+    const double ub = ComputeUpperBound({row, capacity_k}, k, residue);
+    if (p_u_q >= ub - tie) {
+      out->hits.push_back(u);
+      continue;
+    }
+    if (!options.approximate_hits_only) out->undecided.push_back(u);
+  }
+}
+
+}  // namespace
+
+PruneResult RunPruneStage(const LowerBoundIndex& index,
+                          const std::vector<double>& to_q,
+                          const PruneStageOptions& options, ThreadPool* pool) {
+  const uint32_t n = index.num_nodes();
+  PruneResult result;
+  if (n == 0) return result;
+
+  int workers = (pool == nullptr) ? 1 : pool->num_threads();
+  if (options.max_parallelism > 0) {
+    workers = std::min(workers, options.max_parallelism);
+  }
+  uint32_t shard_size = options.shard_size;
+  if (shard_size == 0) {
+    shard_size = std::max<uint32_t>(
+        1, (n + static_cast<uint32_t>(workers) * 4 - 1) /
+               (static_cast<uint32_t>(workers) * 4));
+  }
+  const uint32_t num_shards = (n + shard_size - 1) / shard_size;
+  result.shards_scanned = num_shards;
+
+  std::vector<ShardResult> shards(num_shards);
+  // grain=1 makes each shard one work-queue item; shard boundaries are a
+  // pure function of (n, shard_size), never of scheduling.
+  ParallelForRange(
+      pool, 0, num_shards, workers, /*grain=*/1,
+      [&](int64_t s_lo, int64_t s_hi) {
+        for (int64_t s = s_lo; s < s_hi; ++s) {
+          const uint32_t lo = static_cast<uint32_t>(s) * shard_size;
+          const uint32_t hi = std::min(n, lo + shard_size);
+          ScanShard(index, to_q, options, lo, hi, &shards[s]);
+        }
+      });
+
+  // Deterministic merge: shard order == ascending node order.
+  size_t total_hits = 0, total_undecided = 0;
+  for (const ShardResult& shard : shards) {
+    total_hits += shard.hits.size();
+    total_undecided += shard.undecided.size();
+    result.candidates += shard.candidates;
+  }
+  result.hits.reserve(total_hits);
+  result.undecided.reserve(total_undecided);
+  for (ShardResult& shard : shards) {
+    result.hits.insert(result.hits.end(), shard.hits.begin(),
+                       shard.hits.end());
+    result.undecided.insert(result.undecided.end(), shard.undecided.begin(),
+                            shard.undecided.end());
+  }
+  return result;
+}
+
+}  // namespace rtk

@@ -1,0 +1,62 @@
+// PruneStage — stage 2 of the query pipeline (Algorithm 4 lines 2-11):
+// scan every node u against the index, classifying it as
+//   pruned     p_u(q) <= 0, or p_u(q) < lb_u(k) - tie          (dropped)
+//   hit        stored bounds decide: exact entry, or p_u(q) >= ub_u - tie
+//   undecided  needs BCA refinement (stage 3)
+//
+// The scan partitions [0, n) into contiguous shards scanned concurrently
+// (each shard only reads the index's const flat views), then concatenates
+// the per-shard lists in shard order — which IS ascending node order, so
+// the output is byte-identical to a serial left-to-right scan for every
+// shard size and thread count. Per-node classification depends on nothing
+// but that node's own bounds and proximity; a tie_epsilon-boundary
+// candidate therefore survives (or not) identically wherever the shard
+// cuts fall.
+
+#ifndef RTK_EXEC_PRUNE_STAGE_H_
+#define RTK_EXEC_PRUNE_STAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "index/lower_bound_index.h"
+
+namespace rtk {
+
+/// \brief Scan parameters (a projection of QueryOptions).
+struct PruneStageOptions {
+  uint32_t k = 10;
+  double tie_epsilon = 1e-9;
+  /// Section 5.3 approximate mode: undecided nodes are dropped instead of
+  /// forwarded to refinement.
+  bool approximate_hits_only = false;
+  /// Worker cap for the shard scan (0 = whole pool, 1 = serial).
+  int max_parallelism = 1;
+  /// Nodes per shard; 0 picks ~4 shards per worker. Tests pin small sizes
+  /// to exercise tie-straddling shard boundaries.
+  uint32_t shard_size = 0;
+};
+
+/// \brief Stage output. Both lists are in ascending node order.
+struct PruneResult {
+  /// Confirmed result nodes (paper's "hits").
+  std::vector<uint32_t> hits;
+  /// Candidates needing refinement (empty in approximate mode).
+  std::vector<uint32_t> undecided;
+  /// Lower-bound survivors (hits + undecided + approximate-mode drops).
+  uint64_t candidates = 0;
+  /// Shards actually scanned (introspection/tests).
+  uint32_t shards_scanned = 0;
+};
+
+/// \brief Runs the sharded scan of `to_q` (size n, from the proximity
+/// stage) against `index`. Read-only on the index; safe to call from
+/// inside a pool task.
+PruneResult RunPruneStage(const LowerBoundIndex& index,
+                          const std::vector<double>& to_q,
+                          const PruneStageOptions& options, ThreadPool* pool);
+
+}  // namespace rtk
+
+#endif  // RTK_EXEC_PRUNE_STAGE_H_

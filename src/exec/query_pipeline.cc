@@ -1,0 +1,155 @@
+#include "exec/query_pipeline.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "exec/prune_stage.h"
+
+namespace rtk {
+
+QueryPipeline::QueryPipeline(const TransitionOperator& op,
+                             LowerBoundIndex* index)
+    : op_(&op),
+      index_(index),
+      mutable_index_(index),
+      proximity_(std::make_unique<PmpnProximityBackend>(op)),
+      refine_(std::make_unique<RefineStage>(op, *index)) {}
+
+QueryPipeline::QueryPipeline(const TransitionOperator& op,
+                             const LowerBoundIndex& index)
+    : op_(&op),
+      index_(&index),
+      mutable_index_(nullptr),
+      proximity_(std::make_unique<PmpnProximityBackend>(op)),
+      refine_(std::make_unique<RefineStage>(op, index)) {}
+
+QueryPipeline::~QueryPipeline() = default;
+
+void QueryPipeline::set_proximity_backend(
+    std::unique_ptr<ProximityBackend> backend) {
+  proximity_ = std::move(backend);
+}
+
+ThreadPool* QueryPipeline::EffectivePool(const QueryOptions& options,
+                                         int* max_parallelism) {
+  if (options.num_threads == 1) {
+    *max_parallelism = 1;
+    return nullptr;  // serial: no pool touched, no tasks queued
+  }
+  ThreadPool* pool = external_pool_;
+  if (pool == nullptr) {
+    if (owned_pool_ == nullptr) {
+      owned_pool_ =
+          std::make_unique<ThreadPool>(ThreadPool::DefaultThreads());
+    }
+    pool = owned_pool_.get();
+  }
+  *max_parallelism =
+      options.num_threads > 0
+          ? std::min(options.num_threads, pool->num_threads())
+          : pool->num_threads();
+  return pool;
+}
+
+Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
+                                                 const QueryOptions& options,
+                                                 QueryStats* stats) {
+  Stopwatch overhead_watch;
+  const uint32_t n = op_->num_nodes();
+  if (q >= n) {
+    return Status::InvalidArgument("query node out of range");
+  }
+  if (options.k == 0 || options.k > index_->capacity_k()) {
+    return Status::InvalidArgument(
+        "k=" + std::to_string(options.k) + " outside [1, K=" +
+        std::to_string(index_->capacity_k()) + "]");
+  }
+  RwrOptions pmpn_opts = options.pmpn;
+  pmpn_opts.alpha = index_->bca_options().alpha;  // one alpha everywhere
+
+  QueryStats local;
+  local.query = q;
+  local.k = options.k;
+  int max_parallelism = 1;
+  ThreadPool* pool = EffectivePool(options, &max_parallelism);
+  local.threads_used = max_parallelism;
+  local.overhead_seconds = overhead_watch.ElapsedSeconds();
+
+  // Stage 1 (Alg. 4 line 1): proximities from all nodes to q.
+  Stopwatch pmpn_watch;
+  IterativeSolveStats pmpn_stats;
+  RTK_ASSIGN_OR_RETURN(
+      std::vector<double> to_q,
+      proximity_->ComputeToNode(q, pmpn_opts, pool, max_parallelism,
+                                &pmpn_stats));
+  local.pmpn_iterations = pmpn_stats.iterations;
+  local.pmpn_seconds = pmpn_watch.ElapsedSeconds();
+
+  // Stage 2 (Alg. 4 lines 2-11): sharded scan against the stored bounds.
+  Stopwatch prune_watch;
+  PruneStageOptions prune_opts;
+  prune_opts.k = options.k;
+  prune_opts.tie_epsilon = options.tie_epsilon;
+  prune_opts.approximate_hits_only = options.approximate_hits_only;
+  prune_opts.max_parallelism = max_parallelism;
+  PruneResult pruned = RunPruneStage(*index_, to_q, prune_opts, pool);
+  local.candidates = pruned.candidates;
+  local.hits = pruned.hits.size();
+  local.prune_seconds = prune_watch.ElapsedSeconds();
+
+  // Stage 3 (Alg. 4 line 13): refine the undecided candidates.
+  Stopwatch refine_watch;
+  RefineStageOptions refine_opts;
+  refine_opts.k = options.k;
+  refine_opts.tie_epsilon = options.tie_epsilon;
+  refine_opts.refine_strategy = options.refine_strategy;
+  refine_opts.max_refine_iterations_per_node =
+      options.max_refine_iterations_per_node;
+  refine_opts.max_stalled_refinements = options.max_stalled_refinements;
+  refine_opts.update_index = options.update_index;
+  refine_opts.pmpn = pmpn_opts;
+  refine_opts.max_parallelism = max_parallelism;
+  RTK_ASSIGN_OR_RETURN(
+      RefineResult refined,
+      refine_->Run(pruned.undecided, to_q, refine_opts, pool));
+  local.refined_nodes = pruned.undecided.size();
+  local.refine_iterations = refined.refine_iterations;
+  local.exact_fallbacks = refined.exact_fallbacks;
+  local.refine_seconds = refine_watch.ElapsedSeconds();
+
+  // Merge + write-back. Hits and accepted candidates are disjoint sorted
+  // lists; the merge reproduces the serial scan's ascending result order.
+  overhead_watch.Reset();
+  std::vector<uint32_t> results;
+  results.resize(pruned.hits.size() + refined.accepted.size());
+  std::merge(pruned.hits.begin(), pruned.hits.end(),
+             refined.accepted.begin(), refined.accepted.end(),
+             results.begin());
+  if (options.update_index) {
+    // Deltas arrive in ascending node order (matching the serial loop's
+    // write-back order); each targets a distinct node.
+    if (options.delta_sink != nullptr) {
+      for (IndexDelta& delta : refined.deltas) {
+        options.delta_sink->push_back(std::move(delta));
+      }
+    } else if (mutable_index_ != nullptr) {
+      for (IndexDelta& delta : refined.deltas) {
+        mutable_index_->SetNode(delta.node, delta.topk,
+                                std::move(delta.state), delta.residue_l1);
+      }
+    }
+  }
+
+  local.results = results.size();
+  local.overhead_seconds += overhead_watch.ElapsedSeconds();
+  // Derived totals: the >= invariants hold by construction.
+  local.scan_seconds = local.prune_seconds + local.refine_seconds;
+  local.total_seconds =
+      local.pmpn_seconds + local.scan_seconds + local.overhead_seconds;
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace rtk

@@ -1,0 +1,90 @@
+// QueryPipeline — the staged executor of Algorithm 4.
+//
+//    q ──► ProximityStage ──► PruneStage ──► RefineStage ──► merge/write-back
+//          (backend seam,     (sharded       (work-queue of
+//           parallel A^T x)    bound scan)    pooled BcaRunners)
+//
+// Each stage fans out across up to QueryOptions::num_threads workers of
+// the attached thread pool. Results, stats counters and index write-back
+// are byte-identical at every thread count because every parallel
+// decomposition is order-independent:
+//   * proximity: the parallel kernel computes each y[u] with the serial
+//     gather order, and the convergence test stays serial, so the PMPN
+//     row is bitwise thread-invariant;
+//   * prune: per-node classification reads only that node's bounds, and
+//     per-shard lists concatenated in shard order ARE ascending node
+//     order;
+//   * refine: candidates are independent (each reads/writes only its own
+//     index entry) and outcomes are emitted in candidate order; write-back
+//     is applied by the pipeline after the stage, in ascending node order,
+//     exactly like the serial loop (and ApplyIfTighter-based sinks merge
+//     monotonically anyway).
+//
+// The pipeline is the engine behind ReverseTopkSearcher; drive it directly
+// for stage-level control (custom proximity backends, stage timings).
+
+#ifndef RTK_EXEC_QUERY_PIPELINE_H_
+#define RTK_EXEC_QUERY_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/online_query.h"
+#include "exec/proximity_stage.h"
+#include "exec/refine_stage.h"
+#include "index/lower_bound_index.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Staged Algorithm 4 executor. Not safe for concurrent Run calls
+/// on one instance (stage workspaces are reused); one pipeline per calling
+/// thread, exactly like the searcher facade. Within a Run call the stages
+/// themselves parallelize on the attached pool.
+class QueryPipeline {
+ public:
+  /// Read-write mode: refinement writes back into `index` (unless a
+  /// delta_sink redirects it). Operator and index must outlive the
+  /// pipeline.
+  QueryPipeline(const TransitionOperator& op, LowerBoundIndex* index);
+
+  /// Read-only mode: the index is never mutated; refinements flow to
+  /// QueryOptions::delta_sink or are discarded.
+  QueryPipeline(const TransitionOperator& op, const LowerBoundIndex& index);
+
+  ~QueryPipeline();
+
+  /// \brief Lends a pool for intra-query parallelism (non-owning; nullptr
+  /// detaches). Without one, num_threads != 1 lazily creates an internal
+  /// pool of DefaultThreads() workers.
+  void set_thread_pool(ThreadPool* pool) { external_pool_ = pool; }
+
+  /// \brief Swaps the proximity backend (stage 1 seam). Must not be null.
+  void set_proximity_backend(std::unique_ptr<ProximityBackend> backend);
+  const ProximityBackend& proximity_backend() const { return *proximity_; }
+
+  /// \brief Runs the staged Algorithm 4 for query node q.
+  Result<std::vector<uint32_t>> Run(uint32_t q, const QueryOptions& options,
+                                    QueryStats* stats = nullptr);
+
+  const LowerBoundIndex& index() const { return *index_; }
+
+ private:
+  /// Resolves (pool, worker cap) for a Run from options.num_threads.
+  ThreadPool* EffectivePool(const QueryOptions& options, int* max_parallelism);
+
+  const TransitionOperator* op_;
+  const LowerBoundIndex* index_;
+  LowerBoundIndex* mutable_index_;  // null in read-only mode
+  std::unique_ptr<ProximityBackend> proximity_;
+  std::unique_ptr<RefineStage> refine_;
+  ThreadPool* external_pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;  // lazy, only without external
+};
+
+}  // namespace rtk
+
+#endif  // RTK_EXEC_QUERY_PIPELINE_H_

@@ -1,0 +1,159 @@
+#include "exec/refine_stage.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/top_k.h"
+#include "core/upper_bound.h"
+#include "rwr/power_method.h"
+
+namespace rtk {
+
+struct RefineStage::CandidateOutcome {
+  Status status = Status::OK();
+  bool is_result = false;
+  bool has_delta = false;
+  IndexDelta delta;
+  uint64_t refine_iterations = 0;
+  bool exact_fallback = false;
+};
+
+RefineStage::RefineStage(const TransitionOperator& op,
+                         const LowerBoundIndex& index)
+    : op_(&op),
+      index_(&index),
+      runners_([&op, &index]() {
+        return std::make_unique<BcaRunner>(op, index.hub_store().hubs(),
+                                           index.bca_options());
+      }) {}
+
+Status RefineStage::RefineOne(uint32_t u, double p_u_q,
+                              const RefineStageOptions& options,
+                              BcaRunner* runner,
+                              CandidateOutcome* out) const {
+  const uint32_t k = options.k;
+  const uint32_t capacity_k = index_->capacity_k();
+  const double tie = options.tie_epsilon;
+  const HubProximityStore& store = index_->hub_store();
+
+  // Incremental approx tracking keeps per-iteration cost proportional to
+  // the delta instead of re-expanding every hub vector.
+  runner->Load(index_->State(u));
+  runner->BeginApproxTracking(store);
+  std::vector<double> refined_topk;  // current lower bounds of u
+  bool is_result = false;
+  bool decided = false;
+  int iters_here = 0;
+  int consecutive_stalls = 0;
+  while (!decided) {
+    if (iters_here >= options.max_refine_iterations_per_node ||
+        consecutive_stalls >= options.max_stalled_refinements) {
+      // BCA's push granularity is exhausted (or the iteration cap hit):
+      // one exact solve decides the node and, in update mode, upgrades
+      // the index entry to exact once the caller applies the delta.
+      out->exact_fallback = true;
+      RTK_ASSIGN_OR_RETURN(std::vector<double> exact,
+                           ComputeProximityColumn(*op_, u, options.pmpn));
+      std::vector<double> top = TopKValuesDescending(exact, capacity_k);
+      out->is_result = (top.size() >= k ? top[k - 1] : 0.0) - tie <= p_u_q;
+      if (options.update_index) {
+        while (!top.empty() && top.back() <= 0.0) top.pop_back();
+        out->has_delta = true;
+        out->delta = {u, std::move(top), StoredBcaState{}, /*residue_l1=*/0.0};
+      }
+      return Status::OK();
+    }
+    size_t pushed = runner->Step(options.refine_strategy);
+    // A stalled iteration is one where no node reached the eta
+    // threshold: absorption-only steps and forced single-max pushes both
+    // count. (Counting only the latter would let absorb/push alternation
+    // reset the counter forever while each sub-eta push removes just
+    // ~alpha*eta of residue.)
+    bool stalled = (runner->last_step_pushed() == 0);
+    if (pushed == 0) {
+      // Nothing above eta and nothing to absorb: force progress on the
+      // largest residue.
+      pushed = runner->Step(PushStrategy::kSingleMax);
+      stalled = true;
+    }
+    if (stalled) {
+      ++consecutive_stalls;
+    } else {
+      consecutive_stalls = 0;
+    }
+    ++iters_here;
+    ++out->refine_iterations;
+
+    const auto topk_pairs = runner->TopKApprox(store, k);
+    refined_topk.assign(k, 0.0);
+    for (size_t i = 0; i < topk_pairs.size(); ++i) {
+      refined_topk[i] = topk_pairs[i].second;
+    }
+    const double residue = runner->ResidueL1();
+    if (p_u_q < refined_topk[k - 1] - tie) {
+      is_result = false;  // pruned by the refined lower bound
+      decided = true;
+    } else if (residue == 0.0 || pushed == 0) {
+      is_result = true;  // bound is exact and p_u_q >= lb - tie
+      decided = true;
+    } else {
+      const double ub = ComputeUpperBound(refined_topk, k, residue);
+      if (p_u_q >= ub - tie) {
+        is_result = true;  // confirmed by the refined upper bound
+        decided = true;
+      }
+    }
+  }
+  out->is_result = is_result;
+
+  // Write-back (Section 4.2.3): capture the refined state and FULL top-K
+  // list so future queries at any k <= K benefit. (Exact fallbacks
+  // already produced their exact delta above.)
+  if (options.update_index) {
+    const auto full_pairs = runner->TopKApprox(store, capacity_k);
+    std::vector<double> full_values;
+    full_values.reserve(full_pairs.size());
+    for (const auto& [id, v] : full_pairs) full_values.push_back(v);
+    out->has_delta = true;
+    out->delta = {u, std::move(full_values), runner->Extract(),
+                  runner->ResidueL1()};
+  }
+  return Status::OK();
+}
+
+Result<RefineResult> RefineStage::Run(const std::vector<uint32_t>& candidates,
+                                      const std::vector<double>& to_q,
+                                      const RefineStageOptions& options,
+                                      ThreadPool* pool) {
+  RefineResult result;
+  if (candidates.empty()) return result;
+
+  // Per-candidate slots keep the merge deterministic no matter which
+  // worker ran which candidate.
+  std::vector<CandidateOutcome> outcomes(candidates.size());
+  ParallelForRange(
+      pool, 0, static_cast<int64_t>(candidates.size()),
+      options.max_parallelism, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        auto runner = runners_.Acquire();
+        for (int64_t i = lo; i < hi; ++i) {
+          const uint32_t u = candidates[i];
+          outcomes[i].status = RefineOne(u, to_q[u], options, runner.get(),
+                                         &outcomes[i]);
+        }
+      });
+
+  for (const CandidateOutcome& out : outcomes) {
+    if (!out.status.ok()) return out.status;  // first error in node order
+  }
+  // outcomes is candidate-ordered, so both outputs stay ascending.
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    CandidateOutcome& out = outcomes[i];
+    if (out.is_result) result.accepted.push_back(candidates[i]);
+    if (out.has_delta) result.deltas.push_back(std::move(out.delta));
+    result.refine_iterations += out.refine_iterations;
+    if (out.exact_fallback) ++result.exact_fallbacks;
+  }
+  return result;
+}
+
+}  // namespace rtk

@@ -91,6 +91,16 @@ class LowerBoundIndex {
   /// \brief Cached |r_u|_1; 0 means the stored bounds are exact.
   double ResidueL1(uint32_t u) const { return residue_l1_[u]; }
 
+  /// \brief The whole n x K lower-bound matrix, row-major (row u starts at
+  /// u * capacity_k()). Const-safe flat view for the prune stage's shard
+  /// scans: concurrent readers iterate their [lo, hi) node range without a
+  /// per-node accessor call. Invalidated by SetNode / ApplyIfTighter.
+  std::span<const double> RawLowerBounds() const { return topk_values_; }
+
+  /// \brief Per-node |r_u|_1 values, indexed by node. Same contract as
+  /// RawLowerBounds().
+  std::span<const double> RawResidues() const { return residue_l1_; }
+
   /// \brief True when u's stored values are exact top-K proximities.
   bool IsExact(uint32_t u) const { return residue_l1_[u] == 0.0; }
 

@@ -7,7 +7,7 @@ namespace rtk {
 
 Result<std::vector<double>> ComputeProximityToNode(
     const TransitionOperator& op, uint32_t q, const RwrOptions& options,
-    IterativeSolveStats* stats) {
+    IterativeSolveStats* stats, ThreadPool* pool, int max_parallelism) {
   if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
     return Status::InvalidArgument("alpha must be in (0, 1)");
   }
@@ -27,7 +27,9 @@ Result<std::vector<double>> ComputeProximityToNode(
   IterativeSolveStats local;
   for (local.iterations = 1; local.iterations <= options.max_iterations;
        ++local.iterations) {
-    op.ApplyTranspose(x, &next);
+    // The O(m) kernel goes parallel; the O(n) scale/restart/delta loops
+    // stay serial so the iterate sequence is bitwise thread-invariant.
+    op.ApplyTranspose(x, &next, pool, max_parallelism);
     for (uint32_t i = 0; i < n; ++i) next[i] *= (1.0 - alpha);
     next[q] += alpha;
     double delta = 0.0;

@@ -26,9 +26,16 @@ namespace rtk {
 /// (row q of P), in O(iterations * m). `stats` (optional) receives the
 /// convergence report; Theorem 2(c) bounds iterations by
 /// log(eps/alpha) / log(1-alpha).
+///
+/// When `pool` is non-null the A^T x kernel of each iteration is blocked
+/// over node ranges across up to `max_parallelism` workers (0 = whole
+/// pool). The scale/restart/convergence loop stays serial, so the iterate
+/// sequence — and therefore the returned vector and iteration count — is
+/// bitwise identical to the serial path at every thread count.
 Result<std::vector<double>> ComputeProximityToNode(
     const TransitionOperator& op, uint32_t q, const RwrOptions& options = {},
-    IterativeSolveStats* stats = nullptr);
+    IterativeSolveStats* stats = nullptr, ThreadPool* pool = nullptr,
+    int max_parallelism = 0);
 
 /// \brief The Theorem 2(c) iteration bound for reaching L1 tolerance eps:
 /// i > log(eps/alpha) / log(1-alpha).

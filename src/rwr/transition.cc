@@ -47,11 +47,10 @@ void TransitionOperator::ApplyForward(const std::vector<double>& x,
   }
 }
 
-void TransitionOperator::ApplyTranspose(const std::vector<double>& x,
-                                        std::vector<double>* y) const {
-  const uint32_t n = graph_->num_nodes();
-  assert(x.size() == n && y->size() == n && &x != y);
-  for (uint32_t u = 0; u < n; ++u) {
+void TransitionOperator::ApplyTransposeRange(const std::vector<double>& x,
+                                             std::vector<double>* y,
+                                             uint32_t lo, uint32_t hi) const {
+  for (uint32_t u = lo; u < hi; ++u) {
     auto nbrs = graph_->OutNeighbors(u);
     auto weights = graph_->OutWeights(u);
     double acc = 0.0;
@@ -62,6 +61,26 @@ void TransitionOperator::ApplyTranspose(const std::vector<double>& x,
     }
     (*y)[u] = acc * inv_out_weight_[u];
   }
+}
+
+void TransitionOperator::ApplyTranspose(const std::vector<double>& x,
+                                        std::vector<double>* y) const {
+  const uint32_t n = graph_->num_nodes();
+  assert(x.size() == n && y->size() == n && &x != y);
+  ApplyTransposeRange(x, y, 0, n);
+}
+
+void TransitionOperator::ApplyTranspose(const std::vector<double>& x,
+                                        std::vector<double>* y,
+                                        ThreadPool* pool,
+                                        int max_parallelism) const {
+  const uint32_t n = graph_->num_nodes();
+  assert(x.size() == n && y->size() == n && &x != y);
+  ParallelForRange(pool, 0, n, max_parallelism, /*grain=*/0,
+                   [this, &x, y](int64_t lo, int64_t hi) {
+                     ApplyTransposeRange(x, y, static_cast<uint32_t>(lo),
+                                         static_cast<uint32_t>(hi));
+                   });
 }
 
 uint32_t TransitionOperator::SampleOutNeighbor(uint32_t u, Rng* rng) const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 
 namespace rtk {
@@ -56,11 +57,25 @@ class TransitionOperator {
   void ApplyTranspose(const std::vector<double>& x,
                       std::vector<double>* y) const;
 
+  /// \brief y = A^T x, blocked over node ranges on `pool` (at most
+  /// `max_parallelism` workers; 0 = whole pool). Each y[u] is a gather over
+  /// u's out-edges, so blocking changes scheduling only: the result is
+  /// bitwise identical to the serial overload at any thread count. Safe to
+  /// call from inside a pool task (uses ParallelForRange). Pass a null pool
+  /// to run serially.
+  void ApplyTranspose(const std::vector<double>& x, std::vector<double>* y,
+                      ThreadPool* pool, int max_parallelism = 0) const;
+
   /// \brief Samples an out-neighbor of u with probability proportional to
   /// edge weight (uniform when unweighted). u must have out-degree > 0.
   uint32_t SampleOutNeighbor(uint32_t u, Rng* rng) const;
 
  private:
+  /// The shared gather kernel: fills y[u] for u in [lo, hi).
+  void ApplyTransposeRange(const std::vector<double>& x,
+                           std::vector<double>* y, uint32_t lo,
+                           uint32_t hi) const;
+
   const Graph* graph_;
   std::vector<double> inv_out_weight_;  // 1 / W(u) per node
   // Per-node cumulative weights for weighted sampling; empty when the graph

@@ -101,7 +101,9 @@ class QueryCache {
   Shard& ShardFor(const Key& key) {
     // High bits, so shard choice and the shard map's bucket index (low
     // bits on common implementations) don't collapse onto the same bits.
-    return *shards_[(KeyHash::Mix(key) >> 56) % shards_.size()];
+    // Keep 32 of them: a narrower slice (e.g. the top 8) would cap the
+    // addressable shards at its range, stranding any shards beyond it.
+    return *shards_[(KeyHash::Mix(key) >> 32) % shards_.size()];
   }
 
   size_t per_shard_capacity_;

@@ -53,6 +53,11 @@ ServingEngine::PooledSearcher ServingEngine::AcquireSearcher(
   PooledSearcher pooled;
   pooled.snapshot = snap;
   pooled.searcher = std::make_unique<ReverseTopkSearcher>(*op_, snap->index());
+  // Lend the worker pool to the searcher's pipeline: when the serving
+  // layer is configured with query.num_threads != 1, idle workers pick up
+  // a big query's stage shards (the pipeline's fan-out is pool-reentrant,
+  // so this is safe even when the query itself runs as a pool task).
+  pooled.searcher->set_thread_pool(pool_.get());
   return pooled;
 }
 

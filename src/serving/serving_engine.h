@@ -55,7 +55,10 @@ struct ServingOptions {
   size_t publish_threshold = 64;
   /// Base per-query options; k is overridden per call, update_index /
   /// delta_sink are managed by the engine, and pmpn is inherited from the
-  /// source engine's solver settings in Create().
+  /// source engine's solver settings in Create(). Set query.num_threads to
+  /// 0 (or > 1) to let idle pool workers parallelize individual queries —
+  /// best for latency under light load; the default 1 keeps every worker
+  /// serving its own query, which maximizes saturated throughput.
   QueryOptions query;
 };
 

@@ -2,7 +2,9 @@
 //
 // Subcommands:
 //   build-index <edge_list> <index_out> [K] [B]   build + persist an index
-//   query <edge_list> <index> <q> <k>             run one reverse top-k query
+//   query <edge_list> <index> <q> <k> [threads]   run one reverse top-k query
+//                                                 (threads != 1: staged
+//                                                 pipeline fans out)
 //   stats <edge_list> <index>                     print index statistics
 //   topk <edge_list> <u> <k>                      forward top-k (exact)
 //   pagerank <edge_list> [count]                  top PageRank nodes
@@ -45,7 +47,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  rtk_cli build-index <edge_list> <index_out> [K=100] [B=n/50]\n"
-               "  rtk_cli query <edge_list> <index> <q> <k>\n"
+               "  rtk_cli query <edge_list> <index> <q> <k> [threads=1]\n"
                "  rtk_cli stats <edge_list> <index>\n"
                "  rtk_cli topk <edge_list> <u> <k>\n"
                "  rtk_cli pagerank <edge_list> [count=10]\n"
@@ -102,16 +104,23 @@ int CmdQuery(int argc, char** argv) {
   if (!engine.ok()) return Fail(engine.status());
   const uint32_t q = static_cast<uint32_t>(std::atoi(argv[4]));
   const uint32_t k = static_cast<uint32_t>(std::atoi(argv[5]));
+  QueryOptions query_opts;
+  query_opts.k = k;
+  query_opts.pmpn = (*engine)->options().solver;
+  query_opts.num_threads = (argc > 6) ? std::atoi(argv[6]) : 1;
   QueryStats stats;
-  auto result = (*engine)->Query(q, k, &stats);
+  auto result = (*engine)->QueryWithOptions(q, query_opts, &stats);
   if (!result.ok()) return Fail(result.status());
   std::printf("reverse top-%u of node %u: %zu nodes "
-              "(cand=%llu hits=%llu refined=%llu, %.1f ms)\n",
+              "(cand=%llu hits=%llu refined=%llu, %.1f ms on %d threads: "
+              "pmpn %.1f + prune %.1f + refine %.1f)\n",
               k, q, result->size(),
               static_cast<unsigned long long>(stats.candidates),
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.refined_nodes),
-              stats.total_seconds * 1e3);
+              stats.total_seconds * 1e3, stats.threads_used,
+              stats.pmpn_seconds * 1e3, stats.prune_seconds * 1e3,
+              stats.refine_seconds * 1e3);
   for (uint32_t u : *result) std::printf("%u\n", u);
   return 0;
 }
