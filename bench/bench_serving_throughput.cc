@@ -15,9 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include "bca/hub_selection.h"
 #include "bench_common.h"
 #include "common/env.h"
 #include "core/engine.h"
+#include "index/index_builder.h"
 #include "serving/serving_engine.h"
 #include "workload/query_workload.h"
 
@@ -33,6 +35,20 @@ struct ThroughputRow {
   double serving_qps = 0.0;
   double speedup = 1.0;
   double cache_hit_pct = 0.0;
+};
+
+// One (shard width x deltas-per-publish) configuration of the publish-cost
+// sweep: what an epoch publish costs when the pending batch dirties only
+// part of the copy-on-write shard table.
+struct PublishRow {
+  std::string graph;
+  uint32_t num_nodes = 0;
+  uint32_t shard_nodes = 0;
+  uint32_t num_shards = 0;
+  size_t deltas = 0;
+  uint64_t applied = 0;
+  uint64_t shards_copied = 0;
+  double publish_ms = 0.0;
 };
 
 // Runs `workload` across `num_threads` threads, each thread taking a
@@ -129,8 +145,86 @@ void RunSuite(std::vector<ThroughputRow>* rows) {
   }
 }
 
+// Publish-cost sweep: clone-and-apply a synthetic delta batch against one
+// index resharded to several widths. The point the numbers make: publish
+// cost (time and shards copied) tracks the batch size, never n — the CoW
+// table shares every clean shard with the outgoing snapshot.
+void RunPublishSweep(std::vector<PublishRow>* rows) {
+  for (auto& named : MakeGraphSuite(1)) {
+    const uint32_t n = named.graph.num_nodes();
+    TransitionOperator op(named.graph);
+    auto hubs = SelectHubs(named.graph,
+                           {.degree_budget_b = n / 50 + 1});
+    if (!hubs.ok()) continue;
+    IndexBuildOptions build_opts;
+    build_opts.capacity_k = 50;
+    // Coarse termination leaves most nodes refinable (residue > 0), like a
+    // freshly built production index; the sweep's synthetic deltas tighten
+    // those nodes.
+    build_opts.bca.delta = 0.5;
+    auto base = BuildLowerBoundIndex(op, *hubs, build_opts);
+    if (!base.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   base.status().ToString().c_str());
+      continue;
+    }
+    std::vector<uint32_t> refinable;
+    refinable.reserve(n);
+    for (uint32_t u = 0; u < n; ++u) {
+      if (!base->IsExact(u)) refinable.push_back(u);
+    }
+    if (refinable.empty()) continue;
+
+    std::printf("\npublish cost on %s (n=%u): CoW clone + delta batch\n",
+                named.name.c_str(), n);
+    std::printf("%-12s %8s %8s %10s %13s %12s\n", "shard-nodes", "shards",
+                "deltas", "applied", "shards-copied", "ms/publish");
+    for (uint32_t shard_nodes : {64u, 256u, 1024u}) {
+      const LowerBoundIndex sharded(*base, shard_nodes);
+      for (size_t deltas : {1u, 8u, 64u, 512u}) {
+        const size_t batch = std::min<size_t>(deltas, refinable.size());
+        // Distinct refinable nodes spread across the id space (worst case
+        // for CoW: maximally many dirty shards), each strictly tighter
+        // than stored.
+        std::vector<IndexDelta> batch_deltas;
+        batch_deltas.reserve(batch);
+        const size_t stride = std::max<size_t>(1, refinable.size() / batch);
+        for (size_t i = 0; i < batch; ++i) {
+          const uint32_t u = refinable[(i * stride) % refinable.size()];
+          const auto row = sharded.LowerBounds(u);
+          IndexDelta delta;
+          delta.node = u;
+          delta.topk.assign(row.begin(), row.end());
+          delta.residue_l1 = sharded.ResidueL1(u) / 2.0;
+          batch_deltas.push_back(std::move(delta));
+        }
+
+        constexpr int kReps = 20;
+        uint64_t applied = 0, copied = 0;
+        Stopwatch watch;
+        for (int rep = 0; rep < kReps; ++rep) {
+          LowerBoundIndex next(sharded);  // the epoch clone
+          applied = 0;
+          for (const IndexDelta& delta : batch_deltas) {
+            if (next.ApplyIfTighter(delta)) ++applied;
+          }
+          copied = next.cow_shard_copies();
+        }
+        const double ms = watch.ElapsedSeconds() / kReps * 1e3;
+        std::printf("%-12u %8u %8zu %10llu %13llu %12.3f\n", shard_nodes,
+                    sharded.num_shards(), batch,
+                    static_cast<unsigned long long>(applied),
+                    static_cast<unsigned long long>(copied), ms);
+        rows->push_back({named.name, n, shard_nodes, sharded.num_shards(),
+                         batch, applied, copied, ms});
+      }
+    }
+  }
+}
+
 void WriteJson(const std::string& path,
-               const std::vector<ThroughputRow>& rows) {
+               const std::vector<ThroughputRow>& rows,
+               const std::vector<PublishRow>& publish_rows) {
   JsonWriter json;
   json.BeginObject();
   json.Key("bench").String("serving_throughput");
@@ -144,6 +238,20 @@ void WriteJson(const std::string& path,
     json.Key("serving_qps").Double(row.serving_qps);
     json.Key("speedup").Double(row.speedup);
     json.Key("cache_hit_pct").Double(row.cache_hit_pct);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("publish_sweep").BeginArray();
+  for (const PublishRow& row : publish_rows) {
+    json.BeginObject();
+    json.Key("graph").String(row.graph);
+    json.Key("num_nodes").Int(row.num_nodes);
+    json.Key("shard_nodes").Int(row.shard_nodes);
+    json.Key("num_shards").Int(row.num_shards);
+    json.Key("deltas").Int(static_cast<long long>(row.deltas));
+    json.Key("applied").Int(static_cast<long long>(row.applied));
+    json.Key("shards_copied").Int(static_cast<long long>(row.shards_copied));
+    json.Key("publish_ms").Double(row.publish_ms);
     json.EndObject();
   }
   json.EndArray();
@@ -166,6 +274,10 @@ int main(int argc, char** argv) {
   const std::string json_path = rtk::bench::JsonPathArg(argc, argv);
   std::vector<rtk::bench::ThroughputRow> rows;
   rtk::bench::RunSuite(&rows);
-  if (!json_path.empty()) rtk::bench::WriteJson(json_path, rows);
+  std::vector<rtk::bench::PublishRow> publish_rows;
+  rtk::bench::RunPublishSweep(&publish_rows);
+  if (!json_path.empty()) {
+    rtk::bench::WriteJson(json_path, rows, publish_rows);
+  }
   return 0;
 }

@@ -9,6 +9,8 @@
 //   possible index (the top-K matrix alone).
 
 #include <cinttypes>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "bca/hub_selection.h"
@@ -22,6 +24,18 @@ namespace {
 
 using namespace rtk;
 using namespace rtk::bench;
+
+struct BuildRow {
+  std::string graph;
+  uint32_t num_nodes = 0;
+  uint32_t hub_budget_b = 0;
+  uint32_t num_hubs = 0;
+  double build_seconds = 0.0;
+  uint64_t actual_bytes = 0;
+  uint64_t no_round_bytes = 0;
+  uint64_t predicted_bytes_076 = 0;
+  uint64_t predicted_bytes_fit = 0;
+};
 
 // Extrapolates the full-P computation time from `sample` PM solves.
 double EstimateFullMatrixSeconds(const TransitionOperator& op,
@@ -37,7 +51,7 @@ double EstimateFullMatrixSeconds(const TransitionOperator& op,
 }
 
 void RunGraph(const NamedGraph& named, uint32_t capacity_k,
-              ThreadPool* pool) {
+              ThreadPool* pool, std::vector<BuildRow>* rows) {
   const Graph& graph = named.graph;
   TransitionOperator op(graph);
   const uint32_t n = graph.num_nodes();
@@ -104,21 +118,59 @@ void RunGraph(const NamedGraph& named, uint32_t capacity_k,
         HumanBytes(static_cast<uint64_t>(predicted_bytes(0.76))).c_str(),
         HumanBytes(static_cast<uint64_t>(predicted_bytes(fitted_beta)))
             .c_str());
+    rows->push_back({named.name, n, b, stats.num_hubs, watch.ElapsedSeconds(),
+                     stats.TotalBytes(), no_round_bytes,
+                     static_cast<uint64_t>(predicted_bytes(0.76)),
+                     static_cast<uint64_t>(predicted_bytes(fitted_beta))});
   }
+}
+
+void WriteJson(const std::string& path, uint32_t capacity_k,
+               const std::vector<BuildRow>& rows) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("table2_index_build");
+  json.Key("capacity_k").Int(capacity_k);
+  json.Key("rows").BeginArray();
+  for (const BuildRow& row : rows) {
+    json.BeginObject();
+    json.Key("graph").String(row.graph);
+    json.Key("num_nodes").Int(row.num_nodes);
+    json.Key("hub_budget_b").Int(row.hub_budget_b);
+    json.Key("num_hubs").Int(row.num_hubs);
+    json.Key("build_seconds").Double(row.build_seconds);
+    json.Key("actual_bytes").Int(static_cast<long long>(row.actual_bytes));
+    json.Key("no_round_bytes").Int(static_cast<long long>(row.no_round_bytes));
+    json.Key("predicted_bytes_076")
+        .Int(static_cast<long long>(row.predicted_bytes_076));
+    json.Key("predicted_bytes_fit")
+        .Int(static_cast<long long>(row.predicted_bytes_fit));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteTo(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("json written to %s\n", path.c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Table 2: index construction time and space vs hub budget B",
               "paper shape: construction is a small fraction of entire-P "
               "cost;\nactual space beats the no-rounding space and usually "
               "the prediction");
+  const std::string json_path = JsonPathArg(argc, argv);
   ThreadPool pool(ThreadPool::DefaultThreads());
   const uint32_t capacity_k =
       static_cast<uint32_t>(EnvInt64("RTK_BENCH_K", 100));
+  std::vector<BuildRow> rows;
   for (const auto& named : MakeGraphSuite()) {
-    RunGraph(named, capacity_k, &pool);
+    RunGraph(named, capacity_k, &pool, &rows);
   }
+  if (!json_path.empty()) WriteJson(json_path, capacity_k, rows);
   return 0;
 }

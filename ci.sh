@@ -7,11 +7,18 @@
 #                                 suites (serving_test: inter-query;
 #                                 pipeline_test: intra-query stage fan-out)
 #                                 race-detection-clean
-#   pass 3  Release (-O3 -DNDEBUG) — optimized build; smoke-runs the fig5
+#   pass 3  ASan+UBSan          — library + tests only, runs the storage-
+#                                 heavy subset (index/serving/pipeline/
+#                                 fault-injection) so shard lifetime bugs,
+#                                 buffer overruns in the v2 I/O path, and
+#                                 UB surface as hard failures
+#   pass 4  Release (-O3 -DNDEBUG) — optimized build; smoke-runs the fig5
 #                                 query-time bench (with --json, validating
 #                                 the machine-readable output) and the
-#                                 serving throughput bench so perf
-#                                 regressions fail loudly rather than rot
+#                                 serving throughput bench — whose JSON now
+#                                 includes the CoW publish-cost sweep — so
+#                                 perf regressions fail loudly rather than
+#                                 rot
 #
 # Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -32,7 +39,22 @@ cmake --build build-tsan -j "$JOBS" --target serving_test pipeline_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/pipeline_test
 
-echo "=== pass 3: Release build + bench smokes ==="
+echo "=== pass 3: ASan+UBSan build + storage suites ==="
+cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
+      -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$JOBS" \
+      --target index_test fault_injection_test serving_test pipeline_test
+# halt_on_error: any report fails CI instead of just logging.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/index_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/fault_injection_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/serving_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/pipeline_test
+
+echo "=== pass 4: Release build + bench smokes ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DRTK_BUILD_TESTS=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-release -j "$JOBS" \

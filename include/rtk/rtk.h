@@ -41,6 +41,7 @@
 #include "graph/graph_io.h"       // IWYU pragma: export
 #include "graph/toy_graphs.h"     // IWYU pragma: export
 #include "index/index_io.h"       // IWYU pragma: export
+#include "index/index_storage.h"  // IWYU pragma: export
 #include "rwr/dense_solver.h"     // IWYU pragma: export
 #include "rwr/linear_solvers.h"   // IWYU pragma: export
 #include "rwr/local_push.h"       // IWYU pragma: export

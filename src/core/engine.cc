@@ -25,6 +25,7 @@ Result<std::unique_ptr<ReverseTopkEngine>> ReverseTopkEngine::Build(
   IndexBuildOptions build_opts;
   build_opts.capacity_k = options.capacity_k;
   build_opts.bca = options.bca;
+  build_opts.shard_nodes = options.shard_nodes;
   build_opts.hub_store.rwr = options.solver;
   build_opts.hub_store.rwr.alpha = options.bca.alpha;
   build_opts.hub_store.rounding_omega = options.rounding_omega;
@@ -45,8 +46,9 @@ Result<std::unique_ptr<ReverseTopkEngine>> ReverseTopkEngine::LoadFromFile(
     Graph graph, const std::string& index_path, const EngineOptions& options) {
   std::unique_ptr<ReverseTopkEngine> engine(
       new ReverseTopkEngine(std::move(graph), options));
-  RTK_ASSIGN_OR_RETURN(LowerBoundIndex index,
-                       LoadIndex(index_path, engine->graph_.num_nodes()));
+  RTK_ASSIGN_OR_RETURN(
+      LowerBoundIndex index,
+      LoadIndex(index_path, engine->graph_.num_nodes(), engine->pool_.get()));
   engine->index_ = std::make_unique<LowerBoundIndex>(std::move(index));
   engine->searcher_ = std::make_unique<ReverseTopkSearcher>(
       *engine->op_, engine->index_.get());
@@ -55,7 +57,9 @@ Result<std::unique_ptr<ReverseTopkEngine>> ReverseTopkEngine::LoadFromFile(
 }
 
 Status ReverseTopkEngine::SaveIndex(const std::string& path) const {
-  return rtk::SaveIndex(*index_, path);
+  SaveIndexOptions save_opts;
+  save_opts.pool = pool_.get();  // shard payloads serialize in parallel
+  return rtk::SaveIndex(*index_, path, save_opts);
 }
 
 Result<std::vector<uint32_t>> ReverseTopkEngine::Query(uint32_t q, uint32_t k,

@@ -46,6 +46,10 @@ struct EngineOptions {
   /// intra-query stage parallelism when QueryOptions::num_threads != 1);
   /// 0 = hardware concurrency, 1 = fully serial.
   int num_threads = 0;
+  /// Nodes per index storage shard (0 = IndexStorage::kDefaultShardNodes).
+  /// Shards are the unit of build work, prune-scan partitioning, parallel
+  /// index I/O, and serving-layer copy-on-write publishes.
+  uint32_t shard_nodes = 0;
 };
 
 /// \brief Owning facade over graph, index and query machinery.

@@ -16,28 +16,31 @@ struct ShardResult {
   uint64_t candidates = 0;
 };
 
-// Classifies nodes [lo, hi) exactly like the serial Algorithm 4 scan.
-void ScanShard(const LowerBoundIndex& index, const std::vector<double>& to_q,
-               const PruneStageOptions& options, uint32_t lo, uint32_t hi,
-               ShardResult* out) {
+// Classifies storage shard s exactly like the serial Algorithm 4 scan:
+// the shard's own bound/residue slices are streamed front to back.
+void ScanShard(const LowerBoundIndex& index, uint32_t s,
+               const std::vector<double>& to_q,
+               const PruneStageOptions& options, ShardResult* out) {
   const uint32_t k = options.k;
   const uint32_t capacity_k = index.capacity_k();
   const double tie = options.tie_epsilon;
-  const std::span<const double> lower_bounds = index.RawLowerBounds();
-  const std::span<const double> residues = index.RawResidues();
+  const auto [lo, hi] = index.ShardNodeRange(s);
+  const std::span<const double> lower_bounds = index.ShardLowerBounds(s);
+  const std::span<const double> residues = index.ShardResidues(s);
   for (uint32_t u = lo; u < hi; ++u) {
     const double p_u_q = to_q[u];  // exact proximity from u to q
     if (p_u_q <= 0.0) {
       continue;  // q unreachable from u: u cannot rank q (see class docs)
     }
-    const double* row = lower_bounds.data() + static_cast<size_t>(u) * capacity_k;
+    const double* row =
+        lower_bounds.data() + static_cast<size_t>(u - lo) * capacity_k;
     if (p_u_q < row[k - 1] - tie) {
       continue;  // pruned by the index (never becomes a candidate)
     }
     ++out->candidates;
 
     // Exact stored bounds decide immediately (Alg. 4 lines 5-7).
-    const double residue = residues[u];
+    const double residue = residues[u - lo];
     if (residue == 0.0) {
       out->hits.push_back(u);
       continue;
@@ -58,33 +61,25 @@ void ScanShard(const LowerBoundIndex& index, const std::vector<double>& to_q,
 PruneResult RunPruneStage(const LowerBoundIndex& index,
                           const std::vector<double>& to_q,
                           const PruneStageOptions& options, ThreadPool* pool) {
-  const uint32_t n = index.num_nodes();
   PruneResult result;
-  if (n == 0) return result;
+  const uint32_t num_shards = index.num_shards();
+  if (num_shards == 0) return result;
+  result.shards_scanned = num_shards;
 
   int workers = (pool == nullptr) ? 1 : pool->num_threads();
   if (options.max_parallelism > 0) {
     workers = std::min(workers, options.max_parallelism);
   }
-  uint32_t shard_size = options.shard_size;
-  if (shard_size == 0) {
-    shard_size = std::max<uint32_t>(
-        1, (n + static_cast<uint32_t>(workers) * 4 - 1) /
-               (static_cast<uint32_t>(workers) * 4));
-  }
-  const uint32_t num_shards = (n + shard_size - 1) / shard_size;
-  result.shards_scanned = num_shards;
 
   std::vector<ShardResult> shards(num_shards);
-  // grain=1 makes each shard one work-queue item; shard boundaries are a
-  // pure function of (n, shard_size), never of scheduling.
+  // grain=1 makes each storage shard one work-queue item; shard boundaries
+  // are the index's layout, never a function of scheduling.
   ParallelForRange(
       pool, 0, num_shards, workers, /*grain=*/1,
       [&](int64_t s_lo, int64_t s_hi) {
         for (int64_t s = s_lo; s < s_hi; ++s) {
-          const uint32_t lo = static_cast<uint32_t>(s) * shard_size;
-          const uint32_t hi = std::min(n, lo + shard_size);
-          ScanShard(index, to_q, options, lo, hi, &shards[s]);
+          ScanShard(index, static_cast<uint32_t>(s), to_q, options,
+                    &shards[s]);
         }
       });
 

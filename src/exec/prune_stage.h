@@ -4,14 +4,15 @@
 //   hit        stored bounds decide: exact entry, or p_u(q) >= ub_u - tie
 //   undecided  needs BCA refinement (stage 3)
 //
-// The scan partitions [0, n) into contiguous shards scanned concurrently
-// (each shard only reads the index's const flat views), then concatenates
-// the per-shard lists in shard order — which IS ascending node order, so
-// the output is byte-identical to a serial left-to-right scan for every
-// shard size and thread count. Per-node classification depends on nothing
-// but that node's own bounds and proximity; a tie_epsilon-boundary
-// candidate therefore survives (or not) identically wherever the shard
-// cuts fall.
+// Scan partitions are the index's own storage shards (index_storage.h):
+// each work item reads exactly one shard's contiguous bound/residue slices
+// — the rows a worker classifies are the rows it streams, with no
+// cross-shard pointer math — and the per-shard lists are concatenated in
+// shard order, which IS ascending node order. The output is therefore
+// byte-identical to a serial left-to-right scan for every shard layout and
+// thread count: per-node classification depends on nothing but that node's
+// own bounds and proximity, so a tie_epsilon-boundary candidate survives
+// (or not) identically wherever the shard cuts fall.
 
 #ifndef RTK_EXEC_PRUNE_STAGE_H_
 #define RTK_EXEC_PRUNE_STAGE_H_
@@ -33,9 +34,6 @@ struct PruneStageOptions {
   bool approximate_hits_only = false;
   /// Worker cap for the shard scan (0 = whole pool, 1 = serial).
   int max_parallelism = 1;
-  /// Nodes per shard; 0 picks ~4 shards per worker. Tests pin small sizes
-  /// to exercise tie-straddling shard boundaries.
-  uint32_t shard_size = 0;
 };
 
 /// \brief Stage output. Both lists are in ascending node order.
@@ -46,13 +44,13 @@ struct PruneResult {
   std::vector<uint32_t> undecided;
   /// Lower-bound survivors (hits + undecided + approximate-mode drops).
   uint64_t candidates = 0;
-  /// Shards actually scanned (introspection/tests).
+  /// Storage shards scanned (== index.num_shards(); introspection/tests).
   uint32_t shards_scanned = 0;
 };
 
-/// \brief Runs the sharded scan of `to_q` (size n, from the proximity
-/// stage) against `index`. Read-only on the index; safe to call from
-/// inside a pool task.
+/// \brief Runs the shard-aligned scan of `to_q` (size n, from the
+/// proximity stage) against `index`. Read-only on the index; safe to call
+/// from inside a pool task.
 PruneResult RunPruneStage(const LowerBoundIndex& index,
                           const std::vector<double>& to_q,
                           const PruneStageOptions& options, ThreadPool* pool);

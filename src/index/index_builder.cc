@@ -1,12 +1,35 @@
 #include "index/index_builder.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <memory>
 #include <string>
 
 #include "common/stopwatch.h"
 
 namespace rtk {
+
+namespace {
+
+// Writes one node's results straight into its (exclusively owned) shard —
+// the builder's write path bypasses SetNode's copy-on-write check because
+// each shard is visited by exactly one worker.
+void WriteRow(IndexShard* shard, uint32_t capacity_k, uint32_t u,
+              const std::vector<double>& topk, StoredBcaState state,
+              double residue_l1) {
+  assert(topk.size() <= capacity_k);
+  assert(std::is_sorted(topk.rbegin(), topk.rend()));
+  const uint32_t local = u - shard->begin_node;
+  double* row =
+      shard->topk_values.data() + static_cast<size_t>(local) * capacity_k;
+  std::copy(topk.begin(), topk.end(), row);
+  std::fill(row + topk.size(), row + capacity_k, 0.0);
+  shard->states[local] = std::move(state);
+  shard->residue_l1[local] = residue_l1;
+}
+
+}  // namespace
 
 Result<LowerBoundIndex> BuildLowerBoundIndex(const TransitionOperator& op,
                                              const std::vector<uint32_t>& hubs,
@@ -34,27 +57,32 @@ Result<LowerBoundIndex> BuildLowerBoundIndex(const TransitionOperator& op,
       HubProximityStore::Build(op, hubs, hub_opts, pool));
   local_report.hub_solve_seconds = hub_watch.ElapsedSeconds();
 
-  LowerBoundIndex index(n, options.capacity_k, options.bca, std::move(store));
+  LowerBoundIndex index(n, options.capacity_k, options.bca, std::move(store),
+                        options.shard_nodes);
   const HubProximityStore& hub_store = index.hub_store();
 
-  // Phase 2: partial BCA from every node (Algorithm 1 lines 3-9).
+  // Phase 2: partial BCA from every node (Algorithm 1 lines 3-9). The work
+  // queue is the storage shard table itself: each worker claims a shard and
+  // emits every row of it directly, so per-shard memory is written by one
+  // thread, sequentially, in node order.
   Stopwatch bca_watch;
+  const uint32_t num_shards = index.num_shards();
   const int num_tasks =
-      (pool == nullptr || pool->num_threads() <= 1) ? 1 : pool->num_threads();
+      (pool == nullptr || pool->num_threads() <= 1)
+          ? 1
+          : std::min<int>(pool->num_threads(), static_cast<int>(num_shards));
   std::atomic<uint64_t> iteration_total{0};
-  std::atomic<uint32_t> next_block{0};
-  constexpr uint32_t kBlock = 256;
+  std::atomic<uint32_t> next_shard{0};
 
   auto worker = [&]() {
     // One runner per worker: it owns the O(n) workspaces.
     BcaRunner runner(op, hub_store.hubs(), options.bca);
     uint64_t iters = 0;
     for (;;) {
-      const uint32_t block = next_block.fetch_add(1);
-      const uint32_t lo = block * kBlock;
-      if (lo >= n) break;
-      const uint32_t hi = std::min(n, lo + kBlock);
-      for (uint32_t u = lo; u < hi; ++u) {
+      const uint32_t s = next_shard.fetch_add(1);
+      if (s >= num_shards) break;
+      IndexShard& shard = index.MutableShard(s);
+      for (uint32_t u = shard.begin_node; u < shard.end_node; ++u) {
         if (hub_store.IsHub(u)) {
           // Hubs store their exact top-K straight from P_H; no BCA state.
           std::vector<std::pair<uint32_t, double>> topk =
@@ -62,7 +90,8 @@ Result<LowerBoundIndex> BuildLowerBoundIndex(const TransitionOperator& op,
           std::vector<double> values;
           values.reserve(topk.size());
           for (const auto& [id, v] : topk) values.push_back(v);
-          index.SetNode(u, values, StoredBcaState{}, /*residue_l1=*/0.0);
+          WriteRow(&shard, options.capacity_k, u, values, StoredBcaState{},
+                   /*residue_l1=*/0.0);
           continue;
         }
         runner.Start(u);
@@ -73,7 +102,8 @@ Result<LowerBoundIndex> BuildLowerBoundIndex(const TransitionOperator& op,
         std::vector<double> values;
         values.reserve(topk.size());
         for (const auto& [id, v] : topk) values.push_back(v);
-        index.SetNode(u, values, runner.Extract(), runner.ResidueL1());
+        WriteRow(&shard, options.capacity_k, u, values, runner.Extract(),
+                 runner.ResidueL1());
       }
     }
     iteration_total.fetch_add(iters);

@@ -28,6 +28,10 @@ struct IndexBuildOptions {
   PushStrategy push_strategy = PushStrategy::kBatch;
   /// Hub proximity solve + rounding.
   HubStoreOptions hub_store;
+  /// Nodes per storage shard (0 = IndexStorage::kDefaultShardNodes). The
+  /// shard table doubles as the build work queue: each worker claims one
+  /// shard at a time and emits its rows directly.
+  uint32_t shard_nodes = 0;
 };
 
 /// \brief Timing breakdown of an index build (Table 2 inputs).

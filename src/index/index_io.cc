@@ -1,21 +1,30 @@
 #include "index/index_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace rtk {
 
 namespace {
 
-constexpr char kMagic[8] = {'R', 'T', 'K', 'I', 'D', 'X', '0', '1'};
+constexpr char kMagicV1[8] = {'R', 'T', 'K', 'I', 'D', 'X', '0', '1'};
+constexpr char kMagicV2[8] = {'R', 'T', 'K', 'I', 'D', 'X', '0', '2'};
 
 // Streaming FNV-1a over everything written/read, so corruption anywhere in
 // the file is detected.
 class Checksummer {
  public:
+  Checksummer() = default;
+  /// Resumes a previously computed running hash (FNV-1a is streaming, so
+  /// a section's checksum can be patched in after its bytes are known).
+  explicit Checksummer(uint64_t resume_hash) : hash_(resume_hash) {}
+
   void Update(const void* data, size_t len) {
     const auto* p = static_cast<const unsigned char*>(data);
     for (size_t i = 0; i < len; ++i) {
@@ -28,6 +37,12 @@ class Checksummer {
  private:
   uint64_t hash_ = 0xCBF29CE484222325ull;
 };
+
+uint64_t Fnv1a(std::string_view bytes) {
+  Checksummer sum;
+  sum.Update(bytes.data(), bytes.size());
+  return sum.hash();
+}
 
 class Writer {
  public:
@@ -95,16 +110,185 @@ class Reader {
   Checksummer sum_;
 };
 
-}  // namespace
-
-Status SaveIndex(const LowerBoundIndex& index, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open for writing: " + tmp);
+// In-memory append serializer for one shard payload (Save serializes
+// shards concurrently, so each gets its own buffer).
+class BufWriter {
+ public:
+  template <typename T>
+  void Pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.append(reinterpret_cast<const char*>(&value), sizeof(T));
   }
+  template <typename T>
+  void Array(const T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.append(reinterpret_cast<const char*>(data), count * sizeof(T));
+  }
+  void Pairs(const std::vector<std::pair<uint32_t, double>>& pairs) {
+    Pod<uint64_t>(pairs.size());
+    for (const auto& [id, v] : pairs) {
+      Pod<uint32_t>(id);
+      Pod<double>(v);
+    }
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+// Bounds-checked deserializer over one shard's payload bytes.
+class BufReader {
+ public:
+  explicit BufReader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Pod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (bytes_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  template <typename T>
+  bool Array(T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t len = count * sizeof(T);
+    if (bytes_.size() - pos_ < len) return false;
+    std::memcpy(data, bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool Pairs(std::vector<std::pair<uint32_t, double>>* pairs,
+             uint64_t sanity_cap) {
+    uint64_t count = 0;
+    if (!Pod(&count) || count > sanity_cap) return false;
+    pairs->resize(count);
+    for (auto& [id, v] : *pairs) {
+      if (!Pod(&id) || !Pod(&v)) return false;
+    }
+    return true;
+  }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// Serializes shard s's node records (identical record layout in v1 and
+// v2; v1 simply streams the records of all nodes back to back).
+std::string SerializeShard(const LowerBoundIndex& index, uint32_t s) {
+  BufWriter w;
+  const uint32_t k = index.capacity_k();
+  const auto [lo, hi] = index.ShardNodeRange(s);
+  for (uint32_t u = lo; u < hi; ++u) {
+    w.Array(index.LowerBounds(u).data(), k);
+    w.Pod(index.ResidueL1(u));
+    const StoredBcaState& st = index.State(u);
+    w.Pod<uint32_t>(st.iterations);
+    w.Pairs(st.residue);
+    w.Pairs(st.retained);
+    w.Pairs(st.hub_ink);
+  }
+  return w.Take();
+}
+
+// Parses shard s's payload into the freshly constructed index. The shard
+// is exclusively owned (nothing shares a new index's storage), so distinct
+// shards parse concurrently.
+Status ParseShard(std::string_view payload, LowerBoundIndex* index,
+                  uint32_t s) {
+  BufReader r(payload);
+  const uint32_t n = index->num_nodes();
+  const uint32_t k = index->capacity_k();
+  IndexShard& shard = index->MutableShard(s);
+  for (uint32_t u = shard.begin_node; u < shard.end_node; ++u) {
+    const uint32_t local = u - shard.begin_node;
+    double* row =
+        shard.topk_values.data() + static_cast<size_t>(local) * k;
+    StoredBcaState st;
+    uint32_t iters = 0;
+    if (!r.Array(row, k) || !r.Pod(&shard.residue_l1[local]) ||
+        !r.Pod(&iters) || !r.Pairs(&st.residue, n) ||
+        !r.Pairs(&st.retained, n) || !r.Pairs(&st.hub_ink, n)) {
+      return Status::Corruption("bad BCA state for node " + std::to_string(u));
+    }
+    st.iterations = iters;
+    shard.states[local] = std::move(st);
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("trailing bytes in shard " + std::to_string(s));
+  }
+  return Status::OK();
+}
+
+void WriteHubStore(Writer* w, const HubProximityStore& store) {
+  w->Pod<uint32_t>(store.num_hubs());
+  w->Pod<double>(store.rounding_omega());
+  w->Pod<uint64_t>(store.DroppedEntries());
+  w->Array(store.hubs().data(), store.hubs().size());
+  w->Array(store.offsets().data(), store.offsets().size());
+  for (const auto& [id, v] : store.entries()) {
+    w->Pod(id);
+    w->Pod(v);
+  }
+}
+
+// Reads the hub-store section (shared by both format versions; the v1 and
+// v2 headers are identical up to and including this section).
+Result<HubProximityStore> ReadHubStore(Reader* r, uint32_t n) {
+  uint32_t num_hubs = 0;
+  double omega = 0.0;
+  uint64_t dropped = 0;
+  if (!r->Pod(&num_hubs) || !r->Pod(&omega) || !r->Pod(&dropped) ||
+      num_hubs > n) {
+    return Status::Corruption("bad hub header in index file");
+  }
+  std::vector<uint32_t> hubs(num_hubs);
+  if (!r->Array(hubs.data(), hubs.size())) {
+    return Status::Corruption("bad hub list");
+  }
+  std::vector<uint64_t> offsets(num_hubs + 1);
+  if (!r->Array(offsets.data(), offsets.size())) {
+    return Status::Corruption("bad hub offsets");
+  }
+  const uint64_t total_entries = offsets.empty() ? 0 : offsets.back();
+  if (total_entries > static_cast<uint64_t>(n) * num_hubs) {
+    return Status::Corruption("hub entry count exceeds n*|H|");
+  }
+  std::vector<std::pair<uint32_t, double>> entries(total_entries);
+  for (auto& [id, v] : entries) {
+    if (!r->Pod(&id) || !r->Pod(&v)) {
+      return Status::Corruption("bad hub entries");
+    }
+  }
+  return HubProximityStore::FromRaw(n, std::move(hubs), std::move(offsets),
+                                    std::move(entries), omega, dropped);
+}
+
+struct CommonHeader {
+  uint32_t n = 0;
+  uint32_t k = 0;
+  BcaOptions bca;
+};
+
+Status ReadCommonHeader(Reader* r, CommonHeader* out) {
+  if (!r->Pod(&out->n) || !r->Pod(&out->k) || out->k == 0) {
+    return Status::Corruption("bad header in index file");
+  }
+  int32_t max_iters = 0;
+  if (!r->Pod(&out->bca.alpha) || !r->Pod(&out->bca.eta) ||
+      !r->Pod(&out->bca.delta) || !r->Pod(&max_iters)) {
+    return Status::Corruption("bad BCA options in index file");
+  }
+  out->bca.max_iterations = max_iters;
+  return Status::OK();
+}
+
+Status SaveIndexV1(const LowerBoundIndex& index, std::ofstream& out) {
   Writer w(out);
-  w.Array(kMagic, sizeof(kMagic));
+  w.Array(kMagicV1, sizeof(kMagicV1));
   const uint32_t n = index.num_nodes();
   const uint32_t k = index.capacity_k();
   w.Pod(n);
@@ -114,115 +298,127 @@ Status SaveIndex(const LowerBoundIndex& index, const std::string& path) {
   w.Pod(bca.eta);
   w.Pod(bca.delta);
   w.Pod<int32_t>(bca.max_iterations);
-
-  const HubProximityStore& store = index.hub_store();
-  w.Pod<uint32_t>(store.num_hubs());
-  w.Pod<double>(store.rounding_omega());
-  w.Pod<uint64_t>(store.DroppedEntries());
-  w.Array(store.hubs().data(), store.hubs().size());
-  w.Array(store.offsets().data(), store.offsets().size());
-  for (const auto& [id, v] : store.entries()) {
-    w.Pod(id);
-    w.Pod(v);
-  }
-
-  for (uint32_t u = 0; u < n; ++u) {
-    w.Array(index.LowerBounds(u).data(), k);
-    w.Pod(index.ResidueL1(u));
-    const StoredBcaState& st = index.State(u);
-    w.Pod<uint32_t>(st.iterations);
-    w.Pairs(st.residue);
-    w.Pairs(st.retained);
-    w.Pairs(st.hub_ink);
+  WriteHubStore(&w, index.hub_store());
+  // Shards concatenate in ascending node order, so reusing the shard
+  // serializer emits the exact monolithic v1 record stream (one record
+  // format, shared with v2).
+  for (uint32_t s = 0; s < index.num_shards(); ++s) {
+    const std::string payload = SerializeShard(index, s);
+    w.Array(payload.data(), payload.size());
   }
   const uint64_t checksum = w.checksum();
   out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  out.flush();
-  if (!out.good()) {
-    return Status::IOError("write failed: " + tmp);
-  }
-  out.close();
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("rename failed: " + tmp + " -> " + path);
-  }
   return Status::OK();
 }
 
-Result<LowerBoundIndex> LoadIndex(const std::string& path,
-                                  uint32_t expected_nodes) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return Status::IOError("cannot open index: " + path);
-  }
-  Reader r(in);
-  char magic[8];
-  if (!r.Array(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad magic in index file: " + path);
-  }
-  uint32_t n = 0, k = 0;
-  if (!r.Pod(&n) || !r.Pod(&k) || k == 0) {
-    return Status::Corruption("bad header in index file");
-  }
-  if (n != expected_nodes) {
-    return Status::InvalidArgument(
-        "index was built for n=" + std::to_string(n) +
-        " nodes, graph has n=" + std::to_string(expected_nodes));
-  }
-  BcaOptions bca;
-  int32_t max_iters = 0;
-  if (!r.Pod(&bca.alpha) || !r.Pod(&bca.eta) || !r.Pod(&bca.delta) ||
-      !r.Pod(&max_iters)) {
-    return Status::Corruption("bad BCA options in index file");
-  }
-  bca.max_iterations = max_iters;
+Status SaveIndexV2(const LowerBoundIndex& index, std::ofstream& out,
+                   ThreadPool* pool) {
+  const uint32_t num_shards = index.num_shards();
 
-  uint32_t num_hubs = 0;
-  double omega = 0.0;
-  uint64_t dropped = 0;
-  if (!r.Pod(&num_hubs) || !r.Pod(&omega) || !r.Pod(&dropped) ||
-      num_hubs > n) {
-    return Status::Corruption("bad hub header in index file");
+  Writer w(out);
+  w.Array(kMagicV2, sizeof(kMagicV2));
+  const uint32_t n = index.num_nodes();
+  const uint32_t k = index.capacity_k();
+  w.Pod(n);
+  w.Pod(k);
+  const BcaOptions& bca = index.bca_options();
+  w.Pod(bca.alpha);
+  w.Pod(bca.eta);
+  w.Pod(bca.delta);
+  w.Pod<int32_t>(bca.max_iterations);
+  WriteHubStore(&w, index.hub_store());
+  w.Pod<uint32_t>(index.shard_nodes());
+  w.Pod<uint32_t>(num_shards);
+
+  // The directory (per-shard payload size + checksum) precedes payloads we
+  // have not serialized yet; write a placeholder now and patch it once the
+  // payloads have streamed out, so peak memory is one batch of shard
+  // buffers — never the whole serialized index.
+  const uint64_t prefix_checksum = w.checksum();
+  const std::streampos directory_pos = out.tellp();
+  {
+    const std::vector<char> zeros(num_shards * 2 * sizeof(uint64_t) +
+                                      sizeof(uint64_t),
+                                  '\0');
+    out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
   }
-  std::vector<uint32_t> hubs(num_hubs);
-  if (!r.Array(hubs.data(), hubs.size())) {
-    return Status::Corruption("bad hub list");
-  }
-  std::vector<uint64_t> offsets(num_hubs + 1);
-  if (!r.Array(offsets.data(), offsets.size())) {
-    return Status::Corruption("bad hub offsets");
-  }
-  const uint64_t total_entries = offsets.empty() ? 0 : offsets.back();
-  if (total_entries > static_cast<uint64_t>(n) * num_hubs) {
-    return Status::Corruption("hub entry count exceeds n*|H|");
-  }
-  std::vector<std::pair<uint32_t, double>> entries(total_entries);
-  for (auto& [id, v] : entries) {
-    if (!r.Pod(&id) || !r.Pod(&v)) {
-      return Status::Corruption("bad hub entries");
+
+  // Serialize in pool-sized batches (parallel within a batch), write in
+  // shard order. Payload content is a pure function of the shard, so the
+  // file bytes are identical at every thread count.
+  std::vector<uint64_t> payload_bytes(num_shards, 0);
+  std::vector<uint64_t> checksums(num_shards, 0);
+  const uint32_t batch =
+      pool == nullptr ? 1
+                      : std::max(1, pool->num_threads()) * 2;
+  std::vector<std::string> buffers;
+  for (uint32_t s0 = 0; s0 < num_shards; s0 += batch) {
+    const uint32_t s1 = std::min(num_shards, s0 + batch);
+    buffers.assign(s1 - s0, {});
+    ParallelForRange(pool, s0, s1, /*max_parallelism=*/0, /*grain=*/1,
+                     [&](int64_t lo, int64_t hi) {
+                       for (int64_t s = lo; s < hi; ++s) {
+                         std::string& payload = buffers[s - s0];
+                         payload =
+                             SerializeShard(index, static_cast<uint32_t>(s));
+                         payload_bytes[s] = payload.size();
+                         checksums[s] = Fnv1a(payload);
+                       }
+                     });
+    for (uint32_t s = s0; s < s1; ++s) {
+      out.write(buffers[s - s0].data(),
+                static_cast<std::streamsize>(buffers[s - s0].size()));
     }
   }
-  HubProximityStore store = HubProximityStore::FromRaw(
-      n, std::move(hubs), std::move(offsets), std::move(entries), omega,
-      dropped);
 
-  LowerBoundIndex index(n, k, bca, std::move(store));
-  std::vector<double> topk(k);
-  for (uint32_t u = 0; u < n; ++u) {
-    if (!r.Array(topk.data(), k)) {
+  // Patch the real directory in and extend the header checksum over it
+  // (FNV-1a streams, so the prefix hash resumes exactly).
+  Checksummer directory_sum(prefix_checksum);
+  out.seekp(directory_pos);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    out.write(reinterpret_cast<const char*>(&payload_bytes[s]),
+              sizeof(uint64_t));
+    out.write(reinterpret_cast<const char*>(&checksums[s]),
+              sizeof(uint64_t));
+    directory_sum.Update(&payload_bytes[s], sizeof(uint64_t));
+    directory_sum.Update(&checksums[s], sizeof(uint64_t));
+  }
+  const uint64_t header_checksum = directory_sum.hash();
+  out.write(reinterpret_cast<const char*>(&header_checksum),
+            sizeof(header_checksum));
+  out.seekp(0, std::ios::end);
+  return Status::OK();
+}
+
+Result<LowerBoundIndex> LoadIndexV1(Reader& r, std::ifstream& in,
+                                    const std::string& path,
+                                    uint32_t expected_nodes) {
+  CommonHeader header;
+  if (Status s = ReadCommonHeader(&r, &header); !s.ok()) return s;
+  if (header.n != expected_nodes) {
+    return Status::InvalidArgument(
+        "index was built for n=" + std::to_string(header.n) +
+        " nodes, graph has n=" + std::to_string(expected_nodes));
+  }
+  RTK_ASSIGN_OR_RETURN(HubProximityStore store, ReadHubStore(&r, header.n));
+
+  LowerBoundIndex index(header.n, header.k, header.bca, std::move(store));
+  std::vector<double> topk(header.k);
+  for (uint32_t u = 0; u < header.n; ++u) {
+    if (!r.Array(topk.data(), header.k)) {
       return Status::Corruption("bad top-K row for node " + std::to_string(u));
     }
     double residue_l1 = 0.0;
     StoredBcaState st;
     uint32_t iters = 0;
     if (!r.Pod(&residue_l1) || !r.Pod(&iters) ||
-        !r.Pairs(&st.residue, n) || !r.Pairs(&st.retained, n) ||
-        !r.Pairs(&st.hub_ink, n)) {
+        !r.Pairs(&st.residue, header.n) || !r.Pairs(&st.retained, header.n) ||
+        !r.Pairs(&st.hub_ink, header.n)) {
       return Status::Corruption("bad BCA state for node " + std::to_string(u));
     }
     st.iterations = iters;
     // Strip the zero padding so SetNode's descending-order contract holds.
-    size_t len = k;
+    size_t len = header.k;
     while (len > 0 && topk[len - 1] == 0.0) --len;
     index.SetNode(u, std::vector<double>(topk.begin(), topk.begin() + len),
                   std::move(st), residue_l1);
@@ -239,6 +435,222 @@ Result<LowerBoundIndex> LoadIndex(const std::string& path,
     return Status::Corruption("trailing bytes after index checksum: " + path);
   }
   return index;
+}
+
+Result<LowerBoundIndex> LoadIndexV2(Reader& r, std::ifstream& in,
+                                    const std::string& path,
+                                    uint32_t expected_nodes,
+                                    ThreadPool* pool) {
+  CommonHeader header;
+  if (Status s = ReadCommonHeader(&r, &header); !s.ok()) return s;
+  if (header.n != expected_nodes) {
+    return Status::InvalidArgument(
+        "index was built for n=" + std::to_string(header.n) +
+        " nodes, graph has n=" + std::to_string(expected_nodes));
+  }
+  RTK_ASSIGN_OR_RETURN(HubProximityStore store, ReadHubStore(&r, header.n));
+
+  uint32_t shard_nodes = 0, num_shards = 0;
+  if (!r.Pod(&shard_nodes) || !r.Pod(&num_shards) || shard_nodes == 0 ||
+      num_shards != (header.n + shard_nodes - 1) / shard_nodes) {
+    return Status::Corruption("bad shard directory header: " + path);
+  }
+  std::vector<uint64_t> payload_bytes(num_shards);
+  std::vector<uint64_t> shard_sums(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (!r.Pod(&payload_bytes[s]) || !r.Pod(&shard_sums[s])) {
+      return Status::Corruption("bad shard directory: " + path);
+    }
+  }
+  const uint64_t expected_header_sum = r.checksum();
+  uint64_t stored_header_sum = 0;
+  in.read(reinterpret_cast<char*>(&stored_header_sum),
+          sizeof(stored_header_sum));
+  if (!in.good() || stored_header_sum != expected_header_sum) {
+    return Status::Corruption("index header checksum mismatch: " + path);
+  }
+
+  // Every payload is offset-addressable from the directory; the total must
+  // land exactly on end-of-file (shorter = truncated, longer = trailing
+  // garbage).
+  const uint64_t payload_start = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::end);
+  const uint64_t file_bytes = static_cast<uint64_t>(in.tellg());
+  std::vector<uint64_t> offsets(num_shards + 1, payload_start);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (payload_bytes[s] > file_bytes) {  // also forecloses offset overflow
+      return Status::Corruption("shard size exceeds file size: " + path);
+    }
+    offsets[s + 1] = offsets[s] + payload_bytes[s];
+  }
+  if (file_bytes != offsets[num_shards]) {
+    return Status::Corruption(
+        file_bytes < offsets[num_shards]
+            ? "index file truncated: " + path
+            : "trailing bytes after last shard: " + path);
+  }
+
+  LowerBoundIndex index(header.n, header.k, header.bca, std::move(store),
+                        shard_nodes);
+
+  // Shard-aligned parallel read: every worker opens its own stream, reads
+  // its shard's byte range, verifies the shard checksum, and parses into
+  // the shard it exclusively owns.
+  std::vector<Status> statuses(num_shards, Status::OK());
+  ParallelForRange(
+      pool, 0, num_shards, /*max_parallelism=*/0, /*grain=*/1,
+      [&](int64_t lo, int64_t hi) {
+        std::ifstream shard_in(path, std::ios::binary);
+        if (!shard_in.is_open()) {
+          for (int64_t s = lo; s < hi; ++s) {
+            statuses[s] = Status::IOError("cannot reopen index: " + path);
+          }
+          return;
+        }
+        for (int64_t s = lo; s < hi; ++s) {
+          std::string payload(payload_bytes[s], '\0');
+          shard_in.seekg(static_cast<std::streamoff>(offsets[s]));
+          shard_in.read(payload.data(),
+                        static_cast<std::streamsize>(payload.size()));
+          if (!shard_in.good()) {
+            statuses[s] = Status::Corruption("short read for shard " +
+                                             std::to_string(s) + ": " + path);
+            continue;
+          }
+          if (Fnv1a(payload) != shard_sums[s]) {
+            statuses[s] = Status::Corruption("checksum mismatch in shard " +
+                                             std::to_string(s) + ": " + path);
+            continue;
+          }
+          statuses[s] =
+              ParseShard(payload, &index, static_cast<uint32_t>(s));
+        }
+      });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;  // first failing shard, in shard order
+  }
+  return index;
+}
+
+}  // namespace
+
+Status SaveIndex(const LowerBoundIndex& index, const std::string& path) {
+  return SaveIndex(index, path, SaveIndexOptions{});
+}
+
+Status SaveIndex(const LowerBoundIndex& index, const std::string& path,
+                 const SaveIndexOptions& options) {
+  if (options.format_version != 1 && options.format_version != 2) {
+    return Status::InvalidArgument(
+        "unsupported index format version " +
+        std::to_string(options.format_version));
+  }
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + tmp);
+  }
+  Status written = options.format_version == 1
+                       ? SaveIndexV1(index, out)
+                       : SaveIndexV2(index, out, options.pool);
+  if (!written.ok()) return written;
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("write failed: " + tmp);
+  }
+  out.close();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<LowerBoundIndex> LoadIndex(const std::string& path,
+                                  uint32_t expected_nodes, ThreadPool* pool) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open index: " + path);
+  }
+  Reader r(in);
+  char magic[8];
+  if (!r.Array(magic, sizeof(magic))) {
+    return Status::Corruption("bad magic in index file: " + path);
+  }
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    return LoadIndexV1(r, in, path, expected_nodes);
+  }
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    return LoadIndexV2(r, in, path, expected_nodes, pool);
+  }
+  return Status::Corruption("bad magic in index file: " + path);
+}
+
+Result<IndexFileInfo> ReadIndexFileInfo(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open index: " + path);
+  }
+  IndexFileInfo info;
+  {
+    in.seekg(0, std::ios::end);
+    info.file_bytes = static_cast<uint64_t>(in.tellg());
+    in.seekg(0);
+  }
+  // A genuine header peek: fixed-size reads and seeks only. Header counts
+  // are untrusted (no checksum is verified here), so nothing may be
+  // allocated proportional to them — a corrupt count must surface as
+  // Corruption below, not as a multi-GB allocation.
+  Reader r(in);
+  char magic[8];
+  if (!r.Array(magic, sizeof(magic))) {
+    return Status::Corruption("bad magic in index file: " + path);
+  }
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    info.format_version = 1;
+  } else if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    info.format_version = 2;
+  } else {
+    return Status::Corruption("bad magic in index file: " + path);
+  }
+  CommonHeader header;
+  if (Status s = ReadCommonHeader(&r, &header); !s.ok()) return s;
+  info.num_nodes = header.n;
+  info.capacity_k = header.k;
+
+  double omega = 0.0;
+  uint64_t dropped = 0;
+  if (!r.Pod(&info.num_hubs) || !r.Pod(&omega) || !r.Pod(&dropped) ||
+      info.num_hubs > header.n) {
+    return Status::Corruption("bad hub header in index file: " + path);
+  }
+  // Skip hubs[] and offsets[0 .. num_hubs-1]; the final offset is the
+  // total entry count. Every skip is bounds-checked against the real file
+  // size before seeking.
+  const uint64_t skip_bytes = static_cast<uint64_t>(info.num_hubs) *
+                              (sizeof(uint32_t) + sizeof(uint64_t));
+  if (static_cast<uint64_t>(in.tellg()) + skip_bytes > info.file_bytes) {
+    return Status::Corruption("truncated hub section: " + path);
+  }
+  in.seekg(static_cast<std::streamoff>(skip_bytes), std::ios::cur);
+  if (!r.Pod(&info.hub_entries) ||
+      info.hub_entries > static_cast<uint64_t>(header.n) * info.num_hubs) {
+    return Status::Corruption("bad hub offsets: " + path);
+  }
+  if (info.format_version == 2) {
+    const uint64_t entry_bytes =
+        info.hub_entries * (sizeof(uint32_t) + sizeof(double));
+    if (static_cast<uint64_t>(in.tellg()) + entry_bytes > info.file_bytes) {
+      return Status::Corruption("truncated hub entries: " + path);
+    }
+    in.seekg(static_cast<std::streamoff>(entry_bytes), std::ios::cur);
+    if (!r.Pod(&info.shard_nodes) || !r.Pod(&info.num_shards) ||
+        info.shard_nodes == 0 ||
+        info.num_shards !=
+            (header.n + info.shard_nodes - 1) / info.shard_nodes) {
+      return Status::Corruption("bad shard directory header: " + path);
+    }
+  }
+  return info;
 }
 
 }  // namespace rtk

@@ -1,33 +1,78 @@
 // Binary serialization of the LowerBoundIndex.
 //
-// Format (version 1, native little-endian, not cross-endian portable):
-//   magic "RTKIDX01"
+// Format version 2 (native little-endian, not cross-endian portable):
+//   magic "RTKIDX02"
 //   u32 num_nodes, u32 capacity_k
 //   f64 alpha, f64 eta, f64 delta, i32 max_iterations
 //   hub store: u32 num_hubs, f64 omega, u64 dropped,
 //              hubs[], offsets[], entries[] (u32+f64 pairs)
-//   per node: f64 topk[K], f64 residue_l1, u32 iterations,
-//             3 x (u64 count, (u32,f64) pairs)   -- residue, retained, hub ink
-// A u64 FNV-1a checksum of the payload trails the file; Load verifies it.
+//   shard directory: u32 shard_nodes, u32 num_shards,
+//                    per shard (u64 payload_bytes, u64 FNV-1a checksum)
+//   u64 header checksum (FNV-1a over magic .. directory)
+//   shard payloads, concatenated in shard order; each payload is the
+//   shard's per-node records:
+//     f64 topk[K], f64 residue_l1, u32 iterations,
+//     3 x (u64 count, (u32,f64) pairs)   -- residue, retained, hub ink
+//
+// The directory makes shards independently addressable and verifiable, so
+// Save serializes and Load deserializes shards in parallel on a thread
+// pool, and a flipped bit is pinned to the shard it corrupted. Version-1
+// files (monolithic payload, single trailing checksum) still load.
 
 #ifndef RTK_INDEX_INDEX_IO_H_
 #define RTK_INDEX_INDEX_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "index/lower_bound_index.h"
 
 namespace rtk {
 
-/// \brief Writes the index to `path` (atomically: temp file + rename).
+/// \brief Knobs for SaveIndex.
+struct SaveIndexOptions {
+  /// 2 writes the sharded format above; 1 writes the legacy monolithic
+  /// format (for downgrade paths and compatibility tests).
+  uint32_t format_version = 2;
+  /// Serializes shard payloads in parallel when provided (v2 only; file
+  /// bytes are identical with or without a pool).
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief Header-level description of an index file, readable without
+/// loading the payload (rtk_cli index-info).
+struct IndexFileInfo {
+  uint32_t format_version = 0;
+  uint32_t num_nodes = 0;
+  uint32_t capacity_k = 0;
+  uint32_t num_hubs = 0;
+  uint64_t hub_entries = 0;
+  uint32_t shard_nodes = 0;  // 0 for v1 files
+  uint32_t num_shards = 0;   // 0 for v1 files
+  uint64_t file_bytes = 0;
+};
+
+/// \brief Writes the index to `path` (atomically: temp file + rename) in
+/// format version 2.
 Status SaveIndex(const LowerBoundIndex& index, const std::string& path);
 
-/// \brief Reads an index previously written by SaveIndex. `expected_nodes`
-/// guards against loading an index built for a different graph (pass the
-/// graph's node count).
+/// \brief SaveIndex with explicit format version / parallelism.
+Status SaveIndex(const LowerBoundIndex& index, const std::string& path,
+                 const SaveIndexOptions& options);
+
+/// \brief Reads an index previously written by SaveIndex (either format
+/// version). `expected_nodes` guards against loading an index built for a
+/// different graph (pass the graph's node count). With a pool, v2 shards
+/// are read and verified in parallel.
 Result<LowerBoundIndex> LoadIndex(const std::string& path,
-                                  uint32_t expected_nodes);
+                                  uint32_t expected_nodes,
+                                  ThreadPool* pool = nullptr);
+
+/// \brief Reads only the header of an index file: shape, hub count, shard
+/// layout. Does not verify payload checksums.
+Result<IndexFileInfo> ReadIndexFileInfo(const std::string& path);
 
 }  // namespace rtk
 

@@ -1,0 +1,53 @@
+#include "index/index_storage.h"
+
+#include <algorithm>
+
+namespace rtk {
+
+IndexStorage::IndexStorage(uint32_t num_nodes, uint32_t capacity_k,
+                           uint32_t shard_nodes)
+    : num_nodes_(num_nodes),
+      capacity_k_(capacity_k),
+      shard_nodes_(shard_nodes == 0 ? kDefaultShardNodes : shard_nodes) {
+  const uint32_t num_shards =
+      num_nodes == 0 ? 0 : (num_nodes + shard_nodes_ - 1) / shard_nodes_;
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_shared<IndexShard>();
+    shard->begin_node = s * shard_nodes_;
+    shard->end_node = std::min(num_nodes, shard->begin_node + shard_nodes_);
+    const uint32_t local = shard->num_local_nodes();
+    shard->topk_values.assign(static_cast<size_t>(local) * capacity_k, 0.0);
+    shard->residue_l1.assign(local, 1.0);
+    shard->states.resize(local);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+IndexStorage::IndexStorage(const IndexStorage& other)
+    : num_nodes_(other.num_nodes_),
+      capacity_k_(other.capacity_k_),
+      shard_nodes_(other.shard_nodes_),
+      shards_(other.shards_),
+      cow_copies_(0) {}
+
+IndexStorage& IndexStorage::operator=(const IndexStorage& other) {
+  if (this == &other) return *this;
+  num_nodes_ = other.num_nodes_;
+  capacity_k_ = other.capacity_k_;
+  shard_nodes_ = other.shard_nodes_;
+  shards_ = other.shards_;
+  cow_copies_ = 0;
+  return *this;
+}
+
+IndexShard& IndexStorage::MutableShard(uint32_t s) {
+  std::shared_ptr<IndexShard>& slot = shards_[s];
+  if (slot.use_count() > 1) {
+    slot = std::make_shared<IndexShard>(*slot);
+    ++cow_copies_;
+  }
+  return *slot;
+}
+
+}  // namespace rtk

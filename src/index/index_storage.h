@@ -1,0 +1,107 @@
+// IndexStorage: the sharded, copy-on-write backing store of the
+// LowerBoundIndex.
+//
+// The per-node index arrays (top-K lower bounds, |r|_1 cache, BCA states)
+// are split into S contiguous node shards, each owned by a shared_ptr.
+// Copying an IndexStorage copies only the shard pointer table — O(S), not
+// O(n*K) — and the first write to a shard whose ownership is shared
+// replaces it with a private deep copy (copy-on-write). Publishing a
+// serving snapshot therefore costs O(dirty shards): shards untouched by
+// the refinement batch are shared between the old and new epoch forever.
+//
+// Concurrency contract (the same single-writer rule the monolithic arrays
+// had, stated per shard):
+//  * Any number of threads may READ a storage concurrently.
+//  * A write (MutableShard and anything built on it: SetNode,
+//    ApplyIfTighter) requires that no other thread is reading or writing
+//    the SAME IndexStorage object. Readers of OTHER storages sharing the
+//    shards are unaffected: copy-on-write never mutates a shared shard in
+//    place.
+//  * Exception for builders/loaders: when every shard is unshared (a
+//    freshly constructed storage), distinct threads may write DISTINCT
+//    shards concurrently — shards are independent heap objects.
+
+#ifndef RTK_INDEX_INDEX_STORAGE_H_
+#define RTK_INDEX_INDEX_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bca/bca.h"
+
+namespace rtk {
+
+/// \brief One contiguous slice of nodes [begin_node, end_node) with its
+/// rows of every per-node index array.
+struct IndexShard {
+  uint32_t begin_node = 0;
+  uint32_t end_node = 0;  // exclusive
+  /// (end_node - begin_node) * K doubles, row-major, descending per row.
+  std::vector<double> topk_values;
+  /// Cached |r_u|_1 per node; 0 means the stored bounds are exact.
+  std::vector<double> residue_l1;
+  /// Resumable BCA state per node (empty lists for exact/hub nodes).
+  std::vector<StoredBcaState> states;
+
+  uint32_t num_local_nodes() const { return end_node - begin_node; }
+};
+
+/// \brief Shard table with copy-on-write cloning. Value-copyable: a copy
+/// shares every shard with its source until one of them writes.
+class IndexStorage {
+ public:
+  /// Nodes per shard when the caller does not choose (a multiple of the
+  /// index builder's work granularity; small enough that a publish after a
+  /// handful of refinements copies a few hundred KB, large enough that the
+  /// shard directory stays negligible even at 10^7 nodes).
+  static constexpr uint32_t kDefaultShardNodes = 256;
+
+  /// Creates S = ceil(n / shard_nodes) shards, zero-filled bounds, unit
+  /// residues, empty states. `shard_nodes` 0 picks kDefaultShardNodes.
+  IndexStorage(uint32_t num_nodes, uint32_t capacity_k, uint32_t shard_nodes);
+
+  /// Shallow copy: shares every shard; the copy's cow_copies() restarts
+  /// at 0 so a publisher can read "shards this clone dirtied" off it.
+  IndexStorage(const IndexStorage& other);
+  IndexStorage& operator=(const IndexStorage& other);
+  IndexStorage(IndexStorage&&) = default;
+  IndexStorage& operator=(IndexStorage&&) = default;
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t capacity_k() const { return capacity_k_; }
+  /// \brief Nodes per shard (every shard but possibly the last).
+  uint32_t shard_nodes() const { return shard_nodes_; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+
+  uint32_t ShardOf(uint32_t u) const { return u / shard_nodes_; }
+
+  /// \brief [first, last) node range of shard s.
+  std::pair<uint32_t, uint32_t> NodeRange(uint32_t s) const {
+    const IndexShard& shard = *shards_[s];
+    return {shard.begin_node, shard.end_node};
+  }
+
+  const IndexShard& shard(uint32_t s) const { return *shards_[s]; }
+
+  /// \brief Write access to shard s; deep-copies it first iff its
+  /// ownership is shared (see the class concurrency contract).
+  IndexShard& MutableShard(uint32_t s);
+
+  /// \brief Shards deep-copied by copy-on-write since this storage was
+  /// constructed/copied/moved-into — i.e. the number of shards this
+  /// particular view has dirtied.
+  uint64_t cow_copies() const { return cow_copies_; }
+
+ private:
+  uint32_t num_nodes_;
+  uint32_t capacity_k_;
+  uint32_t shard_nodes_;
+  std::vector<std::shared_ptr<IndexShard>> shards_;
+  uint64_t cow_copies_ = 0;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_INDEX_INDEX_STORAGE_H_

@@ -8,15 +8,38 @@ namespace rtk {
 
 LowerBoundIndex::LowerBoundIndex(uint32_t num_nodes, uint32_t capacity_k,
                                  BcaOptions bca_options,
-                                 HubProximityStore hub_store)
+                                 HubProximityStore hub_store,
+                                 uint32_t shard_nodes)
     : num_nodes_(num_nodes),
       capacity_k_(capacity_k),
       bca_options_(bca_options),
       hub_store_(std::make_shared<const HubProximityStore>(std::move(hub_store))),
-      topk_values_(static_cast<size_t>(num_nodes) * capacity_k, 0.0),
-      residue_l1_(num_nodes, 1.0),
-      states_(num_nodes) {
+      storage_(num_nodes, capacity_k, shard_nodes) {
   assert(capacity_k_ > 0);
+}
+
+LowerBoundIndex::LowerBoundIndex(const LowerBoundIndex& other,
+                                 uint32_t shard_nodes)
+    : num_nodes_(other.num_nodes_),
+      capacity_k_(other.capacity_k_),
+      bca_options_(other.bca_options_),
+      hub_store_(other.hub_store_),
+      storage_(other.num_nodes_, other.capacity_k_, shard_nodes) {
+  for (uint32_t s = 0; s < storage_.num_shards(); ++s) {
+    IndexShard& dst = storage_.MutableShard(s);
+    for (uint32_t u = dst.begin_node; u < dst.end_node; ++u) {
+      const IndexShard& src = other.storage_.shard(other.ShardOf(u));
+      const uint32_t src_local = u - src.begin_node;
+      const uint32_t dst_local = u - dst.begin_node;
+      std::copy_n(src.topk_values.data() +
+                      static_cast<size_t>(src_local) * capacity_k_,
+                  capacity_k_,
+                  dst.topk_values.data() +
+                      static_cast<size_t>(dst_local) * capacity_k_);
+      dst.residue_l1[dst_local] = src.residue_l1[src_local];
+      dst.states[dst_local] = src.states[src_local];
+    }
+  }
 }
 
 void LowerBoundIndex::SetNode(uint32_t u, const std::vector<double>& topk,
@@ -24,16 +47,19 @@ void LowerBoundIndex::SetNode(uint32_t u, const std::vector<double>& topk,
   assert(u < num_nodes_);
   assert(topk.size() <= capacity_k_);
   assert(std::is_sorted(topk.rbegin(), topk.rend()));
-  double* row = topk_values_.data() + static_cast<size_t>(u) * capacity_k_;
+  IndexShard& shard = storage_.MutableShard(storage_.ShardOf(u));
+  const uint32_t local = u - shard.begin_node;
+  double* row =
+      shard.topk_values.data() + static_cast<size_t>(local) * capacity_k_;
   std::copy(topk.begin(), topk.end(), row);
   std::fill(row + topk.size(), row + capacity_k_, 0.0);
-  states_[u] = std::move(state);
-  residue_l1_[u] = residue_l1;
+  shard.states[local] = std::move(state);
+  shard.residue_l1[local] = residue_l1;
 }
 
 bool LowerBoundIndex::ApplyIfTighter(const IndexDelta& delta) {
   assert(delta.node < num_nodes_);
-  if (delta.residue_l1 >= residue_l1_[delta.node]) {
+  if (delta.residue_l1 >= ResidueL1(delta.node)) {
     return false;  // stored state is at least as refined
   }
   SetNode(delta.node, delta.topk, delta.state, delta.residue_l1);
@@ -42,7 +68,7 @@ bool LowerBoundIndex::ApplyIfTighter(const IndexDelta& delta) {
 
 bool LowerBoundIndex::ApplyIfTighter(IndexDelta&& delta) {
   assert(delta.node < num_nodes_);
-  if (delta.residue_l1 >= residue_l1_[delta.node]) {
+  if (delta.residue_l1 >= ResidueL1(delta.node)) {
     return false;
   }
   SetNode(delta.node, delta.topk, std::move(delta.state), delta.residue_l1);
@@ -54,15 +80,32 @@ IndexStats LowerBoundIndex::ComputeStats() const {
   stats.num_nodes = num_nodes_;
   stats.capacity_k = capacity_k_;
   stats.num_hubs = hub_store_->num_hubs();
-  stats.topk_bytes = topk_values_.size() * sizeof(double) +
-                     residue_l1_.size() * sizeof(double);
-  for (const auto& state : states_) stats.state_bytes += state.MemoryBytes();
+  stats.num_shards = storage_.num_shards();
+  stats.shard_nodes = storage_.shard_nodes();
+  stats.shard_bytes.reserve(stats.num_shards);
+  for (uint32_t s = 0; s < storage_.num_shards(); ++s) {
+    const IndexShard& shard = storage_.shard(s);
+    const uint64_t topk_bytes =
+        (shard.topk_values.capacity() + shard.residue_l1.capacity()) *
+        sizeof(double);
+    // The states vector's own footprint (three vector headers + iteration
+    // counter per node) is real heap the index owns; counting only the
+    // pair-list allocations undercounts RSS by sizeof(StoredBcaState) per
+    // node.
+    uint64_t state_bytes = shard.states.capacity() * sizeof(StoredBcaState);
+    for (const StoredBcaState& state : shard.states) {
+      state_bytes += state.MemoryBytes();
+    }
+    stats.topk_bytes += topk_bytes;
+    stats.state_bytes += state_bytes;
+    stats.shard_bytes.push_back(topk_bytes + state_bytes);
+    for (double residue : shard.residue_l1) {
+      if (residue == 0.0) ++stats.exact_nodes;
+    }
+  }
   stats.hub_store_bytes = hub_store_->MemoryBytes();
   stats.hub_entries_stored = hub_store_->TotalEntries();
   stats.hub_entries_dropped = hub_store_->DroppedEntries();
-  for (uint32_t u = 0; u < num_nodes_; ++u) {
-    if (IsExact(u)) ++stats.exact_nodes;
-  }
   return stats;
 }
 

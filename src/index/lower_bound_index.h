@@ -9,6 +9,14 @@
 //
 // The index is mutable by design: query-time refinement writes back
 // (Section 4.2.3), making bounds progressively tighter for future queries.
+//
+// Storage is sharded and copy-on-write (index_storage.h): the per-node
+// arrays live in S contiguous node shards behind shared pointers. Copying
+// a LowerBoundIndex is therefore O(S) and shares every shard with the
+// source; a write (SetNode / ApplyIfTighter) privatizes only the one shard
+// it touches. This is what makes serving-layer snapshot publishes cost
+// O(dirty shards) instead of O(n*K). The hub matrix is likewise shared
+// between copies (it is immutable once built).
 
 #ifndef RTK_INDEX_LOWER_BOUND_INDEX_H_
 #define RTK_INDEX_LOWER_BOUND_INDEX_H_
@@ -16,10 +24,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "bca/bca.h"
 #include "bca/hub_proximity_store.h"
+#include "index/index_storage.h"
 
 namespace rtk {
 
@@ -28,12 +38,17 @@ struct IndexStats {
   uint32_t num_nodes = 0;
   uint32_t capacity_k = 0;
   uint32_t num_hubs = 0;
+  uint32_t num_shards = 0;
+  uint32_t shard_nodes = 0;          // nodes per shard (last may be short)
   uint64_t topk_bytes = 0;       // the K x n lower-bound matrix P_hat
-  uint64_t state_bytes = 0;      // R, W, S sparse states
+  uint64_t state_bytes = 0;      // R, W, S sparse states (incl. the
+                                 // StoredBcaState vector footprint itself)
   uint64_t hub_store_bytes = 0;  // rounded P_H
   uint64_t hub_entries_stored = 0;
   uint64_t hub_entries_dropped = 0;  // removed by rounding
   uint64_t exact_nodes = 0;          // nodes whose BCA fully converged
+  /// Per-shard byte totals (topk + residue + state rows of that shard).
+  std::vector<uint64_t> shard_bytes;
 
   uint64_t TotalBytes() const {
     return topk_bytes + state_bytes + hub_store_bytes;
@@ -56,13 +71,25 @@ struct IndexDelta {
 };
 
 /// \brief The offline index of Algorithm 1. Constructed by IndexBuilder or
-/// loaded from disk by index_io. Copyable: the serving layer clones the
-/// index to publish immutable snapshots.
+/// loaded from disk by index_io. Copyable, and copying is cheap: copies
+/// share storage shards (and the hub store) until one side writes.
+///
+/// Thread-safety mirrors IndexStorage: concurrent reads are free; a write
+/// requires exclusive access to THIS object (other copies sharing shards
+/// are never affected — copy-on-write). Builders/loaders writing a freshly
+/// constructed index may additionally write distinct shards from distinct
+/// threads via MutableShard.
 class LowerBoundIndex {
  public:
   /// Creates an empty index shell; used by the builder and the loader.
+  /// `shard_nodes` sets the storage shard width (0 = default).
   LowerBoundIndex(uint32_t num_nodes, uint32_t capacity_k,
-                  BcaOptions bca_options, HubProximityStore hub_store);
+                  BcaOptions bca_options, HubProximityStore hub_store,
+                  uint32_t shard_nodes = 0);
+
+  /// \brief Resharding copy: same contents as `other`, laid out over
+  /// `shard_nodes`-wide shards. Deep-copies every row (no sharing).
+  LowerBoundIndex(const LowerBoundIndex& other, uint32_t shard_nodes);
 
   uint32_t num_nodes() const { return num_nodes_; }
 
@@ -75,41 +102,83 @@ class LowerBoundIndex {
 
   const HubProximityStore& hub_store() const { return *hub_store_; }
 
+  // ----------------------------------------------------------- shards --
+
+  uint32_t num_shards() const { return storage_.num_shards(); }
+
+  /// \brief Nodes per shard (every shard but possibly the last).
+  uint32_t shard_nodes() const { return storage_.shard_nodes(); }
+
+  /// \brief Shard that stores node u.
+  uint32_t ShardOf(uint32_t u) const { return storage_.ShardOf(u); }
+
+  /// \brief [first, last) node range of shard s.
+  std::pair<uint32_t, uint32_t> ShardNodeRange(uint32_t s) const {
+    return storage_.NodeRange(s);
+  }
+
+  /// \brief Shard s's slice of the lower-bound matrix: row-major, row
+  /// (u - first) starts at (u - first) * capacity_k(). Const-safe view for
+  /// the prune stage's shard-aligned scans; invalidated by writes to this
+  /// index object (never by writes to copies).
+  std::span<const double> ShardLowerBounds(uint32_t s) const {
+    return storage_.shard(s).topk_values;
+  }
+
+  /// \brief Shard s's |r_u|_1 values, indexed by u - first.
+  std::span<const double> ShardResidues(uint32_t s) const {
+    return storage_.shard(s).residue_l1;
+  }
+
+  /// \brief Direct write access to shard s for builders/loaders (see class
+  /// thread-safety note); copy-on-write like SetNode.
+  IndexShard& MutableShard(uint32_t s) { return storage_.MutableShard(s); }
+
+  /// \brief Shards this object has privatized (deep-copied) since it was
+  /// constructed or copied — the publish-cost observable: a snapshot clone
+  /// that applied deltas to d shards reports cow_shard_copies() == d.
+  uint64_t cow_shard_copies() const { return storage_.cow_copies(); }
+
+  // ------------------------------------------------------ node access --
+
   /// \brief Lower bound of the k-th largest proximity from u (k is
   /// 1-based, k <= capacity_k). Zero when fewer than k entries are known —
   /// still a valid lower bound.
   double LowerBound(uint32_t u, uint32_t k) const {
-    return topk_values_[static_cast<size_t>(u) * capacity_k_ + (k - 1)];
+    const IndexShard& shard = storage_.shard(storage_.ShardOf(u));
+    return shard.topk_values[static_cast<size_t>(u - shard.begin_node) *
+                                 capacity_k_ +
+                             (k - 1)];
   }
 
   /// \brief All K stored lower-bound values of u, descending.
   std::span<const double> LowerBounds(uint32_t u) const {
-    return {topk_values_.data() + static_cast<size_t>(u) * capacity_k_,
+    const IndexShard& shard = storage_.shard(storage_.ShardOf(u));
+    return {shard.topk_values.data() +
+                static_cast<size_t>(u - shard.begin_node) * capacity_k_,
             capacity_k_};
   }
 
   /// \brief Cached |r_u|_1; 0 means the stored bounds are exact.
-  double ResidueL1(uint32_t u) const { return residue_l1_[u]; }
-
-  /// \brief The whole n x K lower-bound matrix, row-major (row u starts at
-  /// u * capacity_k()). Const-safe flat view for the prune stage's shard
-  /// scans: concurrent readers iterate their [lo, hi) node range without a
-  /// per-node accessor call. Invalidated by SetNode / ApplyIfTighter.
-  std::span<const double> RawLowerBounds() const { return topk_values_; }
-
-  /// \brief Per-node |r_u|_1 values, indexed by node. Same contract as
-  /// RawLowerBounds().
-  std::span<const double> RawResidues() const { return residue_l1_; }
+  double ResidueL1(uint32_t u) const {
+    const IndexShard& shard = storage_.shard(storage_.ShardOf(u));
+    return shard.residue_l1[u - shard.begin_node];
+  }
 
   /// \brief True when u's stored values are exact top-K proximities.
-  bool IsExact(uint32_t u) const { return residue_l1_[u] == 0.0; }
+  bool IsExact(uint32_t u) const { return ResidueL1(u) == 0.0; }
 
   /// \brief The stored BCA state of u (empty lists for exact/hub nodes).
-  const StoredBcaState& State(uint32_t u) const { return states_[u]; }
+  /// The reference is invalidated by writes to this index object.
+  const StoredBcaState& State(uint32_t u) const {
+    const IndexShard& shard = storage_.shard(storage_.ShardOf(u));
+    return shard.states[u - shard.begin_node];
+  }
 
   /// \brief Installs new per-node data; used by the builder and by
   /// query-time refinement write-back. `topk` must be descending with
   /// exactly min(capacity_k, available) entries; missing tail is zero.
+  /// Copy-on-write: privatizes u's shard iff it is shared.
   void SetNode(uint32_t u, const std::vector<double>& topk,
                StoredBcaState state, double residue_l1);
 
@@ -130,12 +199,10 @@ class LowerBoundIndex {
   uint32_t capacity_k_;
   BcaOptions bca_options_;
   // Immutable once built (rounding/refresh produce new stores), so clones
-  // share it: copying the index for a serving snapshot duplicates only the
-  // per-node arrays, not the hub matrix that often dominates memory.
+  // share it: copying the index for a serving snapshot duplicates neither
+  // the hub matrix nor any clean shard.
   std::shared_ptr<const HubProximityStore> hub_store_;
-  std::vector<double> topk_values_;   // n * K, row-major, descending
-  std::vector<double> residue_l1_;    // per node
-  std::vector<StoredBcaState> states_;
+  IndexStorage storage_;
 };
 
 }  // namespace rtk

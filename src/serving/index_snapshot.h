@@ -2,9 +2,12 @@
 // at a fixed refinement epoch.
 //
 // The serving layer never lets query workers touch the live index.
-// Instead, a snapshot (deep copy) of the index is published under a
-// monotonically increasing epoch; any number of ReverseTopkSearcher
-// workers read it lock-free because nothing ever writes to it. Refinement
+// Instead, a snapshot of the index is published under a monotonically
+// increasing epoch; any number of ReverseTopkSearcher workers read it
+// lock-free because nothing ever writes to it. Snapshots are cheap:
+// LowerBoundIndex copies share storage shards copy-on-write
+// (index_storage.h), so consecutive epochs share every shard the
+// intervening refinement batch left clean. Refinement
 // produced by queries is captured as IndexDelta values (see
 // refinement_log.h) and folded into the *next* snapshot by a single
 // writer. Correctness rests on the paper's Section 4.2.3 property: refined

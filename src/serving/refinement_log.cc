@@ -1,5 +1,7 @@
 #include "serving/refinement_log.h"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace rtk {
@@ -25,6 +27,25 @@ std::vector<IndexDelta> RefinementLog::Drain() {
   for (auto& [node, delta] : tightest_) out.push_back(std::move(delta));
   tightest_.clear();
   return out;
+}
+
+std::vector<ShardDeltaGroup> RefinementLog::DrainByShard(
+    uint32_t shard_nodes) {
+  assert(shard_nodes > 0);
+  std::vector<IndexDelta> drained = Drain();
+  std::sort(drained.begin(), drained.end(),
+            [](const IndexDelta& a, const IndexDelta& b) {
+              return a.node < b.node;
+            });
+  std::vector<ShardDeltaGroup> groups;
+  for (IndexDelta& delta : drained) {
+    const uint32_t shard = delta.node / shard_nodes;
+    if (groups.empty() || groups.back().shard != shard) {
+      groups.push_back({shard, {}});
+    }
+    groups.back().deltas.push_back(std::move(delta));
+  }
+  return groups;
 }
 
 size_t RefinementLog::pending() const {

@@ -32,6 +32,12 @@ struct RefinementLogStats {
   uint64_t pending = 0;
 };
 
+/// \brief Pending deltas of one storage shard, sorted by node.
+struct ShardDeltaGroup {
+  uint32_t shard = 0;
+  std::vector<IndexDelta> deltas;
+};
+
 /// \brief Thread-safe, per-node-deduplicating delta queue.
 class RefinementLog {
  public:
@@ -41,6 +47,13 @@ class RefinementLog {
 
   /// \brief Removes and returns all pending deltas (unordered).
   std::vector<IndexDelta> Drain();
+
+  /// \brief Removes all pending deltas grouped by the storage shard that
+  /// owns each node (`shard_nodes` is the index's shard width). Groups are
+  /// in ascending shard order and each group's deltas in ascending node
+  /// order, so the publisher dirties every copy-on-write shard exactly
+  /// once, with sequential writes within it.
+  std::vector<ShardDeltaGroup> DrainByShard(uint32_t shard_nodes);
 
   /// \brief Number of pending deltas.
   size_t pending() const;

@@ -158,15 +158,24 @@ uint64_t ServingEngine::PublishPending() {
 }
 
 uint64_t ServingEngine::PublishLocked() {
-  std::vector<IndexDelta> deltas = log_.Drain();
-  if (deltas.empty()) return 0;
   std::shared_ptr<const IndexSnapshot> current = snapshot();
-  LowerBoundIndex next(current->index());  // clone, then tighten
+  // Deltas arrive grouped by storage shard so the copy-on-write clone
+  // privatizes each dirty shard exactly once and writes it sequentially;
+  // clean shards stay shared with the outgoing snapshot, making the
+  // publish cost O(dirty shards), not O(n*K).
+  std::vector<ShardDeltaGroup> groups =
+      log_.DrainByShard(current->index().shard_nodes());
+  if (groups.empty()) return 0;
+  LowerBoundIndex next(current->index());  // shares every shard until written
   uint64_t applied = 0;
-  for (IndexDelta& delta : deltas) {
-    if (next.ApplyIfTighter(std::move(delta))) ++applied;
+  for (ShardDeltaGroup& group : groups) {
+    for (IndexDelta& delta : group.deltas) {
+      if (next.ApplyIfTighter(std::move(delta))) ++applied;
+    }
   }
   if (applied == 0) return 0;  // everything stale; keep the epoch
+  shards_copied_.fetch_add(next.cow_shard_copies(),
+                           std::memory_order_relaxed);
   auto fresh = std::make_shared<const IndexSnapshot>(std::move(next),
                                                      current->epoch() + 1);
   {
@@ -190,7 +199,10 @@ ServingStats ServingEngine::stats() const {
   stats.queries = queries_.load(std::memory_order_relaxed);
   stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
   stats.epochs_published = epochs_published_.load(std::memory_order_relaxed);
-  stats.current_epoch = snapshot()->epoch();
+  stats.shards_copied = shards_copied_.load(std::memory_order_relaxed);
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  stats.current_epoch = snap->epoch();
+  stats.index_shards = snap->index().num_shards();
   stats.cache = cache_.stats();
   stats.log = log_.stats();
   // Convenience aliases of the component counters (ServingEngine does one

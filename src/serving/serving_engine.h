@@ -8,8 +8,9 @@
 //           searcher pool ──reads──► IndexSnapshot (immutable, epoch E)
 //                  │ refinements as IndexDelta
 //                  ▼
-//           RefinementLog ──drain, single writer──► clone + ApplyIfTighter
-//                                                        │
+//           RefinementLog ──shard-grouped drain, single writer──►
+//                            CoW clone + ApplyIfTighter (copies only
+//                                                        │  dirty shards)
 //                                   publish epoch E+1 ◄──┘ (atomic swap)
 //
 // Guarantees:
@@ -48,10 +49,10 @@ struct ServingOptions {
   QueryCacheOptions cache;
   /// Publish a new snapshot once this many refinement deltas are pending;
   /// 0 disables automatic publishing (call PublishPending() yourself).
-  /// Each publish deep-copies the per-node index arrays, so on large
-  /// graphs raise this (or publish manually / on a timer) so clone cost
-  /// amortizes over more refinement — a flat 64 suits small-to-mid
-  /// indexes, not a 10^7-node one.
+  /// A publish copies only the storage shards the drained deltas touch
+  /// (copy-on-write, see index_storage.h), so its cost scales with the
+  /// batch — O(dirty shards) — not with n; the default 64 keeps epochs
+  /// fresh at any index size.
   size_t publish_threshold = 64;
   /// Base per-query options; k is overridden per call, update_index /
   /// delta_sink are managed by the engine, and pmpn is inherited from the
@@ -73,6 +74,12 @@ struct ServingStats {
   /// Deltas that actually tightened a published snapshot.
   uint64_t deltas_applied = 0;
   uint64_t epochs_published = 0;
+  /// Storage shards deep-copied across all publishes (copy-on-write dirty
+  /// shards; the publish-cost observable — compare against deltas_applied
+  /// and index_shards).
+  uint64_t shards_copied = 0;
+  /// Storage shards in the current snapshot (gauge).
+  uint64_t index_shards = 0;
   uint64_t current_epoch = 0;
   uint64_t pending_deltas = 0;
   QueryCacheStats cache;
@@ -162,6 +169,7 @@ class ServingEngine {
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> deltas_applied_{0};
   std::atomic<uint64_t> epochs_published_{0};
+  std::atomic<uint64_t> shards_copied_{0};
 };
 
 }  // namespace rtk

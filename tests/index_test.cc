@@ -172,6 +172,116 @@ TEST(IndexStatsTest, CountsComponents) {
             stats.topk_bytes + stats.state_bytes + stats.hub_store_bytes);
 }
 
+// ------------------------------------------------- sharded CoW storage --
+
+TEST(IndexStorageTest, ShardLayoutPartitionsAllNodes) {
+  LowerBoundIndex index(60, 4, BcaOptions{}, HubProximityStore::Empty(60),
+                        /*shard_nodes=*/7);
+  EXPECT_EQ(index.shard_nodes(), 7u);
+  ASSERT_EQ(index.num_shards(), 9u);  // ceil(60 / 7)
+  uint32_t next = 0;
+  for (uint32_t s = 0; s < index.num_shards(); ++s) {
+    const auto [lo, hi] = index.ShardNodeRange(s);
+    EXPECT_EQ(lo, next);
+    EXPECT_GT(hi, lo);
+    EXPECT_EQ(index.ShardLowerBounds(s).size(),
+              static_cast<size_t>(hi - lo) * index.capacity_k());
+    EXPECT_EQ(index.ShardResidues(s).size(), static_cast<size_t>(hi - lo));
+    for (uint32_t u = lo; u < hi; ++u) EXPECT_EQ(index.ShardOf(u), s);
+    next = hi;
+  }
+  EXPECT_EQ(next, 60u);  // last shard is short (60 = 8*7 + 4)
+}
+
+TEST(IndexStorageTest, CloneSharesShardsAndCopiesOnlyOnWrite) {
+  Rng rng(71);
+  Result<Graph> g = ErdosRenyi(60, 400, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 6;
+  opts.shard_nodes = 8;  // 8 shards over 60 nodes
+  LowerBoundIndex base = MustBuild(op, {0, 7}, opts);
+  ASSERT_EQ(base.num_shards(), 8u);
+
+  LowerBoundIndex clone = base;
+  EXPECT_EQ(clone.cow_shard_copies(), 0u);
+  for (uint32_t s = 0; s < base.num_shards(); ++s) {
+    EXPECT_EQ(clone.ShardLowerBounds(s).data(),
+              base.ShardLowerBounds(s).data())
+        << "clone must share shard " << s;
+  }
+
+  // First write to shard 1 (node 10) privatizes exactly that shard.
+  const double base_before = base.LowerBound(10, 1);
+  clone.SetNode(10, {0.9, 0.8}, StoredBcaState{}, 0.01);
+  EXPECT_EQ(clone.cow_shard_copies(), 1u);
+  EXPECT_NE(clone.ShardLowerBounds(1).data(), base.ShardLowerBounds(1).data());
+  EXPECT_EQ(clone.ShardLowerBounds(0).data(), base.ShardLowerBounds(0).data());
+  EXPECT_DOUBLE_EQ(clone.LowerBound(10, 1), 0.9);
+  EXPECT_DOUBLE_EQ(base.LowerBound(10, 1), base_before)
+      << "writes to the clone must never reach the source";
+
+  // A second write into the now-private shard copies nothing.
+  clone.SetNode(11, {0.7}, StoredBcaState{}, 0.02);
+  EXPECT_EQ(clone.cow_shard_copies(), 1u);
+  // A write to a different shard copies that one.
+  clone.SetNode(50, {0.6}, StoredBcaState{}, 0.03);
+  EXPECT_EQ(clone.cow_shard_copies(), 2u);
+
+  // Writing through the source privatizes the source's slot; the clone's
+  // view stays intact.
+  base.SetNode(0, {0.5}, StoredBcaState{}, 0.04);
+  EXPECT_EQ(base.cow_shard_copies(), 1u);
+  EXPECT_NE(clone.LowerBound(0, 1), 0.5);
+}
+
+TEST(IndexStorageTest, ReshardingCopyPreservesEveryRow) {
+  Rng rng(73);
+  Result<Graph> g = BarabasiAlbert(90, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 8;
+  LowerBoundIndex base = MustBuild(op, {0, 1, 2}, opts);
+  for (uint32_t shard_nodes : {1u, 13u, 90u, 128u}) {
+    LowerBoundIndex resharded(base, shard_nodes);
+    EXPECT_EQ(resharded.shard_nodes(), shard_nodes);
+    for (uint32_t u = 0; u < base.num_nodes(); ++u) {
+      EXPECT_EQ(resharded.ResidueL1(u), base.ResidueL1(u)) << "u=" << u;
+      const auto a = base.LowerBounds(u);
+      const auto b = resharded.LowerBounds(u);
+      for (uint32_t k = 0; k < opts.capacity_k; ++k) EXPECT_EQ(a[k], b[k]);
+      EXPECT_EQ(resharded.State(u).residue, base.State(u).residue);
+      EXPECT_EQ(resharded.State(u).retained, base.State(u).retained);
+    }
+  }
+}
+
+TEST(IndexStatsTest, PerShardBytesAndStateFootprint) {
+  Rng rng(79);
+  Result<Graph> g = ErdosRenyi(60, 400, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 6;
+  opts.shard_nodes = 16;
+  LowerBoundIndex index = MustBuild(op, {0, 7}, opts);
+  const IndexStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_shards, 4u);
+  EXPECT_EQ(stats.shard_nodes, 16u);
+  ASSERT_EQ(stats.shard_bytes.size(), 4u);
+  uint64_t shard_sum = 0;
+  for (uint64_t b : stats.shard_bytes) {
+    EXPECT_GT(b, 0u);
+    shard_sum += b;
+  }
+  EXPECT_EQ(shard_sum, stats.topk_bytes + stats.state_bytes);
+  // The states vector's own footprint must be accounted, not just its
+  // pair-list allocations: at least sizeof(StoredBcaState) per node.
+  EXPECT_GE(stats.state_bytes, 60u * sizeof(StoredBcaState));
+}
+
 TEST(IndexMutationTest, SetNodeOverwrites) {
   Graph g = PaperToyGraph();
   TransitionOperator op(g);
@@ -235,6 +345,106 @@ TEST_F(IndexIoTest, RoundTripPreservesEverything) {
     EXPECT_EQ(loaded->State(u).hub_ink, index.State(u).hub_ink);
     EXPECT_EQ(loaded->State(u).iterations, index.State(u).iterations);
   }
+}
+
+void ExpectSameIndex(const LowerBoundIndex& a, const LowerBoundIndex& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.capacity_k(), b.capacity_k());
+  EXPECT_EQ(a.bca_options().eta, b.bca_options().eta);
+  EXPECT_EQ(a.bca_options().delta, b.bca_options().delta);
+  EXPECT_EQ(a.hub_store().hubs(), b.hub_store().hubs());
+  EXPECT_EQ(a.hub_store().TotalEntries(), b.hub_store().TotalEntries());
+  for (uint32_t u = 0; u < a.num_nodes(); ++u) {
+    EXPECT_EQ(a.ResidueL1(u), b.ResidueL1(u)) << "u=" << u;
+    const auto ra = a.LowerBounds(u);
+    const auto rb = b.LowerBounds(u);
+    for (uint32_t k = 0; k < a.capacity_k(); ++k) {
+      EXPECT_EQ(ra[k], rb[k]) << "u=" << u << " k=" << k;
+    }
+    EXPECT_EQ(a.State(u).residue, b.State(u).residue) << "u=" << u;
+    EXPECT_EQ(a.State(u).retained, b.State(u).retained) << "u=" << u;
+    EXPECT_EQ(a.State(u).hub_ink, b.State(u).hub_ink) << "u=" << u;
+    EXPECT_EQ(a.State(u).iterations, b.State(u).iterations) << "u=" << u;
+  }
+}
+
+// The two format versions must carry identical content: save the same
+// index as v1 and v2, load both, compare everything.
+TEST_F(IndexIoTest, V1AndV2RoundTripsAgree) {
+  Rng rng(67);
+  Result<Graph> g = ErdosRenyi(80, 500, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 12;
+  opts.shard_nodes = 32;
+  LowerBoundIndex index = MustBuild(op, {0, 7, 11}, opts);
+
+  const std::string v1_path = (dir_ / "index_v1.bin").string();
+  const std::string v2_path = (dir_ / "index_v2.bin").string();
+  SaveIndexOptions v1_opts;
+  v1_opts.format_version = 1;
+  ASSERT_TRUE(SaveIndex(index, v1_path, v1_opts).ok());
+  ASSERT_TRUE(SaveIndex(index, v2_path).ok());
+
+  Result<LowerBoundIndex> v1 = LoadIndex(v1_path, g->num_nodes());
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  Result<LowerBoundIndex> v2 = LoadIndex(v2_path, g->num_nodes());
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  ExpectSameIndex(index, *v1);
+  ExpectSameIndex(index, *v2);
+  // The v2 loader reconstructs the file's shard layout.
+  EXPECT_EQ(v2->shard_nodes(), 32u);
+  EXPECT_EQ(v2->num_shards(), index.num_shards());
+
+  auto info = ReadIndexFileInfo(v2_path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->format_version, 2u);
+  EXPECT_EQ(info->num_nodes, 80u);
+  EXPECT_EQ(info->capacity_k, 12u);
+  EXPECT_EQ(info->shard_nodes, 32u);
+  EXPECT_EQ(info->num_shards, index.num_shards());
+  auto v1_info = ReadIndexFileInfo(v1_path);
+  ASSERT_TRUE(v1_info.ok());
+  EXPECT_EQ(v1_info->format_version, 1u);
+  EXPECT_EQ(v1_info->num_shards, 0u);
+}
+
+// Save must emit identical bytes with and without a pool, and Load must
+// reconstruct identical indexes either way (the parallel I/O is shard-
+// aligned, so thread count cannot leak into file or index content).
+TEST_F(IndexIoTest, ParallelSaveAndLoadMatchSerial) {
+  Rng rng(69);
+  Result<Graph> g = BarabasiAlbert(120, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  IndexBuildOptions opts;
+  opts.capacity_k = 10;
+  opts.shard_nodes = 16;
+  LowerBoundIndex index = MustBuild(op, {0, 1, 2, 3}, opts);
+
+  ThreadPool pool(4);
+  const std::string serial_path = (dir_ / "serial.bin").string();
+  const std::string parallel_path = (dir_ / "parallel.bin").string();
+  ASSERT_TRUE(SaveIndex(index, serial_path).ok());
+  SaveIndexOptions pooled;
+  pooled.pool = &pool;
+  ASSERT_TRUE(SaveIndex(index, parallel_path, pooled).ok());
+
+  auto read_all = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(read_all(serial_path), read_all(parallel_path));
+
+  Result<LowerBoundIndex> serial = LoadIndex(serial_path, g->num_nodes());
+  ASSERT_TRUE(serial.ok());
+  Result<LowerBoundIndex> parallel =
+      LoadIndex(parallel_path, g->num_nodes(), &pool);
+  ASSERT_TRUE(parallel.ok());
+  ExpectSameIndex(*serial, *parallel);
+  ExpectSameIndex(index, *parallel);
 }
 
 TEST_F(IndexIoTest, RejectsWrongGraphSize) {

@@ -135,11 +135,10 @@ struct IndexImage {
 
 IndexImage Capture(const LowerBoundIndex& index) {
   IndexImage image;
-  image.topk.assign(index.RawLowerBounds().begin(),
-                    index.RawLowerBounds().end());
-  image.residues.assign(index.RawResidues().begin(),
-                        index.RawResidues().end());
   for (uint32_t u = 0; u < index.num_nodes(); ++u) {
+    const auto row = index.LowerBounds(u);
+    image.topk.insert(image.topk.end(), row.begin(), row.end());
+    image.residues.push_back(index.ResidueL1(u));
     image.states.push_back(index.State(u));
   }
   return image;
@@ -185,6 +184,9 @@ TEST(PipelineDeterminismTest, ThreadCountInvariantResultsAndIndex) {
     ASSERT_TRUE(hubs.ok());
     IndexBuildOptions build_opts;
     build_opts.capacity_k = kCapacityK;
+    // Small shards so these 150-256-node graphs exercise real multi-shard
+    // scans and copy-on-write writes, not a single-shard degenerate case.
+    build_opts.shard_nodes = 32;
     auto base = BuildLowerBoundIndex(op, *hubs, build_opts);
     ASSERT_TRUE(base.ok()) << base.status().ToString();
 
@@ -298,9 +300,10 @@ TEST(PipelineDeterminismTest, ParallelPmpnBitwiseEqualsSerial) {
 // Shard-boundary tie handling
 
 // A tie-epsilon boundary candidate must survive shard-partitioned pruning
-// exactly as in the serial scan, wherever the shard cut falls. We build a
-// real index, then scan with every shard size from 1 (every node is its
-// own boundary) up, comparing against the single-shard (serial) scan.
+// exactly as in the serial scan, wherever the storage layout puts the shard
+// cut. We build a real index, reshard it to every width from 1 (every node
+// is its own boundary) up, and compare each concurrent scan against the
+// single-shard (serial) scan.
 TEST(PruneStageTest, TieBoundaryCandidatesSurviveAnySharding) {
   Graph graph = MakeSeededGraph(0);
   TransitionOperator op(graph);
@@ -317,7 +320,7 @@ TEST(PruneStageTest, TieBoundaryCandidatesSurviveAnySharding) {
   auto to_q_result = ComputeProximityToNode(op, 3);
   ASSERT_TRUE(to_q_result.ok());
   std::vector<double> to_q = *to_q_result;
-  // Force exact tie-epsilon margins on nodes straddling the shard sizes we
+  // Force exact tie-epsilon margins on nodes straddling the shard widths we
   // test: p_u(q) exactly at lb - tie (the survive/prune knife edge) and at
   // lb (an exact tie) for neighbors of several boundaries.
   for (uint32_t boundary : {32u, 64u, 100u}) {
@@ -332,29 +335,31 @@ TEST(PruneStageTest, TieBoundaryCandidatesSurviveAnySharding) {
   serial_opts.k = k;
   serial_opts.tie_epsilon = tie;
   serial_opts.max_parallelism = 1;
-  serial_opts.shard_size = n;  // one shard == the serial scan
-  const PruneResult serial = RunPruneStage(*index, to_q, serial_opts, nullptr);
+  const LowerBoundIndex one_shard(*index, n);  // one shard == serial scan
+  const PruneResult serial =
+      RunPruneStage(one_shard, to_q, serial_opts, nullptr);
+  ASSERT_EQ(serial.shards_scanned, 1u);
 
   ThreadPool pool(4);
-  for (uint32_t shard_size : {1u, 2u, 3u, 32u, 64u, 100u, n - 1}) {
+  for (uint32_t shard_nodes : {1u, 2u, 3u, 32u, 64u, 100u, n - 1}) {
+    const LowerBoundIndex resharded(*index, shard_nodes);
     PruneStageOptions opts = serial_opts;
-    opts.shard_size = shard_size;
     opts.max_parallelism = 4;
-    const PruneResult sharded = RunPruneStage(*index, to_q, opts, &pool);
-    EXPECT_EQ(sharded.hits, serial.hits) << "shard_size=" << shard_size;
+    const PruneResult sharded = RunPruneStage(resharded, to_q, opts, &pool);
+    EXPECT_EQ(sharded.hits, serial.hits) << "shard_nodes=" << shard_nodes;
     EXPECT_EQ(sharded.undecided, serial.undecided)
-        << "shard_size=" << shard_size;
+        << "shard_nodes=" << shard_nodes;
     EXPECT_EQ(sharded.candidates, serial.candidates)
-        << "shard_size=" << shard_size;
-    EXPECT_EQ(sharded.shards_scanned, (n + shard_size - 1) / shard_size);
+        << "shard_nodes=" << shard_nodes;
+    EXPECT_EQ(sharded.shards_scanned, (n + shard_nodes - 1) / shard_nodes);
   }
 }
 
 // End-to-end version: full queries with tie-manufactured proximities are
-// covered above at the stage level; here ensure the pipeline's default
-// auto-sharding also matches serial on a real query that has candidates
-// within tie_epsilon of their bound (common on symmetric structures).
-TEST(PruneStageTest, AutoShardingMatchesSerialOnRealQuery) {
+// covered above at the stage level; here ensure the default storage layout
+// also matches serial on a real query that has candidates within
+// tie_epsilon of their bound (common on symmetric structures).
+TEST(PruneStageTest, DefaultShardingMatchesSerialOnRealQuery) {
   Graph graph = MakeSeededGraph(1);
   TransitionOperator op(graph);
   auto hubs = SelectHubs(graph, {.degree_budget_b = 6});
@@ -368,17 +373,17 @@ TEST(PruneStageTest, AutoShardingMatchesSerialOnRealQuery) {
 
   PruneStageOptions opts;
   opts.k = 5;
-  opts.shard_size = graph.num_nodes();
   opts.max_parallelism = 1;
-  const PruneResult serial = RunPruneStage(*index, *to_q, opts, nullptr);
+  const LowerBoundIndex one_shard(*index, graph.num_nodes());
+  const PruneResult serial = RunPruneStage(one_shard, *to_q, opts, nullptr);
 
   ThreadPool pool(4);
-  opts.shard_size = 0;  // auto
   opts.max_parallelism = 0;
   const PruneResult sharded = RunPruneStage(*index, *to_q, opts, &pool);
   EXPECT_EQ(sharded.hits, serial.hits);
   EXPECT_EQ(sharded.undecided, serial.undecided);
   EXPECT_EQ(sharded.candidates, serial.candidates);
+  EXPECT_EQ(sharded.shards_scanned, index->num_shards());
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -31,6 +32,9 @@ EngineOptions CoarseOptions() {
   opts.hub_selection.degree_budget_b = 5;
   opts.bca.delta = 0.5;
   opts.num_threads = 2;
+  // Small shards so the 250-node test graphs span several storage shards
+  // and publishes exercise real copy-on-write, not a single-shard clone.
+  opts.shard_nodes = 32;
   return opts;
 }
 
@@ -114,6 +118,26 @@ TEST(RefinementLogTest, KeepsTightestDeltaPerNode) {
   }
   EXPECT_EQ(log.pending(), 0u);
   EXPECT_TRUE(log.Drain().empty());
+}
+
+TEST(RefinementLogTest, DrainByShardGroupsAndSortsByNode) {
+  RefinementLog log;
+  log.Append({{300, {0.5}, {}, 0.4},
+              {2, {0.3}, {}, 0.5},
+              {257, {0.2}, {}, 0.6},
+              {5, {0.1}, {}, 0.7}});
+  auto groups = log.DrainByShard(/*shard_nodes=*/256);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].shard, 0u);
+  ASSERT_EQ(groups[0].deltas.size(), 2u);
+  EXPECT_EQ(groups[0].deltas[0].node, 2u);
+  EXPECT_EQ(groups[0].deltas[1].node, 5u);
+  EXPECT_EQ(groups[1].shard, 1u);
+  ASSERT_EQ(groups[1].deltas.size(), 2u);
+  EXPECT_EQ(groups[1].deltas[0].node, 257u);
+  EXPECT_EQ(groups[1].deltas[1].node, 300u);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_TRUE(log.DrainByShard(256).empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -243,6 +267,48 @@ TEST(ServingEngineTest, CacheInvalidationOnEpochBump) {
   EXPECT_EQ(stats.cache_misses, 2u);
   EXPECT_EQ(stats.epochs_published, 1u);
   EXPECT_GT(stats.deltas_applied, 0u);
+}
+
+// The publish-cost property the sharded storage exists for: a publish
+// privatizes only the shards its delta batch touches, and every clean
+// shard of consecutive snapshots is physically shared memory.
+TEST(ServingEngineTest, PublishCopiesOnlyDirtyShards) {
+  auto engine = BuildTestEngine(91);
+  ASSERT_TRUE(engine.ok());
+  ServingOptions serving_opts;
+  serving_opts.num_threads = 1;
+  serving_opts.publish_threshold = 0;  // manual publishing only
+  auto serving = ServingEngine::Create(**engine, serving_opts);
+  ASSERT_TRUE(serving.ok());
+  auto before = (*serving)->snapshot();
+  const uint32_t num_shards = before->index().num_shards();
+  ASSERT_GT(num_shards, 4u) << "test graph must span several shards";
+
+  auto r = (*serving)->Query(17, 8);
+  ASSERT_TRUE(r.ok());
+  const uint64_t applied = (*serving)->PublishPending();
+  ASSERT_GT(applied, 0u);
+  const ServingStats stats = (*serving)->stats();
+  EXPECT_EQ(stats.index_shards, num_shards);
+  EXPECT_GE(stats.shards_copied, 1u);
+  // No more shards copied than deltas applied or shards in existence.
+  EXPECT_LE(stats.shards_copied,
+            std::min<uint64_t>(applied, num_shards));
+
+  // Shards the publish did not dirty are the same memory in both epochs.
+  auto after = (*serving)->snapshot();
+  ASSERT_EQ(after->epoch(), before->epoch() + 1);
+  uint32_t shared = 0, copied = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (after->index().ShardLowerBounds(s).data() ==
+        before->index().ShardLowerBounds(s).data()) {
+      ++shared;
+    } else {
+      ++copied;
+    }
+  }
+  EXPECT_EQ(copied, stats.shards_copied);
+  EXPECT_EQ(shared + copied, num_shards);
 }
 
 // The ci.sh TSan target: N threads of mixed cached/uncached queries racing

@@ -6,6 +6,10 @@
 //                                                 (threads != 1: staged
 //                                                 pipeline fans out)
 //   stats <edge_list> <index>                     print index statistics
+//   index-info <index>                            inspect an index file:
+//                                                 format version, shard
+//                                                 layout, sizes (no graph
+//                                                 needed)
 //   topk <edge_list> <u> <k>                      forward top-k (exact)
 //   pagerank <edge_list> [count]                  top PageRank nodes
 //   contrib <edge_list> <q> [count]               top contributors to q (PMPN)
@@ -32,6 +36,7 @@
 #include "graph/generators.h"
 #include "graph/graph_analysis.h"
 #include "graph/graph_io.h"
+#include "index/index_io.h"
 #include "rwr/pagerank.h"
 #include "rwr/pmpn.h"
 #include "rwr/power_method.h"
@@ -49,6 +54,7 @@ int Usage() {
                "  rtk_cli build-index <edge_list> <index_out> [K=100] [B=n/50]\n"
                "  rtk_cli query <edge_list> <index> <q> <k> [threads=1]\n"
                "  rtk_cli stats <edge_list> <index>\n"
+               "  rtk_cli index-info <index>\n"
                "  rtk_cli topk <edge_list> <u> <k>\n"
                "  rtk_cli pagerank <edge_list> [count=10]\n"
                "  rtk_cli contrib <edge_list> <q> [count=10]\n"
@@ -146,6 +152,56 @@ int CmdStats(int argc, char** argv) {
               static_cast<unsigned long long>(s.hub_entries_stored),
               static_cast<unsigned long long>(s.hub_entries_dropped));
   std::printf("total:        %.2f MiB\n", s.TotalBytes() / 1048576.0);
+  return 0;
+}
+
+int CmdIndexInfo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string path = argv[2];
+  auto info = ReadIndexFileInfo(path);
+  if (!info.ok()) return Fail(info.status());
+  std::printf("file:           %s (%.2f MiB)\n", path.c_str(),
+              info->file_bytes / 1048576.0);
+  std::printf("format version: %u%s\n", info->format_version,
+              info->format_version == 1 ? " (legacy monolithic)" : "");
+  std::printf("nodes:          %u\n", info->num_nodes);
+  std::printf("capacity K:     %u\n", info->capacity_k);
+  std::printf("hubs:           %u (%llu stored entries)\n", info->num_hubs,
+              static_cast<unsigned long long>(info->hub_entries));
+  if (info->format_version >= 2) {
+    std::printf("shard layout:   %u shards x %u nodes\n", info->num_shards,
+                info->shard_nodes);
+  } else {
+    std::printf("shard layout:   none (v1 file; loads into default shards)\n");
+  }
+
+  // Full load for the payload-level statistics (verifies checksums too).
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  auto index = LoadIndex(path, info->num_nodes, &pool);
+  if (!index.ok()) return Fail(index.status());
+  const IndexStats s = index->ComputeStats();
+  std::printf("exact nodes:    %llu / %u\n",
+              static_cast<unsigned long long>(s.exact_nodes), s.num_nodes);
+  std::printf("top-K bytes:    %llu\n",
+              static_cast<unsigned long long>(s.topk_bytes));
+  std::printf("state bytes:    %llu\n",
+              static_cast<unsigned long long>(s.state_bytes));
+  std::printf("hub bytes:      %llu (dropped %llu entries by rounding)\n",
+              static_cast<unsigned long long>(s.hub_store_bytes),
+              static_cast<unsigned long long>(s.hub_entries_dropped));
+  std::printf("total:          %.2f MiB\n", s.TotalBytes() / 1048576.0);
+  if (!s.shard_bytes.empty()) {
+    uint64_t min_b = s.shard_bytes[0], max_b = s.shard_bytes[0], sum = 0;
+    for (uint64_t b : s.shard_bytes) {
+      min_b = std::min(min_b, b);
+      max_b = std::max(max_b, b);
+      sum += b;
+    }
+    std::printf("shard bytes:    min %llu / avg %llu / max %llu\n",
+                static_cast<unsigned long long>(min_b),
+                static_cast<unsigned long long>(sum / s.shard_bytes.size()),
+                static_cast<unsigned long long>(max_b));
+  }
   return 0;
 }
 
@@ -336,6 +392,7 @@ int main(int argc, char** argv) {
   if (cmd == "build-index") return CmdBuildIndex(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "index-info") return CmdIndexInfo(argc, argv);
   if (cmd == "topk") return CmdTopk(argc, argv);
   if (cmd == "pagerank") return CmdPagerank(argc, argv);
   if (cmd == "contrib") return CmdContrib(argc, argv);
