@@ -8,9 +8,16 @@
 // result cache participates exactly as it would in production. Set
 // RTK_BENCH_THREADS to override the max thread count, RTK_BENCH_QUERIES
 // for the workload size, RTK_BENCH_SCALE / RTK_BENCH_GRAPH as usual.
+//
+// Two more sweeps follow the head-to-head: an overload sweep (open-loop
+// offered load at 0.5-4x capacity through Submit(), reporting p50/p95/p99
+// request latency and the shed count from the bounded admission queue)
+// and the CoW publish-cost sweep. All three land in --json output.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -49,6 +56,24 @@ struct PublishRow {
   uint64_t applied = 0;
   uint64_t shards_copied = 0;
   double publish_ms = 0.0;
+};
+
+// One offered-load point of the overload sweep: open-loop arrivals at
+// `offered_qps` against a small worker pool with a bounded admission
+// queue, reporting tail latency of completed requests and how many were
+// shed with kResourceExhausted once offered load exceeded capacity.
+struct OverloadRow {
+  std::string graph;
+  int workers = 0;
+  size_t max_pending = 0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  size_t requests = 0;
 };
 
 // Runs `workload` across `num_threads` threads, each thread taking a
@@ -145,6 +170,124 @@ void RunSuite(std::vector<ThroughputRow>* rows) {
   }
 }
 
+// Overload sweep: offered load at 0.5x / 1x / 2x / 4x of a calibrated
+// closed-loop capacity, submitted open-loop (arrivals don't wait for
+// completions, like real traffic) through the async Submit path. Requests
+// bypass the result cache so every admitted request costs real work —
+// the sweep measures the scheduler, not the cache. The numbers to look
+// at: p99 latency exploding at >= 1x while the shed count (bounded
+// admission queue) keeps p50 of *admitted* requests sane — shedding is
+// the overload story, queue growth is not.
+void RunOverloadSweep(std::vector<OverloadRow>* rows) {
+  constexpr int kWorkers = 2;
+  constexpr size_t kMaxPending = 16;
+  for (auto& named : MakeGraphSuite(1)) {
+    EngineOptions opts;
+    opts.capacity_k = 50;
+    opts.hub_selection.degree_budget_b = named.graph.num_nodes() / 50 + 1;
+    auto engine = ReverseTopkEngine::Build(Graph(named.graph), opts);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   engine.status().ToString().c_str());
+      continue;
+    }
+    Rng rng(11);
+    const std::vector<uint32_t> workload =
+        SampleQueries((*engine)->graph(), NumQueries(200),
+                      QueryDistribution::kInDegreeBiased, &rng);
+
+    // Calibrate capacity with a closed-loop run on a throwaway engine
+    // (same snapshot: the serving layer never mutates the source engine).
+    double capacity_qps;
+    {
+      ServingOptions calibrate_opts;
+      calibrate_opts.num_threads = kWorkers;
+      calibrate_opts.max_pending = workload.size();
+      auto serving = ServingEngine::Create(**engine, calibrate_opts);
+      if (!serving.ok()) continue;
+      std::vector<QueryRequest> requests;
+      requests.reserve(workload.size());
+      for (uint32_t q : workload) {
+        QueryRequest request;
+        request.query = q;
+        request.k = kQueryK;
+        request.bypass_cache = true;
+        requests.push_back(request);
+      }
+      Stopwatch watch;
+      (*serving)->SubmitBatch(std::move(requests));
+      capacity_qps =
+          static_cast<double>(workload.size()) / watch.ElapsedSeconds();
+    }
+
+    std::printf("\noverload sweep on %s: %d workers, max_pending=%zu, "
+                "capacity ~%.0f q/s (cache bypassed)\n",
+                named.name.c_str(), kWorkers, kMaxPending, capacity_qps);
+    std::printf("%-12s %12s %9s %9s %9s %10s %6s\n", "offered q/s",
+                "achieved q/s", "p50 ms", "p95 ms", "p99 ms", "completed",
+                "shed");
+    for (double mult : {0.5, 1.0, 2.0, 4.0}) {
+      const double offered_qps = capacity_qps * mult;
+      ServingOptions serving_opts;
+      serving_opts.num_threads = kWorkers;
+      serving_opts.max_pending = kMaxPending;
+      auto serving = ServingEngine::Create(**engine, serving_opts);
+      if (!serving.ok()) continue;
+
+      std::vector<std::future<QueryResponse>> futures;
+      futures.reserve(workload.size());
+      const auto start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < workload.size(); ++i) {
+        // Open loop: the i-th arrival is scheduled at i/offered seconds
+        // regardless of how far behind the servers are.
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) / offered_qps)));
+        QueryRequest request;
+        request.query = workload[i];
+        request.k = kQueryK;
+        request.bypass_cache = true;
+        futures.push_back((*serving)->Submit(std::move(request)));
+      }
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(futures.size());
+      uint64_t shed = 0;
+      for (auto& future : futures) {
+        const QueryResponse response = future.get();
+        if (response.ok()) {
+          latencies_ms.push_back(response.timings.total_seconds * 1e3);
+        } else {
+          ++shed;  // only kResourceExhausted is possible here
+        }
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::sort(latencies_ms.begin(), latencies_ms.end());
+      OverloadRow row;
+      row.graph = named.name;
+      row.workers = kWorkers;
+      row.max_pending = kMaxPending;
+      row.offered_qps = offered_qps;
+      row.achieved_qps = static_cast<double>(latencies_ms.size()) / elapsed;
+      row.p50_ms = NearestRankPercentile(latencies_ms, 50);
+      row.p95_ms = NearestRankPercentile(latencies_ms, 95);
+      row.p99_ms = NearestRankPercentile(latencies_ms, 99);
+      row.completed = latencies_ms.size();
+      row.shed = shed;
+      row.requests = workload.size();
+      std::printf("%-12.1f %12.1f %9.2f %9.2f %9.2f %10llu %6llu\n",
+                  row.offered_qps, row.achieved_qps, row.p50_ms, row.p95_ms,
+                  row.p99_ms, static_cast<unsigned long long>(row.completed),
+                  static_cast<unsigned long long>(row.shed));
+      rows->push_back(std::move(row));
+    }
+  }
+}
+
 // Publish-cost sweep: clone-and-apply a synthetic delta batch against one
 // index resharded to several widths. The point the numbers make: publish
 // cost (time and shards copied) tracks the batch size, never n — the CoW
@@ -224,6 +367,7 @@ void RunPublishSweep(std::vector<PublishRow>* rows) {
 
 void WriteJson(const std::string& path,
                const std::vector<ThroughputRow>& rows,
+               const std::vector<OverloadRow>& overload_rows,
                const std::vector<PublishRow>& publish_rows) {
   JsonWriter json;
   json.BeginObject();
@@ -238,6 +382,23 @@ void WriteJson(const std::string& path,
     json.Key("serving_qps").Double(row.serving_qps);
     json.Key("speedup").Double(row.speedup);
     json.Key("cache_hit_pct").Double(row.cache_hit_pct);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("overload_sweep").BeginArray();
+  for (const OverloadRow& row : overload_rows) {
+    json.BeginObject();
+    json.Key("graph").String(row.graph);
+    json.Key("workers").Int(row.workers);
+    json.Key("max_pending").Int(static_cast<long long>(row.max_pending));
+    json.Key("offered_qps").Double(row.offered_qps);
+    json.Key("achieved_qps").Double(row.achieved_qps);
+    json.Key("p50_ms").Double(row.p50_ms);
+    json.Key("p95_ms").Double(row.p95_ms);
+    json.Key("p99_ms").Double(row.p99_ms);
+    json.Key("completed").Int(static_cast<long long>(row.completed));
+    json.Key("shed").Int(static_cast<long long>(row.shed));
+    json.Key("requests").Int(static_cast<long long>(row.requests));
     json.EndObject();
   }
   json.EndArray();
@@ -274,10 +435,12 @@ int main(int argc, char** argv) {
   const std::string json_path = rtk::bench::JsonPathArg(argc, argv);
   std::vector<rtk::bench::ThroughputRow> rows;
   rtk::bench::RunSuite(&rows);
+  std::vector<rtk::bench::OverloadRow> overload_rows;
+  rtk::bench::RunOverloadSweep(&overload_rows);
   std::vector<rtk::bench::PublishRow> publish_rows;
   rtk::bench::RunPublishSweep(&publish_rows);
   if (!json_path.empty()) {
-    rtk::bench::WriteJson(json_path, rows, publish_rows);
+    rtk::bench::WriteJson(json_path, rows, overload_rows, publish_rows);
   }
   return 0;
 }

@@ -5,6 +5,8 @@
 #                                 whole GoogleTest suite via ctest
 #   pass 2  ThreadSanitizer     — library + tests only, runs the concurrency
 #                                 suites (serving_test: inter-query;
+#                                 request_scheduler_test: async submit /
+#                                 admission / deadline-cancel paths;
 #                                 pipeline_test: intra-query stage fan-out)
 #                                 race-detection-clean
 #   pass 3  ASan+UBSan          — library + tests only, runs the storage-
@@ -16,7 +18,9 @@
 #                                 query-time bench (with --json, validating
 #                                 the machine-readable output) and the
 #                                 serving throughput bench — whose JSON now
-#                                 includes the CoW publish-cost sweep — so
+#                                 includes the overload sweep (latency
+#                                 percentiles + shed counts) and the CoW
+#                                 publish-cost sweep — so
 #                                 perf regressions fail loudly rather than
 #                                 rot
 #
@@ -34,16 +38,19 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "=== pass 2: TSan build + concurrency suites ==="
 cmake -B build-tsan -S . -DRTK_SANITIZE=thread \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j "$JOBS" --target serving_test pipeline_test
+cmake --build build-tsan -j "$JOBS" \
+      --target serving_test request_scheduler_test pipeline_test
 # halt_on_error: any report fails CI instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/request_scheduler_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/pipeline_test
 
 echo "=== pass 3: ASan+UBSan build + storage suites ==="
 cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$JOBS" \
-      --target index_test fault_injection_test serving_test pipeline_test
+      --target index_test fault_injection_test serving_test \
+               request_scheduler_test pipeline_test
 # halt_on_error: any report fails CI instead of just logging.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/index_test
@@ -51,6 +58,8 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/fault_injection_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/serving_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/request_scheduler_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/pipeline_test
 

@@ -20,6 +20,7 @@
 
 #include "apps/popularity.h"  // IWYU pragma: export
 #include "apps/spamrank.h"    // IWYU pragma: export
+#include "common/cancellation.h"  // IWYU pragma: export
 #include "common/result.h"    // IWYU pragma: export
 #include "common/rng.h"       // IWYU pragma: export
 #include "common/status.h"    // IWYU pragma: export
@@ -49,9 +50,11 @@
 #include "rwr/pagerank.h"         // IWYU pragma: export
 #include "rwr/pmpn.h"             // IWYU pragma: export
 #include "rwr/power_method.h"     // IWYU pragma: export
+#include "serving/admission_queue.h"  // IWYU pragma: export
 #include "serving/index_snapshot.h"  // IWYU pragma: export
 #include "serving/query_cache.h"     // IWYU pragma: export
 #include "serving/refinement_log.h"  // IWYU pragma: export
+#include "serving/request.h"         // IWYU pragma: export
 #include "serving/serving_engine.h"  // IWYU pragma: export
 #include "topk/kdash.h"           // IWYU pragma: export
 #include "topk/topk_search.h"     // IWYU pragma: export

@@ -1,0 +1,103 @@
+// Request-scoped execution control: cancellation tokens and deadlines.
+//
+// A CancellationToken is a shared flag a client flips to abandon work it no
+// longer wants; an ExecControl bundles a token with an absolute deadline and
+// is threaded through the query pipeline (QueryOptions::control) so a
+// long-running evaluation can abort at stage boundaries — between the
+// proximity solve, the per-shard prune scan, and individual refinement
+// candidates — instead of running to completion for a caller that stopped
+// listening. Checks are pull-based (the worker polls Check()), which keeps
+// the hot path free of any synchronization when no control is attached.
+
+#ifndef RTK_COMMON_CANCELLATION_H_
+#define RTK_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace rtk {
+
+/// \brief Monotonic clock used for deadlines throughout the library.
+using SteadyClock = std::chrono::steady_clock;
+using SteadyTimePoint = SteadyClock::time_point;
+
+/// \brief Sentinel for "no deadline".
+inline constexpr SteadyTimePoint kNoDeadline = SteadyTimePoint::max();
+
+/// \brief Absolute deadline `seconds` from now.
+inline SteadyTimePoint DeadlineAfter(double seconds) {
+  return SteadyClock::now() +
+         std::chrono::duration_cast<SteadyClock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+/// \brief A cooperatively checked cancellation flag. Copies share the flag;
+/// any copy may request cancellation and every copy observes it. The
+/// default-constructed token is inert (never cancelled, no allocation), so
+/// request types can carry one by value at zero cost until a caller opts in
+/// via Cancellable(). All methods are thread-safe.
+class CancellationToken {
+ public:
+  /// Inert token: cancelled() is always false, RequestCancel() is a no-op.
+  CancellationToken() = default;
+
+  /// \brief A live token whose copies share one cancellation flag.
+  static CancellationToken Cancellable() {
+    CancellationToken token;
+    token.state_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// \brief Flips the shared flag. Idempotent; no-op on an inert token.
+  void RequestCancel() const {
+    if (state_ != nullptr) state_->store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return state_ != nullptr && state_->load(std::memory_order_acquire);
+  }
+
+  /// \brief True when this token was created via Cancellable() (i.e. it can
+  /// ever report cancelled()).
+  bool cancellable() const { return state_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;  // null == inert
+};
+
+/// \brief Deadline + cancellation bundle polled by pipeline stages. The
+/// object is owned by the request's driver (e.g. the serving worker's
+/// stack) and must outlive the Query/Run call it is attached to.
+struct ExecControl {
+  SteadyTimePoint deadline = kNoDeadline;
+  CancellationToken cancel;
+
+  /// \brief True when there is anything to poll; pipelines skip every check
+  /// otherwise, keeping uncontrolled queries byte-for-byte on the old path.
+  bool active() const {
+    return deadline != kNoDeadline || cancel.cancellable();
+  }
+
+  /// \brief OK, or the abort reason. Cancellation wins over an expired
+  /// deadline (the client asked first).
+  Status Check() const {
+    if (cancel.cancelled()) return Status::Cancelled("request cancelled");
+    if (deadline != kNoDeadline && SteadyClock::now() >= deadline) {
+      return Status::DeadlineExceeded("request deadline expired");
+    }
+    return Status::OK();
+  }
+
+  /// \brief Cheap predicate form of Check() for inner loops.
+  bool ShouldAbort() const {
+    return cancel.cancelled() ||
+           (deadline != kNoDeadline && SteadyClock::now() >= deadline);
+  }
+};
+
+}  // namespace rtk
+
+#endif  // RTK_COMMON_CANCELLATION_H_

@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   kInternal = 8,
   kResourceExhausted = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -81,6 +83,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   /// @}
 

@@ -1,5 +1,7 @@
 #include "common/stopwatch.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace rtk {
@@ -31,6 +33,16 @@ std::string HumanSeconds(double seconds) {
     std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
   }
   return buf;
+}
+
+double NearestRankPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank: the smallest element with at least p% of the sample at
+  // or below it — sorted[ceil(p/100 * N) - 1].
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  if (rank <= 1.0) return sorted.front();
+  return sorted[std::min(sorted.size() - 1, static_cast<size_t>(rank) - 1)];
 }
 
 }  // namespace rtk

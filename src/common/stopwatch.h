@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace rtk {
 
@@ -39,6 +40,11 @@ std::string HumanBytes(uint64_t bytes);
 
 /// \brief Formats a duration in seconds as "123 us" / "45.6 ms" / "7.89 s".
 std::string HumanSeconds(double seconds);
+
+/// \brief Nearest-rank percentile (p in [0, 100]) of an ascending-sorted
+/// sample vector; 0 when empty. Used for request-latency reporting (the
+/// serving bench's overload sweep, rtk_cli serve-bench).
+double NearestRankPercentile(const std::vector<double>& sorted, double p);
 
 }  // namespace rtk
 

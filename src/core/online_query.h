@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "index/lower_bound_index.h"
@@ -78,6 +79,13 @@ struct QueryOptions {
   /// outlives the Query call; entries are appended, never cleared.
   /// Deltas arrive in ascending node order regardless of num_threads.
   std::vector<IndexDelta>* delta_sink = nullptr;
+  /// Deadline/cancellation bundle polled at stage boundaries (prox →
+  /// prune → refine), between prune shards and between refinement
+  /// candidates. When the query aborts (kDeadlineExceeded / kCancelled) no
+  /// index write-back happens and no deltas are emitted — a controlled
+  /// abort is all-or-nothing. Null (the default) skips every check; the
+  /// caller owns the object and must keep it alive through the Query call.
+  const ExecControl* control = nullptr;
 };
 
 /// \brief Counters filled in by Query (Figures 5-7 inputs).

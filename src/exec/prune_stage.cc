@@ -1,6 +1,7 @@
 #include "exec/prune_stage.h"
 
 #include <algorithm>
+#include <atomic>
 #include <span>
 
 #include "core/upper_bound.h"
@@ -72,16 +73,35 @@ PruneResult RunPruneStage(const LowerBoundIndex& index,
   }
 
   std::vector<ShardResult> shards(num_shards);
+  // Sticky abort flag: once any worker observes an expired deadline or a
+  // cancelled token, remaining shards are skipped (the scan "aborts
+  // between shards" — a shard is either fully scanned or untouched).
+  std::atomic<bool> aborted{false};
+  const ExecControl* control = options.control;
   // grain=1 makes each storage shard one work-queue item; shard boundaries
   // are the index's layout, never a function of scheduling.
   ParallelForRange(
       pool, 0, num_shards, workers, /*grain=*/1,
       [&](int64_t s_lo, int64_t s_hi) {
         for (int64_t s = s_lo; s < s_hi; ++s) {
+          if (control != nullptr && control->active()) {
+            if (aborted.load(std::memory_order_relaxed) ||
+                control->ShouldAbort()) {
+              aborted.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
           ScanShard(index, static_cast<uint32_t>(s), to_q, options,
                     &shards[s]);
         }
       });
+  if (aborted.load(std::memory_order_relaxed)) {
+    result.status = control->Check();
+    if (result.status.ok()) {  // unreachable: the abort reason is sticky
+      result.status = Status::Cancelled("prune scan aborted");
+    }
+    return result;
+  }
 
   // Deterministic merge: shard order == ascending node order.
   size_t total_hits = 0, total_undecided = 0;

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "index/lower_bound_index.h"
 
@@ -34,10 +36,17 @@ struct PruneStageOptions {
   bool approximate_hits_only = false;
   /// Worker cap for the shard scan (0 = whole pool, 1 = serial).
   int max_parallelism = 1;
+  /// Deadline/cancellation, polled before each shard's scan; an aborted
+  /// run reports the reason in PruneResult::status. Null skips all checks.
+  const ExecControl* control = nullptr;
 };
 
 /// \brief Stage output. Both lists are in ascending node order.
 struct PruneResult {
+  /// OK, or the abort reason (kDeadlineExceeded / kCancelled) when the
+  /// scan stopped between shards; the lists are then incomplete and must
+  /// be discarded.
+  Status status;
   /// Confirmed result nodes (paper's "hits").
   std::vector<uint32_t> hits;
   /// Candidates needing refinement (empty in approximate mode).

@@ -57,6 +57,15 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
                                                  const QueryOptions& options,
                                                  QueryStats* stats) {
   Stopwatch overhead_watch;
+  // A control that is already tripped (deadline in the past, token
+  // cancelled before dispatch) aborts before any stage spends work; the
+  // same check repeats at every stage boundary below. Inactive/null
+  // controls cost nothing anywhere.
+  const ExecControl* control =
+      (options.control != nullptr && options.control->active())
+          ? options.control
+          : nullptr;
+  if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
   const uint32_t n = op_->num_nodes();
   if (q >= n) {
     return Status::InvalidArgument("query node out of range");
@@ -86,6 +95,7 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
                                 &pmpn_stats));
   local.pmpn_iterations = pmpn_stats.iterations;
   local.pmpn_seconds = pmpn_watch.ElapsedSeconds();
+  if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
 
   // Stage 2 (Alg. 4 lines 2-11): sharded scan against the stored bounds.
   Stopwatch prune_watch;
@@ -94,7 +104,9 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   prune_opts.tie_epsilon = options.tie_epsilon;
   prune_opts.approximate_hits_only = options.approximate_hits_only;
   prune_opts.max_parallelism = max_parallelism;
+  prune_opts.control = control;
   PruneResult pruned = RunPruneStage(*index_, to_q, prune_opts, pool);
+  RTK_RETURN_NOT_OK(pruned.status);
   local.candidates = pruned.candidates;
   local.hits = pruned.hits.size();
   local.prune_seconds = prune_watch.ElapsedSeconds();
@@ -111,6 +123,7 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   refine_opts.update_index = options.update_index;
   refine_opts.pmpn = pmpn_opts;
   refine_opts.max_parallelism = max_parallelism;
+  refine_opts.control = control;
   RTK_ASSIGN_OR_RETURN(
       RefineResult refined,
       refine_->Run(pruned.undecided, to_q, refine_opts, pool));

@@ -35,6 +35,11 @@ Status RefineStage::RefineOne(uint32_t u, double p_u_q,
   const uint32_t capacity_k = index_->capacity_k();
   const double tie = options.tie_epsilon;
   const HubProximityStore& store = index_->hub_store();
+  const ExecControl* control =
+      (options.control != nullptr && options.control->active())
+          ? options.control
+          : nullptr;
+  if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
 
   // Incremental approx tracking keeps per-iteration cost proportional to
   // the delta instead of re-expanding every hub vector.
@@ -46,6 +51,12 @@ Status RefineStage::RefineOne(uint32_t u, double p_u_q,
   int iters_here = 0;
   int consecutive_stalls = 0;
   while (!decided) {
+    // Poll every 8 iterations: frequent enough that a stuck near-tie
+    // candidate (10^4+ iterations) honors a deadline promptly, rare enough
+    // that the clock read never shows up in profiles.
+    if (control != nullptr && (iters_here & 7) == 0) {
+      RTK_RETURN_NOT_OK(control->Check());
+    }
     if (iters_here >= options.max_refine_iterations_per_node ||
         consecutive_stalls >= options.max_stalled_refinements) {
       // BCA's push granularity is exhausted (or the iteration cap hit):
@@ -131,14 +142,27 @@ Result<RefineResult> RefineStage::Run(const std::vector<uint32_t>& candidates,
   // Per-candidate slots keep the merge deterministic no matter which
   // worker ran which candidate.
   std::vector<CandidateOutcome> outcomes(candidates.size());
+  // Sticky abort: the first candidate to observe an expired deadline or a
+  // cancelled token records the reason; the rest are skipped instead of
+  // each paying their own refinement before noticing.
+  std::atomic<bool> aborted{false};
+  const bool controlled =
+      options.control != nullptr && options.control->active();
   ParallelForRange(
       pool, 0, static_cast<int64_t>(candidates.size()),
       options.max_parallelism, /*grain=*/1, [&](int64_t lo, int64_t hi) {
         auto runner = runners_.Acquire();
         for (int64_t i = lo; i < hi; ++i) {
+          if (controlled && aborted.load(std::memory_order_relaxed)) {
+            outcomes[i].status = options.control->Check();
+            continue;
+          }
           const uint32_t u = candidates[i];
           outcomes[i].status = RefineOne(u, to_q[u], options, runner.get(),
                                          &outcomes[i]);
+          if (!outcomes[i].status.ok()) {
+            aborted.store(true, std::memory_order_relaxed);
+          }
         }
       });
 

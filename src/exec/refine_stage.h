@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bca/bca.h"
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/workspace_pool.h"
@@ -41,6 +42,12 @@ struct RefineStageOptions {
   RwrOptions pmpn;
   /// Worker cap for the candidate queue (0 = whole pool, 1 = serial).
   int max_parallelism = 1;
+  /// Deadline/cancellation, polled before each candidate and every few
+  /// refinement iterations inside a candidate's loop, so even one
+  /// long-refining node cannot pin an abandoned request. An aborted Run
+  /// returns the reason (kDeadlineExceeded / kCancelled) and emits no
+  /// deltas. Null skips all checks.
+  const ExecControl* control = nullptr;
 };
 
 /// \brief Stage output; both vectors are in ascending node order.

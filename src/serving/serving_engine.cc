@@ -1,13 +1,37 @@
 #include "serving/serving_engine.h"
 
-#include <condition_variable>
+#include <algorithm>
+#include <deque>
+#include <string>
 #include <utility>
 
 namespace rtk {
 
+namespace {
+
+/// Response skeleton echoing the request's identity fields; every
+/// delivery path (fast paths, shed, worker execution) starts from this so
+/// the echoes cannot drift apart.
+QueryResponse MakeResponseHeader(const QueryRequest& request) {
+  QueryResponse response;
+  response.query = request.query;
+  response.k = request.k;
+  response.priority = request.priority;
+  return response;
+}
+
+double SecondsSince(SteadyTimePoint start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
+
 ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
                              const ServingOptions& options)
-    : op_(&engine.transition()), options_(options), cache_(options.cache) {
+    : op_(&engine.transition()),
+      options_(options),
+      queue_(options.max_pending),
+      cache_(options.cache) {
   const int threads = options_.num_threads > 0 ? options_.num_threads
                                                : ThreadPool::DefaultThreads();
   pool_ = std::make_unique<ThreadPool>(threads);
@@ -16,9 +40,17 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
 }
 
 ServingEngine::~ServingEngine() {
-  // Workers are joined by the pool destructor; callers must not have
-  // Query() calls in flight on external threads at destruction time.
+  // The pool destructor drains its task queue before joining, so every
+  // dispatch ticket runs; tickets that executed while paused (or raced a
+  // concurrent pop) left their requests behind.
   pool_.reset();
+  // Fail whatever is still queued — a promise must never be dropped.
+  while (std::optional<PendingQuery> item = queue_.TryPop()) {
+    QueryResponse response = MakeResponseHeader(item->request);
+    response.status = Status::Cancelled("serving engine shut down");
+    response.timings.total_seconds = SecondsSince(item->enqueued_at);
+    item->deliver(std::move(response));
+  }
 }
 
 Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
@@ -34,6 +66,232 @@ std::shared_ptr<const IndexSnapshot> ServingEngine::snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
 }
+
+// --------------------------------------------------------------- submit --
+
+std::future<QueryResponse> ServingEngine::Submit(QueryRequest request) {
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+  Submit(std::move(request), [promise](QueryResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void ServingEngine::Submit(QueryRequest request, ResponseCallback on_done) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const SteadyTimePoint submitted_at = SteadyClock::now();
+
+  // Submit-thread fast paths — neither consumes a queue slot or a worker.
+  // 1. A control that is already tripped (deadline in the past, token
+  //    cancelled before submission) resolves immediately.
+  const ExecControl control{request.deadline, request.cancel};
+  if (control.active()) {
+    if (Status tripped = control.Check(); !tripped.ok()) {
+      QueryResponse response = MakeResponseHeader(request);
+      FinishAborted(std::move(tripped), &response);
+      response.timings.total_seconds = SecondsSince(submitted_at);
+      on_done(std::move(response));
+      return;
+    }
+  }
+  // 2. A result cached under the current epoch is handed out right here:
+  //    a hit costs one sharded-LRU probe, never admission latency — and
+  //    cache hits can never be shed. Misses fall through to the queue;
+  //    the worker skips re-probing (insert-only), so hit/miss counts stay
+  //    exactly one-per-request.
+  if (!request.bypass_cache && request.tier == AccuracyTier::kExact) {
+    std::shared_ptr<const IndexSnapshot> snap = snapshot();
+    const QueryCache::Key key{request.query, request.k, snap->epoch()};
+    if (QueryCache::Value cached = cache_.Lookup(key)) {
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse response = MakeResponseHeader(request);
+      response.epoch = snap->epoch();
+      response.cache_hit = true;
+      response.results = *cached;
+      response.timings.total_seconds = SecondsSince(submitted_at);
+      on_done(std::move(response));
+      return;
+    }
+  }
+
+  PendingQuery item;
+  item.request = std::move(request);
+  item.deliver = std::move(on_done);
+  item.enqueued_at = submitted_at;
+  if (!queue_.TryPush(item)) {
+    // Shed at admission: resolve synchronously on the submitting thread.
+    // The shed counter lives in the queue (see stats()).
+    QueryResponse response = MakeResponseHeader(item.request);
+    response.status = Status::ResourceExhausted(
+        "admission queue full (max_pending=" +
+        std::to_string(options_.max_pending) + ")");
+    response.timings.total_seconds = SecondsSince(submitted_at);
+    item.deliver(std::move(response));
+    return;
+  }
+  // One ticket per admitted request. Tickets are anonymous — each pops the
+  // most urgent pending request at execution time, so dispatch follows
+  // priority order even though the pool's own task queue is FIFO.
+  pool_->Submit([this] { DispatchOne(); });
+}
+
+void ServingEngine::DispatchOne() {
+  if (paused_.load(std::memory_order_acquire)) return;
+  std::optional<PendingQuery> item = queue_.TryPop();
+  if (!item) return;  // raced another ticket (or a Resume surplus)
+  ExecuteRequest(std::move(*item));
+}
+
+void ServingEngine::Pause() { paused_.store(true, std::memory_order_release); }
+
+void ServingEngine::Resume() {
+  paused_.store(false, std::memory_order_release);
+  // Tickets that ran while paused were consumed without popping; reissue
+  // one per backlog entry. Surplus tickets no-op harmlessly.
+  const size_t backlog = queue_.depth();
+  for (size_t i = 0; i < backlog; ++i) {
+    pool_->Submit([this] { DispatchOne(); });
+  }
+}
+
+void ServingEngine::FinishAborted(Status status, QueryResponse* response) {
+  if (status.code() == StatusCode::kCancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  response->status = std::move(status);
+}
+
+void ServingEngine::ExecuteRequest(PendingQuery item) {
+  const QueryRequest& request = item.request;
+  QueryResponse response = MakeResponseHeader(request);
+  response.timings.queue_seconds = SecondsSince(item.enqueued_at);
+
+  ExecControl control{request.deadline, request.cancel};
+  const auto deliver = [&] {
+    response.timings.total_seconds = SecondsSince(item.enqueued_at);
+    item.deliver(std::move(response));
+  };
+
+  // A queued request that expired or was cancelled while waiting is never
+  // run — under overload this is where most of the shed deadline budget
+  // comes back.
+  if (Status admitted = control.Check(); !admitted.ok()) {
+    FinishAborted(std::move(admitted), &response);
+    deliver();
+    return;
+  }
+  // Counted only now: `queries` means requests that reached execution.
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  response.epoch = snap->epoch();
+  // The cache probe happened on the submitting thread (Submit's fast
+  // path); this request missed, so the worker only inserts afterwards —
+  // re-probing here would double-count misses. Approximate-tier results
+  // are a different (subset) answer and must not collide with exact
+  // entries under the same (q, k, epoch) key; they are cheap to
+  // recompute, so they skip the cache entirely.
+  const bool cacheable =
+      !request.bypass_cache && request.tier == AccuracyTier::kExact;
+
+  PooledSearcher pooled = AcquireSearcher(snap);
+  QueryOptions query_opts = options_.query;
+  query_opts.k = request.k;
+  query_opts.approximate_hits_only =
+      request.tier == AccuracyTier::kApproximateHitsOnly;
+  query_opts.update_index = request.update_index;
+  if (request.num_threads != 0) query_opts.num_threads = request.num_threads;
+  std::vector<IndexDelta> deltas;
+  query_opts.delta_sink =
+      request.update_index ? &deltas : nullptr;  // capture, never write
+  query_opts.control = control.active() ? &control : nullptr;
+  Result<std::vector<uint32_t>> result =
+      pooled.searcher->Query(request.query, query_opts, &response.stats);
+  ReleaseSearcher(std::move(pooled));
+  response.timings.pmpn_seconds = response.stats.pmpn_seconds;
+  response.timings.prune_seconds = response.stats.prune_seconds;
+  response.timings.refine_seconds = response.stats.refine_seconds;
+  if (!result.ok()) {
+    // An aborted pipeline emitted no deltas and wrote nothing back; the
+    // snapshot chain is exactly as if the request never ran.
+    FinishAborted(result.status(), &response);
+    deliver();
+    return;
+  }
+
+  if (!deltas.empty()) {
+    log_.Append(std::move(deltas));
+    MaybePublish();
+  }
+  if (cacheable) {
+    // Keyed under the epoch actually served (it may have advanced past
+    // the one the submit-time probe missed on).
+    cache_.Insert(QueryCache::Key{request.query, request.k, snap->epoch()},
+                  std::make_shared<const std::vector<uint32_t>>(*result));
+  }
+  response.results = std::move(*result);
+  deliver();
+}
+
+// --------------------------------------------------- synchronous surface --
+
+Result<std::vector<uint32_t>> ServingEngine::Query(uint32_t q, uint32_t k) {
+  QueryRequest request;
+  request.query = q;
+  request.k = k;
+  QueryResponse response = Submit(std::move(request)).get();
+  if (!response.status.ok()) return response.status;
+  return std::move(response.results);
+}
+
+std::vector<QueryResponse> ServingEngine::QueryBatch(
+    const std::vector<uint32_t>& queries, uint32_t k) {
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (uint32_t q : queries) {
+    QueryRequest request;
+    request.query = q;
+    request.k = k;
+    request.priority = RequestPriority::kBatch;
+    requests.push_back(std::move(request));
+  }
+  return SubmitBatch(std::move(requests));
+}
+
+std::vector<QueryResponse> ServingEngine::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<QueryResponse> responses;
+  responses.reserve(requests.size());
+  // A batch is closed-loop (the caller blocks for everything), so it must
+  // not race its own backlog into the admission bound: cap the in-flight
+  // window at half of max_pending — deep enough to keep every worker fed,
+  // shallow enough that a lone batch can never shed itself and concurrent
+  // submitters keep queue room. Open-loop traffic arriving on top can
+  // still fill the queue, in which case individual batch entries carry
+  // kResourceExhausted like any other shed request.
+  const size_t window =
+      options_.max_pending == 0
+          ? requests.size()
+          : std::max<size_t>(1, options_.max_pending / 2);
+  std::deque<std::future<QueryResponse>> inflight;
+  for (QueryRequest& request : requests) {
+    if (inflight.size() >= window) {
+      responses.push_back(inflight.front().get());
+      inflight.pop_front();
+    }
+    inflight.push_back(Submit(std::move(request)));
+  }
+  while (!inflight.empty()) {
+    responses.push_back(inflight.front().get());
+    inflight.pop_front();
+  }
+  return responses;
+}
+
+// -------------------------------------------------------- searcher pool --
 
 ServingEngine::PooledSearcher ServingEngine::AcquireSearcher(
     const std::shared_ptr<const IndexSnapshot>& snap) {
@@ -72,61 +330,7 @@ void ServingEngine::ReleaseSearcher(PooledSearcher pooled) {
   free_searchers_.push_back(std::move(pooled));
 }
 
-Result<std::vector<uint32_t>> ServingEngine::Query(uint32_t q, uint32_t k) {
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  std::shared_ptr<const IndexSnapshot> snap = snapshot();
-  const QueryCache::Key key{q, k, snap->epoch()};
-  if (QueryCache::Value cached = cache_.Lookup(key)) {
-    return *cached;  // results are immutable; hand out a copy of the list
-  }
-
-  PooledSearcher pooled = AcquireSearcher(snap);
-  QueryOptions query_opts = options_.query;
-  query_opts.k = k;
-  query_opts.update_index = true;  // capture refinement...
-  std::vector<IndexDelta> deltas;
-  query_opts.delta_sink = &deltas;  // ...as deltas, never index writes
-  Result<std::vector<uint32_t>> result =
-      pooled.searcher->Query(q, query_opts, nullptr);
-  ReleaseSearcher(std::move(pooled));
-  if (!result.ok()) return result.status();
-
-  if (!deltas.empty()) {
-    log_.Append(std::move(deltas));
-    MaybePublish();
-  }
-  cache_.Insert(key, std::make_shared<const std::vector<uint32_t>>(*result));
-  return result;
-}
-
-Result<std::vector<std::vector<uint32_t>>> ServingEngine::QueryBatch(
-    const std::vector<uint32_t>& queries, uint32_t k) {
-  const size_t n = queries.size();
-  std::vector<Result<std::vector<uint32_t>>> partial(
-      n, Status::Internal("query not executed"));
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t remaining = n;
-  for (size_t i = 0; i < n; ++i) {
-    pool_->Submit([this, &queries, &partial, &mu, &done_cv, &remaining, i, k] {
-      Result<std::vector<uint32_t>> r = Query(queries[i], k);
-      std::lock_guard<std::mutex> lock(mu);
-      partial[i] = std::move(r);
-      if (--remaining == 0) done_cv.notify_all();
-    });
-  }
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&remaining] { return remaining == 0; });
-  }
-  std::vector<std::vector<uint32_t>> results;
-  results.reserve(n);
-  for (auto& r : partial) {
-    if (!r.ok()) return r.status();
-    results.push_back(std::move(*r));
-  }
-  return results;
-}
+// ------------------------------------------------------------- publish --
 
 void ServingEngine::MaybePublish() {
   if (options_.publish_threshold == 0) return;
@@ -196,6 +400,9 @@ uint64_t ServingEngine::PublishLocked() {
 
 ServingStats ServingEngine::stats() const {
   ServingStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.queries = queries_.load(std::memory_order_relaxed);
   stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
   stats.epochs_published = epochs_published_.load(std::memory_order_relaxed);
@@ -205,6 +412,10 @@ ServingStats ServingEngine::stats() const {
   stats.index_shards = snap->index().num_shards();
   stats.cache = cache_.stats();
   stats.log = log_.stats();
+  const AdmissionQueueStats queue = queue_.stats();
+  stats.shed = queue.shed;
+  stats.queue_depth = queue.depth;
+  stats.peak_queue_depth = queue.peak_depth;
   // Convenience aliases of the component counters (ServingEngine does one
   // cache lookup / log append per miss, so these are exact).
   stats.cache_hits = stats.cache.hits;

@@ -1,24 +1,44 @@
-// ServingEngine: the concurrent query front-end over a ReverseTopkEngine.
+// ServingEngine: the concurrent request scheduler over a ReverseTopkEngine.
 //
 // Architecture (one instance serves many threads):
 //
-//   callers ──► QueryCache (sharded LRU, keyed (q, k, epoch))
-//                  │ miss
-//                  ▼
-//           searcher pool ──reads──► IndexSnapshot (immutable, epoch E)
-//                  │ refinements as IndexDelta
-//                  ▼
-//           RefinementLog ──shard-grouped drain, single writer──►
-//                            CoW clone + ApplyIfTighter (copies only
-//                                                        │  dirty shards)
-//                                   publish epoch E+1 ◄──┘ (atomic swap)
+//   Submit(QueryRequest) ──► submit-thread fast path: tripped deadline /
+//          │                  cancel resolves immediately; QueryCache probe
+//          │                  (sharded LRU, keyed (q, k, epoch)) — a hit
+//          │                  never queues and can never be shed
+//          │ miss
+//          ▼
+//      AdmissionQueue (bounded, priority-ordered;
+//          │              full ⇒ shed with kResourceExhausted)
+//          │ dispatch ticket            │ priority pop
+//          ▼                            ▼
+//      worker pool ──► deadline/cancel check (expired queue-waiters
+//                            │                never run)
+//                            ▼
+//                 searcher pool ──reads──► IndexSnapshot (immutable, epoch E)
+//                            │ refinements as IndexDelta
+//                            ▼
+//                 RefinementLog ──shard-grouped drain, single writer──►
+//                                  CoW clone + ApplyIfTighter (copies only
+//                                                              │ dirty shards)
+//                                         publish epoch E+1 ◄──┘ (atomic swap)
 //
 // Guarantees:
-//  * Query() is safe from any number of threads, with zero locking on the
-//    index read path (snapshots are immutable).
-//  * Results are byte-identical to the serial ReverseTopkEngine on the
-//    same graph: Algorithm 4 is exact regardless of how tight the index
-//    bounds are, and refinement only tightens them (Section 4.2.3).
+//  * Submit() is safe from any number of threads; each request resolves
+//    exactly once — a future or callback — with a per-request Status
+//    (kResourceExhausted when shed at admission, kDeadlineExceeded /
+//    kCancelled when aborted, OK with results otherwise).
+//  * Backlog is bounded by ServingOptions::max_pending; overload degrades
+//    by shedding new arrivals, never by unbounded queue growth.
+//  * Dispatch is strict-priority (interactive > standard > batch), FIFO
+//    within a class; a request's deadline and cancellation token are also
+//    polled at pipeline stage boundaries while it runs, and an aborted
+//    request writes nothing back (all-or-nothing refinement capture).
+//  * A default-constructed request runs the identical pipeline
+//    configuration as the legacy Query(q, k) path: results and post-query
+//    index state are byte-identical to the serial ReverseTopkEngine on the
+//    same graph (Algorithm 4 is exact regardless of how tight the index
+//    bounds are; refinement only tightens them, Section 4.2.3).
 //  * Refinement is never lost, only deferred: deltas are merged and
 //    published once enough accumulate (or on explicit PublishPending()).
 
@@ -27,6 +47,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -35,16 +57,23 @@
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/online_query.h"
+#include "serving/admission_queue.h"
 #include "serving/index_snapshot.h"
 #include "serving/query_cache.h"
 #include "serving/refinement_log.h"
+#include "serving/request.h"
 
 namespace rtk {
 
 /// \brief Configuration of the serving layer.
 struct ServingOptions {
-  /// Worker threads for QueryBatch; 0 = hardware concurrency.
+  /// Worker threads executing admitted requests; 0 = hardware concurrency.
   int num_threads = 0;
+  /// Admission queue capacity: requests submitted while this many are
+  /// already pending are shed immediately with kResourceExhausted.
+  /// 0 disables shedding (unbounded backlog; not recommended in
+  /// production). Running requests do not count against the bound.
+  size_t max_pending = 1024;
   /// Result cache shape; capacity 0 disables caching entirely.
   QueryCacheOptions cache;
   /// Publish a new snapshot once this many refinement deltas are pending;
@@ -54,18 +83,28 @@ struct ServingOptions {
   /// batch — O(dirty shards) — not with n; the default 64 keeps epochs
   /// fresh at any index size.
   size_t publish_threshold = 64;
-  /// Base per-query options; k is overridden per call, update_index /
-  /// delta_sink are managed by the engine, and pmpn is inherited from the
-  /// source engine's solver settings in Create(). Set query.num_threads to
-  /// 0 (or > 1) to let idle pool workers parallelize individual queries —
-  /// best for latency under light load; the default 1 keeps every worker
-  /// serving its own query, which maximizes saturated throughput.
+  /// Base per-query options; k / tier / update_index / num_threads are
+  /// overridden per request, delta_sink and control are managed by the
+  /// engine, and pmpn is inherited from the source engine's solver
+  /// settings in Create(). Set query.num_threads to 0 (or > 1) to let idle
+  /// pool workers parallelize individual requests — best for latency under
+  /// light load; the default 1 keeps every worker serving its own request,
+  /// which maximizes saturated throughput.
   QueryOptions query;
 };
 
-/// \brief Aggregate serving counters (all monotone except current_epoch /
-/// pending_deltas, which are gauges).
+/// \brief Aggregate serving counters (all monotone except the *_depth /
+/// current_epoch / pending_deltas gauges).
 struct ServingStats {
+  /// Submit() calls, including shed ones.
+  uint64_t submitted = 0;
+  /// Requests shed at admission (queue full, kResourceExhausted).
+  uint64_t shed = 0;
+  /// Requests that missed their deadline — at dispatch or mid-pipeline.
+  uint64_t expired = 0;
+  /// Requests abandoned via their cancellation token.
+  uint64_t cancelled = 0;
+  /// Requests that reached execution (cache lookup or searcher run).
   uint64_t queries = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -82,6 +121,9 @@ struct ServingStats {
   uint64_t index_shards = 0;
   uint64_t current_epoch = 0;
   uint64_t pending_deltas = 0;
+  /// Admission backlog right now / its high-water mark.
+  size_t queue_depth = 0;
+  size_t peak_queue_depth = 0;
   QueryCacheStats cache;
   RefinementLogStats log;
 };
@@ -92,6 +134,8 @@ struct ServingStats {
 /// creation and never touched afterwards.
 class ServingEngine {
  public:
+  using ResponseCallback = std::function<void(QueryResponse)>;
+
   /// \brief Snapshots `engine`'s current index as epoch 0 and readies the
   /// worker pool. PMPN solver settings always come from the engine
   /// (options.query.pmpn is overwritten), keeping serving and serial
@@ -99,24 +143,69 @@ class ServingEngine {
   static Result<std::unique_ptr<ServingEngine>> Create(
       const ReverseTopkEngine& engine, const ServingOptions& options = {});
 
+  /// Destruction runs every admitted request to completion (the pool
+  /// drains its queue on shutdown), then fails anything still undispatched
+  /// (e.g. while paused) with kCancelled — no future is ever abandoned.
   ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
 
-  /// \brief Reverse top-k query; safe to call concurrently from any
-  /// thread. Serves from the cache when possible, otherwise runs a
-  /// snapshot-isolated searcher and records its refinements.
+  // ------------------------------------------------------- async surface --
+
+  /// \brief Admits `request` and returns a future for its response. Never
+  /// blocks: cache hits and already-tripped deadlines/tokens resolve on
+  /// this thread without queuing, and a full admission queue resolves the
+  /// future immediately with kResourceExhausted. Safe from any thread. Do
+  /// not block on the future from inside a response callback (the workers
+  /// are finite).
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// \brief Callback form: `on_done` is invoked exactly once with the
+  /// response — on a worker thread normally, or synchronously on the
+  /// submitting thread when the request resolves in Submit itself (cache
+  /// hit, pre-tripped deadline/cancel, or shed at admission). The
+  /// callback must not block on other futures of this engine.
+  void Submit(QueryRequest request, ResponseCallback on_done);
+
+  // -------------------------------------------- synchronous conveniences --
+
+  /// \brief Legacy surface: Submit(default request for (q, k)) + wait.
+  /// Identical results and index side effects to the pre-scheduler
+  /// blocking path for every request that executes — but execution now
+  /// goes through admission control: under overload (backlog at
+  /// max_pending) this can return kResourceExhausted where the old inline
+  /// path would have queued on a lock, and it blocks until Resume() when
+  /// dispatch is paused. Must not be called from a worker callback.
   Result<std::vector<uint32_t>> Query(uint32_t q, uint32_t k);
 
-  /// \brief Runs a batch of queries on the internal worker pool and
-  /// returns results aligned with `queries`. On any failure the first
-  /// failing query's status is returned.
-  Result<std::vector<std::vector<uint32_t>>> QueryBatch(
-      const std::vector<uint32_t>& queries, uint32_t k);
+  /// \brief Submits every query at RequestPriority::kBatch and waits for
+  /// all of them. The response vector is aligned with `queries`, each
+  /// element carrying its own Status — one failing query no longer
+  /// discards (or blocks) its siblings.
+  std::vector<QueryResponse> QueryBatch(const std::vector<uint32_t>& queries,
+                                        uint32_t k);
+
+  /// \brief As above, but with full per-request control. Submission is
+  /// windowed at max_pending / 2 in flight, so a batch of any size never
+  /// sheds itself against the admission bound (concurrent open-loop
+  /// traffic may still shed individual entries).
+  std::vector<QueryResponse> SubmitBatch(std::vector<QueryRequest> requests);
+
+  // ------------------------------------------------------- control plane --
+
+  /// \brief Stops dispatching admitted requests (running ones finish;
+  /// Submit keeps admitting/shedding against the bounded queue). With
+  /// Resume(), gives deterministic dispatch windows for tests and
+  /// maintenance (e.g. snapshot surgery). Call Pause/Resume from one
+  /// control thread.
+  void Pause();
+
+  /// \brief Resumes dispatch and reschedules the whole backlog.
+  void Resume();
 
   /// \brief The currently published snapshot (workers may still be
-  /// finishing queries against older epochs they acquired earlier).
+  /// finishing requests against older epochs they acquired earlier).
   std::shared_ptr<const IndexSnapshot> snapshot() const;
 
   /// \brief Current epoch, = snapshot()->epoch().
@@ -141,6 +230,16 @@ class ServingEngine {
 
   ServingEngine(const ReverseTopkEngine& engine, const ServingOptions& options);
 
+  /// One dispatch ticket: pops and executes the highest-priority pending
+  /// request (no-op while paused or when the backlog is empty).
+  void DispatchOne();
+
+  /// Runs one admitted request end to end and delivers its response.
+  void ExecuteRequest(PendingQuery item);
+
+  /// Counts an abort against the right counter and stamps the response.
+  void FinishAborted(Status status, QueryResponse* response);
+
   /// Pops a pooled searcher for `snap` (or builds one). Searchers hold
   /// O(n) workspaces, so reuse across queries matters.
   PooledSearcher AcquireSearcher(
@@ -157,6 +256,8 @@ class ServingEngine {
   mutable std::mutex snapshot_mu_;  // guards snapshot_ swap/load only
   std::shared_ptr<const IndexSnapshot> snapshot_;
 
+  AdmissionQueue queue_;
+  std::atomic<bool> paused_{false};
   RefinementLog log_;
   QueryCache cache_;
   std::mutex publish_mu_;  // serializes the single snapshot writer
@@ -164,8 +265,11 @@ class ServingEngine {
   std::mutex searchers_mu_;
   std::vector<PooledSearcher> free_searchers_;
 
-  // Hit/miss/recorded counts live in the cache and log; only counters no
-  // component tracks are kept here.
+  // Hit/miss/recorded counts live in the cache and log, admission counts
+  // in the queue; only counters no component tracks are kept here.
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> deltas_applied_{0};
   std::atomic<uint64_t> epochs_published_{0};

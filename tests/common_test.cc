@@ -60,6 +60,22 @@ TEST(StatusTest, AllCodesStringify) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(StopwatchTest, NearestRankPercentile) {
+  EXPECT_EQ(NearestRankPercentile({}, 50), 0.0);
+  const std::vector<double> sample = {1.0, 2.0, 3.0, 4.0};
+  // Nearest-rank: sorted[ceil(p/100 * N) - 1].
+  EXPECT_EQ(NearestRankPercentile(sample, 0), 1.0);
+  EXPECT_EQ(NearestRankPercentile(sample, 25), 1.0);
+  EXPECT_EQ(NearestRankPercentile(sample, 50), 2.0);
+  EXPECT_EQ(NearestRankPercentile(sample, 75), 3.0);
+  EXPECT_EQ(NearestRankPercentile(sample, 99), 4.0);
+  EXPECT_EQ(NearestRankPercentile(sample, 100), 4.0);
+  EXPECT_EQ(NearestRankPercentile({7.5}, 50), 7.5);
 }
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {

@@ -223,16 +223,24 @@ TEST(ServingEngineTest, QueryBatchMatchesSerial) {
   Rng rng(1);
   std::vector<uint32_t> queries =
       SampleQueries((*engine)->graph(), 24, QueryDistribution::kUniform, &rng);
-  auto batch = (*serving)->QueryBatch(queries, 6);
-  ASSERT_TRUE(batch.ok());
-  ASSERT_EQ(batch->size(), queries.size());
+  std::vector<QueryResponse> batch = (*serving)->QueryBatch(queries, 6);
+  ASSERT_EQ(batch.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status.ToString();
     auto expected = (*engine)->Query(queries[i], 6);
     ASSERT_TRUE(expected.ok());
-    EXPECT_EQ((*batch)[i], *expected) << "q=" << queries[i];
+    EXPECT_EQ(batch[i].results, *expected) << "q=" << queries[i];
   }
-  EXPECT_FALSE((*serving)->QueryBatch({0, 9999}, 6).ok())
-      << "out-of-range query must surface its status";
+
+  // Per-request status: a failing query no longer discards its siblings.
+  std::vector<QueryResponse> mixed = (*serving)->QueryBatch({3, 9999}, 6);
+  ASSERT_EQ(mixed.size(), 2u);
+  ASSERT_TRUE(mixed[0].ok()) << "sibling of a failing query must survive";
+  auto expected = (*engine)->Query(3, 6);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(mixed[0].results, *expected);
+  EXPECT_EQ(mixed[1].status.code(), StatusCode::kInvalidArgument)
+      << "out-of-range query must surface its own status";
 }
 
 TEST(ServingEngineTest, CacheInvalidationOnEpochBump) {

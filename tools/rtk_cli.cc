@@ -340,9 +340,15 @@ int CmdServeBench(int argc, char** argv) {
   auto serving = ServingEngine::Create(**engine, serving_opts);
   if (!serving.ok()) return Fail(serving.status());
   Stopwatch serving_watch;
-  auto batch = (*serving)->QueryBatch(workload, k);
-  if (!batch.ok()) return Fail(batch.status());
+  const std::vector<QueryResponse> batch = (*serving)->QueryBatch(workload, k);
   const double serving_seconds = serving_watch.ElapsedSeconds();
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(batch.size());
+  for (const QueryResponse& response : batch) {
+    if (!response.ok()) return Fail(response.status);
+    latencies_ms.push_back(response.timings.total_seconds * 1e3);
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
   const ServingStats sstats = (*serving)->stats();
 
   // Baseline: the engine's only safe concurrent recipe without the serving
@@ -373,6 +379,12 @@ int CmdServeBench(int argc, char** argv) {
   std::printf("serving engine:          %8.1f q/s  (%.3fs)  %.2fx\n",
               n / serving_seconds, serving_seconds,
               mutex_seconds / serving_seconds);
+  std::printf("request latency: p50 %.2f ms / p95 %.2f ms / p99 %.2f ms "
+              "(queue peak %zu, shed %llu)\n",
+              NearestRankPercentile(latencies_ms, 50),
+              NearestRankPercentile(latencies_ms, 95),
+              NearestRankPercentile(latencies_ms, 99), sstats.peak_queue_depth,
+              static_cast<unsigned long long>(sstats.shed));
   std::printf("cache: %llu hits / %llu lookups; refinement: %llu deltas "
               "recorded, %llu applied over %llu epochs\n",
               static_cast<unsigned long long>(sstats.cache_hits),
