@@ -7,13 +7,17 @@
 #                                 suites (serving_test: inter-query;
 #                                 request_scheduler_test: async submit /
 #                                 admission / deadline-cancel paths;
-#                                 pipeline_test: intra-query stage fan-out)
+#                                 pipeline_test: intra-query stage fan-out;
+#                                 proximity_backend_test: backend
+#                                 equivalence/superset guarantees + MC
+#                                 determinism under parallel fan-out)
 #                                 race-detection-clean
 #   pass 3  ASan+UBSan          — library + tests only, runs the storage-
 #                                 heavy subset (index/serving/pipeline/
-#                                 fault-injection) so shard lifetime bugs,
-#                                 buffer overruns in the v2 I/O path, and
-#                                 UB surface as hard failures
+#                                 proximity-backend/fault-injection) so
+#                                 shard lifetime bugs, buffer overruns in
+#                                 the v2 I/O path, and UB surface as hard
+#                                 failures
 #   pass 4  Release (-O3 -DNDEBUG) — optimized build; smoke-runs the fig5
 #                                 query-time bench (with --json, validating
 #                                 the machine-readable output) and the
@@ -39,18 +43,20 @@ echo "=== pass 2: TSan build + concurrency suites ==="
 cmake -B build-tsan -S . -DRTK_SANITIZE=thread \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$JOBS" \
-      --target serving_test request_scheduler_test pipeline_test
+      --target serving_test request_scheduler_test pipeline_test \
+               proximity_backend_test
 # halt_on_error: any report fails CI instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/request_scheduler_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/pipeline_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/proximity_backend_test
 
 echo "=== pass 3: ASan+UBSan build + storage suites ==="
 cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$JOBS" \
       --target index_test fault_injection_test serving_test \
-               request_scheduler_test pipeline_test
+               request_scheduler_test pipeline_test proximity_backend_test
 # halt_on_error: any report fails CI instead of just logging.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/index_test
@@ -62,6 +68,8 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/request_scheduler_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/pipeline_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/proximity_backend_test
 
 echo "=== pass 4: Release build + bench smokes ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \

@@ -31,6 +31,7 @@
 #include "core/upper_bound.h"   // IWYU pragma: export
 #include "dynamic/dynamic_engine.h"  // IWYU pragma: export
 #include "dynamic/graph_updates.h"   // IWYU pragma: export
+#include "exec/proximity_backends.h"  // IWYU pragma: export
 #include "exec/proximity_stage.h"  // IWYU pragma: export
 #include "exec/prune_stage.h"      // IWYU pragma: export
 #include "exec/query_pipeline.h"   // IWYU pragma: export

@@ -20,11 +20,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "exec/proximity_backends.h"
 #include "index/lower_bound_index.h"
 #include "rwr/pmpn.h"
 #include "rwr/transition.h"
@@ -50,6 +52,15 @@ struct QueryOptions {
   /// Section 5.3's approximate variant: return only lower-bound survivors
   /// confirmed by the *initial* upper bound ("hits"), skipping refinement.
   bool approximate_hits_only = false;
+  /// Stage-1 proximity backend selection (exec/proximity_backends.h). An
+  /// empty name uses the pipeline's default (exact PMPN unless overridden);
+  /// "monte-carlo" / "local-push" select the approximate estimators, whose
+  /// error certificates widen the prune-stage comparisons. Without
+  /// approximate_hits_only, results stay byte-identical to the exact
+  /// pipeline at every backend choice: uncertain candidates trigger one
+  /// bounded escalation to PMPN (QueryStats::escalated). With it, the
+  /// answer is the certified-hit subset and no escalation happens.
+  ProximityBackendConfig proximity;
   /// PMPN solver settings (alpha must match the index).
   RwrOptions pmpn;
   /// Refinement push strategy; batch is the paper's choice.
@@ -112,6 +123,26 @@ struct QueryStats {
   /// Nodes resolved by the exact-solve safety valve (0 in practice).
   uint64_t exact_fallbacks = 0;
   int pmpn_iterations = 0;
+  /// Stage-1 backend the query selected (QueryOptions::proximity resolved;
+  /// "pmpn" for the default exact pipeline).
+  std::string backend;
+  /// True when an approximate row could not certify the prune and stage 1
+  /// was re-run with PMPN (the bounded exactness fallback; results are
+  /// then byte-identical to the pure exact pipeline by construction).
+  bool escalated = false;
+  /// Error certificate the selected backend reported for its row (uniform
+  /// additive bounds; 0/0 for exact backends).
+  double prox_eps_below = 0.0;
+  double prox_eps_above = 0.0;
+  /// Whether the certificate of the row the answer was DERIVED from is a
+  /// deterministic guarantee (PMPN, local push, or any escalated query)
+  /// rather than a w.h.p. bound (non-escalated Monte-Carlo). The serving
+  /// layer only caches certified exact-tier answers.
+  bool prox_certified = true;
+  /// Approximate-backend work: Monte-Carlo walks simulated / local-push
+  /// node pushes (0 for PMPN, which reports pmpn_iterations instead).
+  uint64_t prox_walks = 0;
+  uint64_t prox_pushes = 0;
   /// Workers the pipeline actually fanned out across (1 = serial).
   int threads_used = 1;
   /// Stage 1: PMPN proximity solve.

@@ -2,11 +2,15 @@
 // compute p_{q,*}, the proximity from every node to the query node q.
 //
 // The stage is a seam: ProximityBackend abstracts HOW the row is obtained.
-// The shipped backend is exact PMPN (the paper's Algorithm 2) with its
+// The shipped exact backend is PMPN (the paper's Algorithm 2) with its
 // A^T x kernel blocked over node ranges on the pipeline's thread pool.
-// Approximate backends (Monte-Carlo walks, TPA-style cumulative push) can
-// be slotted in later without touching the prune/refine stages — they only
-// consume the dense row.
+// Approximate backends (Monte-Carlo walks, reverse local push — see
+// exec/proximity_backends.h) return the row together with an additive
+// error certificate, which the prune stage uses to widen its bound
+// comparisons: every node whose classification is not certain under the
+// reported error interval is flagged instead of silently misclassified,
+// and the pipeline either escalates to PMPN (exact tier) or drops it
+// (hits-only tier). The refine stage always consumes an exact row.
 
 #ifndef RTK_EXEC_PROXIMITY_STAGE_H_
 #define RTK_EXEC_PROXIMITY_STAGE_H_
@@ -22,6 +26,44 @@
 
 namespace rtk {
 
+/// \brief Stage-1 output: the proximity row plus its error certificate and
+/// the backend's work counters.
+///
+/// The certificate is an additive interval around every entry: the true
+/// proximity p_u(q) satisfies
+///
+///     values[u] - eps_below(u)  <=  p_u(q)  <=  values[u] + eps_above(u)
+///
+/// where eps_below(u)/eps_above(u) are the scalar bounds unless the
+/// optional per-node vector is present (then eps_node[u] bounds both sides
+/// and is typically much tighter for entries the backend estimated as 0).
+/// Exact backends report zero error; one-sided estimators (local push
+/// produces lower bounds) report eps_below = 0 with a positive eps_above.
+struct ProximityRow {
+  /// Element u estimates p_u(q), the proximity from u to q.
+  std::vector<double> values;
+  /// Uniform additive bounds: p_u(q) >= values[u] - eps_below and
+  /// p_u(q) <= values[u] + eps_above for every u. 0/0 asserts exactness.
+  double eps_below = 0.0;
+  double eps_above = 0.0;
+  /// Optional symmetric per-node bound |p_u(q) - values[u]| <= eps_node[u];
+  /// when non-empty it overrides the scalars (which then report the max).
+  std::vector<double> eps_node;
+  /// True when the bounds are deterministic guarantees (PMPN, local push);
+  /// false when they hold with high probability only (Monte-Carlo).
+  bool certified = true;
+  /// Backend work counters (whichever apply): PMPN iterations, Monte-Carlo
+  /// walks simulated, local-push node pushes.
+  int iterations = 0;
+  uint64_t walks = 0;
+  uint64_t pushes = 0;
+
+  /// \brief An exact row needs no widened comparisons anywhere.
+  bool exact() const {
+    return eps_below == 0.0 && eps_above == 0.0 && eps_node.empty();
+  }
+};
+
 /// \brief Strategy interface producing the to-q proximity row. Backends
 /// must be stateless w.r.t. queries (safe to reuse across calls from one
 /// pipeline; the pipeline serializes calls on itself).
@@ -29,16 +71,20 @@ class ProximityBackend {
  public:
   virtual ~ProximityBackend() = default;
 
-  /// \brief Computes p_{*,q}: element u is the proximity from u to q.
-  /// `pool` may be used for intra-call parallelism (null = serial);
-  /// implementations must return identical values at every thread count.
-  virtual Result<std::vector<double>> ComputeToNode(
-      uint32_t q, const RwrOptions& options, ThreadPool* pool,
-      int max_parallelism, IterativeSolveStats* stats) const = 0;
+  /// \brief Computes the row p_{*,q} (element u is the proximity from u to
+  /// q) with its error certificate. `options.alpha` is the index's restart
+  /// probability and binds every backend; the remaining RwrOptions fields
+  /// only concern iterative exact solvers. `pool` may be used for
+  /// intra-call parallelism (null = serial); implementations must return
+  /// identical values at every thread count.
+  virtual Result<ProximityRow> Compute(uint32_t q, const RwrOptions& options,
+                                       ThreadPool* pool,
+                                       int max_parallelism) const = 0;
 
-  /// \brief Whether the row is exact (PMPN) or approximate. Approximate
+  /// \brief Whether every row this backend produces is exact. Approximate
   /// backends trade Problem 1's exactness guarantee for speed; the
-  /// pipeline records the flag in its stats but does not change behavior.
+  /// pipeline keys its certify-or-escalate logic off the per-row
+  /// certificate (ProximityRow::exact()), not this flag.
   virtual bool exact() const = 0;
 
   virtual std::string_view name() const = 0;
@@ -50,11 +96,18 @@ class PmpnProximityBackend final : public ProximityBackend {
   /// The operator must outlive the backend.
   explicit PmpnProximityBackend(const TransitionOperator& op) : op_(&op) {}
 
-  Result<std::vector<double>> ComputeToNode(
-      uint32_t q, const RwrOptions& options, ThreadPool* pool,
-      int max_parallelism, IterativeSolveStats* stats) const override {
-    return ComputeProximityToNode(*op_, q, options, stats, pool,
-                                  max_parallelism);
+  Result<ProximityRow> Compute(uint32_t q, const RwrOptions& options,
+                               ThreadPool* pool,
+                               int max_parallelism) const override {
+    IterativeSolveStats stats;
+    RTK_ASSIGN_OR_RETURN(
+        std::vector<double> values,
+        ComputeProximityToNode(*op_, q, options, &stats, pool,
+                               max_parallelism));
+    ProximityRow row;
+    row.values = std::move(values);
+    row.iterations = stats.iterations;
+    return row;
   }
 
   bool exact() const override { return true; }

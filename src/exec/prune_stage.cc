@@ -17,41 +17,57 @@ struct ShardResult {
   uint64_t candidates = 0;
 };
 
-// Classifies storage shard s exactly like the serial Algorithm 4 scan:
-// the shard's own bound/residue slices are streamed front to back.
+// Classifies storage shard s exactly like the serial Algorithm 4 scan,
+// with every comparison widened by the proximity row's error bounds (see
+// the header): p_hi/p_lo bracket the true proximity, so a drop or a hit
+// holds for EVERY value inside the interval. With zero bounds p_hi == p_lo
+// == to_q[u] bitwise and the scan is the original exact classification,
+// branch for branch.
 void ScanShard(const LowerBoundIndex& index, uint32_t s,
                const std::vector<double>& to_q,
                const PruneStageOptions& options, ShardResult* out) {
   const uint32_t k = options.k;
   const uint32_t capacity_k = index.capacity_k();
   const double tie = options.tie_epsilon;
+  const double* eps_node =
+      options.eps_node != nullptr ? options.eps_node->data() : nullptr;
   const auto [lo, hi] = index.ShardNodeRange(s);
   const std::span<const double> lower_bounds = index.ShardLowerBounds(s);
   const std::span<const double> residues = index.ShardResidues(s);
   for (uint32_t u = lo; u < hi; ++u) {
-    const double p_u_q = to_q[u];  // exact proximity from u to q
-    if (p_u_q <= 0.0) {
-      continue;  // q unreachable from u: u cannot rank q (see class docs)
+    const double p_u_q = to_q[u];  // proximity estimate from u to q
+    const double e_below = eps_node != nullptr ? eps_node[u] : options.eps_below;
+    const double e_above = eps_node != nullptr ? eps_node[u] : options.eps_above;
+    const double p_hi = p_u_q + e_above;
+    const double p_lo = p_u_q - e_below;
+    if (p_hi <= 0.0) {
+      continue;  // q certifiedly unreachable from u (see class docs)
     }
     const double* row =
         lower_bounds.data() + static_cast<size_t>(u - lo) * capacity_k;
-    if (p_u_q < row[k - 1] - tie) {
+    const double cutoff = row[k - 1] - tie;
+    if (p_hi < cutoff) {
       continue;  // pruned by the index (never becomes a candidate)
     }
     ++out->candidates;
+    // A hit certificate must also rule the drop branches out for the whole
+    // interval; with an exact row this is vacuously true on this path.
+    const bool certified_alive = p_lo > 0.0 && p_lo >= cutoff;
 
     // Exact stored bounds decide immediately (Alg. 4 lines 5-7).
     const double residue = residues[u - lo];
     if (residue == 0.0) {
-      out->hits.push_back(u);
-      continue;
-    }
-
-    // First upper-bound test on the stored state (Alg. 4 lines 8-11).
-    const double ub = ComputeUpperBound({row, capacity_k}, k, residue);
-    if (p_u_q >= ub - tie) {
-      out->hits.push_back(u);
-      continue;
+      if (certified_alive) {
+        out->hits.push_back(u);
+        continue;
+      }
+    } else {
+      // First upper-bound test on the stored state (Alg. 4 lines 8-11).
+      const double ub = ComputeUpperBound({row, capacity_k}, k, residue);
+      if (certified_alive && p_lo >= ub - tie) {
+        out->hits.push_back(u);
+        continue;
+      }
     }
     if (!options.approximate_hits_only) out->undecided.push_back(u);
   }

@@ -4,6 +4,21 @@
 //   hit        stored bounds decide: exact entry, or p_u(q) >= ub_u - tie
 //   undecided  needs BCA refinement (stage 3)
 //
+// Error-certified pruning: when the proximity row is approximate, the
+// options carry its additive error bounds and every comparison is widened
+// so that a node is dropped/confirmed only if EVERY proximity value inside
+// its error interval would be dropped/confirmed by the exact scan:
+//   drop     p_hi <= 0, or p_hi < lb_u(k) - tie      (p_hi = value + eps)
+//   hit      p_lo > 0 and p_lo >= lb_u(k) - tie and
+//            (exact entry, or p_lo >= ub_u - tie)    (p_lo = value - eps)
+// Everything else is "undecided": its exact-scan classification is not
+// determined by the interval, so the pipeline must escalate to an exact
+// row (exact tier) or drop it (hits-only tier). Certified drops/hits are
+// therefore sound: hits are a subset of the exact answer and the
+// non-dropped set is a superset of the exact candidate set. With zero
+// error bounds the widened comparisons degenerate to the exact scan,
+// branch for branch.
+//
 // Scan partitions are the index's own storage shards (index_storage.h):
 // each work item reads exactly one shard's contiguous bound/residue slices
 // — the rows a worker classifies are the rows it streams, with no
@@ -34,6 +49,15 @@ struct PruneStageOptions {
   /// Section 5.3 approximate mode: undecided nodes are dropped instead of
   /// forwarded to refinement.
   bool approximate_hits_only = false;
+  /// Additive error bounds of the proximity row (ProximityRow's
+  /// certificate): the true p_u(q) lies in
+  /// [to_q[u] - eps_below, to_q[u] + eps_above], or within
+  /// (*eps_node)[u] of to_q[u] on both sides when eps_node is set (the
+  /// per-node vector overrides the scalars; caller-owned, size n). Zero /
+  /// null = the row is exact and the scan is the unwidened Algorithm 4.
+  double eps_below = 0.0;
+  double eps_above = 0.0;
+  const std::vector<double>* eps_node = nullptr;
   /// Worker cap for the shard scan (0 = whole pool, 1 = serial).
   int max_parallelism = 1;
   /// Deadline/cancellation, polled before each shard's scan; an aborted
@@ -47,11 +71,17 @@ struct PruneResult {
   /// scan stopped between shards; the lists are then incomplete and must
   /// be discarded.
   Status status;
-  /// Confirmed result nodes (paper's "hits").
+  /// Confirmed result nodes (paper's "hits"); with a widened scan these
+  /// are CERTIFIED hits (members of the exact answer for every proximity
+  /// value inside the error interval).
   std::vector<uint32_t> hits;
-  /// Candidates needing refinement (empty in approximate mode).
+  /// Candidates needing refinement (empty in approximate mode). With a
+  /// widened scan this holds the uncertain nodes — those whose exact
+  /// classification the error interval does not determine; refining them
+  /// requires an exact row (the pipeline's escalation path).
   std::vector<uint32_t> undecided;
-  /// Lower-bound survivors (hits + undecided + approximate-mode drops).
+  /// Lower-bound survivors (hits + undecided + approximate-mode drops);
+  /// with a widened scan, a certified superset of the exact count.
   uint64_t candidates = 0;
   /// Storage shards scanned (== index.num_shards(); introspection/tests).
   uint32_t shards_scanned = 0;

@@ -14,7 +14,7 @@ QueryPipeline::QueryPipeline(const TransitionOperator& op,
     : op_(&op),
       index_(index),
       mutable_index_(index),
-      proximity_(std::make_unique<PmpnProximityBackend>(op)),
+      pmpn_backend_(std::make_unique<PmpnProximityBackend>(op)),
       refine_(std::make_unique<RefineStage>(op, *index)) {}
 
 QueryPipeline::QueryPipeline(const TransitionOperator& op,
@@ -22,7 +22,7 @@ QueryPipeline::QueryPipeline(const TransitionOperator& op,
     : op_(&op),
       index_(&index),
       mutable_index_(nullptr),
-      proximity_(std::make_unique<PmpnProximityBackend>(op)),
+      pmpn_backend_(std::make_unique<PmpnProximityBackend>(op)),
       refine_(std::make_unique<RefineStage>(op, index)) {}
 
 QueryPipeline::~QueryPipeline() = default;
@@ -30,6 +30,30 @@ QueryPipeline::~QueryPipeline() = default;
 void QueryPipeline::set_proximity_backend(
     std::unique_ptr<ProximityBackend> backend) {
   proximity_ = std::move(backend);
+}
+
+Result<ProximityBackend*> QueryPipeline::ResolveBackend(
+    const ProximityBackendConfig& config) {
+  if (config.name.empty()) {
+    return proximity_ != nullptr ? proximity_.get() : pmpn_backend_.get();
+  }
+  if (config.name == kPmpnBackendName) return pmpn_backend_.get();
+  if (proximity_ != nullptr && config.name == proximity_->name()) {
+    return proximity_.get();
+  }
+  for (CachedBackend& cached : backend_cache_) {
+    if (cached.backend->name() != config.name) continue;
+    if (!(cached.config == config)) {
+      // Same name, new knobs (e.g. a different walk budget): rebuild.
+      RTK_ASSIGN_OR_RETURN(cached.backend, MakeProximityBackend(*op_, config));
+      cached.config = config;
+    }
+    return cached.backend.get();
+  }
+  RTK_ASSIGN_OR_RETURN(std::unique_ptr<ProximityBackend> built,
+                       MakeProximityBackend(*op_, config));
+  backend_cache_.push_back({config, std::move(built)});
+  return backend_cache_.back().backend.get();
 }
 
 ThreadPool* QueryPipeline::EffectivePool(const QueryOptions& options,
@@ -75,43 +99,82 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
         "k=" + std::to_string(options.k) + " outside [1, K=" +
         std::to_string(index_->capacity_k()) + "]");
   }
+  RTK_ASSIGN_OR_RETURN(ProximityBackend * backend,
+                       ResolveBackend(options.proximity));
   RwrOptions pmpn_opts = options.pmpn;
   pmpn_opts.alpha = index_->bca_options().alpha;  // one alpha everywhere
 
   QueryStats local;
   local.query = q;
   local.k = options.k;
+  local.backend = std::string(backend->name());
   int max_parallelism = 1;
   ThreadPool* pool = EffectivePool(options, &max_parallelism);
   local.threads_used = max_parallelism;
   local.overhead_seconds = overhead_watch.ElapsedSeconds();
 
-  // Stage 1 (Alg. 4 line 1): proximities from all nodes to q.
+  // Stage 1 (Alg. 4 line 1): proximities from all nodes to q, with the
+  // backend's error certificate.
   Stopwatch pmpn_watch;
-  IterativeSolveStats pmpn_stats;
-  RTK_ASSIGN_OR_RETURN(
-      std::vector<double> to_q,
-      proximity_->ComputeToNode(q, pmpn_opts, pool, max_parallelism,
-                                &pmpn_stats));
-  local.pmpn_iterations = pmpn_stats.iterations;
+  RTK_ASSIGN_OR_RETURN(ProximityRow row,
+                       backend->Compute(q, pmpn_opts, pool, max_parallelism));
+  local.pmpn_iterations = row.iterations;
+  local.prox_walks = row.walks;
+  local.prox_pushes = row.pushes;
+  local.prox_eps_below = row.eps_below;
+  local.prox_eps_above = row.eps_above;
+  local.prox_certified = row.certified;
   local.pmpn_seconds = pmpn_watch.ElapsedSeconds();
   if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
 
-  // Stage 2 (Alg. 4 lines 2-11): sharded scan against the stored bounds.
+  // Stage 2 (Alg. 4 lines 2-11): sharded scan against the stored bounds,
+  // widened by the row's error certificate (no-op widening when exact).
   Stopwatch prune_watch;
   PruneStageOptions prune_opts;
   prune_opts.k = options.k;
   prune_opts.tie_epsilon = options.tie_epsilon;
   prune_opts.approximate_hits_only = options.approximate_hits_only;
+  prune_opts.eps_below = row.eps_below;
+  prune_opts.eps_above = row.eps_above;
+  prune_opts.eps_node = row.eps_node.empty() ? nullptr : &row.eps_node;
   prune_opts.max_parallelism = max_parallelism;
   prune_opts.control = control;
-  PruneResult pruned = RunPruneStage(*index_, to_q, prune_opts, pool);
+  PruneResult pruned = RunPruneStage(*index_, row.values, prune_opts, pool);
   RTK_RETURN_NOT_OK(pruned.status);
   local.candidates = pruned.candidates;
   local.hits = pruned.hits.size();
   local.prune_seconds = prune_watch.ElapsedSeconds();
 
-  // Stage 3 (Alg. 4 line 13): refine the undecided candidates.
+  // Escalation: exact results are demanded but the approximate row could
+  // not certify every node's classification — the uncertain remainder
+  // cannot be refined against an approximate proximity. Re-run stage 1
+  // with PMPN and redo the scan exactly; everything downstream is then
+  // byte-identical to the pure exact pipeline. Bounded: PMPN's row is
+  // exact, so this happens at most once per query.
+  if (!row.exact() && !options.approximate_hits_only &&
+      !pruned.undecided.empty()) {
+    local.escalated = true;
+    pmpn_watch.Reset();
+    RTK_ASSIGN_OR_RETURN(
+        row, pmpn_backend_->Compute(q, pmpn_opts, pool, max_parallelism));
+    local.pmpn_iterations = row.iterations;
+    local.prox_certified = row.certified;  // the exact row anchors the answer
+    local.pmpn_seconds += pmpn_watch.ElapsedSeconds();
+    if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
+    prune_watch.Reset();
+    prune_opts.eps_below = 0.0;
+    prune_opts.eps_above = 0.0;
+    prune_opts.eps_node = nullptr;
+    pruned = RunPruneStage(*index_, row.values, prune_opts, pool);
+    RTK_RETURN_NOT_OK(pruned.status);
+    local.candidates = pruned.candidates;
+    local.hits = pruned.hits.size();
+    local.prune_seconds += prune_watch.ElapsedSeconds();
+  }
+
+  // Stage 3 (Alg. 4 line 13): refine the undecided candidates. The row
+  // here is exact whenever candidates exist (approximate rows either
+  // certified everything or escalated above).
   Stopwatch refine_watch;
   RefineStageOptions refine_opts;
   refine_opts.k = options.k;
@@ -126,7 +189,7 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   refine_opts.control = control;
   RTK_ASSIGN_OR_RETURN(
       RefineResult refined,
-      refine_->Run(pruned.undecided, to_q, refine_opts, pool));
+      refine_->Run(pruned.undecided, row.values, refine_opts, pool));
   local.refined_nodes = pruned.undecided.size();
   local.refine_iterations = refined.refine_iterations;
   local.exact_fallbacks = refined.exact_fallbacks;

@@ -20,6 +20,20 @@
 //     exactly like the serial loop (and ApplyIfTighter-based sinks merge
 //     monotonically anyway).
 //
+// Tiered proximity backends: stage 1 is name-keyed. Each Run resolves
+// QueryOptions::proximity against the built-in exact PMPN backend, the
+// settable default, or a lazily constructed cache entry (the factory in
+// exec/proximity_backends.h). An approximate backend returns its row with
+// an additive error certificate; the prune stage widens its comparisons by
+// it, yielding certified hits plus the uncertain remainder. When exact
+// results are demanded and any node is uncertain, the pipeline ESCALATES:
+// it recomputes stage 1 with PMPN and re-runs prune + refine on the exact
+// row — so results and index write-back are byte-identical to the pure
+// exact pipeline at every backend choice (bounded: at most one escalation
+// per query, observable via QueryStats::escalated). In hits-only mode the
+// uncertain nodes are dropped instead, making the answer a certified
+// subset of the exact one.
+//
 // The pipeline is the engine behind ReverseTopkSearcher; drive it directly
 // for stage-level control (custom proximity backends, stage timings).
 
@@ -33,6 +47,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/online_query.h"
+#include "exec/proximity_backends.h"
 #include "exec/proximity_stage.h"
 #include "exec/refine_stage.h"
 #include "index/lower_bound_index.h"
@@ -62,9 +77,22 @@ class QueryPipeline {
   /// pool of DefaultThreads() workers.
   void set_thread_pool(ThreadPool* pool) { external_pool_ = pool; }
 
-  /// \brief Swaps the proximity backend (stage 1 seam). Must not be null.
+  /// \brief Swaps the DEFAULT proximity backend — the one Run uses when
+  /// QueryOptions::proximity names nothing. Must not be null. The default
+  /// is also addressable by its name() in QueryOptions::proximity. The
+  /// built-in exact PMPN backend stays available regardless (it anchors
+  /// escalation).
   void set_proximity_backend(std::unique_ptr<ProximityBackend> backend);
-  const ProximityBackend& proximity_backend() const { return *proximity_; }
+  const ProximityBackend& proximity_backend() const {
+    return proximity_ != nullptr ? *proximity_ : *pmpn_backend_;
+  }
+
+  /// \brief Resolves a backend the way Run does: "" or the default's name
+  /// -> the default, "pmpn" -> the built-in exact backend, any other
+  /// registered name -> a cached instance built from `config` (rebuilt
+  /// when the config changed). InvalidArgument for unknown names.
+  Result<ProximityBackend*> ResolveBackend(
+      const ProximityBackendConfig& config);
 
   /// \brief Runs the staged Algorithm 4 for query node q.
   Result<std::vector<uint32_t>> Run(uint32_t q, const QueryOptions& options,
@@ -76,10 +104,18 @@ class QueryPipeline {
   /// Resolves (pool, worker cap) for a Run from options.num_threads.
   ThreadPool* EffectivePool(const QueryOptions& options, int* max_parallelism);
 
+  /// A name-keyed, config-pinned cache entry (see ResolveBackend).
+  struct CachedBackend {
+    ProximityBackendConfig config;
+    std::unique_ptr<ProximityBackend> backend;
+  };
+
   const TransitionOperator* op_;
   const LowerBoundIndex* index_;
   LowerBoundIndex* mutable_index_;  // null in read-only mode
-  std::unique_ptr<ProximityBackend> proximity_;
+  std::unique_ptr<ProximityBackend> pmpn_backend_;  // always available
+  std::unique_ptr<ProximityBackend> proximity_;     // optional default override
+  std::vector<CachedBackend> backend_cache_;
   std::unique_ptr<RefineStage> refine_;
   ThreadPool* external_pool_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;  // lazy, only without external

@@ -41,6 +41,7 @@ struct LocalPushOptions {
   /// with the query's aggregated contribution mass n*pr(q), so popular
   /// targets cost more.
   uint64_t max_pushes = 0;
+  bool operator==(const LocalPushOptions&) const = default;
 };
 
 /// \brief Result of a local contribution push.

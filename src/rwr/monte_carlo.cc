@@ -1,5 +1,7 @@
 #include "rwr/monte_carlo.h"
 
+#include <atomic>
+#include <cmath>
 #include <string>
 
 namespace rtk {
@@ -57,6 +59,87 @@ Result<std::vector<double>> MonteCarloCompletePath(
   const double scale = options.alpha / static_cast<double>(options.num_walks);
   for (double& v : visits) v *= scale;
   return visits;
+}
+
+Result<MonteCarloColumnResult> MonteCarloProximityColumn(
+    const TransitionOperator& op, uint32_t q,
+    const MonteCarloColumnOptions& options, ThreadPool* pool,
+    int max_parallelism) {
+  if (q >= op.num_nodes()) {
+    return Status::InvalidArgument("monte-carlo column: node out of range");
+  }
+  if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
+    return Status::InvalidArgument(
+        "monte-carlo column: alpha must be in (0, 1)");
+  }
+  if (options.walks_per_node == 0) {
+    return Status::InvalidArgument(
+        "monte-carlo column: walks_per_node must be positive");
+  }
+  if (!(options.confidence_delta > 0.0) || !(options.confidence_delta < 1.0)) {
+    return Status::InvalidArgument(
+        "monte-carlo column: confidence_delta must be in (0, 1)");
+  }
+
+  const uint32_t n = op.num_nodes();
+  const double alpha = options.alpha;
+  const uint64_t walks = options.walks_per_node;
+  const double inv_walks = 1.0 / static_cast<double>(walks);
+  // Empirical-Bernstein constants: per entry,
+  //   |p_hat - p| <= sqrt(2 p_hat(1-p_hat) L / R) + 3 L / R
+  // with L = ln(3n/delta) — the n under the log is the union bound making
+  // confidence_delta cover all n entries AT ONCE (a certified prune widens
+  // n comparisons simultaneously, so a per-entry bound would fail with
+  // probability ~n*delta) — plus the deterministic truncation tail (walks
+  // longer than the cap are counted as misses, biasing every entry down by
+  // at most (1-a)^cap).
+  const double log_term =
+      std::log(3.0 * static_cast<double>(n) / options.confidence_delta);
+  const double truncation =
+      std::pow(1.0 - alpha, static_cast<double>(options.max_walk_length));
+
+  MonteCarloColumnResult out;
+  out.estimates.assign(n, 0.0);
+  out.eps_node.assign(n, 0.0);
+  std::atomic<uint64_t> total_steps{0};
+
+  ParallelForRange(
+      pool, 0, n, max_parallelism, /*grain=*/64,
+      [&](int64_t lo, int64_t hi) {
+        uint64_t steps = 0;
+        for (int64_t s = lo; s < hi; ++s) {
+          const uint32_t u = static_cast<uint32_t>(s);
+          // Each source's stream depends only on (seed, u): the estimate is
+          // bitwise invariant under any parallel partition of the node range.
+          Rng rng(options.seed ^ (0x9E3779B97F4A7C15ull * (u + 1)));
+          uint64_t hits = 0;
+          for (uint64_t w = 0; w < walks; ++w) {
+            uint32_t cur = u;
+            for (uint32_t step = 0; step < options.max_walk_length; ++step) {
+              if (rng.Bernoulli(alpha)) {
+                hits += (cur == q) ? 1 : 0;  // walk restarts: endpoint = cur
+                break;
+              }
+              if (op.graph().OutDegree(cur) == 0) break;  // mass dies
+              cur = op.SampleOutNeighbor(cur, &rng);
+              ++steps;
+            }
+          }
+          const double p_hat = static_cast<double>(hits) * inv_walks;
+          out.estimates[s] = p_hat;
+          out.eps_node[s] =
+              std::sqrt(2.0 * p_hat * (1.0 - p_hat) * log_term * inv_walks) +
+              3.0 * log_term * inv_walks + truncation;
+        }
+        total_steps.fetch_add(steps, std::memory_order_relaxed);
+      });
+
+  for (uint32_t u = 0; u < n; ++u) {
+    if (out.eps_node[u] > out.eps_uniform) out.eps_uniform = out.eps_node[u];
+  }
+  out.total_walks = static_cast<uint64_t>(n) * walks;
+  out.total_steps = total_steps.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace rtk

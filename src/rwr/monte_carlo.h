@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "rwr/transition.h"
 
 namespace rtk {
@@ -39,6 +40,57 @@ Result<std::vector<double>> MonteCarloEndPoint(const TransitionOperator& op,
 Result<std::vector<double>> MonteCarloCompletePath(
     const TransitionOperator& op, uint32_t u, const MonteCarloOptions& options,
     Rng* rng);
+
+/// \brief Options for MonteCarloProximityColumn().
+struct MonteCarloColumnOptions {
+  double alpha = 0.15;
+  /// Walks simulated from EVERY source node; the estimator costs
+  /// n * walks_per_node * E[walk length] ~ n * walks_per_node / alpha
+  /// steps, so per-pair Monte-Carlo needs large budgets to compete with
+  /// PMPN's O(iterations * m) — exactly the Section 6.1 trade-off the
+  /// benches quantify.
+  uint64_t walks_per_node = 1024;
+  /// Safety cap on a single walk's length; walks that neither restart nor
+  /// die within the cap are counted as non-hits, and the truncated tail
+  /// mass (1-alpha)^max_walk_length is folded into the error bound.
+  uint32_t max_walk_length = 1000;
+  /// Base seed. Each source node derives an independent stream from
+  /// (seed, u), so the column is bitwise identical at every thread count.
+  uint64_t seed = 0x5EEDC0DEULL;
+  /// Failure probability of the WHOLE-ROW certificate: with probability
+  /// >= 1 - confidence_delta, every one of the n per-entry bounds holds
+  /// simultaneously (the per-entry bounds are union-bounded over n, which
+  /// is what a certified prune — n widened comparisons at once — needs).
+  double confidence_delta = 1e-4;
+  bool operator==(const MonteCarloColumnOptions&) const = default;
+};
+
+/// \brief Result of MonteCarloProximityColumn().
+struct MonteCarloColumnResult {
+  /// estimates[u] ~ p_u(q): fraction of walks from u that restart at q.
+  std::vector<double> estimates;
+  /// Per-entry additive bound: |estimates[u] - p_u(q)| <= eps_node[u],
+  /// all n entries simultaneously with probability >= 1 - confidence_delta
+  /// (empirical Bernstein, union-bounded over n, + the deterministic
+  /// truncation term). Entries estimated as 0 get the tight
+  /// O(log(n/delta)/walks) floor instead of the O(1/sqrt(walks)) rate.
+  std::vector<double> eps_node;
+  /// max over eps_node (the uniform bound).
+  double eps_uniform = 0.0;
+  uint64_t total_walks = 0;
+  uint64_t total_steps = 0;
+};
+
+/// \brief Estimates the COLUMN p_{*,q} (the contribution vector: proximity
+/// from every node TO q) by endpoint walks from each source node. This is
+/// the Monte-Carlo counterpart of PMPN / local push for the reverse top-k
+/// stage-1 row. Walks that reach a dangling node die without an endpoint
+/// (matching the substochastic transition matrix). Deterministic for a
+/// fixed seed at every (pool, max_parallelism) setting.
+Result<MonteCarloColumnResult> MonteCarloProximityColumn(
+    const TransitionOperator& op, uint32_t q,
+    const MonteCarloColumnOptions& options = {}, ThreadPool* pool = nullptr,
+    int max_parallelism = 0);
 
 }  // namespace rtk
 

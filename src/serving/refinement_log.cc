@@ -30,20 +30,39 @@ std::vector<IndexDelta> RefinementLog::Drain() {
 }
 
 std::vector<ShardDeltaGroup> RefinementLog::DrainByShard(
-    uint32_t shard_nodes) {
+    uint32_t shard_nodes, size_t min_shard_pending) {
   assert(shard_nodes > 0);
-  std::vector<IndexDelta> drained = Drain();
-  std::sort(drained.begin(), drained.end(),
-            [](const IndexDelta& a, const IndexDelta& b) {
-              return a.node < b.node;
-            });
+  std::lock_guard<std::mutex> lock(mu_);
+  // Sorted node order makes both the shard grouping and the within-group
+  // delta order deterministic regardless of map iteration order.
+  std::vector<uint32_t> nodes;
+  nodes.reserve(tightest_.size());
+  for (const auto& [node, delta] : tightest_) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+
+  const size_t threshold = std::max<size_t>(1, min_shard_pending);
   std::vector<ShardDeltaGroup> groups;
-  for (IndexDelta& delta : drained) {
-    const uint32_t shard = delta.node / shard_nodes;
-    if (groups.empty() || groups.back().shard != shard) {
-      groups.push_back({shard, {}});
+  size_t i = 0;
+  while (i < nodes.size()) {
+    const uint32_t shard = nodes[i] / shard_nodes;
+    size_t j = i;
+    while (j < nodes.size() && nodes[j] / shard_nodes == shard) ++j;
+    if (j - i >= threshold) {
+      ShardDeltaGroup group;
+      group.shard = shard;
+      group.deltas.reserve(j - i);
+      for (size_t p = i; p < j; ++p) {
+        auto it = tightest_.find(nodes[p]);
+        group.deltas.push_back(std::move(it->second));
+        tightest_.erase(it);
+      }
+      groups.push_back(std::move(group));
+    } else {
+      // Below the per-shard batching threshold: the shard's deltas stay
+      // pending (they drain on a later eager pass or an explicit flush).
+      deferred_ += j - i;
     }
-    groups.back().deltas.push_back(std::move(delta));
+    i = j;
   }
   return groups;
 }
@@ -59,6 +78,7 @@ RefinementLogStats RefinementLog::stats() const {
   stats.appended = appended_;
   stats.superseded = superseded_;
   stats.pending = tightest_.size();
+  stats.deferred = deferred_;
   return stats;
 }
 

@@ -30,6 +30,10 @@ struct RefinementLogStats {
   uint64_t superseded = 0;
   /// Deltas currently waiting to be drained.
   uint64_t pending = 0;
+  /// Deltas left pending by thresholded DrainByShard calls because their
+  /// shard was below min_shard_pending (cumulative across calls; the same
+  /// delta counts once per deferring drain).
+  uint64_t deferred = 0;
 };
 
 /// \brief Pending deltas of one storage shard, sorted by node.
@@ -48,12 +52,19 @@ class RefinementLog {
   /// \brief Removes and returns all pending deltas (unordered).
   std::vector<IndexDelta> Drain();
 
-  /// \brief Removes all pending deltas grouped by the storage shard that
-  /// owns each node (`shard_nodes` is the index's shard width). Groups are
-  /// in ascending shard order and each group's deltas in ascending node
+  /// \brief Removes pending deltas grouped by the storage shard that owns
+  /// each node (`shard_nodes` is the index's shard width). Groups are in
+  /// ascending shard order and each group's deltas in ascending node
   /// order, so the publisher dirties every copy-on-write shard exactly
   /// once, with sequential writes within it.
-  std::vector<ShardDeltaGroup> DrainByShard(uint32_t shard_nodes);
+  ///
+  /// Per-shard publish batching: only shards with at least
+  /// `min_shard_pending` pending deltas drain; the rest stay in the log
+  /// (counted in stats().deferred), so hot shards publish eagerly while
+  /// cold shards accumulate instead of forcing a copy-on-write clone for a
+  /// single delta. 0 (default) drains every dirty shard.
+  std::vector<ShardDeltaGroup> DrainByShard(uint32_t shard_nodes,
+                                            size_t min_shard_pending = 0);
 
   /// \brief Number of pending deltas.
   size_t pending() const;
@@ -65,6 +76,7 @@ class RefinementLog {
   std::unordered_map<uint32_t, IndexDelta> tightest_;
   uint64_t appended_ = 0;
   uint64_t superseded_ = 0;
+  uint64_t deferred_ = 0;
 };
 
 }  // namespace rtk

@@ -16,6 +16,7 @@
 #define RTK_SERVING_REQUEST_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -118,6 +119,11 @@ struct QueryResponse {
   uint64_t epoch = 0;
   /// True when the result came from the (q, k, epoch) cache.
   bool cache_hit = false;
+  /// Proximity backend that produced the row this answer was served from:
+  /// the tier's configured backend, or "pmpn" when an approximate backend
+  /// escalated (stats.escalated). Empty for cache hits and requests that
+  /// never ran.
+  std::string backend;
   RequestTimings timings;
   /// Full pipeline counters (zeroed for cache hits / sheds).
   QueryStats stats;

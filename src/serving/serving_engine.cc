@@ -105,6 +105,7 @@ void ServingEngine::Submit(QueryRequest request, ResponseCallback on_done) {
     const QueryCache::Key key{request.query, request.k, snap->epoch()};
     if (QueryCache::Value cached = cache_.Lookup(key)) {
       queries_.fetch_add(1, std::memory_order_relaxed);
+      exact_tier_queries_.fetch_add(1, std::memory_order_relaxed);
       QueryResponse response = MakeResponseHeader(request);
       response.epoch = snap->epoch();
       response.cache_hit = true;
@@ -185,6 +186,10 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
   }
   // Counted only now: `queries` means requests that reached execution.
   queries_.fetch_add(1, std::memory_order_relaxed);
+  const bool approximate_tier =
+      request.tier == AccuracyTier::kApproximateHitsOnly;
+  (approximate_tier ? approximate_tier_queries_ : exact_tier_queries_)
+      .fetch_add(1, std::memory_order_relaxed);
 
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   response.epoch = snap->epoch();
@@ -193,15 +198,19 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
   // re-probing here would double-count misses. Approximate-tier results
   // are a different (subset) answer and must not collide with exact
   // entries under the same (q, k, epoch) key; they are cheap to
-  // recompute, so they skip the cache entirely.
+  // recompute, so they skip the cache entirely. Exact-tier results remain
+  // cacheable for ANY configured backend: certify-or-escalate makes them
+  // byte-identical to PMPN's.
   const bool cacheable =
       !request.bypass_cache && request.tier == AccuracyTier::kExact;
 
   PooledSearcher pooled = AcquireSearcher(snap);
   QueryOptions query_opts = options_.query;
   query_opts.k = request.k;
-  query_opts.approximate_hits_only =
-      request.tier == AccuracyTier::kApproximateHitsOnly;
+  query_opts.approximate_hits_only = approximate_tier;
+  // Accuracy-tier routing: each tier runs its configured backend.
+  query_opts.proximity = approximate_tier ? options_.approximate_tier_backend
+                                          : options_.exact_tier_backend;
   query_opts.update_index = request.update_index;
   if (request.num_threads != 0) query_opts.num_threads = request.num_threads;
   std::vector<IndexDelta> deltas;
@@ -214,6 +223,13 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
   response.timings.pmpn_seconds = response.stats.pmpn_seconds;
   response.timings.prune_seconds = response.stats.prune_seconds;
   response.timings.refine_seconds = response.stats.refine_seconds;
+  // Which backend actually produced the served row.
+  response.backend = response.stats.escalated
+                         ? std::string(kPmpnBackendName)
+                         : response.stats.backend;
+  if (response.stats.escalated) {
+    backend_escalations_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (!result.ok()) {
     // An aborted pipeline emitted no deltas and wrote nothing back; the
     // snapshot chain is exactly as if the request never ran.
@@ -226,9 +242,12 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
     log_.Append(std::move(deltas));
     MaybePublish();
   }
-  if (cacheable) {
+  if (cacheable && response.stats.prox_certified) {
     // Keyed under the epoch actually served (it may have advanced past
-    // the one the submit-time probe missed on).
+    // the one the submit-time probe missed on). Answers derived from a
+    // merely-probabilistic certificate (a non-escalated Monte-Carlo row)
+    // are exact only w.h.p. — serve them once but never pin them into the
+    // epoch's cache.
     cache_.Insert(QueryCache::Key{request.query, request.k, snap->epoch()},
                   std::make_shared<const std::vector<uint32_t>>(*result));
   }
@@ -341,10 +360,15 @@ void ServingEngine::MaybePublish() {
   // delta-producing query).
   while (log_.pending() >= options_.publish_threshold) {
     if (!publish_mu_.try_lock()) return;
+    size_t drained = 0;
     {
       std::lock_guard<std::mutex> lock(publish_mu_, std::adopt_lock);
-      PublishLocked();
+      PublishLocked(options_.shard_publish_threshold, &drained);
     }
+    // Per-shard batching can leave every pending shard below its
+    // threshold: nothing drained means nothing will drain until more
+    // deltas arrive (or PublishPending flushes) — don't spin on it.
+    if (drained == 0) return;
   }
 }
 
@@ -352,7 +376,9 @@ uint64_t ServingEngine::PublishPending() {
   uint64_t applied;
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
-    applied = PublishLocked();
+    // Explicit flush: drain every dirty shard regardless of the per-shard
+    // batching threshold.
+    applied = PublishLocked(/*min_shard_pending=*/0);
   }
   // Deltas appended while we held the lock may have crossed the automatic
   // threshold with their MaybePublish losing the try_lock; re-check so
@@ -361,14 +387,21 @@ uint64_t ServingEngine::PublishPending() {
   return applied;
 }
 
-uint64_t ServingEngine::PublishLocked() {
+uint64_t ServingEngine::PublishLocked(size_t min_shard_pending,
+                                      size_t* drained) {
   std::shared_ptr<const IndexSnapshot> current = snapshot();
   // Deltas arrive grouped by storage shard so the copy-on-write clone
   // privatizes each dirty shard exactly once and writes it sequentially;
   // clean shards stay shared with the outgoing snapshot, making the
-  // publish cost O(dirty shards), not O(n*K).
-  std::vector<ShardDeltaGroup> groups =
-      log_.DrainByShard(current->index().shard_nodes());
+  // publish cost O(dirty shards), not O(n*K). Shards below
+  // min_shard_pending keep their deltas in the log (hot shards publish
+  // eagerly, cold shards accumulate).
+  std::vector<ShardDeltaGroup> groups = log_.DrainByShard(
+      current->index().shard_nodes(), min_shard_pending);
+  if (drained != nullptr) {
+    *drained = 0;
+    for (const ShardDeltaGroup& group : groups) *drained += group.deltas.size();
+  }
   if (groups.empty()) return 0;
   LowerBoundIndex next(current->index());  // shares every shard until written
   uint64_t applied = 0;
@@ -404,6 +437,12 @@ ServingStats ServingEngine::stats() const {
   stats.expired = expired_.load(std::memory_order_relaxed);
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.exact_tier_queries =
+      exact_tier_queries_.load(std::memory_order_relaxed);
+  stats.approximate_tier_queries =
+      approximate_tier_queries_.load(std::memory_order_relaxed);
+  stats.backend_escalations =
+      backend_escalations_.load(std::memory_order_relaxed);
   stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
   stats.epochs_published = epochs_published_.load(std::memory_order_relaxed);
   stats.shards_copied = shards_copied_.load(std::memory_order_relaxed);

@@ -39,6 +39,15 @@
 //    index state are byte-identical to the serial ReverseTopkEngine on the
 //    same graph (Algorithm 4 is exact regardless of how tight the index
 //    bounds are; refinement only tightens them, Section 4.2.3).
+//  * Accuracy tiers route to configured proximity backends
+//    (ServingOptions::exact_tier_backend / approximate_tier_backend).
+//    Exact-tier answers stay byte-identical to PMPN for ANY backend with
+//    a deterministic certificate — an approximate row either certifies
+//    the prune via its error bounds or escalates to PMPN
+//    (exec/query_pipeline.h); Monte-Carlo's certificate is probabilistic,
+//    so its non-escalated answers are exact w.h.p. and are never cached.
+//    Hits-only answers are certified subsets. QueryResponse::backend
+//    reports which backend served each request.
 //  * Refinement is never lost, only deferred: deltas are merged and
 //    published once enough accumulate (or on explicit PublishPending()).
 
@@ -83,6 +92,23 @@ struct ServingOptions {
   /// batch — O(dirty shards) — not with n; the default 64 keeps epochs
   /// fresh at any index size.
   size_t publish_threshold = 64;
+  /// Per-shard publish batching: an AUTOMATIC publish only drains storage
+  /// shards with at least this many pending deltas, so hot shards publish
+  /// eagerly while cold shards accumulate instead of being copied for a
+  /// single delta each epoch. 0 (default) drains every dirty shard (the
+  /// pre-batching behavior). Explicit PublishPending() always flushes
+  /// everything; deltas are never lost, only deferred.
+  size_t shard_publish_threshold = 0;
+  /// Proximity backend per accuracy tier (exec/proximity_backends.h).
+  /// kExact requests run exact_tier_backend — results stay byte-identical
+  /// to PMPN for ANY backend here, because an approximate row either
+  /// certifies the prune or escalates to PMPN (see exec/query_pipeline.h);
+  /// an approximate choice is a latency bet, not a correctness one.
+  /// kApproximateHitsOnly requests run approximate_tier_backend and return
+  /// the certified-hit subset with no refinement and no escalation — the
+  /// fast tier. Defaults: both PMPN (empty name = pipeline default).
+  ProximityBackendConfig exact_tier_backend;
+  ProximityBackendConfig approximate_tier_backend;
   /// Base per-query options; k / tier / update_index / num_threads are
   /// overridden per request, delta_sink and control are managed by the
   /// engine, and pmpn is inherited from the source engine's solver
@@ -106,6 +132,12 @@ struct ServingStats {
   uint64_t cancelled = 0;
   /// Requests that reached execution (cache lookup or searcher run).
   uint64_t queries = 0;
+  /// Executed requests by accuracy tier (cache hits count as exact-tier).
+  uint64_t exact_tier_queries = 0;
+  uint64_t approximate_tier_queries = 0;
+  /// Exact-tier requests whose approximate backend could not certify the
+  /// prune and re-ran stage 1 with PMPN (0 when the tier runs PMPN).
+  uint64_t backend_escalations = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   /// Refinement deltas recorded by queries (pre-dedup).
@@ -247,7 +279,13 @@ class ServingEngine {
   void ReleaseSearcher(PooledSearcher pooled);
 
   void MaybePublish();
-  uint64_t PublishLocked();
+
+  /// Drains shards with >= min_shard_pending deltas (0 = all) and
+  /// publishes when anything tightened. Returns deltas applied;
+  /// `drained` (optional) receives the number of deltas taken out of the
+  /// log — 0 means every pending shard was below the threshold and the
+  /// caller must not retry until more deltas arrive.
+  uint64_t PublishLocked(size_t min_shard_pending, size_t* drained = nullptr);
 
   const TransitionOperator* op_;
   ServingOptions options_;
@@ -271,6 +309,9 @@ class ServingEngine {
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> exact_tier_queries_{0};
+  std::atomic<uint64_t> approximate_tier_queries_{0};
+  std::atomic<uint64_t> backend_escalations_{0};
   std::atomic<uint64_t> deltas_applied_{0};
   std::atomic<uint64_t> epochs_published_{0};
   std::atomic<uint64_t> shards_copied_{0};

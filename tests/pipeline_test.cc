@@ -419,10 +419,11 @@ TEST(PipelineStatsTest, TimingInvariantsHoldByConstruction) {
 class ZeroBackend final : public ProximityBackend {
  public:
   explicit ZeroBackend(uint32_t n) : n_(n) {}
-  Result<std::vector<double>> ComputeToNode(uint32_t, const RwrOptions&,
-                                            ThreadPool*, int,
-                                            IterativeSolveStats*) const override {
-    return std::vector<double>(n_, 0.0);
+  Result<ProximityRow> Compute(uint32_t, const RwrOptions&, ThreadPool*,
+                               int) const override {
+    ProximityRow row;
+    row.values.assign(n_, 0.0);  // zero error bounds: the row claims exactness
+    return row;
   }
   bool exact() const override { return false; }
   std::string_view name() const override { return "zero-stub"; }

@@ -4,7 +4,9 @@
 //   build-index <edge_list> <index_out> [K] [B]   build + persist an index
 //   query <edge_list> <index> <q> <k> [threads]   run one reverse top-k query
 //                                                 (threads != 1: staged
-//                                                 pipeline fans out)
+//                                                 pipeline fans out;
+//                                                 --backend selects the
+//                                                 stage-1 estimator)
 //   stats <edge_list> <index>                     print index statistics
 //   index-info <index>                            inspect an index file:
 //                                                 format version, shard
@@ -33,6 +35,7 @@
 
 #include "common/stopwatch.h"
 #include "core/engine.h"
+#include "exec/proximity_backends.h"
 #include "graph/generators.h"
 #include "graph/graph_analysis.h"
 #include "graph/graph_io.h"
@@ -48,11 +51,45 @@ namespace {
 
 using namespace rtk;
 
+// --backend <name> (or --backend=<name>), extracted before positional
+// parsing. Empty = the default exact PMPN pipeline.
+std::string g_backend;
+
+// Strips "--backend foo" / "--backend=foo" out of argv, compacting it so
+// the positional subcommand parsers never see the flag.
+int ExtractBackendFlag(int argc, char** argv) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      g_backend = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--backend=", 0) == 0) {
+      g_backend = arg.substr(10);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  return out;
+}
+
+std::string RegisteredBackendList() {
+  std::string names;
+  for (std::string_view name : RegisteredProximityBackendNames()) {
+    if (!names.empty()) names += "|";
+    names += name;
+  }
+  return names;
+}
+
 int Usage() {
+  const std::string backends = RegisteredBackendList();
   std::fprintf(stderr,
                "usage:\n"
                "  rtk_cli build-index <edge_list> <index_out> [K=100] [B=n/50]\n"
-               "  rtk_cli query <edge_list> <index> <q> <k> [threads=1]\n"
+               "  rtk_cli query <edge_list> <index> <q> <k> [threads=1] "
+               "[--backend <name>]\n"
                "  rtk_cli stats <edge_list> <index>\n"
                "  rtk_cli index-info <index>\n"
                "  rtk_cli topk <edge_list> <u> <k>\n"
@@ -61,7 +98,13 @@ int Usage() {
                "  rtk_cli analyze <edge_list>\n"
                "  rtk_cli generate <rmat|ba|er|ws> <out> [scale=12]\n"
                "  rtk_cli serve-bench <edge_list> <index> [k=10] "
-               "[queries=500] [threads=hardware]\n");
+               "[queries=500] [threads=hardware] [--backend <name>]\n"
+               "\n"
+               "registered proximity backends (--backend): %s\n"
+               "  exact results at every choice: approximate backends run\n"
+               "  error-certified pruning and escalate to pmpn when the\n"
+               "  certificate cannot settle the answer.\n",
+               backends.c_str());
   return 2;
 }
 
@@ -114,19 +157,21 @@ int CmdQuery(int argc, char** argv) {
   query_opts.k = k;
   query_opts.pmpn = (*engine)->options().solver;
   query_opts.num_threads = (argc > 6) ? std::atoi(argv[6]) : 1;
+  query_opts.proximity.name = g_backend;
   QueryStats stats;
   auto result = (*engine)->QueryWithOptions(q, query_opts, &stats);
   if (!result.ok()) return Fail(result.status());
   std::printf("reverse top-%u of node %u: %zu nodes "
               "(cand=%llu hits=%llu refined=%llu, %.1f ms on %d threads: "
-              "pmpn %.1f + prune %.1f + refine %.1f)\n",
+              "prox %.1f + prune %.1f + refine %.1f; backend=%s%s)\n",
               k, q, result->size(),
               static_cast<unsigned long long>(stats.candidates),
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.refined_nodes),
               stats.total_seconds * 1e3, stats.threads_used,
               stats.pmpn_seconds * 1e3, stats.prune_seconds * 1e3,
-              stats.refine_seconds * 1e3);
+              stats.refine_seconds * 1e3, stats.backend.c_str(),
+              stats.escalated ? ", escalated to pmpn" : "");
   for (uint32_t u : *result) std::printf("%u\n", u);
   return 0;
 }
@@ -337,6 +382,10 @@ int CmdServeBench(int argc, char** argv) {
 
   ServingOptions serving_opts;
   serving_opts.num_threads = threads;
+  // --backend routes BOTH tiers through the chosen estimator (exact-tier
+  // requests stay result-identical via certify-or-escalate).
+  serving_opts.exact_tier_backend.name = g_backend;
+  serving_opts.approximate_tier_backend.name = g_backend;
   auto serving = ServingEngine::Create(**engine, serving_opts);
   if (!serving.ok()) return Fail(serving.status());
   Stopwatch serving_watch;
@@ -393,12 +442,19 @@ int CmdServeBench(int argc, char** argv) {
               static_cast<unsigned long long>(sstats.deltas_recorded),
               static_cast<unsigned long long>(sstats.deltas_applied),
               static_cast<unsigned long long>(sstats.epochs_published));
+  std::printf("backend: %s (%llu exact-tier / %llu hits-only requests, "
+              "%llu escalations to pmpn)\n",
+              g_backend.empty() ? "pmpn" : g_backend.c_str(),
+              static_cast<unsigned long long>(sstats.exact_tier_queries),
+              static_cast<unsigned long long>(sstats.approximate_tier_queries),
+              static_cast<unsigned long long>(sstats.backend_escalations));
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = ExtractBackendFlag(argc, argv);
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "build-index") return CmdBuildIndex(argc, argv);
