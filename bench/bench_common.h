@@ -136,6 +136,13 @@ class JsonWriter {
     out_ += std::to_string(v);
     return *this;
   }
+  /// Splices `json` — an already-serialized JSON value (e.g. a
+  /// MetricsSnapshot::ToJson() object) — in as the next value verbatim.
+  JsonWriter& Raw(const std::string& json) {
+    MaybeComma();
+    out_ += json;
+    return *this;
+  }
 
   const std::string& str() const { return out_; }
 

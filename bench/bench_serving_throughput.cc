@@ -97,7 +97,7 @@ double RunThreaded(const std::vector<uint32_t>& workload, int num_threads,
   return watch.ElapsedSeconds();
 }
 
-void RunSuite(std::vector<ThroughputRow>* rows) {
+void RunSuite(std::vector<ThroughputRow>* rows, std::string* metrics_json) {
   const int max_threads = static_cast<int>(
       EnvInt64("RTK_BENCH_THREADS",
                std::max(1u, std::thread::hardware_concurrency())));
@@ -144,6 +144,10 @@ void RunSuite(std::vector<ThroughputRow>* rows) {
             if (!r.ok()) std::abort();
           });
       const ServingStats sstats = (*serving)->stats();
+      // The last row's full registry snapshot rides along in the --json
+      // output (the max-thread run on the final graph — the configuration
+      // the trajectory tooling tracks).
+      *metrics_json = (*serving)->Metrics().ToJson();
 
       // Baseline: the engine's documented recipe for concurrent use
       // without the serving layer — one global mutex.
@@ -251,13 +255,12 @@ void RunOverloadSweep(std::vector<OverloadRow>* rows) {
         request.bypass_cache = true;
         futures.push_back((*serving)->Submit(std::move(request)));
       }
-      std::vector<double> latencies_ms;
-      latencies_ms.reserve(futures.size());
+      uint64_t completed = 0;
       uint64_t shed = 0;
       for (auto& future : futures) {
         const QueryResponse response = future.get();
         if (response.ok()) {
-          latencies_ms.push_back(response.timings.total_seconds * 1e3);
+          ++completed;
         } else {
           ++shed;  // only kResourceExhausted is possible here
         }
@@ -266,17 +269,25 @@ void RunOverloadSweep(std::vector<OverloadRow>* rows) {
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
-      std::sort(latencies_ms.begin(), latencies_ms.end());
+      // Percentiles come from the engine's own request-latency histogram
+      // (log2 buckets, upper-bound semantics — see obs/metrics.h), the
+      // same numbers a production scrape would report. Only executed
+      // requests are recorded, matching the old ok-responses-only sample.
+      const MetricsSnapshot metrics = (*serving)->Metrics();
+      const HistogramSnapshot* latency =
+          metrics.HistogramOf("rtk_serving_request_seconds");
+      const HistogramSnapshot empty_latency;
+      if (latency == nullptr) latency = &empty_latency;
       OverloadRow row;
       row.graph = named.name;
       row.workers = kWorkers;
       row.max_pending = kMaxPending;
       row.offered_qps = offered_qps;
-      row.achieved_qps = static_cast<double>(latencies_ms.size()) / elapsed;
-      row.p50_ms = NearestRankPercentile(latencies_ms, 50);
-      row.p95_ms = NearestRankPercentile(latencies_ms, 95);
-      row.p99_ms = NearestRankPercentile(latencies_ms, 99);
-      row.completed = latencies_ms.size();
+      row.achieved_qps = static_cast<double>(completed) / elapsed;
+      row.p50_ms = latency->Percentile(50) * 1e3;
+      row.p95_ms = latency->Percentile(95) * 1e3;
+      row.p99_ms = latency->Percentile(99) * 1e3;
+      row.completed = completed;
       row.shed = shed;
       row.requests = workload.size();
       std::printf("%-12.1f %12.1f %9.2f %9.2f %9.2f %10llu %6llu\n",
@@ -368,11 +379,15 @@ void RunPublishSweep(std::vector<PublishRow>* rows) {
 void WriteJson(const std::string& path,
                const std::vector<ThroughputRow>& rows,
                const std::vector<OverloadRow>& overload_rows,
-               const std::vector<PublishRow>& publish_rows) {
+               const std::vector<PublishRow>& publish_rows,
+               const std::string& metrics_json) {
   JsonWriter json;
   json.BeginObject();
   json.Key("bench").String("serving_throughput");
   json.Key("k").Int(kQueryK);
+  // The serving engine's full registry snapshot (counters, gauges, latency
+  // histograms) from the head-to-head's final configuration.
+  json.Key("metrics").Raw(metrics_json.empty() ? "{}" : metrics_json);
   json.Key("rows").BeginArray();
   for (const ThroughputRow& row : rows) {
     json.BeginObject();
@@ -434,13 +449,15 @@ int main(int argc, char** argv) {
       "speedup = mutex time / serving time at equal thread count");
   const std::string json_path = rtk::bench::JsonPathArg(argc, argv);
   std::vector<rtk::bench::ThroughputRow> rows;
-  rtk::bench::RunSuite(&rows);
+  std::string metrics_json;
+  rtk::bench::RunSuite(&rows, &metrics_json);
   std::vector<rtk::bench::OverloadRow> overload_rows;
   rtk::bench::RunOverloadSweep(&overload_rows);
   std::vector<rtk::bench::PublishRow> publish_rows;
   rtk::bench::RunPublishSweep(&publish_rows);
   if (!json_path.empty()) {
-    rtk::bench::WriteJson(json_path, rows, overload_rows, publish_rows);
+    rtk::bench::WriteJson(json_path, rows, overload_rows, publish_rows,
+                          metrics_json);
   }
   return 0;
 }

@@ -10,7 +10,9 @@
 #                                 pipeline_test: intra-query stage fan-out;
 #                                 proximity_backend_test: backend
 #                                 equivalence/superset guarantees + MC
-#                                 determinism under parallel fan-out)
+#                                 determinism under parallel fan-out;
+#                                 obs_test: metrics registry / trace ring
+#                                 hammering with exact-total assertions)
 #                                 race-detection-clean
 #   pass 3  ASan+UBSan          — library + tests only, runs the storage-
 #                                 heavy subset (index/serving/pipeline/
@@ -44,19 +46,21 @@ cmake -B build-tsan -S . -DRTK_SANITIZE=thread \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$JOBS" \
       --target serving_test request_scheduler_test pipeline_test \
-               proximity_backend_test
+               proximity_backend_test obs_test
 # halt_on_error: any report fails CI instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/request_scheduler_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/pipeline_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/proximity_backend_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/obs_test
 
 echo "=== pass 3: ASan+UBSan build + storage suites ==="
 cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$JOBS" \
       --target index_test fault_injection_test serving_test \
-               request_scheduler_test pipeline_test proximity_backend_test
+               request_scheduler_test pipeline_test proximity_backend_test \
+               obs_test
 # halt_on_error: any report fails CI instead of just logging.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/index_test
@@ -70,6 +74,8 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/pipeline_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/proximity_backend_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/obs_test
 
 echo "=== pass 4: Release build + bench smokes ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
@@ -82,5 +88,18 @@ test -s build-release/BENCH_fig5.json
 RTK_BENCH_QUERIES=50 RTK_BENCH_SCALE=0.25 \
     ./build-release/bench_serving_throughput --json build-release/BENCH_serving.json
 test -s build-release/BENCH_serving.json
+# The serving JSON must parse and must embed the engine's metrics registry
+# snapshot (counters + latency histograms), so the observability surface
+# can't silently fall out of the perf-trajectory artifacts.
+python3 - <<'PYEOF'
+import json
+doc = json.load(open('build-release/BENCH_serving.json'))
+metrics = doc['metrics']
+assert 'rtk_serving_queries_total' in metrics, sorted(metrics)[:10]
+assert 'rtk_serving_request_seconds' in metrics
+hist = metrics['rtk_serving_request_seconds']
+assert hist['count'] > 0 and 'p99_seconds' in hist and 'buckets' in hist
+print('serving bench JSON ok: %d queries in the request histogram' % hist['count'])
+PYEOF
 
 echo "=== CI green ==="

@@ -44,6 +44,8 @@
 #include "graph/toy_graphs.h"     // IWYU pragma: export
 #include "index/index_io.h"       // IWYU pragma: export
 #include "index/index_storage.h"  // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
 #include "rwr/dense_solver.h"     // IWYU pragma: export
 #include "rwr/linear_solvers.h"   // IWYU pragma: export
 #include "rwr/local_push.h"       // IWYU pragma: export

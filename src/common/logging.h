@@ -1,23 +1,32 @@
 // Minimal leveled logging for the library and tools.
 //
 // The library itself logs nothing by default (quiet level); benches and
-// examples raise the level. Not a general-purpose logger: single-process,
-// stderr only, printf-style.
+// examples raise the level, and the RTK_LOG_LEVEL environment variable
+// (0 = quiet, 1 = info, 2 = debug) overrides the initial level without a
+// code change. Not a general-purpose logger: single-process, stderr only,
+// printf-style.
 
 #ifndef RTK_COMMON_LOGGING_H_
 #define RTK_COMMON_LOGGING_H_
 
 #include <cstdio>
 
+#include "common/env.h"
+
 namespace rtk {
 
 enum class LogLevel : int { kQuiet = 0, kInfo = 1, kDebug = 2 };
 
-/// \brief Process-wide log level; defaults to kQuiet.
-LogLevel& GlobalLogLevel();
-
+/// \brief Process-wide log level. Initialized once from RTK_LOG_LEVEL
+/// (default kQuiet; values clamp to the enum range); assignable at
+/// runtime: `GlobalLogLevel() = LogLevel::kInfo;`.
 inline LogLevel& GlobalLogLevel() {
-  static LogLevel level = LogLevel::kQuiet;
+  static LogLevel level = [] {
+    int64_t v = EnvInt64("RTK_LOG_LEVEL", 0);
+    if (v < 0) v = 0;
+    if (v > 2) v = 2;
+    return static_cast<LogLevel>(v);
+  }();
   return level;
 }
 

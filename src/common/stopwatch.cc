@@ -1,6 +1,7 @@
 #include "common/stopwatch.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 
@@ -37,6 +38,8 @@ std::string HumanSeconds(double seconds) {
 
 double NearestRankPercentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
+  assert(std::is_sorted(sorted.begin(), sorted.end()) &&
+         "NearestRankPercentile requires ascending-sorted input");
   // Nearest-rank: the smallest element with at least p% of the sample at
   // or below it — sorted[ceil(p/100 * N) - 1].
   const double rank =

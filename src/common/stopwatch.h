@@ -41,9 +41,15 @@ std::string HumanBytes(uint64_t bytes);
 /// \brief Formats a duration in seconds as "123 us" / "45.6 ms" / "7.89 s".
 std::string HumanSeconds(double seconds);
 
-/// \brief Nearest-rank percentile (p in [0, 100]) of an ascending-sorted
-/// sample vector; 0 when empty. Used for request-latency reporting (the
-/// serving bench's overload sweep, rtk_cli serve-bench).
+/// \brief Nearest-rank percentile (p in [0, 100]) of a sample vector;
+/// 0 when empty.
+///
+/// PRECONDITION: `sorted` must be in ascending order — the function
+/// indexes by rank and silently returns garbage on unsorted input
+/// (debug builds assert std::is_sorted). Callers that only need
+/// scrape-time percentiles of recorded latencies should prefer
+/// HistogramSnapshot::Percentile (obs/metrics.h), which needs no sorted
+/// sample vector at all.
 double NearestRankPercentile(const std::vector<double>& sorted, double p);
 
 }  // namespace rtk

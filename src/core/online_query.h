@@ -34,6 +34,7 @@
 namespace rtk {
 
 class QueryPipeline;
+struct QueryTrace;
 
 /// \brief Per-query options.
 struct QueryOptions {
@@ -90,6 +91,15 @@ struct QueryOptions {
   /// outlives the Query call; entries are appended, never cleared.
   /// Deltas arrive in ascending node order regardless of num_threads.
   std::vector<IndexDelta>* delta_sink = nullptr;
+  /// Optional trace sink (obs/trace.h): when set, each pipeline stage
+  /// appends one span (proximity, prune, refine, write-back; escalation
+  /// re-runs append a second proximity/prune span) with the SAME measured
+  /// durations that land in QueryStats — the two views cannot drift (a
+  /// debug-build check in the pipeline enforces it). Tracing writes
+  /// timestamps only: results and index side effects are byte-identical
+  /// with or without a trace attached. Caller-owned; must outlive the
+  /// Query call. Null (the default) costs nothing.
+  QueryTrace* trace = nullptr;
   /// Deadline/cancellation bundle polled at stage boundaries (prox →
   /// prune → refine), between prune shards and between refinement
   /// candidates. When the query aborts (kDeadlineExceeded / kCancelled) no

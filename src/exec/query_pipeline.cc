@@ -1,11 +1,14 @@
 #include "exec/query_pipeline.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <string>
 #include <utility>
 
 #include "common/stopwatch.h"
 #include "exec/prune_stage.h"
+#include "obs/trace.h"
 
 namespace rtk {
 
@@ -125,6 +128,11 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   local.prox_eps_above = row.eps_above;
   local.prox_certified = row.certified;
   local.pmpn_seconds = pmpn_watch.ElapsedSeconds();
+  // Trace spans carry the SAME measured duration the stats field holds
+  // (one Stopwatch read feeds both), so the two views cannot drift.
+  if (options.trace != nullptr) {
+    options.trace->AddSpan(TracePhase::kProximity, local.pmpn_seconds);
+  }
   if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
 
   // Stage 2 (Alg. 4 lines 2-11): sharded scan against the stored bounds,
@@ -144,6 +152,9 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   local.candidates = pruned.candidates;
   local.hits = pruned.hits.size();
   local.prune_seconds = prune_watch.ElapsedSeconds();
+  if (options.trace != nullptr) {
+    options.trace->AddSpan(TracePhase::kPrune, local.prune_seconds);
+  }
 
   // Escalation: exact results are demanded but the approximate row could
   // not certify every node's classification — the uncertain remainder
@@ -159,7 +170,13 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
         row, pmpn_backend_->Compute(q, pmpn_opts, pool, max_parallelism));
     local.pmpn_iterations = row.iterations;
     local.prox_certified = row.certified;  // the exact row anchors the answer
-    local.pmpn_seconds += pmpn_watch.ElapsedSeconds();
+    const double escalation_pmpn = pmpn_watch.ElapsedSeconds();
+    local.pmpn_seconds += escalation_pmpn;
+    if (options.trace != nullptr) {
+      // The escalation re-run appends second proximity/prune spans; the
+      // per-phase sums still equal the stats fields.
+      options.trace->AddSpan(TracePhase::kProximity, escalation_pmpn);
+    }
     if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
     prune_watch.Reset();
     prune_opts.eps_below = 0.0;
@@ -169,7 +186,11 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
     RTK_RETURN_NOT_OK(pruned.status);
     local.candidates = pruned.candidates;
     local.hits = pruned.hits.size();
-    local.prune_seconds += prune_watch.ElapsedSeconds();
+    const double escalation_prune = prune_watch.ElapsedSeconds();
+    local.prune_seconds += escalation_prune;
+    if (options.trace != nullptr) {
+      options.trace->AddSpan(TracePhase::kPrune, escalation_prune);
+    }
   }
 
   // Stage 3 (Alg. 4 line 13): refine the undecided candidates. The row
@@ -194,6 +215,9 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   local.refine_iterations = refined.refine_iterations;
   local.exact_fallbacks = refined.exact_fallbacks;
   local.refine_seconds = refine_watch.ElapsedSeconds();
+  if (options.trace != nullptr) {
+    options.trace->AddSpan(TracePhase::kRefine, local.refine_seconds);
+  }
 
   // Merge + write-back. Hits and accepted candidates are disjoint sorted
   // lists; the merge reproduces the serial scan's ascending result order.
@@ -219,11 +243,31 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   }
 
   local.results = results.size();
-  local.overhead_seconds += overhead_watch.ElapsedSeconds();
+  const double write_back_seconds = overhead_watch.ElapsedSeconds();
+  local.overhead_seconds += write_back_seconds;
+  if (options.trace != nullptr) {
+    options.trace->AddSpan(TracePhase::kWriteBack, write_back_seconds);
+  }
   // Derived totals: the >= invariants hold by construction.
   local.scan_seconds = local.prune_seconds + local.refine_seconds;
   local.total_seconds =
       local.pmpn_seconds + local.scan_seconds + local.overhead_seconds;
+#ifndef NDEBUG
+  // The timing invariant and the span/stats agreement are structural —
+  // both sides of each pair are fed by the same Stopwatch read — so any
+  // disagreement means a stage changed its accounting on one side only.
+  assert(local.total_seconds ==
+         local.pmpn_seconds + local.scan_seconds + local.overhead_seconds);
+  assert(local.scan_seconds == local.prune_seconds + local.refine_seconds);
+  if (options.trace != nullptr) {
+    assert(options.trace->PhaseSeconds(TracePhase::kProximity) ==
+           local.pmpn_seconds);
+    assert(options.trace->PhaseSeconds(TracePhase::kPrune) ==
+           local.prune_seconds);
+    assert(options.trace->PhaseSeconds(TracePhase::kRefine) ==
+           local.refine_seconds);
+  }
+#endif
   if (stats != nullptr) *stats = local;
   return results;
 }

@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rtk {
+
+std::string_view TracePhaseToString(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kAdmission:
+      return "admission";
+    case TracePhase::kQueueWait:
+      return "queue_wait";
+    case TracePhase::kCacheProbe:
+      return "cache_probe";
+    case TracePhase::kProximity:
+      return "proximity";
+    case TracePhase::kPrune:
+      return "prune";
+    case TracePhase::kRefine:
+      return "refine";
+    case TracePhase::kWriteBack:
+      return "write_back";
+  }
+  return "unknown";
+}
+
+std::string_view TraceDispositionToString(TraceDisposition d) {
+  switch (d) {
+    case TraceDisposition::kOk:
+      return "ok";
+    case TraceDisposition::kCacheHit:
+      return "cache_hit";
+    case TraceDisposition::kShed:
+      return "shed";
+    case TraceDisposition::kExpired:
+      return "expired";
+    case TraceDisposition::kCancelled:
+      return "cancelled";
+    case TraceDisposition::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+double QueryTrace::PhaseSeconds(TracePhase phase) const {
+  double total = 0.0;
+  for (const TraceSpan& span : spans) {
+    if (span.phase == phase) total += span.duration_seconds;
+  }
+  return total;
+}
+
+std::string QueryTrace::ToString() const {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "trace %llu q=%u k=%u epoch=%llu %s%s%s %.3fms [",
+                static_cast<unsigned long long>(trace_id), query, k,
+                static_cast<unsigned long long>(epoch),
+                std::string(TraceDispositionToString(disposition)).c_str(),
+                backend.empty() ? "" : (" backend=" + backend).c_str(),
+                escalated ? " escalated" : "", total_seconds * 1e3);
+  std::string out = head;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s%s=%.3fms", i == 0 ? "" : " ",
+                  std::string(TracePhaseToString(spans[i].phase)).c_str(),
+                  spans[i].duration_seconds * 1e3);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+// ------------------------------------------------------------ TraceRing --
+
+TraceRing::TraceRing(size_t capacity, size_t stripes) : capacity_(capacity) {
+  const size_t count =
+      capacity_ == 0 ? 0 : std::max<size_t>(1, std::min(stripes, capacity_));
+  stripes_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    stripe->slots.reserve(capacity_ / count + 1);
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+uint64_t TraceRing::Record(QueryTrace trace) {
+  if (capacity_ == 0) return 0;
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace.trace_id = id;
+  Stripe& stripe = *stripes_[id % stripes_.size()];
+  // Per-stripe slot budget: the total capacity dealt round-robin, so
+  // budgets differ by at most one and sum to capacity_.
+  const size_t stripe_capacity =
+      capacity_ / stripes_.size() +
+      ((id % stripes_.size()) < capacity_ % stripes_.size() ? 1 : 0);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.slots.size() < stripe_capacity) {
+    stripe.slots.push_back(std::move(trace));
+  } else {
+    stripe.slots[stripe.next] = std::move(trace);
+    stripe.next = (stripe.next + 1) % stripe.slots.size();
+  }
+  ++stripe.written;
+  return id;
+}
+
+std::vector<QueryTrace> TraceRing::Recent() const {
+  std::vector<QueryTrace> out;
+  out.reserve(capacity_);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    // Oldest-first within the stripe: the overwrite cursor points at the
+    // oldest slot once the stripe has wrapped.
+    const size_t n = stripe->slots.size();
+    const size_t start = stripe->written > n ? stripe->next : 0;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(stripe->slots[(start + i) % n]);
+    }
+  }
+  // Global order across stripes via the monotone trace ids.
+  std::sort(out.begin(), out.end(),
+            [](const QueryTrace& a, const QueryTrace& b) {
+              return a.trace_id < b.trace_id;
+            });
+  return out;
+}
+
+// --------------------------------------------------------- SlowQueryLog --
+
+SlowQueryLog::SlowQueryLog(double threshold_seconds, size_t capacity)
+    : threshold_seconds_(threshold_seconds), capacity_(capacity) {}
+
+bool SlowQueryLog::MaybeRecord(const QueryTrace& trace) {
+  if (!enabled() || trace.total_seconds < threshold_seconds_) return false;
+  slow_count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() < capacity_) {
+    entries_.push_back(trace);
+  } else {
+    entries_[next_] = trace;
+    next_ = (next_ + 1) % capacity_;
+    wrapped_ = true;
+  }
+  return true;
+}
+
+std::vector<QueryTrace> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryTrace> out;
+  out.reserve(entries_.size());
+  const size_t n = entries_.size();
+  const size_t start = wrapped_ ? next_ : 0;
+  for (size_t i = 0; i < n; ++i) out.push_back(entries_[(start + i) % n]);
+  return out;
+}
+
+}  // namespace rtk

@@ -37,6 +37,11 @@ struct PendingQuery {
   std::function<void(QueryResponse)> deliver;
   /// Admission timestamp; queue wait = dispatch time - enqueued_at.
   SteadyTimePoint enqueued_at{};
+  /// Submit-thread work before enqueue (control checks + cache probe),
+  /// seconds — the trace's admission span (obs/trace.h).
+  double admission_seconds = 0.0;
+  /// Portion of admission_seconds spent probing the result cache.
+  double cache_probe_seconds = 0.0;
 };
 
 /// \brief Aggregate queue counters. depth/peak_depth are gauges of the

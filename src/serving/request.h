@@ -119,6 +119,13 @@ struct QueryResponse {
   uint64_t epoch = 0;
   /// True when the result came from the (q, k, epoch) cache.
   bool cache_hit = false;
+  /// Admission-to-dispatch wait in seconds (== timings.queue_seconds,
+  /// surfaced top-level because queue wait is the first thing an overload
+  /// investigation reads; 0 for requests resolved on the submit thread).
+  double queue_wait_seconds = 0.0;
+  /// Id of this request's trace in the serving engine's trace ring
+  /// (ServingEngine::RecentTraces); 0 when tracing is disabled.
+  uint64_t trace_id = 0;
   /// Proximity backend that produced the row this answer was served from:
   /// the tier's configured backend, or "pmpn" when an approximate backend
   /// escalated (stats.escalated). Empty for cache hits and requests that

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "exec/proximity_backends.h"
+
 namespace rtk {
 
 namespace {
@@ -24,6 +26,28 @@ double SecondsSince(SteadyTimePoint start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
 }
 
+/// Prometheus-safe backend name: "monte-carlo" -> "monte_carlo".
+std::string MetricSafe(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c == '-' || c == '.' || c == ' ') c = '_';
+  }
+  return out;
+}
+
+TraceDisposition DispositionOf(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      return TraceDisposition::kShed;
+    case StatusCode::kDeadlineExceeded:
+      return TraceDisposition::kExpired;
+    case StatusCode::kCancelled:
+      return TraceDisposition::kCancelled;
+    default:
+      return status.ok() ? TraceDisposition::kOk : TraceDisposition::kError;
+  }
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
@@ -31,12 +55,95 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
     : op_(&engine.transition()),
       options_(options),
       queue_(options.max_pending),
-      cache_(options.cache) {
+      cache_(options.cache),
+      traces_(options.trace_ring_capacity),
+      slow_log_(options.slow_query_threshold_seconds,
+                options.slow_query_log_capacity) {
   const int threads = options_.num_threads > 0 ? options_.num_threads
                                                : ThreadPool::DefaultThreads();
   pool_ = std::make_unique<ThreadPool>(threads);
   snapshot_ = std::make_shared<const IndexSnapshot>(
       LowerBoundIndex(engine.index()), /*epoch=*/0);
+
+  // Resolve every instrument once; recording is then always the lock-free
+  // fetch-add path (the registry lock is only this constructor's).
+  ins_.submitted = &registry_.GetCounter("rtk_serving_requests_submitted_total");
+  ins_.shed = &registry_.GetCounter("rtk_serving_requests_shed_total");
+  ins_.expired = &registry_.GetCounter("rtk_serving_requests_expired_total");
+  ins_.cancelled =
+      &registry_.GetCounter("rtk_serving_requests_cancelled_total");
+  ins_.queries = &registry_.GetCounter("rtk_serving_queries_total");
+  ins_.exact_tier =
+      &registry_.GetCounter("rtk_serving_queries_exact_tier_total");
+  ins_.approximate_tier =
+      &registry_.GetCounter("rtk_serving_queries_approximate_tier_total");
+  ins_.escalations =
+      &registry_.GetCounter("rtk_serving_backend_escalations_total");
+  ins_.certified = &registry_.GetCounter("rtk_serving_answers_certified_total");
+  ins_.uncertified =
+      &registry_.GetCounter("rtk_serving_answers_uncertified_total");
+  ins_.cache_hits = &registry_.GetCounter("rtk_serving_cache_hits_total");
+  ins_.cache_misses = &registry_.GetCounter("rtk_serving_cache_misses_total");
+  ins_.deltas_recorded =
+      &registry_.GetCounter("rtk_serving_deltas_recorded_total");
+  ins_.deltas_applied =
+      &registry_.GetCounter("rtk_serving_deltas_applied_total");
+  ins_.epochs_published =
+      &registry_.GetCounter("rtk_serving_epochs_published_total");
+  ins_.shards_copied =
+      &registry_.GetCounter("rtk_serving_shards_copied_total");
+  ins_.queue_wait = &registry_.GetHistogram("rtk_serving_queue_wait_seconds");
+  ins_.request_latency = &registry_.GetHistogram("rtk_serving_request_seconds");
+  ins_.exact_tier_latency =
+      &registry_.GetHistogram("rtk_serving_request_exact_tier_seconds");
+  ins_.approximate_tier_latency =
+      &registry_.GetHistogram("rtk_serving_request_approximate_tier_seconds");
+  ins_.proximity_seconds =
+      &registry_.GetHistogram("rtk_serving_proximity_seconds");
+  ins_.prune_seconds = &registry_.GetHistogram("rtk_serving_prune_seconds");
+  ins_.refine_seconds = &registry_.GetHistogram("rtk_serving_refine_seconds");
+  ins_.publish_seconds = &registry_.GetHistogram("rtk_serving_publish_seconds");
+  ins_.other_backend_latency =
+      &registry_.GetHistogram("rtk_serving_request_backend_other_seconds");
+  ins_.queue_depth = &registry_.GetGauge("rtk_serving_queue_depth");
+  ins_.peak_queue_depth = &registry_.GetGauge("rtk_serving_peak_queue_depth");
+  ins_.pending_deltas = &registry_.GetGauge("rtk_serving_pending_deltas");
+  ins_.current_epoch = &registry_.GetGauge("rtk_serving_current_epoch");
+  ins_.index_shards = &registry_.GetGauge("rtk_serving_index_shards");
+  ins_.cache_entries = &registry_.GetGauge("rtk_serving_cache_entries");
+  for (std::string_view name : RegisteredProximityBackendNames()) {
+    ins_.backend_latency.emplace_back(
+        std::string(name),
+        &registry_.GetHistogram("rtk_serving_request_backend_" +
+                                MetricSafe(name) + "_seconds"));
+  }
+}
+
+Histogram* ServingEngine::BackendLatency(const std::string& backend) {
+  for (auto& [name, histogram] : ins_.backend_latency) {
+    if (name == backend) return histogram;
+  }
+  return ins_.other_backend_latency;
+}
+
+void ServingEngine::FinishTrace(QueryTrace* trace,
+                                const QueryResponse& response,
+                                uint64_t* trace_id_out) {
+  if (trace == nullptr) return;
+  trace->query = response.query;
+  trace->k = response.k;
+  trace->epoch = response.epoch;
+  trace->backend = response.backend;
+  trace->escalated = response.stats.escalated;
+  trace->disposition = response.cache_hit ? TraceDisposition::kCacheHit
+                                          : DispositionOf(response.status);
+  trace->Finish();
+  // Ring first (it assigns the id), then the slow log, so a slow entry
+  // carries the same trace_id its ring twin has.
+  const uint64_t id = traces_.Record(*trace);
+  trace->trace_id = id;
+  slow_log_.MaybeRecord(*trace);
+  if (trace_id_out != nullptr) *trace_id_out = id;
 }
 
 ServingEngine::~ServingEngine() {
@@ -79,8 +186,25 @@ std::future<QueryResponse> ServingEngine::Submit(QueryRequest request) {
 }
 
 void ServingEngine::Submit(QueryRequest request, ResponseCallback on_done) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  ins_.submitted->Increment();
   const SteadyTimePoint submitted_at = SteadyClock::now();
+  const bool tracing = traces_.enabled();
+
+  // Requests resolved on this thread (tripped control, cache hit, shed)
+  // still leave a trace: a ring that only held worker-run requests would
+  // hide exactly the dispositions an overload investigation looks for.
+  const auto finish_here = [&](QueryResponse response) {
+    response.timings.total_seconds = SecondsSince(submitted_at);
+    if (tracing) {
+      QueryTrace trace;
+      trace.StartAt(submitted_at);
+      trace.approximate_tier =
+          request.tier == AccuracyTier::kApproximateHitsOnly;
+      trace.EndSpan(TracePhase::kAdmission, submitted_at);
+      FinishTrace(&trace, response, &response.trace_id);
+    }
+    on_done(std::move(response));
+  };
 
   // Submit-thread fast paths — neither consumes a queue slot or a worker.
   // 1. A control that is already tripped (deadline in the past, token
@@ -90,8 +214,7 @@ void ServingEngine::Submit(QueryRequest request, ResponseCallback on_done) {
     if (Status tripped = control.Check(); !tripped.ok()) {
       QueryResponse response = MakeResponseHeader(request);
       FinishAborted(std::move(tripped), &response);
-      response.timings.total_seconds = SecondsSince(submitted_at);
-      on_done(std::move(response));
+      finish_here(std::move(response));
       return;
     }
   }
@@ -100,34 +223,62 @@ void ServingEngine::Submit(QueryRequest request, ResponseCallback on_done) {
   //    cache hits can never be shed. Misses fall through to the queue;
   //    the worker skips re-probing (insert-only), so hit/miss counts stay
   //    exactly one-per-request.
+  double cache_probe_seconds = 0.0;
   if (!request.bypass_cache && request.tier == AccuracyTier::kExact) {
     std::shared_ptr<const IndexSnapshot> snap = snapshot();
     const QueryCache::Key key{request.query, request.k, snap->epoch()};
-    if (QueryCache::Value cached = cache_.Lookup(key)) {
-      queries_.fetch_add(1, std::memory_order_relaxed);
-      exact_tier_queries_.fetch_add(1, std::memory_order_relaxed);
+    const SteadyTimePoint probe_began = SteadyClock::now();
+    QueryCache::Value cached = cache_.Lookup(key);
+    cache_probe_seconds = SecondsSince(probe_began);
+    if (cached != nullptr) {
+      ins_.cache_hits->Increment();
+      ins_.queries->Increment();
+      ins_.exact_tier->Increment();
       QueryResponse response = MakeResponseHeader(request);
       response.epoch = snap->epoch();
       response.cache_hit = true;
       response.results = *cached;
-      response.timings.total_seconds = SecondsSince(submitted_at);
+      const double total = SecondsSince(submitted_at);
+      ins_.request_latency->Record(total);
+      ins_.exact_tier_latency->Record(total);
+      response.timings.total_seconds = total;
+      if (tracing) {
+        QueryTrace trace;
+        trace.StartAt(submitted_at);
+        trace.EndSpan(TracePhase::kAdmission, submitted_at);
+        trace.AddSpan(TracePhase::kCacheProbe, cache_probe_seconds);
+        FinishTrace(&trace, response, &response.trace_id);
+      }
       on_done(std::move(response));
       return;
     }
+    ins_.cache_misses->Increment();
   }
 
   PendingQuery item;
   item.request = std::move(request);
   item.deliver = std::move(on_done);
   item.enqueued_at = submitted_at;
+  item.admission_seconds = SecondsSince(submitted_at);
+  item.cache_probe_seconds = cache_probe_seconds;
   if (!queue_.TryPush(item)) {
     // Shed at admission: resolve synchronously on the submitting thread.
-    // The shed counter lives in the queue (see stats()).
+    // (The queue counts sheds too; the registry counter is the stats()
+    // source so the view stays single-sourced.)
+    ins_.shed->Increment();
     QueryResponse response = MakeResponseHeader(item.request);
     response.status = Status::ResourceExhausted(
         "admission queue full (max_pending=" +
         std::to_string(options_.max_pending) + ")");
     response.timings.total_seconds = SecondsSince(submitted_at);
+    if (tracing) {
+      QueryTrace trace;
+      trace.StartAt(submitted_at);
+      trace.approximate_tier =
+          item.request.tier == AccuracyTier::kApproximateHitsOnly;
+      trace.EndSpan(TracePhase::kAdmission, submitted_at);
+      FinishTrace(&trace, response, &response.trace_id);
+    }
     item.deliver(std::move(response));
     return;
   }
@@ -158,9 +309,9 @@ void ServingEngine::Resume() {
 
 void ServingEngine::FinishAborted(Status status, QueryResponse* response) {
   if (status.code() == StatusCode::kCancelled) {
-    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    ins_.cancelled->Increment();
   } else if (status.code() == StatusCode::kDeadlineExceeded) {
-    expired_.fetch_add(1, std::memory_order_relaxed);
+    ins_.expired->Increment();
   }
   response->status = std::move(status);
 }
@@ -168,11 +319,45 @@ void ServingEngine::FinishAborted(Status status, QueryResponse* response) {
 void ServingEngine::ExecuteRequest(PendingQuery item) {
   const QueryRequest& request = item.request;
   QueryResponse response = MakeResponseHeader(request);
-  response.timings.queue_seconds = SecondsSince(item.enqueued_at);
+  const double queue_seconds = SecondsSince(item.enqueued_at);
+  response.timings.queue_seconds = queue_seconds;
+  response.queue_wait_seconds = queue_seconds;
+  ins_.queue_wait->Record(queue_seconds);
+  const bool approximate_tier =
+      request.tier == AccuracyTier::kApproximateHitsOnly;
+
+  // The trace timeline is anchored at submit time (enqueued_at), so the
+  // submit-thread phases — measured over there and carried through the
+  // queue in the PendingQuery — slot in at their true offsets and the
+  // queue-wait span starts where admission work ended.
+  QueryTrace trace;
+  QueryTrace* trace_ptr = traces_.enabled() ? &trace : nullptr;
+  if (trace_ptr != nullptr) {
+    trace.StartAt(item.enqueued_at);
+    trace.approximate_tier = approximate_tier;
+    trace.AddSpanAt(TracePhase::kAdmission, 0.0, item.admission_seconds);
+    if (item.cache_probe_seconds > 0.0) {
+      trace.AddSpanAt(TracePhase::kCacheProbe,
+                      item.admission_seconds - item.cache_probe_seconds,
+                      item.cache_probe_seconds);
+    }
+    trace.AddSpanAt(TracePhase::kQueueWait, item.admission_seconds,
+                    std::max(0.0, queue_seconds - item.admission_seconds));
+  }
 
   ExecControl control{request.deadline, request.cancel};
+  bool executed = false;
   const auto deliver = [&] {
-    response.timings.total_seconds = SecondsSince(item.enqueued_at);
+    const double total = SecondsSince(item.enqueued_at);
+    response.timings.total_seconds = total;
+    if (executed) {
+      ins_.request_latency->Record(total);
+      (approximate_tier ? ins_.approximate_tier_latency
+                        : ins_.exact_tier_latency)
+          ->Record(total);
+      BackendLatency(response.backend)->Record(total);
+    }
+    FinishTrace(trace_ptr, response, &response.trace_id);
     item.deliver(std::move(response));
   };
 
@@ -185,11 +370,9 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
     return;
   }
   // Counted only now: `queries` means requests that reached execution.
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  const bool approximate_tier =
-      request.tier == AccuracyTier::kApproximateHitsOnly;
-  (approximate_tier ? approximate_tier_queries_ : exact_tier_queries_)
-      .fetch_add(1, std::memory_order_relaxed);
+  ins_.queries->Increment();
+  (approximate_tier ? ins_.approximate_tier : ins_.exact_tier)->Increment();
+  executed = true;
 
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   response.epoch = snap->epoch();
@@ -217,19 +400,21 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
   query_opts.delta_sink =
       request.update_index ? &deltas : nullptr;  // capture, never write
   query_opts.control = control.active() ? &control : nullptr;
+  query_opts.trace = trace_ptr;  // pipeline appends the stage spans
   Result<std::vector<uint32_t>> result =
       pooled.searcher->Query(request.query, query_opts, &response.stats);
   ReleaseSearcher(std::move(pooled));
   response.timings.pmpn_seconds = response.stats.pmpn_seconds;
   response.timings.prune_seconds = response.stats.prune_seconds;
   response.timings.refine_seconds = response.stats.refine_seconds;
+  ins_.proximity_seconds->Record(response.stats.pmpn_seconds);
+  ins_.prune_seconds->Record(response.stats.prune_seconds);
+  ins_.refine_seconds->Record(response.stats.refine_seconds);
   // Which backend actually produced the served row.
   response.backend = response.stats.escalated
                          ? std::string(kPmpnBackendName)
                          : response.stats.backend;
-  if (response.stats.escalated) {
-    backend_escalations_.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (response.stats.escalated) ins_.escalations->Increment();
   if (!result.ok()) {
     // An aborted pipeline emitted no deltas and wrote nothing back; the
     // snapshot chain is exactly as if the request never ran.
@@ -237,8 +422,11 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
     deliver();
     return;
   }
+  (response.stats.prox_certified ? ins_.certified : ins_.uncertified)
+      ->Increment();
 
   if (!deltas.empty()) {
+    ins_.deltas_recorded->Increment(deltas.size());
     log_.Append(std::move(deltas));
     MaybePublish();
   }
@@ -389,6 +577,7 @@ uint64_t ServingEngine::PublishPending() {
 
 uint64_t ServingEngine::PublishLocked(size_t min_shard_pending,
                                       size_t* drained) {
+  const SteadyTimePoint publish_began = SteadyClock::now();
   std::shared_ptr<const IndexSnapshot> current = snapshot();
   // Deltas arrive grouped by storage shard so the copy-on-write clone
   // privatizes each dirty shard exactly once and writes it sequentially;
@@ -411,8 +600,7 @@ uint64_t ServingEngine::PublishLocked(size_t min_shard_pending,
     }
   }
   if (applied == 0) return 0;  // everything stale; keep the epoch
-  shards_copied_.fetch_add(next.cow_shard_copies(),
-                           std::memory_order_relaxed);
+  ins_.shards_copied->Increment(next.cow_shard_copies());
   auto fresh = std::make_shared<const IndexSnapshot>(std::move(next),
                                                      current->epoch() + 1);
   {
@@ -426,42 +614,57 @@ uint64_t ServingEngine::PublishLocked(size_t min_shard_pending,
   }
   // Superseded cache entries can never be hit again; free their slots.
   cache_.PurgeOtherEpochs(fresh->epoch());
-  deltas_applied_.fetch_add(applied, std::memory_order_relaxed);
-  epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  ins_.deltas_applied->Increment(applied);
+  ins_.epochs_published->Increment();
+  // Timed only when a snapshot actually went out: the histogram answers
+  // "what does a publish cost", not "what does checking the log cost".
+  ins_.publish_seconds->Record(SecondsSince(publish_began));
   return applied;
 }
 
 ServingStats ServingEngine::stats() const {
+  // A field-compatible view assembled from the registry (counters) and
+  // the live components (gauges); the registry is the source of truth.
   ServingStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.expired = expired_.load(std::memory_order_relaxed);
-  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
-  stats.queries = queries_.load(std::memory_order_relaxed);
-  stats.exact_tier_queries =
-      exact_tier_queries_.load(std::memory_order_relaxed);
-  stats.approximate_tier_queries =
-      approximate_tier_queries_.load(std::memory_order_relaxed);
-  stats.backend_escalations =
-      backend_escalations_.load(std::memory_order_relaxed);
-  stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
-  stats.epochs_published = epochs_published_.load(std::memory_order_relaxed);
-  stats.shards_copied = shards_copied_.load(std::memory_order_relaxed);
+  stats.submitted = ins_.submitted->value();
+  stats.shed = ins_.shed->value();
+  stats.expired = ins_.expired->value();
+  stats.cancelled = ins_.cancelled->value();
+  stats.queries = ins_.queries->value();
+  stats.exact_tier_queries = ins_.exact_tier->value();
+  stats.approximate_tier_queries = ins_.approximate_tier->value();
+  stats.backend_escalations = ins_.escalations->value();
+  stats.cache_hits = ins_.cache_hits->value();
+  stats.cache_misses = ins_.cache_misses->value();
+  stats.deltas_recorded = ins_.deltas_recorded->value();
+  stats.deltas_applied = ins_.deltas_applied->value();
+  stats.epochs_published = ins_.epochs_published->value();
+  stats.shards_copied = ins_.shards_copied->value();
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   stats.current_epoch = snap->epoch();
   stats.index_shards = snap->index().num_shards();
   stats.cache = cache_.stats();
   stats.log = log_.stats();
+  stats.pending_deltas = stats.log.pending;
   const AdmissionQueueStats queue = queue_.stats();
-  stats.shed = queue.shed;
   stats.queue_depth = queue.depth;
   stats.peak_queue_depth = queue.peak_depth;
-  // Convenience aliases of the component counters (ServingEngine does one
-  // cache lookup / log append per miss, so these are exact).
-  stats.cache_hits = stats.cache.hits;
-  stats.cache_misses = stats.cache.misses;
-  stats.deltas_recorded = stats.log.appended;
-  stats.pending_deltas = stats.log.pending;
   return stats;
+}
+
+MetricsSnapshot ServingEngine::Metrics() const {
+  // Counters stream into the registry as they happen; gauges are
+  // refreshed from their components here so a scrape always reports the
+  // current depth/epoch without any per-request gauge writes.
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  const AdmissionQueueStats queue = queue_.stats();
+  ins_.queue_depth->Set(static_cast<double>(queue.depth));
+  ins_.peak_queue_depth->Set(static_cast<double>(queue.peak_depth));
+  ins_.pending_deltas->Set(static_cast<double>(log_.stats().pending));
+  ins_.current_epoch->Set(static_cast<double>(snap->epoch()));
+  ins_.index_shards->Set(static_cast<double>(snap->index().num_shards()));
+  ins_.cache_entries->Set(static_cast<double>(cache_.stats().entries));
+  return registry_.Snapshot();
 }
 
 }  // namespace rtk

@@ -66,6 +66,8 @@
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/online_query.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/admission_queue.h"
 #include "serving/index_snapshot.h"
 #include "serving/query_cache.h"
@@ -109,6 +111,17 @@ struct ServingOptions {
   /// fast tier. Defaults: both PMPN (empty name = pipeline default).
   ProximityBackendConfig exact_tier_backend;
   ProximityBackendConfig approximate_tier_backend;
+  /// Completed request traces retained in the lock-striped ring
+  /// (ServingEngine::RecentTraces). 0 disables per-request tracing
+  /// entirely — no spans are recorded anywhere. Tracing only ever writes
+  /// timestamps: results are byte-identical either way.
+  size_t trace_ring_capacity = 256;
+  /// Traces whose end-to-end latency reaches this many seconds are
+  /// additionally retained in the slow-query log with their full stage
+  /// breakdowns (ServingEngine::SlowQueries). <= 0 disables the log.
+  double slow_query_threshold_seconds = 0.25;
+  /// Slow-query log size (oldest evicted beyond it).
+  size_t slow_query_log_capacity = 64;
   /// Base per-query options; k / tier / update_index / num_threads are
   /// overridden per request, delta_sink and control are managed by the
   /// engine, and pmpn is inherited from the source engine's solver
@@ -120,7 +133,11 @@ struct ServingOptions {
 };
 
 /// \brief Aggregate serving counters (all monotone except the *_depth /
-/// current_epoch / pending_deltas gauges).
+/// current_epoch / pending_deltas gauges). Since the observability PR
+/// this is a field-compatible VIEW assembled from the engine's
+/// MetricsRegistry plus the component gauges — the registry (see
+/// Metrics()) is the source of truth and additionally carries the
+/// latency histograms this flat struct cannot express.
 struct ServingStats {
   /// Submit() calls, including shed ones.
   uint64_t submitted = 0;
@@ -251,6 +268,29 @@ class ServingEngine {
 
   ServingStats stats() const;
 
+  // -------------------------------------------------------- observability --
+
+  /// \brief Point-in-time snapshot of every serving metric: counters,
+  /// gauges and the log2-bucket latency histograms (queue wait, per-tier
+  /// and per-backend request latency, stage times, publish cost). Gauges
+  /// are refreshed from their components at snapshot time. Render with
+  /// ToPrometheusText() / ToJson(); the metric name catalog is in the
+  /// README's "Observability" section.
+  MetricsSnapshot Metrics() const;
+
+  /// \brief The most recent completed request traces (every disposition:
+  /// served, cache hit, shed, expired, cancelled), oldest first. Empty
+  /// when trace_ring_capacity is 0.
+  std::vector<QueryTrace> RecentTraces() const { return traces_.Recent(); }
+
+  /// \brief Traces that crossed slow_query_threshold_seconds, oldest
+  /// first, with full stage breakdowns.
+  std::vector<QueryTrace> SlowQueries() const { return slow_log_.Entries(); }
+
+  /// \brief The live registry, for embedding callers that want to attach
+  /// their own instruments to the same exposition.
+  MetricsRegistry& metrics_registry() { return registry_; }
+
   int num_threads() const { return pool_->num_threads(); }
 
  private:
@@ -271,6 +311,16 @@ class ServingEngine {
 
   /// Counts an abort against the right counter and stamps the response.
   void FinishAborted(Status status, QueryResponse* response);
+
+  /// Completes a trace (disposition, total) and files it into the ring
+  /// and, when slow enough, the slow-query log. No-op with tracing off.
+  void FinishTrace(QueryTrace* trace, const QueryResponse& response,
+                   uint64_t* trace_id_out);
+
+  /// Per-backend request-latency histogram ("" and unknown names fall
+  /// back to a shared "other" histogram). Lock-free for the pre-created
+  /// registered backends.
+  Histogram* BackendLatency(const std::string& backend);
 
   /// Pops a pooled searcher for `snap` (or builds one). Searchers hold
   /// O(n) workspaces, so reuse across queries matters.
@@ -303,18 +353,51 @@ class ServingEngine {
   std::mutex searchers_mu_;
   std::vector<PooledSearcher> free_searchers_;
 
-  // Hit/miss/recorded counts live in the cache and log, admission counts
-  // in the queue; only counters no component tracks are kept here.
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> expired_{0};
-  std::atomic<uint64_t> cancelled_{0};
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> exact_tier_queries_{0};
-  std::atomic<uint64_t> approximate_tier_queries_{0};
-  std::atomic<uint64_t> backend_escalations_{0};
-  std::atomic<uint64_t> deltas_applied_{0};
-  std::atomic<uint64_t> epochs_published_{0};
-  std::atomic<uint64_t> shards_copied_{0};
+  // All engine-level counters and histograms live in the registry
+  // (ServingStats is a view over it); the struct below caches the
+  // instrument pointers resolved once at construction so the hot path
+  // never takes the registry's get-or-create lock.
+  MetricsRegistry registry_;
+  struct Instruments {
+    Counter* submitted = nullptr;
+    Counter* shed = nullptr;
+    Counter* expired = nullptr;
+    Counter* cancelled = nullptr;
+    Counter* queries = nullptr;
+    Counter* exact_tier = nullptr;
+    Counter* approximate_tier = nullptr;
+    Counter* escalations = nullptr;
+    Counter* certified = nullptr;
+    Counter* uncertified = nullptr;
+    Counter* cache_hits = nullptr;
+    Counter* cache_misses = nullptr;
+    Counter* deltas_recorded = nullptr;
+    Counter* deltas_applied = nullptr;
+    Counter* epochs_published = nullptr;
+    Counter* shards_copied = nullptr;
+    Histogram* queue_wait = nullptr;
+    Histogram* request_latency = nullptr;
+    Histogram* exact_tier_latency = nullptr;
+    Histogram* approximate_tier_latency = nullptr;
+    Histogram* proximity_seconds = nullptr;
+    Histogram* prune_seconds = nullptr;
+    Histogram* refine_seconds = nullptr;
+    Histogram* publish_seconds = nullptr;
+    Histogram* other_backend_latency = nullptr;
+    // Gauges, refreshed from their components at Metrics() time.
+    Gauge* queue_depth = nullptr;
+    Gauge* peak_queue_depth = nullptr;
+    Gauge* pending_deltas = nullptr;
+    Gauge* current_epoch = nullptr;
+    Gauge* index_shards = nullptr;
+    Gauge* cache_entries = nullptr;
+    /// One request-latency histogram per registered proximity backend,
+    /// resolved by linear scan (the set is tiny and fixed).
+    std::vector<std::pair<std::string, Histogram*>> backend_latency;
+  };
+  Instruments ins_;
+  TraceRing traces_;
+  SlowQueryLog slow_log_;
 };
 
 }  // namespace rtk

@@ -1,0 +1,440 @@
+// Tests for the observability layer (src/obs): the sharded-cell metrics
+// registry (exact totals under concurrent hammering — the suite ci.sh
+// also runs under TSan), log2 histogram percentile semantics against the
+// exact NearestRankPercentile, the lock-striped trace ring's wraparound,
+// the slow-query log's threshold/eviction behavior, and the ServingEngine
+// integration: stats()-vs-Metrics() agreement, retrievable traces,
+// surfaced queue wait, and byte-identical results with tracing on vs off.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serving/serving_engine.h"
+#include "workload/query_workload.h"
+
+namespace rtk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Relaxed atomics lose no updates: the quiescent total is exact.
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, IncrementByAddsExactly) {
+  Counter counter;
+  counter.Increment(5);
+  counter.Increment();
+  counter.Increment(37);
+  EXPECT_EQ(counter.value(), 43u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(12.5);
+  EXPECT_EQ(gauge.value(), 12.5);
+  gauge.Set(-3.0);
+  EXPECT_EQ(gauge.value(), -3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BucketGeometry) {
+  // Bucket 0 is [0, base]; bucket i > 0 is (base*2^(i-1), base*2^i].
+  EXPECT_EQ(Histogram::BucketOf(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(kHistogramBaseSeconds), 0u);
+  EXPECT_EQ(Histogram::BucketOf(kHistogramBaseSeconds * 1.5), 1u);
+  EXPECT_EQ(Histogram::BucketOf(kHistogramBaseSeconds * 2.0), 1u);
+  EXPECT_EQ(Histogram::BucketOf(kHistogramBaseSeconds * 2.1), 2u);
+  EXPECT_EQ(Histogram::BucketOf(1e9), kHistogramBuckets - 1);   // open-ended
+  EXPECT_EQ(Histogram::BucketOf(-1.0), 0u);                     // clamped
+  for (size_t i = 1; i < kHistogramBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(i),
+                     2.0 * HistogramBucketUpperBound(i - 1));
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreExact) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  const double sample = 3e-4;  // one fixed bucket
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, sample] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Record(sample);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const HistogramSnapshot snap = histogram.Snapshot();
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(snap.count, kTotal);
+  EXPECT_EQ(snap.buckets[Histogram::BucketOf(sample)], kTotal);
+  // The sum is fixed-point nanoseconds underneath: exact for this sample.
+  EXPECT_NEAR(snap.sum_seconds, sample * static_cast<double>(kTotal),
+              1e-9 * static_cast<double>(kTotal));
+  EXPECT_NEAR(snap.mean_seconds(), sample, 1e-9);
+}
+
+TEST(HistogramTest, PercentileBoundsNearestRank) {
+  // The histogram percentile reports the holding bucket's upper edge: it
+  // must be >= the exact nearest-rank percentile and within one bucket
+  // (a factor of 2) above it.
+  Histogram histogram;
+  Rng rng(99);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform over ~(2us, 150ms) — spans many buckets, all > base.
+    const double sample = 2e-6 * std::pow(2.0, rng.NextDouble() * 16.0);
+    samples.push_back(sample);
+    histogram.Record(sample);
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramSnapshot snap = histogram.Snapshot();
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double exact = NearestRankPercentile(samples, p);
+    const double coarse = snap.Percentile(p);
+    EXPECT_GE(coarse, exact) << "p" << p;
+    EXPECT_LE(coarse, exact * 2.0) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Snapshot().Percentile(50), 0.0);
+  EXPECT_EQ(histogram.Snapshot().mean_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry + exposition
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x_total");
+  Counter& b = registry.GetCounter("x_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 = registry.GetHistogram("y_seconds");
+  Histogram& h2 = registry.GetHistogram("y_seconds");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndExpositions) {
+  MetricsRegistry registry;
+  registry.GetCounter("rtk_test_events_total").Increment(7);
+  registry.GetGauge("rtk_test_depth").Set(3.0);
+  registry.GetHistogram("rtk_test_latency_seconds").Record(1e-3);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.ValueOf("rtk_test_events_total"), 7.0);
+  EXPECT_EQ(snap.ValueOf("rtk_test_depth"), 3.0);
+  EXPECT_EQ(snap.ValueOf("rtk_test_missing"), 0.0);
+  ASSERT_NE(snap.HistogramOf("rtk_test_latency_seconds"), nullptr);
+  EXPECT_EQ(snap.HistogramOf("rtk_test_latency_seconds")->count, 1u);
+  EXPECT_EQ(snap.HistogramOf("rtk_test_missing"), nullptr);
+
+  const std::string text = snap.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE rtk_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtk_test_events_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rtk_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("rtk_test_latency_seconds_bucket"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("rtk_test_latency_seconds_count 1"), std::string::npos);
+
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"rtk_test_events_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"rtk_test_latency_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_seconds\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// QueryTrace / TraceRing / SlowQueryLog
+
+TEST(QueryTraceTest, PhaseSecondsSumsSpans) {
+  QueryTrace trace;
+  trace.Start();
+  trace.AddSpan(TracePhase::kProximity, 0.25);
+  trace.AddSpan(TracePhase::kPrune, 0.5);
+  trace.AddSpan(TracePhase::kProximity, 0.75);  // escalation re-run
+  EXPECT_DOUBLE_EQ(trace.PhaseSeconds(TracePhase::kProximity), 1.0);
+  EXPECT_DOUBLE_EQ(trace.PhaseSeconds(TracePhase::kPrune), 0.5);
+  EXPECT_DOUBLE_EQ(trace.PhaseSeconds(TracePhase::kRefine), 0.0);
+  trace.Finish();
+  const std::string rendered = trace.ToString();
+  EXPECT_NE(rendered.find("proximity"), std::string::npos);
+  EXPECT_NE(rendered.find("prune"), std::string::npos);
+}
+
+TEST(TraceRingTest, WrapsToMostRecentCapacityTraces) {
+  TraceRing ring(/*capacity=*/8, /*stripes=*/4);
+  EXPECT_TRUE(ring.enabled());
+  for (int i = 0; i < 20; ++i) {
+    QueryTrace trace;
+    trace.query = static_cast<uint32_t>(i);
+    EXPECT_EQ(ring.Record(trace), static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  const std::vector<QueryTrace> recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 8u);
+  // The survivors are exactly the newest `capacity` traces, in id order:
+  // capacity deals evenly across 4 stripes (2 slots each), and ids go to
+  // stripes round-robin, so every stripe retains its own 2 newest.
+  for (size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].trace_id, 13 + i);
+    EXPECT_EQ(recent[i].query, 12 + i);
+  }
+}
+
+TEST(TraceRingTest, DisabledRingRecordsNothing) {
+  TraceRing ring(/*capacity=*/0);
+  EXPECT_FALSE(ring.enabled());
+  EXPECT_EQ(ring.Record(QueryTrace{}), 0u);
+  EXPECT_TRUE(ring.Recent().empty());
+  EXPECT_EQ(ring.recorded(), 0u);
+}
+
+TEST(TraceRingTest, ConcurrentRecordKeepsCapacityAndOrder) {
+  TraceRing ring(/*capacity=*/64, /*stripes=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (int i = 0; i < kPerThread; ++i) ring.Record(QueryTrace{});
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ring.recorded(), uint64_t{kThreads} * kPerThread);
+  const std::vector<QueryTrace> recent = ring.Recent();
+  EXPECT_EQ(recent.size(), 64u);
+  for (size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_LT(recent[i - 1].trace_id, recent[i].trace_id);
+  }
+}
+
+TEST(SlowQueryLogTest, ThresholdAndEviction) {
+  SlowQueryLog log(/*threshold_seconds=*/0.5, /*capacity=*/2);
+  EXPECT_TRUE(log.enabled());
+  QueryTrace trace;
+  trace.total_seconds = 0.1;
+  EXPECT_FALSE(log.MaybeRecord(trace));  // under threshold
+  trace.total_seconds = 0.6;
+  trace.query = 1;
+  EXPECT_TRUE(log.MaybeRecord(trace));
+  trace.total_seconds = 0.7;
+  trace.query = 2;
+  EXPECT_TRUE(log.MaybeRecord(trace));
+  trace.total_seconds = 0.8;
+  trace.query = 3;
+  EXPECT_TRUE(log.MaybeRecord(trace));  // evicts query 1
+  EXPECT_EQ(log.slow_count(), 3u);
+  const std::vector<QueryTrace> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].query, 2u);
+  EXPECT_EQ(entries[1].query, 3u);
+}
+
+TEST(SlowQueryLogTest, DisabledByZeroThreshold) {
+  SlowQueryLog log(/*threshold_seconds=*/0.0, /*capacity=*/4);
+  EXPECT_FALSE(log.enabled());
+  QueryTrace trace;
+  trace.total_seconds = 100.0;
+  EXPECT_FALSE(log.MaybeRecord(trace));
+  EXPECT_TRUE(log.Entries().empty());
+}
+
+// ---------------------------------------------------------------------------
+// ServingEngine integration
+
+EngineOptions CoarseOptions() {
+  EngineOptions opts;
+  opts.capacity_k = 20;
+  opts.hub_selection.degree_budget_b = 5;
+  opts.bca.delta = 0.5;  // large residues => queries refine
+  opts.num_threads = 2;
+  opts.shard_nodes = 32;
+  return opts;
+}
+
+Result<std::unique_ptr<ReverseTopkEngine>> BuildTestEngine(uint64_t seed) {
+  Rng rng(seed);
+  auto graph = BarabasiAlbert(250, 3, &rng);
+  if (!graph.ok()) return graph.status();
+  return ReverseTopkEngine::Build(std::move(*graph), CoarseOptions());
+}
+
+TEST(ServingMetricsTest, RegistrySnapshotAgreesWithStats) {
+  auto engine = BuildTestEngine(17);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ServingOptions options;
+  options.num_threads = 2;
+  auto serving = ServingEngine::Create(**engine, options);
+  ASSERT_TRUE(serving.ok());
+
+  Rng rng(5);
+  const std::vector<uint32_t> workload = SampleQueries(
+      (*engine)->graph(), 60, QueryDistribution::kInDegreeBiased, &rng);
+  for (const QueryResponse& response : (*serving)->QueryBatch(workload, 8)) {
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+  }
+
+  const ServingStats stats = (*serving)->stats();
+  const MetricsSnapshot metrics = (*serving)->Metrics();
+  EXPECT_EQ(metrics.ValueOf("rtk_serving_requests_submitted_total"),
+            static_cast<double>(stats.submitted));
+  EXPECT_EQ(metrics.ValueOf("rtk_serving_queries_total"),
+            static_cast<double>(stats.queries));
+  EXPECT_EQ(metrics.ValueOf("rtk_serving_cache_hits_total"),
+            static_cast<double>(stats.cache_hits));
+  EXPECT_EQ(metrics.ValueOf("rtk_serving_cache_misses_total"),
+            static_cast<double>(stats.cache_misses));
+  EXPECT_EQ(metrics.ValueOf("rtk_serving_deltas_applied_total"),
+            static_cast<double>(stats.deltas_applied));
+  EXPECT_EQ(metrics.ValueOf("rtk_serving_epochs_published_total"),
+            static_cast<double>(stats.epochs_published));
+  EXPECT_EQ(metrics.ValueOf("rtk_serving_current_epoch"),
+            static_cast<double>(stats.current_epoch));
+  EXPECT_EQ(stats.submitted, 60u);
+  EXPECT_EQ(stats.queries, 60u);
+  // The engine-side cache counters track the cache's own (one probe per
+  // non-bypass exact request, worker inserts only).
+  EXPECT_EQ(stats.cache_hits, stats.cache.hits);
+  EXPECT_EQ(stats.cache_misses, stats.cache.misses);
+
+  // Every executed request landed in the latency histogram; each stage
+  // histogram saw the non-cache-hit executions.
+  const HistogramSnapshot* latency =
+      metrics.HistogramOf("rtk_serving_request_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, stats.queries);
+  const HistogramSnapshot* proximity =
+      metrics.HistogramOf("rtk_serving_proximity_seconds");
+  ASSERT_NE(proximity, nullptr);
+  EXPECT_EQ(proximity->count, stats.queries - stats.cache_hits);
+  const HistogramSnapshot* queue_wait =
+      metrics.HistogramOf("rtk_serving_queue_wait_seconds");
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_EQ(queue_wait->count, stats.queries - stats.cache_hits);
+
+  const std::string text = metrics.ToPrometheusText();
+  EXPECT_NE(text.find("rtk_serving_queries_total 60"), std::string::npos);
+  EXPECT_NE(text.find("rtk_serving_request_seconds_bucket"),
+            std::string::npos);
+}
+
+TEST(ServingMetricsTest, TracesAreRetrievableAndCoherent) {
+  auto engine = BuildTestEngine(23);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ServingOptions options;
+  options.num_threads = 2;
+  options.trace_ring_capacity = 128;
+  // Everything qualifies as slow: the log must then see every trace.
+  options.slow_query_threshold_seconds = 1e-12;
+  options.slow_query_log_capacity = 256;
+  auto serving = ServingEngine::Create(**engine, options);
+  ASSERT_TRUE(serving.ok());
+
+  Rng rng(5);
+  const std::vector<uint32_t> workload = SampleQueries(
+      (*engine)->graph(), 40, QueryDistribution::kInDegreeBiased, &rng);
+  uint64_t max_trace_id = 0;
+  for (const QueryResponse& response : (*serving)->QueryBatch(workload, 8)) {
+    ASSERT_TRUE(response.ok());
+    EXPECT_GT(response.trace_id, 0u);
+    EXPECT_DOUBLE_EQ(response.queue_wait_seconds,
+                     response.timings.queue_seconds);
+    max_trace_id = std::max(max_trace_id, response.trace_id);
+  }
+  EXPECT_EQ(max_trace_id, 40u);
+
+  const std::vector<QueryTrace> traces = (*serving)->RecentTraces();
+  ASSERT_EQ(traces.size(), 40u);
+  const ServingStats stats = (*serving)->stats();
+  for (const QueryTrace& trace : traces) {
+    EXPECT_GT(trace.trace_id, 0u);
+    EXPECT_GE(trace.total_seconds, 0.0);
+    if (trace.disposition == TraceDisposition::kCacheHit) {
+      EXPECT_GT(trace.PhaseSeconds(TracePhase::kCacheProbe), 0.0);
+    } else {
+      EXPECT_EQ(trace.disposition, TraceDisposition::kOk);
+      // Executed requests carry the pipeline's stage spans.
+      EXPECT_GT(trace.PhaseSeconds(TracePhase::kProximity), 0.0);
+      EXPECT_FALSE(trace.backend.empty());
+    }
+  }
+  // With an always-qualifying threshold the slow log saw every trace.
+  EXPECT_EQ((*serving)->SlowQueries().size(), traces.size());
+  EXPECT_EQ(stats.queries, 40u);
+}
+
+TEST(ServingMetricsTest, ResultsAreByteIdenticalWithTracingOnOrOff) {
+  auto engine = BuildTestEngine(31);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Same engine, same single-threaded request sequence; the only delta is
+  // the tracing configuration. Tracing only writes timestamps, so results
+  // must match element for element.
+  ServingOptions traced_opts;
+  traced_opts.num_threads = 1;
+  traced_opts.trace_ring_capacity = 64;
+  traced_opts.slow_query_threshold_seconds = 1e-12;
+  ServingOptions untraced_opts;
+  untraced_opts.num_threads = 1;
+  untraced_opts.trace_ring_capacity = 0;      // tracing fully off
+  untraced_opts.slow_query_threshold_seconds = 0.0;
+
+  auto traced = ServingEngine::Create(**engine, traced_opts);
+  auto untraced = ServingEngine::Create(**engine, untraced_opts);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_TRUE(untraced.ok());
+
+  Rng rng(5);
+  const std::vector<uint32_t> workload = SampleQueries(
+      (*engine)->graph(), 50, QueryDistribution::kInDegreeBiased, &rng);
+  const std::vector<QueryResponse> with =
+      (*traced)->QueryBatch(workload, 10);
+  const std::vector<QueryResponse> without =
+      (*untraced)->QueryBatch(workload, 10);
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    ASSERT_TRUE(with[i].ok());
+    ASSERT_TRUE(without[i].ok());
+    EXPECT_EQ(with[i].results, without[i].results) << "query " << workload[i];
+    // The untraced engine assigns no trace ids.
+    EXPECT_EQ(without[i].trace_id, 0u);
+  }
+  EXPECT_TRUE((*untraced)->RecentTraces().empty());
+  EXPECT_TRUE((*untraced)->SlowQueries().empty());
+  EXPECT_FALSE((*traced)->RecentTraces().empty());
+}
+
+}  // namespace
+}  // namespace rtk

@@ -55,8 +55,13 @@ using namespace rtk;
 // parsing. Empty = the default exact PMPN pipeline.
 std::string g_backend;
 
-// Strips "--backend foo" / "--backend=foo" out of argv, compacting it so
-// the positional subcommand parsers never see the flag.
+// --metrics <path>: serve-bench writes the engine's final metrics snapshot
+// (Prometheus text exposition) here. Empty = don't write.
+std::string g_metrics_path;
+
+// Strips "--backend foo" / "--backend=foo" / "--metrics out.prom" out of
+// argv, compacting it so the positional subcommand parsers never see the
+// flags.
 int ExtractBackendFlag(int argc, char** argv) {
   int out = 0;
   for (int i = 0; i < argc; ++i) {
@@ -67,6 +72,14 @@ int ExtractBackendFlag(int argc, char** argv) {
     }
     if (arg.rfind("--backend=", 0) == 0) {
       g_backend = arg.substr(10);
+      continue;
+    }
+    if (arg == "--metrics" && i + 1 < argc) {
+      g_metrics_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--metrics=", 0) == 0) {
+      g_metrics_path = arg.substr(10);
       continue;
     }
     argv[out++] = argv[i];
@@ -99,6 +112,7 @@ int Usage() {
                "  rtk_cli generate <rmat|ba|er|ws> <out> [scale=12]\n"
                "  rtk_cli serve-bench <edge_list> <index> [k=10] "
                "[queries=500] [threads=hardware] [--backend <name>]\n"
+               "                      [--metrics <out.prom>]\n"
                "\n"
                "registered proximity backends (--backend): %s\n"
                "  exact results at every choice: approximate backends run\n"
@@ -391,14 +405,18 @@ int CmdServeBench(int argc, char** argv) {
   Stopwatch serving_watch;
   const std::vector<QueryResponse> batch = (*serving)->QueryBatch(workload, k);
   const double serving_seconds = serving_watch.ElapsedSeconds();
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(batch.size());
   for (const QueryResponse& response : batch) {
     if (!response.ok()) return Fail(response.status);
-    latencies_ms.push_back(response.timings.total_seconds * 1e3);
   }
-  std::sort(latencies_ms.begin(), latencies_ms.end());
   const ServingStats sstats = (*serving)->stats();
+  // Latency percentiles come from the engine's own request histogram —
+  // the same numbers a live scrape would report — instead of a
+  // client-side sorted sample vector.
+  const MetricsSnapshot metrics = (*serving)->Metrics();
+  const HistogramSnapshot* latency =
+      metrics.HistogramOf("rtk_serving_request_seconds");
+  const HistogramSnapshot empty_latency;
+  if (latency == nullptr) latency = &empty_latency;
 
   // Baseline: the engine's only safe concurrent recipe without the serving
   // layer — every query behind one global mutex.
@@ -430,9 +448,8 @@ int CmdServeBench(int argc, char** argv) {
               mutex_seconds / serving_seconds);
   std::printf("request latency: p50 %.2f ms / p95 %.2f ms / p99 %.2f ms "
               "(queue peak %zu, shed %llu)\n",
-              NearestRankPercentile(latencies_ms, 50),
-              NearestRankPercentile(latencies_ms, 95),
-              NearestRankPercentile(latencies_ms, 99), sstats.peak_queue_depth,
+              latency->Percentile(50) * 1e3, latency->Percentile(95) * 1e3,
+              latency->Percentile(99) * 1e3, sstats.peak_queue_depth,
               static_cast<unsigned long long>(sstats.shed));
   std::printf("cache: %llu hits / %llu lookups; refinement: %llu deltas "
               "recorded, %llu applied over %llu epochs\n",
@@ -448,6 +465,27 @@ int CmdServeBench(int argc, char** argv) {
               static_cast<unsigned long long>(sstats.exact_tier_queries),
               static_cast<unsigned long long>(sstats.approximate_tier_queries),
               static_cast<unsigned long long>(sstats.backend_escalations));
+  const std::vector<QueryTrace> slow = (*serving)->SlowQueries();
+  if (!slow.empty()) {
+    std::printf("slow queries (>= %s): %zu retained\n",
+                HumanSeconds(serving_opts.slow_query_threshold_seconds).c_str(),
+                slow.size());
+    for (const QueryTrace& trace : slow) {
+      std::printf("  %s\n", trace.ToString().c_str());
+    }
+  }
+  if (!g_metrics_path.empty()) {
+    std::FILE* f = std::fopen(g_metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::InvalidArgument("cannot write metrics file: " +
+                                          g_metrics_path));
+    }
+    const std::string text = metrics.ToPrometheusText();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("metrics written to %s (%zu bytes)\n", g_metrics_path.c_str(),
+                text.size());
+  }
   return 0;
 }
 
