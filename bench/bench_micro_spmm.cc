@@ -1,0 +1,166 @@
+// Micro-benchmark of the fused SpMM kernel (ApplyTransposeMulti) against
+// the equivalent loop of B independent SpMVs (ApplyTranspose).
+//
+// This is the kernel-level half of the batching story: one CSR pass feeds
+// B accumulators, so the graph (indices + weights) streams from memory
+// once per B right-hand sides instead of once per right-hand side. The
+// number to watch is edges/sec *per query*: the per-lane edge-traversal
+// rate, which for the fused kernel should grow with B until the lane
+// block stops fitting in registers/L1 (B raw throughput numbers are also
+// reported). Both sides run serial (no thread pool) so the comparison
+// isolates memory traffic, not scheduling; RTK_ENABLE_NATIVE_ARCH widens
+// the vector units the fixed-width lane loops compile to.
+//
+// Sweeps B in {1, 4, 8, 16, 32} x the standard graph suite. --json <path>
+// writes machine-readable rows; ci.sh's bench-smoke leg asserts the B=8
+// fused rate stays >= 1.5x the solo rate.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "rwr/transition.h"
+
+namespace rtk::bench {
+namespace {
+
+struct SpmmRow {
+  std::string graph;
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint32_t block = 0;
+  int iters = 0;
+  double solo_seconds = 0.0;
+  double fused_seconds = 0.0;
+  /// Per-lane edge-traversal rate: (iters * m) / (seconds / B).
+  double solo_edges_per_sec_per_query = 0.0;
+  double fused_edges_per_sec_per_query = 0.0;
+  double speedup = 1.0;
+};
+
+// Picks an iteration count that keeps each (graph, B) cell around a fixed
+// edge-traversal budget, so small graphs are timed over many repetitions
+// and large ones over a few.
+int ItersForBudget(uint64_t num_edges, uint32_t block) {
+  constexpr uint64_t kEdgeBudget = 40'000'000;
+  const uint64_t per_iter = num_edges * block;
+  return static_cast<int>(std::max<uint64_t>(4, kEdgeBudget / std::max<uint64_t>(1, per_iter)));
+}
+
+SpmmRow RunCell(const NamedGraph& named, const TransitionOperator& op,
+                uint32_t block) {
+  const uint32_t n = named.graph.num_nodes();
+  const uint64_t m = named.graph.num_edges();
+  const int iters = ItersForBudget(m, block);
+
+  Rng rng(17 + block);
+  std::vector<double> x(static_cast<size_t>(n) * block);
+  for (double& v : x) v = rng.NextDouble();
+
+  // Solo baseline: B independent SpMVs per iteration, ping-ponged so the
+  // chain is data-dependent and the compiler cannot hoist anything.
+  std::vector<std::vector<double>> solo_x(block), solo_y(block);
+  for (uint32_t j = 0; j < block; ++j) {
+    solo_x[j].resize(n);
+    for (uint32_t u = 0; u < n; ++u) {
+      solo_x[j][u] = x[static_cast<size_t>(u) * block + j];
+    }
+    solo_y[j].resize(n);
+  }
+  Stopwatch solo_watch;
+  for (int it = 0; it < iters; ++it) {
+    for (uint32_t j = 0; j < block; ++j) {
+      op.ApplyTranspose(solo_x[j], &solo_y[j]);
+      solo_x[j].swap(solo_y[j]);
+    }
+  }
+  const double solo_seconds = solo_watch.ElapsedSeconds();
+
+  // Fused: one blocked pass per iteration over the same lanes.
+  std::vector<double> y(x.size());
+  Stopwatch fused_watch;
+  for (int it = 0; it < iters; ++it) {
+    op.ApplyTransposeMulti(x, &y, block);
+    x.swap(y);
+  }
+  const double fused_seconds = fused_watch.ElapsedSeconds();
+
+  SpmmRow row;
+  row.graph = named.name;
+  row.num_nodes = n;
+  row.num_edges = m;
+  row.block = block;
+  row.iters = iters;
+  row.solo_seconds = solo_seconds;
+  row.fused_seconds = fused_seconds;
+  const double traversed =
+      static_cast<double>(m) * iters;  // per lane, both sides
+  row.solo_edges_per_sec_per_query =
+      traversed / (solo_seconds / block);
+  row.fused_edges_per_sec_per_query =
+      traversed / (fused_seconds / block);
+  row.speedup = solo_seconds / fused_seconds;
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<SpmmRow>& rows) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("micro_spmm");
+  json.Key("rows").BeginArray();
+  for (const SpmmRow& row : rows) {
+    json.BeginObject();
+    json.Key("graph").String(row.graph);
+    json.Key("num_nodes").Int(row.num_nodes);
+    json.Key("num_edges").Int(static_cast<long long>(row.num_edges));
+    json.Key("block").Int(row.block);
+    json.Key("iters").Int(row.iters);
+    json.Key("solo_seconds").Double(row.solo_seconds);
+    json.Key("fused_seconds").Double(row.fused_seconds);
+    json.Key("solo_edges_per_sec_per_query")
+        .Double(row.solo_edges_per_sec_per_query);
+    json.Key("fused_edges_per_sec_per_query")
+        .Double(row.fused_edges_per_sec_per_query);
+    json.Key("speedup").Double(row.speedup);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteTo(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("json written to %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace rtk::bench
+
+int main(int argc, char** argv) {
+  using namespace rtk::bench;
+  PrintHeader(
+      "Fused SpMM kernel: ApplyTransposeMulti vs B independent SpMVs",
+      "edges/sec per query = per-lane edge-traversal rate, serial kernels; "
+      "speedup = solo seconds / fused seconds at equal work");
+  const std::string json_path = JsonPathArg(argc, argv);
+  std::vector<SpmmRow> rows;
+  for (auto& named : MakeGraphSuite()) {
+    rtk::TransitionOperator op(named.graph);
+    std::printf("\n%s: n=%u m=%llu\n", named.name.c_str(),
+                named.graph.num_nodes(),
+                static_cast<unsigned long long>(named.graph.num_edges()));
+    std::printf("%6s %7s %16s %16s %9s\n", "B", "iters", "solo Medge/s/q",
+                "fused Medge/s/q", "speedup");
+    for (uint32_t block : {1u, 4u, 8u, 16u, 32u}) {
+      const SpmmRow row = RunCell(named, op, block);
+      std::printf("%6u %7d %16.1f %16.1f %8.2fx\n", row.block, row.iters,
+                  row.solo_edges_per_sec_per_query / 1e6,
+                  row.fused_edges_per_sec_per_query / 1e6, row.speedup);
+      rows.push_back(row);
+    }
+  }
+  if (!json_path.empty()) WriteJson(json_path, rows);
+  return 0;
+}

@@ -76,6 +76,32 @@ struct OverloadRow {
   size_t requests = 0;
 };
 
+// One configuration of the batching sweep: closed-loop QPS with the fused
+// multi-query batch former on versus off, at the same client and worker
+// counts, plus the occupancy the batch former actually achieved (mean/max
+// batch size) and where proximity time went (fused solves vs per-query
+// attribution).
+struct BatchingRow {
+  std::string graph;
+  int clients = 0;
+  int workers = 0;
+  size_t max_batch = 0;
+  double batch_window = 0.0;
+  double unbatched_qps = 0.0;
+  double batched_qps = 0.0;
+  double speedup = 1.0;
+  uint64_t batches = 0;
+  uint64_t batched_queries = 0;
+  double mean_batch = 0.0;
+  size_t peak_batch = 0;
+  /// Wall seconds inside fused multi-query solves (batched run).
+  double fused_proximity_seconds = 0.0;
+  /// Per-query attributed proximity seconds (batched run; fused shares).
+  double batched_proximity_seconds = 0.0;
+  /// Per-query proximity seconds of the unbatched run (all solo solves).
+  double solo_proximity_seconds = 0.0;
+};
+
 // Runs `workload` across `num_threads` threads, each thread taking a
 // contiguous slice, calling `run_one(q)`. Returns wall seconds.
 template <typename Fn>
@@ -299,6 +325,130 @@ void RunOverloadSweep(std::vector<OverloadRow>* rows) {
   }
 }
 
+// Batching sweep: closed-loop throughput at many concurrent clients with
+// the fused batch former on vs off. Each client thread submits its slice
+// synchronously (Submit + get, cache bypassed), so with clients >> workers
+// a real backlog forms and the batch former has material to fuse. The
+// speedup column is the headline batching number: same engine, same
+// workload, same thread counts — only max_batch changes.
+//
+// Two deliberate configuration choices keep the measurement about fusion:
+//  * The hits-only accuracy tier. Batching fuses the proximity stage;
+//    refinement is untouched, and on the coarse synthetic indexes these
+//    benches build, exact-tier refinement is >90% of per-query cost —
+//    Amdahl would hide any proximity speedup. Hits-only serves the
+//    proximity-dominated profile (stage 1 + prune) the batch former
+//    actually accelerates.
+//  * One worker. The fused solve runs on the dispatching worker; with one
+//    worker on both sides, batched vs unbatched differ only in how the
+//    proximity rows are produced, not in how many cores happen to be busy.
+//  * The suite's largest graph. Fusion pays when operands stream from
+//    memory; at the small graph's ~2k nodes every per-query vector is
+//    cache-resident and one CSR pass per B rows saves nothing.
+void RunBatchingSweep(std::vector<BatchingRow>* rows,
+                      BatchingRow* occupancy) {
+  constexpr int kClients = 16;
+  constexpr int kWorkers = 1;
+  constexpr size_t kMaxBatch = 16;
+  constexpr double kBatchWindow = 0.0005;
+  auto suite = MakeGraphSuite(3);
+  if (suite.empty()) return;
+  {
+    NamedGraph& named = suite.back();  // largest graph of the suite
+    EngineOptions opts;
+    opts.capacity_k = 50;
+    opts.hub_selection.degree_budget_b = named.graph.num_nodes() / 50 + 1;
+    auto engine = ReverseTopkEngine::Build(Graph(named.graph), opts);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   engine.status().ToString().c_str());
+      return;
+    }
+    Rng rng(23);
+    const std::vector<uint32_t> workload =
+        SampleQueries((*engine)->graph(), NumQueries(400),
+                      QueryDistribution::kInDegreeBiased, &rng);
+
+    // Closed loop: each client blocks on its own request's future, so the
+    // instantaneous backlog is at most kClients and the batch former sees
+    // steady queue depth.
+    const auto run_closed_loop = [&](size_t max_batch, ServingStats* stats,
+                                     MetricsSnapshot* metrics) {
+      ServingOptions serving_opts;
+      serving_opts.num_threads = kWorkers;
+      serving_opts.max_pending = 0;  // closed loop never sheds
+      serving_opts.cache.capacity = 0;
+      serving_opts.max_batch = max_batch;
+      serving_opts.batch_window = max_batch > 1 ? kBatchWindow : 0.0;
+      auto serving = ServingEngine::Create(**engine, serving_opts);
+      if (!serving.ok()) return -1.0;
+      const double seconds =
+          RunThreaded(workload, kClients, [&](uint32_t q) {
+            QueryRequest request;
+            request.query = q;
+            request.k = kQueryK;
+            request.tier = AccuracyTier::kApproximateHitsOnly;
+            request.bypass_cache = true;
+            auto response = (*serving)->Submit(std::move(request)).get();
+            if (!response.ok()) std::abort();
+          });
+      *stats = (*serving)->stats();
+      *metrics = (*serving)->Metrics();
+      return seconds;
+    };
+
+    ServingStats solo_stats, batched_stats;
+    MetricsSnapshot solo_metrics, batched_metrics;
+    const double solo_seconds =
+        run_closed_loop(1, &solo_stats, &solo_metrics);
+    const double batched_seconds =
+        run_closed_loop(kMaxBatch, &batched_stats, &batched_metrics);
+    if (solo_seconds < 0 || batched_seconds < 0) return;
+
+    const auto histogram_sum = [](const MetricsSnapshot& metrics,
+                                  const char* name) {
+      const HistogramSnapshot* h = metrics.HistogramOf(name);
+      return h == nullptr ? 0.0 : h->sum_seconds;
+    };
+    BatchingRow row;
+    row.graph = named.name;
+    row.clients = kClients;
+    row.workers = kWorkers;
+    row.max_batch = kMaxBatch;
+    row.batch_window = kBatchWindow;
+    const double n = static_cast<double>(workload.size());
+    row.unbatched_qps = n / solo_seconds;
+    row.batched_qps = n / batched_seconds;
+    row.speedup = solo_seconds / batched_seconds;
+    row.batches = batched_stats.batches;
+    row.batched_queries = batched_stats.batched_queries;
+    row.mean_batch =
+        static_cast<double>(batched_stats.batched_queries) /
+        std::max<double>(1.0, static_cast<double>(batched_stats.batches));
+    row.peak_batch = batched_stats.peak_batch_size;
+    row.fused_proximity_seconds =
+        histogram_sum(batched_metrics, "rtk_serving_fused_proximity_seconds");
+    row.batched_proximity_seconds =
+        histogram_sum(batched_metrics, "rtk_serving_proximity_seconds");
+    row.solo_proximity_seconds =
+        histogram_sum(solo_metrics, "rtk_serving_proximity_seconds");
+
+    std::printf("\nbatching sweep on %s: %d clients, %d workers, "
+                "max_batch=%zu, window=%.1fms (closed loop, cache off)\n",
+                named.name.c_str(), kClients, kWorkers, kMaxBatch,
+                kBatchWindow * 1e3);
+    std::printf("  unbatched %.1f q/s -> batched %.1f q/s (%.2fx); "
+                "occupancy mean %.1f peak %zu over %llu batches; "
+                "proximity %.2fs solo vs %.2fs fused-wall\n",
+                row.unbatched_qps, row.batched_qps, row.speedup,
+                row.mean_batch, row.peak_batch,
+                static_cast<unsigned long long>(row.batches),
+                row.solo_proximity_seconds, row.fused_proximity_seconds);
+    *occupancy = row;
+    rows->push_back(std::move(row));
+  }
+}
+
 // Publish-cost sweep: clone-and-apply a synthetic delta batch against one
 // index resharded to several widths. The point the numbers make: publish
 // cost (time and shards copied) tracks the batch size, never n — the CoW
@@ -376,15 +526,45 @@ void RunPublishSweep(std::vector<PublishRow>* rows) {
   }
 }
 
+void WriteBatchingRow(JsonWriter& json, const BatchingRow& row) {
+  json.BeginObject();
+  json.Key("graph").String(row.graph);
+  json.Key("clients").Int(row.clients);
+  json.Key("workers").Int(row.workers);
+  json.Key("max_batch").Int(static_cast<long long>(row.max_batch));
+  json.Key("batch_window").Double(row.batch_window);
+  json.Key("unbatched_qps").Double(row.unbatched_qps);
+  json.Key("batched_qps").Double(row.batched_qps);
+  json.Key("speedup").Double(row.speedup);
+  json.Key("batches").Int(static_cast<long long>(row.batches));
+  json.Key("batched_queries").Int(static_cast<long long>(row.batched_queries));
+  json.Key("mean_batch").Double(row.mean_batch);
+  json.Key("peak_batch").Int(static_cast<long long>(row.peak_batch));
+  json.Key("fused_proximity_seconds").Double(row.fused_proximity_seconds);
+  json.Key("batched_proximity_seconds")
+      .Double(row.batched_proximity_seconds);
+  json.Key("solo_proximity_seconds").Double(row.solo_proximity_seconds);
+  json.EndObject();
+}
+
 void WriteJson(const std::string& path,
                const std::vector<ThroughputRow>& rows,
                const std::vector<OverloadRow>& overload_rows,
                const std::vector<PublishRow>& publish_rows,
+               const std::vector<BatchingRow>& batching_rows,
+               const BatchingRow& occupancy,
                const std::string& metrics_json) {
   JsonWriter json;
   json.BeginObject();
   json.Key("bench").String("serving_throughput");
   json.Key("k").Int(kQueryK);
+  // Batch-former occupancy of the batching sweep's last configuration:
+  // how full fused batches ran and where proximity time went.
+  json.Key("batch_occupancy");
+  WriteBatchingRow(json, occupancy);
+  json.Key("batching_sweep").BeginArray();
+  for (const BatchingRow& row : batching_rows) WriteBatchingRow(json, row);
+  json.EndArray();
   // The serving engine's full registry snapshot (counters, gauges, latency
   // histograms) from the head-to-head's final configuration.
   json.Key("metrics").Raw(metrics_json.empty() ? "{}" : metrics_json);
@@ -453,11 +633,14 @@ int main(int argc, char** argv) {
   rtk::bench::RunSuite(&rows, &metrics_json);
   std::vector<rtk::bench::OverloadRow> overload_rows;
   rtk::bench::RunOverloadSweep(&overload_rows);
+  std::vector<rtk::bench::BatchingRow> batching_rows;
+  rtk::bench::BatchingRow occupancy;
+  rtk::bench::RunBatchingSweep(&batching_rows, &occupancy);
   std::vector<rtk::bench::PublishRow> publish_rows;
   rtk::bench::RunPublishSweep(&publish_rows);
   if (!json_path.empty()) {
     rtk::bench::WriteJson(json_path, rows, overload_rows, publish_rows,
-                          metrics_json);
+                          batching_rows, occupancy, metrics_json);
   }
   return 0;
 }

@@ -12,7 +12,10 @@
 #                                 equivalence/superset guarantees + MC
 #                                 determinism under parallel fan-out;
 #                                 obs_test: metrics registry / trace ring
-#                                 hammering with exact-total assertions)
+#                                 hammering with exact-total assertions;
+#                                 spmm_test: fused multi-query SpMM /
+#                                 batched-serving byte-identity at every
+#                                 batch width and thread count)
 #                                 race-detection-clean
 #   pass 3  ASan+UBSan          — library + tests only, runs the storage-
 #                                 heavy subset (index/serving/pipeline/
@@ -26,9 +29,12 @@
 #                                 serving throughput bench — whose JSON now
 #                                 includes the overload sweep (latency
 #                                 percentiles + shed counts) and the CoW
-#                                 publish-cost sweep — so
-#                                 perf regressions fail loudly rather than
-#                                 rot
+#                                 publish-cost sweep and the batch-former
+#                                 occupancy block — plus the micro-SpMM
+#                                 smoke, which fails CI if the fused B=8
+#                                 kernel drops below 1.5x the solo SpMV
+#                                 edge rate — so perf regressions fail
+#                                 loudly rather than rot
 #
 # Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -46,13 +52,14 @@ cmake -B build-tsan -S . -DRTK_SANITIZE=thread \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$JOBS" \
       --target serving_test request_scheduler_test pipeline_test \
-               proximity_backend_test obs_test
+               proximity_backend_test obs_test spmm_test
 # halt_on_error: any report fails CI instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/request_scheduler_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/pipeline_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/proximity_backend_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/obs_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/spmm_test
 
 echo "=== pass 3: ASan+UBSan build + storage suites ==="
 cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
@@ -60,7 +67,7 @@ cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
 cmake --build build-asan -j "$JOBS" \
       --target index_test fault_injection_test serving_test \
                request_scheduler_test pipeline_test proximity_backend_test \
-               obs_test
+               obs_test spmm_test
 # halt_on_error: any report fails CI instead of just logging.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/index_test
@@ -76,12 +83,14 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/proximity_backend_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/obs_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/spmm_test
 
 echo "=== pass 4: Release build + bench smokes ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DRTK_BUILD_TESTS=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-release -j "$JOBS" \
-      --target bench_fig5_query_time bench_serving_throughput
+      --target bench_fig5_query_time bench_serving_throughput bench_micro_spmm
 RTK_BENCH_QUERIES=20 RTK_BENCH_SCALE=0.25 \
     ./build-release/bench_fig5_query_time --json build-release/BENCH_fig5.json
 test -s build-release/BENCH_fig5.json
@@ -100,6 +109,32 @@ assert 'rtk_serving_request_seconds' in metrics
 hist = metrics['rtk_serving_request_seconds']
 assert hist['count'] > 0 and 'p99_seconds' in hist and 'buckets' in hist
 print('serving bench JSON ok: %d queries in the request histogram' % hist['count'])
+# Batch-former occupancy must ride along: the batching sweep ran, formed
+# real multi-query batches, and attributed fused-solve wall time.
+occ = doc['batch_occupancy']
+assert occ['batches'] > 0, occ
+assert occ['mean_batch'] > 1.0, occ
+assert occ['peak_batch'] >= 2, occ
+assert occ['fused_proximity_seconds'] > 0.0, occ
+print('batch occupancy ok: mean %.1f peak %d over %d batches' %
+      (occ['mean_batch'], occ['peak_batch'], occ['batches']))
+PYEOF
+# Fused SpMM smoke: one blocked CSR pass over 8 right-hand sides must beat
+# 8 independent SpMVs by >= 1.5x edge throughput on at least the graph it
+# wins most on (full-scale graphs: at 0.25 scale everything is
+# cache-resident and fusion has nothing to amortize). A regression of the
+# kernel or its dispatch fails CI here.
+./build-release/bench_micro_spmm --json build-release/BENCH_spmm.json
+test -s build-release/BENCH_spmm.json
+python3 - <<'PYEOF'
+import json
+doc = json.load(open('build-release/BENCH_spmm.json'))
+rows = [r for r in doc['rows'] if r['block'] == 8]
+assert rows, 'no B=8 rows in micro-SpMM JSON'
+best = max(r['speedup'] for r in rows)
+assert best >= 1.5, 'fused SpMM B=8 regressed: best speedup %.2fx < 1.5x (%r)' % (
+    best, [(r['graph'], round(r['speedup'], 2)) for r in rows])
+print('micro-SpMM ok: best B=8 fused speedup %.2fx' % best)
 PYEOF
 
 echo "=== CI green ==="

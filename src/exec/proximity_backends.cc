@@ -5,6 +5,8 @@
 #include <mutex>
 #include <utility>
 
+#include "rwr/pmpn_multi.h"
+
 namespace rtk {
 
 std::shared_ptr<const ReverseTransitionView> SharedReverseTransitionView(
@@ -24,6 +26,50 @@ std::shared_ptr<const ReverseTransitionView> SharedReverseTransitionView(
   auto view = std::make_shared<const ReverseTransitionView>(op);
   slot = view;
   return view;
+}
+
+Result<ProximityRow> BatchedPmpnProximityBackend::Compute(
+    uint32_t q, const RwrOptions& options, ThreadPool* pool,
+    int max_parallelism) const {
+  // Solo path: identical to PmpnProximityBackend (the fused kernel would
+  // only add lane-layout overhead for a single query).
+  IterativeSolveStats stats;
+  RTK_ASSIGN_OR_RETURN(std::vector<double> values,
+                       ComputeProximityToNode(*op_, q, options, &stats, pool,
+                                              max_parallelism));
+  ProximityRow row;
+  row.values = std::move(values);
+  row.iterations = stats.iterations;
+  return row;
+}
+
+std::vector<ProximityLaneOutcome> BatchedPmpnProximityBackend::ComputeMulti(
+    const std::vector<ProximityLaneSpec>& lanes, const RwrOptions& options,
+    ThreadPool* pool, int max_parallelism) const {
+  std::vector<PmpnLaneSpec> specs;
+  specs.reserve(lanes.size());
+  for (const ProximityLaneSpec& lane : lanes) {
+    specs.push_back({lane.query, lane.control});
+  }
+  std::vector<ProximityLaneOutcome> out(lanes.size());
+  Result<std::vector<PmpnLaneResult>> fused = ComputeProximityToNodesFused(
+      *op_, specs, options, pool, max_parallelism);
+  if (!fused.ok()) {
+    // Whole-call validation errors (bad alpha/epsilon, query out of range)
+    // apply to every lane identically.
+    for (ProximityLaneOutcome& slot : out) slot.status = fused.status();
+    return out;
+  }
+  std::vector<PmpnLaneResult>& results = fused.value();
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    if (!results[i].status.ok()) {
+      out[i].status = std::move(results[i].status);
+      continue;
+    }
+    out[i].row.values = std::move(results[i].row);
+    out[i].row.iterations = results[i].stats.iterations;
+  }
+  return out;
 }
 
 Result<ProximityRow> MonteCarloProximityBackend::Compute(
@@ -66,7 +112,8 @@ Result<ProximityRow> LocalPushProximityBackend::Compute(
 }
 
 std::vector<std::string_view> RegisteredProximityBackendNames() {
-  return {kPmpnBackendName, kMonteCarloBackendName, kLocalPushBackendName};
+  return {kPmpnBackendName, kBatchedPmpnBackendName, kMonteCarloBackendName,
+          kLocalPushBackendName};
 }
 
 Result<std::unique_ptr<ProximityBackend>> MakeProximityBackend(
@@ -74,6 +121,10 @@ Result<std::unique_ptr<ProximityBackend>> MakeProximityBackend(
   if (config.name.empty() || config.name == kPmpnBackendName) {
     return std::unique_ptr<ProximityBackend>(
         std::make_unique<PmpnProximityBackend>(op));
+  }
+  if (config.name == kBatchedPmpnBackendName) {
+    return std::unique_ptr<ProximityBackend>(
+        std::make_unique<BatchedPmpnProximityBackend>(op));
   }
   if (config.name == kMonteCarloBackendName) {
     return std::unique_ptr<ProximityBackend>(

@@ -42,6 +42,7 @@
 namespace rtk {
 
 inline constexpr std::string_view kPmpnBackendName = "pmpn";
+inline constexpr std::string_view kBatchedPmpnBackendName = "batched-pmpn";
 inline constexpr std::string_view kMonteCarloBackendName = "monte-carlo";
 inline constexpr std::string_view kLocalPushBackendName = "local-push";
 
@@ -79,6 +80,37 @@ std::shared_ptr<const ReverseTransitionView> SharedReverseTransitionView(
 /// names. The operator must outlive the backend.
 Result<std::unique_ptr<ProximityBackend>> MakeProximityBackend(
     const TransitionOperator& op, const ProximityBackendConfig& config);
+
+/// \brief PMPN with a fused multi-query path: Compute is exactly the
+/// single-source solver (this backend serves solo queries identically to
+/// "pmpn"), while ComputeMulti runs ALL lanes through one blocked-SpMM
+/// iteration (rwr/pmpn_multi.h) — one CSR pass per iteration feeds every
+/// lane's accumulator, which is where batched serving throughput comes
+/// from. Every lane's row, iteration count and convergence behavior are
+/// bitwise identical to the single-query path, so batching is purely a
+/// scheduling decision: results, certificates and refinement write-backs
+/// cannot differ from an unbatched run.
+class BatchedPmpnProximityBackend final : public ProximityBackend {
+ public:
+  /// The operator must outlive the backend.
+  explicit BatchedPmpnProximityBackend(const TransitionOperator& op)
+      : op_(&op) {}
+
+  Result<ProximityRow> Compute(uint32_t q, const RwrOptions& options,
+                               ThreadPool* pool,
+                               int max_parallelism) const override;
+
+  std::vector<ProximityLaneOutcome> ComputeMulti(
+      const std::vector<ProximityLaneSpec>& lanes, const RwrOptions& options,
+      ThreadPool* pool, int max_parallelism) const override;
+
+  bool fused_multi() const override { return true; }
+  bool exact() const override { return true; }
+  std::string_view name() const override { return kBatchedPmpnBackendName; }
+
+ private:
+  const TransitionOperator* op_;
+};
 
 /// \brief Monte-Carlo adapter over MonteCarloProximityColumn(): per-source
 /// endpoint walks with per-entry empirical-Bernstein bounds (w.h.p., so

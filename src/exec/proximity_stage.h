@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "rwr/pmpn.h"
@@ -64,6 +65,24 @@ struct ProximityRow {
   }
 };
 
+/// \brief One query of a multi-query (batched) stage-1 call: the query
+/// node plus an optional abort control (null = never aborts). Fused
+/// backends poll the control between iterations; the default sequential
+/// fallback polls it before each lane's solve.
+struct ProximityLaneSpec {
+  uint32_t query = 0;
+  const ExecControl* control = nullptr;
+};
+
+/// \brief One lane's outcome of a multi-query stage-1 call. `status` is OK
+/// when `row` is a complete result (then it obeys the same certificate
+/// contract as Compute), or the per-lane failure/abort code — a tripped
+/// lane never disturbs its siblings.
+struct ProximityLaneOutcome {
+  Status status;
+  ProximityRow row;
+};
+
 /// \brief Strategy interface producing the to-q proximity row. Backends
 /// must be stateless w.r.t. queries (safe to reuse across calls from one
 /// pipeline; the pipeline serializes calls on itself).
@@ -80,6 +99,41 @@ class ProximityBackend {
   virtual Result<ProximityRow> Compute(uint32_t q, const RwrOptions& options,
                                        ThreadPool* pool,
                                        int max_parallelism) const = 0;
+
+  /// \brief Computes rows for several queries in one call. The default is
+  /// a sequential loop of Compute — correct for every backend, amortizing
+  /// nothing; backends that can fuse the work across lanes (one graph pass
+  /// feeding every query, see BatchedPmpnProximityBackend) override it and
+  /// report fused_multi() == true so the serving batch former knows
+  /// gathering a batch actually pays. Each lane's row must be IDENTICAL to
+  /// what Compute(lane.query, ...) would return; a lane whose control trips
+  /// reports the abort in its own slot and leaves its siblings untouched.
+  virtual std::vector<ProximityLaneOutcome> ComputeMulti(
+      const std::vector<ProximityLaneSpec>& lanes, const RwrOptions& options,
+      ThreadPool* pool, int max_parallelism) const {
+    std::vector<ProximityLaneOutcome> out(lanes.size());
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      const ExecControl* control = lanes[i].control;
+      if (control != nullptr && control->active()) {
+        if (Status tripped = control->Check(); !tripped.ok()) {
+          out[i].status = std::move(tripped);
+          continue;
+        }
+      }
+      Result<ProximityRow> row =
+          Compute(lanes[i].query, options, pool, max_parallelism);
+      if (row.ok()) {
+        out[i].row = std::move(row).value();
+      } else {
+        out[i].status = row.status();
+      }
+    }
+    return out;
+  }
+
+  /// \brief True when ComputeMulti amortizes graph traversal across lanes
+  /// instead of looping Compute. Batching only helps for such backends.
+  virtual bool fused_multi() const { return false; }
 
   /// \brief Whether every row this backend produces is exact. Approximate
   /// backends trade Problem 1's exactness guarantee for speed; the

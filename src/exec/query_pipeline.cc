@@ -80,21 +80,18 @@ ThreadPool* QueryPipeline::EffectivePool(const QueryOptions& options,
   return pool;
 }
 
-Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
-                                                 const QueryOptions& options,
-                                                 QueryStats* stats) {
-  Stopwatch overhead_watch;
+Status QueryPipeline::CheckRunPreconditions(
+    uint32_t q, const QueryOptions& options,
+    const ExecControl** control) const {
   // A control that is already tripped (deadline in the past, token
   // cancelled before dispatch) aborts before any stage spends work; the
-  // same check repeats at every stage boundary below. Inactive/null
-  // controls cost nothing anywhere.
-  const ExecControl* control =
-      (options.control != nullptr && options.control->active())
-          ? options.control
-          : nullptr;
-  if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
-  const uint32_t n = op_->num_nodes();
-  if (q >= n) {
+  // same check repeats at every stage boundary. Inactive/null controls
+  // cost nothing anywhere.
+  *control = (options.control != nullptr && options.control->active())
+                 ? options.control
+                 : nullptr;
+  if (*control != nullptr) RTK_RETURN_NOT_OK((*control)->Check());
+  if (q >= op_->num_nodes()) {
     return Status::InvalidArgument("query node out of range");
   }
   if (options.k == 0 || options.k > index_->capacity_k()) {
@@ -102,6 +99,15 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
         "k=" + std::to_string(options.k) + " outside [1, K=" +
         std::to_string(index_->capacity_k()) + "]");
   }
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
+                                                 const QueryOptions& options,
+                                                 QueryStats* stats) {
+  Stopwatch overhead_watch;
+  const ExecControl* control = nullptr;
+  RTK_RETURN_NOT_OK(CheckRunPreconditions(q, options, &control));
   RTK_ASSIGN_OR_RETURN(ProximityBackend * backend,
                        ResolveBackend(options.proximity));
   RwrOptions pmpn_opts = options.pmpn;
@@ -135,6 +141,51 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   }
   if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
 
+  return RunStages(q, options, control, pool, max_parallelism, pmpn_opts,
+                   std::move(row), std::move(local), stats);
+}
+
+Result<std::vector<uint32_t>> QueryPipeline::RunWithRow(
+    uint32_t q, const QueryOptions& options, ProximityRow row,
+    double row_seconds, std::string_view backend_name, QueryStats* stats) {
+  Stopwatch overhead_watch;
+  const ExecControl* control = nullptr;
+  RTK_RETURN_NOT_OK(CheckRunPreconditions(q, options, &control));
+  RwrOptions pmpn_opts = options.pmpn;
+  pmpn_opts.alpha = index_->bca_options().alpha;  // one alpha everywhere
+
+  QueryStats local;
+  local.query = q;
+  local.k = options.k;
+  local.backend = std::string(backend_name);
+  int max_parallelism = 1;
+  ThreadPool* pool = EffectivePool(options, &max_parallelism);
+  local.threads_used = max_parallelism;
+  local.overhead_seconds = overhead_watch.ElapsedSeconds();
+
+  // Stage 1 already happened in the caller's fused solve; adopt the row's
+  // counters and this query's share of the fused wall time so the
+  // stats/trace accounting invariants below hold unchanged.
+  local.pmpn_iterations = row.iterations;
+  local.prox_walks = row.walks;
+  local.prox_pushes = row.pushes;
+  local.prox_eps_below = row.eps_below;
+  local.prox_eps_above = row.eps_above;
+  local.prox_certified = row.certified;
+  local.pmpn_seconds = row_seconds;
+  if (options.trace != nullptr) {
+    options.trace->AddSpan(TracePhase::kProximity, row_seconds);
+  }
+  if (control != nullptr) RTK_RETURN_NOT_OK(control->Check());
+
+  return RunStages(q, options, control, pool, max_parallelism, pmpn_opts,
+                   std::move(row), std::move(local), stats);
+}
+
+Result<std::vector<uint32_t>> QueryPipeline::RunStages(
+    uint32_t q, const QueryOptions& options, const ExecControl* control,
+    ThreadPool* pool, int max_parallelism, const RwrOptions& pmpn_opts,
+    ProximityRow row, QueryStats local, QueryStats* stats) {
   // Stage 2 (Alg. 4 lines 2-11): sharded scan against the stored bounds,
   // widened by the row's error certificate (no-op widening when exact).
   Stopwatch prune_watch;
@@ -165,12 +216,12 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   if (!row.exact() && !options.approximate_hits_only &&
       !pruned.undecided.empty()) {
     local.escalated = true;
-    pmpn_watch.Reset();
+    Stopwatch escalation_watch;
     RTK_ASSIGN_OR_RETURN(
         row, pmpn_backend_->Compute(q, pmpn_opts, pool, max_parallelism));
     local.pmpn_iterations = row.iterations;
     local.prox_certified = row.certified;  // the exact row anchors the answer
-    const double escalation_pmpn = pmpn_watch.ElapsedSeconds();
+    const double escalation_pmpn = escalation_watch.ElapsedSeconds();
     local.pmpn_seconds += escalation_pmpn;
     if (options.trace != nullptr) {
       // The escalation re-run appends second proximity/prune spans; the
@@ -221,7 +272,7 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
 
   // Merge + write-back. Hits and accepted candidates are disjoint sorted
   // lists; the merge reproduces the serial scan's ascending result order.
-  overhead_watch.Reset();
+  Stopwatch write_back_watch;
   std::vector<uint32_t> results;
   results.resize(pruned.hits.size() + refined.accepted.size());
   std::merge(pruned.hits.begin(), pruned.hits.end(),
@@ -243,7 +294,7 @@ Result<std::vector<uint32_t>> QueryPipeline::Run(uint32_t q,
   }
 
   local.results = results.size();
-  const double write_back_seconds = overhead_watch.ElapsedSeconds();
+  const double write_back_seconds = write_back_watch.ElapsedSeconds();
   local.overhead_seconds += write_back_seconds;
   if (options.trace != nullptr) {
     options.trace->AddSpan(TracePhase::kWriteBack, write_back_seconds);

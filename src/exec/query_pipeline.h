@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -98,11 +99,49 @@ class QueryPipeline {
   Result<std::vector<uint32_t>> Run(uint32_t q, const QueryOptions& options,
                                     QueryStats* stats = nullptr);
 
+  /// \brief Runs stages 2+ (prune / refine / merge / write-back) for query
+  /// node q against a PRECOMPUTED stage-1 row — the fan-back entry the
+  /// serving batch former uses after a fused multi-query proximity solve.
+  ///
+  /// `row` must be exactly what a backend's Compute(q, ...) would have
+  /// returned (the fused solver guarantees bitwise identity), so every
+  /// downstream stage — and therefore results and index write-back — is
+  /// byte-identical to an ordinary Run. `row_seconds` is this query's
+  /// share of the fused solve's wall time; it lands in
+  /// QueryStats::pmpn_seconds and the proximity trace span so the
+  /// per-phase accounting invariants keep holding. `backend_name` is
+  /// recorded as QueryStats::backend. QueryOptions::proximity is ignored
+  /// (stage 1 already happened); escalation still anchors on the built-in
+  /// PMPN backend if the supplied row is approximate.
+  Result<std::vector<uint32_t>> RunWithRow(uint32_t q,
+                                           const QueryOptions& options,
+                                           ProximityRow row,
+                                           double row_seconds,
+                                           std::string_view backend_name,
+                                           QueryStats* stats = nullptr);
+
   const LowerBoundIndex& index() const { return *index_; }
 
  private:
   /// Resolves (pool, worker cap) for a Run from options.num_threads.
   ThreadPool* EffectivePool(const QueryOptions& options, int* max_parallelism);
+
+  /// Validation shared by both entries: control pre-check, q / k range.
+  /// Fills `control` with the effective (active) control or null.
+  Status CheckRunPreconditions(uint32_t q, const QueryOptions& options,
+                               const ExecControl** control) const;
+
+  /// Stages 2+ of a run: prune, optional escalation, refine, merge and
+  /// write-back, stats/trace finalization. `local` arrives with the
+  /// stage-1 fields (backend, pmpn_seconds, row counters) already set.
+  Result<std::vector<uint32_t>> RunStages(uint32_t q,
+                                          const QueryOptions& options,
+                                          const ExecControl* control,
+                                          ThreadPool* pool,
+                                          int max_parallelism,
+                                          const RwrOptions& pmpn_opts,
+                                          ProximityRow row, QueryStats local,
+                                          QueryStats* stats);
 
   /// A name-keyed, config-pinned cache entry (see ResolveBackend).
   struct CachedBackend {

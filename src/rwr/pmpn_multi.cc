@@ -1,0 +1,178 @@
+#include "rwr/pmpn_multi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace rtk {
+
+namespace {
+
+/// One lane of the in-flight block: where its column currently lives is
+/// implied by its position in the active vector; `out` is the caller's
+/// result slot it drains into.
+struct ActiveLane {
+  uint32_t query = 0;
+  const ExecControl* control = nullptr;
+  size_t out = 0;
+};
+
+/// Extracts column `j` of the width-`block` iterate into `row`.
+void ExtractColumn(const std::vector<double>& x, uint32_t n, uint32_t block,
+                   uint32_t j, std::vector<double>* row) {
+  row->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    (*row)[i] = x[static_cast<size_t>(i) * block + j];
+  }
+}
+
+/// Repacks the iterate from width `old_block` to the surviving lanes
+/// listed in `keep` (ascending old positions). In-place forward copy is
+/// safe: every write lands at or before the offset it reads from.
+void CompactColumns(std::vector<double>* x, uint32_t n, uint32_t old_block,
+                    const std::vector<uint32_t>& keep) {
+  const uint32_t new_block = static_cast<uint32_t>(keep.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    const size_t src = static_cast<size_t>(i) * old_block;
+    const size_t dst = static_cast<size_t>(i) * new_block;
+    for (uint32_t k = 0; k < new_block; ++k) {
+      (*x)[dst + k] = (*x)[src + keep[k]];
+    }
+  }
+}
+
+/// Runs one fused group of at most kMaxTransposeLanes lanes; results land
+/// in their pre-assigned slots of `results`.
+void SolveGroup(const TransitionOperator& op,
+                const std::vector<PmpnLaneSpec>& lanes, size_t begin,
+                size_t end, const RwrOptions& options, ThreadPool* pool,
+                int max_parallelism, std::vector<PmpnLaneResult>* results) {
+  const uint32_t n = op.num_nodes();
+  const double alpha = options.alpha;
+  std::vector<ActiveLane> active;
+  active.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    active.push_back({lanes[i].query, lanes[i].control, i});
+  }
+  uint32_t block = static_cast<uint32_t>(active.size());
+
+  // Same initialization as the single-source solver: x = e_q per lane.
+  std::vector<double> x(static_cast<size_t>(n) * block, 0.0);
+  std::vector<double> next(static_cast<size_t>(n) * block, 0.0);
+  for (uint32_t j = 0; j < block; ++j) {
+    x[static_cast<size_t>(active[j].query) * block + j] = 1.0;
+  }
+
+  double deltas[kMaxTransposeLanes];
+  std::vector<uint32_t> keep;
+  keep.reserve(block);
+  for (int iter = 1; iter <= options.max_iterations && !active.empty();
+       ++iter) {
+    // Per-lane abort poll: a tripped lane is masked out BEFORE this
+    // iteration spends work on it; its siblings are untouched.
+    keep.clear();
+    for (uint32_t j = 0; j < block; ++j) {
+      const ExecControl* control = active[j].control;
+      if (control != nullptr && control->active()) {
+        if (Status tripped = control->Check(); !tripped.ok()) {
+          (*results)[active[j].out].status = std::move(tripped);
+          continue;
+        }
+      }
+      keep.push_back(j);
+    }
+    if (keep.size() != active.size()) {
+      CompactColumns(&x, n, block, keep);
+      std::vector<ActiveLane> survivors;
+      survivors.reserve(keep.size());
+      for (uint32_t j : keep) survivors.push_back(active[j]);
+      active.swap(survivors);
+      block = static_cast<uint32_t>(active.size());
+      if (active.empty()) return;
+    }
+
+    // The fused O(m) SpMM kernel goes parallel; the O(n * B) scale /
+    // restart / delta loops stay serial in ascending node order per lane,
+    // mirroring the single-source solver so every lane's iterate sequence
+    // is bitwise identical to ComputeProximityToNode.
+    op.ApplyTransposeMulti(x, &next, block, pool, max_parallelism);
+    const size_t total = static_cast<size_t>(n) * block;
+    for (size_t i = 0; i < total; ++i) next[i] *= (1.0 - alpha);
+    for (uint32_t j = 0; j < block; ++j) {
+      next[static_cast<size_t>(active[j].query) * block + j] += alpha;
+    }
+    for (uint32_t j = 0; j < block; ++j) deltas[j] = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const size_t base = static_cast<size_t>(i) * block;
+      for (uint32_t j = 0; j < block; ++j) {
+        deltas[j] += std::abs(next[base + j] - x[base + j]);
+      }
+    }
+    x.swap(next);
+
+    // Convergence masking: converged lanes drain out of the block
+    // (compact-on-converge) so stragglers never pay for finished queries.
+    keep.clear();
+    for (uint32_t j = 0; j < block; ++j) {
+      PmpnLaneResult& slot = (*results)[active[j].out];
+      slot.stats.final_delta = deltas[j];
+      if (deltas[j] < options.epsilon) {
+        slot.stats.iterations = iter;
+        slot.stats.converged = true;
+        ExtractColumn(x, n, block, j, &slot.row);
+      } else {
+        keep.push_back(j);
+      }
+    }
+    if (keep.size() != active.size()) {
+      CompactColumns(&x, n, block, keep);
+      std::vector<ActiveLane> survivors;
+      survivors.reserve(keep.size());
+      for (uint32_t j : keep) survivors.push_back(active[j]);
+      active.swap(survivors);
+      block = static_cast<uint32_t>(active.size());
+    }
+  }
+
+  // Iteration cap reached: report exactly like the single-source loop,
+  // whose counter sits one past the cap when the epsilon test never fired.
+  for (uint32_t j = 0; j < block; ++j) {
+    PmpnLaneResult& slot = (*results)[active[j].out];
+    slot.stats.iterations = options.max_iterations + 1;
+    slot.stats.converged = false;
+    ExtractColumn(x, n, block, j, &slot.row);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<PmpnLaneResult>> ComputeProximityToNodesFused(
+    const TransitionOperator& op, const std::vector<PmpnLaneSpec>& lanes,
+    const RwrOptions& options, ThreadPool* pool, int max_parallelism) {
+  if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (!(options.epsilon > 0.0) || options.max_iterations <= 0) {
+    return Status::InvalidArgument("epsilon/max_iterations invalid");
+  }
+  const uint32_t n = op.num_nodes();
+  for (const PmpnLaneSpec& lane : lanes) {
+    if (lane.query >= n) {
+      return Status::InvalidArgument(
+          "query node " + std::to_string(lane.query) + " out of range (n=" +
+          std::to_string(n) + ")");
+    }
+  }
+  std::vector<PmpnLaneResult> results(lanes.size());
+  // Wider batches than the kernel's lane cap take several fused passes.
+  for (size_t begin = 0; begin < lanes.size(); begin += kMaxTransposeLanes) {
+    const size_t end = std::min(lanes.size(),
+                                begin + static_cast<size_t>(kMaxTransposeLanes));
+    SolveGroup(op, lanes, begin, end, options, pool, max_parallelism,
+               &results);
+  }
+  return results;
+}
+
+}  // namespace rtk

@@ -20,6 +20,12 @@
 
 namespace rtk {
 
+/// \brief Widest accumulator block ApplyTransposeMulti accepts. 32 doubles
+/// = 4 cache lines per node: wide enough to amortize one CSR pass over a
+/// full admission batch, narrow enough that a node's slab stays in L1
+/// while its edges stream.
+inline constexpr uint32_t kMaxTransposeLanes = 32;
+
 /// \brief Shared knobs for iterative RWR computations.
 struct RwrOptions {
   /// Restart probability alpha in (0, 1); the paper uses 0.15 throughout.
@@ -66,6 +72,27 @@ class TransitionOperator {
   void ApplyTranspose(const std::vector<double>& x, std::vector<double>* y,
                       ThreadPool* pool, int max_parallelism = 0) const;
 
+  /// \brief Fused multi-vector transpose apply (SpMM): Y = A^T X for
+  /// `block` right-hand sides in ONE pass over the CSR structure.
+  ///
+  /// X and Y are node-major lane-interleaved: lane j of node u lives at
+  /// index u * block + j, so the `block` accumulators of an edge gather
+  /// read/write contiguous fixed-width slabs (the layout the inner loops
+  /// need to auto-vectorize). Both spans must have size n * block and be
+  /// distinct; 1 <= block <= kMaxTransposeLanes.
+  ///
+  /// Lane j of the result is bitwise identical to ApplyTranspose run on
+  /// lane j alone, at every block width and thread count: each y[u] lane
+  /// accumulates u's out-edges in the same order as the single-vector
+  /// kernel, and blocking over node ranges (same ParallelForRange
+  /// partitioning as ApplyTranspose) changes scheduling only. This is what
+  /// lets the fused multi-query solver drop converged columns out of the
+  /// block without perturbing the stragglers.
+  void ApplyTransposeMulti(const std::vector<double>& x,
+                           std::vector<double>* y, uint32_t block,
+                           ThreadPool* pool = nullptr,
+                           int max_parallelism = 0) const;
+
   /// \brief Samples an out-neighbor of u with probability proportional to
   /// edge weight (uniform when unweighted). u must have out-degree > 0.
   uint32_t SampleOutNeighbor(uint32_t u, Rng* rng) const;
@@ -75,6 +102,12 @@ class TransitionOperator {
   void ApplyTransposeRange(const std::vector<double>& x,
                            std::vector<double>* y, uint32_t lo,
                            uint32_t hi) const;
+
+  /// The multi-vector gather kernel: fills the `block`-wide slabs of y for
+  /// u in [lo, hi). Dispatches to a fixed-width instantiation for the
+  /// common block sizes so the lane loops unroll and vectorize.
+  void ApplyTransposeMultiRange(const double* x, double* y, uint32_t block,
+                                uint32_t lo, uint32_t hi) const;
 
   const Graph* graph_;
   std::vector<double> inv_out_weight_;  // 1 / W(u) per node

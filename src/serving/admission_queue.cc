@@ -33,6 +33,22 @@ std::optional<PendingQuery> AdmissionQueue::TryPop() {
   return std::nullopt;
 }
 
+std::vector<PendingQuery> AdmissionQueue::PopUpTo(size_t n) {
+  std::vector<PendingQuery> batch;
+  std::lock_guard<std::mutex> lock(mu_);
+  batch.reserve(std::min(n, depth_));
+  for (auto& lane : lanes_) {  // array order == urgency order
+    while (batch.size() < n && !lane.empty()) {
+      batch.push_back(std::move(lane.front()));
+      lane.pop_front();
+      --depth_;
+      ++popped_;
+    }
+    if (batch.size() == n) break;
+  }
+  return batch;
+}
+
 size_t AdmissionQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return depth_;

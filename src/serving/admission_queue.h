@@ -22,6 +22,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/cancellation.h"
 #include "serving/request.h"
@@ -68,6 +69,14 @@ class AdmissionQueue {
   /// \brief Pops the oldest request of the most urgent non-empty class;
   /// nullopt when empty.
   std::optional<PendingQuery> TryPop();
+
+  /// \brief Pops up to `n` requests under ONE lock acquisition, in the
+  /// same order n TryPop calls would produce (strict priority, FIFO within
+  /// a class); empty when the queue is. The batch former's entry point:
+  /// gathering a fused batch costs one mutex round-trip instead of one per
+  /// request, so deep queues do not turn the queue lock into the
+  /// bottleneck the fused kernel just removed from the solver.
+  std::vector<PendingQuery> PopUpTo(size_t n);
 
   /// \brief Current backlog across all classes.
   size_t depth() const;

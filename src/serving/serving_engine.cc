@@ -1,11 +1,14 @@
 #include "serving/serving_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "exec/proximity_backends.h"
+#include "exec/query_pipeline.h"
 
 namespace rtk {
 
@@ -84,6 +87,9 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
       &registry_.GetCounter("rtk_serving_answers_uncertified_total");
   ins_.cache_hits = &registry_.GetCounter("rtk_serving_cache_hits_total");
   ins_.cache_misses = &registry_.GetCounter("rtk_serving_cache_misses_total");
+  ins_.batches = &registry_.GetCounter("rtk_serving_batches_total");
+  ins_.batched_queries =
+      &registry_.GetCounter("rtk_serving_batched_queries_total");
   ins_.deltas_recorded =
       &registry_.GetCounter("rtk_serving_deltas_recorded_total");
   ins_.deltas_applied =
@@ -93,6 +99,8 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
   ins_.shards_copied =
       &registry_.GetCounter("rtk_serving_shards_copied_total");
   ins_.queue_wait = &registry_.GetHistogram("rtk_serving_queue_wait_seconds");
+  ins_.fused_proximity_seconds =
+      &registry_.GetHistogram("rtk_serving_fused_proximity_seconds");
   ins_.request_latency = &registry_.GetHistogram("rtk_serving_request_seconds");
   ins_.exact_tier_latency =
       &registry_.GetHistogram("rtk_serving_request_exact_tier_seconds");
@@ -107,6 +115,7 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
       &registry_.GetHistogram("rtk_serving_request_backend_other_seconds");
   ins_.queue_depth = &registry_.GetGauge("rtk_serving_queue_depth");
   ins_.peak_queue_depth = &registry_.GetGauge("rtk_serving_peak_queue_depth");
+  ins_.peak_batch_size = &registry_.GetGauge("rtk_serving_peak_batch_size");
   ins_.pending_deltas = &registry_.GetGauge("rtk_serving_pending_deltas");
   ins_.current_epoch = &registry_.GetGauge("rtk_serving_current_epoch");
   ins_.index_shards = &registry_.GetGauge("rtk_serving_index_shards");
@@ -116,6 +125,22 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
         std::string(name),
         &registry_.GetHistogram("rtk_serving_request_backend_" +
                                 MetricSafe(name) + "_seconds"));
+  }
+
+  if (options_.max_batch > 1) {
+    // One fused backend per tier, kept only when it actually fuses —
+    // a tier configured with a loop-of-Compute backend gains nothing
+    // from gathering, so its requests keep the single-query path.
+    const auto build_batcher =
+        [this](const ProximityBackendConfig& config)
+        -> std::unique_ptr<ProximityBackend> {
+      Result<std::unique_ptr<ProximityBackend>> built =
+          MakeProximityBackend(*op_, config);
+      if (!built.ok() || !(*built)->fused_multi()) return nullptr;
+      return std::move(*built);
+    };
+    exact_batcher_ = build_batcher(options_.exact_tier_backend);
+    approx_batcher_ = build_batcher(options_.approximate_tier_backend);
   }
 }
 
@@ -166,6 +191,20 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
   // Inherit the engine's solver settings the way ReverseTopkEngine::Query
   // does (the searcher re-pins alpha to the index's alpha regardless).
   opts.query.pmpn = engine.options().solver;
+  if (opts.max_batch > 1) {
+    // Friendly default: a tier left on plain PMPN upgrades to the fused
+    // PMPN backend so enabling batching actually batches. The upgrade
+    // changes the reported backend NAME only — "batched-pmpn" serves solo
+    // queries through the identical single-source solver, and every fused
+    // lane is bitwise identical to it.
+    const auto upgrade = [](ProximityBackendConfig* config) {
+      if (config->name.empty() || config->name == kPmpnBackendName) {
+        config->name = std::string(kBatchedPmpnBackendName);
+      }
+    };
+    upgrade(&opts.exact_tier_backend);
+    upgrade(&opts.approximate_tier_backend);
+  }
   return std::unique_ptr<ServingEngine>(new ServingEngine(engine, opts));
 }
 
@@ -290,9 +329,137 @@ void ServingEngine::Submit(QueryRequest request, ResponseCallback on_done) {
 
 void ServingEngine::DispatchOne() {
   if (paused_.load(std::memory_order_acquire)) return;
-  std::optional<PendingQuery> item = queue_.TryPop();
-  if (!item) return;  // raced another ticket (or a Resume surplus)
-  ExecuteRequest(std::move(*item));
+  if (options_.max_batch <= 1) {
+    std::optional<PendingQuery> item = queue_.TryPop();
+    if (!item) return;  // raced another ticket (or a Resume surplus)
+    ExecuteRequest(std::move(*item));
+    return;
+  }
+  // Batched dispatch: drain up to max_batch in ONE queue lock. Each
+  // admitted request issued its own ticket, so a ticket that pops k
+  // requests leaves k-1 later tickets to no-op — requests can never
+  // strand (tickets outstanding always >= queued requests).
+  std::vector<PendingQuery> batch = queue_.PopUpTo(options_.max_batch);
+  if (batch.empty()) return;
+  if (batch.size() < options_.max_batch && options_.batch_window > 0.0) {
+    // Gather window: trade a bounded latency hit for a wider fused block.
+    // The popped requests are already ours, so the sleep delays only them
+    // — and their deadlines are still honored at execution/solve time.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.batch_window));
+    std::vector<PendingQuery> more =
+        queue_.PopUpTo(options_.max_batch - batch.size());
+    for (PendingQuery& item : more) batch.push_back(std::move(item));
+  }
+  ExecuteBatch(std::move(batch));
+}
+
+void ServingEngine::ExecuteBatch(std::vector<PendingQuery> items) {
+  // Group by accuracy tier — the per-tier backend config is what decides
+  // both fusability and the solve's knobs; the snapshot (epoch) is taken
+  // once per group at solve time. Partitioning preserves pop order
+  // (strict priority, FIFO within a class) inside each group.
+  std::vector<PendingQuery> exact_group;
+  std::vector<PendingQuery> approx_group;
+  for (PendingQuery& item : items) {
+    const bool approx =
+        item.request.tier == AccuracyTier::kApproximateHitsOnly;
+    ProximityBackend* batcher =
+        approx ? approx_batcher_.get() : exact_batcher_.get();
+    if (batcher == nullptr) {
+      // This tier's backend cannot fuse; run the ordinary path.
+      ExecuteRequest(std::move(item));
+      continue;
+    }
+    (approx ? approx_group : exact_group).push_back(std::move(item));
+  }
+  RunFusedGroup(std::move(exact_group), exact_batcher_.get());
+  RunFusedGroup(std::move(approx_group), approx_batcher_.get());
+}
+
+void ServingEngine::RunFusedGroup(std::vector<PendingQuery> items,
+                                  ProximityBackend* batcher) {
+  if (items.empty()) return;
+  // Requests that cannot occupy a lane take the ordinary single path:
+  // already-tripped controls abort there without spending solve work, and
+  // an out-of-range query must fail alone instead of poisoning the whole
+  // fused solve's validation.
+  std::vector<PendingQuery> live;
+  live.reserve(items.size());
+  for (PendingQuery& item : items) {
+    const ExecControl control{item.request.deadline, item.request.cancel};
+    const bool tripped = control.active() && !control.Check().ok();
+    if (tripped || item.request.query >= op_->num_nodes()) {
+      ExecuteRequest(std::move(item));
+    } else {
+      live.push_back(std::move(item));
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    // A lone survivor gains nothing from the fused layout.
+    ExecuteRequest(std::move(live[0]));
+    return;
+  }
+
+  ins_.batches->Increment();
+  ins_.batched_queries->Increment(live.size());
+  size_t peak = peak_batch_.load(std::memory_order_relaxed);
+  while (live.size() > peak &&
+         !peak_batch_.compare_exchange_weak(peak, live.size(),
+                                            std::memory_order_relaxed)) {
+  }
+
+  // One snapshot and one pooled searcher serve the whole group; every
+  // lane's response reports this epoch, exactly as if each request had
+  // popped it individually.
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  PooledSearcher pooled = AcquireSearcher(snap);
+
+  // Stable ExecControl storage: the solver keeps per-lane pointers and
+  // polls them once per iteration — a mid-solve deadline/cancel masks
+  // that lane out of the block while its batch-mates keep iterating.
+  std::vector<ExecControl> controls;
+  controls.reserve(live.size());
+  std::vector<ProximityLaneSpec> lanes;
+  lanes.reserve(live.size());
+  for (PendingQuery& item : live) {
+    controls.push_back(ExecControl{item.request.deadline, item.request.cancel});
+    lanes.push_back({item.request.query,
+                     controls.back().active() ? &controls.back() : nullptr});
+  }
+
+  RwrOptions pmpn_opts = options_.query.pmpn;
+  pmpn_opts.alpha = snap->index().bca_options().alpha;  // one alpha everywhere
+
+  // Mirror the pipeline's EffectivePool policy for the engine-level
+  // num_threads setting (per-request overrides only affect that request's
+  // own prune/refine stages; intra-solve parallelism is a batch-level
+  // scheduling choice and cannot change any lane's bits).
+  int max_parallelism = 1;
+  ThreadPool* pool = nullptr;
+  if (options_.query.num_threads != 1) {
+    pool = pool_.get();
+    max_parallelism = options_.query.num_threads > 0
+                          ? std::min(options_.query.num_threads,
+                                     pool->num_threads())
+                          : pool->num_threads();
+  }
+
+  const SteadyTimePoint solve_began = SteadyClock::now();
+  std::vector<ProximityLaneOutcome> outcomes =
+      batcher->ComputeMulti(lanes, pmpn_opts, pool, max_parallelism);
+  const double fused_seconds = SecondsSince(solve_began);
+  ins_.fused_proximity_seconds->Record(fused_seconds);
+  // Each lane's share of the fused wall time is the batch's amortization,
+  // made visible: it lands in that request's pmpn_seconds/trace span.
+  const double share = fused_seconds / static_cast<double>(live.size());
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    ExecuteAdmitted(std::move(live[i]), &pooled, &outcomes[i], share,
+                    batcher->name());
+  }
+  ReleaseSearcher(std::move(pooled));
 }
 
 void ServingEngine::Pause() { paused_.store(true, std::memory_order_release); }
@@ -317,6 +484,14 @@ void ServingEngine::FinishAborted(Status status, QueryResponse* response) {
 }
 
 void ServingEngine::ExecuteRequest(PendingQuery item) {
+  ExecuteAdmitted(std::move(item), /*shared=*/nullptr, /*fused=*/nullptr,
+                  /*fused_share=*/0.0, /*fused_backend=*/{});
+}
+
+void ServingEngine::ExecuteAdmitted(PendingQuery item, PooledSearcher* shared,
+                                    ProximityLaneOutcome* fused,
+                                    double fused_share,
+                                    std::string_view fused_backend) {
   const QueryRequest& request = item.request;
   QueryResponse response = MakeResponseHeader(request);
   const double queue_seconds = SecondsSince(item.enqueued_at);
@@ -374,7 +549,10 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
   (approximate_tier ? ins_.approximate_tier : ins_.exact_tier)->Increment();
   executed = true;
 
-  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  // A batched request serves the snapshot its fused solve ran against;
+  // singles pop the current one.
+  std::shared_ptr<const IndexSnapshot> snap =
+      shared != nullptr ? shared->snapshot : snapshot();
   response.epoch = snap->epoch();
   // The cache probe happened on the submitting thread (Submit's fast
   // path); this request missed, so the worker only inserts afterwards —
@@ -387,7 +565,23 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
   const bool cacheable =
       !request.bypass_cache && request.tier == AccuracyTier::kExact;
 
-  PooledSearcher pooled = AcquireSearcher(snap);
+  if (fused != nullptr && !fused->status.ok()) {
+    // This lane's control tripped inside the fused solve — the solver
+    // masked its column out and its batch-mates kept iterating. Nothing
+    // was written back; deliver the abort like any mid-pipeline one.
+    FinishAborted(std::move(fused->status), &response);
+    deliver();
+    return;
+  }
+
+  PooledSearcher local_pooled;
+  ReverseTopkSearcher* searcher = nullptr;
+  if (shared != nullptr) {
+    searcher = shared->searcher.get();  // the batch shares one searcher
+  } else {
+    local_pooled = AcquireSearcher(snap);
+    searcher = local_pooled.searcher.get();
+  }
   QueryOptions query_opts = options_.query;
   query_opts.k = request.k;
   query_opts.approximate_hits_only = approximate_tier;
@@ -402,8 +596,12 @@ void ServingEngine::ExecuteRequest(PendingQuery item) {
   query_opts.control = control.active() ? &control : nullptr;
   query_opts.trace = trace_ptr;  // pipeline appends the stage spans
   Result<std::vector<uint32_t>> result =
-      pooled.searcher->Query(request.query, query_opts, &response.stats);
-  ReleaseSearcher(std::move(pooled));
+      fused != nullptr
+          ? searcher->pipeline().RunWithRow(request.query, query_opts,
+                                            std::move(fused->row), fused_share,
+                                            fused_backend, &response.stats)
+          : searcher->Query(request.query, query_opts, &response.stats);
+  if (shared == nullptr) ReleaseSearcher(std::move(local_pooled));
   response.timings.pmpn_seconds = response.stats.pmpn_seconds;
   response.timings.prune_seconds = response.stats.prune_seconds;
   response.timings.refine_seconds = response.stats.refine_seconds;
@@ -636,6 +834,9 @@ ServingStats ServingEngine::stats() const {
   stats.backend_escalations = ins_.escalations->value();
   stats.cache_hits = ins_.cache_hits->value();
   stats.cache_misses = ins_.cache_misses->value();
+  stats.batches = ins_.batches->value();
+  stats.batched_queries = ins_.batched_queries->value();
+  stats.peak_batch_size = peak_batch_.load(std::memory_order_relaxed);
   stats.deltas_recorded = ins_.deltas_recorded->value();
   stats.deltas_applied = ins_.deltas_applied->value();
   stats.epochs_published = ins_.epochs_published->value();
@@ -660,6 +861,8 @@ MetricsSnapshot ServingEngine::Metrics() const {
   const AdmissionQueueStats queue = queue_.stats();
   ins_.queue_depth->Set(static_cast<double>(queue.depth));
   ins_.peak_queue_depth->Set(static_cast<double>(queue.peak_depth));
+  ins_.peak_batch_size->Set(
+      static_cast<double>(peak_batch_.load(std::memory_order_relaxed)));
   ins_.pending_deltas->Set(static_cast<double>(log_.stats().pending));
   ins_.current_epoch->Set(static_cast<double>(snap->epoch()));
   ins_.index_shards->Set(static_cast<double>(snap->index().num_shards()));

@@ -60,12 +60,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/online_query.h"
+#include "exec/proximity_stage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serving/admission_queue.h"
@@ -122,6 +124,28 @@ struct ServingOptions {
   double slow_query_threshold_seconds = 0.25;
   /// Slow-query log size (oldest evicted beyond it).
   size_t slow_query_log_capacity = 64;
+  /// Multi-query fusion: a dispatch ticket gathers up to this many queued
+  /// compatible requests (same accuracy tier, served against one snapshot)
+  /// and runs ONE fused blocked-SpMM proximity solve for all of them
+  /// (rwr/pmpn_multi.h) before fanning back into per-query prune/refine.
+  /// <= 1 (default) disables batching entirely — the pre-batching
+  /// single-pop dispatch path, byte for byte. Fusion only engages for
+  /// tiers whose configured backend supports it
+  /// (ProximityBackend::fused_multi(), i.e. "batched-pmpn"); Create()
+  /// upgrades a default/"pmpn" tier backend to "batched-pmpn"
+  /// automatically when max_batch > 1, which changes the reported backend
+  /// NAME but never any result byte: every fused lane is bitwise
+  /// identical to its solo solve, so batching is purely a scheduling
+  /// decision. Priority order is preserved (the batch is popped in strict
+  /// priority/FIFO order); per-request deadlines and cancellation still
+  /// bite mid-solve — a tripped request is masked out of the block and
+  /// aborts alone, its batch-mates unaffected.
+  size_t max_batch = 1;
+  /// Extra gather wait (seconds) after a dispatch ticket pops a partial
+  /// batch: trade that much latency for wider fused blocks. 0 (default)
+  /// takes whatever is queued right now and never sleeps. Only meaningful
+  /// with max_batch > 1.
+  double batch_window = 0.0;
   /// Base per-query options; k / tier / update_index / num_threads are
   /// overridden per request, delta_sink and control are managed by the
   /// engine, and pmpn is inherited from the source engine's solver
@@ -170,6 +194,13 @@ struct ServingStats {
   uint64_t index_shards = 0;
   uint64_t current_epoch = 0;
   uint64_t pending_deltas = 0;
+  /// Fused multi-query batches executed and the requests they carried
+  /// (mean occupancy = batched_queries / batches); singles that bypassed
+  /// fusion count in neither.
+  uint64_t batches = 0;
+  uint64_t batched_queries = 0;
+  /// Widest fused batch observed (gauge).
+  size_t peak_batch_size = 0;
   /// Admission backlog right now / its high-water mark.
   size_t queue_depth = 0;
   size_t peak_queue_depth = 0;
@@ -303,11 +334,33 @@ class ServingEngine {
   ServingEngine(const ReverseTopkEngine& engine, const ServingOptions& options);
 
   /// One dispatch ticket: pops and executes the highest-priority pending
-  /// request (no-op while paused or when the backlog is empty).
+  /// request — or, with max_batch > 1, up to max_batch of them as one
+  /// fused batch (no-op while paused or when the backlog is empty;
+  /// surplus tickets always no-op, so over-ticketing is harmless).
   void DispatchOne();
 
   /// Runs one admitted request end to end and delivers its response.
   void ExecuteRequest(PendingQuery item);
+
+  /// Batch former: splits a popped batch by accuracy tier, runs each
+  /// tier's fusable group through RunFusedGroup and everything else
+  /// through ExecuteRequest.
+  void ExecuteBatch(std::vector<PendingQuery> items);
+
+  /// One fused group: a single snapshot + searcher, one ComputeMulti
+  /// solve across all live lanes, then the per-request fan-back
+  /// (prune/refine/deliver) in pop order.
+  void RunFusedGroup(std::vector<PendingQuery> items,
+                     ProximityBackend* batcher);
+
+  /// The shared request executor behind ExecuteRequest (fused == nullptr:
+  /// full pipeline on a freshly acquired searcher) and RunFusedGroup's
+  /// fan-back (fused != nullptr: stages 2+ against the precomputed row,
+  /// on the batch's shared searcher `shared`, with `fused_share` seconds
+  /// attributed as this request's proximity time).
+  void ExecuteAdmitted(PendingQuery item, PooledSearcher* shared,
+                       ProximityLaneOutcome* fused, double fused_share,
+                       std::string_view fused_backend);
 
   /// Counts an abort against the right counter and stamps the response.
   void FinishAborted(Status status, QueryResponse* response);
@@ -341,6 +394,14 @@ class ServingEngine {
   ServingOptions options_;
   std::unique_ptr<ThreadPool> pool_;
 
+  // Per-tier fused stage-1 backends (null when the tier's configured
+  // backend cannot fuse — its requests then execute singly even inside a
+  // batch). Built once: they depend only on the transition operator, not
+  // on any snapshot epoch.
+  std::unique_ptr<ProximityBackend> exact_batcher_;
+  std::unique_ptr<ProximityBackend> approx_batcher_;
+  std::atomic<size_t> peak_batch_{0};
+
   mutable std::mutex snapshot_mu_;  // guards snapshot_ swap/load only
   std::shared_ptr<const IndexSnapshot> snapshot_;
 
@@ -371,11 +432,14 @@ class ServingEngine {
     Counter* uncertified = nullptr;
     Counter* cache_hits = nullptr;
     Counter* cache_misses = nullptr;
+    Counter* batches = nullptr;
+    Counter* batched_queries = nullptr;
     Counter* deltas_recorded = nullptr;
     Counter* deltas_applied = nullptr;
     Counter* epochs_published = nullptr;
     Counter* shards_copied = nullptr;
     Histogram* queue_wait = nullptr;
+    Histogram* fused_proximity_seconds = nullptr;
     Histogram* request_latency = nullptr;
     Histogram* exact_tier_latency = nullptr;
     Histogram* approximate_tier_latency = nullptr;
@@ -387,6 +451,7 @@ class ServingEngine {
     // Gauges, refreshed from their components at Metrics() time.
     Gauge* queue_depth = nullptr;
     Gauge* peak_queue_depth = nullptr;
+    Gauge* peak_batch_size = nullptr;
     Gauge* pending_deltas = nullptr;
     Gauge* current_epoch = nullptr;
     Gauge* index_shards = nullptr;

@@ -90,14 +90,18 @@ TEST(ProximityBackendFactoryTest, ConstructsEveryRegisteredBackend) {
   ASSERT_TRUE(graph.ok());
   TransitionOperator op(*graph);
   const auto names = RegisteredProximityBackendNames();
-  EXPECT_EQ(names.size(), 3u);
+  EXPECT_EQ(names.size(), 4u);
   for (std::string_view name : names) {
     ProximityBackendConfig config;
     config.name = std::string(name);
     auto backend = MakeProximityBackend(op, config);
     ASSERT_TRUE(backend.ok()) << name;
     EXPECT_EQ((*backend)->name(), name);
-    EXPECT_EQ((*backend)->exact(), name == kPmpnBackendName);
+    const bool exact =
+        name == kPmpnBackendName || name == kBatchedPmpnBackendName;
+    EXPECT_EQ((*backend)->exact(), exact);
+    // Only the fused PMPN backend amortizes multi-query solves.
+    EXPECT_EQ((*backend)->fused_multi(), name == kBatchedPmpnBackendName);
   }
   // Empty name falls back to the exact default.
   auto fallback = MakeProximityBackend(op, {});

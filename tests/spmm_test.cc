@@ -1,0 +1,470 @@
+// Tests for the fused multi-query (SpMM) execution path, bottom to top:
+//   1. kernel: ApplyTransposeMulti is bitwise equal to `block` independent
+//      ApplyTranspose calls at every width and thread count;
+//   2. solver: the fused multi-source PMPN reproduces every column of the
+//      single-source solver exactly — values, iteration counts,
+//      convergence deltas — including per-lane convergence masking and
+//      per-lane deadline/cancellation;
+//   3. serving: a batched ServingEngine returns byte-identical responses
+//      AND written-back index state to an unbatched one, at several batch
+//      widths and thread counts (ci.sh runs this file under TSan);
+//   4. queue: AdmissionQueue::PopUpTo pops in strict priority/FIFO order
+//      under one lock.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "exec/proximity_backends.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "rwr/pmpn.h"
+#include "rwr/pmpn_multi.h"
+#include "rwr/transition.h"
+#include "serving/admission_queue.h"
+#include "serving/serving_engine.h"
+
+namespace rtk {
+namespace {
+
+Graph UnweightedTestGraph(uint64_t seed, uint32_t n = 200) {
+  Rng rng(seed);
+  auto graph = BarabasiAlbert(n, 3, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(*graph);
+}
+
+Graph WeightedTestGraph(uint64_t seed, uint32_t n = 120) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (int e = 0; e < 4; ++e) {
+      uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+      if (v == u) v = (v + 1) % n;
+      b.AddEdge(u, v, 0.25 + rng.NextDouble());
+    }
+  }
+  auto graph = b.Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(*graph);
+}
+
+// ---------------------------------------------------------------------------
+// 1. Kernel: fused SpMM == block-many independent SpMVs, bitwise.
+
+void CheckKernelBitwise(const Graph& graph) {
+  TransitionOperator op(graph);
+  const uint32_t n = graph.num_nodes();
+  Rng rng(99);
+  ThreadPool pool(4);
+
+  // Widths cover every fixed-width instantiation plus the generic
+  // fallback (3, 7, 21) the compact-on-converge solver produces.
+  for (uint32_t block : {1u, 2u, 3u, 4u, 7u, 8u, 16u, 21u, 32u}) {
+    // Lane-interleaved input, plus each lane extracted for the reference.
+    std::vector<double> x(static_cast<size_t>(n) * block);
+    for (double& v : x) v = rng.NextDouble();
+    std::vector<std::vector<double>> expected(block);
+    for (uint32_t j = 0; j < block; ++j) {
+      std::vector<double> xj(n);
+      for (uint32_t u = 0; u < n; ++u) {
+        xj[u] = x[static_cast<size_t>(u) * block + j];
+      }
+      expected[j].resize(n);
+      op.ApplyTranspose(xj, &expected[j]);
+    }
+
+    // Serial, whole pool, and a capped-width parallel run.
+    struct Config {
+      ThreadPool* pool;
+      int max_parallelism;
+    };
+    const Config configs[] = {{nullptr, 1}, {&pool, 0}, {&pool, 3}};
+    for (const Config& config : configs) {
+      std::vector<double> y(static_cast<size_t>(n) * block, -1.0);
+      op.ApplyTransposeMulti(x, &y, block, config.pool,
+                             config.max_parallelism);
+      for (uint32_t j = 0; j < block; ++j) {
+        for (uint32_t u = 0; u < n; ++u) {
+          ASSERT_EQ(y[static_cast<size_t>(u) * block + j], expected[j][u])
+              << "block=" << block << " lane=" << j << " u=" << u
+              << " threads=" << config.max_parallelism;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpmmKernelTest, BitwiseEqualToSpmvUnweighted) {
+  CheckKernelBitwise(UnweightedTestGraph(1));
+}
+
+TEST(SpmmKernelTest, BitwiseEqualToSpmvWeighted) {
+  CheckKernelBitwise(WeightedTestGraph(2));
+}
+
+// ---------------------------------------------------------------------------
+// 2. Solver: fused multi-source PMPN == per-query single-source PMPN.
+
+void CheckFusedSolver(const Graph& graph, const std::vector<uint32_t>& queries,
+                      const RwrOptions& options, ThreadPool* pool,
+                      int max_parallelism) {
+  TransitionOperator op(graph);
+  std::vector<PmpnLaneSpec> lanes;
+  lanes.reserve(queries.size());
+  for (uint32_t q : queries) lanes.push_back({q, nullptr});
+  auto fused =
+      ComputeProximityToNodesFused(op, lanes, options, pool, max_parallelism);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  ASSERT_EQ(fused->size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    IterativeSolveStats solo_stats;
+    auto solo = ComputeProximityToNode(op, queries[i], options, &solo_stats,
+                                       pool, max_parallelism);
+    ASSERT_TRUE(solo.ok());
+    const PmpnLaneResult& lane = (*fused)[i];
+    ASSERT_TRUE(lane.status.ok()) << lane.status.ToString();
+    ASSERT_EQ(lane.row.size(), solo->size());
+    for (size_t u = 0; u < solo->size(); ++u) {
+      ASSERT_EQ(lane.row[u], (*solo)[u]) << "q=" << queries[i] << " u=" << u;
+    }
+    // Convergence masking must preserve each column's exact schedule.
+    EXPECT_EQ(lane.stats.iterations, solo_stats.iterations)
+        << "q=" << queries[i];
+    EXPECT_EQ(lane.stats.converged, solo_stats.converged);
+    EXPECT_EQ(lane.stats.final_delta, solo_stats.final_delta);
+  }
+}
+
+TEST(PmpnMultiTest, MatchesSingleSourceAcrossWidthsAndThreads) {
+  const Graph graph = UnweightedTestGraph(3);
+  RwrOptions options;
+  options.epsilon = 1e-9;  // converge quickly but over many iterations
+  ThreadPool pool(4);
+  // Mixed-degree queries converge at different iterations, exercising
+  // compact-on-converge through many intermediate (generic-path) widths.
+  std::vector<uint32_t> queries;
+  for (uint32_t i = 0; i < 40; ++i) {  // > kMaxTransposeLanes: two groups
+    queries.push_back((i * 37) % graph.num_nodes());
+  }
+  CheckFusedSolver(graph, queries, options, nullptr, 1);
+  CheckFusedSolver(graph, queries, options, &pool, 0);
+  CheckFusedSolver(graph, queries, options, &pool, 2);
+}
+
+TEST(PmpnMultiTest, WeightedGraphAndDuplicateQueries) {
+  const Graph graph = WeightedTestGraph(4);
+  RwrOptions options;
+  options.epsilon = 1e-8;
+  ThreadPool pool(3);
+  const std::vector<uint32_t> queries = {5, 5, 17, 5, 93, 17, 0};
+  CheckFusedSolver(graph, queries, options, nullptr, 1);
+  CheckFusedSolver(graph, queries, options, &pool, 0);
+}
+
+TEST(PmpnMultiTest, IterationCapReportsLikeSingleSource) {
+  const Graph graph = UnweightedTestGraph(5, 80);
+  RwrOptions options;
+  options.epsilon = 1e-14;    // unreachable within the cap below
+  options.max_iterations = 6;  // every lane hits the cap
+  CheckFusedSolver(graph, {1, 2, 3, 4}, options, nullptr, 1);
+}
+
+TEST(PmpnMultiTest, TrippedLaneMasksOnlyItsOwnColumn) {
+  const Graph graph = UnweightedTestGraph(6);
+  TransitionOperator op(graph);
+  RwrOptions options;
+  options.epsilon = 1e-9;
+
+  // Lane 1 carries an already-expired deadline; lane 2 a pre-cancelled
+  // token. Both must come back aborted while lanes 0 and 3 are bitwise
+  // equal to their solo solves.
+  const ExecControl expired{SteadyClock::now() - std::chrono::seconds(1),
+                            CancellationToken()};
+  CancellationToken cancelled = CancellationToken::Cancellable();
+  cancelled.RequestCancel();
+  const ExecControl cancelled_control{kNoDeadline, cancelled};
+
+  std::vector<PmpnLaneSpec> lanes = {{3, nullptr},
+                                     {11, &expired},
+                                     {23, &cancelled_control},
+                                     {42, nullptr}};
+  auto fused = ComputeProximityToNodesFused(op, lanes, options);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ((*fused)[1].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE((*fused)[1].row.empty());
+  EXPECT_EQ((*fused)[2].status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE((*fused)[2].row.empty());
+  for (size_t i : {size_t{0}, size_t{3}}) {
+    ASSERT_TRUE((*fused)[i].status.ok());
+    IterativeSolveStats solo_stats;
+    auto solo =
+        ComputeProximityToNode(op, lanes[i].query, options, &solo_stats);
+    ASSERT_TRUE(solo.ok());
+    ASSERT_EQ((*fused)[i].row, *solo);
+    EXPECT_EQ((*fused)[i].stats.iterations, solo_stats.iterations);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Serving: batched == unbatched, byte for byte (responses and the
+//    refined index state). ci.sh also runs this under TSan.
+
+EngineOptions CoarseOptions() {
+  EngineOptions opts;
+  opts.capacity_k = 20;
+  opts.hub_selection.degree_budget_b = 5;
+  opts.bca.delta = 0.5;  // coarse bounds force real refinement write-back
+  opts.num_threads = 2;
+  opts.shard_nodes = 32;
+  return opts;
+}
+
+Result<std::unique_ptr<ReverseTopkEngine>> BuildTestEngine(uint64_t seed) {
+  Rng rng(seed);
+  auto graph = BarabasiAlbert(250, 3, &rng);
+  if (!graph.ok()) return graph.status();
+  return ReverseTopkEngine::Build(std::move(*graph), CoarseOptions());
+}
+
+std::vector<QueryRequest> MakeWorkload(uint32_t n, size_t count) {
+  std::vector<QueryRequest> requests;
+  Rng rng(77);
+  for (size_t i = 0; i < count; ++i) {
+    QueryRequest request;
+    request.query = static_cast<uint32_t>(rng.Uniform(n));
+    request.k = 5 + static_cast<uint32_t>(rng.Uniform(10));
+    request.update_index = true;
+    request.bypass_cache = true;  // every request must really execute
+    // Mixed priorities: the batch former must preserve priority order.
+    request.priority = (i % 3 == 0) ? RequestPriority::kInteractive
+                                    : RequestPriority::kStandard;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+struct ServedRun {
+  std::vector<QueryResponse> responses;
+  std::vector<std::vector<double>> bounds;    // per node, K lower bounds
+  std::vector<double> residues;               // per node
+  ServingStats stats;
+};
+
+// Builds a fresh engine from `engine_seed` (so successive runs never see
+// each other's refinement write-back), pauses dispatch, enqueues the whole
+// workload, releases it, then flushes all refinement into one published
+// epoch and snapshots the index state.
+ServedRun RunWorkload(uint64_t engine_seed, ServingOptions options,
+                      const std::vector<QueryRequest>& workload) {
+  auto engine = BuildTestEngine(engine_seed);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  options.publish_threshold = 0;  // single explicit publish at the end
+  options.cache.capacity = 0;
+  auto serving = ServingEngine::Create(**engine, options);
+  EXPECT_TRUE(serving.ok());
+  (*serving)->Pause();
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(workload.size());
+  for (const QueryRequest& request : workload) {
+    futures.push_back((*serving)->Submit(request));
+  }
+  (*serving)->Resume();
+  ServedRun run;
+  for (auto& future : futures) run.responses.push_back(future.get());
+  (*serving)->PublishPending();
+  const auto snap = (*serving)->snapshot();
+  const LowerBoundIndex& index = snap->index();
+  const uint32_t n = (*engine)->graph().num_nodes();
+  for (uint32_t u = 0; u < n; ++u) {
+    auto bounds = index.LowerBounds(u);
+    run.bounds.emplace_back(bounds.begin(), bounds.end());
+    run.residues.push_back(index.ResidueL1(u));
+  }
+  run.stats = (*serving)->stats();
+  return run;
+}
+
+void ExpectIdenticalRuns(const ServedRun& a, const ServedRun& b) {
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (size_t i = 0; i < a.responses.size(); ++i) {
+    const QueryResponse& ra = a.responses[i];
+    const QueryResponse& rb = b.responses[i];
+    ASSERT_EQ(ra.status.code(), rb.status.code()) << "i=" << i;
+    ASSERT_EQ(ra.results, rb.results) << "i=" << i;
+    EXPECT_EQ(ra.stats.pmpn_iterations, rb.stats.pmpn_iterations) << i;
+    EXPECT_EQ(ra.stats.candidates, rb.stats.candidates) << i;
+    EXPECT_EQ(ra.stats.refined_nodes, rb.stats.refined_nodes) << i;
+  }
+  ASSERT_EQ(a.bounds, b.bounds);
+  ASSERT_EQ(a.residues, b.residues);
+}
+
+TEST(BatchedServingTest, ByteIdenticalToUnbatchedAcrossWidthsAndThreads) {
+  constexpr uint64_t kSeed = 21;
+  // 250-node BarabasiAlbert graphs: every generated query id is in range.
+  const std::vector<QueryRequest> workload = MakeWorkload(250, 48);
+
+  ServingOptions unbatched;
+  unbatched.num_threads = 4;
+  const ServedRun baseline = RunWorkload(kSeed, unbatched, workload);
+  // Sanity: the workload actually refines (otherwise the index-state
+  // comparison below would be vacuous), and the unbatched engine never
+  // forms batches.
+  EXPECT_GT(baseline.stats.deltas_applied, 0u);
+  EXPECT_EQ(baseline.stats.batches, 0u);
+
+  for (size_t max_batch : {size_t{4}, size_t{16}, size_t{64}}) {
+    for (int threads : {2, 4}) {
+      ServingOptions batched;
+      batched.num_threads = threads;
+      batched.max_batch = max_batch;
+      batched.batch_window = 0.002;
+      const ServedRun run = RunWorkload(kSeed, batched, workload);
+      ExpectIdenticalRuns(baseline, run);
+    }
+  }
+  // And with intra-query parallelism on top of batching.
+  ServingOptions wide;
+  wide.num_threads = 4;
+  wide.max_batch = 8;
+  wide.query.num_threads = 0;  // whole pool per fused solve / stage
+  ExpectIdenticalRuns(baseline, RunWorkload(kSeed, wide, workload));
+}
+
+TEST(BatchedServingTest, BatchesFormAndOccupancyIsObservable) {
+  // A paused engine with one worker and the whole backlog released at once
+  // must form at least one real multi-query batch, and the occupancy
+  // counters must account for every batched request.
+  ServingOptions options;
+  options.num_threads = 1;
+  options.max_batch = 16;
+  const ServedRun run = RunWorkload(22, options, MakeWorkload(250, 32));
+  for (const QueryResponse& response : run.responses) {
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  EXPECT_GT(run.stats.batches, 0u);
+  EXPECT_GT(run.stats.batched_queries, run.stats.batches);
+  EXPECT_GE(run.stats.peak_batch_size, 2u);
+  EXPECT_LE(run.stats.peak_batch_size, options.max_batch);
+  // Batched answers report the fused backend by name.
+  bool saw_batched_backend = false;
+  for (const QueryResponse& response : run.responses) {
+    if (response.backend == kBatchedPmpnBackendName) saw_batched_backend = true;
+  }
+  EXPECT_TRUE(saw_batched_backend);
+}
+
+TEST(BatchedServingTest, AbortedRequestMasksOnlyItsOwnLane) {
+  constexpr uint64_t kSeed = 23;
+
+  // Baseline answers from a plain unbatched engine.
+  ServingOptions unbatched;
+  unbatched.num_threads = 2;
+  std::vector<QueryRequest> plain = MakeWorkload(250, 8);
+  const ServedRun baseline = RunWorkload(kSeed, unbatched, plain);
+
+  // Same workload through a batched engine (fresh, same seed), with one
+  // pre-cancelled and one already-expired request spliced into the middle
+  // of the batch.
+  auto engine = BuildTestEngine(kSeed);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ServingOptions batched;
+  batched.num_threads = 2;
+  batched.max_batch = 16;
+  batched.publish_threshold = 0;
+  batched.cache.capacity = 0;
+  auto serving = ServingEngine::Create(**engine, batched);
+  ASSERT_TRUE(serving.ok());
+  (*serving)->Pause();
+  // Both doomed requests are healthy at Submit time (so the submit-thread
+  // fast path admits them into the queue) and tripped before Resume, so
+  // they reach the batch former as poisoned lanes.
+  CancellationToken cancelled = CancellationToken::Cancellable();
+  std::vector<std::future<QueryResponse>> futures;
+  for (size_t i = 0; i < plain.size(); ++i) {
+    futures.push_back((*serving)->Submit(plain[i]));
+    if (i == 3) {
+      QueryRequest doomed = plain[0];
+      doomed.cancel = cancelled;
+      futures.push_back((*serving)->Submit(doomed));
+      QueryRequest expiring = plain[1];
+      expiring.deadline = SteadyClock::now() + std::chrono::milliseconds(10);
+      futures.push_back((*serving)->Submit(expiring));
+    }
+  }
+  cancelled.RequestCancel();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  (*serving)->Resume();
+  std::vector<QueryResponse> responses;
+  for (auto& future : futures) responses.push_back(future.get());
+
+  // The two doomed requests aborted with their own codes...
+  EXPECT_EQ(responses[4].status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(responses[5].status.code(), StatusCode::kDeadlineExceeded);
+  // ...and every healthy batch-mate still got the exact answer.
+  size_t bi = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (i == 4 || i == 5) continue;
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.ToString();
+    EXPECT_EQ(responses[i].results, baseline.responses[bi].results);
+    ++bi;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 4. AdmissionQueue::PopUpTo
+
+PendingQuery MakePending(uint32_t q, RequestPriority priority) {
+  PendingQuery item;
+  item.request.query = q;
+  item.request.priority = priority;
+  item.deliver = [](QueryResponse) {};
+  return item;
+}
+
+TEST(AdmissionQueueTest, PopUpToDrainsInPriorityFifoOrder) {
+  AdmissionQueue queue(/*capacity=*/0);
+  PendingQuery items[] = {
+      MakePending(0, RequestPriority::kBatch),
+      MakePending(1, RequestPriority::kInteractive),
+      MakePending(2, RequestPriority::kStandard),
+      MakePending(3, RequestPriority::kInteractive),
+      MakePending(4, RequestPriority::kBatch),
+      MakePending(5, RequestPriority::kStandard),
+  };
+  for (PendingQuery& item : items) ASSERT_TRUE(queue.TryPush(item));
+
+  // First pop: the three most urgent, in priority-then-FIFO order.
+  std::vector<PendingQuery> first = queue.PopUpTo(3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].request.query, 1u);
+  EXPECT_EQ(first[1].request.query, 3u);
+  EXPECT_EQ(first[2].request.query, 2u);
+  EXPECT_EQ(queue.depth(), 3u);
+
+  // Asking for more than remains drains the rest; counters line up.
+  std::vector<PendingQuery> rest = queue.PopUpTo(100);
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0].request.query, 5u);
+  EXPECT_EQ(rest[1].request.query, 0u);
+  EXPECT_EQ(rest[2].request.query, 4u);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_TRUE(queue.PopUpTo(4).empty());
+  const AdmissionQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.admitted, 6u);
+  EXPECT_EQ(stats.popped, 6u);
+  EXPECT_EQ(stats.depth, 0u);
+}
+
+}  // namespace
+}  // namespace rtk

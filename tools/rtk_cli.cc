@@ -59,9 +59,15 @@ std::string g_backend;
 // (Prometheus text exposition) here. Empty = don't write.
 std::string g_metrics_path;
 
-// Strips "--backend foo" / "--backend=foo" / "--metrics out.prom" out of
-// argv, compacting it so the positional subcommand parsers never see the
-// flags.
+// --max-batch <n> / --batch-window <seconds>: serve-bench batch former
+// settings (ServingOptions::max_batch / batch_window). max_batch <= 1
+// (the default) leaves batching off.
+size_t g_max_batch = 1;
+double g_batch_window = 0.0;
+
+// Strips "--backend foo" / "--backend=foo" / "--metrics out.prom" /
+// "--max-batch 16" / "--batch-window 0.001" out of argv, compacting it so
+// the positional subcommand parsers never see the flags.
 int ExtractBackendFlag(int argc, char** argv) {
   int out = 0;
   for (int i = 0; i < argc; ++i) {
@@ -80,6 +86,22 @@ int ExtractBackendFlag(int argc, char** argv) {
     }
     if (arg.rfind("--metrics=", 0) == 0) {
       g_metrics_path = arg.substr(10);
+      continue;
+    }
+    if (arg == "--max-batch" && i + 1 < argc) {
+      g_max_batch = static_cast<size_t>(std::atoll(argv[++i]));
+      continue;
+    }
+    if (arg.rfind("--max-batch=", 0) == 0) {
+      g_max_batch = static_cast<size_t>(std::atoll(arg.c_str() + 12));
+      continue;
+    }
+    if (arg == "--batch-window" && i + 1 < argc) {
+      g_batch_window = std::atof(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--batch-window=", 0) == 0) {
+      g_batch_window = std::atof(arg.c_str() + 15);
       continue;
     }
     argv[out++] = argv[i];
@@ -112,7 +134,8 @@ int Usage() {
                "  rtk_cli generate <rmat|ba|er|ws> <out> [scale=12]\n"
                "  rtk_cli serve-bench <edge_list> <index> [k=10] "
                "[queries=500] [threads=hardware] [--backend <name>]\n"
-               "                      [--metrics <out.prom>]\n"
+               "                      [--metrics <out.prom>] "
+               "[--max-batch <n>] [--batch-window <seconds>]\n"
                "\n"
                "registered proximity backends (--backend): %s\n"
                "  exact results at every choice: approximate backends run\n"
@@ -400,6 +423,10 @@ int CmdServeBench(int argc, char** argv) {
   // requests stay result-identical via certify-or-escalate).
   serving_opts.exact_tier_backend.name = g_backend;
   serving_opts.approximate_tier_backend.name = g_backend;
+  // --max-batch / --batch-window: the fused multi-query batch former
+  // (Create() upgrades a pmpn-compatible tier to "batched-pmpn").
+  serving_opts.max_batch = std::max<size_t>(1, g_max_batch);
+  serving_opts.batch_window = g_batch_window;
   auto serving = ServingEngine::Create(**engine, serving_opts);
   if (!serving.ok()) return Fail(serving.status());
   Stopwatch serving_watch;
