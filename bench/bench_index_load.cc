@@ -1,0 +1,215 @@
+// Cold-load latency and memory footprint, heap tier vs. mmap tier.
+//
+// The heap tier parses every shard payload at load time (full-load); the
+// mmap tier opens, maps, and validates the header — O(directory) — and
+// faults shard bytes on first touch. This bench builds each suite graph's
+// index once, saves it, then times both load paths and reports RSS
+// growth plus the first-query cost per tier (the mmap tier pays its
+// faults there instead of at open).
+//
+// The --json report carries `mmap_open_over_heap_load` for the largest
+// suite graph; ci.sh gates it at <= 0.10 (mmap open must cost at most
+// 10% of the heap full-load).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "core/online_query.h"
+#include "index/index_io.h"
+#include "rwr/transition.h"
+
+namespace rtk::bench {
+namespace {
+
+struct LoadRow {
+  std::string graph;
+  uint32_t num_nodes = 0;
+  uint32_t num_shards = 0;
+  uint64_t file_bytes = 0;
+  double heap_load_ms = 0;
+  double mmap_open_ms = 0;
+  double open_ratio = 0;  // mmap open / heap full-load (min over reps each)
+  uint64_t heap_rss_delta = 0;
+  uint64_t mmap_rss_delta = 0;
+  double heap_first_query_ms = 0;
+  double mmap_first_query_ms = 0;
+  uint64_t resident_after_query = 0;  // mmap tier: shards faulted by 1 query
+};
+
+// RSS deltas are page-granular and the allocator reuses freed arenas, so
+// treat them as direction, not accounting: the number that matters is the
+// mmap delta staying near zero while the heap delta tracks the file size.
+uint64_t RssDelta(uint64_t before) {
+  const uint64_t now = CurrentRssBytes();
+  return now > before ? now - before : 0;
+}
+
+void RunSuite(std::vector<LoadRow>* rows) {
+  const int reps =
+      static_cast<int>(EnvInt64("RTK_BENCH_LOAD_REPS", 5));
+  ThreadPool pool(ThreadPool::DefaultThreads());
+
+  std::printf("%-12s %10s %8s %12s %12s %8s %11s %11s\n", "graph", "file MiB",
+              "shards", "heap-load ms", "mmap-open ms", "ratio", "heap 1q ms",
+              "mmap 1q ms");
+  for (auto& named : MakeGraphSuite(3)) {
+    EngineOptions opts;
+    opts.capacity_k = 50;
+    opts.hub_selection.degree_budget_b = named.graph.num_nodes() / 50 + 1;
+    const std::string path =
+        "/tmp/rtk_bench_index_load_" + named.name + ".rtki";
+    {
+      auto built = ReverseTopkEngine::Build(Graph(named.graph), opts);
+      if (!built.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     built.status().ToString().c_str());
+        continue;
+      }
+      if (Status s = (*built)->SaveIndex(path); !s.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+        continue;
+      }
+    }  // built index freed: load timings below start from file bytes only
+
+    auto info = ReadIndexFileInfo(path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "index-info failed: %s\n",
+                   info.status().ToString().c_str());
+      continue;
+    }
+    const uint32_t n = named.graph.num_nodes();
+    LoadRow row;
+    row.graph = named.name;
+    row.num_nodes = n;
+    row.num_shards = info->num_shards;
+    row.file_bytes = info->file_bytes;
+
+    LoadIndexOptions mmap_opts;
+    mmap_opts.tier = StorageTier::kMmap;
+    LoadIndexOptions heap_opts;
+    heap_opts.pool = &pool;  // the heap tier's fastest load path
+
+    // Timing: best of `reps` for each tier. The file is page-cache warm
+    // from the save for every rep, so the comparison isolates parse work
+    // (what O(directory) eliminates), not disk.
+    row.mmap_open_ms = 1e18;
+    row.heap_load_ms = 1e18;
+    for (int rep = 0; rep < reps; ++rep) {
+      Stopwatch watch;
+      auto index = LoadIndex(path, n, mmap_opts);
+      if (!index.ok()) std::abort();
+      row.mmap_open_ms = std::min(row.mmap_open_ms,
+                                  watch.ElapsedSeconds() * 1e3);
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      Stopwatch watch;
+      auto index = LoadIndex(path, n, heap_opts);
+      if (!index.ok()) std::abort();
+      row.heap_load_ms = std::min(row.heap_load_ms,
+                                  watch.ElapsedSeconds() * 1e3);
+    }
+    row.open_ratio = row.mmap_open_ms / row.heap_load_ms;
+
+    // Footprint + first-query cost, one held load per tier. mmap first so
+    // the heap tier's allocations don't pre-grow the arena it reuses.
+    TransitionOperator op(named.graph);
+    QueryOptions qopts;
+    qopts.k = 10;
+    const uint32_t q0 = n / 2;
+    {
+      const uint64_t before = CurrentRssBytes();
+      auto index = LoadIndex(path, n, mmap_opts);
+      if (!index.ok()) std::abort();
+      row.mmap_rss_delta = RssDelta(before);
+      ReverseTopkSearcher searcher(op, &*index);
+      Stopwatch watch;
+      if (!searcher.Query(q0, qopts).ok()) std::abort();
+      row.mmap_first_query_ms = watch.ElapsedSeconds() * 1e3;
+      row.resident_after_query = index->residency().resident_shards;
+    }
+    {
+      const uint64_t before = CurrentRssBytes();
+      auto index = LoadIndex(path, n, heap_opts);
+      if (!index.ok()) std::abort();
+      row.heap_rss_delta = RssDelta(before);
+      ReverseTopkSearcher searcher(op, &*index);
+      Stopwatch watch;
+      if (!searcher.Query(q0, qopts).ok()) std::abort();
+      row.heap_first_query_ms = watch.ElapsedSeconds() * 1e3;
+    }
+
+    std::printf("%-12s %10.2f %8u %12.3f %12.3f %7.3fx %11.3f %11.3f\n",
+                row.graph.c_str(),
+                static_cast<double>(row.file_bytes) / (1024.0 * 1024.0),
+                row.num_shards, row.heap_load_ms, row.mmap_open_ms,
+                row.open_ratio, row.heap_first_query_ms,
+                row.mmap_first_query_ms);
+    std::printf("%-12s rss-delta heap %.2f MiB, mmap %.2f MiB; "
+                "shards resident after 1 query: %llu / %u\n",
+                "", static_cast<double>(row.heap_rss_delta) / (1024.0 * 1024.0),
+                static_cast<double>(row.mmap_rss_delta) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(row.resident_after_query),
+                row.num_shards);
+    rows->push_back(std::move(row));
+    std::remove(path.c_str());
+  }
+}
+
+void WriteJson(const std::string& path, const std::vector<LoadRow>& rows) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("index_load");
+  // The ci.sh pass-4 gate: mmap open <= 10% of heap full-load on the
+  // largest (= last) suite graph.
+  if (!rows.empty()) {
+    json.Key("largest_graph").String(rows.back().graph);
+    json.Key("mmap_open_over_heap_load").Double(rows.back().open_ratio);
+  }
+  json.Key("rows").BeginArray();
+  for (const LoadRow& row : rows) {
+    json.BeginObject();
+    json.Key("graph").String(row.graph);
+    json.Key("num_nodes").Int(row.num_nodes);
+    json.Key("num_shards").Int(row.num_shards);
+    json.Key("file_bytes").Int(static_cast<long long>(row.file_bytes));
+    json.Key("heap_load_ms").Double(row.heap_load_ms);
+    json.Key("mmap_open_ms").Double(row.mmap_open_ms);
+    json.Key("mmap_open_over_heap_load").Double(row.open_ratio);
+    json.Key("heap_rss_delta_bytes")
+        .Int(static_cast<long long>(row.heap_rss_delta));
+    json.Key("mmap_rss_delta_bytes")
+        .Int(static_cast<long long>(row.mmap_rss_delta));
+    json.Key("heap_first_query_ms").Double(row.heap_first_query_ms);
+    json.Key("mmap_first_query_ms").Double(row.mmap_first_query_ms);
+    json.Key("resident_shards_after_query")
+        .Int(static_cast<long long>(row.resident_after_query));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteTo(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("json written to %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace rtk::bench
+
+int main(int argc, char** argv) {
+  rtk::bench::PrintHeader(
+      "Index load: heap full-parse vs mmap O(directory) open",
+      "best-of-reps load latency, RSS growth, and first-query cost per "
+      "storage tier; ratio = mmap open / heap full-load");
+  const std::string json_path = rtk::bench::JsonPathArg(argc, argv);
+  std::vector<rtk::bench::LoadRow> rows;
+  rtk::bench::RunSuite(&rows);
+  if (!json_path.empty()) rtk::bench::WriteJson(json_path, rows);
+  return 0;
+}

@@ -15,14 +15,17 @@
 #                                 hammering with exact-total assertions;
 #                                 spmm_test: fused multi-query SpMM /
 #                                 batched-serving byte-identity at every
-#                                 batch width and thread count)
+#                                 batch width and thread count;
+#                                 storage_tier_test: heap-vs-mmap result
+#                                 identity + concurrent cold faults over
+#                                 one shared mmap source)
 #                                 race-detection-clean
 #   pass 3  ASan+UBSan          — library + tests only, runs the storage-
 #                                 heavy subset (index/serving/pipeline/
-#                                 proximity-backend/fault-injection) so
-#                                 shard lifetime bugs, buffer overruns in
-#                                 the v2 I/O path, and UB surface as hard
-#                                 failures
+#                                 proximity-backend/fault-injection/
+#                                 storage-tier) so shard lifetime bugs,
+#                                 buffer overruns in the v2/v3 I/O paths,
+#                                 and UB surface as hard failures
 #   pass 4  Release (-O3 -DNDEBUG) — optimized build; smoke-runs the fig5
 #                                 query-time bench (with --json, validating
 #                                 the machine-readable output) and the
@@ -34,7 +37,14 @@
 #                                 smoke, which fails CI if the fused B=8
 #                                 kernel drops below 1.5x the solo SpMV
 #                                 edge rate — so perf regressions fail
-#                                 loudly rather than rot
+#                                 loudly rather than rot; plus the index
+#                                 cold-open gate (mmap open must stay
+#                                 <= 10% of a heap full-load) and the
+#                                 ulimit-capped larger-than-RAM serving
+#                                 smoke (100 read-only queries through
+#                                 the mmap tier under 96 MiB of
+#                                 anonymous memory — the heap tier must
+#                                 NOT fit under the same cap)
 #
 # Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -52,7 +62,7 @@ cmake -B build-tsan -S . -DRTK_SANITIZE=thread \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$JOBS" \
       --target serving_test request_scheduler_test pipeline_test \
-               proximity_backend_test obs_test spmm_test
+               proximity_backend_test obs_test spmm_test storage_tier_test
 # halt_on_error: any report fails CI instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/request_scheduler_test
@@ -60,6 +70,9 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/pipeline_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/proximity_backend_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/obs_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/spmm_test
+# storage_tier_test: concurrent cold faults / lazy verify / hub-store
+# materialization over one shared mmap source.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/storage_tier_test
 
 echo "=== pass 3: ASan+UBSan build + storage suites ==="
 cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
@@ -67,7 +80,7 @@ cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
 cmake --build build-asan -j "$JOBS" \
       --target index_test fault_injection_test serving_test \
                request_scheduler_test pipeline_test proximity_backend_test \
-               obs_test spmm_test
+               obs_test spmm_test storage_tier_test
 # halt_on_error: any report fails CI instead of just logging.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/index_test
@@ -85,12 +98,15 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/obs_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/spmm_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/storage_tier_test
 
 echo "=== pass 4: Release build + bench smokes ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DRTK_BUILD_TESTS=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-release -j "$JOBS" \
-      --target bench_fig5_query_time bench_serving_throughput bench_micro_spmm
+      --target bench_fig5_query_time bench_serving_throughput bench_micro_spmm \
+               bench_index_load rtk_cli
 RTK_BENCH_QUERIES=20 RTK_BENCH_SCALE=0.25 \
     ./build-release/bench_fig5_query_time --json build-release/BENCH_fig5.json
 test -s build-release/BENCH_fig5.json
@@ -136,5 +152,41 @@ assert best >= 1.5, 'fused SpMM B=8 regressed: best speedup %.2fx < 1.5x (%r)' %
     best, [(r['graph'], round(r['speedup'], 2)) for r in rows])
 print('micro-SpMM ok: best B=8 fused speedup %.2fx' % best)
 PYEOF
+# Memory-tiered storage gate: an mmap open reads only the O(|H| + shards)
+# checksummed header, so it must cost <= 10% of a heap full-load on the
+# largest suite graph. A format change that drags payload parsing back
+# into the open path fails here.
+RTK_BENCH_LOAD_REPS=3 \
+    ./build-release/bench_index_load --json build-release/BENCH_index_load.json
+test -s build-release/BENCH_index_load.json
+python3 - <<'PYEOF'
+import json
+doc = json.load(open('build-release/BENCH_index_load.json'))
+ratio = doc['mmap_open_over_heap_load']
+assert ratio <= 0.10, 'mmap open regressed to %.4f of heap full-load on %s' % (
+    ratio, doc['largest_graph'])
+print('index-load ok: mmap open is %.4f of heap full-load on %s' % (
+    ratio, doc['largest_graph']))
+PYEOF
+# Larger-than-RAM serving smoke: build an index whose file is ~3x a 64 MiB
+# anonymous-memory cap (ulimit -d counts heap and anonymous mmap but NOT
+# file-backed maps — exactly the tier split). The heap tier cannot even
+# load it; the mmap tier must serve 100 read-only queries from the map.
+./build-release/rtk_cli generate rmat build-release/ci_smoke_edges.txt 13
+./build-release/rtk_cli build-index \
+    build-release/ci_smoke_edges.txt build-release/ci_smoke.rtki 50
+SMOKE_CAP_KB=98304  # 96 MiB: fits the graph + hub store, not the payloads
+if bash -c "ulimit -d $SMOKE_CAP_KB; exec ./build-release/rtk_cli serve-bench \
+      build-release/ci_smoke_edges.txt build-release/ci_smoke.rtki \
+      10 100 2 --storage-tier heap --read-only" > /dev/null 2>&1; then
+  echo "ulimit smoke: heap tier fit under ${SMOKE_CAP_KB}KB — cap is" \
+       "meaningless, tighten it" >&2
+  exit 1
+fi
+bash -c "ulimit -d $SMOKE_CAP_KB; exec ./build-release/rtk_cli serve-bench \
+    build-release/ci_smoke_edges.txt build-release/ci_smoke.rtki \
+    10 100 2 --storage-tier mmap --read-only" \
+    | grep "storage tier: mmap"
+echo "ulimit smoke ok: 100 queries served via mmap under a ${SMOKE_CAP_KB}KB cap"
 
 echo "=== CI green ==="

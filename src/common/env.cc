@@ -1,6 +1,9 @@
 #include "common/env.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 namespace rtk {
 
@@ -28,5 +31,19 @@ std::string EnvString(const char* name, const std::string& fallback) {
 }
 
 double BenchScale() { return EnvDouble("RTK_BENCH_SCALE", 1.0); }
+
+uint64_t CurrentRssBytes() {
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    uint64_t kb = 0;
+    fields >> kb;
+    return kb * 1024;
+  }
+  return 0;
+}
 
 }  // namespace rtk

@@ -25,6 +25,12 @@ std::string EnvString(const char* name, const std::string& fallback);
 /// approaches paper-scale runs on bigger machines.
 double BenchScale();
 
+/// \brief The process's current resident set size in bytes (VmRSS from
+/// /proc/self/status), or 0 where unavailable. Coarse (page granularity,
+/// includes everything the process mapped) — meant for bench-level
+/// memory-tier comparisons, not accounting.
+uint64_t CurrentRssBytes();
+
 }  // namespace rtk
 
 #endif  // RTK_COMMON_ENV_H_

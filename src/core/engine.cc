@@ -46,9 +46,12 @@ Result<std::unique_ptr<ReverseTopkEngine>> ReverseTopkEngine::LoadFromFile(
     Graph graph, const std::string& index_path, const EngineOptions& options) {
   std::unique_ptr<ReverseTopkEngine> engine(
       new ReverseTopkEngine(std::move(graph), options));
+  LoadIndexOptions load_opts;
+  load_opts.pool = engine->pool_.get();
+  load_opts.tier = options.storage_tier;
   RTK_ASSIGN_OR_RETURN(
       LowerBoundIndex index,
-      LoadIndex(index_path, engine->graph_.num_nodes(), engine->pool_.get()));
+      LoadIndex(index_path, engine->graph_.num_nodes(), load_opts));
   engine->index_ = std::make_unique<LowerBoundIndex>(std::move(index));
   engine->searcher_ = std::make_unique<ReverseTopkSearcher>(
       *engine->op_, engine->index_.get());

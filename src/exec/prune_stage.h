@@ -28,6 +28,16 @@
 // thread count: per-node classification depends on nothing but that node's
 // own bounds and proximity, so a tie_epsilon-boundary candidate survives
 // (or not) identically wherever the shard cuts fall.
+//
+// Storage tiers: a heap-resident shard is scanned through its bound /
+// residue spans as always; a cold mmap-backed shard is streamed IN PLACE
+// from the mapped file through ShardPayloadCursor (lazy checksum verified
+// on first touch) — same branches, same constants, so heap and mmap scans
+// of the same index bytes emit identical lists, and a cold scan costs page
+// cache instead of heap. Scheduling is thread-affine (stable shard ranges
+// per pool worker, ParallelForRangeAffine) and each scanned shard feeds
+// its candidate count back as a residency touch signal; neither affects
+// the output.
 
 #ifndef RTK_EXEC_PRUNE_STAGE_H_
 #define RTK_EXEC_PRUNE_STAGE_H_
@@ -67,9 +77,11 @@ struct PruneStageOptions {
 
 /// \brief Stage output. Both lists are in ascending node order.
 struct PruneResult {
-  /// OK, or the abort reason (kDeadlineExceeded / kCancelled) when the
-  /// scan stopped between shards; the lists are then incomplete and must
-  /// be discarded.
+  /// OK, or the abort reason when the scan stopped between shards:
+  /// kDeadlineExceeded / kCancelled from the control, or kCorruption when
+  /// a mmap-backed shard failed its lazy checksum / structural validation
+  /// (pinned to that shard). The lists are then incomplete and must be
+  /// discarded.
   Status status;
   /// Confirmed result nodes (paper's "hits"); with a widened scan these
   /// are CERTIFIED hits (members of the exact answer for every proximity

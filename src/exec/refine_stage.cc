@@ -139,6 +139,11 @@ Result<RefineResult> RefineStage::Run(const std::vector<uint32_t>& candidates,
   RefineResult result;
   if (candidates.empty()) return result;
 
+  // Mmap-tier indexes (v3 files) keep the hub section cold until first
+  // use; materialize it here so a corrupt hub blob surfaces as Corruption
+  // instead of refining against an empty poison store. Free once warm.
+  RTK_RETURN_NOT_OK(index_->EnsureHubStore());
+
   // Per-candidate slots keep the merge deterministic no matter which
   // worker ran which candidate.
   std::vector<CandidateOutcome> outcomes(candidates.size());

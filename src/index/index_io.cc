@@ -5,9 +5,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "index/shard_backing.h"
 
 namespace rtk {
 
@@ -15,6 +18,7 @@ namespace {
 
 constexpr char kMagicV1[8] = {'R', 'T', 'K', 'I', 'D', 'X', '0', '1'};
 constexpr char kMagicV2[8] = {'R', 'T', 'K', 'I', 'D', 'X', '0', '2'};
+constexpr char kMagicV3[8] = {'R', 'T', 'K', 'I', 'D', 'X', '0', '3'};
 
 // Streaming FNV-1a over everything written/read, so corruption anywhere in
 // the file is detected.
@@ -38,11 +42,9 @@ class Checksummer {
   uint64_t hash_ = 0xCBF29CE484222325ull;
 };
 
-uint64_t Fnv1a(std::string_view bytes) {
-  Checksummer sum;
-  sum.Update(bytes.data(), bytes.size());
-  return sum.hash();
-}
+// One checksum definition for the whole format: the streaming Checksummer
+// above and the one-shot Fnv1a64 (shard_backing.h, shared with the lazy
+// mmap verification) compute the same FNV-1a.
 
 class Writer {
  public:
@@ -137,45 +139,6 @@ class BufWriter {
   std::string out_;
 };
 
-// Bounds-checked deserializer over one shard's payload bytes.
-class BufReader {
- public:
-  explicit BufReader(std::string_view bytes) : bytes_(bytes) {}
-
-  template <typename T>
-  bool Pod(T* value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (bytes_.size() - pos_ < sizeof(T)) return false;
-    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return true;
-  }
-  template <typename T>
-  bool Array(T* data, size_t count) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const size_t len = count * sizeof(T);
-    if (bytes_.size() - pos_ < len) return false;
-    std::memcpy(data, bytes_.data() + pos_, len);
-    pos_ += len;
-    return true;
-  }
-  bool Pairs(std::vector<std::pair<uint32_t, double>>* pairs,
-             uint64_t sanity_cap) {
-    uint64_t count = 0;
-    if (!Pod(&count) || count > sanity_cap) return false;
-    pairs->resize(count);
-    for (auto& [id, v] : *pairs) {
-      if (!Pod(&id) || !Pod(&v)) return false;
-    }
-    return true;
-  }
-  bool exhausted() const { return pos_ == bytes_.size(); }
-
- private:
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
-
 // Serializes shard s's node records (identical record layout in v1 and
 // v2; v1 simply streams the records of all nodes back to back).
 std::string SerializeShard(const LowerBoundIndex& index, uint32_t s) {
@@ -196,43 +159,49 @@ std::string SerializeShard(const LowerBoundIndex& index, uint32_t s) {
 
 // Parses shard s's payload into the freshly constructed index. The shard
 // is exclusively owned (nothing shares a new index's storage), so distinct
-// shards parse concurrently.
+// shards parse concurrently. The record decode is ParseShardRecords
+// (shard_backing.h), shared with lazy mmap materialization so eager and
+// faulted loads are provably the same parse.
 Status ParseShard(std::string_view payload, LowerBoundIndex* index,
                   uint32_t s) {
-  BufReader r(payload);
-  const uint32_t n = index->num_nodes();
-  const uint32_t k = index->capacity_k();
   IndexShard& shard = index->MutableShard(s);
-  for (uint32_t u = shard.begin_node; u < shard.end_node; ++u) {
-    const uint32_t local = u - shard.begin_node;
-    double* row =
-        shard.topk_values.data() + static_cast<size_t>(local) * k;
-    StoredBcaState st;
-    uint32_t iters = 0;
-    if (!r.Array(row, k) || !r.Pod(&shard.residue_l1[local]) ||
-        !r.Pod(&iters) || !r.Pairs(&st.residue, n) ||
-        !r.Pairs(&st.retained, n) || !r.Pairs(&st.hub_ink, n)) {
-      return Status::Corruption("bad BCA state for node " + std::to_string(u));
-    }
-    st.iterations = iters;
-    shard.states[local] = std::move(st);
+  Status st = ParseShardRecords(payload, index->num_nodes(),
+                                index->capacity_k(), &shard);
+  if (!st.ok() && st.code() == StatusCode::kCorruption) {
+    return Status::Corruption(st.message() + " (shard " + std::to_string(s) +
+                              ")");
   }
-  if (!r.exhausted()) {
-    return Status::Corruption("trailing bytes in shard " + std::to_string(s));
-  }
-  return Status::OK();
+  return st;
 }
 
-void WriteHubStore(Writer* w, const HubProximityStore& store) {
+// The hub META: counts, omega, hub ids, per-hub offsets — everything but
+// the entries themselves. Tiny (O(|H|)), so it can stay inside the
+// checksummed header in every format version.
+void WriteHubMeta(Writer* w, const HubProximityStore& store) {
   w->Pod<uint32_t>(store.num_hubs());
   w->Pod<double>(store.rounding_omega());
   w->Pod<uint64_t>(store.DroppedEntries());
   w->Array(store.hubs().data(), store.hubs().size());
   w->Array(store.offsets().data(), store.offsets().size());
+}
+
+void WriteHubStore(Writer* w, const HubProximityStore& store) {
+  WriteHubMeta(w, store);
   for (const auto& [id, v] : store.entries()) {
     w->Pod(id);
     w->Pod(v);
   }
+}
+
+// The packed (u32, f64) entry blob a v3 file stores as its own
+// checksummed section (after the header checksum, before shard payloads).
+std::string SerializeHubBlob(const HubProximityStore& store) {
+  BufWriter w;
+  for (const auto& [id, v] : store.entries()) {
+    w.Pod(id);
+    w.Pod(v);
+  }
+  return w.Take();
 }
 
 // Reads the hub-store section (shared by both format versions; the v1 and
@@ -311,12 +280,16 @@ Status SaveIndexV1(const LowerBoundIndex& index, std::ofstream& out) {
   return Status::OK();
 }
 
-Status SaveIndexV2(const LowerBoundIndex& index, std::ofstream& out,
-                   ThreadPool* pool) {
+// Writes the sharded formats. v2 streams the hub entries inside the
+// checksummed header; v3 stores only the hub meta + a blob checksum there
+// and appends the packed entries AFTER the header checksum, so an mmap
+// open never reads them (the hub store materializes lazily).
+Status SaveIndexSharded(const LowerBoundIndex& index, std::ofstream& out,
+                        ThreadPool* pool, uint32_t version) {
   const uint32_t num_shards = index.num_shards();
 
   Writer w(out);
-  w.Array(kMagicV2, sizeof(kMagicV2));
+  w.Array(version == 2 ? kMagicV2 : kMagicV3, sizeof(kMagicV2));
   const uint32_t n = index.num_nodes();
   const uint32_t k = index.capacity_k();
   w.Pod(n);
@@ -326,7 +299,15 @@ Status SaveIndexV2(const LowerBoundIndex& index, std::ofstream& out,
   w.Pod(bca.eta);
   w.Pod(bca.delta);
   w.Pod<int32_t>(bca.max_iterations);
-  WriteHubStore(&w, index.hub_store());
+  std::string hub_blob;
+  if (version == 2) {
+    WriteHubStore(&w, index.hub_store());
+  } else {
+    const HubProximityStore& hubs = index.hub_store();
+    WriteHubMeta(&w, hubs);
+    hub_blob = SerializeHubBlob(hubs);
+    w.Pod<uint64_t>(Fnv1a64(hub_blob));
+  }
   w.Pod<uint32_t>(index.shard_nodes());
   w.Pod<uint32_t>(num_shards);
 
@@ -342,6 +323,9 @@ Status SaveIndexV2(const LowerBoundIndex& index, std::ofstream& out,
                                   '\0');
     out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
   }
+  // v3: hub entries land between the header checksum and the first shard
+  // payload, covered by the blob checksum written above.
+  out.write(hub_blob.data(), static_cast<std::streamsize>(hub_blob.size()));
 
   // Serialize in pool-sized batches (parallel within a batch), write in
   // shard order. Payload content is a pure function of the shard, so the
@@ -362,7 +346,7 @@ Status SaveIndexV2(const LowerBoundIndex& index, std::ofstream& out,
                          payload =
                              SerializeShard(index, static_cast<uint32_t>(s));
                          payload_bytes[s] = payload.size();
-                         checksums[s] = Fnv1a(payload);
+                         checksums[s] = Fnv1a64(payload);
                        }
                      });
     for (uint32_t s = s0; s < s1; ++s) {
@@ -437,10 +421,12 @@ Result<LowerBoundIndex> LoadIndexV1(Reader& r, std::ifstream& in,
   return index;
 }
 
-Result<LowerBoundIndex> LoadIndexV2(Reader& r, std::ifstream& in,
-                                    const std::string& path,
-                                    uint32_t expected_nodes,
-                                    ThreadPool* pool) {
+Result<LowerBoundIndex> LoadIndexSharded(Reader& r, std::ifstream& in,
+                                         const std::string& path,
+                                         uint32_t expected_nodes,
+                                         const LoadIndexOptions& options,
+                                         uint32_t version) {
+  ThreadPool* pool = options.pool;
   CommonHeader header;
   if (Status s = ReadCommonHeader(&r, &header); !s.ok()) return s;
   if (header.n != expected_nodes) {
@@ -448,7 +434,42 @@ Result<LowerBoundIndex> LoadIndexV2(Reader& r, std::ifstream& in,
         "index was built for n=" + std::to_string(header.n) +
         " nodes, graph has n=" + std::to_string(expected_nodes));
   }
-  RTK_ASSIGN_OR_RETURN(HubProximityStore store, ReadHubStore(&r, header.n));
+  // v2 parses the whole hub store here (its entries live inside the
+  // checksummed header). v3 parses only the hub META; the entries blob
+  // sits after the header checksum and is read (heap tier) or left cold
+  // (mmap tier) once the header has verified.
+  std::optional<HubProximityStore> store;
+  uint32_t num_hubs = 0;
+  double hub_omega = 0.0;
+  uint64_t hub_dropped = 0;
+  std::vector<uint32_t> hub_ids;
+  std::vector<uint64_t> hub_offsets;
+  uint64_t hub_entries = 0;
+  uint64_t hub_blob_checksum = 0;
+  if (version == 2) {
+    RTK_ASSIGN_OR_RETURN(HubProximityStore eager, ReadHubStore(&r, header.n));
+    store.emplace(std::move(eager));
+  } else {
+    if (!r.Pod(&num_hubs) || !r.Pod(&hub_omega) || !r.Pod(&hub_dropped) ||
+        num_hubs > header.n) {
+      return Status::Corruption("bad hub header in index file: " + path);
+    }
+    hub_ids.resize(num_hubs);
+    if (!r.Array(hub_ids.data(), hub_ids.size())) {
+      return Status::Corruption("bad hub list: " + path);
+    }
+    hub_offsets.resize(num_hubs + 1);
+    if (!r.Array(hub_offsets.data(), hub_offsets.size())) {
+      return Status::Corruption("bad hub offsets: " + path);
+    }
+    hub_entries = hub_offsets.empty() ? 0 : hub_offsets.back();
+    if (hub_entries > static_cast<uint64_t>(header.n) * num_hubs) {
+      return Status::Corruption("hub entry count exceeds n*|H|: " + path);
+    }
+    if (!r.Pod(&hub_blob_checksum)) {
+      return Status::Corruption("bad hub checksum field: " + path);
+    }
+  }
 
   uint32_t shard_nodes = 0, num_shards = 0;
   if (!r.Pod(&shard_nodes) || !r.Pod(&num_shards) || shard_nodes == 0 ||
@@ -472,10 +493,20 @@ Result<LowerBoundIndex> LoadIndexV2(Reader& r, std::ifstream& in,
 
   // Every payload is offset-addressable from the directory; the total must
   // land exactly on end-of-file (shorter = truncated, longer = trailing
-  // garbage).
-  const uint64_t payload_start = static_cast<uint64_t>(in.tellg());
+  // garbage). In v3 the hub entries blob sits first in the payload region.
+  uint64_t payload_start = static_cast<uint64_t>(in.tellg());
   in.seekg(0, std::ios::end);
   const uint64_t file_bytes = static_cast<uint64_t>(in.tellg());
+  const uint64_t hub_blob_offset = payload_start;
+  const uint64_t hub_blob_bytes =
+      hub_entries * (sizeof(uint32_t) + sizeof(double));
+  if (version == 3) {
+    if (hub_blob_bytes > file_bytes ||
+        hub_blob_offset > file_bytes - hub_blob_bytes) {
+      return Status::Corruption("truncated hub entries: " + path);
+    }
+    payload_start += hub_blob_bytes;
+  }
   std::vector<uint64_t> offsets(num_shards + 1, payload_start);
   for (uint32_t s = 0; s < num_shards; ++s) {
     if (payload_bytes[s] > file_bytes) {  // also forecloses offset overflow
@@ -490,7 +521,62 @@ Result<LowerBoundIndex> LoadIndexV2(Reader& r, std::ifstream& in,
             : "trailing bytes after last shard: " + path);
   }
 
-  LowerBoundIndex index(header.n, header.k, header.bca, std::move(store),
+  if (options.tier == StorageTier::kMmap) {
+    // O(directory) load: the header + directory above are verified, the
+    // offsets are validated against the real file size — map the file and
+    // stop. No payload byte is read until a query touches its shard
+    // (checksums are then verified lazily, pinned per shard). v3 extends
+    // the same laziness to the hub entries blob.
+    MmapSourceLayout layout;
+    layout.num_nodes = header.n;
+    layout.capacity_k = header.k;
+    layout.shard_nodes = shard_nodes;
+    layout.offsets = std::move(offsets);
+    layout.checksums = std::move(shard_sums);
+    if (version == 3) {
+      layout.hub_blob_offset = hub_blob_offset;
+      layout.hub_blob_bytes = hub_blob_bytes;
+      layout.hub_blob_checksum = hub_blob_checksum;
+    }
+    RTK_ASSIGN_OR_RETURN(std::shared_ptr<MmapShardSource> source,
+                         MmapShardSource::Open(path, std::move(layout)));
+    if (version == 3) {
+      auto lazy_hubs = std::make_shared<LazyHubStore>(
+          source, header.n, std::move(hub_ids), std::move(hub_offsets),
+          hub_omega, hub_dropped);
+      return LowerBoundIndex(header.bca, std::move(lazy_hubs),
+                             IndexStorage(std::move(source)));
+    }
+    return LowerBoundIndex(header.bca, std::move(*store),
+                           IndexStorage(std::move(source)));
+  }
+
+  if (version == 3) {
+    // Heap tier: one bulk read + checksum pass over the packed blob, then
+    // a straight decode — the entries never pass through the streaming
+    // Reader, so full loads skip ~2 ifstream reads per entry.
+    std::string blob(hub_blob_bytes, '\0');
+    in.seekg(static_cast<std::streamoff>(hub_blob_offset));
+    in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (hub_blob_bytes > 0 && !in.good()) {
+      return Status::Corruption("short read in hub entries: " + path);
+    }
+    if (Fnv1a64(blob) != hub_blob_checksum) {
+      return Status::Corruption("checksum mismatch in hub store: " + path);
+    }
+    std::vector<std::pair<uint32_t, double>> entries(hub_entries);
+    const char* p = blob.data();
+    for (auto& [id, v] : entries) {
+      std::memcpy(&id, p, sizeof(uint32_t));
+      std::memcpy(&v, p + sizeof(uint32_t), sizeof(double));
+      p += sizeof(uint32_t) + sizeof(double);
+    }
+    store.emplace(HubProximityStore::FromRaw(
+        header.n, std::move(hub_ids), std::move(hub_offsets),
+        std::move(entries), hub_omega, hub_dropped));
+  }
+
+  LowerBoundIndex index(header.n, header.k, header.bca, std::move(*store),
                         shard_nodes);
 
   // Shard-aligned parallel read: every worker opens its own stream, reads
@@ -517,7 +603,7 @@ Result<LowerBoundIndex> LoadIndexV2(Reader& r, std::ifstream& in,
                                              std::to_string(s) + ": " + path);
             continue;
           }
-          if (Fnv1a(payload) != shard_sums[s]) {
+          if (Fnv1a64(payload) != shard_sums[s]) {
             statuses[s] = Status::Corruption("checksum mismatch in shard " +
                                              std::to_string(s) + ": " + path);
             continue;
@@ -540,7 +626,7 @@ Status SaveIndex(const LowerBoundIndex& index, const std::string& path) {
 
 Status SaveIndex(const LowerBoundIndex& index, const std::string& path,
                  const SaveIndexOptions& options) {
-  if (options.format_version != 1 && options.format_version != 2) {
+  if (options.format_version < 1 || options.format_version > 3) {
     return Status::InvalidArgument(
         "unsupported index format version " +
         std::to_string(options.format_version));
@@ -550,9 +636,10 @@ Status SaveIndex(const LowerBoundIndex& index, const std::string& path,
   if (!out.is_open()) {
     return Status::IOError("cannot open for writing: " + tmp);
   }
-  Status written = options.format_version == 1
-                       ? SaveIndexV1(index, out)
-                       : SaveIndexV2(index, out, options.pool);
+  Status written =
+      options.format_version == 1
+          ? SaveIndexV1(index, out)
+          : SaveIndexSharded(index, out, options.pool, options.format_version);
   if (!written.ok()) return written;
   out.flush();
   if (!out.good()) {
@@ -567,6 +654,14 @@ Status SaveIndex(const LowerBoundIndex& index, const std::string& path,
 
 Result<LowerBoundIndex> LoadIndex(const std::string& path,
                                   uint32_t expected_nodes, ThreadPool* pool) {
+  LoadIndexOptions options;
+  options.pool = pool;
+  return LoadIndex(path, expected_nodes, options);
+}
+
+Result<LowerBoundIndex> LoadIndex(const std::string& path,
+                                  uint32_t expected_nodes,
+                                  const LoadIndexOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IOError("cannot open index: " + path);
@@ -577,10 +672,18 @@ Result<LowerBoundIndex> LoadIndex(const std::string& path,
     return Status::Corruption("bad magic in index file: " + path);
   }
   if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    if (options.tier == StorageTier::kMmap) {
+      // v1 has no shard directory to address the mapping with.
+      return Status::InvalidArgument(
+          "mmap storage tier requires a sharded (v2+) index file: " + path);
+    }
     return LoadIndexV1(r, in, path, expected_nodes);
   }
   if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
-    return LoadIndexV2(r, in, path, expected_nodes, pool);
+    return LoadIndexSharded(r, in, path, expected_nodes, options, 2);
+  }
+  if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
+    return LoadIndexSharded(r, in, path, expected_nodes, options, 3);
   }
   return Status::Corruption("bad magic in index file: " + path);
 }
@@ -609,6 +712,8 @@ Result<IndexFileInfo> ReadIndexFileInfo(const std::string& path) {
     info.format_version = 1;
   } else if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
     info.format_version = 2;
+  } else if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
+    info.format_version = 3;
   } else {
     return Status::Corruption("bad magic in index file: " + path);
   }
@@ -636,18 +741,75 @@ Result<IndexFileInfo> ReadIndexFileInfo(const std::string& path) {
       info.hub_entries > static_cast<uint64_t>(header.n) * info.num_hubs) {
     return Status::Corruption("bad hub offsets: " + path);
   }
-  if (info.format_version == 2) {
+  if (info.format_version >= 2) {
     const uint64_t entry_bytes =
         info.hub_entries * (sizeof(uint32_t) + sizeof(double));
-    if (static_cast<uint64_t>(in.tellg()) + entry_bytes > info.file_bytes) {
-      return Status::Corruption("truncated hub entries: " + path);
+    if (info.format_version == 2) {
+      // v2 streams the entries inside the header: skip them here.
+      if (static_cast<uint64_t>(in.tellg()) + entry_bytes > info.file_bytes) {
+        return Status::Corruption("truncated hub entries: " + path);
+      }
+      in.seekg(static_cast<std::streamoff>(entry_bytes), std::ios::cur);
+    } else {
+      // v3 keeps only the blob checksum in the header; the entries blob
+      // itself sits after the header checksum (skipped below).
+      uint64_t hub_blob_checksum = 0;
+      if (!r.Pod(&hub_blob_checksum)) {
+        return Status::Corruption("bad hub checksum field: " + path);
+      }
     }
-    in.seekg(static_cast<std::streamoff>(entry_bytes), std::ios::cur);
     if (!r.Pod(&info.shard_nodes) || !r.Pod(&info.num_shards) ||
         info.shard_nodes == 0 ||
         info.num_shards !=
             (header.n + info.shard_nodes - 1) / info.shard_nodes) {
       return Status::Corruption("bad shard directory header: " + path);
+    }
+    // The per-shard directory: sizes + checksums, resolved to absolute
+    // offsets (the payload region starts right after the directory and its
+    // trailing header checksum). Bound the directory against the real file
+    // size BEFORE allocating — num_shards derives from unverified header
+    // counts, so the allocation must be capped by trusted bytes on disk.
+    const uint64_t directory_bytes =
+        static_cast<uint64_t>(info.num_shards) * 2 * sizeof(uint64_t) +
+        sizeof(uint64_t);
+    if (static_cast<uint64_t>(in.tellg()) + directory_bytes >
+        info.file_bytes) {
+      return Status::Corruption("truncated shard directory: " + path);
+    }
+    info.shard_bytes.resize(info.num_shards);
+    info.shard_checksums.resize(info.num_shards);
+    for (uint32_t s = 0; s < info.num_shards; ++s) {
+      if (!r.Pod(&info.shard_bytes[s]) || !r.Pod(&info.shard_checksums[s])) {
+        return Status::Corruption("bad shard directory: " + path);
+      }
+    }
+    uint64_t header_checksum = 0;
+    in.read(reinterpret_cast<char*>(&header_checksum),
+            sizeof(header_checksum));
+    if (!in.good()) {
+      return Status::Corruption("bad shard directory: " + path);
+    }
+    uint64_t offset = static_cast<uint64_t>(in.tellg());
+    if (info.format_version == 3) {
+      // The hub entries blob precedes the first shard payload.
+      if (entry_bytes > info.file_bytes - std::min(offset, info.file_bytes)) {
+        return Status::Corruption("truncated hub entries: " + path);
+      }
+      offset += entry_bytes;
+    }
+    info.shard_offsets.resize(info.num_shards);
+    for (uint32_t s = 0; s < info.num_shards; ++s) {
+      if (info.shard_bytes[s] > info.file_bytes - offset) {
+        return Status::Corruption("shard size exceeds file size: " + path);
+      }
+      info.shard_offsets[s] = offset;
+      offset += info.shard_bytes[s];
+    }
+    if (offset != info.file_bytes) {
+      return Status::Corruption(
+          offset < info.file_bytes
+              ? "trailing bytes after last shard: " + path
+              : "index file truncated: " + path);
     }
   }
   return info;

@@ -1,14 +1,15 @@
 // Binary serialization of the LowerBoundIndex.
 //
-// Format version 2 (native little-endian, not cross-endian portable):
-//   magic "RTKIDX02"
+// Format version 3 (native little-endian, not cross-endian portable):
+//   magic "RTKIDX03"
 //   u32 num_nodes, u32 capacity_k
 //   f64 alpha, f64 eta, f64 delta, i32 max_iterations
-//   hub store: u32 num_hubs, f64 omega, u64 dropped,
-//              hubs[], offsets[], entries[] (u32+f64 pairs)
+//   hub meta: u32 num_hubs, f64 omega, u64 dropped, hubs[], offsets[]
+//   u64 hub blob checksum (FNV-1a over the hub entries blob below)
 //   shard directory: u32 shard_nodes, u32 num_shards,
 //                    per shard (u64 payload_bytes, u64 FNV-1a checksum)
 //   u64 header checksum (FNV-1a over magic .. directory)
+//   hub entries blob: packed (u32, f64) pairs, offsets.back() of them
 //   shard payloads, concatenated in shard order; each payload is the
 //   shard's per-node records:
 //     f64 topk[K], f64 residue_l1, u32 iterations,
@@ -16,14 +17,20 @@
 //
 // The directory makes shards independently addressable and verifiable, so
 // Save serializes and Load deserializes shards in parallel on a thread
-// pool, and a flipped bit is pinned to the shard it corrupted. Version-1
-// files (monolithic payload, single trailing checksum) still load.
+// pool, and a flipped bit is pinned to the shard it corrupted. Keeping
+// the hub entries blob OUTSIDE the header checksum (unlike v2, which
+// streamed the entries inside the header) makes the checksummed header
+// O(|H| + num_shards) bytes: an mmap-tier open verifies the header, maps
+// the file, and defers BOTH shard payloads and the hub blob to first
+// touch. Version-2 files (hub entries in the header) and version-1 files
+// (monolithic payload, single trailing checksum) still load.
 
 #ifndef RTK_INDEX_INDEX_IO_H_
 #define RTK_INDEX_INDEX_IO_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -33,12 +40,27 @@ namespace rtk {
 
 /// \brief Knobs for SaveIndex.
 struct SaveIndexOptions {
-  /// 2 writes the sharded format above; 1 writes the legacy monolithic
-  /// format (for downgrade paths and compatibility tests).
-  uint32_t format_version = 2;
-  /// Serializes shard payloads in parallel when provided (v2 only; file
+  /// 3 (default) writes the sharded format above with the lazily-loadable
+  /// hub blob; 2 writes the earlier sharded format (hub entries inside
+  /// the checksummed header); 1 writes the legacy monolithic format (for
+  /// downgrade paths and compatibility tests).
+  uint32_t format_version = 3;
+  /// Serializes shard payloads in parallel when provided (v2+; file
   /// bytes are identical with or without a pool).
   ThreadPool* pool = nullptr;
+};
+
+/// \brief Knobs for LoadIndex.
+struct LoadIndexOptions {
+  /// Reads + verifies v2 shards in parallel when provided (heap tier), and
+  /// is forwarded to the engine for later use either way.
+  ThreadPool* pool = nullptr;
+  /// kHeap parses every shard eagerly (the classic load). kMmap maps the
+  /// file and returns after validating the header — O(directory) — with
+  /// shard payloads faulted in on first touch, checksum-verified lazily.
+  /// v3 files additionally defer the hub store to first use; a v1 file
+  /// fails with InvalidArgument (no shard directory to map).
+  StorageTier tier = StorageTier::kHeap;
 };
 
 /// \brief Header-level description of an index file, readable without
@@ -52,6 +74,14 @@ struct IndexFileInfo {
   uint32_t shard_nodes = 0;  // 0 for v1 files
   uint32_t num_shards = 0;   // 0 for v1 files
   uint64_t file_bytes = 0;
+  /// v2+ only: the shard directory resolved to absolute positions —
+  /// shard s's payload is [shard_offsets[s], shard_offsets[s] +
+  /// shard_bytes[s]) with FNV-1a checksum shard_checksums[s]. The three
+  /// vectors have num_shards entries and shard_offsets.back() +
+  /// shard_bytes.back() == file_bytes (validated). Empty for v1 files.
+  std::vector<uint64_t> shard_offsets;
+  std::vector<uint64_t> shard_bytes;
+  std::vector<uint64_t> shard_checksums;
 };
 
 /// \brief Writes the index to `path` (atomically: temp file + rename) in
@@ -69,6 +99,11 @@ Status SaveIndex(const LowerBoundIndex& index, const std::string& path,
 Result<LowerBoundIndex> LoadIndex(const std::string& path,
                                   uint32_t expected_nodes,
                                   ThreadPool* pool = nullptr);
+
+/// \brief LoadIndex with an explicit storage tier (see LoadIndexOptions).
+Result<LowerBoundIndex> LoadIndex(const std::string& path,
+                                  uint32_t expected_nodes,
+                                  const LoadIndexOptions& options);
 
 /// \brief Reads only the header of an index file: shape, hub count, shard
 /// layout. Does not verify payload checksums.

@@ -18,12 +18,37 @@ LowerBoundIndex::LowerBoundIndex(uint32_t num_nodes, uint32_t capacity_k,
   assert(capacity_k_ > 0);
 }
 
+LowerBoundIndex::LowerBoundIndex(BcaOptions bca_options,
+                                 HubProximityStore hub_store,
+                                 IndexStorage storage)
+    : num_nodes_(storage.num_nodes()),
+      capacity_k_(storage.capacity_k()),
+      bca_options_(bca_options),
+      hub_store_(
+          std::make_shared<const HubProximityStore>(std::move(hub_store))),
+      storage_(std::move(storage)) {
+  assert(capacity_k_ > 0);
+}
+
+LowerBoundIndex::LowerBoundIndex(BcaOptions bca_options,
+                                 std::shared_ptr<LazyHubStore> lazy_hubs,
+                                 IndexStorage storage)
+    : num_nodes_(storage.num_nodes()),
+      capacity_k_(storage.capacity_k()),
+      bca_options_(bca_options),
+      lazy_hubs_(std::move(lazy_hubs)),
+      storage_(std::move(storage)) {
+  assert(capacity_k_ > 0);
+  assert(lazy_hubs_ != nullptr);
+}
+
 LowerBoundIndex::LowerBoundIndex(const LowerBoundIndex& other,
                                  uint32_t shard_nodes)
     : num_nodes_(other.num_nodes_),
       capacity_k_(other.capacity_k_),
       bca_options_(other.bca_options_),
       hub_store_(other.hub_store_),
+      lazy_hubs_(other.lazy_hubs_),
       storage_(other.num_nodes_, other.capacity_k_, shard_nodes) {
   for (uint32_t s = 0; s < storage_.num_shards(); ++s) {
     IndexShard& dst = storage_.MutableShard(s);
@@ -79,11 +104,22 @@ IndexStats LowerBoundIndex::ComputeStats() const {
   IndexStats stats;
   stats.num_nodes = num_nodes_;
   stats.capacity_k = capacity_k_;
-  stats.num_hubs = hub_store_->num_hubs();
+  // hub_store() materializes a cold lazy hub section — intended: stats
+  // report the store's real footprint.
+  stats.num_hubs = hub_store().num_hubs();
   stats.num_shards = storage_.num_shards();
   stats.shard_nodes = storage_.shard_nodes();
   stats.shard_bytes.reserve(stats.num_shards);
+  const StorageResidency residency = storage_.residency();
+  stats.resident_shards = residency.resident_shards;
+  stats.mmap_bytes = residency.mmap_bytes;
   for (uint32_t s = 0; s < storage_.num_shards(); ++s) {
+    // Cold mmap shards have no heap footprint (and reading them here would
+    // fault them in): they contribute zero bytes and are skipped.
+    if (!storage_.ShardResident(s)) {
+      stats.shard_bytes.push_back(0);
+      continue;
+    }
     const IndexShard& shard = storage_.shard(s);
     const uint64_t topk_bytes =
         (shard.topk_values.capacity() + shard.residue_l1.capacity()) *
@@ -103,9 +139,10 @@ IndexStats LowerBoundIndex::ComputeStats() const {
       if (residue == 0.0) ++stats.exact_nodes;
     }
   }
-  stats.hub_store_bytes = hub_store_->MemoryBytes();
-  stats.hub_entries_stored = hub_store_->TotalEntries();
-  stats.hub_entries_dropped = hub_store_->DroppedEntries();
+  const HubProximityStore& hubs = hub_store();
+  stats.hub_store_bytes = hubs.MemoryBytes();
+  stats.hub_entries_stored = hubs.TotalEntries();
+  stats.hub_entries_dropped = hubs.DroppedEntries();
   return stats;
 }
 

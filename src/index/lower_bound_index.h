@@ -30,6 +30,7 @@
 #include "bca/bca.h"
 #include "bca/hub_proximity_store.h"
 #include "index/index_storage.h"
+#include "index/shard_backing.h"
 
 namespace rtk {
 
@@ -40,6 +41,12 @@ struct IndexStats {
   uint32_t num_hubs = 0;
   uint32_t num_shards = 0;
   uint32_t shard_nodes = 0;          // nodes per shard (last may be short)
+  /// Shards with a heap materialization (== num_shards in heap tier). In
+  /// mmap tier the byte totals below cover RESIDENT shards only — cold
+  /// shards cost page cache, not heap.
+  uint32_t resident_shards = 0;
+  /// Bytes of the mmap'd index file backing cold shards (0 in heap tier).
+  uint64_t mmap_bytes = 0;
   uint64_t topk_bytes = 0;       // the K x n lower-bound matrix P_hat
   uint64_t state_bytes = 0;      // R, W, S sparse states (incl. the
                                  // StoredBcaState vector footprint itself)
@@ -88,8 +95,20 @@ class LowerBoundIndex {
                   uint32_t shard_nodes = 0);
 
   /// \brief Resharding copy: same contents as `other`, laid out over
-  /// `shard_nodes`-wide shards. Deep-copies every row (no sharing).
+  /// `shard_nodes`-wide shards. Deep-copies every row (no sharing; in mmap
+  /// mode this materializes every source shard).
   LowerBoundIndex(const LowerBoundIndex& other, uint32_t shard_nodes);
+
+  /// \brief Wraps an existing storage (the mmap loader's path: the storage
+  /// carries the shape and the backing source; nothing is materialized).
+  LowerBoundIndex(BcaOptions bca_options, HubProximityStore hub_store,
+                  IndexStorage storage);
+
+  /// \brief Mmap loader's v3 path: the hub store stays cold (LazyHubStore)
+  /// until the first query touches hub proximities.
+  LowerBoundIndex(BcaOptions bca_options,
+                  std::shared_ptr<LazyHubStore> lazy_hubs,
+                  IndexStorage storage);
 
   uint32_t num_nodes() const { return num_nodes_; }
 
@@ -100,7 +119,23 @@ class LowerBoundIndex {
   /// refinement must reuse them.
   const BcaOptions& bca_options() const { return bca_options_; }
 
-  const HubProximityStore& hub_store() const { return *hub_store_; }
+  /// \brief The hub matrix P_H. With a cold lazy hub section (mmap tier,
+  /// v3 files) this materializes it on first call; after a hub-section
+  /// corruption it returns an EMPTY store (valid lower bounds, weaker
+  /// pruning) — query stages call EnsureHubStore() first so the real
+  /// Corruption surfaces instead.
+  const HubProximityStore& hub_store() const {
+    if (hub_store_ != nullptr) return *hub_store_;
+    return lazy_hubs_->GetOrEmpty();
+  }
+
+  /// \brief Materializes the lazy hub section if still cold and returns
+  /// its verification status (always OK for eagerly-loaded stores; free
+  /// after the first call).
+  Status EnsureHubStore() const {
+    if (lazy_hubs_ == nullptr) return Status::OK();
+    return lazy_hubs_->Get().status();
+  }
 
   // ----------------------------------------------------------- shards --
 
@@ -138,6 +173,46 @@ class LowerBoundIndex {
   /// constructed or copied — the publish-cost observable: a snapshot clone
   /// that applied deltas to d shards reports cow_shard_copies() == d.
   uint64_t cow_shard_copies() const { return storage_.cow_copies(); }
+
+  // ----------------------------------------------------- storage tiers --
+
+  /// \brief Where this index's shard payloads live (index_storage.h).
+  StorageTier storage_tier() const { return storage_.tier(); }
+
+  /// \brief True when shard s is heap-resident (always, in heap tier).
+  bool ShardResident(uint32_t s) const { return storage_.ShardResident(s); }
+
+  /// \brief Tier-polymorphic scan view of shard s for the prune stage:
+  /// heap spans when resident, checksum-verified raw payload when cold.
+  /// Never faults the shard to heap.
+  ShardScanView ShardScan(uint32_t s) const { return storage_.ScanView(s); }
+
+  /// \brief Feeds the residency manager's per-shard access counters
+  /// (no-op in heap tier; thread-safe).
+  void RecordShardTouches(uint32_t s, uint64_t touches) const {
+    storage_.RecordShardTouches(s, touches);
+  }
+
+  /// \brief Promotes shard s to heap / demotes a clean resident shard back
+  /// to the map. Write operations (same contract as SetNode).
+  void EnsureShardResident(uint32_t s) { storage_.EnsureResident(s); }
+  bool ReleaseCleanShard(uint32_t s) { return storage_.ReleaseShard(s); }
+
+  /// \brief Residency + fault statistics of the backing storage.
+  StorageResidency residency() const { return storage_.residency(); }
+
+  /// \brief First corruption seen by lazy shard verification (sticky; OK
+  /// in heap tier).
+  Status storage_status() const { return storage_.backing_status(); }
+
+  /// \brief The shared mmap source (null in heap tier).
+  const std::shared_ptr<MmapShardSource>& shard_source() const {
+    return storage_.source();
+  }
+
+  /// \brief The backing storage itself, read-only (residency planning:
+  /// ShardResidencyManager::Advance inspects per-shard residency).
+  const IndexStorage& storage() const { return storage_; }
 
   // ------------------------------------------------------ node access --
 
@@ -200,8 +275,11 @@ class LowerBoundIndex {
   BcaOptions bca_options_;
   // Immutable once built (rounding/refresh produce new stores), so clones
   // share it: copying the index for a serving snapshot duplicates neither
-  // the hub matrix nor any clean shard.
+  // the hub matrix nor any clean shard. Exactly one of hub_store_ /
+  // lazy_hubs_ is set; the lazy form (v3 mmap loads) is likewise shared,
+  // so the whole snapshot chain materializes the hub section at most once.
   std::shared_ptr<const HubProximityStore> hub_store_;
+  std::shared_ptr<LazyHubStore> lazy_hubs_;
   IndexStorage storage_;
 };
 

@@ -8,6 +8,15 @@ namespace rtk {
 
 void RefinementLog::Append(std::vector<IndexDelta> deltas) {
   std::lock_guard<std::mutex> lock(mu_);
+  AppendLocked(std::move(deltas));
+}
+
+void RefinementLog::Append(std::vector<std::vector<IndexDelta>> batches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& deltas : batches) AppendLocked(std::move(deltas));
+}
+
+void RefinementLog::AppendLocked(std::vector<IndexDelta> deltas) {
   appended_ += deltas.size();
   for (auto& delta : deltas) {
     auto [it, inserted] = tightest_.try_emplace(delta.node);

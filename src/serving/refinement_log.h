@@ -49,6 +49,13 @@ class RefinementLog {
   /// with the smaller residue wins (ties keep the incumbent).
   void Append(std::vector<IndexDelta> deltas);
 
+  /// \brief Batch form: merges every per-producer delta vector under ONE
+  /// lock acquisition, in batch order. Equivalent to calling Append on
+  /// each element in sequence (same dedup winners, same stats), but a
+  /// fused query group / per-worker aggregation pays the log mutex once
+  /// instead of once per lane.
+  void Append(std::vector<std::vector<IndexDelta>> batches);
+
   /// \brief Removes and returns all pending deltas (unordered).
   std::vector<IndexDelta> Drain();
 
@@ -72,6 +79,8 @@ class RefinementLog {
   RefinementLogStats stats() const;
 
  private:
+  void AppendLocked(std::vector<IndexDelta> deltas);
+
   mutable std::mutex mu_;
   std::unordered_map<uint32_t, IndexDelta> tightest_;
   uint64_t appended_ = 0;

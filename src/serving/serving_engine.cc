@@ -9,6 +9,7 @@
 
 #include "exec/proximity_backends.h"
 #include "exec/query_pipeline.h"
+#include "index/shard_backing.h"
 
 namespace rtk {
 
@@ -65,8 +66,14 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
   const int threads = options_.num_threads > 0 ? options_.num_threads
                                                : ThreadPool::DefaultThreads();
   pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.pin_workers) pool_->BindWorkersToCpus();
   snapshot_ = std::make_shared<const IndexSnapshot>(
       LowerBoundIndex(engine.index()), /*epoch=*/0);
+  if (snapshot_->index().storage_tier() == StorageTier::kMmap) {
+    residency_ = std::make_unique<ShardResidencyManager>(
+        options_.shard_promote_touches, options_.shard_demote_epochs,
+        snapshot_->index().num_shards());
+  }
 
   // Resolve every instrument once; recording is then always the lock-free
   // fetch-add path (the registry lock is only this constructor's).
@@ -98,6 +105,10 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
       &registry_.GetCounter("rtk_serving_epochs_published_total");
   ins_.shards_copied =
       &registry_.GetCounter("rtk_serving_shards_copied_total");
+  ins_.shard_faults =
+      &registry_.GetCounter("rtk_serving_shard_faults_total");
+  ins_.shard_evictions =
+      &registry_.GetCounter("rtk_serving_shard_evictions_total");
   ins_.queue_wait = &registry_.GetHistogram("rtk_serving_queue_wait_seconds");
   ins_.fused_proximity_seconds =
       &registry_.GetHistogram("rtk_serving_fused_proximity_seconds");
@@ -120,6 +131,8 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
   ins_.current_epoch = &registry_.GetGauge("rtk_serving_current_epoch");
   ins_.index_shards = &registry_.GetGauge("rtk_serving_index_shards");
   ins_.cache_entries = &registry_.GetGauge("rtk_serving_cache_entries");
+  ins_.resident_shards = &registry_.GetGauge("rtk_serving_resident_shards");
+  ins_.mmap_bytes = &registry_.GetGauge("rtk_serving_mmap_bytes");
   for (std::string_view name : RegisteredProximityBackendNames()) {
     ins_.backend_latency.emplace_back(
         std::string(name),
@@ -455,11 +468,27 @@ void ServingEngine::RunFusedGroup(std::vector<PendingQuery> items,
   // made visible: it lands in that request's pmpn_seconds/trace span.
   const double share = fused_seconds / static_cast<double>(live.size());
 
+  // Per-group delta aggregation: every lane parks its captured deltas
+  // (and its finished response) here; the group merges the deltas into
+  // the log under ONE lock, in pop order — the same order the per-lane
+  // appends used, so the dedup winners (and thus the next published
+  // epoch) are byte-identical.
+  std::vector<std::vector<IndexDelta>> group_deltas;
+  std::vector<DeferredDelivery> deliveries;
+  deliveries.reserve(live.size());
   for (size_t i = 0; i < live.size(); ++i) {
     ExecuteAdmitted(std::move(live[i]), &pooled, &outcomes[i], share,
-                    batcher->name());
+                    batcher->name(), &group_deltas, &deliveries);
   }
   ReleaseSearcher(std::move(pooled));
+  // Append strictly BEFORE resolving any lane's future: a caller that has
+  // joined its futures and then flushes the log (PublishPending) must
+  // observe this group's write-back, exactly as on the single path where
+  // each request appends before delivering.
+  const bool appended = !group_deltas.empty();
+  if (appended) log_.Append(std::move(group_deltas));
+  for (DeferredDelivery& d : deliveries) d.deliver(std::move(d.response));
+  if (appended) MaybePublish();
 }
 
 void ServingEngine::Pause() { paused_.store(true, std::memory_order_release); }
@@ -485,13 +514,15 @@ void ServingEngine::FinishAborted(Status status, QueryResponse* response) {
 
 void ServingEngine::ExecuteRequest(PendingQuery item) {
   ExecuteAdmitted(std::move(item), /*shared=*/nullptr, /*fused=*/nullptr,
-                  /*fused_share=*/0.0, /*fused_backend=*/{});
+                  /*fused_share=*/0.0, /*fused_backend=*/{},
+                  /*group_sink=*/nullptr, /*deliver_sink=*/nullptr);
 }
 
-void ServingEngine::ExecuteAdmitted(PendingQuery item, PooledSearcher* shared,
-                                    ProximityLaneOutcome* fused,
-                                    double fused_share,
-                                    std::string_view fused_backend) {
+void ServingEngine::ExecuteAdmitted(
+    PendingQuery item, PooledSearcher* shared, ProximityLaneOutcome* fused,
+    double fused_share, std::string_view fused_backend,
+    std::vector<std::vector<IndexDelta>>* group_sink,
+    std::vector<DeferredDelivery>* deliver_sink) {
   const QueryRequest& request = item.request;
   QueryResponse response = MakeResponseHeader(request);
   const double queue_seconds = SecondsSince(item.enqueued_at);
@@ -533,7 +564,13 @@ void ServingEngine::ExecuteAdmitted(PendingQuery item, PooledSearcher* shared,
       BackendLatency(response.backend)->Record(total);
     }
     FinishTrace(trace_ptr, response, &response.trace_id);
-    item.deliver(std::move(response));
+    if (deliver_sink != nullptr) {
+      // Fused lane: the future resolves only after the group's deltas
+      // are in the log (RunFusedGroup releases the parked responses).
+      deliver_sink->push_back({std::move(item.deliver), std::move(response)});
+    } else {
+      item.deliver(std::move(response));
+    }
   };
 
   // A queued request that expired or was cancelled while waiting is never
@@ -625,8 +662,14 @@ void ServingEngine::ExecuteAdmitted(PendingQuery item, PooledSearcher* shared,
 
   if (!deltas.empty()) {
     ins_.deltas_recorded->Increment(deltas.size());
-    log_.Append(std::move(deltas));
-    MaybePublish();
+    if (group_sink != nullptr) {
+      // Fused lane: the group merges everyone's deltas under one log lock
+      // after the fan-back (and runs the publish check once).
+      group_sink->push_back(std::move(deltas));
+    } else {
+      log_.Append(std::move(deltas));
+      MaybePublish();
+    }
   }
   if (cacheable && response.stats.prox_certified) {
     // Keyed under the epoch actually served (it may have advanced past
@@ -701,12 +744,15 @@ std::vector<QueryResponse> ServingEngine::SubmitBatch(
 ServingEngine::PooledSearcher ServingEngine::AcquireSearcher(
     const std::shared_ptr<const IndexSnapshot>& snap) {
   {
-    // Take only a matching-epoch searcher; leave the rest in place so a
-    // straggler wanting an old epoch doesn't destroy fresh searchers.
+    // Take only a searcher built against this exact snapshot OBJECT (not
+    // just this epoch: a residency republish swaps the object under an
+    // unchanged epoch, and its searchers must retire with it); leave the
+    // rest in place so a straggler wanting an old snapshot doesn't
+    // destroy fresh searchers.
     std::lock_guard<std::mutex> lock(searchers_mu_);
     for (auto it = free_searchers_.begin(); it != free_searchers_.end();
          ++it) {
-      if (it->snapshot->epoch() == snap->epoch()) {
+      if (it->snapshot == snap) {
         PooledSearcher pooled = std::move(*it);
         free_searchers_.erase(it);
         return pooled;
@@ -725,13 +771,14 @@ ServingEngine::PooledSearcher ServingEngine::AcquireSearcher(
 }
 
 void ServingEngine::ReleaseSearcher(PooledSearcher pooled) {
-  // Searchers pinned to superseded snapshots are dropped, not pooled. The
-  // epoch check must happen under searchers_mu_: the publisher swaps the
-  // snapshot before clearing the pool under this same mutex, so checking
-  // inside the lock means a stale searcher either sees the new epoch (and
-  // is dropped) or is pushed before the publisher's clear (and is swept).
+  // Searchers pinned to superseded snapshots are dropped, not pooled
+  // (object identity, not epoch: a residency republish keeps the epoch).
+  // The check must happen under searchers_mu_: the publisher swaps the
+  // snapshot before clearing the pool under this same mutex, so a stale
+  // searcher either sees the new snapshot (and is dropped) or is pushed
+  // before the publisher's clear (and is swept).
   std::lock_guard<std::mutex> lock(searchers_mu_);
-  if (pooled.snapshot->epoch() != snapshot()->epoch()) return;
+  if (pooled.snapshot != snapshot()) return;
   free_searchers_.push_back(std::move(pooled));
 }
 
@@ -798,6 +845,9 @@ uint64_t ServingEngine::PublishLocked(size_t min_shard_pending,
     }
   }
   if (applied == 0) return 0;  // everything stale; keep the epoch
+  // Piggyback one residency epoch on the publish (mmap tier): promotions
+  // and demotions ride the same snapshot swap instead of paying their own.
+  ApplyResidencyLocked(&next);
   ins_.shards_copied->Increment(next.cow_shard_copies());
   auto fresh = std::make_shared<const IndexSnapshot>(std::move(next),
                                                      current->epoch() + 1);
@@ -817,7 +867,67 @@ uint64_t ServingEngine::PublishLocked(size_t min_shard_pending,
   // Timed only when a snapshot actually went out: the histogram answers
   // "what does a publish cost", not "what does checking the log cost".
   ins_.publish_seconds->Record(SecondsSince(publish_began));
+  SyncBackingMetrics();
   return applied;
+}
+
+size_t ServingEngine::ApplyResidencyLocked(LowerBoundIndex* next) {
+  if (residency_ == nullptr) return 0;
+  const ResidencyPlan plan = residency_->Advance(next->storage());
+  for (uint32_t s : plan.promote) next->EnsureShardResident(s);
+  for (uint32_t s : plan.demote) next->ReleaseCleanShard(s);
+  return plan.promote.size() + plan.demote.size();
+}
+
+size_t ServingEngine::MaintainResidency() {
+  if (residency_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::shared_ptr<const IndexSnapshot> current = snapshot();
+  // Plan against a private clone (the manager's Advance consumes the
+  // source's epoch touch counters; EnsureShardResident / ReleaseCleanShard
+  // are writes and must never touch the published object).
+  LowerBoundIndex next(current->index());
+  const size_t moved = ApplyResidencyLocked(&next);
+  if (moved == 0) return 0;
+  // Residency never changes any result byte, so the adjusted index
+  // republishes under the SAME epoch: cached answers stay valid (no
+  // purge) and in-flight readers of the old snapshot object are
+  // unaffected (shards are shared; demotion only clears the clone's
+  // slot). Pooled searchers hold bound span pointers into the old
+  // snapshot's materializations, so the pool is swept like any publish.
+  auto fresh =
+      std::make_shared<const IndexSnapshot>(std::move(next), current->epoch());
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+    snapshot_ = fresh;
+  }
+  {
+    std::lock_guard<std::mutex> searcher_lock(searchers_mu_);
+    free_searchers_.clear();
+  }
+  SyncBackingMetrics();
+  return moved;
+}
+
+void ServingEngine::SyncBackingMetrics() const {
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  const std::shared_ptr<MmapShardSource>& source = snap->index().shard_source();
+  if (source == nullptr) return;
+  // The source's totals are monotone; forward only the delta past what a
+  // previous sync already counted (CAS so concurrent scrapes never
+  // double-count an increment).
+  const auto forward = [](std::atomic<uint64_t>* seen, uint64_t now,
+                          Counter* counter) {
+    uint64_t prev = seen->load(std::memory_order_relaxed);
+    while (now > prev) {
+      if (seen->compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+        counter->Increment(now - prev);
+        return;
+      }
+    }
+  };
+  forward(&faults_seen_, source->faults(), ins_.shard_faults);
+  forward(&evictions_seen_, source->evictions(), ins_.shard_evictions);
 }
 
 ServingStats ServingEngine::stats() const {
@@ -841,7 +951,13 @@ ServingStats ServingEngine::stats() const {
   stats.deltas_applied = ins_.deltas_applied->value();
   stats.epochs_published = ins_.epochs_published->value();
   stats.shards_copied = ins_.shards_copied->value();
+  SyncBackingMetrics();
+  stats.shard_faults = ins_.shard_faults->value();
+  stats.shard_evictions = ins_.shard_evictions->value();
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  const StorageResidency residency = snap->index().residency();
+  stats.resident_shards = residency.resident_shards;
+  stats.mmap_bytes = residency.mmap_bytes;
   stats.current_epoch = snap->epoch();
   stats.index_shards = snap->index().num_shards();
   stats.cache = cache_.stats();
@@ -867,6 +983,10 @@ MetricsSnapshot ServingEngine::Metrics() const {
   ins_.current_epoch->Set(static_cast<double>(snap->epoch()));
   ins_.index_shards->Set(static_cast<double>(snap->index().num_shards()));
   ins_.cache_entries->Set(static_cast<double>(cache_.stats().entries));
+  SyncBackingMetrics();
+  const StorageResidency residency = snap->index().residency();
+  ins_.resident_shards->Set(static_cast<double>(residency.resident_shards));
+  ins_.mmap_bytes->Set(static_cast<double>(residency.mmap_bytes));
   return registry_.Snapshot();
 }
 

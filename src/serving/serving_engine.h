@@ -78,6 +78,8 @@
 
 namespace rtk {
 
+class ShardResidencyManager;  // index/shard_backing.h
+
 /// \brief Configuration of the serving layer.
 struct ServingOptions {
   /// Worker threads executing admitted requests; 0 = hardware concurrency.
@@ -154,6 +156,21 @@ struct ServingOptions {
   /// light load; the default 1 keeps every worker serving its own request,
   /// which maximizes saturated throughput.
   QueryOptions query;
+  /// Memory-tier residency knobs — only meaningful when the served index
+  /// is mmap-backed (StorageTier::kMmap; heap indexes are always fully
+  /// resident and these are ignored). A shard whose prune scans touched at
+  /// least `shard_promote_touches` candidate rows during one residency
+  /// epoch (one MaintainResidency call or delta publish) is promoted to a
+  /// heap materialization; a clean resident shard idle for
+  /// `shard_demote_epochs` consecutive epochs is demoted back to the map.
+  /// 0 disables the respective direction. Residency moves are result-
+  /// invisible: they republish the SAME epoch (no cache purge).
+  uint64_t shard_promote_touches = 64;
+  uint32_t shard_demote_epochs = 2;
+  /// Pins pool workers to CPUs (ThreadPool::BindWorkersToCpus) so the
+  /// thread-affine prune ranges become CPU/NUMA-affine. No-op unless the
+  /// build enables RTK_ENABLE_NUMA.
+  bool pin_workers = false;
 };
 
 /// \brief Aggregate serving counters (all monotone except the *_depth /
@@ -201,6 +218,14 @@ struct ServingStats {
   uint64_t batched_queries = 0;
   /// Widest fused batch observed (gauge).
   size_t peak_batch_size = 0;
+  /// Memory-tier observables (all 0 for a heap-tier index). Faults and
+  /// evictions are source-wide monotone counters (shared across epochs);
+  /// the residency pair is a gauge over the CURRENT snapshot.
+  uint64_t shard_faults = 0;
+  uint64_t shard_evictions = 0;
+  uint64_t resident_shards = 0;
+  /// Bytes of the mmap'd index file backing the current snapshot (gauge).
+  uint64_t mmap_bytes = 0;
   /// Admission backlog right now / its high-water mark.
   size_t queue_depth = 0;
   size_t peak_queue_depth = 0;
@@ -297,6 +322,18 @@ class ServingEngine {
   /// internally; safe to call concurrently with queries.
   uint64_t PublishPending();
 
+  /// \brief Advances one shard-residency epoch for a mmap-tier index:
+  /// consumes the per-shard touch counters the prune scans accumulated,
+  /// promotes hot shards to heap and demotes cold clean ones back to the
+  /// map (ServingOptions::shard_promote_touches / shard_demote_epochs),
+  /// then republishes the adjusted index under the SAME epoch — residency
+  /// is result-invisible, so cached answers stay valid. Returns the number
+  /// of shards moved (0 = no republish; always 0 for a heap-tier index).
+  /// Serialized with publishes; safe to call concurrently with queries.
+  /// Delta publishes advance the residency epoch too, so an explicit
+  /// maintenance tick is only needed under read-heavy load.
+  size_t MaintainResidency();
+
   ServingStats stats() const;
 
   // -------------------------------------------------------- observability --
@@ -331,6 +368,13 @@ class ServingEngine {
     std::unique_ptr<ReverseTopkSearcher> searcher;
   };
 
+  /// A fused lane's finished response, parked until the group's deltas
+  /// are merged into the log (see ExecuteAdmitted's deliver_sink).
+  struct DeferredDelivery {
+    std::function<void(QueryResponse)> deliver;
+    QueryResponse response;
+  };
+
   ServingEngine(const ReverseTopkEngine& engine, const ServingOptions& options);
 
   /// One dispatch ticket: pops and executes the highest-priority pending
@@ -357,10 +401,21 @@ class ServingEngine {
   /// full pipeline on a freshly acquired searcher) and RunFusedGroup's
   /// fan-back (fused != nullptr: stages 2+ against the precomputed row,
   /// on the batch's shared searcher `shared`, with `fused_share` seconds
-  /// attributed as this request's proximity time).
+  /// attributed as this request's proximity time). With the two sinks set
+  /// (always together), captured deltas are handed to the caller as one
+  /// batch element instead of being appended to the log per lane, and the
+  /// finished response is parked in `deliver_sink` instead of delivered —
+  /// RunFusedGroup merges the whole group under one log lock and only
+  /// then releases the responses, preserving the single-path invariant
+  /// that a resolved future's write-back is already in the log (a caller
+  /// that joins its futures and calls PublishPending must see it).
+  /// Dedup winners are unchanged: batch order is pop order, exactly the
+  /// order the per-lane appends used.
   void ExecuteAdmitted(PendingQuery item, PooledSearcher* shared,
                        ProximityLaneOutcome* fused, double fused_share,
-                       std::string_view fused_backend);
+                       std::string_view fused_backend,
+                       std::vector<std::vector<IndexDelta>>* group_sink,
+                       std::vector<DeferredDelivery>* deliver_sink);
 
   /// Counts an abort against the right counter and stamps the response.
   void FinishAborted(Status status, QueryResponse* response);
@@ -387,8 +442,19 @@ class ServingEngine {
   /// publishes when anything tightened. Returns deltas applied;
   /// `drained` (optional) receives the number of deltas taken out of the
   /// log — 0 means every pending shard was below the threshold and the
-  /// caller must not retry until more deltas arrive.
+  /// caller must not retry until more deltas arrive. A delta publish also
+  /// advances the residency epoch (mmap tier), folding promotions /
+  /// demotions into the same snapshot swap.
   uint64_t PublishLocked(size_t min_shard_pending, size_t* drained = nullptr);
+
+  /// Applies one residency epoch to the publisher's private clone
+  /// (promote hot, demote cold-clean). Caller holds publish_mu_. Returns
+  /// shards moved.
+  size_t ApplyResidencyLocked(LowerBoundIndex* next);
+
+  /// Forwards the backing source's monotone fault/eviction totals into
+  /// the registry counters (CAS-delta; safe from concurrent scrapes).
+  void SyncBackingMetrics() const;
 
   const TransitionOperator* op_;
   ServingOptions options_;
@@ -410,6 +476,13 @@ class ServingEngine {
   RefinementLog log_;
   QueryCache cache_;
   std::mutex publish_mu_;  // serializes the single snapshot writer
+
+  /// Residency epoch planner (mmap tier only; null for heap indexes).
+  /// Touched only under publish_mu_.
+  std::unique_ptr<ShardResidencyManager> residency_;
+  /// Source totals already forwarded into the registry counters.
+  mutable std::atomic<uint64_t> faults_seen_{0};
+  mutable std::atomic<uint64_t> evictions_seen_{0};
 
   std::mutex searchers_mu_;
   std::vector<PooledSearcher> free_searchers_;
@@ -438,6 +511,8 @@ class ServingEngine {
     Counter* deltas_applied = nullptr;
     Counter* epochs_published = nullptr;
     Counter* shards_copied = nullptr;
+    Counter* shard_faults = nullptr;
+    Counter* shard_evictions = nullptr;
     Histogram* queue_wait = nullptr;
     Histogram* fused_proximity_seconds = nullptr;
     Histogram* request_latency = nullptr;
@@ -456,6 +531,8 @@ class ServingEngine {
     Gauge* current_epoch = nullptr;
     Gauge* index_shards = nullptr;
     Gauge* cache_entries = nullptr;
+    Gauge* resident_shards = nullptr;
+    Gauge* mmap_bytes = nullptr;
     /// One request-latency histogram per registered proximity backend,
     /// resolved by linear scan (the set is tiny and fixed).
     std::vector<std::pair<std::string, Histogram*>> backend_latency;

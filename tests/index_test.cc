@@ -368,9 +368,9 @@ void ExpectSameIndex(const LowerBoundIndex& a, const LowerBoundIndex& b) {
   }
 }
 
-// The two format versions must carry identical content: save the same
-// index as v1 and v2, load both, compare everything.
-TEST_F(IndexIoTest, V1AndV2RoundTripsAgree) {
+// Every format version must carry identical content: save the same index
+// as v1, v2, and v3 (the default), load all three, compare everything.
+TEST_F(IndexIoTest, AllFormatVersionRoundTripsAgree) {
   Rng rng(67);
   Result<Graph> g = ErdosRenyi(80, 500, &rng);
   ASSERT_TRUE(g.ok());
@@ -382,28 +382,41 @@ TEST_F(IndexIoTest, V1AndV2RoundTripsAgree) {
 
   const std::string v1_path = (dir_ / "index_v1.bin").string();
   const std::string v2_path = (dir_ / "index_v2.bin").string();
+  const std::string v3_path = (dir_ / "index_v3.bin").string();
   SaveIndexOptions v1_opts;
   v1_opts.format_version = 1;
   ASSERT_TRUE(SaveIndex(index, v1_path, v1_opts).ok());
-  ASSERT_TRUE(SaveIndex(index, v2_path).ok());
+  SaveIndexOptions v2_opts;
+  v2_opts.format_version = 2;
+  ASSERT_TRUE(SaveIndex(index, v2_path, v2_opts).ok());
+  ASSERT_TRUE(SaveIndex(index, v3_path).ok());  // default = v3
 
   Result<LowerBoundIndex> v1 = LoadIndex(v1_path, g->num_nodes());
   ASSERT_TRUE(v1.ok()) << v1.status().ToString();
   Result<LowerBoundIndex> v2 = LoadIndex(v2_path, g->num_nodes());
   ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  Result<LowerBoundIndex> v3 = LoadIndex(v3_path, g->num_nodes());
+  ASSERT_TRUE(v3.ok()) << v3.status().ToString();
   ExpectSameIndex(index, *v1);
   ExpectSameIndex(index, *v2);
-  // The v2 loader reconstructs the file's shard layout.
+  ExpectSameIndex(index, *v3);
+  // The sharded loaders reconstruct the file's shard layout.
   EXPECT_EQ(v2->shard_nodes(), 32u);
   EXPECT_EQ(v2->num_shards(), index.num_shards());
+  EXPECT_EQ(v3->shard_nodes(), 32u);
+  EXPECT_EQ(v3->num_shards(), index.num_shards());
 
-  auto info = ReadIndexFileInfo(v2_path);
+  auto info = ReadIndexFileInfo(v3_path);
   ASSERT_TRUE(info.ok());
-  EXPECT_EQ(info->format_version, 2u);
+  EXPECT_EQ(info->format_version, 3u);
   EXPECT_EQ(info->num_nodes, 80u);
   EXPECT_EQ(info->capacity_k, 12u);
   EXPECT_EQ(info->shard_nodes, 32u);
   EXPECT_EQ(info->num_shards, index.num_shards());
+  auto v2_info = ReadIndexFileInfo(v2_path);
+  ASSERT_TRUE(v2_info.ok());
+  EXPECT_EQ(v2_info->format_version, 2u);
+  EXPECT_EQ(v2_info->num_shards, index.num_shards());
   auto v1_info = ReadIndexFileInfo(v1_path);
   ASSERT_TRUE(v1_info.ok());
   EXPECT_EQ(v1_info->format_version, 1u);

@@ -1,0 +1,604 @@
+// Memory-tiered shard storage tests (index/shard_backing.h): the mmap
+// tier must be indistinguishable from the heap tier in every result byte
+// while deferring all payload parsing to first touch.
+//
+//   1. identity — heap and mmap loads of the same index file answer every
+//      query identically at every thread count, and the refined indexes
+//      they write back re-serialize to byte-identical files (covers
+//      mid-query shard promotion: write-back faults cold shards in);
+//   2. laziness — a prune-only query leaves every shard cold; v3 opens
+//      defer the hub blob until the first refining query;
+//   3. faults — a flipped payload bit fails the EAGER heap load up front,
+//      while the mmap open succeeds and the first touching query surfaces
+//      the same Corruption pinned to the shard (hub-blob corruption
+//      likewise: open OK, first refining query fails, prune-only queries
+//      unaffected); a dirty shard refuses demotion; a demoted clean shard
+//      refaults bit-identically;
+//   4. serving — ServingEngine over a mmap-tier engine publishes the same
+//      epochs as over heap (CoW publish over mapped shards), and the
+//      residency manager promotes hot shards / demotes idle ones without
+//      changing any answer;
+//   5. scheduling — ParallelForRangeAffine covers every element exactly
+//      once for any (count, parallelism); RefinementLog's batched Append
+//      keeps the sequential form's dedup winners.
+//
+// ci.sh runs this file under TSan and ASan (the concurrency tests double
+// as race detectors for the lazy fault/verify paths).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "index/index_io.h"
+#include "index/shard_backing.h"
+#include "serving/refinement_log.h"
+#include "serving/serving_engine.h"
+
+namespace rtk {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageTierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "rtk_storage_tier_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Coarse bounds (large BCA delta) so queries really refine and write
+  // back — the tier comparison must exercise faulting, promotion, and
+  // CoW over mapped shards, not just cold scans.
+  static EngineOptions CoarseOptions() {
+    EngineOptions opts;
+    opts.capacity_k = 16;
+    opts.hub_selection.degree_budget_b = 6;
+    opts.bca.delta = 0.5;
+    opts.num_threads = 2;
+    opts.shard_nodes = 48;
+    return opts;
+  }
+
+  Graph TestGraph(uint64_t seed = 33, uint32_t n = 400) {
+    Rng rng(seed);
+    auto graph = BarabasiAlbert(n, 3, &rng);
+    EXPECT_TRUE(graph.ok());
+    return std::move(*graph);
+  }
+
+  // Builds an engine, saves its index, and returns the file path.
+  std::string MakeIndexFile(const Graph& graph, uint32_t format_version = 3) {
+    auto built = ReverseTopkEngine::Build(Graph(graph), CoarseOptions());
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    const std::string path =
+        Path("index_v" + std::to_string(format_version) + ".rtki");
+    SaveIndexOptions save;
+    save.format_version = format_version;
+    EXPECT_TRUE(SaveIndex((*built)->index(), path, save).ok());
+    return path;
+  }
+
+  Result<std::unique_ptr<ReverseTopkEngine>> LoadTiered(const Graph& graph,
+                                                        const std::string& path,
+                                                        StorageTier tier) {
+    EngineOptions opts = CoarseOptions();
+    opts.storage_tier = tier;
+    return ReverseTopkEngine::LoadFromFile(Graph(graph), path, opts);
+  }
+
+  void FlipByte(const std::string& path, uint64_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x40;
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+
+  fs::path dir_;
+};
+
+// ------------------------------------------------------------- identity --
+
+TEST_F(StorageTierTest, QueriesAndRefinedStateIdenticalAcrossTiers) {
+  const Graph graph = TestGraph();
+  const std::string path = MakeIndexFile(graph);
+
+  auto heap = LoadTiered(graph, path, StorageTier::kHeap);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  auto mmap = LoadTiered(graph, path, StorageTier::kMmap);
+  ASSERT_TRUE(mmap.ok()) << mmap.status().ToString();
+  EXPECT_EQ((*heap)->index().storage_tier(), StorageTier::kHeap);
+  EXPECT_EQ((*mmap)->index().storage_tier(), StorageTier::kMmap);
+  EXPECT_EQ((*mmap)->index().residency().resident_shards, 0u);
+
+  // The same refining workload against both tiers, sweeping the
+  // intra-query thread count. update_index=true makes each query's
+  // write-back the next query's starting state, so any divergence
+  // compounds — byte equality at the end is a strong invariant.
+  Rng rng(5);
+  for (int i = 0; i < 24; ++i) {
+    QueryOptions qopts;
+    qopts.k = 4 + static_cast<uint32_t>(rng.Uniform(8));
+    qopts.num_threads = (i % 3 == 0) ? 4 : 1;
+    const uint32_t q = static_cast<uint32_t>(rng.Uniform(graph.num_nodes()));
+    auto rh = (*heap)->QueryWithOptions(q, qopts);
+    auto rm = (*mmap)->QueryWithOptions(q, qopts);
+    ASSERT_TRUE(rh.ok()) << rh.status().ToString();
+    ASSERT_TRUE(rm.ok()) << rm.status().ToString();
+    EXPECT_EQ(*rh, *rm) << "query " << q << " k " << qopts.k;
+  }
+
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    const auto bh = (*heap)->index().LowerBounds(u);
+    const auto bm = (*mmap)->index().LowerBounds(u);
+    ASSERT_TRUE(std::equal(bh.begin(), bh.end(), bm.begin())) << "u=" << u;
+    ASSERT_EQ((*heap)->index().ResidueL1(u), (*mmap)->index().ResidueL1(u));
+  }
+
+  // Write-back promoted (faulted + privatized) the shards it touched.
+  EXPECT_GT((*mmap)->index().residency().resident_shards, 0u);
+  EXPECT_GT((*mmap)->index().shard_source()->faults(), 0u);
+
+  // The refined indexes must re-serialize identically: same records, same
+  // checksums, byte for byte.
+  const std::string heap_out = Path("refined_heap.rtki");
+  const std::string mmap_out = Path("refined_mmap.rtki");
+  ASSERT_TRUE((*heap)->SaveIndex(heap_out).ok());
+  ASSERT_TRUE((*mmap)->SaveIndex(mmap_out).ok());
+  std::ifstream a(heap_out, std::ios::binary), b(mmap_out, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST_F(StorageTierTest, V2FilesLoadInBothTiersAndAgree) {
+  const Graph graph = TestGraph();
+  const std::string v2_path = MakeIndexFile(graph, /*format_version=*/2);
+  const std::string v3_path = MakeIndexFile(graph, /*format_version=*/3);
+
+  auto v2_mmap = LoadTiered(graph, v2_path, StorageTier::kMmap);
+  ASSERT_TRUE(v2_mmap.ok()) << v2_mmap.status().ToString();
+  auto v3_heap = LoadTiered(graph, v3_path, StorageTier::kHeap);
+  ASSERT_TRUE(v3_heap.ok()) << v3_heap.status().ToString();
+
+  QueryOptions qopts;
+  qopts.update_index = false;
+  for (uint32_t q : {7u, 120u, 333u}) {
+    auto ra = (*v2_mmap)->QueryWithOptions(q, qopts);
+    auto rb = (*v3_heap)->QueryWithOptions(q, qopts);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(*ra, *rb);
+  }
+}
+
+TEST_F(StorageTierTest, V1FileRejectedByMmapTier) {
+  const Graph graph = TestGraph();
+  const std::string v1_path = MakeIndexFile(graph, /*format_version=*/1);
+  auto v1_heap = LoadTiered(graph, v1_path, StorageTier::kHeap);
+  EXPECT_TRUE(v1_heap.ok()) << v1_heap.status().ToString();
+  auto v1_mmap = LoadTiered(graph, v1_path, StorageTier::kMmap);
+  ASSERT_FALSE(v1_mmap.ok());
+  EXPECT_EQ(v1_mmap.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------- laziness --
+
+TEST_F(StorageTierTest, PruneOnlyQueryLeavesEveryShardCold) {
+  const Graph graph = TestGraph();
+  const std::string path = MakeIndexFile(graph);
+  auto mmap = LoadTiered(graph, path, StorageTier::kMmap);
+  ASSERT_TRUE(mmap.ok());
+
+  // Hits-only queries never refine, so the scan streams every shard from
+  // the map and nothing materializes.
+  QueryOptions qopts;
+  qopts.approximate_hits_only = true;
+  qopts.update_index = false;
+  for (uint32_t q : {3u, 77u, 240u}) {
+    ASSERT_TRUE((*mmap)->QueryWithOptions(q, qopts).ok());
+  }
+  const StorageResidency residency = (*mmap)->index().residency();
+  EXPECT_EQ(residency.resident_shards, 0u);
+  EXPECT_EQ(residency.shard_faults, 0u);
+  EXPECT_GT(residency.mmap_bytes, 0u);
+}
+
+TEST_F(StorageTierTest, V3HeaderCarriesLayoutAndOpensWithoutPayload) {
+  const Graph graph = TestGraph();
+  const std::string path = MakeIndexFile(graph);
+  auto info = ReadIndexFileInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->format_version, 3u);
+  ASSERT_GT(info->num_shards, 1u);
+  ASSERT_EQ(info->shard_offsets.size(), info->num_shards);
+  // The directory resolves to a gapless partition of the payload region
+  // ending exactly at EOF.
+  for (uint32_t s = 0; s + 1 < info->num_shards; ++s) {
+    EXPECT_EQ(info->shard_offsets[s] + info->shard_bytes[s],
+              info->shard_offsets[s + 1]);
+  }
+  EXPECT_EQ(info->shard_offsets.back() + info->shard_bytes.back(),
+            info->file_bytes);
+  // The hub blob sits between the header and the first shard payload.
+  EXPECT_GE(info->shard_offsets.front(), info->hub_entries * 12);
+}
+
+// --------------------------------------------------------------- faults --
+
+TEST_F(StorageTierTest, ShardCorruptionEagerOnHeapLazyAndPinnedOnMmap) {
+  const Graph graph = TestGraph();
+  const std::string path = MakeIndexFile(graph);
+  auto info = ReadIndexFileInfo(path);
+  ASSERT_TRUE(info.ok());
+  ASSERT_GT(info->num_shards, 2u);
+  const uint32_t bad_shard = info->num_shards / 2;
+  FlipByte(path, info->shard_offsets[bad_shard] +
+                     info->shard_bytes[bad_shard] / 2);
+
+  // Heap tier verifies every payload at load time: the open fails.
+  auto heap = LoadTiered(graph, path, StorageTier::kHeap);
+  ASSERT_FALSE(heap.ok());
+  EXPECT_EQ(heap.status().code(), StatusCode::kCorruption);
+
+  // Mmap tier opens fine (the header checksum never covers payloads)...
+  auto mmap = LoadTiered(graph, path, StorageTier::kMmap);
+  ASSERT_TRUE(mmap.ok()) << mmap.status().ToString();
+  EXPECT_TRUE((*mmap)->index().storage_status().ok());
+
+  // ...and the first query's scan touches the bad shard, surfacing the
+  // same Corruption, pinned to it.
+  auto result = (*mmap)->Query(5, 8);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().ToString().find(std::to_string(bad_shard)),
+            std::string::npos)
+      << result.status().ToString();
+  // Sticky: the source remembers the first error.
+  EXPECT_FALSE((*mmap)->index().storage_status().ok());
+}
+
+TEST_F(StorageTierTest, HubBlobCorruptionDefersToFirstRefiningQuery) {
+  const Graph graph = TestGraph();
+  const std::string path = MakeIndexFile(graph);
+  auto info = ReadIndexFileInfo(path);
+  ASSERT_TRUE(info.ok());
+  ASSERT_GT(info->hub_entries, 0u);
+  // The hub blob ends where the first shard payload begins.
+  FlipByte(path, info->shard_offsets.front() - 1);
+
+  // Heap v3 loads parse (and verify) the blob eagerly.
+  auto heap = LoadTiered(graph, path, StorageTier::kHeap);
+  ASSERT_FALSE(heap.ok());
+  EXPECT_EQ(heap.status().code(), StatusCode::kCorruption);
+
+  // The mmap open defers the blob entirely...
+  auto mmap = LoadTiered(graph, path, StorageTier::kMmap);
+  ASSERT_TRUE(mmap.ok()) << mmap.status().ToString();
+
+  // ...a prune-only query never touches hub proximities and still works...
+  QueryOptions hits_only;
+  hits_only.approximate_hits_only = true;
+  hits_only.update_index = false;
+  EXPECT_TRUE((*mmap)->QueryWithOptions(9, hits_only).ok());
+
+  // ...and the first refining query materializes the hub store and fails
+  // with the blob's checksum mismatch instead of silently refining
+  // against an empty store.
+  auto refined = (*mmap)->Query(9, 8);
+  ASSERT_FALSE(refined.ok());
+  EXPECT_EQ(refined.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(refined.status().ToString().find("hub"), std::string::npos)
+      << refined.status().ToString();
+}
+
+TEST_F(StorageTierTest, DemotedShardRefaultsIdenticallyAndDirtyRefuses) {
+  const Graph graph = TestGraph();
+  const std::string path = MakeIndexFile(graph);
+  auto heap = LoadTiered(graph, path, StorageTier::kHeap);
+  auto mmap = LoadTiered(graph, path, StorageTier::kMmap);
+  ASSERT_TRUE(heap.ok() && mmap.ok());
+  LowerBoundIndex index((*mmap)->index());  // private clone to mutate
+
+  // Promote, demote, re-read: the refault must reproduce the same bytes.
+  index.EnsureShardResident(0);
+  EXPECT_TRUE(index.ShardResident(0));
+  EXPECT_TRUE(index.ReleaseCleanShard(0));
+  EXPECT_FALSE(index.ShardResident(0));
+  EXPECT_GT(index.residency().shard_evictions, 0u);
+  const auto [lo, hi] = index.ShardNodeRange(0);
+  for (uint32_t u = lo; u < hi; ++u) {
+    const auto expected = (*heap)->index().LowerBounds(u);
+    const auto actual = index.LowerBounds(u);  // refaults shard 0
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), actual.begin()));
+  }
+
+  // A written shard's file bytes are stale: demotion must refuse.
+  // ApplyIfTighter only accepts a strictly smaller residue, so pick a
+  // node the coarse build left unrefined.
+  uint32_t victim = UINT32_MAX;
+  for (uint32_t u = lo; u < hi; ++u) {
+    if (index.ResidueL1(u) > 0.0) {
+      victim = u;
+      break;
+    }
+  }
+  ASSERT_NE(victim, UINT32_MAX) << "coarse build left shard 0 fully refined";
+  IndexDelta delta;
+  delta.node = victim;
+  delta.topk = {0.9, 0.5};
+  delta.residue_l1 = 0.0;
+  ASSERT_TRUE(index.ApplyIfTighter(std::move(delta)));
+  EXPECT_TRUE(index.ShardResident(0));
+  EXPECT_FALSE(index.ReleaseCleanShard(0));
+  EXPECT_EQ(index.LowerBounds(victim)[0], 0.9);
+}
+
+TEST_F(StorageTierTest, ConcurrentColdReadsFaultsAndScansAreSafe) {
+  const Graph graph = TestGraph();
+  const std::string path = MakeIndexFile(graph);
+  auto heap = LoadTiered(graph, path, StorageTier::kHeap);
+  auto mmap = LoadTiered(graph, path, StorageTier::kMmap);
+  ASSERT_TRUE(heap.ok() && mmap.ok());
+  const LowerBoundIndex& cold = (*mmap)->index();
+  const LowerBoundIndex& warm = (*heap)->index();
+
+  // Readers fault shards, stream cold scans, and materialize the lazy
+  // hub store concurrently; every observation must match the heap twin.
+  // (ci.sh runs this under TSan — the assertions double as race probes
+  // for the memoized verify/fault/hub paths.)
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        for (uint32_t s = 0; s < cold.num_shards(); ++s) {
+          const ShardScanView view = cold.ShardScan(s);
+          if (!view.status.ok()) mismatches.fetch_add(1);
+        }
+      }
+      if (t % 4 < 2) {
+        if (!cold.EnsureHubStore().ok()) mismatches.fetch_add(1);
+        if (cold.hub_store().num_hubs() != warm.hub_store().num_hubs()) {
+          mismatches.fetch_add(1);
+        }
+      }
+      for (uint32_t u = t; u < cold.num_nodes(); u += 8) {
+        if (cold.ResidueL1(u) != warm.ResidueL1(u)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cold.residency().resident_shards, cold.num_shards());
+}
+
+// -------------------------------------------------------------- serving --
+
+struct ServedState {
+  std::vector<QueryResponse> responses;
+  std::vector<std::vector<double>> bounds;
+  std::vector<double> residues;
+};
+
+ServedState ServeWorkload(ReverseTopkEngine& engine, ServingOptions options,
+                          const std::vector<QueryRequest>& workload) {
+  options.publish_threshold = 0;  // one explicit publish at the end
+  options.cache.capacity = 0;
+  auto serving = ServingEngine::Create(engine, options);
+  EXPECT_TRUE(serving.ok());
+  (*serving)->Pause();
+  std::vector<std::future<QueryResponse>> futures;
+  for (const QueryRequest& request : workload) {
+    futures.push_back((*serving)->Submit(request));
+  }
+  (*serving)->Resume();
+  ServedState state;
+  for (auto& future : futures) state.responses.push_back(future.get());
+  (*serving)->PublishPending();
+  const auto snap = (*serving)->snapshot();
+  for (uint32_t u = 0; u < snap->index().num_nodes(); ++u) {
+    const auto bounds = snap->index().LowerBounds(u);
+    state.bounds.emplace_back(bounds.begin(), bounds.end());
+    state.residues.push_back(snap->index().ResidueL1(u));
+  }
+  return state;
+}
+
+std::vector<QueryRequest> ServingWorkload(uint32_t n, size_t count) {
+  std::vector<QueryRequest> requests;
+  Rng rng(91);
+  for (size_t i = 0; i < count; ++i) {
+    QueryRequest request;
+    request.query = static_cast<uint32_t>(rng.Uniform(n));
+    request.k = 4 + static_cast<uint32_t>(rng.Uniform(8));
+    request.update_index = true;
+    request.bypass_cache = true;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+TEST_F(StorageTierTest, ServingPublishesIdenticalEpochsAcrossTiers) {
+  const Graph graph = TestGraph();
+  const std::string path = MakeIndexFile(graph);
+  const auto workload = ServingWorkload(graph.num_nodes(), 32);
+
+  ServingOptions unbatched;
+  unbatched.num_threads = 4;
+  auto heap = LoadTiered(graph, path, StorageTier::kHeap);
+  ASSERT_TRUE(heap.ok());
+  const ServedState baseline = ServeWorkload(**heap, unbatched, workload);
+
+  // CoW publish over mapped shards at several thread counts: identical
+  // responses and identical published index state.
+  for (int threads : {1, 2, 4}) {
+    auto mmap = LoadTiered(graph, path, StorageTier::kMmap);
+    ASSERT_TRUE(mmap.ok());
+    ServingOptions options;
+    options.num_threads = threads;
+    const ServedState run = ServeWorkload(**mmap, options, workload);
+    ASSERT_EQ(baseline.responses.size(), run.responses.size());
+    for (size_t i = 0; i < run.responses.size(); ++i) {
+      ASSERT_EQ(baseline.responses[i].status.code(),
+                run.responses[i].status.code());
+      ASSERT_EQ(baseline.responses[i].results, run.responses[i].results)
+          << "threads=" << threads << " i=" << i;
+    }
+    ASSERT_EQ(baseline.bounds, run.bounds) << "threads=" << threads;
+    ASSERT_EQ(baseline.residues, run.residues) << "threads=" << threads;
+  }
+}
+
+TEST_F(StorageTierTest, ResidencyManagerPromotesHotAndDemotesIdleShards) {
+  const Graph graph = TestGraph();
+  const std::string path = MakeIndexFile(graph);
+  auto mmap = LoadTiered(graph, path, StorageTier::kMmap);
+  ASSERT_TRUE(mmap.ok());
+
+  ServingOptions options;
+  options.num_threads = 2;
+  options.publish_threshold = 0;
+  options.cache.capacity = 0;
+  options.shard_promote_touches = 1;  // any scanned candidate promotes
+  options.shard_demote_epochs = 1;    // one idle epoch demotes
+  auto serving = ServingEngine::Create(**mmap, options);
+  ASSERT_TRUE(serving.ok());
+
+  // Hits-only traffic is the promote-path scenario: the prune scan
+  // streams every shard cold (recording candidate touches) but never
+  // refines, so nothing faults resident on its own. (Exact queries fault
+  // shards during refinement write-back, bypassing promotion entirely.)
+  QueryRequest request;
+  request.update_index = false;
+  request.bypass_cache = true;
+  request.tier = AccuracyTier::kApproximateHitsOnly;
+  for (uint32_t q : {11u, 42u, 160u, 301u}) {
+    request.query = q;
+    request.k = 6;
+    EXPECT_TRUE((*serving)->Submit(request).get().status.ok());
+  }
+  const size_t promoted = (*serving)->MaintainResidency();
+  EXPECT_GT(promoted, 0u);
+  const ServingStats hot = (*serving)->stats();
+  EXPECT_GT(hot.resident_shards, 0u);
+  EXPECT_GT(hot.shard_faults, 0u);
+  EXPECT_GT(hot.mmap_bytes, 0u);
+
+  // Two quiet epochs: everything promoted above is idle and clean, so it
+  // demotes back to the map.
+  (*serving)->MaintainResidency();
+  (*serving)->MaintainResidency();
+  const ServingStats cold = (*serving)->stats();
+  EXPECT_EQ(cold.resident_shards, 0u);
+  EXPECT_GT(cold.shard_evictions, 0u);
+
+  // Residency moves are result-invisible: an exact query after the
+  // demotions refaults what it needs and still succeeds.
+  request.query = 42;
+  request.tier = AccuracyTier::kExact;
+  auto after = (*serving)->Submit(request).get();
+  EXPECT_TRUE(after.status.ok());
+}
+
+// ----------------------------------------------------------- scheduling --
+
+TEST_F(StorageTierTest, AffineRangeCoversEveryElementExactlyOnce) {
+  ThreadPool pool(4);
+  for (int64_t count : {1, 2, 7, 64, 1000}) {
+    for (int parallelism : {0, 1, 2, 4}) {
+      std::vector<std::atomic<uint32_t>> seen(count);
+      for (auto& c : seen) c.store(0);
+      ParallelForRangeAffine(&pool, 0, count, parallelism,
+                             [&](int64_t lo, int64_t hi) {
+                               ASSERT_LE(lo, hi);
+                               for (int64_t i = lo; i < hi; ++i) {
+                                 seen[i].fetch_add(1);
+                               }
+                             });
+      for (int64_t i = 0; i < count; ++i) {
+        ASSERT_EQ(seen[i].load(), 1u)
+            << "count=" << count << " parallelism=" << parallelism
+            << " i=" << i;
+      }
+    }
+  }
+  // Re-entrant: affine scans issued from inside pool tasks must not
+  // deadlock (workers participate in their own drain).
+  std::atomic<int64_t> total{0};
+  ParallelForRange(&pool, 0, 4, 4, 1, [&](int64_t, int64_t) {
+    ParallelForRangeAffine(&pool, 0, 100, 4, [&](int64_t lo, int64_t hi) {
+      total.fetch_add(hi - lo);
+    });
+  });
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST_F(StorageTierTest, RefinementLogBatchAppendMatchesSequential) {
+  // The same per-producer delta vectors, appended one by one vs as one
+  // batch: identical dedup winners and identical stats.
+  const auto make_batches = [] {
+    std::vector<std::vector<IndexDelta>> batches;
+    Rng rng(17);
+    for (int producer = 0; producer < 6; ++producer) {
+      std::vector<IndexDelta> deltas;
+      for (int i = 0; i < 10; ++i) {
+        IndexDelta delta;
+        delta.node = static_cast<uint32_t>(rng.Uniform(20));  // collisions
+        delta.topk = {1.0 - 0.01 * producer, 0.5};
+        delta.residue_l1 = 0.1 * static_cast<double>(rng.Uniform(8));
+        deltas.push_back(std::move(delta));
+      }
+      batches.push_back(std::move(deltas));
+    }
+    return batches;
+  };
+
+  RefinementLog sequential;
+  for (auto& deltas : make_batches()) sequential.Append(std::move(deltas));
+  RefinementLog batched;
+  batched.Append(make_batches());
+
+  EXPECT_EQ(sequential.stats().appended, batched.stats().appended);
+  EXPECT_EQ(sequential.stats().superseded, batched.stats().superseded);
+  EXPECT_EQ(sequential.stats().pending, batched.stats().pending);
+
+  auto a = sequential.Drain();
+  auto b = batched.Drain();
+  const auto by_node = [](const IndexDelta& x, const IndexDelta& y) {
+    return x.node < y.node;
+  };
+  std::sort(a.begin(), a.end(), by_node);
+  std::sort(b.begin(), b.end(), by_node);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].topk, b[i].topk);
+    EXPECT_EQ(a[i].residue_l1, b[i].residue_l1);
+  }
+}
+
+}  // namespace
+}  // namespace rtk

@@ -65,6 +65,31 @@ std::string g_metrics_path;
 size_t g_max_batch = 1;
 double g_batch_window = 0.0;
 
+// --storage-tier heap|mmap: memory tier for index loads (query, stats,
+// index-info, serve-bench). mmap opens the v2 file in O(directory) time
+// and faults shard bytes on demand; results are identical.
+std::string g_storage_tier = "heap";
+
+// --read-only: serve-bench serves approximate hits-only requests with no
+// index write-back and skips the mutex-serialized baseline. With the mmap
+// tier, every scan streams from the map and nothing materializes — the
+// anonymous-memory footprint stays near-constant no matter how large the
+// index file is (the larger-than-RAM serving mode; CI runs it under
+// ulimit -d).
+bool g_read_only = false;
+
+bool ParseStorageTier(StorageTier* tier) {
+  if (g_storage_tier == "heap") {
+    *tier = StorageTier::kHeap;
+    return true;
+  }
+  if (g_storage_tier == "mmap") {
+    *tier = StorageTier::kMmap;
+    return true;
+  }
+  return false;
+}
+
 // Strips "--backend foo" / "--backend=foo" / "--metrics out.prom" /
 // "--max-batch 16" / "--batch-window 0.001" out of argv, compacting it so
 // the positional subcommand parsers never see the flags.
@@ -104,6 +129,18 @@ int ExtractBackendFlag(int argc, char** argv) {
       g_batch_window = std::atof(arg.c_str() + 15);
       continue;
     }
+    if (arg == "--storage-tier" && i + 1 < argc) {
+      g_storage_tier = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--storage-tier=", 0) == 0) {
+      g_storage_tier = arg.substr(15);
+      continue;
+    }
+    if (arg == "--read-only") {
+      g_read_only = true;
+      continue;
+    }
     argv[out++] = argv[i];
   }
   return out;
@@ -135,7 +172,11 @@ int Usage() {
                "  rtk_cli serve-bench <edge_list> <index> [k=10] "
                "[queries=500] [threads=hardware] [--backend <name>]\n"
                "                      [--metrics <out.prom>] "
-               "[--max-batch <n>] [--batch-window <seconds>]\n"
+               "[--max-batch <n>] [--batch-window <seconds>] [--read-only]\n"
+               "\n"
+               "index-loading commands also accept --storage-tier heap|mmap\n"
+               "  (mmap: O(directory) open of a v2 file, shard bytes faulted\n"
+               "  on demand; identical results to heap).\n"
                "\n"
                "registered proximity backends (--backend): %s\n"
                "  exact results at every choice: approximate backends run\n"
@@ -146,6 +187,17 @@ int Usage() {
 }
 
 Result<Graph> Load(const std::string& path) { return LoadEdgeList(path); }
+
+// Index-loading commands share the --storage-tier flag through here.
+Result<std::unique_ptr<ReverseTopkEngine>> LoadEngine(
+    Graph graph, const std::string& index_path) {
+  EngineOptions opts;
+  if (!ParseStorageTier(&opts.storage_tier)) {
+    return Status::InvalidArgument("unknown --storage-tier: " + g_storage_tier +
+                                   " (expected heap|mmap)");
+  }
+  return ReverseTopkEngine::LoadFromFile(std::move(graph), index_path, opts);
+}
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -186,7 +238,7 @@ int CmdQuery(int argc, char** argv) {
   if (argc < 6) return Usage();
   auto graph = Load(argv[2]);
   if (!graph.ok()) return Fail(graph.status());
-  auto engine = ReverseTopkEngine::LoadFromFile(std::move(*graph), argv[3], {});
+  auto engine = LoadEngine(std::move(*graph), argv[3]);
   if (!engine.ok()) return Fail(engine.status());
   const uint32_t q = static_cast<uint32_t>(std::atoi(argv[4]));
   const uint32_t k = static_cast<uint32_t>(std::atoi(argv[5]));
@@ -217,7 +269,7 @@ int CmdStats(int argc, char** argv) {
   if (argc < 4) return Usage();
   auto graph = Load(argv[2]);
   if (!graph.ok()) return Fail(graph.status());
-  auto engine = ReverseTopkEngine::LoadFromFile(std::move(*graph), argv[3], {});
+  auto engine = LoadEngine(std::move(*graph), argv[3]);
   if (!engine.ok()) return Fail(engine.status());
   const IndexStats s = (*engine)->index_stats();
   std::printf("nodes:        %u\n", s.num_nodes);
@@ -257,10 +309,25 @@ int CmdIndexInfo(int argc, char** argv) {
     std::printf("shard layout:   none (v1 file; loads into default shards)\n");
   }
 
-  // Full load for the payload-level statistics (verifies checksums too).
+  // Full load for the payload-level statistics. The heap tier verifies
+  // every checksum eagerly; the mmap tier opens in O(directory) and the
+  // residency line below shows 0 resident shards.
   ThreadPool pool(ThreadPool::DefaultThreads());
-  auto index = LoadIndex(path, info->num_nodes, &pool);
+  LoadIndexOptions load_opts;
+  load_opts.pool = &pool;
+  if (!ParseStorageTier(&load_opts.tier)) {
+    return Fail(Status::InvalidArgument("unknown --storage-tier: " +
+                                        g_storage_tier +
+                                        " (expected heap|mmap)"));
+  }
+  auto index = LoadIndex(path, info->num_nodes, load_opts);
   if (!index.ok()) return Fail(index.status());
+  const StorageResidency residency = index->residency();
+  std::printf("storage tier:   %s (%u / %u shards resident%s)\n",
+              residency.tier == StorageTier::kMmap ? "mmap" : "heap",
+              residency.resident_shards, residency.total_shards,
+              residency.tier == StorageTier::kMmap ? ", cold shards on map"
+                                                   : "");
   const IndexStats s = index->ComputeStats();
   std::printf("exact nodes:    %llu / %u\n",
               static_cast<unsigned long long>(s.exact_nodes), s.num_nodes);
@@ -283,6 +350,29 @@ int CmdIndexInfo(int argc, char** argv) {
                 static_cast<unsigned long long>(min_b),
                 static_cast<unsigned long long>(sum / s.shard_bytes.size()),
                 static_cast<unsigned long long>(max_b));
+  }
+  if (!info->shard_offsets.empty()) {
+    // Per-shard directory table: file regions straight from the v2 header
+    // (no payload read), plus each shard's residency under the loaded
+    // tier. With many shards, elide the middle.
+    std::printf("shard directory (offset / bytes / checksum / residency):\n");
+    const uint32_t shards = info->num_shards;
+    constexpr uint32_t kHead = 8, kTail = 4;
+    for (uint32_t sh = 0; sh < shards; ++sh) {
+      if (shards > kHead + kTail + 1 && sh == kHead) {
+        std::printf("  ... %u shards elided ...\n", shards - kHead - kTail);
+        sh = shards - kTail - 1;
+        continue;
+      }
+      const auto [first, last] = index->ShardNodeRange(sh);
+      std::printf("  shard %4u  nodes [%7u, %7u)  @%-10llu %9llu B"
+                  "  %016llx  %s\n",
+                  sh, first, last,
+                  static_cast<unsigned long long>(info->shard_offsets[sh]),
+                  static_cast<unsigned long long>(info->shard_bytes[sh]),
+                  static_cast<unsigned long long>(info->shard_checksums[sh]),
+                  index->ShardResident(sh) ? "resident" : "cold");
+    }
   }
   return 0;
 }
@@ -402,7 +492,7 @@ int CmdServeBench(int argc, char** argv) {
   if (argc < 4) return Usage();
   auto graph = Load(argv[2]);
   if (!graph.ok()) return Fail(graph.status());
-  auto engine = ReverseTopkEngine::LoadFromFile(std::move(*graph), argv[3], {});
+  auto engine = LoadEngine(std::move(*graph), argv[3]);
   if (!engine.ok()) return Fail(engine.status());
   const uint32_t k = argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 10;
   const size_t num_queries =
@@ -430,7 +520,25 @@ int CmdServeBench(int argc, char** argv) {
   auto serving = ServingEngine::Create(**engine, serving_opts);
   if (!serving.ok()) return Fail(serving.status());
   Stopwatch serving_watch;
-  const std::vector<QueryResponse> batch = (*serving)->QueryBatch(workload, k);
+  std::vector<QueryResponse> batch;
+  if (g_read_only) {
+    // Hits-only, no write-back: pure streaming prune scans. Over the mmap
+    // tier this serves without materializing a single shard.
+    std::vector<QueryRequest> requests;
+    requests.reserve(workload.size());
+    for (uint32_t q : workload) {
+      QueryRequest request;
+      request.query = q;
+      request.k = k;
+      request.priority = RequestPriority::kBatch;
+      request.tier = AccuracyTier::kApproximateHitsOnly;
+      request.update_index = false;
+      requests.push_back(std::move(request));
+    }
+    batch = (*serving)->SubmitBatch(std::move(requests));
+  } else {
+    batch = (*serving)->QueryBatch(workload, k);
+  }
   const double serving_seconds = serving_watch.ElapsedSeconds();
   for (const QueryResponse& response : batch) {
     if (!response.ok()) return Fail(response.status);
@@ -446,33 +554,43 @@ int CmdServeBench(int argc, char** argv) {
   if (latency == nullptr) latency = &empty_latency;
 
   // Baseline: the engine's only safe concurrent recipe without the serving
-  // layer — every query behind one global mutex.
-  std::mutex mu;
-  std::vector<std::thread> baseline_threads;
-  const size_t per_thread = (workload.size() + threads - 1) / threads;
-  Stopwatch mutex_watch;
-  for (int t = 0; t < threads; ++t) {
-    const size_t begin = std::min(workload.size(), t * per_thread);
-    const size_t end = std::min(workload.size(), begin + per_thread);
-    baseline_threads.emplace_back([&, begin, end] {
-      for (size_t i = begin; i < end; ++i) {
-        std::lock_guard<std::mutex> lock(mu);
-        auto r = (*engine)->Query(workload[i], k);
-        if (!r.ok()) std::abort();
-      }
-    });
+  // layer — every query behind one global mutex. Skipped in --read-only
+  // mode: the direct engine path refines (defeating the bounded-memory
+  // point of the mode), and the comparison would be hits-only vs exact.
+  double mutex_seconds = 0.0;
+  if (!g_read_only) {
+    std::mutex mu;
+    std::vector<std::thread> baseline_threads;
+    const size_t per_thread = (workload.size() + threads - 1) / threads;
+    Stopwatch mutex_watch;
+    for (int t = 0; t < threads; ++t) {
+      const size_t begin = std::min(workload.size(), t * per_thread);
+      const size_t end = std::min(workload.size(), begin + per_thread);
+      baseline_threads.emplace_back([&, begin, end] {
+        for (size_t i = begin; i < end; ++i) {
+          std::lock_guard<std::mutex> lock(mu);
+          auto r = (*engine)->Query(workload[i], k);
+          if (!r.ok()) std::abort();
+        }
+      });
+    }
+    for (auto& thread : baseline_threads) thread.join();
+    mutex_seconds = mutex_watch.ElapsedSeconds();
   }
-  for (auto& thread : baseline_threads) thread.join();
-  const double mutex_seconds = mutex_watch.ElapsedSeconds();
 
   const double n = static_cast<double>(workload.size());
-  std::printf("workload: %zu queries, k=%u, %d threads\n", workload.size(), k,
-              threads);
-  std::printf("mutex-serialized engine: %8.1f q/s  (%.3fs)\n",
-              n / mutex_seconds, mutex_seconds);
-  std::printf("serving engine:          %8.1f q/s  (%.3fs)  %.2fx\n",
-              n / serving_seconds, serving_seconds,
-              mutex_seconds / serving_seconds);
+  std::printf("workload: %zu queries, k=%u, %d threads%s\n", workload.size(),
+              k, threads, g_read_only ? " (read-only, hits-only tier)" : "");
+  if (g_read_only) {
+    std::printf("serving engine:          %8.1f q/s  (%.3fs)\n",
+                n / serving_seconds, serving_seconds);
+  } else {
+    std::printf("mutex-serialized engine: %8.1f q/s  (%.3fs)\n",
+                n / mutex_seconds, mutex_seconds);
+    std::printf("serving engine:          %8.1f q/s  (%.3fs)  %.2fx\n",
+                n / serving_seconds, serving_seconds,
+                mutex_seconds / serving_seconds);
+  }
   std::printf("request latency: p50 %.2f ms / p95 %.2f ms / p99 %.2f ms "
               "(queue peak %zu, shed %llu)\n",
               latency->Percentile(50) * 1e3, latency->Percentile(95) * 1e3,
@@ -492,6 +610,14 @@ int CmdServeBench(int argc, char** argv) {
               static_cast<unsigned long long>(sstats.exact_tier_queries),
               static_cast<unsigned long long>(sstats.approximate_tier_queries),
               static_cast<unsigned long long>(sstats.backend_escalations));
+  std::printf("storage tier: %s (%llu / %llu shards resident, "
+              "%llu faults, %llu evictions, %.2f MiB mapped)\n",
+              g_storage_tier.c_str(),
+              static_cast<unsigned long long>(sstats.resident_shards),
+              static_cast<unsigned long long>(sstats.index_shards),
+              static_cast<unsigned long long>(sstats.shard_faults),
+              static_cast<unsigned long long>(sstats.shard_evictions),
+              sstats.mmap_bytes / 1048576.0);
   const std::vector<QueryTrace> slow = (*serving)->SlowQueries();
   if (!slow.empty()) {
     std::printf("slow queries (>= %s): %zu retained\n",
