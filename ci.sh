@@ -18,22 +18,34 @@
 #                                 batch width and thread count;
 #                                 storage_tier_test: heap-vs-mmap result
 #                                 identity + concurrent cold faults over
-#                                 one shared mmap source)
+#                                 one shared mmap source;
+#                                 mutation_serving_test: live ApplyUpdates
+#                                 mutation drains racing queries and
+#                                 refinement write-back, with fresh-build
+#                                 equivalence asserted after every publish)
 #                                 race-detection-clean
 #   pass 3  ASan+UBSan          — library + tests only, runs the storage-
 #                                 heavy subset (index/serving/pipeline/
 #                                 proximity-backend/fault-injection/
-#                                 storage-tier) so shard lifetime bugs,
-#                                 buffer overruns in the v2/v3 I/O paths,
-#                                 and UB surface as hard failures
+#                                 storage-tier/mutation-serving) so shard
+#                                 lifetime bugs, buffer overruns in the
+#                                 v2/v3 I/O paths, and UB surface as hard
+#                                 failures
 #   pass 4  Release (-O3 -DNDEBUG) — optimized build; smoke-runs the fig5
 #                                 query-time bench (with --json, validating
 #                                 the machine-readable output) and the
 #                                 serving throughput bench — whose JSON now
 #                                 includes the overload sweep (latency
-#                                 percentiles + shed counts) and the CoW
-#                                 publish-cost sweep and the batch-former
-#                                 occupancy block — plus the micro-SpMM
+#                                 percentiles + shed counts), the CoW
+#                                 publish-cost sweep, the batch-former
+#                                 occupancy block, and the mixed
+#                                 read/write mutation sweep (gated: p95
+#                                 read latency under a background
+#                                 ApplyUpdates stream <= 2x the read-only
+#                                 p95 on the same graph) — plus the
+#                                 dynamic-updates bench JSON (incremental
+#                                 maintenance vs rebuild, schema-checked,
+#                                 small batches must win) and the micro-SpMM
 #                                 smoke, which fails CI if the fused B=8
 #                                 kernel drops below 1.5x the solo SpMV
 #                                 edge rate — so perf regressions fail
@@ -62,7 +74,8 @@ cmake -B build-tsan -S . -DRTK_SANITIZE=thread \
       -DRTK_BUILD_BENCHES=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$JOBS" \
       --target serving_test request_scheduler_test pipeline_test \
-               proximity_backend_test obs_test spmm_test storage_tier_test
+               proximity_backend_test obs_test spmm_test storage_tier_test \
+               mutation_serving_test
 # halt_on_error: any report fails CI instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/request_scheduler_test
@@ -73,6 +86,10 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/spmm_test
 # storage_tier_test: concurrent cold faults / lazy verify / hub-store
 # materialization over one shared mmap source.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/storage_tier_test
+# mutation_serving_test: ApplyUpdates drains racing queries, refinement
+# publishes, and each other — graph-version pinning and the stale-
+# refinement drop are exactly the code TSan must see interleaved.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/mutation_serving_test
 
 echo "=== pass 3: ASan+UBSan build + storage suites ==="
 cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
@@ -80,7 +97,7 @@ cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
 cmake --build build-asan -j "$JOBS" \
       --target index_test fault_injection_test serving_test \
                request_scheduler_test pipeline_test proximity_backend_test \
-               obs_test spmm_test storage_tier_test
+               obs_test spmm_test storage_tier_test mutation_serving_test
 # halt_on_error: any report fails CI instead of just logging.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/index_test
@@ -100,13 +117,15 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/spmm_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/storage_tier_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/mutation_serving_test
 
 echo "=== pass 4: Release build + bench smokes ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DRTK_BUILD_TESTS=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-release -j "$JOBS" \
       --target bench_fig5_query_time bench_serving_throughput bench_micro_spmm \
-               bench_index_load rtk_cli
+               bench_index_load bench_dynamic_updates rtk_cli
 RTK_BENCH_QUERIES=20 RTK_BENCH_SCALE=0.25 \
     ./build-release/bench_fig5_query_time --json build-release/BENCH_fig5.json
 test -s build-release/BENCH_fig5.json
@@ -134,6 +153,52 @@ assert occ['peak_batch'] >= 2, occ
 assert occ['fused_proximity_seconds'] > 0.0, occ
 print('batch occupancy ok: mean %.1f peak %d over %d batches' %
       (occ['mean_batch'], occ['peak_batch'], occ['batches']))
+# Live-mutation gate: a background ApplyUpdates stream must not stall
+# reads — p95 read latency with mutations racing stays within 2x the
+# read-only p95 on the same graph (best-of-3 rounds; the repair runs off
+# the query pool, so only lock coupling could violate this). The sweep
+# must also have actually published mutations.
+rows = doc['mutation_sweep']
+assert rows, 'mutation sweep produced no rows'
+for row in rows:
+    assert row['mutations_applied'] > 0, row
+    assert row['mutation_updates'] > 0, row
+    assert row['p95_ratio'] <= 2.0 + 1e-9, (
+        'read p95 under mutation regressed: %.2fx read-only p95 on %s '
+        '(read-only %.2fms, under mutation %.2fms)' % (
+            row['p95_ratio'], row['graph'], row['read_only_p95_ms'],
+            row['mutation_p95_ms']))
+    print('mutation sweep ok on %s: p95 %.2fms read-only vs %.2fms under '
+          '%d live publishes (ratio %.2fx <= 2x)' % (
+              row['graph'], row['read_only_p95_ms'], row['mutation_p95_ms'],
+              row['mutations_applied'], row['p95_ratio']))
+PYEOF
+# Evolving-graph bench: incremental maintenance must beat (or legitimately
+# fall back to) a full rebuild, and its JSON rides the perf-trajectory
+# artifacts like every other bench.
+RTK_BENCH_SCALE=0.25 \
+    ./build-release/bench_dynamic_updates --json build-release/BENCH_dynamic.json
+test -s build-release/BENCH_dynamic.json
+python3 - <<'PYEOF'
+import json
+doc = json.load(open('build-release/BENCH_dynamic.json'))
+assert doc['bench'] == 'dynamic_updates', doc.get('bench')
+rows = doc['rows']
+assert rows, 'dynamic-updates JSON has no rows'
+for row in rows:
+    for key in ('graph', 'batch_size', 'incremental_seconds',
+                'rebuild_seconds', 'speedup', 'affected_nodes',
+                'fallback_rebuild'):
+        assert key in row, (key, row)
+    assert row['incremental_seconds'] > 0.0 and row['rebuild_seconds'] > 0.0
+    # When the incremental path really ran (no fallback), the smallest
+    # batch must beat a full rebuild: its cost tracks the affected set,
+    # not n. Larger batches legitimately converge to rebuild cost.
+    if row['fallback_rebuild'] == 0 and row['batch_size'] == 2:
+        assert row['speedup'] > 1.0, row
+incr = [r['speedup'] for r in rows if r['fallback_rebuild'] == 0]
+print('dynamic-updates JSON ok: %d rows, best incremental speedup %.1fx' % (
+    len(rows), max(incr) if incr else 0.0))
 PYEOF
 # Fused SpMM smoke: one blocked CSR pass over 8 right-hand sides must beat
 # 8 independent SpMVs by >= 1.5x edge throughput on at least the graph it

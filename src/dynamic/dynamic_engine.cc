@@ -1,10 +1,10 @@
 #include "dynamic/dynamic_engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "dynamic/index_repair.h"
 #include "index/index_builder.h"
 
 namespace rtk {
@@ -107,71 +107,24 @@ Status DynamicReverseTopkEngine::RebuildAffected(
   graph_ = std::move(new_graph);
   auto new_op = std::make_unique<TransitionOperator>(graph_);
 
-  // 1. Refresh the vectors of affected hubs against the new graph.
-  Stopwatch hub_watch;
-  std::vector<uint32_t> affected_hubs;
-  const HubProximityStore& old_store = index_->hub_store();
-  for (uint32_t u : affected) {
-    if (old_store.IsHub(u)) affected_hubs.push_back(u);
-  }
-  RwrOptions solver = options_.engine.solver;
-  solver.alpha = options_.engine.bca.alpha;
+  // Algorithm 1 restricted to the affected set lives in
+  // dynamic/index_repair.cc (shared with the serving-layer mutation
+  // publisher). The repaired index shares every clean storage shard with
+  // the old one copy-on-write, so unaffected nodes cost nothing.
+  IndexRepairOptions repair_opts;
+  repair_opts.solver = options_.engine.solver;
+  repair_opts.solver.alpha = options_.engine.bca.alpha;
+  IndexRepairReport repair_report;
   RTK_ASSIGN_OR_RETURN(
-      HubProximityStore new_store,
-      HubProximityStore::Rebuilt(old_store, *new_op, affected_hubs, solver,
-                                 pool_.get()));
-  report->affected_hubs = static_cast<uint32_t>(affected_hubs.size());
-  report->hub_seconds = hub_watch.ElapsedSeconds();
-
-  // 2. New index shell: unaffected nodes keep their state verbatim.
-  Stopwatch bca_watch;
-  auto new_index = std::make_unique<LowerBoundIndex>(
-      graph_.num_nodes(), index_->capacity_k(), index_->bca_options(),
-      std::move(new_store));
-  const HubProximityStore& store = new_index->hub_store();
-  const uint32_t capacity_k = new_index->capacity_k();
-  std::vector<bool> is_affected(graph_.num_nodes(), false);
-  for (uint32_t u : affected) is_affected[u] = true;
-  for (uint32_t u = 0; u < graph_.num_nodes(); ++u) {
-    if (is_affected[u]) continue;
-    const auto bounds = index_->LowerBounds(u);
-    new_index->SetNode(u, std::vector<double>(bounds.begin(), bounds.end()),
-                       index_->State(u), index_->ResidueL1(u));
-  }
-
-  // 3. Algorithm 1 restricted to the affected set (hubs read their exact
-  // top-K from the refreshed store; non-hubs rerun truncated BCA).
-  const BcaOptions& bca_opts = new_index->bca_options();
-  std::atomic<bool> failed{false};
-  auto rebuild_one = [&](int64_t i) {
-    if (failed.load(std::memory_order_relaxed)) return;
-    const uint32_t u = affected[i];
-    if (store.IsHub(u)) {
-      auto topk = store.TopK(u, capacity_k);
-      std::vector<double> values;
-      values.reserve(topk.size());
-      for (const auto& [id, v] : topk) values.push_back(v);
-      new_index->SetNode(u, values, StoredBcaState{}, /*residue_l1=*/0.0);
-      return;
-    }
-    // One runner per call keeps this trivially thread-safe; the runner's
-    // O(n) workspace allocation is dwarfed by the BCA run itself.
-    BcaRunner runner(*new_op, store.hubs(), bca_opts);
-    runner.Start(u);
-    runner.RunToTermination();
-    auto topk = runner.TopKApprox(store, capacity_k);
-    std::vector<double> values;
-    values.reserve(topk.size());
-    for (const auto& [id, v] : topk) values.push_back(v);
-    new_index->SetNode(u, values, runner.Extract(), runner.ResidueL1());
-  };
-  ParallelFor(pool_.get(), 0, static_cast<int64_t>(affected.size()),
-              rebuild_one);
-  if (failed.load()) return Status::Internal("affected-node rebuild failed");
-  report->bca_seconds = bca_watch.ElapsedSeconds();
+      LowerBoundIndex repaired,
+      RepairAffectedNodes(*index_, *new_op, affected, repair_opts, pool_.get(),
+                          &repair_report));
+  report->affected_hubs = repair_report.affected_hubs;
+  report->hub_seconds = repair_report.hub_seconds;
+  report->bca_seconds = repair_report.bca_seconds;
 
   op_ = std::move(new_op);
-  index_ = std::move(new_index);
+  index_ = std::make_unique<LowerBoundIndex>(std::move(repaired));
   searcher_ = std::make_unique<ReverseTopkSearcher>(*op_, index_.get());
   return Status::OK();
 }

@@ -1,0 +1,121 @@
+#include "dynamic/index_repair.h"
+
+#include <utility>
+
+#include "bca/bca.h"
+#include "common/stopwatch.h"
+
+namespace rtk {
+
+Result<LowerBoundIndex> RepairAffectedNodes(
+    const LowerBoundIndex& index, const TransitionOperator& op,
+    const std::vector<uint32_t>& affected, const IndexRepairOptions& options,
+    ThreadPool* pool, IndexRepairReport* report) {
+  IndexRepairReport local;
+
+  // 1. Refresh the vectors of affected hubs against the new graph;
+  // unaffected vectors (and the hub set and rounding threshold) are
+  // inherited verbatim.
+  Stopwatch hub_watch;
+  std::vector<uint32_t> affected_hubs;
+  const HubProximityStore& old_store = index.hub_store();
+  for (uint32_t u : affected) {
+    if (old_store.IsHub(u)) affected_hubs.push_back(u);
+  }
+  RTK_ASSIGN_OR_RETURN(
+      HubProximityStore new_store,
+      HubProximityStore::Rebuilt(old_store, op, affected_hubs, options.solver,
+                                 pool));
+  local.affected_hubs = static_cast<uint32_t>(affected_hubs.size());
+  local.hub_seconds = hub_watch.ElapsedSeconds();
+
+  // 2. Hub-refresh copy: shares every storage shard with the source until
+  // written, but serves the refreshed P_H. Sound because unaffected
+  // nodes' hub ink references only unaffected hubs, whose vectors the
+  // refreshed store keeps byte-identical.
+  Stopwatch bca_watch;
+  LowerBoundIndex next(index, std::move(new_store));
+  const HubProximityStore& store = next.hub_store();
+  const uint32_t capacity_k = next.capacity_k();
+  const BcaOptions& bca_opts = next.bca_options();
+
+  // 3. Algorithm 1 restricted to the affected set. Compute first
+  // (read-only against the shared shards), write after — SetNode
+  // privatizes a copy-on-write shard, and the write contract is one
+  // thread per shard.
+  struct RepairedRow {
+    std::vector<double> values;  // descending top-K (empty = trivial bound)
+    StoredBcaState state;
+    double residue_l1 = 1.0;
+  };
+  std::vector<RepairedRow> rows(affected.size());
+  ParallelForRange(
+      pool, 0, static_cast<int64_t>(affected.size()), /*max_parallelism=*/0,
+      /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const uint32_t u = affected[i];
+          RepairedRow& row = rows[i];
+          if (store.IsHub(u)) {
+            // Hubs read their exact top-K from the refreshed store.
+            auto topk = store.TopK(u, capacity_k);
+            row.values.reserve(topk.size());
+            for (const auto& [id, value] : topk) row.values.push_back(value);
+            row.residue_l1 = 0.0;
+            continue;
+          }
+          if (!options.repair_bca) {
+            // Trivial-but-valid bound: the INITIAL BCA state (unit ink at
+            // u), not an empty one — an empty state has |r|_1 = 0, which
+            // the refine stage reads as "run complete, p_u == 0 exactly"
+            // and confirms every candidate. Unit residue at u makes a
+            // later Load() equivalent to Start(u): refinement re-derives
+            // the row from scratch, exactly.
+            row.state.residue = {{u, 1.0}};
+            continue;
+          }
+          // One runner per node keeps this trivially thread-safe; the
+          // runner's O(n) workspace is dwarfed by the BCA run itself.
+          BcaRunner runner(op, store.hubs(), bca_opts);
+          runner.Start(u);
+          runner.RunToTermination();
+          auto topk = runner.TopKApprox(store, capacity_k);
+          row.values.reserve(topk.size());
+          for (const auto& [id, value] : topk) row.values.push_back(value);
+          row.state = runner.Extract();
+          row.residue_l1 = runner.ResidueL1();
+        }
+      });
+  if (!options.repair_bca) {
+    local.invalidated_nodes =
+        static_cast<uint32_t>(affected.size()) - local.affected_hubs;
+  }
+
+  // 4. Install the repaired rows, one task per dirty shard (`affected` is
+  // sorted, so each shard's run is contiguous and writes sequentially).
+  std::vector<std::pair<size_t, size_t>> shard_runs;
+  size_t i = 0;
+  while (i < affected.size()) {
+    const uint32_t shard = next.ShardOf(affected[i]);
+    size_t j = i;
+    while (j < affected.size() && next.ShardOf(affected[j]) == shard) ++j;
+    shard_runs.emplace_back(i, j);
+    i = j;
+  }
+  ParallelForRange(
+      pool, 0, static_cast<int64_t>(shard_runs.size()), /*max_parallelism=*/0,
+      /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        for (int64_t g = lo; g < hi; ++g) {
+          for (size_t p = shard_runs[g].first; p < shard_runs[g].second; ++p) {
+            const uint32_t u = affected[p];
+            next.SetNode(u, rows[p].values, std::move(rows[p].state),
+                         rows[p].residue_l1);
+          }
+        }
+      });
+  local.bca_seconds = bca_watch.ElapsedSeconds();
+
+  if (report != nullptr) *report = local;
+  return next;
+}
+
+}  // namespace rtk

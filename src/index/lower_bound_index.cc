@@ -43,6 +43,17 @@ LowerBoundIndex::LowerBoundIndex(BcaOptions bca_options,
 }
 
 LowerBoundIndex::LowerBoundIndex(const LowerBoundIndex& other,
+                                 HubProximityStore hub_store)
+    : num_nodes_(other.num_nodes_),
+      capacity_k_(other.capacity_k_),
+      bca_options_(other.bca_options_),
+      hub_store_(
+          std::make_shared<const HubProximityStore>(std::move(hub_store))),
+      storage_(other.storage_) {
+  assert(hub_store_->num_nodes() == num_nodes_);
+}
+
+LowerBoundIndex::LowerBoundIndex(const LowerBoundIndex& other,
                                  uint32_t shard_nodes)
     : num_nodes_(other.num_nodes_),
       capacity_k_(other.capacity_k_),

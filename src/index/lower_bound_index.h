@@ -99,6 +99,14 @@ class LowerBoundIndex {
   /// mode this materializes every source shard).
   LowerBoundIndex(const LowerBoundIndex& other, uint32_t shard_nodes);
 
+  /// \brief Hub-refresh copy: shares every storage shard with `other`
+  /// (copy-on-write, like the plain copy) but serves `hub_store` instead
+  /// of other's matrix. The incremental-repair path (dynamic/index_repair):
+  /// sound when the replacement store keeps the vectors of every hub whose
+  /// ink unaffected nodes hold — which HubProximityStore::Rebuilt
+  /// guarantees for unaffected hubs.
+  LowerBoundIndex(const LowerBoundIndex& other, HubProximityStore hub_store);
+
   /// \brief Wraps an existing storage (the mmap loader's path: the storage
   /// carries the shape and the backing source; nothing is materialized).
   LowerBoundIndex(BcaOptions bca_options, HubProximityStore hub_store,

@@ -21,6 +21,12 @@ std::string_view TracePhaseToString(TracePhase phase) {
       return "refine";
     case TracePhase::kWriteBack:
       return "write_back";
+    case TracePhase::kMutateGraph:
+      return "mutate_graph";
+    case TracePhase::kMutateRepair:
+      return "mutate_repair";
+    case TracePhase::kMutatePublish:
+      return "mutate_publish";
   }
   return "unknown";
 }

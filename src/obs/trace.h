@@ -41,6 +41,10 @@ enum class TracePhase : uint8_t {
   kPrune = 4,       ///< stage 2 bound scan
   kRefine = 5,      ///< stage 3 BCA refinement
   kWriteBack = 6,   ///< merge + delta emission / index write-back
+  // Mutation-publish phases (synthetic traces with backend="mutation").
+  kMutateGraph = 7,    ///< apply edge batches + affected-set computation
+  kMutateRepair = 8,   ///< hub re-solve + per-node repair (or full rebuild)
+  kMutatePublish = 9,  ///< version advance + snapshot/batcher swap
 };
 
 std::string_view TracePhaseToString(TracePhase phase);

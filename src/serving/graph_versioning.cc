@@ -1,0 +1,25 @@
+#include "serving/graph_versioning.h"
+
+#include <utility>
+
+namespace rtk {
+
+std::shared_ptr<const GraphVersion> GraphVersion::Adopt(Graph graph,
+                                                        uint64_t version) {
+  std::shared_ptr<GraphVersion> out(
+      new GraphVersion(nullptr, nullptr, version));
+  out->owned_graph_ = std::make_unique<const Graph>(std::move(graph));
+  out->owned_op_ = std::make_unique<const TransitionOperator>(
+      *out->owned_graph_);
+  out->graph_ = out->owned_graph_.get();
+  out->op_ = out->owned_op_.get();
+  return out;
+}
+
+std::shared_ptr<const GraphVersion> GraphVersion::Borrow(
+    const Graph& graph, const TransitionOperator& op, uint64_t version) {
+  return std::shared_ptr<const GraphVersion>(
+      new GraphVersion(&graph, &op, version));
+}
+
+}  // namespace rtk

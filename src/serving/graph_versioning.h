@@ -1,0 +1,69 @@
+// GraphVersion: one immutable (graph, transition operator) pair under a
+// monotonically increasing version number — the serving layer's unit of
+// graph identity.
+//
+// Live mutation makes the graph itself a versioned chain, exactly like the
+// index's epoch chain: every IndexSnapshot pins the GraphVersion its index
+// was built/repaired against, so an in-flight query keeps reading the
+// graph+index PAIR it started on even while the mutation drain publishes a
+// successor. The pairing is what makes mutation safe without any reader
+// locks — a searcher's transition operator and its lower bounds always
+// describe the same graph, and both outlive the query via shared_ptr.
+//
+// A TransitionOperator holds a raw pointer to its graph, so a GraphVersion
+// is pinned to the heap and non-copyable: Adopt() takes ownership of a
+// freshly rebuilt graph (mutation publishes), Borrow() references an
+// engine-owned graph that is documented to outlive the serving layer
+// (version 0 at ServingEngine creation — no graph copy on startup).
+
+#ifndef RTK_SERVING_GRAPH_VERSIONING_H_
+#define RTK_SERVING_GRAPH_VERSIONING_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.h"
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief An immutable graph + transition operator at a fixed version.
+/// Always heap-allocated (the operator points into the graph); share via
+/// shared_ptr<const GraphVersion>.
+class GraphVersion {
+ public:
+  /// \brief Owns `graph`: builds the operator over the adopted copy.
+  /// The mutation publisher's path.
+  static std::shared_ptr<const GraphVersion> Adopt(Graph graph,
+                                                   uint64_t version);
+
+  /// \brief References an externally-owned graph/operator that must
+  /// outlive this version (the source engine's, for version 0).
+  static std::shared_ptr<const GraphVersion> Borrow(
+      const Graph& graph, const TransitionOperator& op, uint64_t version);
+
+  GraphVersion(const GraphVersion&) = delete;
+  GraphVersion& operator=(const GraphVersion&) = delete;
+
+  const Graph& graph() const { return *graph_; }
+  const TransitionOperator& op() const { return *op_; }
+
+  /// \brief 0 for the creation-time graph, +1 per mutation publish.
+  uint64_t version() const { return version_; }
+
+ private:
+  GraphVersion(const Graph* graph, const TransitionOperator* op,
+               uint64_t version)
+      : graph_(graph), op_(op), version_(version) {}
+
+  // Set only on the Adopt path; Borrow leaves them null.
+  std::unique_ptr<const Graph> owned_graph_;
+  std::unique_ptr<const TransitionOperator> owned_op_;
+  const Graph* graph_;
+  const TransitionOperator* op_;
+  uint64_t version_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_SERVING_GRAPH_VERSIONING_H_

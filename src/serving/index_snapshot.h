@@ -23,17 +23,30 @@
 #include <utility>
 
 #include "index/lower_bound_index.h"
+#include "serving/graph_versioning.h"
 
 namespace rtk {
 
 /// \brief An immutable index at a fixed epoch. Cheap to share (the index
 /// lives behind a shared_ptr); a worker holding a snapshot keeps the index
 /// alive across publishes of newer epochs.
+///
+/// Since live graph mutation, a snapshot also pins the GraphVersion its
+/// index was built or repaired against: a worker that acquired a snapshot
+/// reads that graph+index pair to completion, no matter how many mutation
+/// publishes happen meanwhile (both halves are shared-ownership, so the
+/// pair outlives its epoch).
 class IndexSnapshot {
  public:
   IndexSnapshot(LowerBoundIndex index, uint64_t epoch)
       : index_(std::make_shared<const LowerBoundIndex>(std::move(index))),
         epoch_(epoch) {}
+
+  IndexSnapshot(LowerBoundIndex index, uint64_t epoch,
+                std::shared_ptr<const GraphVersion> graph_version)
+      : index_(std::make_shared<const LowerBoundIndex>(std::move(index))),
+        epoch_(epoch),
+        graph_version_(std::move(graph_version)) {}
 
   /// \brief The frozen index. Safe for concurrent reads from any thread.
   const LowerBoundIndex& index() const { return *index_; }
@@ -47,9 +60,16 @@ class IndexSnapshot {
   /// the query cache sound.
   uint64_t epoch() const { return epoch_; }
 
+  /// \brief The graph this snapshot's index describes (null for snapshots
+  /// constructed without versioning — the serving engine always sets it).
+  const std::shared_ptr<const GraphVersion>& graph_version() const {
+    return graph_version_;
+  }
+
  private:
   std::shared_ptr<const LowerBoundIndex> index_;
   uint64_t epoch_;
+  std::shared_ptr<const GraphVersion> graph_version_;
 };
 
 }  // namespace rtk

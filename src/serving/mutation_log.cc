@@ -1,0 +1,73 @@
+#include "serving/mutation_log.h"
+
+#include <string_view>
+
+namespace rtk {
+
+std::string_view MutationRepairModeToString(MutationRepairMode mode) {
+  switch (mode) {
+    case MutationRepairMode::kRepaired:
+      return "repaired";
+    case MutationRepairMode::kInvalidated:
+      return "invalidated";
+    case MutationRepairMode::kRebuilt:
+      return "rebuilt";
+  }
+  return "unknown";
+}
+
+std::future<MutationResult> MutationLog::Enqueue(GraphUpdateBatch updates) {
+  std::promise<MutationResult> promise;
+  std::future<MutationResult> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shut_down_) {
+      batches_enqueued_ += 1;
+      updates_enqueued_ += updates.size();
+      pending_.push_back(
+          PendingBatch{std::move(updates), std::move(promise)});
+      return future;
+    }
+  }
+  MutationResult cancelled;
+  cancelled.status = Status::Cancelled("serving engine shut down");
+  promise.set_value(std::move(cancelled));
+  return future;
+}
+
+std::vector<MutationLog::PendingBatch> MutationLog::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingBatch> out;
+  out.swap(pending_);
+  return out;
+}
+
+size_t MutationLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+MutationLogStats MutationLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MutationLogStats stats;
+  stats.batches_enqueued = batches_enqueued_;
+  stats.updates_enqueued = updates_enqueued_;
+  stats.pending = pending_.size();
+  return stats;
+}
+
+void MutationLog::Shutdown() {
+  std::vector<PendingBatch> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shut_down_ = true;
+    leftover.swap(pending_);
+  }
+  for (PendingBatch& batch : leftover) {
+    MutationResult cancelled;
+    cancelled.status = Status::Cancelled("serving engine shut down");
+    batch.promise.set_value(std::move(cancelled));
+  }
+}
+
+}  // namespace rtk

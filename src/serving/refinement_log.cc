@@ -6,14 +6,36 @@
 
 namespace rtk {
 
-void RefinementLog::Append(std::vector<IndexDelta> deltas) {
+void RefinementLog::Append(std::vector<IndexDelta> deltas,
+                           uint64_t graph_version) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (graph_version != kAnyGraphVersion && graph_version != graph_version_) {
+    dropped_stale_ += deltas.size();
+    return;
+  }
   AppendLocked(std::move(deltas));
 }
 
-void RefinementLog::Append(std::vector<std::vector<IndexDelta>> batches) {
+void RefinementLog::Append(std::vector<std::vector<IndexDelta>> batches,
+                           uint64_t graph_version) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (graph_version != kAnyGraphVersion && graph_version != graph_version_) {
+    for (const auto& deltas : batches) dropped_stale_ += deltas.size();
+    return;
+  }
   for (auto& deltas : batches) AppendLocked(std::move(deltas));
+}
+
+void RefinementLog::AdvanceGraphVersion(uint64_t graph_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dropped_stale_ += tightest_.size();
+  tightest_.clear();
+  graph_version_ = graph_version;
+}
+
+uint64_t RefinementLog::graph_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_version_;
 }
 
 void RefinementLog::AppendLocked(std::vector<IndexDelta> deltas) {
@@ -88,6 +110,7 @@ RefinementLogStats RefinementLog::stats() const {
   stats.superseded = superseded_;
   stats.pending = tightest_.size();
   stats.deferred = deferred_;
+  stats.dropped_stale = dropped_stale_;
   return stats;
 }
 

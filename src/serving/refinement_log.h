@@ -8,6 +8,15 @@
 // deltas into a clone of the current snapshot via
 // LowerBoundIndex::ApplyIfTighter, and publishes the result as a new
 // epoch. Thread-safe for any number of concurrent appenders and drainers.
+//
+// Live graph mutation adds a versioning contract: a delta refined against
+// graph version V is meaningless — possibly unsound — under version V+1,
+// so appends are tagged with the graph version their snapshot served and
+// the mutation publisher calls AdvanceGraphVersion before swapping in the
+// new snapshot. Stale deltas are dropped, never re-validated: refinement
+// is a pure optimization (bounds re-tighten through subsequent queries),
+// so dropping is always sound and the drop count is observable
+// (stats().dropped_stale, rtk_serving_refinements_dropped_stale_total).
 
 #ifndef RTK_SERVING_REFINEMENT_LOG_H_
 #define RTK_SERVING_REFINEMENT_LOG_H_
@@ -34,6 +43,9 @@ struct RefinementLogStats {
   /// shard was below min_shard_pending (cumulative across calls; the same
   /// delta counts once per deferring drain).
   uint64_t deferred = 0;
+  /// Deltas discarded by the graph-version contract: tagged with a stale
+  /// version at Append, or pending when AdvanceGraphVersion purged.
+  uint64_t dropped_stale = 0;
 };
 
 /// \brief Pending deltas of one storage shard, sorted by node.
@@ -45,16 +57,34 @@ struct ShardDeltaGroup {
 /// \brief Thread-safe, per-node-deduplicating delta queue.
 class RefinementLog {
  public:
+  /// Version tag accepting any graph version (producers outside the
+  /// serving engine's versioned chain, and unit tests).
+  static constexpr uint64_t kAnyGraphVersion = ~0ull;
+
   /// \brief Merges `deltas` into the pending set. For each node, the delta
   /// with the smaller residue wins (ties keep the incumbent).
-  void Append(std::vector<IndexDelta> deltas);
+  /// `graph_version` is the version of the snapshot the producing query
+  /// served: the whole vector is dropped (counted dropped_stale) when it
+  /// no longer matches the log's current version.
+  void Append(std::vector<IndexDelta> deltas,
+              uint64_t graph_version = kAnyGraphVersion);
 
   /// \brief Batch form: merges every per-producer delta vector under ONE
   /// lock acquisition, in batch order. Equivalent to calling Append on
   /// each element in sequence (same dedup winners, same stats), but a
   /// fused query group / per-worker aggregation pays the log mutex once
   /// instead of once per lane.
-  void Append(std::vector<std::vector<IndexDelta>> batches);
+  void Append(std::vector<std::vector<IndexDelta>> batches,
+              uint64_t graph_version = kAnyGraphVersion);
+
+  /// \brief Mutation-publish barrier: purges every pending delta (they
+  /// were refined against the outgoing graph) and makes `graph_version`
+  /// the only accepted tag. Call BEFORE swapping in the new snapshot so
+  /// no delta of the old version can slip in between.
+  void AdvanceGraphVersion(uint64_t graph_version);
+
+  /// \brief The version Append currently accepts (0 until advanced).
+  uint64_t graph_version() const;
 
   /// \brief Removes and returns all pending deltas (unordered).
   std::vector<IndexDelta> Drain();
@@ -86,6 +116,8 @@ class RefinementLog {
   uint64_t appended_ = 0;
   uint64_t superseded_ = 0;
   uint64_t deferred_ = 0;
+  uint64_t dropped_stale_ = 0;
+  uint64_t graph_version_ = 0;
 };
 
 }  // namespace rtk

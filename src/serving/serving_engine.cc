@@ -7,8 +7,11 @@
 #include <thread>
 #include <utility>
 
+#include "bca/hub_selection.h"
+#include "dynamic/index_repair.h"
 #include "exec/proximity_backends.h"
 #include "exec/query_pipeline.h"
+#include "index/index_builder.h"
 #include "index/shard_backing.h"
 
 namespace rtk {
@@ -56,8 +59,9 @@ TraceDisposition DispositionOf(const Status& status) {
 
 ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
                              const ServingOptions& options)
-    : op_(&engine.transition()),
-      options_(options),
+    : options_(options),
+      engine_options_(engine.options()),
+      num_nodes_(engine.graph().num_nodes()),
       queue_(options.max_pending),
       cache_(options.cache),
       traces_(options.trace_ring_capacity),
@@ -67,8 +71,15 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
                                                : ThreadPool::DefaultThreads();
   pool_ = std::make_unique<ThreadPool>(threads);
   if (options_.pin_workers) pool_->BindWorkersToCpus();
+  // Version 0 borrows the source engine's graph and operator (the engine
+  // must outlive the serving layer — the pre-mutation contract, kept so
+  // startup never copies the graph); every mutation publish adopts an
+  // owned graph+operator pair instead.
+  std::shared_ptr<const GraphVersion> version0 =
+      GraphVersion::Borrow(engine.graph(), engine.transition(), /*version=*/0);
   snapshot_ = std::make_shared<const IndexSnapshot>(
-      LowerBoundIndex(engine.index()), /*epoch=*/0);
+      LowerBoundIndex(engine.index()), /*epoch=*/0, version0);
+  batchers_ = MakeBatchers(version0);
   if (snapshot_->index().storage_tier() == StorageTier::kMmap) {
     residency_ = std::make_unique<ShardResidencyManager>(
         options_.shard_promote_touches, options_.shard_demote_epochs,
@@ -109,6 +120,24 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
       &registry_.GetCounter("rtk_serving_shard_faults_total");
   ins_.shard_evictions =
       &registry_.GetCounter("rtk_serving_shard_evictions_total");
+  ins_.mutation_batches =
+      &registry_.GetCounter("rtk_serving_mutation_batches_total");
+  ins_.mutation_rejected =
+      &registry_.GetCounter("rtk_serving_mutation_batches_rejected_total");
+  ins_.mutation_updates =
+      &registry_.GetCounter("rtk_serving_mutation_updates_total");
+  ins_.mutation_affected =
+      &registry_.GetCounter("rtk_serving_mutation_affected_nodes_total");
+  ins_.mutation_hub_resolves =
+      &registry_.GetCounter("rtk_serving_mutation_hub_resolves_total");
+  ins_.mutation_repairs =
+      &registry_.GetCounter("rtk_serving_mutation_repairs_total");
+  ins_.mutation_invalidations =
+      &registry_.GetCounter("rtk_serving_mutation_invalidations_total");
+  ins_.mutation_rebuilds =
+      &registry_.GetCounter("rtk_serving_mutation_rebuilds_total");
+  ins_.refinements_dropped_stale =
+      &registry_.GetCounter("rtk_serving_refinements_dropped_stale_total");
   ins_.queue_wait = &registry_.GetHistogram("rtk_serving_queue_wait_seconds");
   ins_.fused_proximity_seconds =
       &registry_.GetHistogram("rtk_serving_fused_proximity_seconds");
@@ -122,6 +151,8 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
   ins_.prune_seconds = &registry_.GetHistogram("rtk_serving_prune_seconds");
   ins_.refine_seconds = &registry_.GetHistogram("rtk_serving_refine_seconds");
   ins_.publish_seconds = &registry_.GetHistogram("rtk_serving_publish_seconds");
+  ins_.mutation_publish_seconds =
+      &registry_.GetHistogram("rtk_serving_mutation_publish_seconds");
   ins_.other_backend_latency =
       &registry_.GetHistogram("rtk_serving_request_backend_other_seconds");
   ins_.queue_depth = &registry_.GetGauge("rtk_serving_queue_depth");
@@ -133,6 +164,8 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
   ins_.cache_entries = &registry_.GetGauge("rtk_serving_cache_entries");
   ins_.resident_shards = &registry_.GetGauge("rtk_serving_resident_shards");
   ins_.mmap_bytes = &registry_.GetGauge("rtk_serving_mmap_bytes");
+  ins_.graph_version = &registry_.GetGauge("rtk_serving_graph_version");
+  ins_.pending_mutations = &registry_.GetGauge("rtk_serving_pending_mutations");
   for (std::string_view name : RegisteredProximityBackendNames()) {
     ins_.backend_latency.emplace_back(
         std::string(name),
@@ -140,21 +173,28 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
                                 MetricSafe(name) + "_seconds"));
   }
 
-  if (options_.max_batch > 1) {
-    // One fused backend per tier, kept only when it actually fuses —
-    // a tier configured with a loop-of-Compute backend gains nothing
-    // from gathering, so its requests keep the single-query path.
-    const auto build_batcher =
-        [this](const ProximityBackendConfig& config)
-        -> std::unique_ptr<ProximityBackend> {
-      Result<std::unique_ptr<ProximityBackend>> built =
-          MakeProximityBackend(*op_, config);
-      if (!built.ok() || !(*built)->fused_multi()) return nullptr;
-      return std::move(*built);
-    };
-    exact_batcher_ = build_batcher(options_.exact_tier_backend);
-    approx_batcher_ = build_batcher(options_.approximate_tier_backend);
-  }
+  // Start the mutation worker last: its drain reads every member above.
+  mutation_thread_ = std::thread([this] { MutationWorker(); });
+}
+
+std::shared_ptr<const ServingEngine::TierBatchers> ServingEngine::MakeBatchers(
+    const std::shared_ptr<const GraphVersion>& version) const {
+  if (options_.max_batch <= 1) return nullptr;
+  // One fused backend per tier, kept only when it actually fuses — a tier
+  // configured with a loop-of-Compute backend gains nothing from
+  // gathering, so its requests keep the single-query path.
+  const auto build_batcher = [&](const ProximityBackendConfig& config)
+      -> std::unique_ptr<ProximityBackend> {
+    Result<std::unique_ptr<ProximityBackend>> built =
+        MakeProximityBackend(version->op(), config);
+    if (!built.ok() || !(*built)->fused_multi()) return nullptr;
+    return std::move(*built);
+  };
+  auto batchers = std::make_shared<TierBatchers>();
+  batchers->version = version;
+  batchers->exact = build_batcher(options_.exact_tier_backend);
+  batchers->approx = build_batcher(options_.approximate_tier_backend);
+  return batchers;
 }
 
 Histogram* ServingEngine::BackendLatency(const std::string& backend) {
@@ -185,6 +225,17 @@ void ServingEngine::FinishTrace(QueryTrace* trace,
 }
 
 ServingEngine::~ServingEngine() {
+  // Stop the mutation worker first: its repairs fan out onto the pool, so
+  // it must be joined before the pool is torn down.
+  {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    mutation_stop_ = true;
+  }
+  mutation_cv_.notify_all();
+  if (mutation_thread_.joinable()) mutation_thread_.join();
+  // Fail batches enqueued after the worker's last drain with kCancelled
+  // (and every later Enqueue resolves the same way).
+  mutations_.Shutdown();
   // The pool destructor drains its task queue before joining, so every
   // dispatch ticket runs; tickets that executed while paused (or raced a
   // concurrent pop) left their requests behind.
@@ -369,16 +420,29 @@ void ServingEngine::DispatchOne() {
 
 void ServingEngine::ExecuteBatch(std::vector<PendingQuery> items) {
   // Group by accuracy tier — the per-tier backend config is what decides
-  // both fusability and the solve's knobs; the snapshot (epoch) is taken
-  // once per group at solve time. Partitioning preserves pop order
-  // (strict priority, FIFO within a class) inside each group.
+  // both fusability and the solve's knobs. Snapshot and batchers are read
+  // under ONE lock so the pair is consistent; a version mismatch (a
+  // mutation publish swapped the snapshot between the two fields being
+  // rebuilt — impossible today since they swap together, but cheap to
+  // guard) falls back to single-query execution, which is always correct.
+  std::shared_ptr<const IndexSnapshot> snap;
+  std::shared_ptr<const TierBatchers> batchers;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snap = snapshot_;
+    batchers = batchers_;
+  }
+  const bool fusable = batchers != nullptr &&
+                       snap->graph_version() != nullptr &&
+                       batchers->version == snap->graph_version();
   std::vector<PendingQuery> exact_group;
   std::vector<PendingQuery> approx_group;
   for (PendingQuery& item : items) {
     const bool approx =
         item.request.tier == AccuracyTier::kApproximateHitsOnly;
     ProximityBackend* batcher =
-        approx ? approx_batcher_.get() : exact_batcher_.get();
+        !fusable ? nullptr
+                 : (approx ? batchers->approx.get() : batchers->exact.get());
     if (batcher == nullptr) {
       // This tier's backend cannot fuse; run the ordinary path.
       ExecuteRequest(std::move(item));
@@ -386,12 +450,17 @@ void ServingEngine::ExecuteBatch(std::vector<PendingQuery> items) {
     }
     (approx ? approx_group : exact_group).push_back(std::move(item));
   }
-  RunFusedGroup(std::move(exact_group), exact_batcher_.get());
-  RunFusedGroup(std::move(approx_group), approx_batcher_.get());
+  if (!fusable) return;
+  // `batchers` stays alive across both groups (the local shared_ptr), so
+  // a concurrent mutation publish swapping batchers_ cannot free the
+  // backends mid-solve.
+  RunFusedGroup(std::move(exact_group), batchers->exact.get(), snap);
+  RunFusedGroup(std::move(approx_group), batchers->approx.get(), snap);
 }
 
 void ServingEngine::RunFusedGroup(std::vector<PendingQuery> items,
-                                  ProximityBackend* batcher) {
+                                  ProximityBackend* batcher,
+                                  std::shared_ptr<const IndexSnapshot> snap) {
   if (items.empty()) return;
   // Requests that cannot occupy a lane take the ordinary single path:
   // already-tripped controls abort there without spending solve work, and
@@ -402,7 +471,7 @@ void ServingEngine::RunFusedGroup(std::vector<PendingQuery> items,
   for (PendingQuery& item : items) {
     const ExecControl control{item.request.deadline, item.request.cancel};
     const bool tripped = control.active() && !control.Check().ok();
-    if (tripped || item.request.query >= op_->num_nodes()) {
+    if (tripped || item.request.query >= num_nodes_) {
       ExecuteRequest(std::move(item));
     } else {
       live.push_back(std::move(item));
@@ -423,10 +492,10 @@ void ServingEngine::RunFusedGroup(std::vector<PendingQuery> items,
                                             std::memory_order_relaxed)) {
   }
 
-  // One snapshot and one pooled searcher serve the whole group; every
-  // lane's response reports this epoch, exactly as if each request had
-  // popped it individually.
-  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  // One snapshot (the caller's, matching the batcher's graph version) and
+  // one pooled searcher serve the whole group; every lane's response
+  // reports this epoch, exactly as if each request had popped it
+  // individually.
   PooledSearcher pooled = AcquireSearcher(snap);
 
   // Stable ExecControl storage: the solver keeps per-lane pointers and
@@ -484,9 +553,14 @@ void ServingEngine::RunFusedGroup(std::vector<PendingQuery> items,
   // Append strictly BEFORE resolving any lane's future: a caller that has
   // joined its futures and then flushes the log (PublishPending) must
   // observe this group's write-back, exactly as on the single path where
-  // each request appends before delivering.
+  // each request appends before delivering. The append is tagged with the
+  // graph version the group served — a mutation publish racing this
+  // group makes the whole append a no-op (stale bounds must never reach a
+  // post-mutation index).
   const bool appended = !group_deltas.empty();
-  if (appended) log_.Append(std::move(group_deltas));
+  if (appended) {
+    log_.Append(std::move(group_deltas), snap->graph_version()->version());
+  }
   for (DeferredDelivery& d : deliveries) d.deliver(std::move(d.response));
   if (appended) MaybePublish();
 }
@@ -667,7 +741,10 @@ void ServingEngine::ExecuteAdmitted(
       // after the fan-back (and runs the publish check once).
       group_sink->push_back(std::move(deltas));
     } else {
-      log_.Append(std::move(deltas));
+      // Tagged with the version served: a delta refined against a
+      // pre-mutation snapshot is dropped, never folded into the new
+      // graph's index.
+      log_.Append(std::move(deltas), snap->graph_version()->version());
       MaybePublish();
     }
   }
@@ -761,7 +838,11 @@ ServingEngine::PooledSearcher ServingEngine::AcquireSearcher(
   }
   PooledSearcher pooled;
   pooled.snapshot = snap;
-  pooled.searcher = std::make_unique<ReverseTopkSearcher>(*op_, snap->index());
+  // The searcher reads the graph+index pair the snapshot pins: a worker
+  // that acquired a pre-mutation snapshot keeps querying the matching
+  // pre-mutation operator, no matter how many publishes race it.
+  pooled.searcher = std::make_unique<ReverseTopkSearcher>(
+      snap->graph_version()->op(), snap->index());
   // Lend the worker pool to the searcher's pipeline: when the serving
   // layer is configured with query.num_threads != 1, idle workers pick up
   // a big query's stage shards (the pipeline's fan-out is pool-reentrant,
@@ -849,8 +930,9 @@ uint64_t ServingEngine::PublishLocked(size_t min_shard_pending,
   // and demotions ride the same snapshot swap instead of paying their own.
   ApplyResidencyLocked(&next);
   ins_.shards_copied->Increment(next.cow_shard_copies());
-  auto fresh = std::make_shared<const IndexSnapshot>(std::move(next),
-                                                     current->epoch() + 1);
+  // A refinement publish keeps the graph version: only mutations move it.
+  auto fresh = std::make_shared<const IndexSnapshot>(
+      std::move(next), current->epoch() + 1, current->graph_version());
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = fresh;
@@ -895,8 +977,8 @@ size_t ServingEngine::MaintainResidency() {
   // unaffected (shards are shared; demotion only clears the clone's
   // slot). Pooled searchers hold bound span pointers into the old
   // snapshot's materializations, so the pool is swept like any publish.
-  auto fresh =
-      std::make_shared<const IndexSnapshot>(std::move(next), current->epoch());
+  auto fresh = std::make_shared<const IndexSnapshot>(
+      std::move(next), current->epoch(), current->graph_version());
   {
     std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
     snapshot_ = fresh;
@@ -907,6 +989,253 @@ size_t ServingEngine::MaintainResidency() {
   }
   SyncBackingMetrics();
   return moved;
+}
+
+// ------------------------------------------------------------- mutation --
+
+std::future<MutationResult> ServingEngine::ApplyUpdates(
+    GraphUpdateBatch updates) {
+  std::future<MutationResult> future = mutations_.Enqueue(std::move(updates));
+  {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    mutation_wake_ = true;
+  }
+  mutation_cv_.notify_one();
+  return future;
+}
+
+void ServingEngine::MutationWorker() {
+  std::unique_lock<std::mutex> lock(mutation_mu_);
+  while (true) {
+    mutation_cv_.wait(lock,
+                      [this] { return mutation_stop_ || mutation_wake_; });
+    if (mutation_stop_) return;
+    mutation_wake_ = false;
+    lock.unlock();
+    {
+      // Same single-writer lock as refinement publishes: a mutation drain
+      // and a delta publish can never interleave their snapshot swaps.
+      // Queries are never blocked — their publish path only try_locks.
+      std::lock_guard<std::mutex> publish(publish_mu_);
+      DrainMutations();
+    }
+    lock.lock();
+  }
+}
+
+void ServingEngine::DrainMutations() {
+  std::vector<MutationLog::PendingBatch> batches = mutations_.Drain();
+  if (batches.empty()) return;
+  const SteadyTimePoint drain_began = SteadyClock::now();
+  std::shared_ptr<const IndexSnapshot> current = snapshot();
+  const std::shared_ptr<const GraphVersion>& base = current->graph_version();
+
+  QueryTrace trace;
+  QueryTrace* trace_ptr = traces_.enabled() ? &trace : nullptr;
+  if (trace_ptr != nullptr) trace.StartAt(drain_began);
+
+  // Phase 1 — graph: fold the batches into a working copy in FIFO order,
+  // one batch at a time so a malformed batch fails alone (ApplyEdgeUpdates
+  // validates the whole batch against the graph it receives, so a rejected
+  // batch leaves no partial updates behind).
+  Graph working = base->graph();
+  std::vector<Status> outcomes;
+  outcomes.reserve(batches.size());
+  GraphUpdateBatch all_updates;
+  size_t applied_batches = 0;
+  for (MutationLog::PendingBatch& batch : batches) {
+    Result<Graph> next =
+        ApplyEdgeUpdates(working, batch.updates, options_.mutation_graph);
+    if (!next.ok()) {
+      outcomes.push_back(next.status());
+      continue;
+    }
+    working = std::move(*next);
+    outcomes.push_back(Status::OK());
+    ++applied_batches;
+    all_updates.insert(all_updates.end(), batch.updates.begin(),
+                       batch.updates.end());
+  }
+  if (batches.size() > applied_batches) {
+    ins_.mutation_rejected->Increment(batches.size() - applied_batches);
+  }
+  if (applied_batches == 0) {
+    // Nothing changed; the rejected batches report the unchanged world.
+    for (size_t i = 0; i < batches.size(); ++i) {
+      MutationResult result;
+      result.status = std::move(outcomes[i]);
+      result.graph_version = base->version();
+      result.epoch = current->epoch();
+      batches[i].promise.set_value(std::move(result));
+    }
+    return;
+  }
+
+  // Affected set on the FINAL graph, seeded by every applied batch's
+  // modified sources. Sound for multi-batch drains: any changed walk's
+  // first modified traversal starts at some batch's source, and the walk
+  // prefix reaching it survives into the final graph (conservative for
+  // edges a later batch reverted). The sweep is capped at the rebuild
+  // threshold — beyond it the set's exact size no longer matters.
+  const auto repair_cap = static_cast<uint32_t>(
+      options_.mutation_repair_fraction * static_cast<double>(num_nodes_));
+  const auto rebuild_cap = std::max<uint32_t>(
+      1, static_cast<uint32_t>(options_.mutation_rebuild_fraction *
+                               static_cast<double>(num_nodes_)));
+  ReverseReachability affected =
+      ReverseReachableFrom(working, ModifiedSources(all_updates), rebuild_cap);
+  MutationRepairMode mode = MutationRepairMode::kRepaired;
+  if (affected.truncated || affected.nodes.size() > rebuild_cap) {
+    mode = MutationRepairMode::kRebuilt;
+  } else if (affected.nodes.size() > repair_cap) {
+    mode = MutationRepairMode::kInvalidated;
+  }
+  if (trace_ptr != nullptr) {
+    trace.EndSpan(TracePhase::kMutateGraph, drain_began);
+  }
+
+  auto next_version =
+      GraphVersion::Adopt(std::move(working), base->version() + 1);
+
+  // Phase 2 — index: exact repair / conservative invalidation (both
+  // re-solve the affected hub vectors — a stale P_H row would poison
+  // hub-ink redemption at every node that banks ink on that hub) or a
+  // full rebuild with fresh hub selection. The repair runs off the query
+  // pool by default (inline on this thread, or on a dedicated pool when
+  // mutation_threads > 1): stealing query workers for background repair
+  // inflates read tail latency by the repair duty cycle.
+  ThreadPool* repair_pool = pool_.get();
+  if (options_.mutation_threads == 1) {
+    repair_pool = nullptr;
+  } else if (options_.mutation_threads > 1) {
+    if (mutation_pool_ == nullptr) {
+      mutation_pool_ =
+          std::make_unique<ThreadPool>(options_.mutation_threads);
+    }
+    repair_pool = mutation_pool_.get();
+  }
+  const SteadyTimePoint repair_began = SteadyClock::now();
+  IndexRepairReport repair_report;
+  uint64_t hubs_resolved = 0;
+  uint64_t affected_count = 0;
+  Result<LowerBoundIndex> rebuilt = [&]() -> Result<LowerBoundIndex> {
+    if (mode == MutationRepairMode::kRebuilt) {
+      HubSelectionOptions hub_opts = engine_options_.hub_selection;
+      hub_opts.alpha = engine_options_.bca.alpha;
+      RTK_ASSIGN_OR_RETURN(std::vector<uint32_t> hubs,
+                           SelectHubs(next_version->graph(), hub_opts));
+      hubs_resolved = hubs.size();
+      affected_count = num_nodes_;
+      IndexBuildOptions build_opts;
+      build_opts.capacity_k = engine_options_.capacity_k;
+      build_opts.bca = engine_options_.bca;
+      build_opts.hub_store.rwr = engine_options_.solver;
+      build_opts.hub_store.rwr.alpha = engine_options_.bca.alpha;
+      build_opts.hub_store.rounding_omega = engine_options_.rounding_omega;
+      build_opts.shard_nodes = current->index().shard_nodes();
+      return BuildLowerBoundIndex(next_version->op(), hubs, build_opts,
+                                  repair_pool);
+    }
+    IndexRepairOptions repair_opts;
+    repair_opts.solver = engine_options_.solver;
+    repair_opts.solver.alpha = engine_options_.bca.alpha;
+    repair_opts.repair_bca = mode == MutationRepairMode::kRepaired;
+    RTK_ASSIGN_OR_RETURN(
+        LowerBoundIndex repaired,
+        RepairAffectedNodes(current->index(), next_version->op(),
+                            affected.nodes, repair_opts, repair_pool,
+                            &repair_report));
+    hubs_resolved = repair_report.affected_hubs;
+    affected_count = affected.nodes.size();
+    return repaired;
+  }();
+  if (!rebuilt.ok()) {
+    // Index repair failed (cannot normally happen on a graph that already
+    // validated): the old snapshot keeps serving; every batch learns the
+    // error. Batches that failed validation keep their own status.
+    for (size_t i = 0; i < batches.size(); ++i) {
+      MutationResult result;
+      result.status =
+          outcomes[i].ok() ? rebuilt.status() : std::move(outcomes[i]);
+      result.graph_version = base->version();
+      result.epoch = current->epoch();
+      batches[i].promise.set_value(std::move(result));
+    }
+    return;
+  }
+  if (trace_ptr != nullptr) {
+    trace.EndSpan(TracePhase::kMutateRepair, repair_began);
+  }
+
+  // Phase 3 — publish. Version-advance the refinement log BEFORE the
+  // snapshot swap: a pending delta tagged with the old version is purged
+  // here, a late append of one is dropped by its tag, and a worker that
+  // already serves the new snapshot tags the new version and is accepted.
+  // No stale refinement can cross the mutation boundary.
+  const SteadyTimePoint publish_began = SteadyClock::now();
+  log_.AdvanceGraphVersion(next_version->version());
+  auto fresh = std::make_shared<const IndexSnapshot>(
+      std::move(*rebuilt), current->epoch() + 1, next_version);
+  std::shared_ptr<const TierBatchers> fresh_batchers =
+      MakeBatchers(next_version);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = fresh;
+    batchers_ = std::move(fresh_batchers);
+  }
+  {
+    // Pooled searchers read the old graph+index pair; retire them.
+    std::lock_guard<std::mutex> lock(searchers_mu_);
+    free_searchers_.clear();
+  }
+  // Cached answers describe the old graph; the new epoch keys them out,
+  // and the purge frees their slots immediately.
+  cache_.PurgeOtherEpochs(fresh->epoch());
+
+  ins_.mutation_batches->Increment(applied_batches);
+  ins_.mutation_updates->Increment(all_updates.size());
+  ins_.mutation_affected->Increment(affected_count);
+  ins_.mutation_hub_resolves->Increment(hubs_resolved);
+  switch (mode) {
+    case MutationRepairMode::kRepaired:
+      ins_.mutation_repairs->Increment();
+      break;
+    case MutationRepairMode::kInvalidated:
+      ins_.mutation_invalidations->Increment();
+      break;
+    case MutationRepairMode::kRebuilt:
+      ins_.mutation_rebuilds->Increment();
+      break;
+  }
+  ins_.epochs_published->Increment();
+  const double total_seconds = SecondsSince(drain_began);
+  // The histogram times the whole drain (graph + repair + publish): it
+  // answers "what does a mutation cost end to end".
+  ins_.mutation_publish_seconds->Record(total_seconds);
+  if (trace_ptr != nullptr) {
+    trace.EndSpan(TracePhase::kMutatePublish, publish_began);
+    trace.backend = "mutation";
+    trace.epoch = fresh->epoch();
+    trace.Finish();
+    traces_.Record(trace);
+  }
+
+  // Resolve promises only after the swap: when an ApplyUpdates future
+  // resolves, queries already serve the new graph. Rejected batches
+  // report the new version/epoch too — the world moved on without them.
+  MutationResult published;
+  published.status = Status::OK();
+  published.graph_version = next_version->version();
+  published.epoch = fresh->epoch();
+  published.mode = mode;
+  published.affected_nodes = affected_count;
+  published.affected_hubs = hubs_resolved;
+  published.apply_seconds = total_seconds;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    MutationResult result = published;
+    if (!outcomes[i].ok()) result.status = std::move(outcomes[i]);
+    batches[i].promise.set_value(std::move(result));
+  }
 }
 
 void ServingEngine::SyncBackingMetrics() const {
@@ -928,6 +1257,20 @@ void ServingEngine::SyncBackingMetrics() const {
   };
   forward(&faults_seen_, source->faults(), ins_.shard_faults);
   forward(&evictions_seen_, source->evictions(), ins_.shard_evictions);
+}
+
+void ServingEngine::SyncLogMetrics() const {
+  // Same CAS-delta forwarding as the backing metrics: the log's total is
+  // monotone, the registry counter gets exactly the unseen delta.
+  const uint64_t now = log_.stats().dropped_stale;
+  uint64_t prev = dropped_stale_seen_.load(std::memory_order_relaxed);
+  while (now > prev) {
+    if (dropped_stale_seen_.compare_exchange_weak(prev, now,
+                                                  std::memory_order_relaxed)) {
+      ins_.refinements_dropped_stale->Increment(now - prev);
+      return;
+    }
+  }
 }
 
 ServingStats ServingEngine::stats() const {
@@ -952,9 +1295,22 @@ ServingStats ServingEngine::stats() const {
   stats.epochs_published = ins_.epochs_published->value();
   stats.shards_copied = ins_.shards_copied->value();
   SyncBackingMetrics();
+  SyncLogMetrics();
   stats.shard_faults = ins_.shard_faults->value();
   stats.shard_evictions = ins_.shard_evictions->value();
+  stats.mutation_batches = ins_.mutation_batches->value();
+  stats.mutation_batches_rejected = ins_.mutation_rejected->value();
+  stats.mutation_updates = ins_.mutation_updates->value();
+  stats.mutation_repairs = ins_.mutation_repairs->value();
+  stats.mutation_invalidations = ins_.mutation_invalidations->value();
+  stats.mutation_rebuilds = ins_.mutation_rebuilds->value();
+  stats.mutation_affected_nodes = ins_.mutation_affected->value();
+  stats.refinements_dropped_stale = ins_.refinements_dropped_stale->value();
+  stats.mutations = mutations_.stats();
+  stats.pending_mutations = stats.mutations.pending;
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  stats.graph_version =
+      snap->graph_version() != nullptr ? snap->graph_version()->version() : 0;
   const StorageResidency residency = snap->index().residency();
   stats.resident_shards = residency.resident_shards;
   stats.mmap_bytes = residency.mmap_bytes;
@@ -984,9 +1340,14 @@ MetricsSnapshot ServingEngine::Metrics() const {
   ins_.index_shards->Set(static_cast<double>(snap->index().num_shards()));
   ins_.cache_entries->Set(static_cast<double>(cache_.stats().entries));
   SyncBackingMetrics();
+  SyncLogMetrics();
   const StorageResidency residency = snap->index().residency();
   ins_.resident_shards->Set(static_cast<double>(residency.resident_shards));
   ins_.mmap_bytes->Set(static_cast<double>(residency.mmap_bytes));
+  ins_.graph_version->Set(static_cast<double>(
+      snap->graph_version() != nullptr ? snap->graph_version()->version()
+                                       : 0));
+  ins_.pending_mutations->Set(static_cast<double>(mutations_.pending()));
   return registry_.Snapshot();
 }
 

@@ -50,28 +50,46 @@
 //    reports which backend served each request.
 //  * Refinement is never lost, only deferred: deltas are merged and
 //    published once enough accumulate (or on explicit PublishPending()).
+//  * Live graph mutation: ApplyUpdates(GraphUpdateBatch) queues edge
+//    updates into a MutationLog; a dedicated mutation worker drains them
+//    under the publish lock, applies the batches to a copy of the current
+//    GraphVersion's graph, repairs the affected index state (or
+//    conservatively invalidates it, or rebuilds — see
+//    mutation_repair_fraction / mutation_rebuild_fraction), and publishes
+//    ONE new IndexSnapshot pinned to the new graph version. Queries never
+//    block on a mutation: in-flight requests finish against the
+//    graph+index pair their snapshot pinned, and requests after the
+//    publish serve results byte-identical (exact tier) to a fresh build
+//    on the mutated graph. Refinement deltas from pre-mutation epochs are
+//    dropped by the RefinementLog's version tag — stale write-back can
+//    never corrupt a post-mutation index.
 
 #ifndef RTK_SERVING_SERVING_ENGINE_H_
 #define RTK_SERVING_SERVING_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/online_query.h"
+#include "dynamic/graph_updates.h"
 #include "exec/proximity_stage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serving/admission_queue.h"
+#include "serving/graph_versioning.h"
 #include "serving/index_snapshot.h"
+#include "serving/mutation_log.h"
 #include "serving/query_cache.h"
 #include "serving/refinement_log.h"
 #include "serving/request.h"
@@ -171,6 +189,32 @@ struct ServingOptions {
   /// thread-affine prune ranges become CPU/NUMA-affine. No-op unless the
   /// build enables RTK_ENABLE_NUMA.
   bool pin_workers = false;
+  /// Live-mutation repair policy, as fractions of n. A mutation drain
+  /// whose affected set (reverse reachability from the modified sources)
+  /// is at most `mutation_repair_fraction * n` runs the exact incremental
+  /// repair (affected hubs re-solved + affected non-hubs re-run truncated
+  /// BCA); a larger set up to `mutation_rebuild_fraction * n` re-solves
+  /// the affected hubs but resets affected non-hubs to the trivial lower
+  /// bound (cheap, still exact for Algorithm 4; refinement re-tightens
+  /// them); beyond that the drain rebuilds the whole index (hubs
+  /// re-selected). Exact-tier results are byte-identical to a fresh build
+  /// under every mode.
+  double mutation_repair_fraction = 0.2;
+  double mutation_rebuild_fraction = 0.75;
+  /// Threads for mutation repair/rebuild work. The default (1) runs the
+  /// repair inline on the dedicated mutation worker thread; values > 1
+  /// give the drain its own small pool. Either way the repair NEVER fans
+  /// out onto the query pool — a background mutation stream must not
+  /// steal query workers, or read latency degrades by the repair duty
+  /// cycle. 0 borrows the query pool (the throughput-over-latency
+  /// choice, e.g. offline bulk loads with no concurrent readers).
+  int mutation_threads = 1;
+  /// Graph-rebuild policy for ApplyUpdates batches (see
+  /// dynamic/graph_updates.h — the dangling policy must preserve ids).
+  GraphBuilderOptions mutation_graph = {
+      .dangling_policy = DanglingPolicy::kSelfLoop,
+      .parallel_edges = ParallelEdgePolicy::kError,
+      .allow_self_loops = true};
 };
 
 /// \brief Aggregate serving counters (all monotone except the *_depth /
@@ -229,8 +273,25 @@ struct ServingStats {
   /// Admission backlog right now / its high-water mark.
   size_t queue_depth = 0;
   size_t peak_queue_depth = 0;
+  /// Live-mutation observables. `mutation_batches` counts APPLIED batches
+  /// (rejected ones — failed validation — count separately); the three
+  /// mode counters sum to the number of mutation publishes.
+  uint64_t mutation_batches = 0;
+  uint64_t mutation_batches_rejected = 0;
+  uint64_t mutation_updates = 0;
+  uint64_t mutation_repairs = 0;
+  uint64_t mutation_invalidations = 0;
+  uint64_t mutation_rebuilds = 0;
+  uint64_t mutation_affected_nodes = 0;
+  /// Refinement deltas dropped by the graph-version tag (== log.dropped_stale).
+  uint64_t refinements_dropped_stale = 0;
+  /// Graph version of the current snapshot (gauge; 0 until a mutation).
+  uint64_t graph_version = 0;
+  /// ApplyUpdates batches waiting for the mutation worker (gauge).
+  uint64_t pending_mutations = 0;
   QueryCacheStats cache;
   RefinementLogStats log;
+  MutationLogStats mutations;
 };
 
 /// \brief Thread-safe query service over an immutable index snapshot
@@ -322,6 +383,19 @@ class ServingEngine {
   /// internally; safe to call concurrently with queries.
   uint64_t PublishPending();
 
+  /// \brief Queues one batch of edge updates for the mutation worker and
+  /// returns the future its publish resolves. Never blocks on the repair:
+  /// the worker drains batches FIFO (possibly coalescing several into one
+  /// publish), applies them to a copy of the current graph, repairs /
+  /// invalidates / rebuilds the affected index state, and publishes a new
+  /// snapshot pinned to the new graph version before resolving. The batch
+  /// is atomic: if any update in it fails validation the whole batch is
+  /// rejected (its future carries the error) and sibling batches in the
+  /// same drain still apply. Queries racing the publish are unaffected —
+  /// each serves the graph+index pair its snapshot pinned. Safe from any
+  /// thread.
+  std::future<MutationResult> ApplyUpdates(GraphUpdateBatch updates);
+
   /// \brief Advances one shard-residency epoch for a mmap-tier index:
   /// consumes the per-shard touch counters the prune scans accumulated,
   /// promotes hot shards to heap and demotes cold clean ones back to the
@@ -375,6 +449,18 @@ class ServingEngine {
     QueryResponse response;
   };
 
+  /// Per-tier fused stage-1 backends, pinned to the graph version they
+  /// were built over (a fused solve reads the version's transition
+  /// operator). Swapped together with the snapshot on every mutation
+  /// publish; ExecuteBatch reads both under one lock and falls back to
+  /// single-query execution on a version mismatch. A tier's entry is null
+  /// when its configured backend cannot fuse.
+  struct TierBatchers {
+    std::shared_ptr<const GraphVersion> version;
+    std::unique_ptr<ProximityBackend> exact;
+    std::unique_ptr<ProximityBackend> approx;
+  };
+
   ServingEngine(const ReverseTopkEngine& engine, const ServingOptions& options);
 
   /// One dispatch ticket: pops and executes the highest-priority pending
@@ -393,9 +479,11 @@ class ServingEngine {
 
   /// One fused group: a single snapshot + searcher, one ComputeMulti
   /// solve across all live lanes, then the per-request fan-back
-  /// (prune/refine/deliver) in pop order.
+  /// (prune/refine/deliver) in pop order. `snap` is the snapshot the
+  /// caller paired with `batcher` (the batcher's graph version).
   void RunFusedGroup(std::vector<PendingQuery> items,
-                     ProximityBackend* batcher);
+                     ProximityBackend* batcher,
+                     std::shared_ptr<const IndexSnapshot> snap);
 
   /// The shared request executor behind ExecuteRequest (fused == nullptr:
   /// full pipeline on a freshly acquired searcher) and RunFusedGroup's
@@ -456,20 +544,39 @@ class ServingEngine {
   /// the registry counters (CAS-delta; safe from concurrent scrapes).
   void SyncBackingMetrics() const;
 
-  const TransitionOperator* op_;
+  /// Forwards the refinement log's dropped-stale total into the registry
+  /// counter (same CAS-delta pattern).
+  void SyncLogMetrics() const;
+
+  /// Builds the per-tier fused backends over `version`'s transition
+  /// operator (null when max_batch <= 1 — batching is off).
+  std::shared_ptr<const TierBatchers> MakeBatchers(
+      const std::shared_ptr<const GraphVersion>& version) const;
+
+  /// The mutation worker's thread body: waits for ApplyUpdates wake-ups
+  /// and runs DrainMutations under publish_mu_. A dedicated thread, NOT a
+  /// pool ticket — the repair fans out onto the pool (ParallelForRange),
+  /// and full rebuilds use ParallelFor, which must not be entered from a
+  /// pool task.
+  void MutationWorker();
+
+  /// Drains the MutationLog and publishes one mutated snapshot. Caller
+  /// holds publish_mu_. Resolves every drained batch's promise.
+  void DrainMutations();
+
   ServingOptions options_;
+  /// Build-time knobs for mutation repair/rebuild (the source engine may
+  /// not outlive a rebuild decision, so they are copied at creation).
+  EngineOptions engine_options_;
+  /// Node count (immutable: edge updates never change the node set).
+  uint32_t num_nodes_ = 0;
   std::unique_ptr<ThreadPool> pool_;
 
-  // Per-tier fused stage-1 backends (null when the tier's configured
-  // backend cannot fuse — its requests then execute singly even inside a
-  // batch). Built once: they depend only on the transition operator, not
-  // on any snapshot epoch.
-  std::unique_ptr<ProximityBackend> exact_batcher_;
-  std::unique_ptr<ProximityBackend> approx_batcher_;
   std::atomic<size_t> peak_batch_{0};
 
-  mutable std::mutex snapshot_mu_;  // guards snapshot_ swap/load only
+  mutable std::mutex snapshot_mu_;  // guards snapshot_/batchers_ swap/load
   std::shared_ptr<const IndexSnapshot> snapshot_;
+  std::shared_ptr<const TierBatchers> batchers_;
 
   AdmissionQueue queue_;
   std::atomic<bool> paused_{false};
@@ -477,12 +584,26 @@ class ServingEngine {
   QueryCache cache_;
   std::mutex publish_mu_;  // serializes the single snapshot writer
 
+  // ------------------------------------------------------ mutation plane --
+  MutationLog mutations_;
+  std::mutex mutation_mu_;  // guards the worker's wake/stop flags only
+  std::condition_variable mutation_cv_;
+  bool mutation_stop_ = false;
+  bool mutation_wake_ = false;
+  std::thread mutation_thread_;
+  /// Pool for mutation repairs when mutation_threads > 1 (created lazily
+  /// on the first drain, used only by the mutation worker). Null means
+  /// repairs run inline on the mutation thread (mutation_threads == 1)
+  /// or on the query pool (mutation_threads == 0).
+  std::unique_ptr<ThreadPool> mutation_pool_;
+
   /// Residency epoch planner (mmap tier only; null for heap indexes).
   /// Touched only under publish_mu_.
   std::unique_ptr<ShardResidencyManager> residency_;
   /// Source totals already forwarded into the registry counters.
   mutable std::atomic<uint64_t> faults_seen_{0};
   mutable std::atomic<uint64_t> evictions_seen_{0};
+  mutable std::atomic<uint64_t> dropped_stale_seen_{0};
 
   std::mutex searchers_mu_;
   std::vector<PooledSearcher> free_searchers_;
@@ -513,6 +634,15 @@ class ServingEngine {
     Counter* shards_copied = nullptr;
     Counter* shard_faults = nullptr;
     Counter* shard_evictions = nullptr;
+    Counter* mutation_batches = nullptr;
+    Counter* mutation_rejected = nullptr;
+    Counter* mutation_updates = nullptr;
+    Counter* mutation_affected = nullptr;
+    Counter* mutation_hub_resolves = nullptr;
+    Counter* mutation_repairs = nullptr;
+    Counter* mutation_invalidations = nullptr;
+    Counter* mutation_rebuilds = nullptr;
+    Counter* refinements_dropped_stale = nullptr;
     Histogram* queue_wait = nullptr;
     Histogram* fused_proximity_seconds = nullptr;
     Histogram* request_latency = nullptr;
@@ -522,6 +652,7 @@ class ServingEngine {
     Histogram* prune_seconds = nullptr;
     Histogram* refine_seconds = nullptr;
     Histogram* publish_seconds = nullptr;
+    Histogram* mutation_publish_seconds = nullptr;
     Histogram* other_backend_latency = nullptr;
     // Gauges, refreshed from their components at Metrics() time.
     Gauge* queue_depth = nullptr;
@@ -533,6 +664,8 @@ class ServingEngine {
     Gauge* cache_entries = nullptr;
     Gauge* resident_shards = nullptr;
     Gauge* mmap_bytes = nullptr;
+    Gauge* graph_version = nullptr;
+    Gauge* pending_mutations = nullptr;
     /// One request-latency histogram per registered proximity backend,
     /// resolved by linear scan (the set is tiny and fixed).
     std::vector<std::pair<std::string, Histogram*>> backend_latency;

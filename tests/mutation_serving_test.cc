@@ -1,0 +1,448 @@
+// Tests for live graph mutation under serving traffic: the MutationLog /
+// GraphVersion plumbing, ServingEngine::ApplyUpdates across all three
+// repair modes, the stale-refinement version gate, and the concurrent
+// mutate+query+refine stress test that ci.sh also runs under TSan.
+//
+// The correctness oracle throughout is the dynamic_test.cc invariant,
+// asserted through the serving path: after any sequence of ApplyUpdates
+// batches, exact-tier answers must equal a fresh engine built on the
+// final graph (Algorithm 4 is exact for ANY valid lower bounds, so this
+// holds for repaired, invalidated and rebuilt indexes alike).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "dynamic/graph_updates.h"
+#include "graph/generators.h"
+#include "serving/mutation_log.h"
+#include "serving/refinement_log.h"
+#include "serving/serving_engine.h"
+#include "workload/query_workload.h"
+
+namespace rtk {
+namespace {
+
+// Coarse options: a high BCA delta leaves large residues in the index, so
+// queries must refine (and therefore produce write-back deltas the
+// version gate has something to drop).
+EngineOptions CoarseOptions() {
+  EngineOptions opts;
+  opts.capacity_k = 20;
+  opts.hub_selection.degree_budget_b = 5;
+  opts.bca.delta = 0.5;
+  opts.num_threads = 2;
+  opts.shard_nodes = 32;
+  return opts;
+}
+
+Result<std::unique_ptr<ReverseTopkEngine>> BuildTestEngine(uint64_t seed) {
+  Rng rng(seed);
+  auto graph = BarabasiAlbert(250, 3, &rng);
+  if (!graph.ok()) return graph.status();
+  return ReverseTopkEngine::Build(std::move(*graph), CoarseOptions());
+}
+
+bool HasEdge(const Graph& g, uint32_t u, uint32_t v) {
+  const auto nbrs = g.OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+// `count` edge insertions that are valid against `g` (absent, no
+// self-loops, no duplicates within the batch).
+GraphUpdateBatch MakeInsertBatch(const Graph& g, size_t count, Rng* rng) {
+  GraphUpdateBatch batch;
+  std::set<std::pair<uint32_t, uint32_t>> chosen;
+  const uint32_t n = g.num_nodes();
+  while (batch.size() < count) {
+    const auto u = static_cast<uint32_t>(rng->Uniform(n));
+    const auto v = static_cast<uint32_t>(rng->Uniform(n));
+    if (u == v || HasEdge(g, u, v)) continue;
+    if (!chosen.insert({u, v}).second) continue;
+    batch.push_back(EdgeUpdate::Insert(u, v));
+  }
+  return batch;
+}
+
+// The oracle: every exact-tier answer equals a fresh build on the graph
+// the serving engine currently pins.
+void ExpectMatchesFreshEngine(ServingEngine& serving, uint32_t k,
+                              uint32_t query_stride) {
+  auto snap = serving.snapshot();
+  ASSERT_NE(snap->graph_version(), nullptr);
+  Graph copy = snap->graph_version()->graph();  // Graph is copyable
+  auto fresh = ReverseTopkEngine::Build(std::move(copy), CoarseOptions());
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  for (uint32_t q = 0; q < snap->graph_version()->graph().num_nodes();
+       q += query_stride) {
+    auto served = serving.Query(q, k);
+    auto expected = (*fresh)->Query(q, k);
+    ASSERT_TRUE(served.ok() && expected.ok()) << "q=" << q;
+    EXPECT_EQ(*served, *expected) << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RefinementLog graph-version gate
+
+TEST(RefinementLogVersionTest, StaleTagsDroppedAdvancePurges) {
+  RefinementLog log;
+  EXPECT_EQ(log.graph_version(), 0u);
+  // Untagged appends (kAnyGraphVersion) are always accepted.
+  log.Append({{3, {0.5}, {}, 0.4}});
+  // A matching tag is accepted too.
+  log.Append({{5, {0.2}, {}, 0.6}}, /*graph_version=*/0);
+  EXPECT_EQ(log.pending(), 2u);
+
+  // The mutation barrier: pending deltas were refined against the
+  // outgoing graph, so they are purged, and the new version becomes the
+  // only accepted tag.
+  log.AdvanceGraphVersion(1);
+  EXPECT_EQ(log.graph_version(), 1u);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(log.stats().dropped_stale, 2u);
+
+  // A worker that acquired its snapshot before the mutation tags the old
+  // version: its whole payload is dropped.
+  log.Append({{7, {0.1}, {}, 0.3}, {9, {0.4}, {}, 0.2}}, /*graph_version=*/0);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(log.stats().dropped_stale, 4u);
+
+  // Batch form obeys the same gate.
+  log.Append(std::vector<std::vector<IndexDelta>>{{{11, {0.3}, {}, 0.5}}},
+             /*graph_version=*/0);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(log.stats().dropped_stale, 5u);
+
+  // Post-mutation workers tag the new version and are accepted; untagged
+  // producers still pass.
+  log.Append({{7, {0.1}, {}, 0.3}}, /*graph_version=*/1);
+  log.Append({{9, {0.4}, {}, 0.2}});
+  EXPECT_EQ(log.pending(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// MutationLog
+
+TEST(MutationLogTest, DrainFifoAndShutdownCancels) {
+  MutationLog log;
+  auto f1 = log.Enqueue({EdgeUpdate::Insert(0, 1)});
+  auto f2 = log.Enqueue({EdgeUpdate::Delete(2, 3), EdgeUpdate::Insert(4, 5)});
+  EXPECT_EQ(log.pending(), 2u);
+  auto stats = log.stats();
+  EXPECT_EQ(stats.batches_enqueued, 2u);
+  EXPECT_EQ(stats.updates_enqueued, 3u);
+
+  auto drained = log.Drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].updates.size(), 1u);
+  EXPECT_EQ(drained[1].updates.size(), 2u);
+  EXPECT_EQ(log.pending(), 0u);
+  drained[0].promise.set_value({Status::OK(), 1, 1});
+  drained[1].promise.set_value({Status::OK(), 1, 1});
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+
+  auto f3 = log.Enqueue({EdgeUpdate::Insert(6, 7)});
+  log.Shutdown();
+  EXPECT_EQ(f3.get().status.code(), StatusCode::kCancelled);
+  // After shutdown, new batches fail immediately.
+  EXPECT_EQ(log.Enqueue({}).get().status.code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// ApplyUpdates repair modes, each against the fresh-build oracle
+
+TEST(MutationServingTest, RepairedModeMatchesFreshBuild) {
+  auto engine = BuildTestEngine(101);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ServingOptions opts;
+  opts.num_threads = 2;
+  // Default fractions would tip a 250-node BA graph (one giant SCC) into
+  // invalidation; a repair cap of n keeps the exact incremental path.
+  opts.mutation_repair_fraction = 1.0;
+  opts.mutation_rebuild_fraction = 1.0;
+  auto serving = ServingEngine::Create(**engine, opts);
+  ASSERT_TRUE(serving.ok());
+  ASSERT_EQ((*serving)->stats().graph_version, 0u);
+
+  Rng rng(102);
+  auto batch =
+      MakeInsertBatch((*serving)->snapshot()->graph_version()->graph(), 4,
+                      &rng);
+  MutationResult result = (*serving)->ApplyUpdates(std::move(batch)).get();
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.mode, MutationRepairMode::kRepaired);
+  EXPECT_EQ(result.graph_version, 1u);
+  EXPECT_GT(result.affected_nodes, 0u);
+  EXPECT_GE(result.epoch, 1u);
+
+  const ServingStats stats = (*serving)->stats();
+  EXPECT_EQ(stats.mutation_batches, 1u);
+  EXPECT_EQ(stats.mutation_updates, 4u);
+  EXPECT_EQ(stats.mutation_repairs, 1u);
+  EXPECT_EQ(stats.graph_version, 1u);
+  ExpectMatchesFreshEngine(**serving, 8, 13);
+}
+
+TEST(MutationServingTest, InvalidatedModeMatchesFreshBuild) {
+  auto engine = BuildTestEngine(111);
+  ASSERT_TRUE(engine.ok());
+  ServingOptions opts;
+  opts.num_threads = 2;
+  opts.mutation_repair_fraction = 0.0;  // any affected set => invalidate
+  opts.mutation_rebuild_fraction = 1.0;
+  auto serving = ServingEngine::Create(**engine, opts);
+  ASSERT_TRUE(serving.ok());
+
+  Rng rng(112);
+  auto batch =
+      MakeInsertBatch((*serving)->snapshot()->graph_version()->graph(), 3,
+                      &rng);
+  MutationResult result = (*serving)->ApplyUpdates(std::move(batch)).get();
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.mode, MutationRepairMode::kInvalidated);
+  EXPECT_EQ(result.graph_version, 1u);
+  // Invalidation still re-solves affected hubs (stale P_H rows would make
+  // hub-ink redemption unsound), it only skips the per-node BCA re-runs.
+  EXPECT_EQ((*serving)->stats().mutation_invalidations, 1u);
+  // Algorithm 4 stays exact on the looser bounds.
+  ExpectMatchesFreshEngine(**serving, 8, 13);
+}
+
+TEST(MutationServingTest, RebuildModeMatchesFreshBuild) {
+  auto engine = BuildTestEngine(121);
+  ASSERT_TRUE(engine.ok());
+  ServingOptions opts;
+  opts.num_threads = 2;
+  // Rebuild cap of max(1, 0.001 * 250) = 1 node: any real affected set
+  // truncates the reachability sweep and forces the full rebuild path.
+  opts.mutation_rebuild_fraction = 0.001;
+  auto serving = ServingEngine::Create(**engine, opts);
+  ASSERT_TRUE(serving.ok());
+
+  Rng rng(122);
+  auto batch =
+      MakeInsertBatch((*serving)->snapshot()->graph_version()->graph(), 3,
+                      &rng);
+  MutationResult result = (*serving)->ApplyUpdates(std::move(batch)).get();
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.mode, MutationRepairMode::kRebuilt);
+  EXPECT_EQ(result.affected_nodes, 250u);
+  EXPECT_GT(result.affected_hubs, 0u);
+  EXPECT_EQ((*serving)->stats().mutation_rebuilds, 1u);
+  ExpectMatchesFreshEngine(**serving, 8, 13);
+}
+
+TEST(MutationServingTest, SequentialBatchesAccumulate) {
+  auto engine = BuildTestEngine(131);
+  ASSERT_TRUE(engine.ok());
+  ServingOptions opts;
+  opts.num_threads = 2;
+  opts.mutation_repair_fraction = 1.0;
+  opts.mutation_rebuild_fraction = 1.0;
+  auto serving = ServingEngine::Create(**engine, opts);
+  ASSERT_TRUE(serving.ok());
+
+  Rng rng(132);
+  std::vector<std::pair<uint32_t, uint32_t>> inserted;
+  for (int round = 0; round < 3; ++round) {
+    const Graph& cur = (*serving)->snapshot()->graph_version()->graph();
+    GraphUpdateBatch batch = MakeInsertBatch(cur, 2, &rng);
+    for (const auto& u : batch) inserted.push_back({u.src, u.dst});
+    // Delete one of this round's own inserts later; for now also exercise
+    // interleaved queries between batches.
+    MutationResult r = (*serving)->ApplyUpdates(std::move(batch)).get();
+    ASSERT_TRUE(r.ok()) << "round " << round << ": " << r.status.ToString();
+    EXPECT_EQ(r.graph_version, static_cast<uint64_t>(round + 1));
+    ASSERT_TRUE((*serving)->Query(7, 5).ok());
+  }
+  // A delete batch against edges we know exist now.
+  GraphUpdateBatch deletes = {
+      EdgeUpdate::Delete(inserted[0].first, inserted[0].second),
+      EdgeUpdate::Delete(inserted[3].first, inserted[3].second)};
+  MutationResult r = (*serving)->ApplyUpdates(std::move(deletes)).get();
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.graph_version, 4u);
+  EXPECT_EQ((*serving)->stats().mutation_batches, 4u);
+  ExpectMatchesFreshEngine(**serving, 8, 11);
+}
+
+TEST(MutationServingTest, InvalidBatchIsIsolated) {
+  auto engine = BuildTestEngine(141);
+  ASSERT_TRUE(engine.ok());
+  ServingOptions opts;
+  opts.num_threads = 1;
+  opts.mutation_repair_fraction = 1.0;
+  opts.mutation_rebuild_fraction = 1.0;
+  auto serving = ServingEngine::Create(**engine, opts);
+  ASSERT_TRUE(serving.ok());
+  const Graph& g0 = (*serving)->snapshot()->graph_version()->graph();
+  const auto nbrs = g0.OutNeighbors(0);
+  ASSERT_FALSE(nbrs.empty());
+
+  // Duplicate insert: the whole batch is rejected atomically.
+  MutationResult bad =
+      (*serving)
+          ->ApplyUpdates({EdgeUpdate::Insert(0, nbrs[0])})
+          .get();
+  EXPECT_EQ(bad.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.graph_version, 0u) << "graph must be unchanged";
+  EXPECT_EQ((*serving)->stats().graph_version, 0u);
+  EXPECT_EQ((*serving)->stats().mutation_batches_rejected, 1u);
+  EXPECT_EQ((*serving)->stats().mutation_batches, 0u);
+
+  // A valid batch right after still lands: the stream is not wedged.
+  Rng rng(142);
+  auto good_batch = MakeInsertBatch(g0, 2, &rng);
+  MutationResult good = (*serving)->ApplyUpdates(std::move(good_batch)).get();
+  ASSERT_TRUE(good.ok()) << good.status.ToString();
+  EXPECT_EQ(good.graph_version, 1u);
+  ExpectMatchesFreshEngine(**serving, 8, 17);
+}
+
+// ---------------------------------------------------------------------------
+// Stale refinement write-back
+
+TEST(MutationServingTest, StaleRefinementsNeverReachPostMutationIndex) {
+  auto engine = BuildTestEngine(151);
+  ASSERT_TRUE(engine.ok());
+  ServingOptions opts;
+  opts.num_threads = 1;
+  opts.publish_threshold = 0;  // manual publishing: deltas stay pending
+  opts.mutation_repair_fraction = 1.0;
+  opts.mutation_rebuild_fraction = 1.0;
+  auto serving = ServingEngine::Create(**engine, opts);
+  ASSERT_TRUE(serving.ok());
+
+  // Fill the refinement log with deltas refined against graph version 0.
+  for (uint32_t q = 0; q < 30; ++q) ASSERT_TRUE((*serving)->Query(q, 8).ok());
+  ASSERT_GT((*serving)->stats().pending_deltas, 0u)
+      << "coarse index must force refinement";
+
+  // The mutation publish must purge them (they describe the old graph).
+  Rng rng(152);
+  auto batch =
+      MakeInsertBatch((*serving)->snapshot()->graph_version()->graph(), 3,
+                      &rng);
+  MutationResult result = (*serving)->ApplyUpdates(std::move(batch)).get();
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  const ServingStats stats = (*serving)->stats();
+  EXPECT_EQ(stats.pending_deltas, 0u) << "stale deltas must be purged";
+  EXPECT_GT(stats.refinements_dropped_stale, 0u);
+  EXPECT_EQ((*serving)->PublishPending(), 0u)
+      << "nothing stale may be applied after the mutation";
+  ExpectMatchesFreshEngine(**serving, 8, 13);
+
+  // Post-mutation queries refine against the new version and their deltas
+  // ARE accepted again.
+  for (uint32_t q = 0; q < 30; ++q) ASSERT_TRUE((*serving)->Query(q, 8).ok());
+  EXPECT_GT((*serving)->stats().pending_deltas, 0u);
+  EXPECT_GT((*serving)->PublishPending(), 0u);
+  ExpectMatchesFreshEngine(**serving, 8, 13);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the ci.sh TSan target
+
+TEST(MutationServingTest, ConcurrentMutateQueryRefineStress) {
+  auto engine = BuildTestEngine(161);
+  ASSERT_TRUE(engine.ok());
+  ServingOptions opts;
+  opts.num_threads = 2;
+  opts.publish_threshold = 16;  // refinement publishes race mutations
+  opts.mutation_repair_fraction = 1.0;
+  opts.mutation_rebuild_fraction = 1.0;
+  auto serving = ServingEngine::Create(**engine, opts);
+  ASSERT_TRUE(serving.ok());
+
+  Rng wrng(162);
+  std::vector<uint32_t> workload = SampleQueries(
+      (*engine)->graph(), 24, QueryDistribution::kInDegreeBiased, &wrng);
+  constexpr uint32_t kK = 8;
+  constexpr int kQueryThreads = 6;
+  constexpr int kRounds = 4;
+  constexpr int kBatches = 5;
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kQueryThreads + 1);
+  // Query threads: mixed exact / hits-only tiers, racing the mutations.
+  // Results cannot be compared to a fixed oracle mid-flight (the graph is
+  // changing), but every request must resolve OK, and TSan checks the
+  // epoch-pinned graph+index reads.
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < workload.size(); ++i) {
+          const size_t j = (i + static_cast<size_t>(t) * 5) % workload.size();
+          QueryRequest req;
+          req.query = workload[j];
+          req.k = kK;
+          req.tier = (t % 3 == 0) ? AccuracyTier::kApproximateHitsOnly
+                                  : AccuracyTier::kExact;
+          QueryResponse resp = (*serving)->Submit(std::move(req)).get();
+          if (!resp.ok()) ++failures;
+        }
+        if (t % 2 == 0) (*serving)->PublishPending();
+      }
+    });
+  }
+  // Mutation thread: kBatches sequential valid batches (each generated
+  // against the graph version the previous publish pinned).
+  std::atomic<int> mutations_ok{0};
+  threads.emplace_back([&] {
+    Rng mrng(163);
+    for (int b = 0; b < kBatches; ++b) {
+      const Graph& cur = (*serving)->snapshot()->graph_version()->graph();
+      GraphUpdateBatch batch = MakeInsertBatch(cur, 3, &mrng);
+      MutationResult r = (*serving)->ApplyUpdates(std::move(batch)).get();
+      if (r.ok()) ++mutations_ok;
+    }
+    stop = true;
+  });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mutations_ok.load(), kBatches);
+  const ServingStats stats = (*serving)->stats();
+  EXPECT_EQ(stats.graph_version, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(stats.mutation_batches, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(stats.pending_mutations, 0u);
+  // The equivalence gate, through the serving path, after the dust
+  // settles: byte-identical to a fresh build on the final graph.
+  ExpectMatchesFreshEngine(**serving, kK, 7);
+
+  // Hits-only answers on the settled engine are certified subsets.
+  auto snap = (*serving)->snapshot();
+  Graph copy = snap->graph_version()->graph();
+  auto fresh = ReverseTopkEngine::Build(std::move(copy), CoarseOptions());
+  ASSERT_TRUE(fresh.ok());
+  for (uint32_t q = 0; q < 250; q += 29) {
+    QueryRequest req;
+    req.query = q;
+    req.k = kK;
+    req.tier = AccuracyTier::kApproximateHitsOnly;
+    QueryResponse resp = (*serving)->Submit(std::move(req)).get();
+    ASSERT_TRUE(resp.ok());
+    auto exact = (*fresh)->Query(q, kK);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_TRUE(std::includes(exact->begin(), exact->end(),
+                              resp.results.begin(), resp.results.end()))
+        << "hits-only answer must be a subset of exact, q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace rtk

@@ -21,11 +21,16 @@
 //   serve-bench <edge_list> <index> [k] [queries] [threads]
 //                                                 concurrent ServingEngine vs
 //                                                 mutex-serialized baseline
+//                                                 (--mutation-rate N races a
+//                                                 live edge-update stream
+//                                                 against the queries)
 //
 // Node ids refer to the edge list after dense relabeling in first-appearance
 // order (the loader's default), matching what build-index used.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -69,6 +74,11 @@ double g_batch_window = 0.0;
 // index-info, serve-bench). mmap opens the v2 file in O(directory) time
 // and faults shard bytes on demand; results are identical.
 std::string g_storage_tier = "heap";
+
+// --mutation-rate <updates/s>: serve-bench races a background edge-update
+// stream against the query workload via ServingEngine::ApplyUpdates — the
+// live-mutation mixed read/write mode. 0 (the default) = no mutations.
+double g_mutation_rate = 0.0;
 
 // --read-only: serve-bench serves approximate hits-only requests with no
 // index write-back and skips the mutex-serialized baseline. With the mmap
@@ -137,6 +147,14 @@ int ExtractBackendFlag(int argc, char** argv) {
       g_storage_tier = arg.substr(15);
       continue;
     }
+    if (arg == "--mutation-rate" && i + 1 < argc) {
+      g_mutation_rate = std::atof(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--mutation-rate=", 0) == 0) {
+      g_mutation_rate = std::atof(arg.c_str() + 16);
+      continue;
+    }
     if (arg == "--read-only") {
       g_read_only = true;
       continue;
@@ -173,6 +191,10 @@ int Usage() {
                "[queries=500] [threads=hardware] [--backend <name>]\n"
                "                      [--metrics <out.prom>] "
                "[--max-batch <n>] [--batch-window <seconds>] [--read-only]\n"
+               "                      [--mutation-rate <updates/s>]  "
+               "(races a live ApplyUpdates edge stream\n"
+               "                      against the queries; each publish "
+               "pins a new graph version)\n"
                "\n"
                "index-loading commands also accept --storage-tier heap|mmap\n"
                "  (mmap: O(directory) open of a v2 file, shard bytes faulted\n"
@@ -519,6 +541,54 @@ int CmdServeBench(int argc, char** argv) {
   serving_opts.batch_window = g_batch_window;
   auto serving = ServingEngine::Create(**engine, serving_opts);
   if (!serving.ok()) return Fail(serving.status());
+
+  // --mutation-rate: a background writer toggles a small set of edges
+  // absent from the base graph (insert batch, delete batch, repeat) at the
+  // requested updates/s, each ApplyUpdates publish pinning a new graph
+  // version while the query workload runs. Insert-then-delete keeps every
+  // batch valid indefinitely and returns the graph to its base state.
+  std::atomic<bool> mutation_stop{false};
+  std::thread mutation_writer;
+  if (g_mutation_rate > 0.0) {
+    constexpr size_t kBatchEdges = 4;
+    std::vector<EdgeUpdate> inserts;
+    Rng erng(23);
+    const Graph& g = (*engine)->graph();
+    while (inserts.size() < kBatchEdges) {
+      const auto u = static_cast<uint32_t>(erng.Uniform(g.num_nodes()));
+      const auto v = static_cast<uint32_t>(erng.Uniform(g.num_nodes()));
+      const auto nbrs = g.OutNeighbors(u);
+      if (u == v || std::binary_search(nbrs.begin(), nbrs.end(), v)) continue;
+      bool dup = false;
+      for (const EdgeUpdate& e : inserts) {
+        if (e.src == u && e.dst == v) dup = true;
+      }
+      if (!dup) inserts.push_back(EdgeUpdate::Insert(u, v));
+    }
+    std::vector<EdgeUpdate> deletes;
+    for (const EdgeUpdate& e : inserts) {
+      deletes.push_back(EdgeUpdate::Delete(e.src, e.dst));
+    }
+    const auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+        static_cast<double>(kBatchEdges) / g_mutation_rate));
+    mutation_writer = std::thread([&mutation_stop, interval,
+                                   serving = serving->get(),
+                                   inserts = std::move(inserts),
+                                   deletes = std::move(deletes)] {
+      bool inserted = false;
+      while (!mutation_stop.load(std::memory_order_relaxed)) {
+        GraphUpdateBatch batch = inserted ? deletes : inserts;
+        if (!serving->ApplyUpdates(std::move(batch)).get().ok()) return;
+        inserted = !inserted;
+        std::this_thread::sleep_for(interval);
+      }
+      if (inserted) {
+        (void)serving->ApplyUpdates(GraphUpdateBatch(deletes)).get();
+      }
+    });
+  }
+
   Stopwatch serving_watch;
   std::vector<QueryResponse> batch;
   if (g_read_only) {
@@ -540,6 +610,8 @@ int CmdServeBench(int argc, char** argv) {
     batch = (*serving)->QueryBatch(workload, k);
   }
   const double serving_seconds = serving_watch.ElapsedSeconds();
+  mutation_stop.store(true, std::memory_order_relaxed);
+  if (mutation_writer.joinable()) mutation_writer.join();
   for (const QueryResponse& response : batch) {
     if (!response.ok()) return Fail(response.status);
   }
@@ -604,6 +676,21 @@ int CmdServeBench(int argc, char** argv) {
               static_cast<unsigned long long>(sstats.deltas_recorded),
               static_cast<unsigned long long>(sstats.deltas_applied),
               static_cast<unsigned long long>(sstats.epochs_published));
+  if (g_mutation_rate > 0.0) {
+    std::printf("mutation stream: %.0f updates/s offered; %llu batches "
+                "(%llu updates) published -> graph version %llu "
+                "(%llu repaired / %llu invalidated / %llu rebuilt, "
+                "%llu stale refinements dropped)\n",
+                g_mutation_rate,
+                static_cast<unsigned long long>(sstats.mutation_batches),
+                static_cast<unsigned long long>(sstats.mutation_updates),
+                static_cast<unsigned long long>(sstats.graph_version),
+                static_cast<unsigned long long>(sstats.mutation_repairs),
+                static_cast<unsigned long long>(sstats.mutation_invalidations),
+                static_cast<unsigned long long>(sstats.mutation_rebuilds),
+                static_cast<unsigned long long>(
+                    sstats.refinements_dropped_stale));
+  }
   std::printf("backend: %s (%llu exact-tier / %llu hits-only requests, "
               "%llu escalations to pmpn)\n",
               g_backend.empty() ? "pmpn" : g_backend.c_str(),
