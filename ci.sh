@@ -22,7 +22,10 @@
 #                                 mutation_serving_test: live ApplyUpdates
 #                                 mutation drains racing queries and
 #                                 refinement write-back, with fresh-build
-#                                 equivalence asserted after every publish)
+#                                 equivalence asserted after every publish;
+#                                 adaptive_test: partial-escalation byte-
+#                                 identity at every thread count + AIMD
+#                                 budget-controller feedback under serving)
 #                                 race-detection-clean
 #   pass 3  ASan+UBSan          — library + tests only, runs the storage-
 #                                 heavy subset (index/serving/pipeline/
@@ -56,7 +59,12 @@
 #                                 smoke (100 read-only queries through
 #                                 the mmap tier under 96 MiB of
 #                                 anonymous memory — the heap tier must
-#                                 NOT fit under the same cap)
+#                                 NOT fit under the same cap) — and the
+#                                 approx-mode adaptive sweep (partial
+#                                 escalation byte-identical AND no slower
+#                                 than full escalation; the AIMD budget
+#                                 controller at most the fixed-budget
+#                                 arm's escalations and settle pushes)
 #
 # Usage: ./ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -75,7 +83,7 @@ cmake -B build-tsan -S . -DRTK_SANITIZE=thread \
 cmake --build build-tsan -j "$JOBS" \
       --target serving_test request_scheduler_test pipeline_test \
                proximity_backend_test obs_test spmm_test storage_tier_test \
-               mutation_serving_test
+               mutation_serving_test adaptive_test
 # halt_on_error: any report fails CI instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/serving_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/request_scheduler_test
@@ -90,6 +98,10 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/storage_tier_test
 # publishes, and each other — graph-version pinning and the stale-
 # refinement drop are exactly the code TSan must see interleaved.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/mutation_serving_test
+# adaptive_test: partial escalation's parallel targeted settles must stay
+# byte-identical to full escalation at 1/2/8 threads, and the budget
+# controller's mutex-guarded feedback path runs under real serving traffic.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/adaptive_test
 
 echo "=== pass 3: ASan+UBSan build + storage suites ==="
 cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
@@ -97,7 +109,8 @@ cmake -B build-asan -S . -DRTK_SANITIZE=address,undefined \
 cmake --build build-asan -j "$JOBS" \
       --target index_test fault_injection_test serving_test \
                request_scheduler_test pipeline_test proximity_backend_test \
-               obs_test spmm_test storage_tier_test mutation_serving_test
+               obs_test spmm_test storage_tier_test mutation_serving_test \
+               adaptive_test
 # halt_on_error: any report fails CI instead of just logging.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/index_test
@@ -119,13 +132,15 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/storage_tier_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/mutation_serving_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/adaptive_test
 
 echo "=== pass 4: Release build + bench smokes ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DRTK_BUILD_TESTS=OFF -DRTK_BUILD_EXAMPLES=OFF
 cmake --build build-release -j "$JOBS" \
       --target bench_fig5_query_time bench_serving_throughput bench_micro_spmm \
-               bench_index_load bench_dynamic_updates rtk_cli
+               bench_index_load bench_dynamic_updates bench_approx_mode rtk_cli
 RTK_BENCH_QUERIES=20 RTK_BENCH_SCALE=0.25 \
     ./build-release/bench_fig5_query_time --json build-release/BENCH_fig5.json
 test -s build-release/BENCH_fig5.json
@@ -199,6 +214,38 @@ for row in rows:
 incr = [r['speedup'] for r in rows if r['fallback_rebuild'] == 0]
 print('dynamic-updates JSON ok: %d rows, best incremental speedup %.1fx' % (
     len(rows), max(incr) if incr else 0.0))
+PYEOF
+# Self-tuning approximation gate: the adaptive sweep in the approx-mode
+# bench runs partial escalation (targeted settles + reachability fast path
+# + bound-targeted epsilon) against wholesale full escalation on the same
+# queries, byte-identity enforced inside the bench. Partial must not be
+# slower than full, and the AIMD controller must not escalate more than
+# the fixed-budget arm while doing at most as much settle work — a knob or
+# settler regression that silently re-inflates exact-tier latency fails
+# here.
+./build-release/bench_approx_mode --json build-release/BENCH_approx.json
+test -s build-release/BENCH_approx.json
+python3 - <<'PYEOF'
+import json
+doc = json.load(open('build-release/BENCH_approx.json'))
+sweep = doc['adaptive_sweep']
+for arm in ('full_escalation', 'partial_escalation', 'fixed_budget',
+            'adaptive_budget'):
+    block = sweep[arm]
+    assert block['identical_to_exact'] == 1, (arm, block)
+    assert block['seconds_per_query'] > 0.0, (arm, block)
+ratio = sweep['partial_vs_full_latency_ratio']
+assert ratio <= 1.0 + 1e-9, (
+    'partial escalation regressed: %.3fx full-escalation latency' % ratio)
+fixed, adaptive = sweep['fixed_budget'], sweep['adaptive_budget']
+assert adaptive['escalations'] <= fixed['escalations'], (adaptive, fixed)
+assert adaptive['settle_pushes'] <= fixed['settle_pushes'], (adaptive, fixed)
+assert adaptive['final_scale'] > 1.0, adaptive
+print('adaptive sweep ok on %s: partial %.2fx full latency, '
+      'adaptive %d escalations / %d pushes vs fixed %d / %d (scale %.1f)' % (
+          sweep['graph'], ratio, adaptive['escalations'],
+          adaptive['settle_pushes'], fixed['escalations'],
+          fixed['settle_pushes'], adaptive['final_scale']))
 PYEOF
 # Fused SpMM smoke: one blocked CSR pass over 8 right-hand sides must beat
 # 8 independent SpMVs by >= 1.5x edge throughput on at least the graph it

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/cancellation.h"
@@ -35,6 +36,31 @@ namespace rtk {
 
 class QueryPipeline;
 struct QueryTrace;
+
+/// \brief How a query's exactness was restored when the approximate row
+/// could not certify every node (QueryStats::escalation_mode).
+enum class EscalationMode : uint8_t {
+  /// The row certified everything (or the row was exact / hits-only mode).
+  kNone = 0,
+  /// Only the uncertain nodes were settled, by targeted per-node solves
+  /// composed against the row's certificate — the full row was kept.
+  kPartial = 1,
+  /// The whole row was recomputed with PMPN (the PR 5 fallback; this is
+  /// what QueryStats::escalated reports for backward compatibility).
+  kFull = 2,
+};
+
+inline std::string_view EscalationModeToString(EscalationMode mode) {
+  switch (mode) {
+    case EscalationMode::kNone:
+      return "none";
+    case EscalationMode::kPartial:
+      return "partial";
+    case EscalationMode::kFull:
+      return "full";
+  }
+  return "unknown";
+}
 
 /// \brief Per-query options.
 struct QueryOptions {
@@ -62,6 +88,31 @@ struct QueryOptions {
   /// bounded escalation to PMPN (QueryStats::escalated). With it, the
   /// answer is the certified-hit subset and no escalation happens.
   ProximityBackendConfig proximity;
+  /// Partial escalation: when a certified approximate row leaves uncertain
+  /// candidates, first try to settle just those nodes with targeted
+  /// per-node solves (rwr/targeted_settle.h) instead of immediately
+  /// recomputing the whole row with PMPN. Results and index write-back
+  /// stay byte-identical to full escalation either way — a node the
+  /// targeted solve cannot certify forces the full fallback — so this is
+  /// purely a latency knob (kept switchable for A/B measurement).
+  bool partial_escalation = true;
+  /// Per-node push cap for targeted settles (0 = the
+  /// TargetedSettleOptions default).
+  uint64_t settle_push_budget = 0;
+  /// Bound-targeted epsilon: derive the local-push stopping epsilon for
+  /// this query from the index's observed smallest positive k-th bound
+  /// (piggybacked on the previous prune scan at the same k) instead of the
+  /// configured uniform target, so easy queries stop pushing early. Only
+  /// affects QueryOptions::proximity = "local-push"; always sound
+  /// (certify-or-escalate holds for every epsilon). Off by default so a
+  /// fixed config stays exactly reproducible; the adaptive serving mode
+  /// turns it on.
+  bool bound_targeted_epsilon = false;
+  /// Approximate-backend budget multiplier injected by the serving
+  /// BudgetController (>= 1; 1 = configured budgets). Scales Monte-Carlo
+  /// walks up and divides the local-push epsilon, so backends that keep
+  /// escalating converge to budgets that certify.
+  double approx_budget_scale = 1.0;
   /// PMPN solver settings (alpha must match the index).
   RwrOptions pmpn;
   /// Refinement push strategy; batch is the paper's choice.
@@ -139,7 +190,18 @@ struct QueryStats {
   /// True when an approximate row could not certify the prune and stage 1
   /// was re-run with PMPN (the bounded exactness fallback; results are
   /// then byte-identical to the pure exact pipeline by construction).
+  /// Equivalent to escalation_mode == kFull; partial escalation keeps the
+  /// approximate row and does NOT set this flag.
   bool escalated = false;
+  /// How exactness was restored: none (certified first pass), partial
+  /// (targeted per-node settles), or full (whole-row PMPN re-run).
+  EscalationMode escalation_mode = EscalationMode::kNone;
+  /// Uncertain nodes at escalation time: the nodes settled individually
+  /// (partial) or outstanding when the full re-run started (full); 0 when
+  /// escalation_mode == kNone.
+  uint64_t escalated_nodes = 0;
+  /// Push work spent by targeted settles (0 unless partial was attempted).
+  uint64_t settle_pushes = 0;
   /// Error certificate the selected backend reported for its row (uniform
   /// additive bounds; 0/0 for exact backends).
   double prox_eps_below = 0.0;

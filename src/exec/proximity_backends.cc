@@ -1,6 +1,7 @@
 #include "exec/proximity_backends.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -8,6 +9,14 @@
 #include "rwr/pmpn_multi.h"
 
 namespace rtk {
+
+namespace {
+std::atomic<uint64_t> g_backend_builds{0};
+}  // namespace
+
+uint64_t ProximityBackendBuildCount() {
+  return g_backend_builds.load(std::memory_order_relaxed);
+}
 
 std::shared_ptr<const ReverseTransitionView> SharedReverseTransitionView(
     const TransitionOperator& op) {
@@ -95,6 +104,11 @@ Result<ProximityRow> LocalPushProximityBackend::Compute(
     int /*max_parallelism*/) const {
   LocalPushOptions push = options_;
   push.alpha = options.alpha;  // the index's alpha always wins
+  if (options.push_epsilon > 0.0) {
+    // Per-call budget from the pipeline (bound-targeted epsilon and/or the
+    // serving controller's scale); the configured epsilon is the default.
+    push.epsilon = options.push_epsilon;
+  }
   RTK_ASSIGN_OR_RETURN(ContributionEstimate estimate,
                        ApproximateContributions(*view_, q, push));
   ProximityRow row;
@@ -118,6 +132,7 @@ std::vector<std::string_view> RegisteredProximityBackendNames() {
 
 Result<std::unique_ptr<ProximityBackend>> MakeProximityBackend(
     const TransitionOperator& op, const ProximityBackendConfig& config) {
+  g_backend_builds.fetch_add(1, std::memory_order_relaxed);
   if (config.name.empty() || config.name == kPmpnBackendName) {
     return std::unique_ptr<ProximityBackend>(
         std::make_unique<PmpnProximityBackend>(op));

@@ -81,6 +81,36 @@ std::shared_ptr<const ReverseTransitionView> SharedReverseTransitionView(
 Result<std::unique_ptr<ProximityBackend>> MakeProximityBackend(
     const TransitionOperator& op, const ProximityBackendConfig& config);
 
+/// \brief Process-wide count of MakeProximityBackend calls (monotone;
+/// regression observable: engines must parse/construct each configured
+/// backend once at setup, not once per pooled searcher on the hot path —
+/// tests snapshot the counter around construction and traffic).
+uint64_t ProximityBackendBuildCount();
+
+/// \brief An immutable, engine-owned catalog of backends constructed once
+/// from the serving tier configs, shared read-only by every pooled
+/// searcher's pipeline (Compute is const and stateless, so concurrent use
+/// is safe). A pipeline consults it in ResolveBackend before building a
+/// private cache entry; a config that no catalog entry matches exactly
+/// (e.g. a controller-scaled Monte-Carlo budget) falls back to the
+/// per-pipeline cache as before.
+struct SharedProximityBackends {
+  struct Entry {
+    ProximityBackendConfig config;
+    std::unique_ptr<ProximityBackend> backend;
+  };
+  std::vector<Entry> entries;
+
+  /// Exact-config match, or null. (unique_ptr::get() through const access
+  /// intentionally yields a usable ProximityBackend*.)
+  ProximityBackend* Find(const ProximityBackendConfig& config) const {
+    for (const Entry& entry : entries) {
+      if (entry.config == config) return entry.backend.get();
+    }
+    return nullptr;
+  }
+};
+
 /// \brief PMPN with a fused multi-query path: Compute is exactly the
 /// single-source solver (this backend serves solo queries identically to
 /// "pmpn"), while ComputeMulti runs ALL lanes through one blocked-SpMM

@@ -18,7 +18,20 @@ struct ShardResult {
   std::vector<uint32_t> hits;
   std::vector<uint32_t> undecided;
   uint64_t candidates = 0;
+  double min_margin = 0.0;  // 0 = none seen in this shard
 };
+
+// Order-independent min-merge of the decision-margin observable: the
+// distance between a node's proximity estimate and the k-th lower bound
+// it is compared against. The smallest positive margin is the precision
+// the certificate needed to classify every node this shard touched.
+inline void NoteKthBoundMargin(double value, double bound, ShardResult* out) {
+  if (bound <= 0.0) return;
+  const double gap = value > bound ? value - bound : bound - value;
+  if (gap > 0.0 && (out->min_margin == 0.0 || gap < out->min_margin)) {
+    out->min_margin = gap;
+  }
+}
 
 // Classifies storage shard s exactly like the serial Algorithm 4 scan,
 // with every comparison widened by the proximity row's error bounds (see
@@ -49,6 +62,7 @@ void ScanShardResident(const LowerBoundIndex& index, uint32_t s,
     }
     const double* row =
         lower_bounds.data() + static_cast<size_t>(u - lo) * capacity_k;
+    NoteKthBoundMargin(p_u_q, row[k - 1], out);
     const double cutoff = row[k - 1] - tie;
     if (p_hi < cutoff) {
       continue;  // pruned by the index (never becomes a candidate)
@@ -111,7 +125,9 @@ Status ScanShardCold(const LowerBoundIndex& index, uint32_t s,
     if (p_hi <= 0.0) {
       continue;
     }
-    const double cutoff = cursor.Bound(k) - tie;
+    const double bound_k = cursor.Bound(k);
+    NoteKthBoundMargin(p_u_q, bound_k, out);
+    const double cutoff = bound_k - tie;
     if (p_hi < cutoff) {
       continue;
     }
@@ -229,6 +245,11 @@ PruneResult RunPruneStage(const LowerBoundIndex& index,
     total_hits += shard.hits.size();
     total_undecided += shard.undecided.size();
     result.candidates += shard.candidates;
+    if (shard.min_margin > 0.0 &&
+        (result.min_kth_bound_gap == 0.0 ||
+         shard.min_margin < result.min_kth_bound_gap)) {
+      result.min_kth_bound_gap = shard.min_margin;
+    }
   }
   result.hits.reserve(total_hits);
   result.undecided.reserve(total_undecided);

@@ -97,6 +97,16 @@ struct PruneResult {
   uint64_t candidates = 0;
   /// Storage shards scanned (== index.num_shards(); introspection/tests).
   uint32_t shards_scanned = 0;
+  /// Smallest POSITIVE margin |p_u(q) - bound_k(u)| between a node's
+  /// proximity estimate and the stored k-th lower bound it is classified
+  /// against, among the nodes the scan deep-touched (those past the
+  /// p_hi > 0 gate, with a positive stored bound). This is the precision
+  /// a certificate actually needed to decide every touched node — the
+  /// query's real decision gap — piggybacked on work the scan already
+  /// does. 0 when no touched node produced a positive margin. Feeds the
+  /// pipeline's bound-targeted epsilon; a min over per-shard minima, so
+  /// thread- and tier-invariant like every other output.
+  double min_kth_bound_gap = 0.0;
 };
 
 /// \brief Runs the shard-aligned scan of `to_q` (size n, from the

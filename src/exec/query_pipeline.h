@@ -22,17 +22,44 @@
 //
 // Tiered proximity backends: stage 1 is name-keyed. Each Run resolves
 // QueryOptions::proximity against the built-in exact PMPN backend, the
-// settable default, or a lazily constructed cache entry (the factory in
+// settable default, an engine-shared catalog (set_shared_backends), or a
+// lazily constructed cache entry (the factory in
 // exec/proximity_backends.h). An approximate backend returns its row with
 // an additive error certificate; the prune stage widens its comparisons by
 // it, yielding certified hits plus the uncertain remainder. When exact
-// results are demanded and any node is uncertain, the pipeline ESCALATES:
-// it recomputes stage 1 with PMPN and re-runs prune + refine on the exact
-// row — so results and index write-back are byte-identical to the pure
-// exact pipeline at every backend choice (bounded: at most one escalation
-// per query, observable via QueryStats::escalated). In hits-only mode the
-// uncertain nodes are dropped instead, making the answer a certified
-// subset of the exact one.
+// results are demanded and any node is uncertain, the pipeline escalates
+// in two tiers:
+//
+//   * PARTIAL escalation (QueryOptions::partial_escalation, certified
+//     rows only): each uncertain node is settled individually by a
+//     targeted forward push (rwr/targeted_settle.h) whose brackets
+//     compose the node's own residual with the row's certificate. The
+//     settle classifier applies EXACTLY the widened prune comparisons, so
+//     a settled drop/hit matches the exact scan's classification, and a
+//     node the exact scan would send to refinement can never be certified
+//     either way (its exact value fails both certificates for every
+//     bracket containing it) — so when every uncertain node settles, the
+//     exact scan's undecided set is provably empty: no refinement, no
+//     deltas, and hits = certified first-pass hits + settled hits, which
+//     is precisely what full escalation would have produced.
+//   * FULL escalation (the PR 5 fallback, and the only path for
+//     uncertified Monte-Carlo rows): recompute stage 1 with PMPN and
+//     re-run prune + refine on the exact row. Any unsettled node discards
+//     the partial attempt and takes this path verbatim.
+//
+// Either way results and index write-back are byte-identical to the pure
+// exact pipeline at every backend choice (QueryStats::escalation_mode
+// records which tier ran). In hits-only mode the uncertain nodes are
+// dropped instead, making the answer a certified subset of the exact one.
+//
+// Bound-targeted epsilon (QueryOptions::bound_targeted_epsilon): the prune
+// scan piggybacks the smallest positive stored k-th bound it touches; the
+// pipeline caches it per k and derives the NEXT local-push stopping
+// epsilon at that k from it (clamped), so easy queries stop pushing as
+// soon as their certificate clears the index's actual decision gap.
+// QueryOptions::approx_budget_scale (the serving controller's knob)
+// multiplies Monte-Carlo walk budgets and divides the push epsilon.
+// Certify-or-escalate keeps every epsilon sound.
 //
 // The pipeline is the engine behind ReverseTopkSearcher; drive it directly
 // for stage-level control (custom proximity backends, stage timings).
@@ -47,11 +74,13 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/workspace_pool.h"
 #include "core/online_query.h"
 #include "exec/proximity_backends.h"
 #include "exec/proximity_stage.h"
 #include "exec/refine_stage.h"
 #include "index/lower_bound_index.h"
+#include "rwr/targeted_settle.h"
 #include "rwr/transition.h"
 
 namespace rtk {
@@ -86,6 +115,15 @@ class QueryPipeline {
   void set_proximity_backend(std::unique_ptr<ProximityBackend> backend);
   const ProximityBackend& proximity_backend() const {
     return proximity_ != nullptr ? *proximity_ : *pmpn_backend_;
+  }
+
+  /// \brief Attaches an engine-owned shared backend catalog (non-owning;
+  /// nullptr detaches). ResolveBackend consults it on exact config match
+  /// before the per-pipeline cache, so pooled searchers reuse backends
+  /// built once at engine setup instead of re-parsing tier configs per
+  /// pipeline. The catalog must outlive the attachment.
+  void set_shared_backends(const SharedProximityBackends* shared) {
+    shared_backends_ = shared;
   }
 
   /// \brief Resolves a backend the way Run does: "" or the default's name
@@ -143,6 +181,37 @@ class QueryPipeline {
                                           ProximityRow row, QueryStats local,
                                           QueryStats* stats);
 
+  /// Applies the self-tuning knobs to the resolved stage-1 backend before
+  /// Compute: derives a bound-targeted / budget-scaled push epsilon into
+  /// pmpn_opts->push_epsilon for the local-push backend (a caller-set
+  /// push_epsilon > 0 wins and is left alone), or re-resolves a
+  /// walk-scaled Monte-Carlo config when approx_budget_scale > 1. No-op
+  /// for exact backends.
+  Status ApplyAdaptiveBudget(const QueryOptions& options,
+                             ProximityBackend** backend,
+                             RwrOptions* pmpn_opts);
+
+  /// Partial escalation: tries to settle every uncertain node with a
+  /// targeted forward push (see the class docs). On success (all settled)
+  /// appends the settled hits to *settled_hits (ascending, since
+  /// `undecided` is ascending) and returns true; on any unsettled node
+  /// returns false and the caller falls back to full escalation.
+  /// *total_pushes accumulates settle pushes either way. Deterministic at
+  /// every thread count: every node is settled (no early exit) and each
+  /// settle is an independent pure function of (node, row, index).
+  bool SettleUndecided(uint32_t q, const QueryOptions& options,
+                       const RwrOptions& pmpn_opts, ThreadPool* pool,
+                       int max_parallelism, const ProximityRow& row,
+                       const std::vector<uint32_t>& undecided,
+                       std::vector<uint32_t>* settled_hits,
+                       uint64_t* total_pushes);
+
+  /// Bound-targeted epsilon memo: last observed positive decision gap
+  /// (PruneResult::min_positive_kth_bound) per k, fed by each prune pass
+  /// and consumed by ApplyAdaptiveBudget on the NEXT query at that k.
+  double CachedKthGap(uint32_t k) const;
+  void RecordKthGap(uint32_t k, double gap);
+
   /// A name-keyed, config-pinned cache entry (see ResolveBackend).
   struct CachedBackend {
     ProximityBackendConfig config;
@@ -155,9 +224,16 @@ class QueryPipeline {
   std::unique_ptr<ProximityBackend> pmpn_backend_;  // always available
   std::unique_ptr<ProximityBackend> proximity_;     // optional default override
   std::vector<CachedBackend> backend_cache_;
+  const SharedProximityBackends* shared_backends_ = nullptr;  // non-owning
   std::unique_ptr<RefineStage> refine_;
   ThreadPool* external_pool_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;  // lazy, only without external
+  // Lazily created settler workspaces for partial escalation (one leased
+  // per parallel settle worker, reused across runs).
+  std::unique_ptr<WorkspacePool<TargetedSettler>> settlers_;
+  // Per-k decision-gap memo for bound-targeted epsilon (tiny: one entry
+  // per distinct k this pipeline has served).
+  std::vector<std::pair<uint32_t, double>> kth_gap_cache_;
 };
 
 }  // namespace rtk

@@ -58,14 +58,24 @@ double QueryTrace::PhaseSeconds(TracePhase phase) const {
 }
 
 std::string QueryTrace::ToString() const {
-  char head[160];
+  char escalation[48];
+  escalation[0] = '\0';
+  if (escalation_mode != 0) {
+    // 1 = partial (targeted settles), 2 = full (exact re-run); see
+    // EscalationMode in core/online_query.h.
+    std::snprintf(escalation, sizeof(escalation),
+                  " escalated=%s nodes=%llu",
+                  escalation_mode == 1 ? "partial" : "full",
+                  static_cast<unsigned long long>(escalated_nodes));
+  }
+  char head[208];
   std::snprintf(head, sizeof(head),
                 "trace %llu q=%u k=%u epoch=%llu %s%s%s %.3fms [",
                 static_cast<unsigned long long>(trace_id), query, k,
                 static_cast<unsigned long long>(epoch),
                 std::string(TraceDispositionToString(disposition)).c_str(),
                 backend.empty() ? "" : (" backend=" + backend).c_str(),
-                escalated ? " escalated" : "", total_seconds * 1e3);
+                escalation, total_seconds * 1e3);
   std::string out = head;
   for (size_t i = 0; i < spans.size(); ++i) {
     char buf[64];

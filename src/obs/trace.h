@@ -80,6 +80,12 @@ struct QueryTrace {
   /// Stage-1 backend that produced the served row ("" when none ran).
   std::string backend;
   bool escalated = false;
+  /// Numeric EscalationMode (core/online_query.h): 0 none, 1 partial
+  /// (targeted settles resolved every uncertain node), 2 full (exact
+  /// re-run). Kept as the raw value so this header stays layer-clean.
+  uint8_t escalation_mode = 0;
+  /// Uncertain nodes the escalation (either mode) had to resolve.
+  uint64_t escalated_nodes = 0;
   /// Accuracy tier as requested (true = hits-only).
   bool approximate_tier = false;
   TraceDisposition disposition = TraceDisposition::kOk;

@@ -1,0 +1,159 @@
+#include "rwr/targeted_settle.h"
+
+namespace rtk {
+
+namespace {
+
+// Threshold schedule: a round pushes every touched node with r >= tau,
+// then the brackets are checked and tau drops. The start value skips
+// nothing on the first round (r = e_source, tau <= 1), the divisor trades
+// check frequency against wasted sub-threshold pushes, and the floor stops
+// chasing mass below double precision's useful range.
+constexpr double kTauStart = 0.25;
+constexpr double kTauDivisor = 8.0;
+constexpr double kTauFloor = 1e-12;
+
+// Mid-round bracket checks fire at geometrically spaced push counts so a
+// long round on a big frontier still exits as soon as the bracket decides.
+constexpr uint64_t kFirstCheck = 64;
+
+}  // namespace
+
+void MarkNodesReaching(const Graph& graph, uint32_t target,
+                       std::vector<uint8_t>* out) {
+  const uint32_t n = graph.num_nodes();
+  out->assign(n, 0);
+  if (target >= n) return;
+  // Plain BFS over in-edges; the output is set membership, so the visit
+  // order (and hence threading, of which there is none) cannot leak into
+  // the result.
+  std::vector<uint32_t> frontier;
+  frontier.push_back(target);
+  (*out)[target] = 1;
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const uint32_t v = frontier[head];
+    for (uint32_t u : graph.InNeighbors(v)) {
+      if (!(*out)[u]) {
+        (*out)[u] = 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+}
+
+TargetedSettler::TargetedSettler(const TransitionOperator& op)
+    : op_(&op),
+      residual_(op.num_nodes(), 0.0),
+      touched_(op.num_nodes(), 0),
+      queued_(op.num_nodes(), 0) {}
+
+void TargetedSettler::ComputeBrackets(const RowIntervalView& row, double est,
+                                      double* p_lo, double* p_hi) const {
+  double lo = est;
+  double hi = est;
+  for (uint32_t v : touched_list_) {
+    const double rv = residual_[v];
+    if (rv <= 0.0) continue;
+    lo += rv * row.lo(v);
+    hi += rv * row.hi(v);
+  }
+  *p_lo = lo;
+  *p_hi = hi;
+}
+
+SettleVerdict TargetedSettler::Settle(uint32_t source, uint32_t target,
+                                      const RowIntervalView& row,
+                                      const TargetedSettleOptions& options,
+                                      const SettleClassifier& classify,
+                                      uint64_t* pushes_out) {
+  const Graph& graph = op_->graph();
+  const double alpha = options.alpha;
+  const double beta = 1.0 - alpha;
+
+  residual_[source] = 1.0;
+  touched_[source] = 1;
+  touched_list_.clear();
+  touched_list_.push_back(source);
+
+  SettleVerdict verdict = SettleVerdict::kUnsettled;
+  double est = 0.0;  // restart mass already attributed to the target
+  uint64_t pushes = 0;
+  uint64_t next_check = kFirstCheck;
+
+  auto check = [&]() {
+    double p_lo = 0.0, p_hi = 0.0;
+    ComputeBrackets(row, est, &p_lo, &p_hi);
+    verdict = classify(p_lo, p_hi);
+    return verdict != SettleVerdict::kUnsettled;
+  };
+
+  // Entry check, before any push: a node whose starting bracket already
+  // proves undecidability (kImpossible — typically an index upper bound
+  // only refinement can move) exits at zero cost instead of burning the
+  // whole push budget converging toward a verdict that cannot exist.
+  if (check()) {
+    residual_[source] = 0.0;
+    touched_[source] = 0;
+    if (pushes_out != nullptr) *pushes_out = 0;
+    return verdict;
+  }
+
+  for (double tau = kTauStart; tau >= kTauFloor; tau /= kTauDivisor) {
+    bool decided = false;
+    // One round: drain every touched node holding r >= tau, FIFO. Nodes
+    // that cross tau mid-round re-enter the frontier; the scan of
+    // touched_list_ is in first-touch order, which is deterministic.
+    frontier_.clear();
+    for (uint32_t v : touched_list_) {
+      if (residual_[v] >= tau) {
+        frontier_.push_back(v);
+        queued_[v] = 1;
+      }
+    }
+    for (size_t head = 0; head < frontier_.size(); ++head) {
+      const uint32_t v = frontier_[head];
+      queued_[v] = 0;
+      const double rv = residual_[v];
+      if (rv < tau) continue;  // decayed below tau while queued
+      residual_[v] = 0.0;
+      ++pushes;
+      if (v == target) est += alpha * rv;
+      const auto neighbors = graph.OutNeighbors(v);
+      const double scatter = beta * rv;
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        const uint32_t w = neighbors[i];
+        residual_[w] += scatter * op_->EdgeProbability(v, i);
+        if (!touched_[w]) {
+          touched_[w] = 1;
+          touched_list_.push_back(w);
+        }
+        if (!queued_[w] && residual_[w] >= tau) {
+          frontier_.push_back(w);
+          queued_[w] = 1;
+        }
+      }
+      if (pushes >= options.max_pushes) break;
+      if (pushes >= next_check) {
+        next_check *= 2;
+        if (check()) {
+          decided = true;
+          break;
+        }
+      }
+    }
+    // Clear straggler queued flags (entries past an early break).
+    for (uint32_t v : frontier_) queued_[v] = 0;
+    if (!decided) decided = check();
+    if (decided || pushes >= options.max_pushes) break;
+  }
+
+  // Sparse reset so the workspace is clean for the next settle.
+  for (uint32_t v : touched_list_) {
+    residual_[v] = 0.0;
+    touched_[v] = 0;
+  }
+  if (pushes_out != nullptr) *pushes_out = pushes;
+  return verdict;
+}
+
+}  // namespace rtk

@@ -1,0 +1,155 @@
+// TargetedSettler — per-node (source, target) proximity certification for
+// partial escalation.
+//
+// When an approximate proximity row leaves a handful of nodes "undecided",
+// full escalation recomputes the entire row with PMPN — one marginal
+// candidate costs a whole exact solve. The settler instead refines ONE
+// uncertain pair: it decomposes p_u(q) by first-step recursion,
+//
+//     p_u(q) = alpha * [u == q] + (1 - alpha) * sum_w P(u->w) p_w(q),
+//
+// maintaining a restart mass `est` and a forward residual r with the exact
+// invariant
+//
+//     p_u(q) = est + sum_v r[v] * p_v(q),        r >= 0,
+//
+// starting from est = 0, r = e_u. A push at v retires r_v: alpha * r_v
+// lands in `est` when v == q, and (1 - alpha) * r_v scatters along v's
+// out-edges. Substituting the approximate row's certified interval for the
+// trailing p_v(q) terms gives certified brackets
+//
+//     p_lo = est + sum_v r[v] * row_lo(v)
+//     p_hi = est + sum_v r[v] * row_hi(v)
+//
+// whose width is at most |r|_1 * max_gap — and |r|_1 decays geometrically
+// with push depth (each push destroys an alpha share of its mass), so the
+// brackets converge to the true p_u(q) REGARDLESS of how loose the row's
+// certificate is. The caller's classifier turns a bracket into the same
+// certified drop/hit decision the widened prune stage makes; a node whose
+// exact classification is genuinely interval-undecidable (it would need
+// BCA refinement) can never be certified either way here and reports
+// kUnsettled once the push budget runs out — the pipeline then falls back
+// to today's full escalation, which is what keeps partial escalation
+// byte-identical to it (see exec/query_pipeline.h).
+//
+// Everything is deterministic: the push order is a pure function of the
+// graph and the threshold schedule, and the brackets are recomputed fresh
+// over the touched set at every check (no incrementally-drifting sums), so
+// one (source, target, row) settle returns the same verdict on every
+// thread of every run.
+
+#ifndef RTK_RWR_TARGETED_SETTLE_H_
+#define RTK_RWR_TARGETED_SETTLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rwr/transition.h"
+
+namespace rtk {
+
+/// \brief Budget/schedule knobs for one targeted settle.
+struct TargetedSettleOptions {
+  /// Restart probability alpha in (0, 1); must match the index.
+  double alpha = 0.15;
+  /// Hard per-node push cap; an unsettled verdict after this many pushes
+  /// triggers the caller's full-escalation fallback.
+  uint64_t max_pushes = 8192;
+};
+
+/// \brief Outcome of one settle: a certified classification, "the push
+/// budget ran out before the bracket decided", or a proof that NO bracket
+/// ever decides (never a wrong answer).
+enum class SettleVerdict : uint8_t {
+  kUnsettled = 0,
+  kDrop = 1,  ///< certified: the exact scan drops this node
+  kHit = 2,   ///< certified: the exact scan confirms this node
+  /// The bracket landed inside a dead zone where neither branch can ever
+  /// fire (e.g. the hit test is gated on an index upper bound the true
+  /// proximity provably sits below, while the drop cutoff is provably
+  /// cleared) — the node needs refinement, not precision. The settler
+  /// stops immediately; the caller must treat it like kUnsettled (full
+  /// escalation) but without burning the push budget first.
+  kImpossible = 3,
+};
+
+/// \brief Certified per-entry interval view of an approximate proximity
+/// row (the same certificate contract as ProximityRow, flattened to
+/// pointers so rwr/ need not depend on exec/). `values` has one entry per
+/// node; `eps_node` (when non-null) overrides the scalar bounds.
+struct RowIntervalView {
+  const double* values = nullptr;
+  double eps_below = 0.0;
+  double eps_above = 0.0;
+  const double* eps_node = nullptr;
+
+  /// Certified bracket of the true p_v(q); proximities live in [0, 1].
+  double lo(uint32_t v) const {
+    const double e = eps_node != nullptr ? eps_node[v] : eps_below;
+    const double x = values[v] - e;
+    return x > 0.0 ? x : 0.0;
+  }
+  double hi(uint32_t v) const {
+    const double e = eps_node != nullptr ? eps_node[v] : eps_above;
+    const double x = values[v] + e;
+    return x < 1.0 ? x : 1.0;
+  }
+};
+
+/// \brief Maps a certified bracket [p_lo, p_hi] of p_u(q) to a verdict.
+/// Must return kDrop/kHit only when EVERY value in the bracket would take
+/// that branch in the exact prune scan (the pipeline supplies exactly the
+/// widened-scan comparisons).
+using SettleClassifier =
+    std::function<SettleVerdict(double p_lo, double p_hi)>;
+
+/// \brief Marks every node with a directed path to `target` (reverse BFS
+/// over in-edges): out[u] != 0  <=>  p_u(target) > 0, since a random walk
+/// from u restarts at u and reaches the target with positive probability
+/// exactly when such a path exists. This decides the prune scan's sign
+/// questions outright — an unmarked node's exact proximity is identically
+/// zero (the scan's p_hi <= 0 drop), and for a marked node with a zero
+/// stored k-th bound and zero residue, positivity alone is the exact hit
+/// condition. Brackets cannot answer either question (mass below the push
+/// schedule's floor never reaches the target, and residuals never drain
+/// to exactly zero), so the pipeline short-circuits these nodes here
+/// before paying for a settle. O(reachable in-edges), deterministic.
+void MarkNodesReaching(const Graph& graph, uint32_t target,
+                       std::vector<uint8_t>* out);
+
+/// \brief Reusable workspace for targeted settles. One instance per
+/// concurrent caller (O(n) scratch, like BcaRunner); pool instances via
+/// WorkspacePool for parallel settles.
+class TargetedSettler {
+ public:
+  /// The operator (and its graph) must outlive the settler.
+  explicit TargetedSettler(const TransitionOperator& op);
+
+  /// \brief Runs the forward push from `source` toward `target` until the
+  /// classifier decides or the push budget is exhausted. `row` is the
+  /// approximate backend's certified row (its intervals anchor the
+  /// brackets). `pushes` (optional) reports the work done.
+  SettleVerdict Settle(uint32_t source, uint32_t target,
+                       const RowIntervalView& row,
+                       const TargetedSettleOptions& options,
+                       const SettleClassifier& classify,
+                       uint64_t* pushes = nullptr);
+
+ private:
+  /// Recomputes the brackets fresh over the touched set (no accumulated
+  /// floating-point drift between checks).
+  void ComputeBrackets(const RowIntervalView& row, double est, double* p_lo,
+                       double* p_hi) const;
+
+  const TransitionOperator* op_;
+  std::vector<double> residual_;   // dense r, sparsely reset after each call
+  std::vector<uint8_t> touched_;   // membership flags for touched_list_
+  std::vector<uint32_t> touched_list_;
+  std::vector<uint32_t> frontier_;  // per-round FIFO work list
+  std::vector<uint8_t> queued_;
+};
+
+}  // namespace rtk
+
+#endif  // RTK_RWR_TARGETED_SETTLE_H_

@@ -34,6 +34,12 @@ struct RwrOptions {
   double epsilon = 1e-10;
   /// Hard iteration cap (the epsilon criterion normally fires well before).
   int max_iterations = 100000;
+  /// Per-call override of the local-push stopping epsilon (> 0 replaces
+  /// LocalPushOptions::epsilon for this solve). Iterative exact solvers
+  /// ignore it, so one RwrOptions value can carry a query's adaptive push
+  /// budget through the pipeline without perturbing PMPN or refinement.
+  /// 0 (the default) defers to the backend's configured epsilon.
+  double push_epsilon = 0.0;
 };
 
 /// \brief Matrix-free application of A and A^T for a graph.

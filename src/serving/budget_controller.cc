@@ -1,0 +1,65 @@
+#include "serving/budget_controller.h"
+
+#include <algorithm>
+
+namespace rtk {
+
+BackendBudgetState* BudgetController::FindOrCreateLocked(
+    std::string_view backend) {
+  for (BackendBudgetState& state : states_) {
+    if (state.backend == backend) return &state;
+  }
+  states_.push_back(BackendBudgetState{std::string(backend)});
+  return &states_.back();
+}
+
+double BudgetController::ScaleFor(std::string_view backend) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const BackendBudgetState& state : states_) {
+    if (state.backend == backend) return state.scale;
+  }
+  return 1.0;
+}
+
+void BudgetController::Record(std::string_view backend, EscalationMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendBudgetState* state = FindOrCreateLocked(backend);
+  switch (mode) {
+    case EscalationMode::kFull:
+      ++state->full_escalations;
+      state->scale = std::min(
+          state->scale * std::max(1.0, options_.full_escalation_multiplier),
+          options_.max_scale);
+      break;
+    case EscalationMode::kPartial:
+      ++state->partial_escalations;
+      state->scale = std::min(
+          state->scale * std::max(1.0, options_.partial_escalation_multiplier),
+          options_.max_scale);
+      break;
+    case EscalationMode::kNone:
+      ++state->certified;
+      // Decay the excess over 1.0, never below it.
+      state->scale = 1.0 + (state->scale - 1.0) *
+                               std::clamp(options_.certify_decay, 0.0, 1.0);
+      break;
+  }
+}
+
+void BudgetController::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  states_.clear();
+  ++resets_;
+}
+
+uint64_t BudgetController::resets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resets_;
+}
+
+std::vector<BackendBudgetState> BudgetController::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_;
+}
+
+}  // namespace rtk

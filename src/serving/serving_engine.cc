@@ -62,6 +62,7 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
     : options_(options),
       engine_options_(engine.options()),
       num_nodes_(engine.graph().num_nodes()),
+      budgets_(options.adaptive_controller),
       queue_(options.max_pending),
       cache_(options.cache),
       traces_(options.trace_ring_capacity),
@@ -80,6 +81,7 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
   snapshot_ = std::make_shared<const IndexSnapshot>(
       LowerBoundIndex(engine.index()), /*epoch=*/0, version0);
   batchers_ = MakeBatchers(version0);
+  shared_backends_ = MakeSharedBackends(version0);
   if (snapshot_->index().storage_tier() == StorageTier::kMmap) {
     residency_ = std::make_unique<ShardResidencyManager>(
         options_.shard_promote_touches, options_.shard_demote_epochs,
@@ -100,6 +102,12 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
       &registry_.GetCounter("rtk_serving_queries_approximate_tier_total");
   ins_.escalations =
       &registry_.GetCounter("rtk_serving_backend_escalations_total");
+  ins_.partial_escalations = &registry_.GetCounter(
+      "rtk_serving_adaptive_partial_escalations_total");
+  ins_.full_escalations =
+      &registry_.GetCounter("rtk_serving_adaptive_full_escalations_total");
+  ins_.adaptive_resets =
+      &registry_.GetCounter("rtk_serving_adaptive_budget_resets_total");
   ins_.certified = &registry_.GetCounter("rtk_serving_answers_certified_total");
   ins_.uncertified =
       &registry_.GetCounter("rtk_serving_answers_uncertified_total");
@@ -171,6 +179,9 @@ ServingEngine::ServingEngine(const ReverseTopkEngine& engine,
         std::string(name),
         &registry_.GetHistogram("rtk_serving_request_backend_" +
                                 MetricSafe(name) + "_seconds"));
+    ins_.adaptive_scale.emplace_back(
+        std::string(name),
+        &registry_.GetGauge("rtk_serving_adaptive_scale_" + MetricSafe(name)));
   }
 
   // Start the mutation worker last: its drain reads every member above.
@@ -197,6 +208,33 @@ std::shared_ptr<const ServingEngine::TierBatchers> ServingEngine::MakeBatchers(
   return batchers;
 }
 
+std::shared_ptr<const ServingEngine::VersionedBackends>
+ServingEngine::MakeSharedBackends(
+    const std::shared_ptr<const GraphVersion>& version) const {
+  auto holder = std::make_shared<VersionedBackends>();
+  holder->version = version;
+  const auto add = [&](const ProximityBackendConfig& config) {
+    // Pipeline builtins resolve without the factory; a catalog entry for
+    // them would only shadow the per-pipeline instances.
+    if (config.name.empty() || config.name == kPmpnBackendName ||
+        config.name == kBatchedPmpnBackendName) {
+      return;
+    }
+    if (holder->catalog.Find(config) != nullptr) return;  // tiers coincide
+    Result<std::unique_ptr<ProximityBackend>> built =
+        MakeProximityBackend(version->op(), config);
+    // A config the factory rejects is reported by the first query that
+    // tries to resolve it — the catalog just stays out of the way.
+    if (!built.ok()) return;
+    holder->catalog.entries.push_back(
+        SharedProximityBackends::Entry{config, std::move(*built)});
+  };
+  add(options_.exact_tier_backend);
+  add(options_.approximate_tier_backend);
+  if (holder->catalog.entries.empty()) return nullptr;
+  return holder;
+}
+
 Histogram* ServingEngine::BackendLatency(const std::string& backend) {
   for (auto& [name, histogram] : ins_.backend_latency) {
     if (name == backend) return histogram;
@@ -213,6 +251,8 @@ void ServingEngine::FinishTrace(QueryTrace* trace,
   trace->epoch = response.epoch;
   trace->backend = response.backend;
   trace->escalated = response.stats.escalated;
+  trace->escalation_mode = static_cast<uint8_t>(response.stats.escalation_mode);
+  trace->escalated_nodes = response.stats.escalated_nodes;
   trace->disposition = response.cache_hit ? TraceDisposition::kCacheHit
                                           : DispositionOf(response.status);
   trace->Finish();
@@ -699,6 +739,20 @@ void ServingEngine::ExecuteAdmitted(
   // Accuracy-tier routing: each tier runs its configured backend.
   query_opts.proximity = approximate_tier ? options_.approximate_tier_backend
                                           : options_.exact_tier_backend;
+  // Self-tuning approximation: exact-tier requests on a non-builtin
+  // backend consume the controller's current budget scale and turn the
+  // bound-targeted epsilon on. The feedback only ever moves latency —
+  // certify-or-escalate still guards every answer byte.
+  const bool adaptive_backend =
+      !approximate_tier && !query_opts.proximity.name.empty() &&
+      query_opts.proximity.name != kPmpnBackendName &&
+      query_opts.proximity.name != kBatchedPmpnBackendName;
+  if (options_.adaptive && adaptive_backend) {
+    query_opts.partial_escalation = true;
+    query_opts.bound_targeted_epsilon = true;
+    query_opts.approx_budget_scale =
+        budgets_.ScaleFor(query_opts.proximity.name);
+  }
   query_opts.update_index = request.update_index;
   if (request.num_threads != 0) query_opts.num_threads = request.num_threads;
   std::vector<IndexDelta> deltas;
@@ -719,11 +773,28 @@ void ServingEngine::ExecuteAdmitted(
   ins_.proximity_seconds->Record(response.stats.pmpn_seconds);
   ins_.prune_seconds->Record(response.stats.prune_seconds);
   ins_.refine_seconds->Record(response.stats.refine_seconds);
-  // Which backend actually produced the served row.
+  // Which backend actually produced the served row: a partial escalation
+  // keeps the approximate backend's row (the settles only decided the
+  // uncertain remainder), so only a FULL escalation reports PMPN.
   response.backend = response.stats.escalated
                          ? std::string(kPmpnBackendName)
                          : response.stats.backend;
-  if (response.stats.escalated) ins_.escalations->Increment();
+  switch (response.stats.escalation_mode) {
+    case EscalationMode::kPartial:
+      ins_.escalations->Increment();
+      ins_.partial_escalations->Increment();
+      break;
+    case EscalationMode::kFull:
+      ins_.escalations->Increment();
+      ins_.full_escalations->Increment();
+      break;
+    case EscalationMode::kNone:
+      break;
+  }
+  if (options_.adaptive && adaptive_backend && result.ok()) {
+    budgets_.Record(query_opts.proximity.name,
+                    response.stats.escalation_mode);
+  }
   if (!result.ok()) {
     // An aborted pipeline emitted no deltas and wrote nothing back; the
     // snapshot chain is exactly as if the request never ran.
@@ -848,6 +919,21 @@ ServingEngine::PooledSearcher ServingEngine::AcquireSearcher(
   // a big query's stage shards (the pipeline's fan-out is pool-reentrant,
   // so this is safe even when the query itself runs as a pool task).
   pooled.searcher->set_thread_pool(pool_.get());
+  // Attach the engine's shared backend catalog when it was built over the
+  // SAME graph version this snapshot pins (a backend reads the version's
+  // operator): tier configs are then parsed/constructed once per version,
+  // not once per pooled searcher. The pooled ref keeps the catalog alive
+  // across any concurrent mutation swap.
+  std::shared_ptr<const VersionedBackends> shared;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    shared = shared_backends_;
+  }
+  if (shared != nullptr && shared->version == snap->graph_version()) {
+    pooled.backends = std::move(shared);
+    pooled.searcher->pipeline().set_shared_backends(
+        &pooled.backends->catalog);
+  }
   return pooled;
 }
 
@@ -1178,11 +1264,18 @@ void ServingEngine::DrainMutations() {
       std::move(*rebuilt), current->epoch() + 1, next_version);
   std::shared_ptr<const TierBatchers> fresh_batchers =
       MakeBatchers(next_version);
+  std::shared_ptr<const VersionedBackends> fresh_shared =
+      MakeSharedBackends(next_version);
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = fresh;
     batchers_ = std::move(fresh_batchers);
+    shared_backends_ = std::move(fresh_shared);
   }
+  // The new graph version invalidates everything the budget controller
+  // measured; start its feedback over.
+  budgets_.Reset();
+  ins_.adaptive_resets->Increment();
   {
     // Pooled searchers read the old graph+index pair; retire them.
     std::lock_guard<std::mutex> lock(searchers_mu_);
@@ -1285,6 +1378,10 @@ ServingStats ServingEngine::stats() const {
   stats.exact_tier_queries = ins_.exact_tier->value();
   stats.approximate_tier_queries = ins_.approximate_tier->value();
   stats.backend_escalations = ins_.escalations->value();
+  stats.partial_escalations = ins_.partial_escalations->value();
+  stats.full_escalations = ins_.full_escalations->value();
+  stats.adaptive_resets = ins_.adaptive_resets->value();
+  stats.adaptive_budgets = budgets_.Snapshot();
   stats.cache_hits = ins_.cache_hits->value();
   stats.cache_misses = ins_.cache_misses->value();
   stats.batches = ins_.batches->value();
@@ -1348,6 +1445,9 @@ MetricsSnapshot ServingEngine::Metrics() const {
       snap->graph_version() != nullptr ? snap->graph_version()->version()
                                        : 0));
   ins_.pending_mutations->Set(static_cast<double>(mutations_.pending()));
+  for (auto& [name, gauge] : ins_.adaptive_scale) {
+    gauge->Set(budgets_.ScaleFor(name));
+  }
   return registry_.Snapshot();
 }
 

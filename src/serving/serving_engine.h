@@ -87,6 +87,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serving/admission_queue.h"
+#include "serving/budget_controller.h"
 #include "serving/graph_versioning.h"
 #include "serving/index_snapshot.h"
 #include "serving/mutation_log.h"
@@ -215,6 +216,19 @@ struct ServingOptions {
       .dangling_policy = DanglingPolicy::kSelfLoop,
       .parallel_edges = ParallelEdgePolicy::kError,
       .allow_self_loops = true};
+  /// Self-tuning approximation. When enabled, exact-tier requests routed
+  /// to an approximate backend run with partial escalation, bound-targeted
+  /// epsilon, and a per-backend budget scale from the feedback controller
+  /// (serving/budget_controller.h): a full escalation multiplies the
+  /// backend's budget, a partial one nudges it, and every certified
+  /// answer decays it back toward 1.0 — the steady-state escalation rate
+  /// falls without giving up byte-identical exact-tier results
+  /// (certify-or-escalate still guards every answer; the scale only moves
+  /// latency). The controller resets on every mutation publish (the new
+  /// graph version invalidates the measured feedback). Off by default:
+  /// fixed budgets, bitwise-unchanged behavior.
+  bool adaptive = false;
+  BudgetControllerOptions adaptive_controller;
 };
 
 /// \brief Aggregate serving counters (all monotone except the *_depth /
@@ -238,8 +252,17 @@ struct ServingStats {
   uint64_t exact_tier_queries = 0;
   uint64_t approximate_tier_queries = 0;
   /// Exact-tier requests whose approximate backend could not certify the
-  /// prune and re-ran stage 1 with PMPN (0 when the tier runs PMPN).
+  /// prune outright and escalated — partially (targeted settles) or fully
+  /// (PMPN re-run); the two mode counters below split this total (0 when
+  /// the tier runs PMPN).
   uint64_t backend_escalations = 0;
+  uint64_t partial_escalations = 0;
+  uint64_t full_escalations = 0;
+  /// Budget-controller resets (one per mutation publish).
+  uint64_t adaptive_resets = 0;
+  /// Per-backend controller state, first-seen order (empty until the
+  /// adaptive mode has recorded feedback).
+  std::vector<BackendBudgetState> adaptive_budgets;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   /// Refinement deltas recorded by queries (pre-dedup).
@@ -436,9 +459,22 @@ class ServingEngine {
   int num_threads() const { return pool_->num_threads(); }
 
  private:
+  /// The engine-owned shared backend catalog, pinned to the graph version
+  /// its backends were built over (a backend reads the version's
+  /// transition operator). Swapped with the snapshot on every mutation
+  /// publish; pooled searchers hold a ref so a racing swap can never free
+  /// a catalog a pipeline still reads.
+  struct VersionedBackends {
+    std::shared_ptr<const GraphVersion> version;
+    SharedProximityBackends catalog;
+  };
+
   /// A pooled searcher pinned to the snapshot it was built against.
   struct PooledSearcher {
     std::shared_ptr<const IndexSnapshot> snapshot;
+    /// Keeps the attached shared-backend catalog alive (null when the
+    /// searcher's pipeline runs on its private cache only).
+    std::shared_ptr<const VersionedBackends> backends;
     std::unique_ptr<ReverseTopkSearcher> searcher;
   };
 
@@ -553,6 +589,13 @@ class ServingEngine {
   std::shared_ptr<const TierBatchers> MakeBatchers(
       const std::shared_ptr<const GraphVersion>& version) const;
 
+  /// Builds the shared backend catalog over `version`'s operator: one
+  /// backend per distinct configured approximate tier config, parsed and
+  /// constructed HERE — once per graph version — instead of once per
+  /// pooled searcher. Null when every tier runs a pipeline builtin.
+  std::shared_ptr<const VersionedBackends> MakeSharedBackends(
+      const std::shared_ptr<const GraphVersion>& version) const;
+
   /// The mutation worker's thread body: waits for ApplyUpdates wake-ups
   /// and runs DrainMutations under publish_mu_. A dedicated thread, NOT a
   /// pool ticket — the repair fans out onto the pool (ParallelForRange),
@@ -574,9 +617,14 @@ class ServingEngine {
 
   std::atomic<size_t> peak_batch_{0};
 
-  mutable std::mutex snapshot_mu_;  // guards snapshot_/batchers_ swap/load
+  mutable std::mutex snapshot_mu_;  // guards snapshot_/batchers_/
+                                    // shared_backends_ swap/load
   std::shared_ptr<const IndexSnapshot> snapshot_;
   std::shared_ptr<const TierBatchers> batchers_;
+  std::shared_ptr<const VersionedBackends> shared_backends_;
+
+  /// Feedback-driven approximation budgets (see ServingOptions::adaptive).
+  BudgetController budgets_;
 
   AdmissionQueue queue_;
   std::atomic<bool> paused_{false};
@@ -622,6 +670,9 @@ class ServingEngine {
     Counter* exact_tier = nullptr;
     Counter* approximate_tier = nullptr;
     Counter* escalations = nullptr;
+    Counter* partial_escalations = nullptr;
+    Counter* full_escalations = nullptr;
+    Counter* adaptive_resets = nullptr;
     Counter* certified = nullptr;
     Counter* uncertified = nullptr;
     Counter* cache_hits = nullptr;
@@ -669,6 +720,9 @@ class ServingEngine {
     /// One request-latency histogram per registered proximity backend,
     /// resolved by linear scan (the set is tiny and fixed).
     std::vector<std::pair<std::string, Histogram*>> backend_latency;
+    /// One budget-scale gauge per registered backend, refreshed from the
+    /// controller at Metrics() time.
+    std::vector<std::pair<std::string, Gauge*>> adaptive_scale;
   };
   Instruments ins_;
   TraceRing traces_;

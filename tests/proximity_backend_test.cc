@@ -259,7 +259,8 @@ void ExpectExactTierByteIdentical(const ProximityBackendConfig& config,
     ASSERT_TRUE(expected.ok() && actual.ok()) << "q=" << q;
     EXPECT_EQ(*expected, *actual) << "q=" << q;
     EXPECT_EQ(tiered_stats.backend, config.name);
-    escalations += tiered_stats.escalated ? 1 : 0;
+    escalations +=
+        tiered_stats.escalation_mode != EscalationMode::kNone ? 1 : 0;
   }
   ExpectIndexStateIdentical((*baseline_engine)->index(),
                             (*tiered_engine)->index());

@@ -23,7 +23,11 @@
 //                                                 mutex-serialized baseline
 //                                                 (--mutation-rate N races a
 //                                                 live edge-update stream
-//                                                 against the queries)
+//                                                 against the queries;
+//                                                 --adaptive on turns on the
+//                                                 AIMD approximation-budget
+//                                                 controller and prints its
+//                                                 final state)
 //
 // Node ids refer to the edge list after dense relabeling in first-appearance
 // order (the loader's default), matching what build-index used.
@@ -79,6 +83,14 @@ std::string g_storage_tier = "heap";
 // stream against the query workload via ServingEngine::ApplyUpdates — the
 // live-mutation mixed read/write mode. 0 (the default) = no mutations.
 double g_mutation_rate = 0.0;
+
+// --adaptive on|off: self-tuning approximation. For `query`, on forces
+// partial escalation + bound-targeted epsilon and off disables partial
+// escalation (full-row escalation only); for `serve-bench`, on enables the
+// per-backend AIMD budget controller (final controller state is printed
+// after the run). Empty = the engine defaults (partial escalation on,
+// controller off).
+std::string g_adaptive;
 
 // --read-only: serve-bench serves approximate hits-only requests with no
 // index write-back and skips the mutex-serialized baseline. With the mmap
@@ -155,6 +167,14 @@ int ExtractBackendFlag(int argc, char** argv) {
       g_mutation_rate = std::atof(arg.c_str() + 16);
       continue;
     }
+    if (arg == "--adaptive" && i + 1 < argc) {
+      g_adaptive = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--adaptive=", 0) == 0) {
+      g_adaptive = arg.substr(11);
+      continue;
+    }
     if (arg == "--read-only") {
       g_read_only = true;
       continue;
@@ -179,7 +199,7 @@ int Usage() {
                "usage:\n"
                "  rtk_cli build-index <edge_list> <index_out> [K=100] [B=n/50]\n"
                "  rtk_cli query <edge_list> <index> <q> <k> [threads=1] "
-               "[--backend <name>]\n"
+               "[--backend <name>] [--adaptive on|off]\n"
                "  rtk_cli stats <edge_list> <index>\n"
                "  rtk_cli index-info <index>\n"
                "  rtk_cli topk <edge_list> <u> <k>\n"
@@ -191,6 +211,10 @@ int Usage() {
                "[queries=500] [threads=hardware] [--backend <name>]\n"
                "                      [--metrics <out.prom>] "
                "[--max-batch <n>] [--batch-window <seconds>] [--read-only]\n"
+               "                      [--adaptive on|off]  (on: feedback-"
+               "driven AIMD approximation budgets;\n"
+               "                      the final per-backend controller state "
+               "is printed after the run)\n"
                "                      [--mutation-rate <updates/s>]  "
                "(races a live ApplyUpdates edge stream\n"
                "                      against the queries; each publish "
@@ -202,8 +226,9 @@ int Usage() {
                "\n"
                "registered proximity backends (--backend): %s\n"
                "  exact results at every choice: approximate backends run\n"
-               "  error-certified pruning and escalate to pmpn when the\n"
-               "  certificate cannot settle the answer.\n",
+               "  error-certified pruning, settle stragglers with targeted\n"
+               "  per-node solves (partial escalation), and escalate to a\n"
+               "  full pmpn row only when even that cannot decide.\n",
                backends.c_str());
   return 2;
 }
@@ -269,9 +294,23 @@ int CmdQuery(int argc, char** argv) {
   query_opts.pmpn = (*engine)->options().solver;
   query_opts.num_threads = (argc > 6) ? std::atoi(argv[6]) : 1;
   query_opts.proximity.name = g_backend;
+  if (g_adaptive == "on") {
+    query_opts.partial_escalation = true;
+    query_opts.bound_targeted_epsilon = true;
+  } else if (g_adaptive == "off") {
+    query_opts.partial_escalation = false;
+  }
   QueryStats stats;
   auto result = (*engine)->QueryWithOptions(q, query_opts, &stats);
   if (!result.ok()) return Fail(result.status());
+  std::string escalation;
+  if (stats.escalation_mode == EscalationMode::kFull) {
+    escalation = ", escalated to pmpn";
+  } else if (stats.escalation_mode == EscalationMode::kPartial) {
+    escalation = ", partial escalation: " +
+                 std::to_string(stats.escalated_nodes) + " nodes settled in " +
+                 std::to_string(stats.settle_pushes) + " pushes";
+  }
   std::printf("reverse top-%u of node %u: %zu nodes "
               "(cand=%llu hits=%llu refined=%llu, %.1f ms on %d threads: "
               "prox %.1f + prune %.1f + refine %.1f; backend=%s%s)\n",
@@ -282,7 +321,7 @@ int CmdQuery(int argc, char** argv) {
               stats.total_seconds * 1e3, stats.threads_used,
               stats.pmpn_seconds * 1e3, stats.prune_seconds * 1e3,
               stats.refine_seconds * 1e3, stats.backend.c_str(),
-              stats.escalated ? ", escalated to pmpn" : "");
+              escalation.c_str());
   for (uint32_t u : *result) std::printf("%u\n", u);
   return 0;
 }
@@ -539,6 +578,10 @@ int CmdServeBench(int argc, char** argv) {
   // (Create() upgrades a pmpn-compatible tier to "batched-pmpn").
   serving_opts.max_batch = std::max<size_t>(1, g_max_batch);
   serving_opts.batch_window = g_batch_window;
+  // --adaptive on: per-backend AIMD budget controller (escalations tighten
+  // the approximation budget, certified queries decay it back).
+  if (g_adaptive == "on") serving_opts.adaptive = true;
+  if (g_adaptive == "off") serving_opts.adaptive = false;
   auto serving = ServingEngine::Create(**engine, serving_opts);
   if (!serving.ok()) return Fail(serving.status());
 
@@ -697,6 +740,23 @@ int CmdServeBench(int argc, char** argv) {
               static_cast<unsigned long long>(sstats.exact_tier_queries),
               static_cast<unsigned long long>(sstats.approximate_tier_queries),
               static_cast<unsigned long long>(sstats.backend_escalations));
+  if (serving_opts.adaptive) {
+    std::printf("adaptive budgets: %llu resets (mutation publishes clear "
+                "learned state)\n",
+                static_cast<unsigned long long>(sstats.adaptive_resets));
+    for (const BackendBudgetState& budget : sstats.adaptive_budgets) {
+      std::printf("  %-12s scale %.2f  (%llu certified, %llu partial / "
+                  "%llu full escalations)\n",
+                  budget.backend.c_str(), budget.scale,
+                  static_cast<unsigned long long>(budget.certified),
+                  static_cast<unsigned long long>(budget.partial_escalations),
+                  static_cast<unsigned long long>(budget.full_escalations));
+    }
+    if (sstats.adaptive_budgets.empty()) {
+      std::printf("  (no feedback recorded: no adaptive-capable backend "
+                  "saw exact-tier traffic)\n");
+    }
+  }
   std::printf("storage tier: %s (%llu / %llu shards resident, "
               "%llu faults, %llu evictions, %.2f MiB mapped)\n",
               g_storage_tier.c_str(),
@@ -733,6 +793,11 @@ int CmdServeBench(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   argc = ExtractBackendFlag(argc, argv);
+  if (!g_adaptive.empty() && g_adaptive != "on" && g_adaptive != "off") {
+    std::fprintf(stderr, "error: --adaptive takes on|off (got \"%s\")\n",
+                 g_adaptive.c_str());
+    return Usage();
+  }
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "build-index") return CmdBuildIndex(argc, argv);
